@@ -1,0 +1,56 @@
+"""Benchmark / reproduction of experiment A1: the Definition 6 ablation.
+
+Reproduces the two failure modes of choosing a *non*-appropriate class:
+
+* condition (1) violated — PROB constants under the token measure break
+  distance preservation (and with it mining equality);
+* condition (2) violated — DET constants under the structure measure keep
+  preservation but leak the constant frequency histogram for no benefit.
+
+The per-attribute-keys variant of the token scheme (the paper's literal
+high-level scheme) is included: it satisfies per-query c-equivalence but can
+change cross-query distances, the refinement documented in
+``repro.core.schemes.token_scheme``.
+"""
+
+from __future__ import annotations
+
+from benchmarks.conftest import print_report
+from repro._utils import format_table
+from repro.analysis.ablation import run_ablation
+
+
+def test_a1_ablation_cases(benchmark):
+    """Time the full ablation run and reproduce its table."""
+    result = benchmark.pedantic(
+        lambda: run_ablation(log_size=60, seed=11), rounds=1, iterations=1
+    )
+
+    baseline = result.case("token/DET (appropriate)")
+    broken = result.case("token/PROB (not appropriate)")
+    weak = result.case("structure/DET (needlessly weak)")
+    appropriate = result.case("structure/PROB (appropriate)")
+
+    assert baseline.preserved
+    assert not broken.preserved
+    assert weak.preserved and appropriate.preserved
+    assert weak.distinct_ciphertext_ratio < appropriate.distinct_ciphertext_ratio
+
+    rows = [
+        (
+            case.name,
+            case.measure,
+            f"{case.preservation_max_deviation:.3g}",
+            "yes" if case.preserved else "NO",
+            f"{case.attack_recovery_rate:.2%}",
+            f"{case.distinct_ciphertext_ratio:.2f}",
+        )
+        for case in result.cases
+    ]
+    print_report(
+        "A1 — ablation: violating either condition of Definition 6",
+        format_table(
+            ["configuration", "measure", "max deviation", "preserved", "attack recovery", "distinct ratio"],
+            rows,
+        ),
+    )

@@ -1,0 +1,57 @@
+"""Benchmark / reproduction of experiment E1: token-based query-string distance.
+
+Claim reproduced (Definition 1 + Section I): encrypting the log with the
+DET/DET/DET scheme leaves all pairwise token distances unchanged, so
+distance-based mining on the encrypted log returns the same clusters,
+outliers and neighbours as on the plaintext log.
+
+The timed parts are (a) encrypting the whole log and (b) computing the
+distance matrix over the encrypted log.
+"""
+
+from __future__ import annotations
+
+from benchmarks.conftest import print_report
+from repro._utils import format_table
+from repro.analysis.preservation import run_preservation_experiment
+from repro.core.dpe import LogContext
+from repro.core.measures.token import TokenDistance
+from repro.core.schemes.token_scheme import TokenDpeScheme
+
+
+def test_e1_log_encryption_throughput(benchmark, bench_keychain, bench_mixed_log):
+    """Time: encrypting a 40-query log under the token scheme."""
+    scheme = TokenDpeScheme(bench_keychain)
+
+    encrypted_log = benchmark(scheme.encrypt_log, bench_mixed_log)
+
+    assert len(encrypted_log) == len(bench_mixed_log)
+
+
+def test_e1_distance_matrix_over_ciphertexts(benchmark, bench_keychain, bench_mixed_log):
+    """Time: the pairwise distance matrix over the encrypted log."""
+    scheme = TokenDpeScheme(bench_keychain)
+    measure = TokenDistance()
+    encrypted_context = scheme.encrypt_context(LogContext(log=bench_mixed_log))
+
+    matrix = benchmark(measure.distance_matrix, encrypted_context)
+
+    assert matrix.shape == (len(bench_mixed_log), len(bench_mixed_log))
+
+
+def test_e1_preservation_and_mining_equality(benchmark, bench_keychain, bench_mixed_log):
+    """Time the full E1 experiment and reproduce its table."""
+    scheme = TokenDpeScheme(bench_keychain)
+    measure = TokenDistance()
+    context = LogContext(log=bench_mixed_log)
+
+    experiment = benchmark.pedantic(
+        lambda: run_preservation_experiment(scheme, measure, context), rounds=3, iterations=1
+    )
+
+    assert experiment.reproduces_paper
+    assert experiment.preservation.max_absolute_deviation == 0.0
+    print_report(
+        "E1 — token distance: preservation and mining equality",
+        format_table(["quantity", "value"], experiment.summary_rows()),
+    )

@@ -1,0 +1,76 @@
+"""Benchmark / reproduction of experiment E3: query-result distance.
+
+Claim reproduced (Definition 4): with the database content encrypted through
+the CryptDB-style layer and constants encrypted "via CryptDB", the service
+provider can execute every query over ciphertexts and the Jaccard distances
+between the *encrypted* result-tuple sets equal the plaintext ones.
+
+Timed parts: encrypting the database, rewriting+executing the workload over
+ciphertexts, and the full experiment.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import print_report
+from repro._utils import format_table
+from repro.analysis.preservation import run_preservation_experiment
+from repro.core.dpe import LogContext
+from repro.core.measures.result import ResultDistance
+from repro.core.schemes.result_scheme import ResultDpeScheme
+from repro.crypto.keys import KeyChain, MasterKey
+
+
+def fresh_scheme(profile) -> ResultDpeScheme:
+    return ResultDpeScheme(
+        KeyChain(MasterKey.from_passphrase("bench-e3")),
+        join_groups=profile.join_groups(),
+        paillier_bits=256,
+    )
+
+
+def test_e3_database_encryption_throughput(benchmark, bench_webshop, bench_webshop_db):
+    """Time: encrypting the full webshop database (one onion set per column)."""
+    scheme = fresh_scheme(bench_webshop)
+
+    encrypted = benchmark.pedantic(
+        scheme.proxy.encrypt_database, args=(bench_webshop_db,), rounds=3, iterations=1
+    )
+
+    assert encrypted.total_rows() == bench_webshop_db.total_rows()
+
+
+def test_e3_encrypted_execution_throughput(
+    benchmark, bench_webshop, bench_webshop_db, bench_spj_log
+):
+    """Time: executing the SPJ workload over the encrypted database."""
+    scheme = fresh_scheme(bench_webshop)
+    scheme.proxy.encrypt_database(bench_webshop_db)
+
+    def run_workload():
+        return [scheme.proxy.execute(query) for query in bench_spj_log.queries]
+
+    results = benchmark.pedantic(run_workload, rounds=3, iterations=1)
+
+    assert len(results) == len(bench_spj_log)
+
+
+def test_e3_preservation_and_mining_equality(
+    benchmark, bench_webshop, bench_webshop_db, bench_spj_log
+):
+    """Time the full E3 experiment and reproduce its table."""
+    scheme = fresh_scheme(bench_webshop)
+    measure = ResultDistance()
+    context = LogContext(log=bench_spj_log, database=bench_webshop_db)
+
+    experiment = benchmark.pedantic(
+        lambda: run_preservation_experiment(scheme, measure, context), rounds=1, iterations=1
+    )
+
+    assert experiment.reproduces_paper
+    assert experiment.preservation.max_absolute_deviation == pytest.approx(0.0)
+    print_report(
+        "E3 — result distance: preservation and mining equality (encrypted execution)",
+        format_table(["quantity", "value"], experiment.summary_rows()),
+    )

@@ -1,0 +1,58 @@
+"""Benchmark / reproduction of Figure 1 (experiment F1).
+
+Rebuilds the taxonomy of property-preserving encryption classes and checks
+its structural claims (levels, subclass edges, incomparability within a
+level).  The timed part is taxonomy construction plus the appropriate-class
+queries Definition 6 issues against it.
+"""
+
+from __future__ import annotations
+
+from benchmarks.conftest import print_report
+from repro.analysis.experiments import run_f1
+from repro.core.kitdpe import ComponentRequirement, KitDpeEngine
+from repro.crypto.base import EncryptionClass
+from repro.crypto.taxonomy import EncryptionTaxonomy
+
+
+def test_figure1_taxonomy_structure(benchmark):
+    """Time taxonomy construction + structural queries; assert Figure 1 holds."""
+
+    def build_and_query():
+        taxonomy = EncryptionTaxonomy()
+        checks = [
+            taxonomy.is_subclass(EncryptionClass.HOM, EncryptionClass.PROB),
+            taxonomy.is_subclass(EncryptionClass.OPE, EncryptionClass.DET),
+            taxonomy.is_subclass(EncryptionClass.JOIN_OPE, EncryptionClass.JOIN),
+            taxonomy.more_secure(EncryptionClass.PROB, EncryptionClass.DET),
+            taxonomy.more_secure(EncryptionClass.DET, EncryptionClass.OPE),
+            not taxonomy.more_secure(EncryptionClass.PROB, EncryptionClass.HOM),
+        ]
+        return taxonomy, checks
+
+    taxonomy, checks = benchmark(build_and_query)
+    assert all(checks)
+
+    outcome = run_f1()
+    assert outcome.success
+    print_report("Figure 1 — taxonomy of property-preserving encryption classes", outcome.report)
+
+
+def test_figure1_appropriate_class_queries(benchmark):
+    """Time Definition 6 class selection for the requirement lattice."""
+    engine = KitDpeEngine()
+    requirements = [
+        ComponentRequirement(),
+        ComponentRequirement(needs_equality=True),
+        ComponentRequirement(needs_equality=True, needs_order=True),
+        ComponentRequirement(needs_addition=True),
+    ]
+
+    choices = benchmark(lambda: [engine.appropriate_class(r) for r in requirements])
+
+    assert [choice.chosen for choice in choices] == [
+        EncryptionClass.PROB,
+        EncryptionClass.DET,
+        EncryptionClass.OPE,
+        EncryptionClass.HOM,
+    ]

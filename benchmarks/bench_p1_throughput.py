@@ -1,0 +1,81 @@
+"""Benchmark P1: encryption throughput per class and per DPE scheme.
+
+The paper does not report absolute performance numbers (it is a concept
+paper); this benchmark records the practicality side of the reproduction:
+how expensive each property-preserving encryption class is, and what
+encrypting a whole query log costs under each scheme.  The expected *shape*
+is HOM ≫ OPE > PROB ≈ DET per value, and the access-area scheme between the
+token scheme and the CryptDB-backed result scheme per query.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.dpe import LogContext
+from repro.core.schemes.access_area_scheme import AccessAreaDpeScheme
+from repro.core.schemes.structure_scheme import StructureDpeScheme
+from repro.core.schemes.token_scheme import TokenDpeScheme
+from repro.crypto.det import DeterministicScheme
+from repro.crypto.hom import PaillierKeyPair, PaillierScheme
+from repro.crypto.ope import OrderPreservingScheme
+from repro.crypto.prob import ProbabilisticScheme
+
+VALUES = list(range(1, 201))
+
+
+@pytest.fixture(scope="module")
+def paillier_scheme():
+    return PaillierScheme(PaillierKeyPair.generate(512))
+
+
+class TestPerClassThroughput:
+    def test_prob_encryption(self, benchmark, bench_keychain):
+        scheme = ProbabilisticScheme(bench_keychain.key_for("p1-prob"))
+        benchmark(lambda: [scheme.encrypt(v) for v in VALUES])
+
+    def test_det_encryption(self, benchmark, bench_keychain):
+        scheme = DeterministicScheme(bench_keychain.key_for("p1-det"))
+        benchmark(lambda: [scheme.encrypt(v) for v in VALUES])
+
+    def test_ope_encryption(self, benchmark, bench_keychain):
+        scheme = OrderPreservingScheme(
+            bench_keychain.key_for("p1-ope"), domain_min=0, domain_max=2**20
+        )
+        benchmark(lambda: [scheme.encrypt(v) for v in VALUES])
+
+    def test_hom_encryption(self, benchmark, paillier_scheme):
+        benchmark(lambda: [paillier_scheme.encrypt(v) for v in VALUES[:50]])
+
+    def test_det_decryption(self, benchmark, bench_keychain):
+        scheme = DeterministicScheme(bench_keychain.key_for("p1-det"))
+        ciphertexts = [scheme.encrypt(v) for v in VALUES]
+        benchmark(lambda: [scheme.decrypt(c) for c in ciphertexts])
+
+    def test_hom_homomorphic_sum(self, benchmark, paillier_scheme):
+        ciphertexts = [paillier_scheme.encrypt(v) for v in VALUES[:100]]
+        total = benchmark(lambda: paillier_scheme.add(*ciphertexts))
+        assert paillier_scheme.decode_sum(total) == sum(VALUES[:100])
+
+
+class TestPerSchemeThroughput:
+    def test_token_scheme_log_encryption(self, benchmark, bench_keychain, bench_mixed_log):
+        scheme = TokenDpeScheme(bench_keychain)
+        benchmark(scheme.encrypt_log, bench_mixed_log)
+
+    def test_structure_scheme_log_encryption(self, benchmark, bench_keychain, bench_mixed_log):
+        scheme = StructureDpeScheme(bench_keychain)
+        benchmark(scheme.encrypt_log, bench_mixed_log)
+
+    def test_access_area_scheme_log_encryption(
+        self, benchmark, bench_keychain, bench_webshop, bench_mixed_log
+    ):
+        scheme = AccessAreaDpeScheme(bench_keychain)
+        scheme.fit(bench_mixed_log, bench_webshop.domain_catalog())
+        benchmark(scheme.encrypt_log, bench_mixed_log)
+
+    def test_token_scheme_context_encryption(self, benchmark, bench_keychain, bench_mixed_log):
+        scheme = TokenDpeScheme(bench_keychain)
+        context = LogContext(log=bench_mixed_log)
+        encrypted = benchmark(scheme.encrypt_context, context)
+        assert len(encrypted.log) == len(bench_mixed_log)

@@ -1,0 +1,95 @@
+"""Benchmark P2: distance-matrix and mining cost, plaintext vs encrypted.
+
+Reproduces the cost side of the outsourcing story: how much more expensive is
+it for the service provider to compute distance matrices and run the mining
+algorithms over ciphertexts than over plaintext?  For the token and structure
+measures the overhead comes only from longer token strings (hex ciphertexts);
+for the result measure it includes encrypted query execution.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from benchmarks.conftest import print_report
+from repro._utils import format_table
+from repro.core.dpe import LogContext
+from repro.core.measures.structure import StructureDistance
+from repro.core.measures.token import TokenDistance
+from repro.core.schemes.token_scheme import TokenDpeScheme
+from repro.mining import complete_link, cut_dendrogram, dbscan, k_medoids
+
+
+class TestDistanceMatrixCost:
+    def test_plaintext_token_matrix(self, benchmark, bench_mixed_log):
+        context = LogContext(log=bench_mixed_log)
+        benchmark(TokenDistance().distance_matrix, context)
+
+    def test_encrypted_token_matrix(self, benchmark, bench_keychain, bench_mixed_log):
+        scheme = TokenDpeScheme(bench_keychain)
+        encrypted = scheme.encrypt_context(LogContext(log=bench_mixed_log))
+        benchmark(TokenDistance().distance_matrix, encrypted)
+
+    def test_plaintext_structure_matrix(self, benchmark, bench_analytical_log):
+        context = LogContext(log=bench_analytical_log)
+        benchmark(StructureDistance().distance_matrix, context)
+
+    def test_scaling_with_log_size(self, benchmark, bench_keychain, bench_webshop):
+        """Record the plaintext-vs-encrypted overhead across log sizes."""
+        import time
+
+        from repro.workloads.generator import QueryLogGenerator, WorkloadMix
+
+        measure = TokenDistance()
+        scheme = TokenDpeScheme(bench_keychain)
+        rows = []
+        for size in (10, 20, 40):
+            log = QueryLogGenerator(bench_webshop, WorkloadMix(), seed=size).generate(size)
+            plain = LogContext(log=log)
+            encrypted = scheme.encrypt_context(plain)
+            start = time.perf_counter()
+            measure.distance_matrix(plain)
+            plain_seconds = time.perf_counter() - start
+            start = time.perf_counter()
+            measure.distance_matrix(encrypted)
+            encrypted_seconds = time.perf_counter() - start
+            rows.append(
+                (
+                    size,
+                    f"{plain_seconds * 1000:.1f} ms",
+                    f"{encrypted_seconds * 1000:.1f} ms",
+                    f"{encrypted_seconds / plain_seconds:.2f}x" if plain_seconds else "n/a",
+                )
+            )
+        print_report(
+            "P2 — distance-matrix cost: plaintext vs encrypted (token measure)",
+            format_table(["log size", "plaintext", "encrypted", "overhead"], rows),
+        )
+
+        # The timed portion for pytest-benchmark: the largest encrypted matrix.
+        log = QueryLogGenerator(bench_webshop, WorkloadMix(), seed=40).generate(40)
+        encrypted = scheme.encrypt_context(LogContext(log=log))
+        benchmark(measure.distance_matrix, encrypted)
+
+
+class TestMiningCost:
+    def _matrix(self, bench_keychain, log) -> np.ndarray:
+        scheme = TokenDpeScheme(bench_keychain)
+        encrypted = scheme.encrypt_context(LogContext(log=log))
+        return TokenDistance().distance_matrix(encrypted)
+
+    def test_dbscan_on_encrypted_distances(self, benchmark, bench_keychain, bench_mixed_log):
+        matrix = self._matrix(bench_keychain, bench_mixed_log)
+        eps = float(np.median(matrix[matrix > 0]))
+        result = benchmark(lambda: dbscan(matrix, eps=eps, min_points=3))
+        assert len(result.labels) == len(bench_mixed_log)
+
+    def test_kmedoids_on_encrypted_distances(self, benchmark, bench_keychain, bench_mixed_log):
+        matrix = self._matrix(bench_keychain, bench_mixed_log)
+        result = benchmark(lambda: k_medoids(matrix, k=4))
+        assert len(set(result.labels)) == 4
+
+    def test_complete_link_on_encrypted_distances(self, benchmark, bench_keychain, bench_mixed_log):
+        matrix = self._matrix(bench_keychain, bench_mixed_log)
+        labels = benchmark(lambda: cut_dendrogram(complete_link(matrix), n_clusters=4))
+        assert len(labels) == len(bench_mixed_log)

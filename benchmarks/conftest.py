@@ -1,0 +1,65 @@
+"""Shared fixtures and helpers for the benchmark harness.
+
+Every benchmark module regenerates one artefact of the paper (a table, a
+figure, or a claim from the text) and prints the reproduced rows/series, so
+that ``pytest benchmarks/ --benchmark-only -s`` produces a report that can be
+read next to the paper.  The timing part uses pytest-benchmark; correctness
+assertions mirror the ones in the test suite so a regression cannot hide in
+the benchmarks.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.crypto.keys import KeyChain, MasterKey
+from repro.workloads.generator import QueryLogGenerator, WorkloadMix
+from repro.workloads.schemas import populate_database, skyserver_profile, webshop_profile
+
+
+def print_report(title: str, body: str) -> None:
+    """Print a framed experiment report (visible with ``pytest -s``)."""
+    line = "=" * max(len(title), 20)
+    print(f"\n{line}\n{title}\n{line}\n{body}\n")
+
+
+@pytest.fixture(scope="session")
+def bench_keychain() -> KeyChain:
+    """Deterministic keychain shared by all benchmarks."""
+    return KeyChain(MasterKey.from_passphrase("benchmarks"))
+
+
+@pytest.fixture(scope="session")
+def bench_webshop():
+    """Webshop profile sized for benchmarking."""
+    return webshop_profile(customer_rows=60, order_rows=150, product_rows=30)
+
+
+@pytest.fixture(scope="session")
+def bench_webshop_db(bench_webshop):
+    """Populated webshop database (session-scoped: population is not timed)."""
+    return populate_database(bench_webshop, seed=42)
+
+
+@pytest.fixture(scope="session")
+def bench_skyserver():
+    """SkyServer-like profile sized for benchmarking."""
+    return skyserver_profile(photo_rows=150, spec_rows=60)
+
+
+@pytest.fixture(scope="session")
+def bench_mixed_log(bench_webshop):
+    """A mixed workload over the webshop profile."""
+    return QueryLogGenerator(bench_webshop, WorkloadMix(), seed=42).generate(40)
+
+
+@pytest.fixture(scope="session")
+def bench_spj_log(bench_webshop):
+    """A select-project-join workload (for the result-distance benchmarks)."""
+    return QueryLogGenerator(bench_webshop, WorkloadMix.spj_only(), seed=42).generate(20)
+
+
+@pytest.fixture(scope="session")
+def bench_analytical_log(bench_skyserver):
+    """An aggregate-heavy workload over the SkyServer profile."""
+    return QueryLogGenerator(bench_skyserver, WorkloadMix.analytical(), seed=42).generate(40)

@@ -1,0 +1,103 @@
+"""Access-area distance on a SkyServer-like workload + the security pay-off.
+
+Row 4 of Table I: the query-access-area distance needs the attribute domains
+to be shared.  Constants are encrypted per attribute usage (OPE for range
+attributes, DET for equality-only attributes), and attributes that occur only
+inside aggregate arguments stay probabilistically encrypted — the
+"via CryptDB, except HOM" cell, where the KIT-DPE scheme is strictly more
+secure than running CryptDB as-is.
+
+The example also runs the query-only attack of Sanamrad & Kossmann against
+the encrypted logs of different schemes to make the security ordering of
+Figure 1 tangible.
+
+Run with::
+
+    python examples/access_area_security.py
+"""
+
+from __future__ import annotations
+
+from repro import (
+    AccessAreaDistance,
+    AccessAreaDpeScheme,
+    KeyChain,
+    LogContext,
+    MasterKey,
+    StructureDpeScheme,
+    TokenDpeScheme,
+    verify_distance_preservation,
+)
+from repro._utils import format_table
+from repro.attacks import query_only_attack
+from repro.attacks.query_only import extract_constants
+from repro.core.schemes.access_area_scheme import AttributeUsage
+from repro.mining import complete_link, cut_dendrogram
+from repro.workloads import QueryLogGenerator, WorkloadMix, skyserver_profile
+
+# --------------------------------------------------------------------------- #
+# 1. An aggregate-heavy astronomy workload (the measure's original habitat).
+
+profile = skyserver_profile(photo_rows=200, spec_rows=80)
+log = QueryLogGenerator(profile, WorkloadMix.analytical(), seed=99).generate(50)
+domains = profile.domain_catalog()
+plain_context = LogContext(log=log, domains=domains)
+print(f"workload: {len(log)} queries over photoobj/specobj")
+print()
+
+# --------------------------------------------------------------------------- #
+# 2. Fit + encrypt with the access-area scheme; inspect the per-attribute
+#    decision the scheme made.
+
+keychain = KeyChain(MasterKey.generate())
+scheme = AccessAreaDpeScheme(keychain)
+usage = scheme.fit(log, domains)
+encrypted_context = scheme.encrypt_context(plain_context)
+
+usage_rows = [
+    (attribute, used.value, {
+        AttributeUsage.RANGE: "OPE",
+        AttributeUsage.EQUALITY: "DET",
+        AttributeUsage.AGGREGATE_ONLY: "PROB",
+        AttributeUsage.OTHER: "PROB (nothing shared)",
+    }[used])
+    for attribute, used in sorted(usage.items())
+]
+print(format_table(["attribute", "usage in the log", "constant/domain encryption"], usage_rows))
+print()
+
+# --------------------------------------------------------------------------- #
+# 3. Preservation + mining equality on the encrypted side.
+
+measure = AccessAreaDistance()
+report = verify_distance_preservation(measure, plain_context, encrypted_context)
+print(report.summary())
+
+plain_cut = cut_dendrogram(complete_link(measure.distance_matrix(plain_context)), n_clusters=4)
+encrypted_cut = cut_dendrogram(
+    complete_link(measure.distance_matrix(encrypted_context)), n_clusters=4
+)
+print("complete-link clusterings identical:", plain_cut == encrypted_cut)
+print()
+
+# --------------------------------------------------------------------------- #
+# 4. The security pay-off: a query-only attacker with perfect knowledge of
+#    the constant distribution against three schemes' encrypted logs.
+
+auxiliary = extract_constants(log)
+attack_rows = []
+for name, attack_scheme in (
+    ("token scheme (all constants DET)", TokenDpeScheme(keychain)),
+    ("structure scheme (all constants PROB)", StructureDpeScheme(keychain)),
+    ("access-area scheme (per-usage)", scheme),
+):
+    encrypted_log = attack_scheme.encrypt_log(log)
+    outcome = query_only_attack(encrypted_log, auxiliary, plaintext_log=log)
+    attack_rows.append(
+        (name, f"{outcome.recovery_rate:.1%}",
+         f"{outcome.distinct_ciphertexts}/{outcome.constants_seen}")
+    )
+print(format_table(["scheme", "constants recovered", "distinct ciphertexts"], attack_rows))
+print()
+print("DET constants fall to frequency analysis; PROB constants do not.  The")
+print("access-area scheme only pays the DET/OPE price where the measure needs it.")

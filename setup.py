@@ -1,0 +1,11 @@
+"""Setuptools shim.
+
+The environment ships an older setuptools without wheel support, so the
+PEP 660 editable-install path is unavailable; this ``setup.py`` enables the
+legacy ``pip install -e . --no-use-pep517 --no-build-isolation`` route.  All
+project metadata lives in ``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

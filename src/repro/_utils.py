@@ -1,0 +1,109 @@
+"""Small shared helpers used across subsystems.
+
+The helpers here are intentionally dependency-free (standard library only) so
+that any subpackage can import them without creating import cycles.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import math
+import random
+from collections.abc import Iterable, Iterator, Sequence
+from typing import TypeVar
+
+T = TypeVar("T")
+
+
+def stable_hash(data: bytes | str, *, digest_size: int = 16) -> bytes:
+    """Return a stable (run-independent) hash of ``data``.
+
+    Python's built-in :func:`hash` is randomized per process for strings, so
+    anything that must be reproducible across runs (test fixtures, synthetic
+    data generation, deterministic key derivation for non-secret purposes)
+    goes through BLAKE2b instead.
+    """
+    if isinstance(data, str):
+        data = data.encode("utf-8")
+    return hashlib.blake2b(data, digest_size=digest_size).digest()
+
+
+def stable_hash_int(data: bytes | str, *, bits: int = 64) -> int:
+    """Return :func:`stable_hash` interpreted as an unsigned integer."""
+    nbytes = (bits + 7) // 8
+    return int.from_bytes(stable_hash(data, digest_size=nbytes), "big")
+
+
+def int_to_bytes(value: int) -> bytes:
+    """Encode a non-negative integer as a minimal-length big-endian byte string."""
+    if value < 0:
+        raise ValueError("int_to_bytes only supports non-negative integers")
+    length = max(1, (value.bit_length() + 7) // 8)
+    return value.to_bytes(length, "big")
+
+
+def bytes_to_int(data: bytes) -> int:
+    """Decode a big-endian byte string into a non-negative integer."""
+    return int.from_bytes(data, "big")
+
+
+def chunks(items: Sequence[T], size: int) -> Iterator[Sequence[T]]:
+    """Yield successive chunks of ``items`` with at most ``size`` elements."""
+    if size <= 0:
+        raise ValueError("chunk size must be positive")
+    for start in range(0, len(items), size):
+        yield items[start : start + size]
+
+
+def pairwise_indices(n: int) -> Iterator[tuple[int, int]]:
+    """Yield all index pairs ``(i, j)`` with ``i < j < n``."""
+    for i in range(n):
+        for j in range(i + 1, n):
+            yield i, j
+
+
+def jaccard_distance(a: Iterable[T], b: Iterable[T]) -> float:
+    """Return the Jaccard distance ``1 - |A ∩ B| / |A ∪ B|`` between two sets.
+
+    Two empty sets are defined to have distance 0 (they are identical).
+    """
+    set_a, set_b = set(a), set(b)
+    union = set_a | set_b
+    if not union:
+        return 0.0
+    return 1.0 - len(set_a & set_b) / len(union)
+
+
+def is_close(a: float, b: float, *, tol: float = 1e-12) -> bool:
+    """Symmetric absolute/relative closeness check used in preservation tests."""
+    return math.isclose(a, b, rel_tol=tol, abs_tol=tol)
+
+
+def deterministic_rng(seed: int | str | bytes) -> random.Random:
+    """Create a :class:`random.Random` seeded deterministically from ``seed``.
+
+    String and byte seeds are routed through :func:`stable_hash_int` so that
+    the same label always yields the same stream, independent of
+    ``PYTHONHASHSEED``.
+    """
+    if isinstance(seed, (str, bytes)):
+        seed = stable_hash_int(seed)
+    return random.Random(seed)
+
+
+def format_table(headers: Sequence[str], rows: Sequence[Sequence[object]]) -> str:
+    """Render a plain-text table with aligned columns.
+
+    Used by the experiment harness and the benchmark scripts to print
+    paper-style tables to stdout.
+    """
+    str_rows = [[str(cell) for cell in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        for idx, cell in enumerate(row):
+            widths[idx] = max(widths[idx], len(cell))
+    sep = "-+-".join("-" * w for w in widths)
+    lines = [" | ".join(h.ljust(w) for h, w in zip(headers, widths)), sep]
+    for row in str_rows:
+        lines.append(" | ".join(cell.ljust(w) for cell, w in zip(row, widths)))
+    return "\n".join(lines)

@@ -1,0 +1,37 @@
+"""Experiment harness: everything needed to regenerate the paper's artefacts.
+
+* :mod:`~repro.analysis.table1` — derive Table I with the KIT-DPE engine and
+  compare it against the published table; render Figure 1.
+* :mod:`~repro.analysis.preservation` — end-to-end distance-preservation and
+  mining-equality experiments (E1–E4).
+* :mod:`~repro.analysis.security` — the security comparison between KIT-DPE
+  schemes and CryptDB-as-is, backed by attack simulations (S1).
+* :mod:`~repro.analysis.ablation` — what breaks when a non-appropriate
+  encryption class is chosen (A1).
+* :mod:`~repro.analysis.experiments` — the experiment registry mapping
+  experiment ids (T1, F1, E1–E4, S1, P1, P2, A1) to runnable functions; the
+  benchmark harness and EXPERIMENTS.md are generated from it.
+"""
+
+from repro.analysis.ablation import AblationResult, run_ablation
+from repro.analysis.experiments import ExperimentOutcome, list_experiments, run_experiment
+from repro.analysis.preservation import MiningComparison, PreservationExperiment, run_preservation_experiment
+from repro.analysis.security import SecurityComparison, run_security_comparison
+from repro.analysis.table1 import derive_table1, expected_table1, render_figure1, table1_matches_paper
+
+__all__ = [
+    "AblationResult",
+    "ExperimentOutcome",
+    "MiningComparison",
+    "PreservationExperiment",
+    "SecurityComparison",
+    "derive_table1",
+    "expected_table1",
+    "list_experiments",
+    "render_figure1",
+    "run_ablation",
+    "run_experiment",
+    "run_preservation_experiment",
+    "run_security_comparison",
+    "table1_matches_paper",
+]

@@ -1,0 +1,185 @@
+"""Experiment A1: what happens with *non-appropriate* encryption classes.
+
+Definition 6 picks, per component, a class that (1) ensures the equivalence
+notion and (2) has the highest possible security.  The ablation shows that
+both conditions matter by evaluating deliberately wrong choices:
+
+* **PROB constants under the token measure** — condition (1) violated: the
+  token sets of encrypted queries no longer match, distances change and the
+  mining results diverge.
+* **Per-attribute DET constant keys under the token measure** — the paper's
+  literal high-level scheme; per-query c-equivalence still holds, but the
+  same constant compared against different attributes encrypts differently,
+  so *pairwise* distances across queries can change.  (This is the refinement
+  discussed in :mod:`repro.core.schemes.token_scheme`.)
+* **DET constants under the structure measure** — condition (1) still holds
+  (features ignore constants), but condition (2) is violated: security drops
+  from PROB to DET, measurable as a jump in the frequency-attack recovery
+  rate with *no* gain in distance preservation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.attacks.query_only import extract_constants, query_only_attack
+from repro.core.dpe import LogContext, verify_distance_preservation
+from repro.core.measures.structure import StructureDistance
+from repro.core.measures.token import TokenDistance
+from repro.core.schemes.base import HighLevelSchemeTransformer, QueryLogDpeScheme
+from repro.core.schemes.structure_scheme import StructureDpeScheme
+from repro.core.schemes.token_scheme import TokenDpeScheme
+from repro.crypto.det import DeterministicScheme
+from repro.crypto.keys import KeyChain, MasterKey
+from repro.crypto.prob import ProbabilisticScheme
+from repro.exceptions import DpeError
+from repro.sql.ast import Expression, Literal, Query
+from repro.sql.log import QueryLog
+from repro.sql.visitor import TransformContext
+from repro.workloads.generator import QueryLogGenerator, WorkloadMix
+from repro.workloads.schemas import webshop_profile
+
+
+class ProbTokenScheme(QueryLogDpeScheme):
+    """Deliberately wrong: PROB constants for the token measure (A1a)."""
+
+    def __init__(self, keychain: KeyChain) -> None:
+        super().__init__(keychain)
+        self.measure = TokenDistance()
+        self._constant_scheme = ProbabilisticScheme(keychain.key_for("ablation", "prob-token"))
+
+    def _encrypt_literal(self, literal: Literal, context: TransformContext) -> Expression:
+        _ = context
+        return Literal(self._constant_scheme.encrypt(literal.value))
+
+    def encrypt_query(self, query: Query) -> Query:
+        transformer = HighLevelSchemeTransformer(
+            query, self.relation_scheme, self.attribute_scheme, self._encrypt_literal
+        )
+        return transformer.transform_query(query)
+
+    def encrypt_characteristic(self, query, characteristic, context):
+        raise DpeError("PROB constants cannot commute with the token characteristic")
+
+
+class DetStructureScheme(QueryLogDpeScheme):
+    """Sub-optimal: DET constants for the structure measure (A1c).
+
+    Preservation still holds (features ignore constants), but the scheme is
+    needlessly less secure than the appropriate PROB choice.
+    """
+
+    def __init__(self, keychain: KeyChain) -> None:
+        super().__init__(keychain)
+        self.measure = StructureDistance()
+        self._constant_scheme = DeterministicScheme(keychain.key_for("ablation", "det-structure"))
+
+    def _encrypt_literal(self, literal: Literal, context: TransformContext) -> Expression:
+        _ = context
+        return Literal(self._constant_scheme.encrypt(literal.value))
+
+    def encrypt_query(self, query: Query) -> Query:
+        transformer = HighLevelSchemeTransformer(
+            query, self.relation_scheme, self.attribute_scheme, self._encrypt_literal
+        )
+        return transformer.transform_query(query)
+
+    def encrypt_characteristic(self, query, characteristic, context):
+        # Same treatment as the proper structure scheme: identifiers only.
+        helper = StructureDpeScheme(self.keychain)
+        return helper.encrypt_characteristic(query, characteristic, context)
+
+
+@dataclass(frozen=True)
+class AblationCase:
+    """One ablation configuration and its measured outcome."""
+
+    name: str
+    measure: str
+    preservation_max_deviation: float
+    preserved: bool
+    attack_recovery_rate: float
+    #: Distinct ciphertexts / constant occurrences in the encrypted log.
+    #: 1.0 means no repetition is visible (PROB); lower values expose the
+    #: plaintext frequency histogram (DET).
+    distinct_ciphertext_ratio: float
+    note: str
+
+
+@dataclass(frozen=True)
+class AblationResult:
+    """All ablation cases plus the appropriate-scheme baselines."""
+
+    cases: tuple[AblationCase, ...]
+
+    def case(self, name: str) -> AblationCase:
+        """Look up a case by name."""
+        for case in self.cases:
+            if case.name == name:
+                return case
+        raise DpeError(f"no ablation case named {name!r}")
+
+
+def run_ablation(*, log_size: int = 60, seed: int = 11) -> AblationResult:
+    """Run all ablation cases on a shared synthetic workload."""
+    profile = webshop_profile(customer_rows=40, order_rows=80, product_rows=20)
+    log = QueryLogGenerator(profile, WorkloadMix(), seed=seed).generate(log_size)
+    context = LogContext(log=log)
+    # Worst-case query-only attacker: knows the exact plaintext constant
+    # distribution (e.g. last year's unencrypted log of the same system).
+    auxiliary_constants = extract_constants(log)
+
+    cases: list[AblationCase] = []
+
+    def evaluate(name: str, scheme: QueryLogDpeScheme, measure, note: str) -> None:
+        encrypted_context = LogContext(log=scheme.encrypt_log(log), labels={"encrypted": True})
+        report = verify_distance_preservation(measure, context, encrypted_context)
+        attack = query_only_attack(encrypted_context.log, auxiliary_constants, plaintext_log=log)
+        distinct_ratio = (
+            attack.distinct_ciphertexts / attack.constants_seen if attack.constants_seen else 1.0
+        )
+        cases.append(
+            AblationCase(
+                name=name,
+                measure=measure.name,
+                preservation_max_deviation=report.max_absolute_deviation,
+                preserved=report.preserved,
+                attack_recovery_rate=attack.recovery_rate,
+                distinct_ciphertext_ratio=distinct_ratio,
+                note=note,
+            )
+        )
+
+    keychain = lambda label: KeyChain(MasterKey.from_passphrase(f"ablation/{seed}/{label}"))  # noqa: E731
+
+    evaluate(
+        "token/DET (appropriate)",
+        TokenDpeScheme(keychain("token-det")),
+        TokenDistance(),
+        "baseline from Table I",
+    )
+    evaluate(
+        "token/DET per-attribute keys",
+        TokenDpeScheme(keychain("token-det-per-attr"), per_attribute_constants=True),
+        TokenDistance(),
+        "paper's literal per-attribute formulation; cross-query consistency lost",
+    )
+    evaluate(
+        "token/PROB (not appropriate)",
+        ProbTokenScheme(keychain("token-prob")),
+        TokenDistance(),
+        "violates token equivalence: condition (1) of Definition 6",
+    )
+    evaluate(
+        "structure/PROB (appropriate)",
+        StructureDpeScheme(keychain("structure-prob")),
+        StructureDistance(),
+        "baseline from Table I",
+    )
+    evaluate(
+        "structure/DET (needlessly weak)",
+        DetStructureScheme(keychain("structure-det")),
+        StructureDistance(),
+        "still preserves distances but violates condition (2): lower security",
+    )
+    return AblationResult(cases=tuple(cases))

@@ -1,0 +1,429 @@
+"""The experiment registry.
+
+Every artefact of the paper (Table I, Figure 1, the correctness and security
+claims) plus the performance studies a systems reader expects is registered
+here under a stable experiment id.  ``run_experiment(id)`` executes one
+experiment and returns an :class:`ExperimentOutcome` with a rendered text
+report and structured data; the benchmark scripts in ``benchmarks/`` and the
+EXPERIMENTS.md document are generated from these outcomes.
+
+========  ===========================================================
+id        artefact
+========  ===========================================================
+T1        Table I — derived scheme table vs. the published one
+F1        Figure 1 — encryption-class taxonomy
+E1–E4     Definition 1 + mining equality, one per distance measure
+S1        security comparison KIT-DPE vs CryptDB-as-is (+ attacks)
+P1        encryption throughput per class and per scheme
+P2        distance-matrix / mining cost, plaintext vs encrypted
+A1        ablation: non-appropriate class choices
+========  ===========================================================
+"""
+
+from __future__ import annotations
+
+import time
+from collections.abc import Callable
+from dataclasses import dataclass, field
+
+from repro._utils import format_table
+from repro.analysis.ablation import run_ablation
+from repro.analysis.preservation import run_preservation_experiment
+from repro.analysis.security import run_security_comparison
+from repro.analysis.table1 import format_table1, render_figure1, table1_matches_paper
+from repro.core.dpe import LogContext
+from repro.core.measures import (
+    AccessAreaDistance,
+    ResultDistance,
+    StructureDistance,
+    TokenDistance,
+)
+from repro.core.schemes import (
+    AccessAreaDpeScheme,
+    ResultDpeScheme,
+    StructureDpeScheme,
+    TokenDpeScheme,
+)
+from repro.crypto.base import EncryptionClass
+from repro.crypto.keys import KeyChain, MasterKey
+from repro.crypto.registry import default_registry
+from repro.crypto.taxonomy import default_taxonomy
+from repro.exceptions import AnalysisError
+from repro.workloads.generator import QueryLogGenerator, WorkloadMix
+from repro.workloads.schemas import (
+    WorkloadProfile,
+    populate_database,
+    skyserver_profile,
+    webshop_profile,
+)
+
+
+@dataclass(frozen=True)
+class ExperimentOutcome:
+    """The result of running one registered experiment."""
+
+    experiment_id: str
+    title: str
+    success: bool
+    report: str
+    data: dict[str, object] = field(default_factory=dict)
+
+
+# --------------------------------------------------------------------------- #
+# shared context builders
+
+
+def _keychain(label: str) -> KeyChain:
+    return KeyChain(MasterKey.from_passphrase(f"experiments/{label}"))
+
+
+def build_log_context(
+    *,
+    profile: WorkloadProfile | None = None,
+    log_size: int = 40,
+    seed: int = 3,
+    mix: WorkloadMix | None = None,
+    with_database: bool = False,
+    with_domains: bool = False,
+) -> LogContext:
+    """Build a plaintext :class:`LogContext` from a synthetic workload."""
+    profile = profile or webshop_profile(customer_rows=60, order_rows=120, product_rows=30)
+    mix = mix or WorkloadMix()
+    log = QueryLogGenerator(profile, mix, seed=seed).generate(log_size)
+    database = populate_database(profile, seed=seed) if with_database else None
+    domains = profile.domain_catalog() if with_domains else None
+    return LogContext(log=log, database=database, domains=domains)
+
+
+# --------------------------------------------------------------------------- #
+# individual experiments
+
+
+def run_t1() -> ExperimentOutcome:
+    """T1: derive Table I and compare with the paper."""
+    rows = table1_matches_paper()
+    success = all(row.matches for row in rows)
+    report_lines = [format_table1(), ""]
+    for row in rows:
+        status = "matches paper" if row.matches else f"MISMATCH (expected {row.expected})"
+        report_lines.append(f"{row.derived[0]}: {status}")
+    return ExperimentOutcome(
+        experiment_id="T1",
+        title="Table I: derived DPE schemes per distance measure",
+        success=success,
+        report="\n".join(report_lines),
+        data={"rows": [row.derived for row in rows]},
+    )
+
+
+def run_f1() -> ExperimentOutcome:
+    """F1: reproduce the Figure 1 taxonomy and its structural claims."""
+    taxonomy = default_taxonomy()
+    checks = {
+        "HOM is a subclass of PROB": taxonomy.is_subclass(EncryptionClass.HOM, EncryptionClass.PROB),
+        "OPE is a subclass of DET": taxonomy.is_subclass(EncryptionClass.OPE, EncryptionClass.DET),
+        "JOIN-OPE is a subclass of JOIN": taxonomy.is_subclass(
+            EncryptionClass.JOIN_OPE, EncryptionClass.JOIN
+        ),
+        "PROB is more secure than DET": taxonomy.more_secure(
+            EncryptionClass.PROB, EncryptionClass.DET
+        ),
+        "DET is more secure than OPE": taxonomy.more_secure(
+            EncryptionClass.DET, EncryptionClass.OPE
+        ),
+        "PROB and HOM share a level": taxonomy.security_level(EncryptionClass.PROB)
+        == taxonomy.security_level(EncryptionClass.HOM),
+    }
+    success = all(checks.values())
+    lines = [render_figure1(), ""]
+    lines.extend(f"{'ok ' if ok else 'FAIL'} {name}" for name, ok in checks.items())
+    return ExperimentOutcome(
+        experiment_id="F1",
+        title="Figure 1: taxonomy of property-preserving encryption classes",
+        success=success,
+        report="\n".join(lines),
+        data={"checks": checks},
+    )
+
+
+def _preservation_outcome(
+    experiment_id: str, title: str, scheme, measure, context: LogContext
+) -> ExperimentOutcome:
+    experiment = run_preservation_experiment(scheme, measure, context)
+    report = format_table(["quantity", "value"], experiment.summary_rows())
+    return ExperimentOutcome(
+        experiment_id=experiment_id,
+        title=title,
+        success=experiment.reproduces_paper,
+        report=report,
+        data={
+            "max_deviation": experiment.preservation.max_absolute_deviation,
+            "equivalence_holds": experiment.equivalence.holds,
+            "mining_identical": experiment.mining.all_identical,
+            "log_size": experiment.log_size,
+        },
+    )
+
+
+def run_e1(*, log_size: int = 40, seed: int = 3) -> ExperimentOutcome:
+    """E1: token-based query-string distance."""
+    context = build_log_context(log_size=log_size, seed=seed)
+    scheme = TokenDpeScheme(_keychain("e1"))
+    return _preservation_outcome(
+        "E1", "Distance preservation & mining equality: token distance",
+        scheme, TokenDistance(), context,
+    )
+
+
+def run_e2(*, log_size: int = 40, seed: int = 4) -> ExperimentOutcome:
+    """E2: query-structure distance."""
+    context = build_log_context(log_size=log_size, seed=seed)
+    scheme = StructureDpeScheme(_keychain("e2"))
+    return _preservation_outcome(
+        "E2", "Distance preservation & mining equality: structure distance",
+        scheme, StructureDistance(), context,
+    )
+
+
+def run_e3(*, log_size: int = 25, seed: int = 5) -> ExperimentOutcome:
+    """E3: query-result distance (requires encrypted execution)."""
+    profile = webshop_profile(customer_rows=40, order_rows=80, product_rows=20)
+    context = build_log_context(
+        profile=profile,
+        log_size=log_size,
+        seed=seed,
+        mix=WorkloadMix.spj_only(),
+        with_database=True,
+    )
+    scheme = ResultDpeScheme(
+        _keychain("e3"), join_groups=profile.join_groups(), paillier_bits=256
+    )
+    return _preservation_outcome(
+        "E3", "Distance preservation & mining equality: result distance",
+        scheme, ResultDistance(), context,
+    )
+
+
+def run_e4(*, log_size: int = 40, seed: int = 6) -> ExperimentOutcome:
+    """E4: query-access-area distance (requires shared domains)."""
+    profile = skyserver_profile(photo_rows=100, spec_rows=40)
+    context = build_log_context(
+        profile=profile,
+        log_size=log_size,
+        seed=seed,
+        mix=WorkloadMix.analytical(),
+        with_domains=True,
+    )
+    scheme = AccessAreaDpeScheme(_keychain("e4"))
+    return _preservation_outcome(
+        "E4", "Distance preservation & mining equality: access-area distance",
+        scheme, AccessAreaDistance(), context,
+    )
+
+
+def run_s1(*, log_size: int = 100, seed: int = 7) -> ExperimentOutcome:
+    """S1: security comparison KIT-DPE vs CryptDB-as-is."""
+    comparison = run_security_comparison(log_size=log_size, seed=seed)
+    lines = [
+        comparison.exposure_table(),
+        "",
+        comparison.attack_table(),
+        "",
+        f"sorting attack on OPE values: {comparison.ope_sorting_recovery:.2%} exact recovery",
+        f"attributes where KIT-DPE is strictly more secure: "
+        f"{comparison.attributes_strictly_better} / {len(comparison.exposures)}",
+        f"attributes where KIT-DPE is less secure: {comparison.attributes_worse}",
+    ]
+    success = comparison.attributes_worse == 0 and comparison.attributes_strictly_better >= 1
+    return ExperimentOutcome(
+        experiment_id="S1",
+        title="Security comparison: KIT-DPE schemes vs CryptDB-as-is",
+        success=success,
+        report="\n".join(lines),
+        data={
+            "strictly_better": comparison.attributes_strictly_better,
+            "worse": comparison.attributes_worse,
+            "attack_rates": {a.scheme: a.constant_recovery_rate for a in comparison.attacks},
+            "ope_sorting_recovery": comparison.ope_sorting_recovery,
+        },
+    )
+
+
+def run_p1(*, values_per_class: int = 200, log_size: int = 30, seed: int = 8) -> ExperimentOutcome:
+    """P1: encryption throughput per class and per DPE scheme."""
+    registry = default_registry(paillier_bits=256)
+    keychain = _keychain("p1")
+    rows = []
+    timings: dict[str, float] = {}
+    for encryption_class in (
+        EncryptionClass.PROB,
+        EncryptionClass.DET,
+        EncryptionClass.OPE,
+        EncryptionClass.HOM,
+    ):
+        scheme = registry.create_for(encryption_class, keychain, "p1", encryption_class.value)
+        values = list(range(1, values_per_class + 1))
+        start = time.perf_counter()
+        for value in values:
+            scheme.encrypt(value)
+        elapsed = time.perf_counter() - start
+        rate = values_per_class / elapsed if elapsed > 0 else float("inf")
+        timings[encryption_class.value] = rate
+        rows.append((encryption_class.value, f"{rate:,.0f} values/s"))
+
+    profile = webshop_profile(customer_rows=40, order_rows=80, product_rows=20)
+    log = QueryLogGenerator(profile, WorkloadMix(), seed=seed).generate(log_size)
+    scheme_rows = []
+    for name, scheme in (
+        ("token", TokenDpeScheme(_keychain("p1-token"))),
+        ("structure", StructureDpeScheme(_keychain("p1-structure"))),
+        ("access-area", AccessAreaDpeScheme(_keychain("p1-aa"))),
+    ):
+        if isinstance(scheme, AccessAreaDpeScheme):
+            scheme.fit(log, profile.domain_catalog())
+        start = time.perf_counter()
+        scheme.encrypt_log(log)
+        elapsed = time.perf_counter() - start
+        qps = log_size / elapsed if elapsed > 0 else float("inf")
+        timings[f"scheme:{name}"] = qps
+        scheme_rows.append((name, f"{qps:,.1f} queries/s"))
+
+    report = (
+        format_table(["encryption class", "throughput"], rows)
+        + "\n\n"
+        + format_table(["DPE scheme", "log-encryption throughput"], scheme_rows)
+    )
+    return ExperimentOutcome(
+        experiment_id="P1",
+        title="Encryption throughput per class and per DPE scheme",
+        success=all(rate > 0 for rate in timings.values()),
+        report=report,
+        data={"throughput": timings},
+    )
+
+
+def run_p2(*, sizes: tuple[int, ...] = (10, 20, 40), seed: int = 9) -> ExperimentOutcome:
+    """P2: distance-matrix computation cost, plaintext vs encrypted."""
+    profile = webshop_profile(customer_rows=40, order_rows=80, product_rows=20)
+    measure = TokenDistance()
+    scheme = TokenDpeScheme(_keychain("p2"))
+    rows = []
+    series: dict[int, dict[str, float]] = {}
+    for size in sizes:
+        log = QueryLogGenerator(profile, WorkloadMix(), seed=seed).generate(size)
+        plain = LogContext(log=log)
+        encrypted = scheme.encrypt_context(plain)
+        start = time.perf_counter()
+        measure.distance_matrix(plain)
+        plain_time = time.perf_counter() - start
+        start = time.perf_counter()
+        measure.distance_matrix(encrypted)
+        encrypted_time = time.perf_counter() - start
+        overhead = encrypted_time / plain_time if plain_time > 0 else float("inf")
+        series[size] = {
+            "plain_seconds": plain_time,
+            "encrypted_seconds": encrypted_time,
+            "overhead": overhead,
+        }
+        rows.append(
+            (size, f"{plain_time * 1000:.1f} ms", f"{encrypted_time * 1000:.1f} ms", f"{overhead:.2f}x")
+        )
+    report = format_table(
+        ["log size", "plaintext matrix", "encrypted matrix", "overhead"], rows
+    )
+    return ExperimentOutcome(
+        experiment_id="P2",
+        title="Distance-matrix cost: plaintext vs encrypted (token measure)",
+        success=True,
+        report=report,
+        data={"series": series},
+    )
+
+
+def run_a1(*, log_size: int = 50, seed: int = 11) -> ExperimentOutcome:
+    """A1: ablation of non-appropriate encryption-class choices."""
+    result = run_ablation(log_size=log_size, seed=seed)
+    rows = [
+        (
+            case.name,
+            case.measure,
+            f"{case.preservation_max_deviation:.3g}",
+            "yes" if case.preserved else "NO",
+            f"{case.attack_recovery_rate:.2%}",
+            f"{case.distinct_ciphertext_ratio:.2f}",
+            case.note,
+        )
+        for case in result.cases
+    ]
+    report = format_table(
+        [
+            "configuration",
+            "measure",
+            "max deviation",
+            "preserved",
+            "attack recovery",
+            "distinct ratio",
+            "note",
+        ],
+        rows,
+    )
+    baseline = result.case("token/DET (appropriate)")
+    broken = result.case("token/PROB (not appropriate)")
+    weak = result.case("structure/DET (needlessly weak)")
+    appropriate_structure = result.case("structure/PROB (appropriate)")
+    success = (
+        baseline.preserved
+        and not broken.preserved
+        and weak.preserved
+        and appropriate_structure.preserved
+        # Condition (2) of Definition 6: the DET variant leaks the constant
+        # frequency histogram (repeated ciphertexts) with no preservation
+        # gain; the appropriate PROB variant shows no repetition at all.
+        and weak.distinct_ciphertext_ratio < 1.0
+        and appropriate_structure.distinct_ciphertext_ratio >= 0.999
+    )
+    return ExperimentOutcome(
+        experiment_id="A1",
+        title="Ablation: violating either condition of Definition 6",
+        success=success,
+        report=report,
+        data={case.name: case.preserved for case in result.cases},
+    )
+
+
+# --------------------------------------------------------------------------- #
+# registry
+
+_REGISTRY: dict[str, tuple[str, Callable[..., ExperimentOutcome]]] = {
+    "T1": ("Table I: derived DPE schemes", run_t1),
+    "F1": ("Figure 1: encryption-class taxonomy", run_f1),
+    "E1": ("Preservation & mining equality: token distance", run_e1),
+    "E2": ("Preservation & mining equality: structure distance", run_e2),
+    "E3": ("Preservation & mining equality: result distance", run_e3),
+    "E4": ("Preservation & mining equality: access-area distance", run_e4),
+    "S1": ("Security comparison vs CryptDB", run_s1),
+    "P1": ("Encryption throughput", run_p1),
+    "P2": ("Distance-matrix cost plaintext vs encrypted", run_p2),
+    "A1": ("Ablation: non-appropriate classes", run_a1),
+}
+
+
+def list_experiments() -> list[tuple[str, str]]:
+    """All registered experiment ids with their titles."""
+    return [(experiment_id, title) for experiment_id, (title, _) in _REGISTRY.items()]
+
+
+def run_experiment(experiment_id: str, **parameters) -> ExperimentOutcome:
+    """Run one registered experiment by id."""
+    try:
+        _, runner = _REGISTRY[experiment_id.upper()]
+    except KeyError:
+        raise AnalysisError(
+            f"unknown experiment {experiment_id!r}; known: {sorted(_REGISTRY)}"
+        ) from None
+    return runner(**parameters)
+
+
+def run_all_experiments() -> list[ExperimentOutcome]:
+    """Run every registered experiment with default parameters."""
+    return [run_experiment(experiment_id) for experiment_id in _REGISTRY]

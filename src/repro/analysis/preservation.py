@@ -1,0 +1,170 @@
+"""Experiments E1–E4: distance preservation and mining-result equality.
+
+For every measure/scheme pair the experiment builds a plaintext context
+(synthetic log, plus database or domains where required), encrypts it with
+the scheme, and then checks the paper's two claims:
+
+1. **Definition 1** — the pairwise distance matrices on plaintext and
+   ciphertext are identical (``max |d_plain − d_enc| = 0``).
+2. **Mining equality** — the distance-based mining algorithms (DBSCAN,
+   k-medoids, complete-link clustering, distance-based outliers, k-NN)
+   produce the same results on both matrices (ARI = 1, identical outlier
+   sets, identical neighbour lists).
+
+The c-equivalence of Definition 2 is checked along the way.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.dpe import (
+    DistanceMeasure,
+    LogContext,
+    PreservationReport,
+    verify_distance_preservation,
+)
+from repro.core.equivalence import EquivalenceReport, verify_c_equivalence
+from repro.core.schemes.base import QueryLogDpeScheme
+from repro.mining import (
+    adjusted_rand_index,
+    clusterings_equivalent,
+    complete_link,
+    cut_dendrogram,
+    dbscan,
+    distance_based_outliers,
+    k_medoids,
+    k_nearest_neighbors,
+)
+
+
+@dataclass(frozen=True)
+class MiningComparison:
+    """Agreement of the mining algorithms on the plaintext vs encrypted matrices."""
+
+    dbscan_ari: float
+    dbscan_identical: bool
+    kmedoids_ari: float
+    kmedoids_identical: bool
+    hierarchical_ari: float
+    hierarchical_identical: bool
+    outliers_identical: bool
+    knn_identical: bool
+
+    @property
+    def all_identical(self) -> bool:
+        """True if every algorithm produced the same result on both sides."""
+        return (
+            self.dbscan_identical
+            and self.kmedoids_identical
+            and self.hierarchical_identical
+            and self.outliers_identical
+            and self.knn_identical
+        )
+
+
+@dataclass(frozen=True)
+class PreservationExperiment:
+    """Full outcome of one E-experiment."""
+
+    measure: str
+    log_size: int
+    preservation: PreservationReport
+    equivalence: EquivalenceReport
+    mining: MiningComparison
+
+    @property
+    def reproduces_paper(self) -> bool:
+        """True if all three claims hold (the paper's expected outcome)."""
+        return self.preservation.preserved and self.equivalence.holds and self.mining.all_identical
+
+    def summary_rows(self) -> list[tuple[str, str]]:
+        """Key/value rows for report rendering."""
+        return [
+            ("measure", self.measure),
+            ("log size", str(self.log_size)),
+            ("max |d_plain - d_enc|", f"{self.preservation.max_absolute_deviation:.3g}"),
+            ("c-equivalence", "holds" if self.equivalence.holds else "violated"),
+            ("DBSCAN ARI", f"{self.mining.dbscan_ari:.3f}"),
+            ("k-medoids ARI", f"{self.mining.kmedoids_ari:.3f}"),
+            ("complete-link ARI", f"{self.mining.hierarchical_ari:.3f}"),
+            ("outliers identical", str(self.mining.outliers_identical)),
+            ("kNN identical", str(self.mining.knn_identical)),
+        ]
+
+
+def compare_mining(
+    plain_matrix: np.ndarray,
+    encrypted_matrix: np.ndarray,
+    *,
+    n_clusters: int = 3,
+    knn_k: int = 3,
+) -> MiningComparison:
+    """Run the mining algorithms on both matrices and compare their outputs."""
+    n = plain_matrix.shape[0]
+    n_clusters = max(1, min(n_clusters, n))
+    knn_k = max(1, min(knn_k, n - 1)) if n > 1 else 1
+
+    positive = plain_matrix[plain_matrix > 0]
+    eps = float(np.median(positive)) if positive.size else 0.5
+    min_points = max(2, min(4, n // 5 + 2))
+
+    plain_dbscan = dbscan(plain_matrix, eps=eps, min_points=min_points)
+    encrypted_dbscan = dbscan(encrypted_matrix, eps=eps, min_points=min_points)
+
+    plain_kmedoids = k_medoids(plain_matrix, k=n_clusters)
+    encrypted_kmedoids = k_medoids(encrypted_matrix, k=n_clusters)
+
+    plain_cut = cut_dendrogram(complete_link(plain_matrix), n_clusters=n_clusters)
+    encrypted_cut = cut_dendrogram(complete_link(encrypted_matrix), n_clusters=n_clusters)
+
+    outlier_d = float(np.quantile(plain_matrix, 0.9)) if n > 1 else 0.5
+    plain_outliers = distance_based_outliers(plain_matrix, p=0.8, d=outlier_d)
+    encrypted_outliers = distance_based_outliers(encrypted_matrix, p=0.8, d=outlier_d)
+
+    knn_identical = True
+    if n > 1:
+        for index in range(n):
+            plain_neighbors = k_nearest_neighbors(plain_matrix, index, k=knn_k)
+            encrypted_neighbors = k_nearest_neighbors(encrypted_matrix, index, k=knn_k)
+            if plain_neighbors != encrypted_neighbors:
+                knn_identical = False
+                break
+
+    return MiningComparison(
+        dbscan_ari=adjusted_rand_index(plain_dbscan.labels, encrypted_dbscan.labels),
+        dbscan_identical=clusterings_equivalent(plain_dbscan.labels, encrypted_dbscan.labels),
+        kmedoids_ari=adjusted_rand_index(plain_kmedoids.labels, encrypted_kmedoids.labels),
+        kmedoids_identical=clusterings_equivalent(
+            plain_kmedoids.labels, encrypted_kmedoids.labels
+        ),
+        hierarchical_ari=adjusted_rand_index(plain_cut, encrypted_cut),
+        hierarchical_identical=clusterings_equivalent(plain_cut, encrypted_cut),
+        outliers_identical=plain_outliers.outliers == encrypted_outliers.outliers,
+        knn_identical=knn_identical,
+    )
+
+
+def run_preservation_experiment(
+    scheme: QueryLogDpeScheme,
+    measure: DistanceMeasure,
+    plain_context: LogContext,
+    *,
+    n_clusters: int = 3,
+) -> PreservationExperiment:
+    """Run one E-experiment for ``scheme``/``measure`` on ``plain_context``."""
+    encrypted_context = scheme.encrypt_context(plain_context)
+    preservation = verify_distance_preservation(measure, plain_context, encrypted_context)
+    equivalence = verify_c_equivalence(scheme, measure, plain_context, encrypted_context)
+    plain_matrix = measure.distance_matrix(plain_context)
+    encrypted_matrix = measure.distance_matrix(encrypted_context)
+    mining = compare_mining(plain_matrix, encrypted_matrix, n_clusters=n_clusters)
+    return PreservationExperiment(
+        measure=measure.name,
+        log_size=len(plain_context),
+        preservation=preservation,
+        equivalence=equivalence,
+        mining=mining,
+    )

@@ -1,0 +1,137 @@
+"""Parameter sweeps: preservation and cost as a function of workload size.
+
+The paper's claims are size-independent (Definition 1 is universally
+quantified), so the interesting "figure" for a reproduction is a sweep that
+shows (a) preservation holding at every log size and (b) how the cost of
+working over ciphertexts scales.  :func:`preservation_sweep` produces that
+series for any measure/scheme pair; the P2 benchmark and the sweep tests are
+built on it.
+"""
+
+from __future__ import annotations
+
+import time
+from collections.abc import Callable, Sequence
+from dataclasses import dataclass
+
+from repro._utils import format_table
+from repro.core.dpe import DistanceMeasure, LogContext, verify_distance_preservation
+from repro.core.schemes.base import QueryLogDpeScheme
+from repro.exceptions import AnalysisError
+from repro.workloads.generator import QueryLogGenerator, WorkloadMix
+from repro.workloads.schemas import WorkloadProfile, populate_database
+
+
+@dataclass(frozen=True)
+class SweepPoint:
+    """One point of a preservation/cost sweep."""
+
+    log_size: int
+    preserved: bool
+    max_deviation: float
+    plain_seconds: float
+    encrypted_seconds: float
+    encryption_seconds: float
+
+    @property
+    def overhead(self) -> float:
+        """Ciphertext-side distance-matrix cost relative to the plaintext side."""
+        if self.plain_seconds == 0:
+            return float("inf")
+        return self.encrypted_seconds / self.plain_seconds
+
+
+@dataclass(frozen=True)
+class SweepResult:
+    """A full sweep: one :class:`SweepPoint` per log size."""
+
+    measure: str
+    points: tuple[SweepPoint, ...]
+
+    @property
+    def all_preserved(self) -> bool:
+        """True if Definition 1 held at every swept size."""
+        return all(point.preserved for point in self.points)
+
+    def as_table(self) -> str:
+        """Render the sweep as a text table (the 'figure' of the reproduction)."""
+        rows = [
+            (
+                point.log_size,
+                "yes" if point.preserved else "NO",
+                f"{point.max_deviation:.1e}",
+                f"{point.encryption_seconds * 1000:.1f} ms",
+                f"{point.plain_seconds * 1000:.1f} ms",
+                f"{point.encrypted_seconds * 1000:.1f} ms",
+                f"{point.overhead:.2f}x",
+            )
+            for point in self.points
+        ]
+        return format_table(
+            [
+                "log size",
+                "preserved",
+                "max deviation",
+                "log encryption",
+                "plaintext matrix",
+                "encrypted matrix",
+                "overhead",
+            ],
+            rows,
+        )
+
+
+def preservation_sweep(
+    *,
+    profile: WorkloadProfile,
+    measure: DistanceMeasure,
+    scheme_factory: Callable[[], QueryLogDpeScheme],
+    sizes: Sequence[int],
+    mix: WorkloadMix | None = None,
+    seed: int = 0,
+    with_database: bool = False,
+    with_domains: bool = False,
+) -> SweepResult:
+    """Sweep the log size and measure preservation plus cost at each point.
+
+    A fresh scheme instance is created per point (via ``scheme_factory``) so
+    workload-dependent schemes (access-area) are re-fitted for each log.
+    """
+    if not sizes:
+        raise AnalysisError("sweep needs at least one log size")
+    if any(size < 2 for size in sizes):
+        raise AnalysisError("sweep sizes must be at least 2 (pairwise distances)")
+    mix = mix or WorkloadMix()
+    database = populate_database(profile, seed=seed) if with_database else None
+    domains = profile.domain_catalog() if with_domains else None
+
+    points: list[SweepPoint] = []
+    for size in sizes:
+        log = QueryLogGenerator(profile, mix, seed=f"{seed}/{size}").generate(size)
+        plain_context = LogContext(log=log, database=database, domains=domains)
+        scheme = scheme_factory()
+
+        start = time.perf_counter()
+        encrypted_context = scheme.encrypt_context(plain_context)
+        encryption_seconds = time.perf_counter() - start
+
+        start = time.perf_counter()
+        plain_matrix = measure.distance_matrix(plain_context)
+        plain_seconds = time.perf_counter() - start
+
+        start = time.perf_counter()
+        encrypted_matrix = measure.distance_matrix(encrypted_context)
+        encrypted_seconds = time.perf_counter() - start
+
+        deviation = float(abs(plain_matrix - encrypted_matrix).max())
+        points.append(
+            SweepPoint(
+                log_size=size,
+                preserved=deviation <= 1e-9,
+                max_deviation=deviation,
+                plain_seconds=plain_seconds,
+                encrypted_seconds=encrypted_seconds,
+                encryption_seconds=encryption_seconds,
+            )
+        )
+    return SweepResult(measure=measure.name, points=tuple(points))

@@ -1,0 +1,32 @@
+"""Passive attacks against property-preserving encryption.
+
+Figure 1 ranks encryption classes by security, and Section IV-D argues the
+KIT-DPE schemes inherit the (known) security of the classes they use.  This
+package makes those claims measurable by implementing the classic passive
+attacks an honest-but-curious service provider (or an eavesdropper) could
+run:
+
+* :mod:`~repro.attacks.frequency` — frequency analysis against DET
+  ciphertexts (and, as a baseline, against PROB ciphertexts, where it
+  degrades to random guessing),
+* :mod:`~repro.attacks.order` — the sorting/rank-matching attack against OPE
+  ciphertexts,
+* :mod:`~repro.attacks.query_only` — the query-only attack of Sanamrad &
+  Kossmann [9] against an encrypted query log: recover constants from the
+  log using auxiliary knowledge of the value distribution.
+
+The attack success rates back the security comparison of experiment S1.
+"""
+
+from repro.attacks.frequency import FrequencyAttackResult, frequency_analysis_attack
+from repro.attacks.order import SortingAttackResult, sorting_attack
+from repro.attacks.query_only import QueryOnlyAttackResult, query_only_attack
+
+__all__ = [
+    "FrequencyAttackResult",
+    "QueryOnlyAttackResult",
+    "SortingAttackResult",
+    "frequency_analysis_attack",
+    "query_only_attack",
+    "sorting_attack",
+]

@@ -1,0 +1,159 @@
+"""Command-line interface.
+
+Everything the repository reproduces can be driven from the shell::
+
+    python -m repro list                    # registered experiments
+    python -m repro run T1 E1               # run selected experiments
+    python -m repro run --all               # run every experiment
+    python -m repro report EXPERIMENTS.md   # regenerate the markdown report
+    python -m repro table1                  # print the derived Table I
+    python -m repro figure1                 # print the Figure 1 taxonomy
+    python -m repro demo                    # 10-second installation check
+    python -m repro encrypt-log plain.json encrypted.json --scheme token
+                                            # encrypt a query-log JSON file
+
+The ``encrypt-log`` command is the minimal "data owner" tool: it reads a log
+saved with :meth:`repro.sql.log.QueryLog.save`, encrypts every query with the
+chosen scheme under a passphrase-derived key, and writes the encrypted log —
+the file a service provider would receive.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from collections.abc import Sequence
+
+from repro import quick_demo
+from repro.analysis.experiments import list_experiments, run_experiment
+from repro.analysis.report import generate_report
+from repro.analysis.table1 import format_table1, render_figure1
+from repro.core.schemes import StructureDpeScheme, TokenDpeScheme
+from repro.core.schemes.access_area_scheme import AccessAreaDpeScheme
+from repro.crypto.keys import KeyChain, MasterKey
+from repro.sql.log import QueryLog
+
+_SCHEMES = {
+    "token": TokenDpeScheme,
+    "structure": StructureDpeScheme,
+    "access-area": AccessAreaDpeScheme,
+}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Build the top-level argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Reproduction of 'Distance-Based Data Mining over Encrypted Data' (ICDE 2018)",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    subparsers.add_parser("list", help="list registered experiments")
+
+    run_parser = subparsers.add_parser("run", help="run experiments by id")
+    run_parser.add_argument("experiments", nargs="*", help="experiment ids (e.g. T1 E1 S1)")
+    run_parser.add_argument("--all", action="store_true", help="run every registered experiment")
+
+    report_parser = subparsers.add_parser("report", help="regenerate the EXPERIMENTS.md report")
+    report_parser.add_argument("output", nargs="?", help="output file (default: stdout)")
+
+    subparsers.add_parser("table1", help="print the derived Table I")
+    subparsers.add_parser("figure1", help="print the Figure 1 taxonomy")
+    subparsers.add_parser("demo", help="run the quick installation check")
+
+    encrypt_parser = subparsers.add_parser(
+        "encrypt-log", help="encrypt a query-log JSON file with a DPE scheme"
+    )
+    encrypt_parser.add_argument("input", help="plaintext log (JSON, as written by QueryLog.save)")
+    encrypt_parser.add_argument("output", help="where to write the encrypted log (JSON)")
+    encrypt_parser.add_argument(
+        "--scheme", choices=sorted(_SCHEMES), default="token", help="DPE scheme to apply"
+    )
+    encrypt_parser.add_argument(
+        "--passphrase",
+        default=None,
+        help="passphrase for key derivation (omit to generate a random key)",
+    )
+    return parser
+
+
+def _command_list() -> int:
+    for experiment_id, title in list_experiments():
+        print(f"{experiment_id:4s} {title}")
+    return 0
+
+
+def _command_run(experiment_ids: Sequence[str], run_all: bool) -> int:
+    ids = [experiment_id for experiment_id, _ in list_experiments()] if run_all else list(experiment_ids)
+    if not ids:
+        print("nothing to run: pass experiment ids or --all", file=sys.stderr)
+        return 2
+    failures = 0
+    for experiment_id in ids:
+        outcome = run_experiment(experiment_id)
+        status = "ok " if outcome.success else "FAIL"
+        print(f"[{status}] {outcome.experiment_id} — {outcome.title}")
+        print(outcome.report)
+        print()
+        if not outcome.success:
+            failures += 1
+    return 1 if failures else 0
+
+
+def _command_report(output: str | None) -> int:
+    report = generate_report()
+    if output:
+        with open(output, "w", encoding="utf-8") as handle:
+            handle.write(report)
+        print(f"wrote {output}")
+    else:
+        print(report)
+    return 0
+
+
+def _command_encrypt_log(input_path: str, output_path: str, scheme_name: str, passphrase: str | None) -> int:
+    log = QueryLog.load(input_path)
+    master = MasterKey.from_passphrase(passphrase) if passphrase else MasterKey.generate()
+    keychain = KeyChain(master)
+    scheme = _SCHEMES[scheme_name](keychain)
+    if isinstance(scheme, AccessAreaDpeScheme):
+        scheme.fit(log)
+    encrypted = scheme.encrypt_log(log)
+    encrypted.save(output_path)
+    print(f"encrypted {len(log)} queries with the {scheme_name} scheme -> {output_path}")
+    if passphrase is None:
+        print("note: a random master key was generated and NOT stored; "
+              "use --passphrase if you need to reproduce the encryption")
+    return 0
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """CLI entry point (returns the process exit code)."""
+    parser = build_parser()
+    arguments = parser.parse_args(argv)
+
+    if arguments.command == "list":
+        return _command_list()
+    if arguments.command == "run":
+        return _command_run(arguments.experiments, arguments.all)
+    if arguments.command == "report":
+        return _command_report(arguments.output)
+    if arguments.command == "table1":
+        print(format_table1())
+        return 0
+    if arguments.command == "figure1":
+        print(render_figure1())
+        return 0
+    if arguments.command == "demo":
+        print(quick_demo())
+        return 0
+    if arguments.command == "encrypt-log":
+        return _command_encrypt_log(
+            arguments.input, arguments.output, arguments.scheme, arguments.passphrase
+        )
+    parser.error(f"unknown command {arguments.command!r}")  # pragma: no cover
+    return 2  # pragma: no cover
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via `python -m repro.cli`
+    raise SystemExit(main())

@@ -1,0 +1,91 @@
+"""Core of the reproduction: distance-preserving encryption and KIT-DPE.
+
+Public surface:
+
+* Definitions — :class:`~repro.core.dpe.DistanceMeasure`,
+  :func:`~repro.core.dpe.verify_distance_preservation` (Definition 1),
+  :func:`~repro.core.equivalence.verify_c_equivalence` (Definition 2).
+* KIT-DPE — :class:`~repro.core.kitdpe.KitDpeEngine` (steps 3–4, Definition 6)
+  and :class:`~repro.core.security_model.SecurityModel` (step 1).
+* Measures — :func:`~repro.core.measures.standard_measures` (Table I rows).
+* Schemes — one :class:`~repro.core.schemes.base.QueryLogDpeScheme` per
+  measure.
+"""
+
+from repro.core.domains import Domain, DomainCatalog
+from repro.core.dpe import (
+    DistanceMeasure,
+    LogContext,
+    PreservationReport,
+    SharedInformation,
+    verify_distance_preservation,
+)
+from repro.core.equivalence import EquivalenceReport, verify_c_equivalence
+from repro.core.kitdpe import (
+    ComponentRequirement,
+    ConstantRequirement,
+    ConstantUsage,
+    EquivalenceRequirements,
+    KitDpeEngine,
+    SchemeDerivation,
+    SecurityAssessment,
+)
+from repro.core.measures import (
+    AccessArea,
+    AccessAreaDistance,
+    Interval,
+    ResultDistance,
+    StructureDistance,
+    TokenDistance,
+    standard_measures,
+)
+from repro.core.schemes import (
+    AccessAreaDpeScheme,
+    QueryLogDpeScheme,
+    ResultDpeScheme,
+    StructureDpeScheme,
+    TokenDpeScheme,
+)
+from repro.core.security_model import (
+    AttackType,
+    HighLevelScheme,
+    QueryPart,
+    SecurityModel,
+    ThreatModel,
+)
+
+__all__ = [
+    "AccessArea",
+    "AccessAreaDistance",
+    "AccessAreaDpeScheme",
+    "AttackType",
+    "ComponentRequirement",
+    "ConstantRequirement",
+    "ConstantUsage",
+    "DistanceMeasure",
+    "Domain",
+    "DomainCatalog",
+    "EquivalenceReport",
+    "EquivalenceRequirements",
+    "HighLevelScheme",
+    "Interval",
+    "KitDpeEngine",
+    "LogContext",
+    "PreservationReport",
+    "QueryLogDpeScheme",
+    "QueryPart",
+    "ResultDistance",
+    "ResultDpeScheme",
+    "SchemeDerivation",
+    "SecurityAssessment",
+    "SecurityModel",
+    "SharedInformation",
+    "StructureDistance",
+    "StructureDpeScheme",
+    "ThreatModel",
+    "TokenDistance",
+    "TokenDpeScheme",
+    "standard_measures",
+    "verify_c_equivalence",
+    "verify_distance_preservation",
+]

@@ -1,0 +1,140 @@
+"""Attribute domains.
+
+The query-access-area distance (Definition 5) is defined over the *domains*
+of the accessed attributes: the access area of a query w.r.t. attribute ``A``
+is the part of ``A``'s domain the query touches.  Table I notes that this
+measure requires sharing the domains (encrypted) alongside the log.
+
+A :class:`DomainCatalog` maps attribute names to :class:`Domain` objects —
+numeric intervals for INTEGER/REAL attributes, finite value sets for
+categorical (TEXT/BOOLEAN) attributes.  Attribute names are assumed unique
+across the schema (the workload generators guarantee this); this keeps the
+access-area bookkeeping, and its encrypted counterpart, unambiguous.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Iterator
+from dataclasses import dataclass
+
+from repro.db.database import Database
+from repro.db.schema import ColumnType
+from repro.exceptions import DpeError
+
+
+@dataclass(frozen=True)
+class Domain:
+    """The domain of one attribute.
+
+    Exactly one of the two representations is populated:
+
+    * numeric domains carry inclusive ``minimum`` / ``maximum`` bounds,
+    * categorical domains carry the finite set of admissible ``values``.
+    """
+
+    attribute: str
+    minimum: int | float | None = None
+    maximum: int | float | None = None
+    values: frozenset[object] | None = None
+
+    def __post_init__(self) -> None:
+        numeric = self.minimum is not None or self.maximum is not None
+        categorical = self.values is not None
+        if numeric == categorical:
+            raise DpeError(
+                f"domain of {self.attribute!r} must be either numeric or categorical"
+            )
+        if numeric and (self.minimum is None or self.maximum is None):
+            raise DpeError(f"numeric domain of {self.attribute!r} needs both bounds")
+        if numeric and self.minimum > self.maximum:  # type: ignore[operator]
+            raise DpeError(f"numeric domain of {self.attribute!r} has inverted bounds")
+
+    @property
+    def is_numeric(self) -> bool:
+        """True for interval domains."""
+        return self.values is None
+
+    def size_hint(self) -> float:
+        """A rough size of the domain (used only for reporting)."""
+        if self.is_numeric:
+            return float(self.maximum - self.minimum)  # type: ignore[operator]
+        return float(len(self.values))  # type: ignore[arg-type]
+
+
+class DomainCatalog:
+    """Domains of all attributes relevant to a query log."""
+
+    def __init__(self, domains: Iterable[Domain] = ()) -> None:
+        self._domains: dict[str, Domain] = {}
+        for domain in domains:
+            self.add(domain)
+
+    def add(self, domain: Domain) -> None:
+        """Register a domain; duplicate attribute names are rejected."""
+        if domain.attribute in self._domains:
+            raise DpeError(f"domain for attribute {domain.attribute!r} already registered")
+        self._domains[domain.attribute] = domain
+
+    def domain(self, attribute: str) -> Domain:
+        """Look up the domain of ``attribute``."""
+        try:
+            return self._domains[attribute]
+        except KeyError:
+            raise DpeError(f"no domain registered for attribute {attribute!r}") from None
+
+    def has_domain(self, attribute: str) -> bool:
+        """Return True if ``attribute`` has a registered domain."""
+        return attribute in self._domains
+
+    @property
+    def attributes(self) -> tuple[str, ...]:
+        """All attributes with a registered domain."""
+        return tuple(self._domains)
+
+    def __iter__(self) -> Iterator[Domain]:
+        return iter(self._domains.values())
+
+    def __len__(self) -> int:
+        return len(self._domains)
+
+    @classmethod
+    def from_database(cls, database: Database) -> "DomainCatalog":
+        """Derive a catalog from a database instance.
+
+        Numeric columns get their observed [min, max] range; categorical
+        columns get their observed value set.  Columns whose name collides
+        across tables raise, matching the uniqueness assumption.
+        """
+        catalog = cls()
+        for table in database:
+            for column in table.schema.columns:
+                values = [v for v in table.column_values(column.name) if v is not None]
+                if not values:
+                    continue
+                if column.type.is_numeric:
+                    domain = Domain(
+                        column.name, minimum=min(values), maximum=max(values)  # type: ignore[type-var]
+                    )
+                else:
+                    domain = Domain(column.name, values=frozenset(values))
+                catalog.add(domain)
+        return catalog
+
+    @classmethod
+    def from_schema_hints(
+        cls, hints: dict[str, tuple[ColumnType, object]]
+    ) -> "DomainCatalog":
+        """Build a catalog from explicit hints.
+
+        ``hints`` maps attribute names to ``(type, spec)`` where ``spec`` is a
+        ``(min, max)`` pair for numeric types or an iterable of values for
+        categorical types.
+        """
+        catalog = cls()
+        for attribute, (column_type, spec) in hints.items():
+            if column_type.is_numeric:
+                minimum, maximum = spec  # type: ignore[misc]
+                catalog.add(Domain(attribute, minimum=minimum, maximum=maximum))
+            else:
+                catalog.add(Domain(attribute, values=frozenset(spec)))  # type: ignore[arg-type]
+        return catalog

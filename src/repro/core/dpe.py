@@ -1,0 +1,200 @@
+"""Distance-preserving encryption: Definition 1 and the measure interface.
+
+The paper's central definition (Definition 1): an encryption ``Enc`` for data
+items of a data set ``D`` is *d-distance preserving* iff::
+
+    for all x, y in D:   d(Enc(x), Enc(y)) = d(x, y)
+
+Two pieces make this executable:
+
+* :class:`DistanceMeasure` — a distance measure ``d`` over query-log entries.
+  Every measure factors through a per-item *characteristic* ``c`` (the
+  paper's Definition 2): ``prepare`` computes ``c(x)`` for every log entry
+  and ``distance_between`` compares two characteristics.  This factoring is
+  exactly what lets the paper reason item-wise about encryption.
+* :func:`verify_distance_preservation` — computes the full pairwise distance
+  matrices on a plaintext and an encrypted :class:`LogContext` and reports
+  the maximum absolute deviation (which must be 0 for a DPE scheme).
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.domains import DomainCatalog
+from repro.db.database import Database
+from repro.exceptions import DpeError
+from repro.sql.ast import Query
+from repro.sql.log import QueryLog
+
+
+@dataclass(frozen=True)
+class SharedInformation:
+    """What the data owner must share with the service provider (Table I).
+
+    Every measure needs the (encrypted) log; the query-result distance also
+    needs the database content, and the query-access-area distance needs the
+    attribute domains.
+    """
+
+    log: bool = True
+    db_content: bool = False
+    domains: bool = False
+
+    def describe(self) -> str:
+        """Human-readable summary, matching the check marks of Table I."""
+        parts = []
+        if self.log:
+            parts.append("Log")
+        if self.db_content:
+            parts.append("DB-Content")
+        if self.domains:
+            parts.append("Domains")
+        return " + ".join(parts) if parts else "nothing"
+
+
+@dataclass
+class LogContext:
+    """A query log together with the side information a measure may need."""
+
+    log: QueryLog
+    database: Database | None = None
+    domains: DomainCatalog | None = None
+    #: Free-form metadata (e.g. whether this context is the encrypted side).
+    labels: dict[str, object] = field(default_factory=dict)
+
+    def require_database(self) -> Database:
+        """Return the database or raise if it was not shared."""
+        if self.database is None:
+            raise DpeError("this distance measure requires the database content to be shared")
+        return self.database
+
+    def require_domains(self) -> DomainCatalog:
+        """Return the domain catalog or raise if it was not shared."""
+        if self.domains is None:
+            raise DpeError("this distance measure requires the attribute domains to be shared")
+        return self.domains
+
+    def __len__(self) -> int:
+        return len(self.log)
+
+
+class DistanceMeasure(abc.ABC):
+    """A distance measure over SQL queries, factored through a characteristic."""
+
+    #: Short machine-readable identifier, e.g. ``"token"``.
+    name: str = "abstract"
+    #: Human-readable name as used in Table I.
+    display_name: str = "abstract distance"
+    #: Name of the equivalence notion this measure induces (Table I column).
+    equivalence_notion: str = "abstract equivalence"
+    #: What must be shared with the provider to evaluate the measure.
+    shared_information: SharedInformation = SharedInformation()
+
+    @abc.abstractmethod
+    def characteristic(self, query: Query, context: LogContext) -> object:
+        """Compute the characteristic ``c(query)`` (Definition 2) in ``context``."""
+
+    @abc.abstractmethod
+    def distance_between(self, characteristic_a: object, characteristic_b: object) -> float:
+        """Distance between two characteristics; must be symmetric and in [0, 1]."""
+
+    # -- derived functionality ------------------------------------------------ #
+
+    def prepare(self, context: LogContext) -> list[object]:
+        """Compute the characteristic of every log entry in ``context``."""
+        return [self.characteristic(entry.query, context) for entry in context.log]
+
+    def distance(self, query_a: Query, query_b: Query, context: LogContext) -> float:
+        """Distance between two individual queries evaluated in ``context``."""
+        return self.distance_between(
+            self.characteristic(query_a, context), self.characteristic(query_b, context)
+        )
+
+    def distance_matrix(self, context: LogContext) -> np.ndarray:
+        """The full symmetric pairwise distance matrix over the log."""
+        characteristics = self.prepare(context)
+        n = len(characteristics)
+        matrix = np.zeros((n, n), dtype=float)
+        for i in range(n):
+            for j in range(i + 1, n):
+                value = self.distance_between(characteristics[i], characteristics[j])
+                matrix[i, j] = value
+                matrix[j, i] = value
+        return matrix
+
+    def describe(self) -> dict[str, str]:
+        """Machine-readable description (used by the Table I derivation)."""
+        return {
+            "name": self.name,
+            "display_name": self.display_name,
+            "equivalence_notion": self.equivalence_notion,
+            "shared_information": self.shared_information.describe(),
+        }
+
+
+@dataclass(frozen=True)
+class PreservationReport:
+    """Outcome of a distance-preservation check (Definition 1)."""
+
+    measure: str
+    pairs_checked: int
+    max_absolute_deviation: float
+    mean_absolute_deviation: float
+    violating_pairs: tuple[tuple[int, int, float, float], ...]
+
+    @property
+    def preserved(self) -> bool:
+        """True if every pairwise distance matched exactly (up to 1e-9)."""
+        return self.max_absolute_deviation <= 1e-9
+
+    def summary(self) -> str:
+        """One-line human-readable summary."""
+        status = "PRESERVED" if self.preserved else "VIOLATED"
+        return (
+            f"{self.measure}: {status} over {self.pairs_checked} pairs "
+            f"(max |d_plain - d_enc| = {self.max_absolute_deviation:.3g})"
+        )
+
+
+def verify_distance_preservation(
+    measure: DistanceMeasure,
+    plain_context: LogContext,
+    encrypted_context: LogContext,
+    *,
+    max_violations_reported: int = 10,
+) -> PreservationReport:
+    """Check Definition 1 for ``measure`` over a plain/encrypted context pair.
+
+    The two contexts must contain the same number of log entries, with entry
+    ``i`` of the encrypted context being the encryption of entry ``i`` of the
+    plaintext context.
+    """
+    if len(plain_context) != len(encrypted_context):
+        raise DpeError(
+            "plaintext and encrypted logs differ in length "
+            f"({len(plain_context)} vs {len(encrypted_context)})"
+        )
+    plain_matrix = measure.distance_matrix(plain_context)
+    encrypted_matrix = measure.distance_matrix(encrypted_context)
+    deviations = np.abs(plain_matrix - encrypted_matrix)
+    n = len(plain_context)
+    violations: list[tuple[int, int, float, float]] = []
+    total = 0.0
+    pairs = 0
+    for i in range(n):
+        for j in range(i + 1, n):
+            pairs += 1
+            total += deviations[i, j]
+            if deviations[i, j] > 1e-9 and len(violations) < max_violations_reported:
+                violations.append((i, j, float(plain_matrix[i, j]), float(encrypted_matrix[i, j])))
+    return PreservationReport(
+        measure=measure.name,
+        pairs_checked=pairs,
+        max_absolute_deviation=float(deviations.max()) if n > 1 else 0.0,
+        mean_absolute_deviation=float(total / pairs) if pairs else 0.0,
+        violating_pairs=tuple(violations),
+    )

@@ -1,0 +1,76 @@
+"""c-Equivalence (Definition 2) and its verification.
+
+Definition 2: for a characteristic ``c : S -> S`` an encryption algorithm
+``Enc`` ensures *c-equivalence* iff ``Enc(c(x)) = c(Enc(x))`` for every data
+item ``x`` in the data set — encryption and characteristic extraction
+commute.  This is the per-item property that, together with consistency and
+injectivity of the characteristic-level encryption, implies distance
+preservation for measures that only look at the characteristic.
+
+A DPE scheme exposes how it encrypts a *characteristic* (e.g. a token set, a
+feature set, a result-tuple set) via
+:meth:`repro.core.schemes.base.QueryLogDpeScheme.encrypt_characteristic`;
+:func:`verify_c_equivalence` then checks commutativity over a whole log.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.dpe import DistanceMeasure, LogContext
+from repro.exceptions import DpeError
+
+
+@dataclass(frozen=True)
+class EquivalenceReport:
+    """Outcome of a c-equivalence check over a log."""
+
+    measure: str
+    items_checked: int
+    violations: tuple[int, ...]
+
+    @property
+    def holds(self) -> bool:
+        """True if Enc(c(x)) == c(Enc(x)) held for every item."""
+        return not self.violations
+
+    def summary(self) -> str:
+        """One-line human-readable summary."""
+        status = "HOLDS" if self.holds else f"VIOLATED for items {list(self.violations)}"
+        return f"{self.measure} equivalence: {status} over {self.items_checked} items"
+
+
+def verify_c_equivalence(
+    scheme,
+    measure: DistanceMeasure,
+    plain_context: LogContext,
+    encrypted_context: LogContext,
+) -> EquivalenceReport:
+    """Check Definition 2 for ``scheme`` w.r.t. ``measure`` over a log.
+
+    For every log entry ``x``: compute ``c(x)`` in the plaintext context,
+    push it through the scheme's characteristic-level encryption
+    (``Enc(c(x))``), and compare against the characteristic of the encrypted
+    entry (``c(Enc(x))``) computed in the encrypted context.
+    """
+    if len(plain_context) != len(encrypted_context):
+        raise DpeError("plaintext and encrypted logs differ in length")
+
+    violations: list[int] = []
+    for index, (plain_entry, encrypted_entry) in enumerate(
+        zip(plain_context.log, encrypted_context.log)
+    ):
+        plain_characteristic = measure.characteristic(plain_entry.query, plain_context)
+        encrypted_of_plain = scheme.encrypt_characteristic(
+            plain_entry.query, plain_characteristic, plain_context
+        )
+        characteristic_of_encrypted = measure.characteristic(
+            encrypted_entry.query, encrypted_context
+        )
+        if encrypted_of_plain != characteristic_of_encrypted:
+            violations.append(index)
+    return EquivalenceReport(
+        measure=measure.name,
+        items_checked=len(plain_context),
+        violations=tuple(violations),
+    )

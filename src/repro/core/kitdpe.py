@@ -1,0 +1,313 @@
+"""The KIT-DPE procedure (Section III-B) and Definition 6.
+
+KIT-DPE designs a distance-preserving encryption scheme in four steps:
+
+1. **Security model** — threat model + high-level encryption scheme
+   (:mod:`repro.core.security_model`).
+2. **Equivalence notion** — the characteristic ``c`` each distance measure
+   needs preserved (each :class:`~repro.core.dpe.DistanceMeasure` declares
+   its notion and its *component requirements*: what EncRel, EncAttr and the
+   EncA.Const functions must preserve).
+3. **Ensuring the notion** — select, per component, an *appropriate*
+   encryption class (Definition 6): among the classes of the taxonomy that
+   ensure the requirement, one with the highest possible security.
+4. **Security assessment** — since only classes with known security are
+   used, the assessment reduces to reporting those classes and their levels.
+
+:class:`KitDpeEngine` implements steps 3 and 4 mechanically; the Table I
+experiment checks that the derived rows equal the paper's table.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+from repro.core.dpe import DistanceMeasure
+from repro.core.security_model import SecurityModel
+from repro.crypto.base import EncryptionClass
+from repro.crypto.taxonomy import EncryptionTaxonomy, default_taxonomy
+from repro.exceptions import DpeError
+
+#: Functional properties of each encryption class, used to decide whether a
+#: class *ensures* a component requirement.  (preserves equality, preserves
+#: order, supports addition)
+CLASS_PROPERTIES: dict[EncryptionClass, tuple[bool, bool, bool]] = {
+    EncryptionClass.PROB: (False, False, False),
+    EncryptionClass.HOM: (False, False, True),
+    EncryptionClass.DET: (True, False, False),
+    EncryptionClass.JOIN: (True, False, False),
+    EncryptionClass.OPE: (True, True, False),
+    EncryptionClass.JOIN_OPE: (True, True, False),
+    EncryptionClass.PLAIN: (True, True, True),
+}
+
+
+@dataclass(frozen=True)
+class ComponentRequirement:
+    """What an encryption function for one query part must preserve."""
+
+    needs_equality: bool = False
+    needs_order: bool = False
+    needs_addition: bool = False
+    note: str = ""
+
+    def satisfied_by(self, encryption_class: EncryptionClass) -> bool:
+        """True if ``encryption_class`` ensures this requirement."""
+        equality, order, addition = CLASS_PROPERTIES[encryption_class]
+        if self.needs_equality and not equality:
+            return False
+        if self.needs_order and not order:
+            return False
+        if self.needs_addition and not addition:
+            return False
+        return True
+
+
+class ConstantUsage(enum.Enum):
+    """How a constant (or an attribute's values) is used by the workload."""
+
+    EQUALITY_PREDICATE = "equality predicate"
+    RANGE_PREDICATE = "range predicate"
+    AGGREGATE_ARGUMENT = "aggregate argument"
+    OTHER = "other"
+
+
+@dataclass(frozen=True)
+class ConstantRequirement:
+    """Requirements on the per-attribute constant encryption functions.
+
+    ``uniform`` covers measures whose constants all need the same property
+    (token: equality; structure: nothing).  ``per_usage`` covers the
+    execution-backed measures, where the requirement depends on how the
+    attribute is used; ``via_cryptdb`` marks that query *execution* over the
+    encrypted database is needed, i.e. the concrete schemes are the CryptDB
+    onion layers.
+    """
+
+    uniform: ComponentRequirement | None = None
+    per_usage: tuple[tuple[ConstantUsage, ComponentRequirement], ...] = ()
+    via_cryptdb: bool = False
+
+    def __post_init__(self) -> None:
+        if (self.uniform is None) == (not self.per_usage):
+            raise DpeError("exactly one of uniform / per_usage must be provided")
+
+
+@dataclass(frozen=True)
+class EquivalenceRequirements:
+    """Step 2 output for one measure: notion name + component requirements."""
+
+    notion: str
+    characteristic: str
+    relation_names: ComponentRequirement
+    attribute_names: ComponentRequirement
+    constants: ConstantRequirement
+
+
+@dataclass(frozen=True)
+class ComponentChoice:
+    """Step 3 output for one component: the appropriate class(es)."""
+
+    chosen: EncryptionClass
+    candidates: tuple[EncryptionClass, ...]
+    security_level: int
+    note: str = ""
+
+
+@dataclass(frozen=True)
+class ConstantChoice:
+    """Step 3 output for the constant functions."""
+
+    summary: str
+    uniform: ComponentChoice | None = None
+    per_usage: tuple[tuple[ConstantUsage, ComponentChoice], ...] = ()
+    via_cryptdb: bool = False
+
+    def usage_choice(self, usage: ConstantUsage) -> ComponentChoice:
+        """Return the choice for a specific usage (or the uniform choice)."""
+        for candidate_usage, choice in self.per_usage:
+            if candidate_usage is usage:
+                return choice
+        if self.uniform is not None:
+            return self.uniform
+        raise DpeError(f"no constant choice recorded for usage {usage.value}")
+
+
+@dataclass(frozen=True)
+class SchemeDerivation:
+    """A full Table I row derived by the engine for one measure."""
+
+    measure: str
+    display_name: str
+    shared_information: str
+    equivalence_notion: str
+    characteristic: str
+    enc_rel: ComponentChoice
+    enc_attr: ComponentChoice
+    enc_const: ConstantChoice
+
+    def as_row(self) -> tuple[str, str, str, str, str, str]:
+        """Render the derivation as a Table I row (strings)."""
+        return (
+            self.display_name,
+            self.shared_information,
+            self.equivalence_notion,
+            self.enc_rel.chosen.value,
+            self.enc_attr.chosen.value,
+            self.enc_const.summary,
+        )
+
+
+@dataclass(frozen=True)
+class SecurityAssessment:
+    """Step 4 output: the classes in use and the resulting security levels."""
+
+    measure: str
+    classes_in_use: tuple[EncryptionClass, ...]
+    minimum_security_level: int
+    known_from_literature: bool
+    notes: tuple[str, ...] = ()
+
+
+@dataclass
+class KitDpeEngine:
+    """Implements steps 3 and 4 of KIT-DPE over a taxonomy and security model."""
+
+    taxonomy: EncryptionTaxonomy = field(default_factory=default_taxonomy)
+    security_model: SecurityModel = field(default_factory=SecurityModel.sql_log_default)
+    include_plain: bool = False
+
+    # -- Definition 6 -------------------------------------------------------- #
+
+    def appropriate_classes(self, requirement: ComponentRequirement) -> list[EncryptionClass]:
+        """All appropriate classes for ``requirement`` (Definition 6).
+
+        Among the taxonomy classes that ensure the requirement, those with
+        the highest security level are returned; when a class and one of its
+        subclasses both qualify, only the more general class is kept (JOIN is
+        a usage mode of DET, HOM a subclass of PROB — choosing the subclass
+        would add functionality the requirement does not ask for, which never
+        increases security).
+        """
+        candidates = [
+            encryption_class
+            for encryption_class in self.taxonomy.classes
+            if requirement.satisfied_by(encryption_class)
+            and (self.include_plain or encryption_class is not EncryptionClass.PLAIN)
+        ]
+        if not candidates:
+            raise DpeError(f"no encryption class satisfies requirement {requirement}")
+        most_secure = self.taxonomy.most_secure(candidates)
+        maximal = [
+            encryption_class
+            for encryption_class in most_secure
+            if not any(
+                other is not encryption_class
+                and self.taxonomy.is_subclass(encryption_class, other)
+                for other in most_secure
+            )
+        ]
+        return sorted(maximal or most_secure, key=lambda c: c.value)
+
+    def appropriate_class(self, requirement: ComponentRequirement) -> ComponentChoice:
+        """The single appropriate class for ``requirement`` (ties broken lexically)."""
+        classes = self.appropriate_classes(requirement)
+        chosen = classes[0]
+        return ComponentChoice(
+            chosen=chosen,
+            candidates=tuple(classes),
+            security_level=self.taxonomy.security_level(chosen),
+            note=requirement.note,
+        )
+
+    # -- Step 3: derive a scheme per measure ---------------------------------- #
+
+    def derive(self, measure: DistanceMeasure) -> SchemeDerivation:
+        """Derive the Table I row for ``measure``."""
+        requirements = self._requirements_of(measure)
+        enc_rel = self.appropriate_class(requirements.relation_names)
+        enc_attr = self.appropriate_class(requirements.attribute_names)
+        enc_const = self._derive_constants(requirements.constants)
+        return SchemeDerivation(
+            measure=measure.name,
+            display_name=measure.display_name,
+            shared_information=measure.shared_information.describe(),
+            equivalence_notion=requirements.notion,
+            characteristic=requirements.characteristic,
+            enc_rel=enc_rel,
+            enc_attr=enc_attr,
+            enc_const=enc_const,
+        )
+
+    def derive_table(self, measures: list[DistanceMeasure]) -> list[SchemeDerivation]:
+        """Derive the full Table I for a list of measures."""
+        return [self.derive(measure) for measure in measures]
+
+    def _requirements_of(self, measure: DistanceMeasure) -> EquivalenceRequirements:
+        requirements = getattr(measure, "component_requirements", None)
+        if requirements is None:
+            raise DpeError(
+                f"measure {measure.name!r} does not declare component requirements; "
+                "implement component_requirements() to use it with KIT-DPE"
+            )
+        return requirements()
+
+    def _derive_constants(self, requirement: ConstantRequirement) -> ConstantChoice:
+        if requirement.uniform is not None:
+            choice = self.appropriate_class(requirement.uniform)
+            return ConstantChoice(
+                summary=choice.chosen.value, uniform=choice, via_cryptdb=requirement.via_cryptdb
+            )
+        per_usage = tuple(
+            (usage, self.appropriate_class(component))
+            for usage, component in requirement.per_usage
+        )
+        summary = self._summarize_per_usage(per_usage, requirement.via_cryptdb)
+        return ConstantChoice(
+            summary=summary, per_usage=per_usage, via_cryptdb=requirement.via_cryptdb
+        )
+
+    @staticmethod
+    def _summarize_per_usage(
+        per_usage: tuple[tuple[ConstantUsage, ComponentChoice], ...], via_cryptdb: bool
+    ) -> str:
+        """Produce the Table I wording for workload-dependent constant choices."""
+        choices = dict(per_usage)
+        aggregate = choices.get(ConstantUsage.AGGREGATE_ARGUMENT)
+        if via_cryptdb:
+            if aggregate is not None and aggregate.chosen in (
+                EncryptionClass.PROB,
+                EncryptionClass.HOM,
+            ) and aggregate.chosen is EncryptionClass.PROB:
+                return "via CryptDB, except HOM"
+            return "via CryptDB"
+        parts = [f"{usage.value}: {choice.chosen.value}" for usage, choice in per_usage]
+        return "; ".join(parts)
+
+    # -- Step 4: security assessment ------------------------------------------ #
+
+    def assess(self, derivation: SchemeDerivation) -> SecurityAssessment:
+        """Security assessment of a derived scheme (Step 4).
+
+        All classes come from the taxonomy (known security characteristics),
+        so the assessment reduces to listing them and the weakest level in
+        use — "the desired case" of the paper.
+        """
+        classes: list[EncryptionClass] = [derivation.enc_rel.chosen, derivation.enc_attr.chosen]
+        notes: list[str] = []
+        if derivation.enc_const.uniform is not None:
+            classes.append(derivation.enc_const.uniform.chosen)
+        for usage, choice in derivation.enc_const.per_usage:
+            classes.append(choice.chosen)
+            notes.append(f"constants in {usage.value}: {choice.chosen.value}")
+        if derivation.enc_const.via_cryptdb:
+            notes.append("constant encryption delegated to CryptDB onion layers")
+        minimum = min(self.taxonomy.security_level(c) for c in classes)
+        return SecurityAssessment(
+            measure=derivation.measure,
+            classes_in_use=tuple(dict.fromkeys(classes)),
+            minimum_security_level=minimum,
+            known_from_literature=True,
+            notes=tuple(notes),
+        )

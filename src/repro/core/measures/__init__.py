@@ -1,0 +1,34 @@
+"""The four SQL query-distance measures of the paper's case study (Table I).
+
+* :class:`~repro.core.measures.token.TokenDistance` — token-based
+  query-string distance (Definition 3),
+* :class:`~repro.core.measures.structure.StructureDistance` — query-structure
+  distance over SnipSuggest features,
+* :class:`~repro.core.measures.result.ResultDistance` — query-result distance
+  (Definition 4, Jaccard over result tuples),
+* :class:`~repro.core.measures.access_area.AccessAreaDistance` —
+  query-access-area distance (Definition 5).
+
+:func:`standard_measures` returns one instance of each, in Table I order.
+"""
+
+from repro.core.measures.access_area import AccessArea, AccessAreaDistance, Interval
+from repro.core.measures.result import ResultDistance
+from repro.core.measures.structure import StructureDistance
+from repro.core.measures.token import TokenDistance
+
+
+def standard_measures() -> list:
+    """All four measures of Table I, in the paper's order."""
+    return [TokenDistance(), StructureDistance(), ResultDistance(), AccessAreaDistance()]
+
+
+__all__ = [
+    "AccessArea",
+    "AccessAreaDistance",
+    "Interval",
+    "ResultDistance",
+    "StructureDistance",
+    "TokenDistance",
+    "standard_measures",
+]

@@ -1,0 +1,428 @@
+"""Query-access-area distance (Definition 5).
+
+The access area of a query ``Q`` w.r.t. an attribute ``A`` is the part of
+``A``'s domain that ``Q`` accesses [16].  Definition 5 compares two queries
+attribute by attribute::
+
+    δ_A(Q1, Q2) = 0    if access_A(Q1) = access_A(Q2)
+                  x    if the areas overlap (default x = 0.5)
+                  1    otherwise
+
+    d_AE(Q1, Q2) = (1 / |Attr_{Q1,Q2}|) · Σ_A δ_A(Q1, Q2)
+
+where ``Attr_{Q1,Q2}`` is the set of attributes accessed by ``Q1`` or ``Q2``.
+
+Access areas are represented symbolically as unions of intervals and points
+(:class:`AccessArea`), built from the query's WHERE predicates:
+
+* ``A = c`` / ``A IN (...)``          → point set,
+* ``A < c``, ``A BETWEEN c AND c'`` … → intervals,
+* ``AND`` → intersection, ``OR`` → union,
+* ``NOT``, ``LIKE``, ``IS NULL``       → conservatively the full domain,
+* an attribute referenced without any predicate → the full domain,
+* an attribute not referenced by the query at all → the empty area.
+
+All set operations (intersection, union, overlap, equality) are invariant
+under strictly monotone value mappings, which is exactly why OPE-encrypted
+constants preserve the measure; this invariance is what the property-based
+tests check.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.dpe import DistanceMeasure, LogContext, SharedInformation
+from repro.core.domains import DomainCatalog
+from repro.core.kitdpe import (
+    ComponentRequirement,
+    ConstantRequirement,
+    ConstantUsage,
+    EquivalenceRequirements,
+)
+from repro.sql.ast import (
+    BetweenPredicate,
+    BinaryOp,
+    ColumnRef,
+    ComparisonOp,
+    Expression,
+    InPredicate,
+    Literal,
+    LogicalConnective,
+    LogicalOp,
+    Query,
+    UnaryMinus,
+)
+from repro.sql.visitor import column_refs
+
+
+# --------------------------------------------------------------------------- #
+# interval / access-area algebra
+
+
+def _less(a: object, b: object) -> bool:
+    """Strict ordering of interval endpoints (``None`` means unbounded)."""
+    return a < b  # type: ignore[operator]
+
+
+@dataclass(frozen=True)
+class Interval:
+    """A (possibly half-open, possibly unbounded) interval of an ordered domain."""
+
+    low: object | None = None
+    high: object | None = None
+    low_inclusive: bool = True
+    high_inclusive: bool = True
+
+    def is_empty(self) -> bool:
+        """True if the interval contains no values."""
+        if self.low is None or self.high is None:
+            return False
+        if _less(self.high, self.low):
+            return True
+        if self.low == self.high:
+            return not (self.low_inclusive and self.high_inclusive)
+        return False
+
+    def contains(self, value: object) -> bool:
+        """True if ``value`` lies inside the interval."""
+        if self.low is not None:
+            if _less(value, self.low):
+                return False
+            if value == self.low and not self.low_inclusive:
+                return False
+        if self.high is not None:
+            if _less(self.high, value):
+                return False
+            if value == self.high and not self.high_inclusive:
+                return False
+        return True
+
+    def overlaps(self, other: "Interval") -> bool:
+        """True if the two intervals share at least one value."""
+        return not self.intersect(other).is_empty()
+
+    def intersect(self, other: "Interval") -> "Interval":
+        """The intersection of two intervals (possibly empty)."""
+        low, low_inclusive = self.low, self.low_inclusive
+        if other.low is not None and (low is None or _less(low, other.low)):
+            low, low_inclusive = other.low, other.low_inclusive
+        elif other.low is not None and low == other.low:
+            low_inclusive = low_inclusive and other.low_inclusive
+
+        high, high_inclusive = self.high, self.high_inclusive
+        if other.high is not None and (high is None or _less(other.high, high)):
+            high, high_inclusive = other.high, other.high_inclusive
+        elif other.high is not None and high == other.high:
+            high_inclusive = high_inclusive and other.high_inclusive
+
+        return Interval(low, high, low_inclusive, high_inclusive)
+
+    def clip(self, minimum: object, maximum: object) -> "Interval":
+        """Clip the interval to the domain bounds ``[minimum, maximum]``."""
+        return self.intersect(Interval(minimum, maximum, True, True))
+
+
+@dataclass(frozen=True)
+class AccessArea:
+    """The part of one attribute's domain a query accesses."""
+
+    full: bool = False
+    intervals: frozenset[Interval] = field(default_factory=frozenset)
+    points: frozenset[object] = field(default_factory=frozenset)
+
+    # -- constructors -------------------------------------------------------- #
+
+    @classmethod
+    def full_domain(cls) -> "AccessArea":
+        """The whole domain (attribute referenced without constraining predicates)."""
+        return cls(full=True)
+
+    @classmethod
+    def empty(cls) -> "AccessArea":
+        """The empty area (attribute not accessed, or contradictory predicates)."""
+        return cls()
+
+    @classmethod
+    def of_points(cls, values: frozenset[object]) -> "AccessArea":
+        """A finite point set (equality / IN predicates)."""
+        return cls(points=values)
+
+    @classmethod
+    def of_interval(cls, interval: Interval) -> "AccessArea":
+        """A single interval (range / BETWEEN predicates)."""
+        if interval.is_empty():
+            return cls.empty()
+        return cls(intervals=frozenset({interval}))
+
+    # -- predicates ----------------------------------------------------------- #
+
+    def is_empty(self) -> bool:
+        """True if no value of the domain is accessed."""
+        return not self.full and not self.intervals and not self.points
+
+    def contains(self, value: object) -> bool:
+        """True if ``value`` is inside the area."""
+        if self.full:
+            return True
+        if value in self.points:
+            return True
+        return any(interval.contains(value) for interval in self.intervals)
+
+    def overlaps(self, other: "AccessArea") -> bool:
+        """True if the two areas share at least one value."""
+        if self.is_empty() or other.is_empty():
+            return False
+        if self.full or other.full:
+            return True
+        if self.points & other.points:
+            return True
+        if any(other.contains(point) for point in self.points):
+            return True
+        if any(self.contains(point) for point in other.points):
+            return True
+        return any(a.overlaps(b) for a in self.intervals for b in other.intervals)
+
+    # -- algebra -------------------------------------------------------------- #
+
+    def intersect(self, other: "AccessArea") -> "AccessArea":
+        """Intersection of two areas (used for AND)."""
+        if self.full:
+            return other.canonical()
+        if other.full:
+            return self.canonical()
+        intervals = set()
+        for a in self.intervals:
+            for b in other.intervals:
+                candidate = a.intersect(b)
+                if not candidate.is_empty():
+                    intervals.add(candidate)
+        points = {p for p in self.points if other.contains(p)}
+        points |= {p for p in other.points if self.contains(p)}
+        return AccessArea(intervals=frozenset(intervals), points=frozenset(points)).canonical()
+
+    def union(self, other: "AccessArea") -> "AccessArea":
+        """Union of two areas (used for OR)."""
+        if self.full or other.full:
+            return AccessArea.full_domain()
+        return AccessArea(
+            intervals=self.intervals | other.intervals,
+            points=self.points | other.points,
+        ).canonical()
+
+    def canonical(self) -> "AccessArea":
+        """Canonical form: absorb points covered by intervals, drop empty intervals.
+
+        Only transformations that commute with strictly monotone value
+        mappings are applied, so the canonical form of the encrypted area is
+        the encryption of the canonical plaintext area.
+        """
+        if self.full:
+            return AccessArea.full_domain()
+        intervals = frozenset(i for i in self.intervals if not i.is_empty())
+        points = frozenset(
+            p for p in self.points if not any(i.contains(p) for i in intervals)
+        )
+        return AccessArea(intervals=intervals, points=points)
+
+    def clip(self, minimum: object, maximum: object) -> "AccessArea":
+        """Clip all intervals to the attribute's domain bounds."""
+        if self.full or not self.intervals:
+            return self
+        clipped = frozenset(i.clip(minimum, maximum) for i in self.intervals)
+        return AccessArea(full=False, intervals=clipped, points=self.points).canonical()
+
+
+# --------------------------------------------------------------------------- #
+# building access areas from queries
+
+_RANGE_OPS = {
+    ComparisonOp.LT: lambda value: Interval(None, value, True, False),
+    ComparisonOp.LTE: lambda value: Interval(None, value, True, True),
+    ComparisonOp.GT: lambda value: Interval(value, None, False, True),
+    ComparisonOp.GTE: lambda value: Interval(value, None, True, True),
+}
+
+
+def _constant_of(expr: Expression) -> object | None:
+    if isinstance(expr, Literal):
+        return expr.value
+    if isinstance(expr, UnaryMinus) and isinstance(expr.operand, Literal):
+        value = expr.operand.value
+        if isinstance(value, (int, float)) and not isinstance(value, bool):
+            return -value
+    return None
+
+
+def _predicate_areas(expr: Expression) -> dict[str, AccessArea]:
+    """Per-attribute access areas implied by a predicate tree."""
+    if isinstance(expr, LogicalOp):
+        operand_maps = [_predicate_areas(op) for op in expr.operands]
+        combined: dict[str, AccessArea] = {}
+        attributes = {attr for mapping in operand_maps for attr in mapping}
+        for attribute in attributes:
+            areas = [
+                mapping.get(attribute, AccessArea.full_domain()) for mapping in operand_maps
+            ]
+            area = areas[0]
+            for other in areas[1:]:
+                if expr.op is LogicalConnective.AND:
+                    area = area.intersect(other)
+                else:
+                    area = area.union(other)
+            combined[attribute] = area
+        return combined
+
+    if isinstance(expr, BinaryOp) and isinstance(expr.op, ComparisonOp):
+        column, value = _column_and_constant(expr)
+        if column is None or value is None:
+            return _conservative_areas(expr)
+        if expr.op is ComparisonOp.EQ:
+            return {column: AccessArea.of_points(frozenset({value}))}
+        if expr.op is ComparisonOp.NEQ:
+            return {column: AccessArea.full_domain()}
+        op = expr.op
+        if isinstance(expr.right, ColumnRef) and not isinstance(expr.left, ColumnRef):
+            op = op.flip()
+        return {column: AccessArea.of_interval(_RANGE_OPS[op](value))}
+
+    if isinstance(expr, BetweenPredicate):
+        if isinstance(expr.operand, ColumnRef):
+            low = _constant_of(expr.low)
+            high = _constant_of(expr.high)
+            if low is not None and high is not None and not expr.negated:
+                return {expr.operand.name: AccessArea.of_interval(Interval(low, high))}
+        return _conservative_areas(expr)
+
+    if isinstance(expr, InPredicate):
+        if isinstance(expr.operand, ColumnRef) and not expr.negated:
+            values = [_constant_of(v) for v in expr.values]
+            if all(value is not None for value in values):
+                return {expr.operand.name: AccessArea.of_points(frozenset(values))}
+        return _conservative_areas(expr)
+
+    # NOT, LIKE, IS NULL, arithmetic comparisons, column-column joins:
+    # conservatively assume the whole domain of every referenced attribute is
+    # accessed.  The same rule applies on the encrypted side, so preservation
+    # is unaffected.
+    return _conservative_areas(expr)
+
+
+def _column_and_constant(expr: BinaryOp) -> tuple[str | None, object | None]:
+    left_column = expr.left.name if isinstance(expr.left, ColumnRef) else None
+    right_column = expr.right.name if isinstance(expr.right, ColumnRef) else None
+    if left_column is not None and right_column is None:
+        return left_column, _constant_of(expr.right)
+    if right_column is not None and left_column is None:
+        return right_column, _constant_of(expr.left)
+    return None, None
+
+
+def _conservative_areas(expr: Expression) -> dict[str, AccessArea]:
+    return {ref.name: AccessArea.full_domain() for ref in column_refs(expr)}
+
+
+def query_access_areas(
+    query: Query, domains: DomainCatalog | None = None
+) -> dict[str, AccessArea]:
+    """The access area of ``query`` for every attribute it accesses."""
+    accessed = {ref.name for ref in column_refs(query)}
+    areas: dict[str, AccessArea] = {attribute: AccessArea.full_domain() for attribute in accessed}
+    constraint_maps: list[dict[str, AccessArea]] = []
+    if query.where is not None:
+        constraint_maps.append(_predicate_areas(query.where))
+    if query.having is not None:
+        constraint_maps.append(_conservative_areas(query.having))
+    for mapping in constraint_maps:
+        for attribute, area in mapping.items():
+            current = areas.get(attribute, AccessArea.full_domain())
+            areas[attribute] = current.intersect(area)
+    if domains is not None:
+        for attribute, area in list(areas.items()):
+            if domains.has_domain(attribute):
+                domain = domains.domain(attribute)
+                if domain.is_numeric and not area.full:
+                    areas[attribute] = area.clip(domain.minimum, domain.maximum)
+    return areas
+
+
+# --------------------------------------------------------------------------- #
+# the distance measure
+
+
+class AccessAreaDistance(DistanceMeasure):
+    """Definition 5: averaged per-attribute access-area comparison."""
+
+    name = "access_area"
+    display_name = "Query-Access-Area Distance"
+    equivalence_notion = "Access-Area Equivalence"
+    shared_information = SharedInformation(log=True, domains=True)
+
+    def __init__(self, overlap_score: float = 0.5) -> None:
+        """``overlap_score`` is the paper's ``x`` (default 0.5, must be in (0, 1))."""
+        if not 0.0 < overlap_score < 1.0:
+            raise ValueError("overlap_score must lie strictly between 0 and 1")
+        self.overlap_score = overlap_score
+
+    def characteristic(self, query: Query, context: LogContext) -> dict[str, AccessArea]:
+        """Per-attribute access areas (the paper's ``c = access_A`` for all A)."""
+        return query_access_areas(query, context.domains)
+
+    def distance_between(
+        self,
+        characteristic_a: dict[str, AccessArea],
+        characteristic_b: dict[str, AccessArea],
+    ) -> float:
+        """Definition 5: average δ_A over the attributes accessed by either query."""
+        attributes = set(characteristic_a) | set(characteristic_b)
+        if not attributes:
+            return 0.0
+        total = 0.0
+        for attribute in attributes:
+            area_a = characteristic_a.get(attribute, AccessArea.empty())
+            area_b = characteristic_b.get(attribute, AccessArea.empty())
+            total += self._delta(area_a, area_b)
+        return total / len(attributes)
+
+    def _delta(self, area_a: AccessArea, area_b: AccessArea) -> float:
+        if area_a.canonical() == area_b.canonical():
+            return 0.0
+        if area_a.overlaps(area_b):
+            return self.overlap_score
+        return 1.0
+
+    def component_requirements(self) -> EquivalenceRequirements:
+        """KIT-DPE step 2: names need equality; constants depend on their usage.
+
+        Constants in equality predicates need DET, constants in range
+        predicates need OPE (interval overlap only relies on order), and
+        attributes that occur *only* inside aggregate arguments in the SELECT
+        clause never influence the access area — their values can be
+        encrypted probabilistically.  This is the paper's "via CryptDB,
+        except HOM" cell, the point where KIT-DPE beats CryptDB-as-is on
+        security.
+        """
+        equality = ComponentRequirement(needs_equality=True, note="names resolved by equality")
+        return EquivalenceRequirements(
+            notion=self.equivalence_notion,
+            characteristic="access areas",
+            relation_names=equality,
+            attribute_names=equality,
+            constants=ConstantRequirement(
+                per_usage=(
+                    (
+                        ConstantUsage.EQUALITY_PREDICATE,
+                        ComponentRequirement(needs_equality=True),
+                    ),
+                    (
+                        ConstantUsage.RANGE_PREDICATE,
+                        ComponentRequirement(needs_equality=True, needs_order=True),
+                    ),
+                    (
+                        ConstantUsage.AGGREGATE_ARGUMENT,
+                        ComponentRequirement(note="SELECT clause does not affect the access area"),
+                    ),
+                ),
+                via_cryptdb=True,
+            ),
+        )

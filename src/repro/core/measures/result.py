@@ -1,0 +1,86 @@
+"""Query-result distance (Definition 4).
+
+The distance between two queries is the Jaccard distance of the *sets of
+tuples in their results*.  The result of a query depends on the database
+state, so evaluating this measure requires the database content to be shared
+(encrypted) alongside the log — the "DB-Content" check mark of Table I.
+
+The characteristic to preserve is the set of result tuples (*result
+equivalence*, Definition 4): ``Enc(result_tuples(Q)) =
+result_tuples(Enc(Q))``.  On the encrypted side the measure runs the
+encrypted query against the encrypted database (the CryptDB layer) and
+compares ciphertext tuples — it never decrypts anything.
+"""
+
+from __future__ import annotations
+
+from repro._utils import jaccard_distance
+from repro.core.dpe import DistanceMeasure, LogContext, SharedInformation
+from repro.core.kitdpe import (
+    ComponentRequirement,
+    ConstantRequirement,
+    ConstantUsage,
+    EquivalenceRequirements,
+)
+from repro.db.executor import QueryExecutor
+from repro.sql.ast import Query
+
+#: A result tuple as used by the measure: the projected values, in order.
+ResultTuple = tuple[object, ...]
+
+
+class ResultDistance(DistanceMeasure):
+    """Jaccard distance over result-tuple sets."""
+
+    name = "result"
+    display_name = "Query-Result Distance"
+    equivalence_notion = "Result Equivalence"
+    shared_information = SharedInformation(log=True, db_content=True)
+
+    def characteristic(self, query: Query, context: LogContext) -> frozenset[ResultTuple]:
+        """The result-tuple set of ``query`` against the context's database."""
+        database = context.require_database()
+        result = QueryExecutor(database).execute(query)
+        return result.tuple_set()
+
+    def distance_between(
+        self,
+        characteristic_a: frozenset[ResultTuple],
+        characteristic_b: frozenset[ResultTuple],
+    ) -> float:
+        """Jaccard distance between two result-tuple sets."""
+        return jaccard_distance(characteristic_a, characteristic_b)
+
+    def component_requirements(self) -> EquivalenceRequirements:
+        """KIT-DPE step 2: queries must stay *executable* over the encrypted DB.
+
+        Relation and attribute names must resolve deterministically (DET).
+        Constants must be encrypted so that the predicates they occur in can
+        be evaluated server-side; this is exactly what CryptDB's onions
+        provide, hence the constant choice is "via CryptDB": DET for equality
+        predicates, OPE for range predicates and HOM for aggregate arguments.
+        """
+        equality = ComponentRequirement(needs_equality=True, note="names resolved by equality")
+        return EquivalenceRequirements(
+            notion=self.equivalence_notion,
+            characteristic="result tuples",
+            relation_names=equality,
+            attribute_names=equality,
+            constants=ConstantRequirement(
+                per_usage=(
+                    (
+                        ConstantUsage.EQUALITY_PREDICATE,
+                        ComponentRequirement(needs_equality=True),
+                    ),
+                    (
+                        ConstantUsage.RANGE_PREDICATE,
+                        ComponentRequirement(needs_equality=True, needs_order=True),
+                    ),
+                    (
+                        ConstantUsage.AGGREGATE_ARGUMENT,
+                        ComponentRequirement(needs_addition=True),
+                    ),
+                ),
+                via_cryptdb=True,
+            ),
+        )

@@ -1,0 +1,52 @@
+"""Query-structure distance (SnipSuggest features, Example 5).
+
+Queries are mapped to their feature sets (see :mod:`repro.sql.features`) and
+compared with the Jaccard measure.  Because features drop constants, the
+characteristic is insensitive to constant values — which is exactly why
+Table I can afford PROB encryption for constants under this measure.
+"""
+
+from __future__ import annotations
+
+from repro._utils import jaccard_distance
+from repro.core.dpe import DistanceMeasure, LogContext, SharedInformation
+from repro.core.kitdpe import ComponentRequirement, ConstantRequirement, EquivalenceRequirements
+from repro.sql.ast import Query
+from repro.sql.features import Feature, feature_set
+
+
+class StructureDistance(DistanceMeasure):
+    """Jaccard distance over SnipSuggest-style feature sets."""
+
+    name = "structure"
+    display_name = "Query-Structure Distance"
+    equivalence_notion = "Structural Equivalence"
+    shared_information = SharedInformation(log=True)
+
+    def characteristic(self, query: Query, context: LogContext) -> frozenset[Feature]:
+        """The feature set of ``query`` (the paper's ``c = features``)."""
+        _ = context
+        return feature_set(query)
+
+    def distance_between(
+        self, characteristic_a: frozenset[Feature], characteristic_b: frozenset[Feature]
+    ) -> float:
+        """Jaccard distance between two feature sets."""
+        return jaccard_distance(characteristic_a, characteristic_b)
+
+    def component_requirements(self) -> EquivalenceRequirements:
+        """KIT-DPE step 2: identifiers must stay comparable, constants need nothing.
+
+        Features contain relation and attribute names (equality-compared)
+        but no constants, so the constant functions are unconstrained and
+        the appropriate class is the most secure one — PROB.
+        """
+        equality = ComponentRequirement(needs_equality=True, note="features compared by equality")
+        unconstrained = ComponentRequirement(note="constants do not occur in features")
+        return EquivalenceRequirements(
+            notion=self.equivalence_notion,
+            characteristic="features",
+            relation_names=equality,
+            attribute_names=equality,
+            constants=ConstantRequirement(uniform=unconstrained),
+        )

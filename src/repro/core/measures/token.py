@@ -1,0 +1,53 @@
+"""Token-based query-string distance (Definition 3).
+
+A query is interpreted as the *set* of its lexical tokens; the distance
+between two queries is the Jaccard distance of their token sets::
+
+    d_token(Q1, Q2) = 1 - |tokens(Q1) ∩ tokens(Q2)| / |tokens(Q1) ∪ tokens(Q2)|
+
+The characteristic to preserve is the token set (*token equivalence*).
+"""
+
+from __future__ import annotations
+
+from repro._utils import jaccard_distance
+from repro.core.dpe import DistanceMeasure, LogContext, SharedInformation
+from repro.core.kitdpe import ComponentRequirement, ConstantRequirement, EquivalenceRequirements
+from repro.sql.ast import Query
+from repro.sql.tokens import QueryToken, query_token_set
+
+
+class TokenDistance(DistanceMeasure):
+    """Jaccard distance over query token sets."""
+
+    name = "token"
+    display_name = "Token-Based Query-String Distance"
+    equivalence_notion = "Token Equivalence"
+    shared_information = SharedInformation(log=True)
+
+    def characteristic(self, query: Query, context: LogContext) -> frozenset[QueryToken]:
+        """The token set of ``query`` (the paper's ``c = tokens``)."""
+        _ = context
+        return query_token_set(query)
+
+    def distance_between(
+        self, characteristic_a: frozenset[QueryToken], characteristic_b: frozenset[QueryToken]
+    ) -> float:
+        """Jaccard distance between two token sets."""
+        return jaccard_distance(characteristic_a, characteristic_b)
+
+    def component_requirements(self) -> EquivalenceRequirements:
+        """KIT-DPE step 2: every encrypted token must stay equality-comparable.
+
+        Relation names, attribute names and constants all become tokens of
+        the encrypted query, so all three components need a deterministic
+        (equality-preserving) encryption — Table I assigns DET everywhere.
+        """
+        equality = ComponentRequirement(needs_equality=True, note="tokens compared by equality")
+        return EquivalenceRequirements(
+            notion=self.equivalence_notion,
+            characteristic="tokens",
+            relation_names=equality,
+            attribute_names=equality,
+            constants=ConstantRequirement(uniform=equality),
+        )

@@ -1,0 +1,29 @@
+"""DPE schemes for SQL query logs — one per distance measure of Table I.
+
+Every scheme implements the paper's high-level encryption scheme
+``(EncRel, EncAttr, {EncA.Const : Attribute A})`` with the encryption classes
+the KIT-DPE procedure derives for its measure:
+
+* :class:`~repro.core.schemes.token_scheme.TokenDpeScheme` — DET / DET / DET,
+* :class:`~repro.core.schemes.structure_scheme.StructureDpeScheme` — DET /
+  DET / PROB,
+* :class:`~repro.core.schemes.result_scheme.ResultDpeScheme` — DET / DET /
+  via CryptDB (the scheme wraps a :class:`~repro.cryptdb.proxy.CryptDBProxy`),
+* :class:`~repro.core.schemes.access_area_scheme.AccessAreaDpeScheme` — DET /
+  DET / via CryptDB except HOM (aggregate-only attributes stay PROB).
+"""
+
+from repro.core.schemes.access_area_scheme import AccessAreaDpeScheme
+from repro.core.schemes.base import QueryLogDpeScheme, QueryNameResolver
+from repro.core.schemes.result_scheme import ResultDpeScheme
+from repro.core.schemes.structure_scheme import StructureDpeScheme
+from repro.core.schemes.token_scheme import TokenDpeScheme
+
+__all__ = [
+    "AccessAreaDpeScheme",
+    "QueryLogDpeScheme",
+    "QueryNameResolver",
+    "ResultDpeScheme",
+    "StructureDpeScheme",
+    "TokenDpeScheme",
+]

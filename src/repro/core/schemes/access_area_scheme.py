@@ -1,0 +1,326 @@
+"""DPE scheme for the query-access-area distance (Table I, row 4).
+
+EncRel = DET, EncAttr = DET, EncConst = via CryptDB, **except HOM**.
+
+Constant encryption follows the attribute's usage across the whole log
+(mirroring how CryptDB adjusts onions to the workload):
+
+* attributes occurring in **range predicates** anywhere in the log get a
+  per-attribute OPE function — every constant compared against them
+  (including equality constants) is OPE-encrypted, so interval overlap and
+  point membership remain computable over ciphertexts;
+* attributes occurring only in **equality predicates** get a per-attribute
+  DET function;
+* attributes occurring **only inside aggregate arguments** in the SELECT
+  clause never influence the access area; their values (and the shared
+  domain information about them) are encrypted probabilistically.  This is
+  the "except HOM" cell of Table I and the point where the KIT-DPE scheme is
+  strictly more secure than running CryptDB as-is, which would expose a HOM
+  (or peeled OPE/DET) representation for them.
+
+The scheme is *workload-dependent*: :meth:`fit` analyses the log before any
+query can be encrypted, exactly like CryptDB's onion adjustment is driven by
+the observed workload.
+"""
+
+from __future__ import annotations
+
+import enum
+
+from repro.core.domains import Domain, DomainCatalog
+from repro.core.dpe import LogContext
+from repro.core.measures.access_area import AccessArea, AccessAreaDistance, Interval
+from repro.core.schemes.base import HighLevelSchemeTransformer, QueryLogDpeScheme
+from repro.crypto.det import DeterministicScheme
+from repro.crypto.keys import KeyChain
+from repro.crypto.ope import OrderPreservingScheme
+from repro.crypto.prob import ProbabilisticScheme
+from repro.exceptions import DpeError
+from repro.sql.ast import (
+    AggregateCall,
+    BetweenPredicate,
+    BinaryOp,
+    ColumnRef,
+    ComparisonOp,
+    Expression,
+    InPredicate,
+    Literal,
+    Query,
+)
+from repro.sql.log import QueryLog
+from repro.sql.visitor import TransformContext, column_refs, walk
+
+
+class AttributeUsage(enum.Enum):
+    """How an attribute is used across the log (decides its constant scheme)."""
+
+    RANGE = "range"
+    EQUALITY = "equality"
+    AGGREGATE_ONLY = "aggregate-only"
+    OTHER = "other"
+
+
+#: OPE domain for (scaled) constants.
+_OPE_DOMAIN = (-(2**40), 2**40 - 1)
+#: Fixed-point scale applied to REAL-valued constants before OPE.
+_FLOAT_SCALE = 1000
+
+
+class AccessAreaDpeScheme(QueryLogDpeScheme):
+    """Per-attribute OPE/DET constants, PROB for aggregate-only attributes."""
+
+    def __init__(self, keychain: KeyChain, *, overlap_score: float = 0.5) -> None:
+        super().__init__(keychain)
+        self.measure = AccessAreaDistance(overlap_score=overlap_score)
+        self._usage: dict[str, AttributeUsage] | None = None
+        self._float_attributes: set[str] = set()
+        self._ope_cache: dict[str, OrderPreservingScheme] = {}
+        self._det_cache: dict[str, DeterministicScheme] = {}
+        self._prob_scheme = ProbabilisticScheme(
+            keychain.key_for("access-area-scheme", "aggregate-only")
+        )
+        self._fallback_det = DeterministicScheme(
+            keychain.key_for("access-area-scheme", "fallback")
+        )
+
+    # ------------------------------------------------------------------ #
+    # workload analysis
+
+    def fit(self, log: QueryLog, domains: DomainCatalog | None = None) -> dict[str, AttributeUsage]:
+        """Analyse the log and fix each attribute's usage class.
+
+        Must be called (directly or via :meth:`encrypt_context` /
+        :meth:`encrypt_log`) before queries can be encrypted.
+        """
+        range_attributes: set[str] = set()
+        equality_attributes: set[str] = set()
+        aggregate_attributes: set[str] = set()
+        referenced_outside_aggregates: set[str] = set()
+        float_attributes: set[str] = set()
+
+        for entry in log:
+            query = entry.query
+            for node in walk(query):
+                if isinstance(node, AggregateCall):
+                    aggregate_attributes.update(ref.name for ref in column_refs(node.argument))
+            aggregate_refs_in_query = {
+                ref.name
+                for node in walk(query)
+                if isinstance(node, AggregateCall)
+                for ref in column_refs(node.argument)
+            }
+            for ref in column_refs(query):
+                if ref.name not in aggregate_refs_in_query:
+                    referenced_outside_aggregates.add(ref.name)
+            predicates: list[Expression] = []
+            if query.where is not None:
+                predicates.append(query.where)
+            if query.having is not None:
+                predicates.append(query.having)
+            for join in query.joins:
+                if join.condition is not None:
+                    predicates.append(join.condition)
+            for predicate in predicates:
+                self._collect_predicate_usage(
+                    predicate, range_attributes, equality_attributes, float_attributes
+                )
+            referenced_outside_aggregates.update(
+                ref.name for predicate in predicates for ref in column_refs(predicate)
+            )
+
+        if domains is not None:
+            for domain in domains:
+                if domain.is_numeric and (
+                    isinstance(domain.minimum, float) or isinstance(domain.maximum, float)
+                ):
+                    float_attributes.add(domain.attribute)
+
+        usage: dict[str, AttributeUsage] = {}
+        all_attributes = (
+            range_attributes
+            | equality_attributes
+            | aggregate_attributes
+            | referenced_outside_aggregates
+        )
+        for attribute in all_attributes:
+            if attribute in range_attributes:
+                usage[attribute] = AttributeUsage.RANGE
+            elif attribute in equality_attributes:
+                usage[attribute] = AttributeUsage.EQUALITY
+            elif attribute in aggregate_attributes and attribute not in referenced_outside_aggregates:
+                usage[attribute] = AttributeUsage.AGGREGATE_ONLY
+            else:
+                usage[attribute] = AttributeUsage.OTHER
+        self._usage = usage
+        self._float_attributes = float_attributes
+        return dict(usage)
+
+    @staticmethod
+    def _collect_predicate_usage(
+        predicate: Expression,
+        range_attributes: set[str],
+        equality_attributes: set[str],
+        float_attributes: set[str],
+    ) -> None:
+        for node in walk(predicate):
+            if isinstance(node, BinaryOp) and isinstance(node.op, ComparisonOp):
+                refs = [r for r in (node.left, node.right) if isinstance(r, ColumnRef)]
+                literals = [l for l in (node.left, node.right) if isinstance(l, Literal)]
+                for ref in refs:
+                    if node.op in (ComparisonOp.EQ, ComparisonOp.NEQ):
+                        equality_attributes.add(ref.name)
+                    else:
+                        range_attributes.add(ref.name)
+                    if any(isinstance(lit.value, float) for lit in literals):
+                        float_attributes.add(ref.name)
+            elif isinstance(node, BetweenPredicate) and isinstance(node.operand, ColumnRef):
+                range_attributes.add(node.operand.name)
+                for bound in (node.low, node.high):
+                    if isinstance(bound, Literal) and isinstance(bound.value, float):
+                        float_attributes.add(node.operand.name)
+            elif isinstance(node, InPredicate) and isinstance(node.operand, ColumnRef):
+                equality_attributes.add(node.operand.name)
+                if any(
+                    isinstance(value, Literal) and isinstance(value.value, float)
+                    for value in node.values
+                ):
+                    float_attributes.add(node.operand.name)
+
+    def usage_of(self, attribute: str) -> AttributeUsage:
+        """The fitted usage class of ``attribute`` (OTHER if never seen)."""
+        if self._usage is None:
+            raise DpeError("AccessAreaDpeScheme.fit() must be called before encryption")
+        return self._usage.get(attribute, AttributeUsage.OTHER)
+
+    # ------------------------------------------------------------------ #
+    # per-attribute constant encryption
+
+    def _scale_for(self, attribute: str) -> int:
+        return _FLOAT_SCALE if attribute in self._float_attributes else 1
+
+    def _ope_for(self, attribute: str) -> OrderPreservingScheme:
+        if attribute not in self._ope_cache:
+            self._ope_cache[attribute] = OrderPreservingScheme(
+                self.keychain.key_for("access-area-scheme", "constants", attribute, "ope"),
+                domain_min=_OPE_DOMAIN[0],
+                domain_max=_OPE_DOMAIN[1],
+            )
+        return self._ope_cache[attribute]
+
+    def _det_for(self, attribute: str) -> DeterministicScheme:
+        if attribute not in self._det_cache:
+            self._det_cache[attribute] = DeterministicScheme(
+                self.keychain.key_for("access-area-scheme", "constants", attribute, "det")
+            )
+        return self._det_cache[attribute]
+
+    def encrypt_constant_for(self, attribute: str, value: object) -> object:
+        """Encrypt one constant compared against ``attribute`` (per its usage)."""
+        usage = self.usage_of(attribute)
+        if usage is AttributeUsage.RANGE:
+            if isinstance(value, bool) or not isinstance(value, (int, float)):
+                # A text constant compared against a range attribute can only
+                # come from an equality predicate; DET keeps it comparable.
+                return self._det_for(attribute).encrypt(value)  # type: ignore[arg-type]
+            scaled = round(value * self._scale_for(attribute))
+            return self._ope_for(attribute).encrypt(scaled)
+        if usage is AttributeUsage.AGGREGATE_ONLY:
+            return self._prob_scheme.encrypt(value)  # type: ignore[arg-type]
+        return self._det_for(attribute).encrypt(value)  # type: ignore[arg-type]
+
+    def _encrypt_literal(self, literal: Literal, context: TransformContext) -> Expression:
+        if context.aggregate is not None:
+            return Literal(self._prob_scheme.encrypt(literal.value))
+        compared = context.compared_column()
+        if compared is not None:
+            return Literal(self.encrypt_constant_for(compared.name, literal.value))
+        return Literal(self._fallback_det.encrypt(literal.value))
+
+    # ------------------------------------------------------------------ #
+    # QueryLogDpeScheme interface
+
+    def encrypt_query(self, query: Query) -> Query:
+        if self._usage is None:
+            raise DpeError("AccessAreaDpeScheme.fit() must be called before encrypt_query()")
+        transformer = HighLevelSchemeTransformer(
+            query,
+            self.relation_scheme,
+            self.attribute_scheme,
+            self._encrypt_literal,
+            # Negative constants must keep their sign inside the OPE
+            # ciphertext so that interval arithmetic over ciphertexts mirrors
+            # the plaintext intervals.
+            fold_signed_constants=True,
+        )
+        return transformer.transform_query(query)
+
+    def encrypt_log(self, log: QueryLog) -> QueryLog:
+        if self._usage is None:
+            self.fit(log)
+        return log.map_queries(self.encrypt_query)
+
+    def encrypt_context(self, context: LogContext) -> LogContext:
+        """Encrypt the log and the shared domains (Table I: Log + Domains)."""
+        domains = context.domains
+        if self._usage is None:
+            self.fit(context.log, domains)
+        encrypted_domains = None if domains is None else self.encrypt_domains(domains)
+        return LogContext(
+            log=self.encrypt_log(context.log),
+            domains=encrypted_domains,
+            labels={"encrypted": True},
+        )
+
+    def encrypt_domains(self, domains: DomainCatalog) -> DomainCatalog:
+        """Encrypt the shared domain catalog.
+
+        Only range attributes need ordered (OPE-encrypted) domain bounds; the
+        access areas of equality-only and aggregate-only attributes never use
+        interval arithmetic, so their domains are omitted from the shared
+        catalog (sharing less is strictly more secure).
+        """
+        encrypted = DomainCatalog()
+        for domain in domains:
+            attribute = domain.attribute
+            if self.usage_of(attribute) is not AttributeUsage.RANGE or not domain.is_numeric:
+                continue
+            scale = self._scale_for(attribute)
+            ope = self._ope_for(attribute)
+            encrypted.add(
+                Domain(
+                    self.attribute_scheme.encrypt_identifier(attribute),
+                    minimum=ope.encrypt(round(domain.minimum * scale)),  # type: ignore[arg-type]
+                    maximum=ope.encrypt(round(domain.maximum * scale)),  # type: ignore[arg-type]
+                )
+            )
+        return encrypted
+
+    def encrypt_characteristic(
+        self, query: Query, characteristic: object, context: LogContext
+    ) -> dict[str, AccessArea]:
+        """Encrypt per-attribute access areas: Enc(access_A(Q)) of Definition 2."""
+        _ = query, context
+        if not isinstance(characteristic, dict):
+            raise DpeError("access-area characteristic must be a dict of attribute -> area")
+        encrypted: dict[str, AccessArea] = {}
+        for attribute, area in characteristic.items():
+            encrypted_name = self.attribute_scheme.encrypt_identifier(attribute)
+            encrypted[encrypted_name] = self._encrypt_area(attribute, area)
+        return encrypted
+
+    def _encrypt_area(self, attribute: str, area: AccessArea) -> AccessArea:
+        if area.full:
+            return AccessArea.full_domain()
+        points = frozenset(
+            self.encrypt_constant_for(attribute, point) for point in area.points
+        )
+        intervals = frozenset(
+            Interval(
+                None if i.low is None else self.encrypt_constant_for(attribute, i.low),
+                None if i.high is None else self.encrypt_constant_for(attribute, i.high),
+                i.low_inclusive,
+                i.high_inclusive,
+            )
+            for i in area.intervals
+        )
+        return AccessArea(intervals=intervals, points=points).canonical()

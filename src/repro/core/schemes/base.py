@@ -1,0 +1,182 @@
+"""Shared machinery for the query-log DPE schemes.
+
+All four schemes instantiate the same high-level scheme from the paper's
+Section IV-A: relation names are encrypted with ``EncRel``, attribute names
+(and every other identifier: aliases, qualifiers) with ``EncAttr``, and
+constants with per-attribute functions ``EncA.Const``.  What differs per
+measure is only the encryption *class* of the constant functions — the
+structural rewriting of queries is identical and lives here.
+"""
+
+from __future__ import annotations
+
+import abc
+
+from repro.core.dpe import DistanceMeasure, LogContext
+from repro.core.kitdpe import KitDpeEngine, SchemeDerivation
+from repro.crypto.det import DeterministicScheme
+from repro.crypto.keys import KeyChain
+from repro.sql.ast import ColumnRef, Expression, Literal, Query, TableRef
+from repro.sql.log import QueryLog
+from repro.sql.visitor import AstTransformer, TransformContext
+
+
+class QueryNameResolver:
+    """Classifies the identifiers of a query: relation names vs. everything else.
+
+    The high-level scheme uses two identifier-encryption functions: EncRel
+    for relation names and EncAttr for attribute names.  Aliases and
+    qualifiers follow EncAttr (they are user-chosen labels, not schema
+    elements, but leaving them plain could leak table names).  Both the query
+    transformer and the characteristic-level encryption use the same
+    resolver, which is what makes ``Enc(c(x)) = c(Enc(x))`` hold.
+    """
+
+    def __init__(self, query: Query) -> None:
+        self.relation_names = frozenset(ref.name for ref in query.tables())
+
+    def is_relation(self, identifier: str) -> bool:
+        """True if ``identifier`` names a relation in this query."""
+        return identifier in self.relation_names
+
+
+class HighLevelSchemeTransformer(AstTransformer):
+    """AST transformer implementing (EncRel, EncAttr, EncConst) rewriting.
+
+    Subclass hooks decide how constants are encrypted (:meth:`encrypt_constant`);
+    identifier handling is shared.
+    """
+
+    def __init__(
+        self,
+        query: Query,
+        relation_scheme: DeterministicScheme,
+        attribute_scheme: DeterministicScheme,
+        constant_encryptor,
+        *,
+        fold_signed_constants: bool = False,
+    ) -> None:
+        """``fold_signed_constants`` folds ``-5`` (``UnaryMinus(Literal(5))``)
+        into ``Literal(-5)`` before encryption.  Schemes whose constants must
+        stay numerically comparable (OPE in the access-area scheme) need the
+        sign inside the ciphertext; the token scheme keeps the minus operator
+        as its own token instead, matching the plaintext token set.
+        """
+        self._resolver = QueryNameResolver(query)
+        self._relation_scheme = relation_scheme
+        self._attribute_scheme = attribute_scheme
+        self._encrypt_constant = constant_encryptor
+        self._fold_signed_constants = fold_signed_constants
+
+    def _encrypt_identifier(self, identifier: str) -> str:
+        if self._resolver.is_relation(identifier):
+            return self._relation_scheme.encrypt_identifier(identifier)
+        return self._attribute_scheme.encrypt_identifier(identifier)
+
+    def transform_table_ref(self, ref: TableRef) -> TableRef:
+        alias = None
+        if ref.alias is not None:
+            alias = self._attribute_scheme.encrypt_identifier(ref.alias)
+        return TableRef(self._relation_scheme.encrypt_identifier(ref.name), alias)
+
+    def transform_column_ref(self, ref: ColumnRef, context: TransformContext) -> Expression:
+        _ = context
+        table = None if ref.table is None else self._encrypt_identifier(ref.table)
+        return ColumnRef(self._attribute_scheme.encrypt_identifier(ref.name), table)
+
+    def transform_literal(self, literal: Literal, context: TransformContext) -> Expression:
+        # NULL and boolean literals are part of the query structure (IS NULL,
+        # TRUE/FALSE keywords), not database content; they stay in the clear
+        # under every scheme, mirroring how the lexer treats them as keywords.
+        if literal.value is None or isinstance(literal.value, bool):
+            return literal
+        return self._encrypt_constant(literal, context)
+
+    def _transform_expression(self, expr, context: TransformContext):
+        from repro.sql.ast import UnaryMinus
+
+        if (
+            self._fold_signed_constants
+            and isinstance(expr, UnaryMinus)
+            and isinstance(expr.operand, Literal)
+            and isinstance(expr.operand.value, (int, float))
+            and not isinstance(expr.operand.value, bool)
+        ):
+            return self.transform_literal(Literal(-expr.operand.value), context)
+        return super()._transform_expression(expr, context)
+
+    def transform_query(self, query: Query) -> Query:
+        transformed = super().transform_query(query)
+        select_items = tuple(
+            item
+            if item.alias is None
+            else type(item)(item.expression, self._attribute_scheme.encrypt_identifier(item.alias))
+            for item in transformed.select_items
+        )
+        return Query(
+            select_items=select_items,
+            from_table=transformed.from_table,
+            joins=transformed.joins,
+            where=transformed.where,
+            group_by=transformed.group_by,
+            having=transformed.having,
+            order_by=transformed.order_by,
+            limit=transformed.limit,
+            distinct=transformed.distinct,
+        )
+
+
+class QueryLogDpeScheme(abc.ABC):
+    """Base class of the four measure-specific DPE schemes."""
+
+    #: The distance measure this scheme preserves.
+    measure: DistanceMeasure
+
+    def __init__(self, keychain: KeyChain) -> None:
+        self.keychain = keychain
+        self.relation_scheme = DeterministicScheme(keychain.relation_key())
+        self.attribute_scheme = DeterministicScheme(keychain.attribute_key())
+
+    # -- query-level encryption ---------------------------------------------- #
+
+    @abc.abstractmethod
+    def encrypt_query(self, query: Query) -> Query:
+        """Encrypt a single query (the paper's ``Enc(Q)``, Example 4)."""
+
+    def encrypt_log(self, log: QueryLog) -> QueryLog:
+        """Encrypt every entry of a log, preserving order and metadata."""
+        return log.map_queries(self.encrypt_query)
+
+    def encrypt_context(self, context: LogContext) -> LogContext:
+        """Encrypt a full :class:`LogContext` (log + whatever must be shared).
+
+        The base implementation encrypts only the log; schemes whose measure
+        needs more shared information (database content, domains) override
+        this and encrypt that information as well.
+        """
+        return LogContext(log=self.encrypt_log(context.log), labels={"encrypted": True})
+
+    # -- characteristic-level encryption (Definition 2) ------------------------ #
+
+    @abc.abstractmethod
+    def encrypt_characteristic(
+        self, query: Query, characteristic: object, context: LogContext
+    ) -> object:
+        """Encrypt a characteristic value ``c(query)`` (the ``Enc(c(x))`` side)."""
+
+    # -- KIT-DPE integration ---------------------------------------------------- #
+
+    def derivation(self, engine: KitDpeEngine | None = None) -> SchemeDerivation:
+        """The Table I row KIT-DPE derives for this scheme's measure."""
+        return (engine or KitDpeEngine()).derive(self.measure)
+
+    def describe(self) -> dict[str, str]:
+        """Human/machine-readable summary of the scheme."""
+        derivation = self.derivation()
+        return {
+            "measure": self.measure.display_name,
+            "equivalence_notion": self.measure.equivalence_notion,
+            "enc_rel": derivation.enc_rel.chosen.value,
+            "enc_attr": derivation.enc_attr.chosen.value,
+            "enc_const": derivation.enc_const.summary,
+        }

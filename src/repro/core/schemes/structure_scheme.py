@@ -1,0 +1,80 @@
+"""DPE scheme for the query-structure distance (Table I, row 2).
+
+EncRel = DET, EncAttr = DET, EncConst = PROB.
+
+Constants never occur in the SnipSuggest feature set, so they can be
+encrypted with a probabilistic scheme — two occurrences of the same constant
+become different ciphertexts, which is the highest security level of
+Figure 1.  Only the identifiers (which *do* appear in features) need
+deterministic encryption.
+"""
+
+from __future__ import annotations
+
+import re
+
+from repro.core.dpe import LogContext
+from repro.core.measures.structure import StructureDistance
+from repro.core.schemes.base import HighLevelSchemeTransformer, QueryLogDpeScheme, QueryNameResolver
+from repro.crypto.keys import KeyChain
+from repro.crypto.prob import ProbabilisticScheme
+from repro.exceptions import DpeError
+from repro.sql.ast import Expression, Literal, Query
+from repro.sql.features import Feature
+from repro.sql.lexer import KEYWORDS
+from repro.sql.visitor import TransformContext
+
+_IDENTIFIER_PATTERN = re.compile(r"[A-Za-z_][A-Za-z0-9_]*")
+
+
+class StructureDpeScheme(QueryLogDpeScheme):
+    """DET identifiers, PROB constants."""
+
+    def __init__(self, keychain: KeyChain) -> None:
+        super().__init__(keychain)
+        self.measure = StructureDistance()
+        self._constant_scheme = ProbabilisticScheme(
+            keychain.key_for("structure-scheme", "constants")
+        )
+
+    def _encrypt_literal(self, literal: Literal, context: TransformContext) -> Expression:
+        _ = context
+        return Literal(self._constant_scheme.encrypt(literal.value))
+
+    # -- QueryLogDpeScheme interface ------------------------------------------- #
+
+    def encrypt_query(self, query: Query) -> Query:
+        transformer = HighLevelSchemeTransformer(
+            query, self.relation_scheme, self.attribute_scheme, self._encrypt_literal
+        )
+        return transformer.transform_query(query)
+
+    def encrypt_characteristic(
+        self, query: Query, characteristic: object, context: LogContext
+    ) -> frozenset[Feature]:
+        """Encrypt a feature set: every identifier inside a skeleton is encrypted.
+
+        Feature skeletons are short expression fragments ("A2 >", "R",
+        "SUM(price)").  Identifiers (non-keyword word tokens) are replaced
+        in place by their EncRel/EncAttr ciphertexts; spacing, operators and
+        keywords stay verbatim, so ``Enc(features(Q)) = features(Enc(Q))``.
+        """
+        _ = context
+        if not isinstance(characteristic, frozenset):
+            raise DpeError("structure characteristic must be a frozenset of features")
+        resolver = QueryNameResolver(query)
+        return frozenset(
+            Feature(feature.clause, self._encrypt_skeleton(feature.skeleton, resolver))
+            for feature in characteristic
+        )
+
+    def _encrypt_skeleton(self, skeleton: str, resolver: QueryNameResolver) -> str:
+        def replace(match: re.Match[str]) -> str:
+            word = match.group(0)
+            if word.upper() in KEYWORDS:
+                return word
+            if resolver.is_relation(word):
+                return self.relation_scheme.encrypt_identifier(word)
+            return self.attribute_scheme.encrypt_identifier(word)
+
+        return _IDENTIFIER_PATTERN.sub(replace, skeleton)

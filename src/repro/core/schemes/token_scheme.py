@@ -1,0 +1,105 @@
+"""DPE scheme for the token-based query-string distance (Table I, row 1).
+
+EncRel = DET, EncAttr = DET, EncConst = DET.
+
+One refinement over the paper's table is made explicit here: the token set of
+a query does not retain *which attribute* a constant was compared against, so
+for distances **across** queries the constant-encryption functions must agree
+on common constants.  We therefore use a single DET function for all
+constants by default (``per_attribute_constants=False``).  Switching the flag
+on reproduces the paper's literal per-attribute formulation; each query still
+satisfies c-equivalence, but pairwise distances can change when the same
+constant is compared against different attributes in different queries — the
+ablation experiment (A1) demonstrates exactly this.
+"""
+
+from __future__ import annotations
+
+from repro.core.dpe import LogContext
+from repro.core.measures.token import TokenDistance
+from repro.core.schemes.base import HighLevelSchemeTransformer, QueryLogDpeScheme, QueryNameResolver
+from repro.crypto.det import DeterministicScheme
+from repro.crypto.keys import KeyChain
+from repro.exceptions import DpeError
+from repro.sql.ast import Expression, Literal, Query
+from repro.sql.lexer import TokenType
+from repro.sql.tokens import QueryToken
+from repro.sql.visitor import TransformContext
+
+
+class TokenDpeScheme(QueryLogDpeScheme):
+    """Deterministic encryption of relation names, attribute names and constants."""
+
+    def __init__(self, keychain: KeyChain, *, per_attribute_constants: bool = False) -> None:
+        super().__init__(keychain)
+        self.measure = TokenDistance()
+        self.per_attribute_constants = per_attribute_constants
+        self._shared_constant_scheme = DeterministicScheme(
+            keychain.key_for("token-scheme", "constants")
+        )
+        self._per_attribute_cache: dict[str, DeterministicScheme] = {}
+
+    # -- constant handling --------------------------------------------------- #
+
+    def _constant_scheme(self, attribute: str | None) -> DeterministicScheme:
+        if not self.per_attribute_constants or attribute is None:
+            return self._shared_constant_scheme
+        if attribute not in self._per_attribute_cache:
+            self._per_attribute_cache[attribute] = DeterministicScheme(
+                self.keychain.key_for("token-scheme", "constants", attribute)
+            )
+        return self._per_attribute_cache[attribute]
+
+    def _encrypt_literal(self, literal: Literal, context: TransformContext) -> Expression:
+        attribute = None
+        compared = context.compared_column()
+        if compared is not None:
+            attribute = compared.name
+        scheme = self._constant_scheme(attribute)
+        return Literal(scheme.encrypt(literal.value))
+
+    # -- QueryLogDpeScheme interface ------------------------------------------- #
+
+    def encrypt_query(self, query: Query) -> Query:
+        transformer = HighLevelSchemeTransformer(
+            query, self.relation_scheme, self.attribute_scheme, self._encrypt_literal
+        )
+        return transformer.transform_query(query)
+
+    def encrypt_characteristic(
+        self, query: Query, characteristic: object, context: LogContext
+    ) -> frozenset[QueryToken]:
+        """Encrypt a token set: Enc(tokens(Q)) of Definition 2.
+
+        Keywords, operators and punctuation stay as they are; identifiers go
+        through EncRel or EncAttr depending on their role in ``query``;
+        number and string tokens go through the constant function.  The
+        per-attribute variant cannot be applied here because the token set
+        has lost the attribute context — exactly the refinement discussed in
+        the module docstring.
+        """
+        _ = context
+        if not isinstance(characteristic, frozenset):
+            raise DpeError("token characteristic must be a frozenset of tokens")
+        if self.per_attribute_constants:
+            raise DpeError(
+                "token sets do not retain attribute context; characteristic-level "
+                "encryption requires the shared-constant-key configuration"
+            )
+        resolver = QueryNameResolver(query)
+        encrypted: set[QueryToken] = set()
+        for kind, text in characteristic:
+            encrypted.add(self._encrypt_token(kind, text, resolver))
+        return frozenset(encrypted)
+
+    def _encrypt_token(self, kind: str, text: str, resolver: QueryNameResolver) -> QueryToken:
+        if kind == TokenType.IDENTIFIER.value:
+            if resolver.is_relation(text):
+                return (kind, self.relation_scheme.encrypt_identifier(text))
+            return (kind, self.attribute_scheme.encrypt_identifier(text))
+        if kind == TokenType.NUMBER.value:
+            value: int | float = float(text) if "." in text else int(text)
+            return (TokenType.STRING.value, self._shared_constant_scheme.encrypt(value))
+        if kind == TokenType.STRING.value:
+            return (kind, self._shared_constant_scheme.encrypt(text))
+        return (kind, text)

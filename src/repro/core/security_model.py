@@ -1,0 +1,158 @@
+"""Security models for query-log outsourcing (Step 1 of KIT-DPE).
+
+Step 1 of the KIT-DPE procedure fixes (1) a *threat model* — the passive
+attacks the scheme must shield against — and (2) a *high-level encryption
+scheme* — which parts of a query are encrypted with which (as yet abstract)
+encryption function.
+
+Following Section IV-A and the query-log attack taxonomy of Sanamrad &
+Kossmann [9], the passive attacks on encrypted query logs are the query-only,
+known-query and chosen-query attacks (instantiating cipher-text-only,
+known-plaintext and chosen-plaintext attacks).  The high-level scheme for SQL
+logs is the paper's triple ``(EncRel, EncAttr, {EncA.Const : Attribute A})``.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+from repro.exceptions import SecurityModelError
+
+
+class AttackType(enum.Enum):
+    """Passive attacks on encrypted query logs (Example 3 of the paper / [9])."""
+
+    #: Cipher-text only: the attacker sees only the encrypted log.
+    QUERY_ONLY = "query-only"
+    #: Known-plain-text: the attacker additionally knows some (plain, encrypted) query pairs.
+    KNOWN_QUERY = "known-query"
+    #: Chosen-plain-text: the attacker can obtain encryptions of queries of its choice.
+    CHOSEN_QUERY = "chosen-query"
+
+    @property
+    def strength(self) -> int:
+        """Relative attacker strength (higher = stronger attacker)."""
+        return {
+            AttackType.QUERY_ONLY: 1,
+            AttackType.KNOWN_QUERY: 2,
+            AttackType.CHOSEN_QUERY: 3,
+        }[self]
+
+
+class QueryPart(enum.Enum):
+    """The parts of a query the high-level scheme may encrypt."""
+
+    RELATION_NAMES = "relation names"
+    ATTRIBUTE_NAMES = "attribute names"
+    CONSTANTS = "constants"
+    KEYWORDS = "keywords and operators"
+
+
+@dataclass(frozen=True)
+class ThreatModel:
+    """The set of passive attacks a scheme must withstand."""
+
+    attacks: frozenset[AttackType]
+
+    def __post_init__(self) -> None:
+        if not self.attacks:
+            raise SecurityModelError("a threat model must name at least one attack")
+
+    @classmethod
+    def passive_default(cls) -> "ThreatModel":
+        """The paper's default: all passive attacks on query logs."""
+        return cls(frozenset(AttackType))
+
+    def strongest_attack(self) -> AttackType:
+        """The strongest attacker the model considers."""
+        return max(self.attacks, key=lambda attack: attack.strength)
+
+    def describe(self) -> str:
+        """Human-readable summary."""
+        names = ", ".join(sorted(attack.value for attack in self.attacks))
+        return f"passive attacks: {names}"
+
+
+@dataclass(frozen=True)
+class HighLevelScheme:
+    """Which query parts are encrypted (with distinct abstract functions).
+
+    The paper's scheme for SQL logs encrypts relation names, attribute names
+    and constants (with one constant function per attribute) and leaves SQL
+    keywords/operators in the clear — hiding the query *structure* is
+    explicitly out of scope for the considered threat model.
+    """
+
+    encrypted_parts: frozenset[QueryPart]
+    per_attribute_constants: bool = True
+
+    @classmethod
+    def sql_log_default(cls) -> "HighLevelScheme":
+        """The paper's (EncRel, EncAttr, {EncA.Const}) scheme."""
+        return cls(
+            frozenset(
+                {QueryPart.RELATION_NAMES, QueryPart.ATTRIBUTE_NAMES, QueryPart.CONSTANTS}
+            ),
+            per_attribute_constants=True,
+        )
+
+    def encrypts(self, part: QueryPart) -> bool:
+        """Return True if ``part`` is encrypted by this scheme."""
+        return part in self.encrypted_parts
+
+    def describe(self) -> str:
+        """Human-readable summary."""
+        parts = ", ".join(sorted(part.value for part in self.encrypted_parts))
+        suffix = " (one constant function per attribute)" if self.per_attribute_constants else ""
+        return f"encrypt: {parts}{suffix}"
+
+
+@dataclass(frozen=True)
+class SecurityGoal:
+    """A natural-language security goal with the query parts it protects."""
+
+    description: str
+    protected_parts: frozenset[QueryPart]
+
+
+@dataclass
+class SecurityModel:
+    """Step 1 output: threat model + high-level scheme + goals."""
+
+    threat_model: ThreatModel = field(default_factory=ThreatModel.passive_default)
+    high_level_scheme: HighLevelScheme = field(default_factory=HighLevelScheme.sql_log_default)
+    goals: tuple[SecurityGoal, ...] = ()
+
+    @classmethod
+    def sql_log_default(cls) -> "SecurityModel":
+        """The security model used in the paper's case study (Section IV-A)."""
+        goals = (
+            SecurityGoal(
+                "the log should not reveal information on the content of the database",
+                frozenset({QueryPart.CONSTANTS}),
+            ),
+            SecurityGoal(
+                "the log should not reveal the schema (relation and attribute names)",
+                frozenset({QueryPart.RELATION_NAMES, QueryPart.ATTRIBUTE_NAMES}),
+            ),
+        )
+        return cls(goals=goals)
+
+    def validate(self) -> None:
+        """Check that every goal's protected parts are actually encrypted."""
+        for goal in self.goals:
+            missing = goal.protected_parts - self.high_level_scheme.encrypted_parts
+            if missing:
+                names = ", ".join(sorted(part.value for part in missing))
+                raise SecurityModelError(
+                    f"goal {goal.description!r} requires encrypting {names}, "
+                    "which the high-level scheme leaves in the clear"
+                )
+
+    def describe(self) -> str:
+        """Multi-line human-readable summary of the security model."""
+        lines = [self.threat_model.describe(), self.high_level_scheme.describe()]
+        for goal in self.goals:
+            lines.append(f"goal: {goal.description}")
+        return "\n".join(lines)

@@ -1,0 +1,41 @@
+"""CryptDB-style encrypted query execution.
+
+Table I of the paper delegates constant encryption for the query-result and
+query-access-area distances to CryptDB [8].  This package implements the
+relevant part of CryptDB from scratch on top of :mod:`repro.db` and
+:mod:`repro.crypto`:
+
+* *onions* — per-column stacks of property-preserving encryption layers
+  (:mod:`repro.cryptdb.onion`),
+* an *encrypted schema map* describing how plaintext tables/columns map to
+  their encrypted counterparts (:mod:`repro.cryptdb.column`),
+* a *query rewriter* that turns a plaintext query into an equivalent query
+  over the encrypted database (:mod:`repro.cryptdb.rewriter`), and
+* the *proxy* that encrypts databases, rewrites queries, executes them and
+  decrypts results (:mod:`repro.cryptdb.proxy`).
+
+The proxy also records which onion layers had to be exposed to support a
+workload; the security-comparison experiment (S1) uses this to contrast
+plain CryptDB with the paper's KIT-DPE schemes.
+"""
+
+from repro.cryptdb.column import ColumnEncryption, EncryptedColumn, EncryptedSchemaMap, EncryptedTable
+from repro.cryptdb.onion import Onion, OnionLayer, OnionState
+from repro.cryptdb.proxy import CryptDBProxy, EncryptedResult
+from repro.cryptdb.rewriter import ConstantContext, ConstantPolicy, CryptDbConstantPolicy, QueryRewriter
+
+__all__ = [
+    "ColumnEncryption",
+    "ConstantContext",
+    "ConstantPolicy",
+    "CryptDBProxy",
+    "CryptDbConstantPolicy",
+    "EncryptedColumn",
+    "EncryptedResult",
+    "EncryptedSchemaMap",
+    "EncryptedTable",
+    "Onion",
+    "OnionLayer",
+    "OnionState",
+    "QueryRewriter",
+]

@@ -1,0 +1,202 @@
+"""Encrypted schema map: how plaintext tables/columns map to encrypted ones.
+
+The encrypted database mirrors the plaintext schema one-to-one: each table
+becomes one encrypted table (name DET-encrypted), and each column becomes one
+or more *physical* columns — one per onion the column carries:
+
+==============  =======================  =========================
+onion           physical column name      value stored
+==============  =======================  =========================
+EQ (at DET)     ``<enc_col>``             DET ciphertext (string)
+ORD (at OPE)    ``<enc_col>_ord``         OPE ciphertext (integer)
+HOM             ``<enc_col>_hom``         Paillier ciphertext index
+RND             ``<enc_col>_rnd``         PROB ciphertext (string)
+==============  =======================  =========================
+
+Representing each onion as its own physical column (rather than literally
+re-encrypting one column in place) is the standard way CryptDB
+re-implementations lay out data; onion *adjustment* then simply decides which
+physical column the rewriter is allowed to reference, and the
+:class:`~repro.cryptdb.onion.OnionState` records what is thereby exposed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.crypto.base import EncryptionScheme
+from repro.crypto.det import DeterministicScheme
+from repro.crypto.hom import PaillierScheme
+from repro.crypto.ope import OrderPreservingScheme
+from repro.crypto.prob import ProbabilisticScheme
+from repro.cryptdb.onion import Onion, OnionState
+from repro.db.schema import ColumnType
+from repro.exceptions import CryptDbError
+
+#: Suffixes of the physical columns per onion (EQ is the base name).
+ORD_SUFFIX = "_ord"
+HOM_SUFFIX = "_hom"
+RND_SUFFIX = "_rnd"
+
+
+def normalize_equality_value(value: object) -> object:
+    """Canonicalize a value before DET (EQ-onion) encryption.
+
+    SQL equality treats ``5`` and ``5.0`` as equal, but their byte encodings
+    differ; integral floats are therefore folded to integers so that values
+    equal under SQL semantics always yield equal EQ ciphertexts.  The same
+    normalisation is applied to stored cells, to rewritten constants and to
+    the characteristic-level encryption of result tuples, keeping all three
+    consistent.
+    """
+    if isinstance(value, float) and not isinstance(value, bool) and value.is_integer():
+        return int(value)
+    return value
+
+
+@dataclass
+class ColumnEncryption:
+    """The concrete schemes backing one column's onions."""
+
+    det: DeterministicScheme
+    prob: ProbabilisticScheme
+    ope: OrderPreservingScheme | None = None
+    hom: PaillierScheme | None = None
+    #: Fixed-point scaling applied before OPE/HOM for REAL columns.
+    numeric_scale: int = 1
+
+    def scheme_for_onion(self, onion: Onion) -> EncryptionScheme:
+        """The scheme encrypting the physical column of ``onion``."""
+        if onion is Onion.EQ:
+            return self.det
+        if onion is Onion.ORD:
+            if self.ope is None:
+                raise CryptDbError("column has no ORD onion")
+            return self.ope
+        if self.hom is None:
+            raise CryptDbError("column has no HOM onion")
+        return self.hom
+
+
+@dataclass
+class EncryptedColumn:
+    """Mapping of one plaintext column to its encrypted representation."""
+
+    plain_table: str
+    plain_name: str
+    encrypted_name: str
+    column_type: ColumnType
+    onions: tuple[Onion, ...]
+    encryption: ColumnEncryption
+    state: OnionState = field(init=False)
+
+    def __post_init__(self) -> None:
+        self.state = OnionState.initial(self.onions)
+
+    def physical_name(self, onion: Onion) -> str:
+        """Name of the physical column storing ``onion``'s ciphertexts."""
+        if onion not in self.onions:
+            raise CryptDbError(
+                f"column {self.plain_table}.{self.plain_name} has no {onion.value} onion"
+            )
+        if onion is Onion.EQ:
+            return self.encrypted_name
+        if onion is Onion.ORD:
+            return self.encrypted_name + ORD_SUFFIX
+        return self.encrypted_name + HOM_SUFFIX
+
+    def rnd_name(self) -> str:
+        """Name of the physical column storing the outer RND (PROB) ciphertext."""
+        return self.encrypted_name + RND_SUFFIX
+
+    def has_onion(self, onion: Onion) -> bool:
+        """Return True if the column carries ``onion``."""
+        return onion in self.onions
+
+    def encode_numeric(self, value: object) -> int:
+        """Fixed-point encode a numeric plaintext for the ORD onion."""
+        if isinstance(value, bool) or not isinstance(value, (int, float)):
+            raise CryptDbError(f"cannot numerically encode {value!r}")
+        return round(value * self.encryption.numeric_scale)
+
+
+@dataclass
+class EncryptedTable:
+    """Mapping of one plaintext table to its encrypted counterpart."""
+
+    plain_name: str
+    encrypted_name: str
+    columns: dict[str, EncryptedColumn] = field(default_factory=dict)
+
+    def column(self, plain_name: str) -> EncryptedColumn:
+        """Look up the encrypted column for plaintext column ``plain_name``."""
+        try:
+            return self.columns[plain_name]
+        except KeyError:
+            raise CryptDbError(
+                f"table {self.plain_name!r} has no encrypted column for {plain_name!r}"
+            ) from None
+
+
+class EncryptedSchemaMap:
+    """The full plaintext-to-encrypted schema mapping."""
+
+    def __init__(self) -> None:
+        self._tables: dict[str, EncryptedTable] = {}
+        self._by_encrypted_name: dict[str, EncryptedTable] = {}
+
+    def add_table(self, table: EncryptedTable) -> None:
+        """Register the mapping for one table."""
+        if table.plain_name in self._tables:
+            raise CryptDbError(f"table {table.plain_name!r} already mapped")
+        self._tables[table.plain_name] = table
+        self._by_encrypted_name[table.encrypted_name] = table
+
+    def table(self, plain_name: str) -> EncryptedTable:
+        """Mapping for plaintext table ``plain_name``."""
+        try:
+            return self._tables[plain_name]
+        except KeyError:
+            raise CryptDbError(f"no encrypted mapping for table {plain_name!r}") from None
+
+    def table_by_encrypted_name(self, encrypted_name: str) -> EncryptedTable:
+        """Reverse lookup by encrypted table name (used when decrypting results)."""
+        try:
+            return self._by_encrypted_name[encrypted_name]
+        except KeyError:
+            raise CryptDbError(
+                f"no table maps to encrypted name {encrypted_name!r}"
+            ) from None
+
+    def has_table(self, plain_name: str) -> bool:
+        """Return True if ``plain_name`` has a mapping."""
+        return plain_name in self._tables
+
+    def column(self, plain_table: str, plain_column: str) -> EncryptedColumn:
+        """Mapping for plaintext column ``plain_table.plain_column``."""
+        return self.table(plain_table).column(plain_column)
+
+    def find_column(self, plain_column: str, tables: tuple[str, ...]) -> EncryptedColumn:
+        """Resolve an unqualified plaintext column name among ``tables``."""
+        matches = [
+            self._tables[table].columns[plain_column]
+            for table in tables
+            if table in self._tables and plain_column in self._tables[table].columns
+        ]
+        if not matches:
+            raise CryptDbError(f"column {plain_column!r} not found in tables {tables}")
+        if len(matches) > 1:
+            raise CryptDbError(f"column {plain_column!r} is ambiguous among tables {tables}")
+        return matches[0]
+
+    @property
+    def tables(self) -> tuple[EncryptedTable, ...]:
+        """All mapped tables."""
+        return tuple(self._tables.values())
+
+    def all_columns(self) -> tuple[EncryptedColumn, ...]:
+        """All mapped columns across all tables."""
+        result: list[EncryptedColumn] = []
+        for table in self._tables.values():
+            result.extend(table.columns.values())
+        return tuple(result)

@@ -1,0 +1,123 @@
+"""Onion layers and onion state.
+
+CryptDB encrypts every column in *onions*: stacks of encryption layers with
+the strongest (probabilistic) layer outermost.  Executing a query may require
+*adjusting* an onion, i.e. peeling outer layers until a layer that supports
+the required operation (equality, order, summation) is exposed.  The exposed
+layer is what an attacker at the service provider learns about the column.
+
+We model three onions, as CryptDB does for the query classes used in the
+paper's case study:
+
+* ``EQ``  — RND → DET (→ JOIN): equality predicates, GROUP BY, joins.
+* ``ORD`` — RND → OPE: range predicates, ORDER BY, MIN/MAX.
+* ``HOM`` — HOM: SUM / AVG.
+
+:class:`OnionState` tracks, per column and onion, the outermost layer still
+in place.  The security-comparison experiment reads this state: plain
+CryptDB must peel onions for every operation the workload uses, whereas the
+paper's access-area scheme leaves aggregate-only attributes at the PROB
+level.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+from repro.crypto.base import EncryptionClass
+from repro.exceptions import OnionError
+
+
+class OnionLayer(enum.Enum):
+    """A single encryption layer inside an onion."""
+
+    RND = "RND"
+    DET = "DET"
+    JOIN = "JOIN"
+    OPE = "OPE"
+    HOM = "HOM"
+    PLAIN = "PLAIN"
+
+    @property
+    def encryption_class(self) -> EncryptionClass:
+        """The Figure 1 class this layer corresponds to."""
+        return {
+            OnionLayer.RND: EncryptionClass.PROB,
+            OnionLayer.DET: EncryptionClass.DET,
+            OnionLayer.JOIN: EncryptionClass.JOIN,
+            OnionLayer.OPE: EncryptionClass.OPE,
+            OnionLayer.HOM: EncryptionClass.HOM,
+            OnionLayer.PLAIN: EncryptionClass.PLAIN,
+        }[self]
+
+
+class Onion(enum.Enum):
+    """The onions a column may carry."""
+
+    EQ = "EQ"
+    ORD = "ORD"
+    HOM = "HOM"
+
+
+#: Layer stacks per onion, outermost first.
+ONION_STACKS: dict[Onion, tuple[OnionLayer, ...]] = {
+    Onion.EQ: (OnionLayer.RND, OnionLayer.DET, OnionLayer.JOIN),
+    Onion.ORD: (OnionLayer.RND, OnionLayer.OPE),
+    Onion.HOM: (OnionLayer.HOM,),
+}
+
+
+@dataclass
+class OnionState:
+    """Tracks the outermost (exposed) layer of each onion of one column."""
+
+    onions: dict[Onion, OnionLayer] = field(default_factory=dict)
+
+    @classmethod
+    def initial(cls, onions: tuple[Onion, ...]) -> "OnionState":
+        """Create the initial state: every onion at its outermost layer."""
+        return cls({onion: ONION_STACKS[onion][0] for onion in onions})
+
+    def current_layer(self, onion: Onion) -> OnionLayer:
+        """The currently exposed layer of ``onion``."""
+        try:
+            return self.onions[onion]
+        except KeyError:
+            raise OnionError(f"column has no {onion.value} onion") from None
+
+    def adjust_to(self, onion: Onion, layer: OnionLayer) -> bool:
+        """Peel ``onion`` down to ``layer`` if necessary.
+
+        Returns True if a peel happened (i.e. security was lowered).  Raises
+        :class:`OnionError` if the requested layer is not part of the onion's
+        stack or would require *adding* layers back (CryptDB never re-wraps).
+        """
+        stack = ONION_STACKS[onion]
+        if layer not in stack:
+            raise OnionError(f"layer {layer.value} is not part of onion {onion.value}")
+        current = self.current_layer(onion)
+        current_index = stack.index(current)
+        target_index = stack.index(layer)
+        if target_index < current_index:
+            raise OnionError(
+                f"cannot re-wrap onion {onion.value} from {current.value} to {layer.value}"
+            )
+        if target_index > current_index:
+            self.onions[onion] = layer
+            return True
+        return False
+
+    def exposed_classes(self) -> frozenset[EncryptionClass]:
+        """Encryption classes currently exposed to the service provider."""
+        return frozenset(layer.encryption_class for layer in self.onions.values())
+
+    def weakest_exposed_level(self, security_levels: dict[EncryptionClass, int]) -> int:
+        """The minimum security level over all exposed layers.
+
+        This is the effective security of the column: an attacker can always
+        look at the weakest representation available server-side.
+        """
+        if not self.onions:
+            raise OnionError("column has no onions")
+        return min(security_levels[c] for c in self.exposed_classes())

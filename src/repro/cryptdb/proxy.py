@@ -1,0 +1,389 @@
+"""The CryptDB-style proxy.
+
+The proxy sits between the data owner and the (untrusted) service provider:
+
+1. :meth:`CryptDBProxy.encrypt_database` produces the encrypted database that
+   is shipped to the provider, together with the schema map the owner keeps.
+2. :meth:`CryptDBProxy.encrypt_query` rewrites a plaintext query into an
+   executable query over the encrypted database.
+3. :meth:`CryptDBProxy.execute_encrypted` runs the rewritten query on the
+   encrypted database (this is what the provider does).
+4. :meth:`CryptDBProxy.decrypt_result` maps an encrypted result back to
+   plaintext values (done by the owner, or — for the paper's result-distance
+   measure — *not* done at all: the provider computes Jaccard distances
+   directly on the encrypted result tuples).
+
+The proxy also exposes :meth:`exposure_report`, which lists the encryption
+class every column is exposed at after serving a workload; experiment S1
+compares this against the class assignment of the paper's KIT-DPE schemes.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable
+from dataclasses import dataclass
+
+from repro.crypto.det import DeterministicScheme
+from repro.crypto.hom import PaillierCiphertext, PaillierKeyPair, PaillierScheme
+from repro.crypto.keys import KeyChain
+from repro.crypto.ope import OrderPreservingScheme
+from repro.crypto.prob import ProbabilisticScheme
+from repro.crypto.taxonomy import SECURITY_LEVELS, EncryptionTaxonomy, default_taxonomy
+from repro.cryptdb.column import (
+    ColumnEncryption,
+    EncryptedColumn,
+    EncryptedSchemaMap,
+    EncryptedTable,
+)
+from repro.cryptdb.onion import Onion
+from repro.cryptdb.rewriter import ConstantPolicy, QueryRewriter
+from repro.db.aggregates import register_custom_aggregate
+from repro.db.database import Database
+from repro.db.executor import QueryExecutor, ResultSet
+from repro.db.schema import Column, ColumnType, TableSchema
+from repro.exceptions import CryptDbError, RewriteError
+from repro.sql.ast import AggregateCall, ColumnRef, Literal, Query
+from repro.sql.render import render_query
+
+#: OPE domain used for (scaled) numeric columns.
+_OPE_DOMAIN = (-(2**40), 2**40 - 1)
+#: Fixed-point scale for REAL columns (two decimal digits).
+_REAL_SCALE = 100
+
+
+@dataclass(frozen=True)
+class JoinGroupSpec:
+    """Columns that must share DET/OPE keys so they remain joinable."""
+
+    name: str
+    members: frozenset[tuple[str, str]]
+
+
+@dataclass(frozen=True)
+class EncryptedResult:
+    """An encrypted result set together with the query that produced it."""
+
+    plain_query: Query
+    encrypted_query: Query
+    result: ResultSet
+
+    @property
+    def encrypted_sql(self) -> str:
+        """The encrypted query as SQL text (what the provider sees)."""
+        return render_query(self.encrypted_query)
+
+
+class CryptDBProxy:
+    """Encrypts databases and queries, executes over ciphertexts, decrypts results."""
+
+    def __init__(
+        self,
+        keychain: KeyChain,
+        *,
+        join_groups: Iterable[JoinGroupSpec] = (),
+        paillier_keypair: PaillierKeyPair | None = None,
+        paillier_bits: int = 512,
+        constant_policy: ConstantPolicy | None = None,
+        taxonomy: EncryptionTaxonomy | None = None,
+        shared_det_key: bool = False,
+    ) -> None:
+        """Create a proxy.
+
+        ``shared_det_key`` makes every column's EQ onion (and equality
+        constants) use one shared DET key instead of per-column keys.  CryptDB
+        itself uses per-column keys; the result-distance DPE scheme needs the
+        shared key because Definition 1 compares result tuples *across*
+        queries, so values that are equal as SQL values must encrypt equally
+        regardless of which column they came from.  The trade-off (equality
+        leakage across columns) is documented in DESIGN.md.
+        """
+        self._keychain = keychain
+        self._join_groups = {group.name: group for group in join_groups}
+        self._shared_det_key = shared_det_key
+        self._taxonomy = taxonomy or default_taxonomy()
+        self._constant_policy = constant_policy
+        self._relation_scheme = DeterministicScheme(keychain.relation_key())
+        self._attribute_scheme = DeterministicScheme(keychain.attribute_key())
+        self._paillier = PaillierScheme(
+            paillier_keypair or PaillierKeyPair.generate(paillier_bits)
+        )
+        self._schema_map: EncryptedSchemaMap | None = None
+        self._encrypted_db: Database | None = None
+        self._plain_db: Database | None = None
+        register_custom_aggregate("HOMSUM", self._homsum)
+
+    # ------------------------------------------------------------------ #
+    # database encryption
+
+    @property
+    def schema_map(self) -> EncryptedSchemaMap:
+        """The schema map (available after :meth:`encrypt_database`)."""
+        if self._schema_map is None:
+            raise CryptDbError("encrypt_database() has not been called yet")
+        return self._schema_map
+
+    @property
+    def encrypted_database(self) -> Database:
+        """The encrypted database (available after :meth:`encrypt_database`)."""
+        if self._encrypted_db is None:
+            raise CryptDbError("encrypt_database() has not been called yet")
+        return self._encrypted_db
+
+    def encrypt_database(self, database: Database) -> Database:
+        """Encrypt ``database`` and return the encrypted copy.
+
+        Every table keeps its shape; per column the encrypted table carries
+        one physical column per onion (EQ always; ORD and HOM for numeric
+        columns).  NULLs remain NULL — like CryptDB, the layer leaks which
+        cells are NULL, which none of the distance measures depends on.
+        """
+        schema_map = EncryptedSchemaMap()
+        encrypted_db = Database(f"{database.name}_encrypted")
+
+        for table in database:
+            encrypted_table = self._encrypt_table_schema(table.schema)
+            schema_map.add_table(encrypted_table)
+            physical_schema = self._physical_schema(table.schema, encrypted_table)
+            physical = encrypted_db.create_table(physical_schema)
+            for row in table:
+                physical.insert(self._encrypt_row(row.as_dict(), table.schema, encrypted_table))
+
+        self._schema_map = schema_map
+        self._encrypted_db = encrypted_db
+        self._plain_db = database
+        return encrypted_db
+
+    def _join_group_for(self, table: str, column: str) -> JoinGroupSpec | None:
+        for group in self._join_groups.values():
+            if (table, column) in group.members:
+                return group
+        return None
+
+    def _column_encryption(self, table: str, column: Column) -> ColumnEncryption:
+        group = self._join_group_for(table, column.name)
+        if self._shared_det_key:
+            det_key = self._keychain.key_for("shared-eq-onion")
+            ope_key = self._keychain.constant_key(table, column.name, "ope")
+        elif group is not None:
+            det_key = self._keychain.join_key(group.name)
+            ope_key = self._keychain.key_for("join-group", group.name, "ope")
+        else:
+            det_key = self._keychain.constant_key(table, column.name, "det")
+            ope_key = self._keychain.constant_key(table, column.name, "ope")
+        prob_key = self._keychain.constant_key(table, column.name, "prob")
+
+        det = DeterministicScheme(det_key)
+        prob = ProbabilisticScheme(prob_key)
+        ope = None
+        hom = None
+        scale = 1
+        if column.type.is_numeric:
+            scale = _REAL_SCALE if column.type is ColumnType.REAL else 1
+            ope = OrderPreservingScheme(
+                ope_key, domain_min=_OPE_DOMAIN[0], domain_max=_OPE_DOMAIN[1]
+            )
+            hom = self._paillier
+        return ColumnEncryption(det=det, prob=prob, ope=ope, hom=hom, numeric_scale=scale)
+
+    def _encrypt_table_schema(self, schema: TableSchema) -> EncryptedTable:
+        encrypted_name = self._relation_scheme.encrypt_identifier(schema.name)
+        encrypted_table = EncryptedTable(schema.name, encrypted_name)
+        for column in schema.columns:
+            onions: tuple[Onion, ...] = (Onion.EQ,)
+            if column.type.is_numeric:
+                onions = (Onion.EQ, Onion.ORD, Onion.HOM)
+            encrypted_column = EncryptedColumn(
+                plain_table=schema.name,
+                plain_name=column.name,
+                encrypted_name=self._attribute_scheme.encrypt_identifier(column.name),
+                column_type=column.type,
+                onions=onions,
+                encryption=self._column_encryption(schema.name, column),
+            )
+            encrypted_table.columns[column.name] = encrypted_column
+        return encrypted_table
+
+    def _physical_schema(self, schema: TableSchema, mapping: EncryptedTable) -> TableSchema:
+        columns: list[Column] = []
+        for column in schema.columns:
+            encrypted = mapping.column(column.name)
+            columns.append(Column(encrypted.physical_name(Onion.EQ), ColumnType.TEXT))
+            if encrypted.has_onion(Onion.ORD):
+                columns.append(Column(encrypted.physical_name(Onion.ORD), ColumnType.INTEGER))
+            if encrypted.has_onion(Onion.HOM):
+                columns.append(Column(encrypted.physical_name(Onion.HOM), ColumnType.INTEGER))
+        return TableSchema(mapping.encrypted_name, columns)
+
+    def _encrypt_row(
+        self, row: dict[str, object], schema: TableSchema, mapping: EncryptedTable
+    ) -> dict[str, object]:
+        encrypted_row: dict[str, object] = {}
+        for column in schema.columns:
+            encrypted = mapping.column(column.name)
+            value = row[column.name]
+            if value is None:
+                encrypted_row[encrypted.physical_name(Onion.EQ)] = None
+                if encrypted.has_onion(Onion.ORD):
+                    encrypted_row[encrypted.physical_name(Onion.ORD)] = None
+                if encrypted.has_onion(Onion.HOM):
+                    encrypted_row[encrypted.physical_name(Onion.HOM)] = None
+                continue
+            from repro.cryptdb.column import normalize_equality_value
+
+            encrypted_row[encrypted.physical_name(Onion.EQ)] = encrypted.encryption.det.encrypt(
+                normalize_equality_value(value)  # type: ignore[arg-type]
+            )
+            if encrypted.has_onion(Onion.ORD):
+                scaled = encrypted.encode_numeric(value)
+                encrypted_row[encrypted.physical_name(Onion.ORD)] = (
+                    encrypted.encryption.ope.encrypt(scaled)  # type: ignore[union-attr]
+                )
+            if encrypted.has_onion(Onion.HOM):
+                ciphertext = self._paillier.encrypt(value)  # type: ignore[arg-type]
+                encrypted_row[encrypted.physical_name(Onion.HOM)] = ciphertext.value
+        return encrypted_row
+
+    # ------------------------------------------------------------------ #
+    # query processing
+
+    def make_rewriter(self, *, projection_onion: Onion = Onion.EQ) -> QueryRewriter:
+        """Create a fresh rewriter bound to the current schema map."""
+        return QueryRewriter(
+            self.schema_map,
+            self._relation_scheme,
+            constant_policy=self._constant_policy,
+            projection_onion=projection_onion,
+        )
+
+    def encrypt_query(self, query: Query) -> Query:
+        """Rewrite a plaintext query for execution over the encrypted database."""
+        return self.make_rewriter().rewrite(query)
+
+    def execute_encrypted(self, encrypted_query: Query) -> ResultSet:
+        """Execute an (already rewritten) query over the encrypted database."""
+        executor = QueryExecutor(self.encrypted_database)
+        return executor.execute(encrypted_query)
+
+    def execute(self, query: Query) -> EncryptedResult:
+        """Rewrite and execute ``query``; returns the encrypted result."""
+        encrypted_query = self.encrypt_query(query)
+        result = self.execute_encrypted(encrypted_query)
+        return EncryptedResult(query, encrypted_query, result)
+
+    def execute_plain(self, query: Query) -> ResultSet:
+        """Execute ``query`` over the plaintext database (owner-side reference)."""
+        if self._plain_db is None:
+            raise CryptDbError("encrypt_database() has not been called yet")
+        return QueryExecutor(self._plain_db).execute(query)
+
+    def decrypt_result(self, encrypted: EncryptedResult) -> ResultSet:
+        """Decrypt an encrypted result back to plaintext values.
+
+        Result columns are mapped positionally to the select items of the
+        plaintext query: DET ciphertexts from projections are decrypted with
+        the owning column's DET scheme, COUNT values pass through, MIN/MAX
+        come back through OPE, and HOMSUM values are Paillier-decrypted.
+        """
+        plain_query = encrypted.plain_query
+        bindings = {ref.binding_name: ref.name for ref in plain_query.tables()}
+        decrypted_rows: list[tuple[object, ...]] = []
+        columns = tuple(_plain_column_name(item, idx) for idx, item in enumerate(plain_query.select_items))
+        for row in encrypted.result.rows:
+            decrypted_rows.append(
+                tuple(
+                    self._decrypt_cell(value, item.expression, bindings)
+                    for value, item in zip(row, plain_query.select_items)
+                )
+            )
+        return ResultSet(columns, tuple(decrypted_rows))
+
+    def _decrypt_cell(self, value: object, expression, bindings: dict[str, str]) -> object:
+        if value is None:
+            return None
+        if isinstance(expression, ColumnRef):
+            column = self._resolve_plain_column(expression, bindings)
+            return column.encryption.det.decrypt(value)
+        if isinstance(expression, AggregateCall):
+            if isinstance(expression.argument, ColumnRef):
+                column = self._resolve_plain_column(expression.argument, bindings)
+            else:
+                column = None
+            if expression.function == "COUNT":
+                return value
+            if expression.function in ("MIN", "MAX"):
+                if column is None or column.encryption.ope is None:
+                    raise CryptDbError("cannot decrypt MIN/MAX result without an ORD onion")
+                plain = column.encryption.ope.decrypt(value)  # type: ignore[arg-type]
+                return _unscale(plain, column.encryption.numeric_scale)
+            if expression.function in ("SUM", "AVG"):
+                ciphertext = PaillierCiphertext(value, self._paillier.public_key)  # type: ignore[arg-type]
+                return self._paillier.decode_sum(ciphertext)
+            raise CryptDbError(f"cannot decrypt aggregate {expression.function}")
+        if isinstance(expression, Literal):
+            return expression.value
+        raise CryptDbError(f"cannot decrypt result column for {type(expression).__name__}")
+
+    def _resolve_plain_column(self, ref: ColumnRef, bindings: dict[str, str]) -> EncryptedColumn:
+        if ref.table is not None:
+            table = bindings.get(ref.table, ref.table)
+            return self.schema_map.column(table, ref.name)
+        return self.schema_map.find_column(ref.name, tuple(bindings.values()))
+
+    # ------------------------------------------------------------------ #
+    # aggregation plumbing and reporting
+
+    def _homsum(self, values: list[object]) -> object:
+        """Custom aggregate: homomorphic sum of stored Paillier ciphertext values."""
+        if not values:
+            return None
+        n_squared = self._paillier.public_key.n_squared
+        product = 1
+        for value in values:
+            if not isinstance(value, int):
+                raise RewriteError(f"HOMSUM expects Paillier ciphertext integers, got {value!r}")
+            product = (product * value) % n_squared
+        return product
+
+    def exposure_report(self) -> dict[tuple[str, str], dict[str, object]]:
+        """Per-column exposure after serving the workload rewritten so far.
+
+        Returns a mapping ``(table, column) -> {"onions": {onion: layer},
+        "weakest_class": EncryptionClass, "security_level": int}`` describing
+        what the service provider can see for each column.
+        """
+        from repro.crypto.taxonomy import REVEALED_CAPABILITIES
+
+        report: dict[tuple[str, str], dict[str, object]] = {}
+        for column in self.schema_map.all_columns():
+            exposed = column.state.exposed_classes()
+            # The weakest exposure is the representation revealing the most:
+            # lowest Figure 1 level first, largest revealed-capability set as
+            # the tie-break (HOM reveals more than PROB on the same level).
+            weakest = max(
+                exposed,
+                key=lambda c: (-SECURITY_LEVELS[c], len(REVEALED_CAPABILITIES[c]), c.value),
+            )
+            report[(column.plain_table, column.plain_name)] = {
+                "onions": {
+                    onion.value: layer.value for onion, layer in column.state.onions.items()
+                },
+                "weakest_class": weakest,
+                "security_level": SECURITY_LEVELS[weakest],
+            }
+        return report
+
+
+def _plain_column_name(item, index: int) -> str:
+    if item.alias:
+        return item.alias
+    if isinstance(item.expression, ColumnRef):
+        return item.expression.name
+    from repro.sql.render import render_expression
+
+    return render_expression(item.expression)
+
+
+def _unscale(value: int, scale: int) -> int | float:
+    if scale == 1:
+        return value
+    return value / scale

@@ -1,0 +1,407 @@
+"""Query rewriting: plaintext query → executable query over the encrypted DB.
+
+The rewriter is the CryptDB "proxy brain": it maps relation and attribute
+names to their encrypted counterparts, chooses — per syntactic position —
+which onion (physical column) to reference, and encrypts constants with the
+scheme matching the chosen onion:
+
+* equality predicates, IN lists, GROUP BY, joins → EQ onion (DET),
+* range predicates, BETWEEN, ORDER BY, MIN/MAX → ORD onion (OPE),
+* SUM → the HOM onion via the ``HOMSUM`` custom aggregate,
+* COUNT → EQ onion (counting needs only equality of presence),
+* plain projections → EQ onion, so result tuples are deterministic
+  ciphertexts (required for the paper's *result equivalence*).
+
+Constant handling is factored into a :class:`ConstantPolicy`, so experiments
+can swap in non-CryptDB policies (e.g. the ablation that encrypts range
+constants with DET and demonstrates the resulting breakage).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.cryptdb.column import EncryptedColumn, EncryptedSchemaMap
+from repro.cryptdb.onion import Onion, OnionLayer
+from repro.exceptions import RewriteError
+from repro.sql.ast import (
+    AggregateCall,
+    BetweenPredicate,
+    BinaryOp,
+    ColumnRef,
+    ComparisonOp,
+    Expression,
+    InPredicate,
+    IsNullPredicate,
+    Join,
+    LikePredicate,
+    Literal,
+    LogicalOp,
+    NotOp,
+    OrderItem,
+    Query,
+    SelectItem,
+    Star,
+    UnaryMinus,
+)
+from repro.sql.visitor import column_refs
+
+
+@dataclass(frozen=True)
+class ConstantContext:
+    """Where a constant occurs: the column it is compared against and how."""
+
+    column: EncryptedColumn
+    onion: Onion
+
+
+class ConstantPolicy:
+    """Decides how to encrypt a constant given its :class:`ConstantContext`."""
+
+    def encrypt_constant(self, value: object, context: ConstantContext) -> object:
+        """Return the encrypted literal value for ``value``."""
+        raise NotImplementedError
+
+
+class CryptDbConstantPolicy(ConstantPolicy):
+    """CryptDB's behaviour: encrypt with the scheme of the referenced onion."""
+
+    def encrypt_constant(self, value: object, context: ConstantContext) -> object:
+        from repro.cryptdb.column import normalize_equality_value
+
+        column = context.column
+        if context.onion is Onion.EQ:
+            return column.encryption.det.encrypt(normalize_equality_value(value))  # type: ignore[arg-type]
+        if context.onion is Onion.ORD:
+            if column.encryption.ope is None:
+                raise RewriteError(
+                    f"column {column.plain_table}.{column.plain_name} has no ORD onion"
+                )
+            return column.encryption.ope.encrypt(column.encode_numeric(value))
+        raise RewriteError("constants are never encrypted for the HOM onion")
+
+
+class QueryRewriter:
+    """Rewrites plaintext queries into queries over the encrypted schema."""
+
+    def __init__(
+        self,
+        schema_map: EncryptedSchemaMap,
+        table_name_scheme,
+        *,
+        constant_policy: ConstantPolicy | None = None,
+        projection_onion: Onion = Onion.EQ,
+    ) -> None:
+        """Create a rewriter.
+
+        Parameters
+        ----------
+        schema_map:
+            The plaintext-to-encrypted schema mapping built by the proxy.
+        table_name_scheme:
+            The :class:`~repro.crypto.det.DeterministicScheme` used for
+            relation names and aliases (EncRel of the paper).
+        constant_policy:
+            How constants are encrypted; defaults to CryptDB behaviour.
+        projection_onion:
+            Which onion plain projections reference.  ``Onion.EQ`` keeps
+            result tuples deterministic (needed for result equivalence).
+        """
+        self._schema_map = schema_map
+        self._table_scheme = table_name_scheme
+        self._policy = constant_policy or CryptDbConstantPolicy()
+        self._projection_onion = projection_onion
+        #: Onion adjustments performed while rewriting, as
+        #: (plain_table, plain_column, onion, layer) tuples.
+        self.adjustments: list[tuple[str, str, Onion, OnionLayer]] = []
+
+    # ------------------------------------------------------------------ #
+    # public API
+
+    def rewrite(self, query: Query) -> Query:
+        """Rewrite ``query`` for execution over the encrypted database."""
+        bindings = self._binding_map(query)
+
+        select_items = tuple(
+            self._rewrite_select_item(item, bindings) for item in query.select_items
+        )
+        from_table = self._rewrite_table_ref(query.from_table)
+        joins = tuple(self._rewrite_join(join, bindings) for join in query.joins)
+        where = (
+            None
+            if query.where is None
+            else self._rewrite_predicate(query.where, bindings)
+        )
+        group_by = tuple(
+            self._rewrite_value_expression(expr, bindings, Onion.EQ) for expr in query.group_by
+        )
+        having = (
+            None
+            if query.having is None
+            else self._rewrite_predicate(query.having, bindings)
+        )
+        order_by = tuple(
+            OrderItem(
+                self._rewrite_value_expression(item.expression, bindings, Onion.ORD),
+                item.ascending,
+            )
+            for item in query.order_by
+        )
+        return Query(
+            select_items=select_items,
+            from_table=from_table,
+            joins=joins,
+            where=where,
+            group_by=group_by,
+            having=having,
+            order_by=order_by,
+            limit=query.limit,
+            distinct=query.distinct,
+        )
+
+    # ------------------------------------------------------------------ #
+    # name resolution
+
+    def _binding_map(self, query: Query) -> dict[str, str]:
+        """Map binding names (aliases or table names) to plaintext table names."""
+        bindings: dict[str, str] = {}
+        for ref in query.tables():
+            if not self._schema_map.has_table(ref.name):
+                raise RewriteError(f"query references unmapped table {ref.name!r}")
+            bindings[ref.binding_name] = ref.name
+        return bindings
+
+    def _resolve_column(self, ref: ColumnRef, bindings: dict[str, str]) -> EncryptedColumn:
+        if ref.table is not None:
+            if ref.table not in bindings:
+                raise RewriteError(f"unknown table or alias {ref.table!r}")
+            return self._schema_map.column(bindings[ref.table], ref.name)
+        return self._schema_map.find_column(ref.name, tuple(bindings.values()))
+
+    def _encrypted_binding(self, binding: str, bindings: dict[str, str]) -> str:
+        """Encrypted name to qualify columns with (alias or table name)."""
+        plain_table = bindings[binding]
+        if binding == plain_table:
+            return self._schema_map.table(plain_table).encrypted_name
+        return self._table_scheme.encrypt_identifier(binding)
+
+    def _rewrite_table_ref(self, ref):
+        from repro.sql.ast import TableRef
+
+        table = self._schema_map.table(ref.name)
+        alias = None
+        if ref.alias is not None:
+            alias = self._table_scheme.encrypt_identifier(ref.alias)
+        return TableRef(table.encrypted_name, alias)
+
+    def _rewrite_column(
+        self, ref: ColumnRef, bindings: dict[str, str], onion: Onion
+    ) -> ColumnRef:
+        column = self._resolve_column(ref, bindings)
+        if not column.has_onion(onion):
+            raise RewriteError(
+                f"column {column.plain_table}.{column.plain_name} does not support "
+                f"the {onion.value} onion required here"
+            )
+        layer = _target_layer(onion)
+        if column.state.adjust_to(onion, layer):
+            self.adjustments.append((column.plain_table, column.plain_name, onion, layer))
+        table_qualifier = None
+        if ref.table is not None:
+            table_qualifier = self._encrypted_binding(ref.table, bindings)
+        return ColumnRef(column.physical_name(onion), table_qualifier)
+
+    # ------------------------------------------------------------------ #
+    # clause rewriting
+
+    def _rewrite_select_item(self, item: SelectItem, bindings: dict[str, str]) -> SelectItem:
+        expr = item.expression
+        if isinstance(expr, Star):
+            raise RewriteError(
+                "'*' projections cannot be rewritten; list columns explicitly"
+            )
+        rewritten = self._rewrite_projection(expr, bindings)
+        return SelectItem(rewritten, item.alias)
+
+    def _rewrite_projection(self, expr: Expression, bindings: dict[str, str]) -> Expression:
+        if isinstance(expr, ColumnRef):
+            return self._rewrite_column(expr, bindings, self._projection_onion)
+        if isinstance(expr, AggregateCall):
+            return self._rewrite_aggregate(expr, bindings)
+        if isinstance(expr, Literal):
+            return expr
+        raise RewriteError(
+            f"unsupported projection expression {type(expr).__name__}; "
+            "only columns, aggregates and literals can be projected over encrypted data"
+        )
+
+    def _rewrite_aggregate(self, call: AggregateCall, bindings: dict[str, str]) -> Expression:
+        function = call.function
+        if isinstance(call.argument, Star):
+            if function != "COUNT":
+                raise RewriteError(f"{function}(*) is not supported")
+            return call
+        if not isinstance(call.argument, ColumnRef):
+            raise RewriteError("aggregates over encrypted data require a plain column argument")
+        if function == "COUNT":
+            column = self._rewrite_column(call.argument, bindings, Onion.EQ)
+            return AggregateCall("COUNT", column, call.distinct)
+        if function in ("MIN", "MAX"):
+            column = self._rewrite_column(call.argument, bindings, Onion.ORD)
+            return AggregateCall(function, column, call.distinct)
+        if function == "SUM":
+            column = self._rewrite_column(call.argument, bindings, Onion.HOM)
+            return AggregateCall("HOMSUM", column, call.distinct)
+        raise RewriteError(
+            f"aggregate {function} cannot be evaluated over encrypted data "
+            "(CryptDB evaluates AVG client-side as SUM/COUNT)"
+        )
+
+    def _rewrite_join(self, join: Join, bindings: dict[str, str]) -> Join:
+        condition = None
+        if join.condition is not None:
+            condition = self._rewrite_predicate(join.condition, bindings)
+        return Join(join.join_type, self._rewrite_table_ref(join.right), condition)
+
+    def _rewrite_value_expression(
+        self, expr: Expression, bindings: dict[str, str], onion: Onion
+    ) -> Expression:
+        if isinstance(expr, ColumnRef):
+            return self._rewrite_column(expr, bindings, onion)
+        if isinstance(expr, AggregateCall):
+            return self._rewrite_aggregate(expr, bindings)
+        raise RewriteError(
+            f"unsupported expression {type(expr).__name__} in GROUP BY / ORDER BY"
+        )
+
+    # ------------------------------------------------------------------ #
+    # predicates
+
+    def _rewrite_predicate(self, expr: Expression, bindings: dict[str, str]) -> Expression:
+        if isinstance(expr, LogicalOp):
+            return LogicalOp(
+                expr.op,
+                tuple(self._rewrite_predicate(op, bindings) for op in expr.operands),
+            )
+        if isinstance(expr, NotOp):
+            return NotOp(self._rewrite_predicate(expr.operand, bindings))
+        if isinstance(expr, BinaryOp) and isinstance(expr.op, ComparisonOp):
+            return self._rewrite_comparison(expr, bindings)
+        if isinstance(expr, BetweenPredicate):
+            return self._rewrite_between(expr, bindings)
+        if isinstance(expr, InPredicate):
+            return self._rewrite_in(expr, bindings)
+        if isinstance(expr, IsNullPredicate):
+            if not isinstance(expr.operand, ColumnRef):
+                raise RewriteError("IS NULL over encrypted data requires a plain column")
+            return IsNullPredicate(
+                self._rewrite_column(expr.operand, bindings, Onion.EQ), expr.negated
+            )
+        if isinstance(expr, LikePredicate):
+            raise RewriteError(
+                "LIKE requires CryptDB's SEARCH onion, which is outside the query classes "
+                "used by the paper's distance measures"
+            )
+        raise RewriteError(f"unsupported predicate {type(expr).__name__} over encrypted data")
+
+    def _rewrite_comparison(self, expr: BinaryOp, bindings: dict[str, str]) -> Expression:
+        left_is_column = isinstance(expr.left, ColumnRef)
+        right_is_column = isinstance(expr.right, ColumnRef)
+        left_is_aggregate = isinstance(expr.left, AggregateCall)
+        is_equality = expr.op in (ComparisonOp.EQ, ComparisonOp.NEQ)
+        onion = Onion.EQ if is_equality else Onion.ORD
+
+        if left_is_column and right_is_column:
+            # column-column comparison (join predicate); both sides use the
+            # same onion, and DET/OPE keys must be shared via join groups for
+            # the comparison to be meaningful.
+            return BinaryOp(
+                expr.op,
+                self._rewrite_column(expr.left, bindings, onion),  # type: ignore[arg-type]
+                self._rewrite_column(expr.right, bindings, onion),  # type: ignore[arg-type]
+            )
+        if left_is_column and isinstance(expr.right, (Literal, UnaryMinus)):
+            column_ref: ColumnRef = expr.left  # type: ignore[assignment]
+            value = _literal_value(expr.right)
+            column = self._resolve_column(column_ref, bindings)
+            encrypted_value = self._policy.encrypt_constant(value, ConstantContext(column, onion))
+            return BinaryOp(
+                expr.op,
+                self._rewrite_column(column_ref, bindings, onion),
+                Literal(encrypted_value),  # type: ignore[arg-type]
+            )
+        if right_is_column and isinstance(expr.left, (Literal, UnaryMinus)):
+            flipped = BinaryOp(expr.op.flip(), expr.right, expr.left)
+            return self._rewrite_comparison(flipped, bindings)
+        if left_is_aggregate and isinstance(expr.right, (Literal, UnaryMinus)):
+            aggregate: AggregateCall = expr.left  # type: ignore[assignment]
+            if aggregate.function != "COUNT":
+                raise RewriteError(
+                    "HAVING over encrypted data supports only COUNT comparisons"
+                )
+            return BinaryOp(
+                expr.op, self._rewrite_aggregate(aggregate, bindings), expr.right
+            )
+        raise RewriteError(
+            "unsupported comparison shape over encrypted data "
+            f"({type(expr.left).__name__} {expr.op.value} {type(expr.right).__name__})"
+        )
+
+    def _rewrite_between(self, expr: BetweenPredicate, bindings: dict[str, str]) -> Expression:
+        if not isinstance(expr.operand, ColumnRef):
+            raise RewriteError("BETWEEN over encrypted data requires a plain column operand")
+        column = self._resolve_column(expr.operand, bindings)
+        context = ConstantContext(column, Onion.ORD)
+        low = self._policy.encrypt_constant(_literal_value(expr.low), context)
+        high = self._policy.encrypt_constant(_literal_value(expr.high), context)
+        return BetweenPredicate(
+            self._rewrite_column(expr.operand, bindings, Onion.ORD),
+            Literal(low),  # type: ignore[arg-type]
+            Literal(high),  # type: ignore[arg-type]
+            expr.negated,
+        )
+
+    def _rewrite_in(self, expr: InPredicate, bindings: dict[str, str]) -> Expression:
+        if not isinstance(expr.operand, ColumnRef):
+            raise RewriteError("IN over encrypted data requires a plain column operand")
+        column = self._resolve_column(expr.operand, bindings)
+        context = ConstantContext(column, Onion.EQ)
+        values = tuple(
+            Literal(self._policy.encrypt_constant(_literal_value(value), context))  # type: ignore[arg-type]
+            for value in expr.values
+        )
+        return InPredicate(
+            self._rewrite_column(expr.operand, bindings, Onion.EQ), values, expr.negated
+        )
+
+
+def _target_layer(onion: Onion) -> OnionLayer:
+    """The layer an onion must be peeled to for server-side evaluation."""
+    if onion is Onion.EQ:
+        return OnionLayer.DET
+    if onion is Onion.ORD:
+        return OnionLayer.OPE
+    return OnionLayer.HOM
+
+
+def _literal_value(expr: Expression) -> object:
+    if isinstance(expr, Literal):
+        return expr.value
+    if isinstance(expr, UnaryMinus) and isinstance(expr.operand, Literal):
+        value = expr.operand.value
+        if isinstance(value, (int, float)) and not isinstance(value, bool):
+            return -value
+    raise RewriteError(f"expected a literal constant, found {type(expr).__name__}")
+
+
+def columns_in_predicates(query: Query) -> list[ColumnRef]:
+    """All column references occurring in WHERE/HAVING/ON predicates of ``query``."""
+    refs: list[ColumnRef] = []
+    if query.where is not None:
+        refs.extend(column_refs(query.where))
+    if query.having is not None:
+        refs.extend(column_refs(query.having))
+    for join in query.joins:
+        if join.condition is not None:
+            refs.extend(column_refs(join.condition))
+    return refs

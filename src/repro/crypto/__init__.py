@@ -1,0 +1,58 @@
+"""Property-preserving encryption classes (Figure 1 of the paper).
+
+The paper realises distance-preserving encryption by *combining existing
+property-preserving encryption schemes with known security characteristics*
+(Section II-2).  This package provides one concrete, from-scratch
+implementation per class of the taxonomy in Figure 1:
+
+* :class:`~repro.crypto.prob.ProbabilisticScheme` — randomized AES-CTR (PROB),
+* :class:`~repro.crypto.hom.PaillierScheme` — additively homomorphic
+  Paillier encryption (HOM ⊂ PROB),
+* :class:`~repro.crypto.det.DeterministicScheme` — SIV-style deterministic
+  AES (DET),
+* :class:`~repro.crypto.ope.OrderPreservingScheme` — Boldyreva-style
+  order-preserving encryption (OPE ⊂ DET),
+* :mod:`~repro.crypto.join` — JOIN / JOIN-OPE usage modes of DET / OPE
+  (shared keys across join groups),
+
+plus key management (:mod:`~repro.crypto.keys`), the encryption-class
+taxonomy with its security partial order (:mod:`~repro.crypto.taxonomy`), and
+a registry mapping classes to default scheme factories
+(:mod:`~repro.crypto.registry`).
+"""
+
+from repro.crypto.base import CiphertextKind, EncryptionClass, EncryptionScheme, IdentityScheme
+from repro.crypto.det import DeterministicScheme
+from repro.crypto.hom import PaillierCiphertext, PaillierKeyPair, PaillierScheme
+from repro.crypto.join import JoinGroup, JoinScheme
+from repro.crypto.keys import KeyChain, MasterKey
+from repro.crypto.ope import OrderPreservingScheme
+from repro.crypto.prob import ProbabilisticScheme
+from repro.crypto.registry import SchemeRegistry, default_registry
+from repro.crypto.taxonomy import (
+    SECURITY_LEVELS,
+    EncryptionTaxonomy,
+    default_taxonomy,
+)
+
+__all__ = [
+    "CiphertextKind",
+    "DeterministicScheme",
+    "EncryptionClass",
+    "EncryptionScheme",
+    "EncryptionTaxonomy",
+    "IdentityScheme",
+    "JoinGroup",
+    "JoinScheme",
+    "KeyChain",
+    "MasterKey",
+    "OrderPreservingScheme",
+    "PaillierCiphertext",
+    "PaillierKeyPair",
+    "PaillierScheme",
+    "ProbabilisticScheme",
+    "SchemeRegistry",
+    "SECURITY_LEVELS",
+    "default_registry",
+    "default_taxonomy",
+]

@@ -1,0 +1,119 @@
+"""Scheme interface and the encryption-class enumeration.
+
+:class:`EncryptionClass` names the classes of Figure 1; every concrete scheme
+declares which class it instantiates.  :class:`EncryptionScheme` is the
+minimal interface the DPE layer relies on: encrypt/decrypt of SQL values plus
+a declaration of the properties the scheme preserves (equality, order,
+additivity), which the KIT-DPE engine uses to check that a class *ensures*
+an equivalence notion.
+"""
+
+from __future__ import annotations
+
+import abc
+import enum
+
+from repro.crypto.primitives import SqlValue
+
+
+class EncryptionClass(enum.Enum):
+    """Property-preserving encryption classes from Figure 1 of the paper."""
+
+    PROB = "PROB"
+    HOM = "HOM"
+    DET = "DET"
+    OPE = "OPE"
+    JOIN = "JOIN"
+    JOIN_OPE = "JOIN-OPE"
+    #: The identity "encryption" (no protection).  Not part of Figure 1 but
+    #: useful as the weakest baseline in ablation experiments.
+    PLAIN = "PLAIN"
+
+    def __str__(self) -> str:  # pragma: no cover - trivial
+        return self.value
+
+
+class CiphertextKind(enum.Enum):
+    """What a ciphertext looks like syntactically.
+
+    The query rewriter needs to know whether a ciphertext can stand in for an
+    identifier (relation/attribute name), a string literal, or a numeric
+    literal in the encrypted query text.
+    """
+
+    IDENTIFIER = "identifier"
+    STRING = "string"
+    INTEGER = "integer"
+    OPAQUE = "opaque"
+
+
+class EncryptionScheme(abc.ABC):
+    """Abstract interface of a property-preserving encryption scheme."""
+
+    #: The class of Figure 1 this scheme instantiates.
+    encryption_class: EncryptionClass = EncryptionClass.PLAIN
+
+    #: True if equal plaintexts always map to equal ciphertexts.
+    preserves_equality: bool = False
+
+    #: True if the numeric order of plaintexts is preserved by ciphertexts.
+    preserves_order: bool = False
+
+    #: True if ciphertexts support additive homomorphism.
+    supports_addition: bool = False
+
+    #: True if encryption is randomized (two encryptions of the same value
+    #: are different with overwhelming probability).
+    is_probabilistic: bool = False
+
+    #: Syntactic shape of ciphertexts produced by :meth:`encrypt`.
+    ciphertext_kind: CiphertextKind = CiphertextKind.OPAQUE
+
+    @abc.abstractmethod
+    def encrypt(self, value: SqlValue) -> object:
+        """Encrypt a single SQL value."""
+
+    @abc.abstractmethod
+    def decrypt(self, ciphertext: object) -> SqlValue:
+        """Decrypt a ciphertext produced by :meth:`encrypt`."""
+
+    def encrypt_many(self, values: list[SqlValue]) -> list[object]:
+        """Encrypt a batch of values (default: element-wise)."""
+        return [self.encrypt(value) for value in values]
+
+    def decrypt_many(self, ciphertexts: list[object]) -> list[SqlValue]:
+        """Decrypt a batch of ciphertexts (default: element-wise)."""
+        return [self.decrypt(ciphertext) for ciphertext in ciphertexts]
+
+    def describe(self) -> dict[str, object]:
+        """Return a machine-readable description of the scheme's properties."""
+        return {
+            "class": self.encryption_class.value,
+            "preserves_equality": self.preserves_equality,
+            "preserves_order": self.preserves_order,
+            "supports_addition": self.supports_addition,
+            "is_probabilistic": self.is_probabilistic,
+            "ciphertext_kind": self.ciphertext_kind.value,
+        }
+
+
+class IdentityScheme(EncryptionScheme):
+    """The identity function as an "encryption scheme".
+
+    The paper mentions it explicitly as the trivial way to ensure any
+    equivalence notion, offering *no* security.  It is the lowest element of
+    the security order and only used as an ablation baseline.
+    """
+
+    encryption_class = EncryptionClass.PLAIN
+    preserves_equality = True
+    preserves_order = True
+    supports_addition = True
+    is_probabilistic = False
+    ciphertext_kind = CiphertextKind.OPAQUE
+
+    def encrypt(self, value: SqlValue) -> SqlValue:
+        return value
+
+    def decrypt(self, ciphertext: object) -> SqlValue:
+        return ciphertext  # type: ignore[return-value]

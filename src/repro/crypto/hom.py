@@ -1,0 +1,225 @@
+"""HOM: additively homomorphic encryption (Paillier).
+
+Implemented from scratch (the environment has no Paillier library): key
+generation with Miller–Rabin prime search, encryption ``c = (n+1)^m · r^n
+mod n²`` and decryption via the standard ``L`` function.  The scheme is
+probabilistic (HOM is a subclass of PROB in Figure 1) and supports
+
+* addition of two ciphertexts (``Enc(a) ⊕ Enc(b) = Enc(a + b)``),
+* addition of a plaintext constant, and
+* multiplication by a plaintext constant,
+
+which is what CryptDB's HOM onion uses to evaluate ``SUM``/``AVG`` over
+encrypted data.  Negative integers and fixed-point reals are supported by
+encoding into ``Z_n`` with a configurable scaling factor.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.crypto.base import CiphertextKind, EncryptionClass, EncryptionScheme
+from repro.crypto.primitives import SqlValue, generate_prime, modular_inverse, random_bytes
+from repro.exceptions import DecryptionError, EncryptionError
+
+
+@dataclass(frozen=True)
+class PaillierPublicKey:
+    """Paillier public key (modulus ``n`` and generator ``g = n + 1``)."""
+
+    n: int
+
+    @property
+    def n_squared(self) -> int:
+        return self.n * self.n
+
+    @property
+    def g(self) -> int:
+        return self.n + 1
+
+    @property
+    def bits(self) -> int:
+        """Size of the modulus in bits."""
+        return self.n.bit_length()
+
+
+@dataclass(frozen=True)
+class PaillierPrivateKey:
+    """Paillier private key (``λ = lcm(p-1, q-1)`` and ``µ = L(g^λ)^-1``)."""
+
+    lam: int
+    mu: int
+
+
+@dataclass(frozen=True)
+class PaillierKeyPair:
+    """A public/private Paillier key pair."""
+
+    public: PaillierPublicKey
+    private: PaillierPrivateKey
+
+    @classmethod
+    def generate(cls, bits: int = 1024) -> "PaillierKeyPair":
+        """Generate a key pair with an (approximately) ``bits``-bit modulus.
+
+        1024 bits is adequate for the reproduction experiments; tests use
+        smaller moduli for speed.
+        """
+        if bits < 64:
+            raise EncryptionError("Paillier modulus must be at least 64 bits")
+        half = bits // 2
+        while True:
+            p = generate_prime(half)
+            q = generate_prime(bits - half)
+            if p != q:
+                n = p * q
+                if n.bit_length() >= bits - 1:
+                    break
+        lam = _lcm(p - 1, q - 1)
+        public = PaillierPublicKey(n)
+        mu = modular_inverse(_l_function(pow(public.g, lam, public.n_squared), n), n)
+        return cls(public, PaillierPrivateKey(lam, mu))
+
+
+@dataclass(frozen=True)
+class PaillierCiphertext:
+    """A Paillier ciphertext bound to its public key."""
+
+    value: int
+    public_key: PaillierPublicKey
+
+    def __add__(self, other: "PaillierCiphertext | int") -> "PaillierCiphertext":
+        """Homomorphic addition with another ciphertext or a plaintext integer."""
+        n_sq = self.public_key.n_squared
+        if isinstance(other, PaillierCiphertext):
+            if other.public_key != self.public_key:
+                raise EncryptionError("cannot add ciphertexts under different keys")
+            return PaillierCiphertext((self.value * other.value) % n_sq, self.public_key)
+        if isinstance(other, int) and not isinstance(other, bool):
+            encoded = other % self.public_key.n
+            factor = pow(self.public_key.g, encoded, n_sq)
+            return PaillierCiphertext((self.value * factor) % n_sq, self.public_key)
+        return NotImplemented
+
+    __radd__ = __add__
+
+    def __mul__(self, scalar: int) -> "PaillierCiphertext":
+        """Homomorphic multiplication by a plaintext integer."""
+        if isinstance(scalar, bool) or not isinstance(scalar, int):
+            return NotImplemented
+        encoded = scalar % self.public_key.n
+        return PaillierCiphertext(
+            pow(self.value, encoded, self.public_key.n_squared), self.public_key
+        )
+
+    __rmul__ = __mul__
+
+
+class PaillierScheme(EncryptionScheme):
+    """Paillier encryption of SQL numeric values (class HOM ⊂ PROB)."""
+
+    encryption_class = EncryptionClass.HOM
+    preserves_equality = False
+    preserves_order = False
+    supports_addition = True
+    is_probabilistic = True
+    ciphertext_kind = CiphertextKind.OPAQUE
+
+    #: Fixed-point scaling factor used to encode reals.
+    DEFAULT_PRECISION = 10**6
+
+    def __init__(
+        self,
+        keypair: PaillierKeyPair | None = None,
+        *,
+        bits: int = 1024,
+        precision: int = DEFAULT_PRECISION,
+    ) -> None:
+        self._keypair = keypair if keypair is not None else PaillierKeyPair.generate(bits)
+        self._precision = precision
+
+    @property
+    def public_key(self) -> PaillierPublicKey:
+        """The public key (shareable with the service provider)."""
+        return self._keypair.public
+
+    # -- EncryptionScheme interface ----------------------------------------- #
+
+    def encrypt(self, value: SqlValue) -> PaillierCiphertext:
+        if value is None or isinstance(value, (str, bool)):
+            raise EncryptionError(f"HOM can only encrypt numeric values, got {value!r}")
+        encoded = self._encode(value)
+        return self.encrypt_raw(encoded)
+
+    def decrypt(self, ciphertext: object) -> SqlValue:
+        if not isinstance(ciphertext, PaillierCiphertext):
+            raise DecryptionError("not a Paillier ciphertext")
+        return self._decode(self.decrypt_raw(ciphertext))
+
+    # -- raw integer interface (used by the HOM onion) ----------------------- #
+
+    def encrypt_raw(self, message: int) -> PaillierCiphertext:
+        """Encrypt an already-encoded residue ``message ∈ Z_n``."""
+        public = self._keypair.public
+        n, n_sq = public.n, public.n_squared
+        message %= n
+        while True:
+            r = int.from_bytes(random_bytes((n.bit_length() + 7) // 8), "big") % n
+            if r != 0 and _gcd(r, n) == 1:
+                break
+        ciphertext = (pow(public.g, message, n_sq) * pow(r, n, n_sq)) % n_sq
+        return PaillierCiphertext(ciphertext, public)
+
+    def decrypt_raw(self, ciphertext: PaillierCiphertext) -> int:
+        """Decrypt to the residue ``m ∈ Z_n`` (no sign/precision decoding)."""
+        if ciphertext.public_key != self._keypair.public:
+            raise DecryptionError("ciphertext was encrypted under a different key")
+        public, private = self._keypair.public, self._keypair.private
+        u = pow(ciphertext.value, private.lam, public.n_squared)
+        return (_l_function(u, public.n) * private.mu) % public.n
+
+    def add(self, *ciphertexts: PaillierCiphertext) -> PaillierCiphertext:
+        """Homomorphically sum one or more ciphertexts."""
+        if not ciphertexts:
+            raise EncryptionError("cannot sum zero ciphertexts")
+        total = ciphertexts[0]
+        for ciphertext in ciphertexts[1:]:
+            total = total + ciphertext
+        return total
+
+    # -- value encoding ------------------------------------------------------ #
+
+    def _encode(self, value: int | float) -> int:
+        n = self._keypair.public.n
+        if isinstance(value, float):
+            scaled = round(value * self._precision)
+        else:
+            scaled = value * self._precision
+        if abs(scaled) >= n // 2:
+            raise EncryptionError(f"value {value!r} too large for the Paillier modulus")
+        return scaled % n
+
+    def _decode(self, residue: int) -> float | int:
+        n = self._keypair.public.n
+        signed = residue if residue < n // 2 else residue - n
+        if signed % self._precision == 0:
+            return signed // self._precision
+        return signed / self._precision
+
+    def decode_sum(self, ciphertext: PaillierCiphertext) -> float | int:
+        """Decrypt and decode a homomorphically computed sum."""
+        return self._decode(self.decrypt_raw(ciphertext))
+
+
+def _l_function(u: int, n: int) -> int:
+    return (u - 1) // n
+
+
+def _gcd(a: int, b: int) -> int:
+    while b:
+        a, b = b, a % b
+    return a
+
+
+def _lcm(a: int, b: int) -> int:
+    return a // _gcd(a, b) * b

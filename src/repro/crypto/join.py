@@ -1,0 +1,87 @@
+"""JOIN and JOIN-OPE: usage modes of DET / OPE for cross-column joins.
+
+The paper (following CryptDB) treats JOIN not as a new cipher but as a
+*usage mode*: two columns can be joined over encrypted data iff their values
+are encrypted deterministically **under the same key**.  A :class:`JoinGroup`
+names such a set of columns; the :class:`JoinScheme` wraps a DET (or OPE, for
+JOIN-OPE) scheme whose key is derived from the group name, so every member
+column produces compatible ciphertexts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.crypto.base import CiphertextKind, EncryptionClass, EncryptionScheme
+from repro.crypto.det import DeterministicScheme
+from repro.crypto.keys import KeyChain
+from repro.crypto.ope import OrderPreservingScheme
+from repro.crypto.primitives import SqlValue
+from repro.exceptions import EncryptionError
+
+
+@dataclass
+class JoinGroup:
+    """A named set of columns that must remain joinable after encryption."""
+
+    name: str
+    columns: set[tuple[str, str]] = field(default_factory=set)
+
+    def add(self, table: str, column: str) -> None:
+        """Add ``table.column`` to the group."""
+        self.columns.add((table, column))
+
+    def contains(self, table: str, column: str) -> bool:
+        """Return True if ``table.column`` is a member."""
+        return (table, column) in self.columns
+
+
+class JoinScheme(EncryptionScheme):
+    """DET encryption keyed per join group (class JOIN).
+
+    With ``order_preserving=True`` the underlying cipher is OPE instead of
+    DET, which yields the JOIN-OPE class (joins plus range predicates across
+    the joined columns).
+    """
+
+    def __init__(
+        self,
+        keychain: KeyChain,
+        group: JoinGroup,
+        *,
+        order_preserving: bool = False,
+        domain_min: int = -(2**31),
+        domain_max: int = 2**31 - 1,
+    ) -> None:
+        self.group = group
+        self._order_preserving = order_preserving
+        key = keychain.join_key(group.name)
+        if order_preserving:
+            self._inner: EncryptionScheme = OrderPreservingScheme(
+                key, domain_min=domain_min, domain_max=domain_max
+            )
+            self.encryption_class = EncryptionClass.JOIN_OPE
+            self.preserves_order = True
+            self.ciphertext_kind = CiphertextKind.INTEGER
+        else:
+            self._inner = DeterministicScheme(key)
+            self.encryption_class = EncryptionClass.JOIN
+            self.preserves_order = False
+            self.ciphertext_kind = CiphertextKind.STRING
+        self.preserves_equality = True
+        self.supports_addition = False
+        self.is_probabilistic = False
+
+    def encrypt(self, value: SqlValue) -> object:
+        return self._inner.encrypt(value)
+
+    def decrypt(self, ciphertext: object) -> SqlValue:
+        return self._inner.decrypt(ciphertext)
+
+    def encrypt_for(self, table: str, column: str, value: SqlValue) -> object:
+        """Encrypt a value for a specific member column, validating membership."""
+        if not self.group.contains(table, column):
+            raise EncryptionError(
+                f"column {table}.{column} is not part of join group {self.group.name!r}"
+            )
+        return self._inner.encrypt(value)

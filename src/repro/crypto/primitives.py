@@ -1,0 +1,237 @@
+"""Low-level cryptographic primitives and value (de)serialization.
+
+Everything in :mod:`repro.crypto` builds on the helpers here: keyed PRFs
+(HMAC-SHA256), AES-CTR as the block-cipher workhorse, deterministic
+pseudo-random streams for lazily-sampled schemes (OPE), prime generation for
+Paillier, and a typed value codec that turns SQL values (int, float, str,
+bool, NULL) into bytes and back without ambiguity.
+"""
+
+from __future__ import annotations
+
+import hmac
+import hashlib
+import os
+import struct
+
+from cryptography.hazmat.primitives.ciphers import Cipher, algorithms, modes
+
+from repro.exceptions import CryptoError, DecryptionError
+
+#: Supported plaintext value types for the value codec.
+SqlValue = int | float | str | bool | None
+
+_TYPE_TAGS = {
+    "null": b"\x00",
+    "bool": b"\x01",
+    "int": b"\x02",
+    "float": b"\x03",
+    "str": b"\x04",
+}
+_TAG_TYPES = {tag: name for name, tag in _TYPE_TAGS.items()}
+
+
+def random_bytes(length: int) -> bytes:
+    """Return ``length`` cryptographically secure random bytes."""
+    return os.urandom(length)
+
+
+def prf(key: bytes, *parts: bytes | str) -> bytes:
+    """Keyed PRF: HMAC-SHA256 of the length-prefixed concatenation of ``parts``.
+
+    Length-prefixing makes the encoding injective, so distinct part tuples
+    can never collide (``("ab","c")`` vs ``("a","bc")``).
+    """
+    mac = hmac.new(key, digestmod=hashlib.sha256)
+    for part in parts:
+        if isinstance(part, str):
+            part = part.encode("utf-8")
+        mac.update(struct.pack(">I", len(part)))
+        mac.update(part)
+    return mac.digest()
+
+
+def prf_int(key: bytes, *parts: bytes | str, bits: int = 64) -> int:
+    """Return :func:`prf` truncated/expanded to an unsigned ``bits``-bit integer."""
+    nbytes = (bits + 7) // 8
+    output = b""
+    counter = 0
+    while len(output) < nbytes:
+        output += prf(key, struct.pack(">I", counter), *parts)
+        counter += 1
+    return int.from_bytes(output[:nbytes], "big") % (1 << bits)
+
+
+def derive_key(master: bytes, label: str, length: int = 32) -> bytes:
+    """Derive a sub-key from ``master`` for the given ``label`` (HKDF-like expand)."""
+    output = b""
+    counter = 1
+    previous = b""
+    while len(output) < length:
+        previous = hmac.new(
+            master, previous + label.encode("utf-8") + bytes([counter]), hashlib.sha256
+        ).digest()
+        output += previous
+        counter += 1
+    return output[:length]
+
+
+def aes_ctr_transform(key: bytes, nonce: bytes, data: bytes) -> bytes:
+    """Encrypt/decrypt ``data`` with AES-CTR (the operation is its own inverse)."""
+    if len(nonce) != 16:
+        raise CryptoError("AES-CTR nonce must be 16 bytes")
+    cipher = Cipher(algorithms.AES(key), modes.CTR(nonce))
+    encryptor = cipher.encryptor()
+    return encryptor.update(data) + encryptor.finalize()
+
+
+class DeterministicStream:
+    """A deterministic pseudo-random byte/number stream seeded by a PRF.
+
+    Lazily-sampled schemes (the OPE construction, deterministic nonce
+    derivation) need "random" choices that are a pure function of the key and
+    the position in the scheme's recursion tree.  This class wraps a
+    counter-mode PRF and exposes convenience samplers.
+    """
+
+    def __init__(self, key: bytes, *seed_parts: bytes | str) -> None:
+        self._key = key
+        self._seed = prf(key, "stream-seed", *seed_parts)
+        self._counter = 0
+        self._buffer = b""
+
+    def read(self, length: int) -> bytes:
+        """Return the next ``length`` bytes of the stream."""
+        while len(self._buffer) < length:
+            block = prf(self._key, "stream-block", self._seed, struct.pack(">Q", self._counter))
+            self._buffer += block
+            self._counter += 1
+        result, self._buffer = self._buffer[:length], self._buffer[length:]
+        return result
+
+    def uniform_int(self, low: int, high: int) -> int:
+        """Return a uniformly distributed integer in the inclusive range [low, high]."""
+        if low > high:
+            raise CryptoError(f"empty range [{low}, {high}]")
+        span = high - low + 1
+        # Rejection sampling over the smallest sufficient number of bytes to
+        # avoid modulo bias.
+        nbytes = max(1, (span.bit_length() + 7) // 8 + 1)
+        limit = (1 << (8 * nbytes)) - ((1 << (8 * nbytes)) % span)
+        while True:
+            candidate = int.from_bytes(self.read(nbytes), "big")
+            if candidate < limit:
+                return low + (candidate % span)
+
+    def uniform_float(self) -> float:
+        """Return a uniformly distributed float in [0, 1)."""
+        return int.from_bytes(self.read(8), "big") / float(1 << 64)
+
+
+# --------------------------------------------------------------------------- #
+# value codec
+
+
+def encode_value(value: SqlValue) -> bytes:
+    """Encode an SQL value into a self-describing byte string."""
+    if value is None:
+        return _TYPE_TAGS["null"]
+    if isinstance(value, bool):
+        return _TYPE_TAGS["bool"] + (b"\x01" if value else b"\x00")
+    if isinstance(value, int):
+        return _TYPE_TAGS["int"] + _encode_signed_int(value)
+    if isinstance(value, float):
+        return _TYPE_TAGS["float"] + struct.pack(">d", value)
+    if isinstance(value, str):
+        return _TYPE_TAGS["str"] + value.encode("utf-8")
+    raise CryptoError(f"cannot encode value of type {type(value).__name__}")
+
+
+def decode_value(data: bytes) -> SqlValue:
+    """Decode a byte string produced by :func:`encode_value`."""
+    if not data:
+        raise DecryptionError("empty value encoding")
+    tag, payload = data[:1], data[1:]
+    kind = _TAG_TYPES.get(tag)
+    if kind is None:
+        raise DecryptionError(f"unknown value type tag {tag!r}")
+    if kind == "null":
+        return None
+    if kind == "bool":
+        return payload == b"\x01"
+    if kind == "int":
+        return _decode_signed_int(payload)
+    if kind == "float":
+        return struct.unpack(">d", payload)[0]
+    return payload.decode("utf-8")
+
+
+def _encode_signed_int(value: int) -> bytes:
+    sign = b"\x01" if value >= 0 else b"\x00"
+    magnitude = abs(value)
+    length = max(1, (magnitude.bit_length() + 7) // 8)
+    return sign + magnitude.to_bytes(length, "big")
+
+
+def _decode_signed_int(payload: bytes) -> int:
+    if not payload:
+        raise DecryptionError("truncated integer encoding")
+    sign, magnitude = payload[:1], payload[1:]
+    value = int.from_bytes(magnitude, "big")
+    return value if sign == b"\x01" else -value
+
+
+# --------------------------------------------------------------------------- #
+# prime generation (for Paillier)
+
+_SMALL_PRIMES = [
+    2, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37, 41, 43, 47, 53, 59, 61, 67,
+    71, 73, 79, 83, 89, 97, 101, 103, 107, 109, 113, 127, 131, 137, 139, 149,
+]
+
+
+def is_probable_prime(n: int, rounds: int = 40) -> bool:
+    """Miller–Rabin primality test with ``rounds`` random witnesses."""
+    if n < 2:
+        return False
+    for p in _SMALL_PRIMES:
+        if n == p:
+            return True
+        if n % p == 0:
+            return False
+    d, r = n - 1, 0
+    while d % 2 == 0:
+        d //= 2
+        r += 1
+    for _ in range(rounds):
+        a = int.from_bytes(os.urandom((n.bit_length() + 7) // 8), "big") % (n - 3) + 2
+        x = pow(a, d, n)
+        if x in (1, n - 1):
+            continue
+        for _ in range(r - 1):
+            x = pow(x, 2, n)
+            if x == n - 1:
+                break
+        else:
+            return False
+    return True
+
+
+def generate_prime(bits: int) -> int:
+    """Generate a random prime with exactly ``bits`` bits."""
+    if bits < 8:
+        raise CryptoError("prime size must be at least 8 bits")
+    while True:
+        candidate = int.from_bytes(os.urandom((bits + 7) // 8), "big")
+        candidate |= (1 << (bits - 1)) | 1  # force bit length and oddness
+        candidate &= (1 << bits) - 1
+        if is_probable_prime(candidate):
+            return candidate
+
+
+def modular_inverse(a: int, modulus: int) -> int:
+    """Return the modular inverse of ``a`` modulo ``modulus``."""
+    try:
+        return pow(a, -1, modulus)
+    except ValueError as exc:
+        raise CryptoError(f"{a} has no inverse modulo {modulus}") from exc

@@ -1,0 +1,74 @@
+"""PROB: randomized (probabilistic) symmetric encryption.
+
+The scheme is AES-256-CTR with a fresh random 16-byte nonce per encryption
+plus an HMAC-SHA256 authentication tag (encrypt-then-MAC).  Two encryptions
+of the same value therefore produce different ciphertexts, which is exactly
+the PROB property of Figure 1: nothing beyond (approximate) length leaks.
+
+Ciphertext layout: ``nonce (16) || body || tag (16)`` hex-encoded with an
+``prob:`` prefix so ciphertexts are printable and can be embedded in
+encrypted query strings / encrypted tables as opaque string values.
+"""
+
+from __future__ import annotations
+
+import hmac
+import hashlib
+
+from repro.crypto.base import CiphertextKind, EncryptionClass, EncryptionScheme
+from repro.crypto.primitives import (
+    SqlValue,
+    aes_ctr_transform,
+    decode_value,
+    derive_key,
+    encode_value,
+    random_bytes,
+)
+from repro.exceptions import DecryptionError, KeyError_
+
+_PREFIX = "prob:"
+_TAG_LENGTH = 16
+
+
+class ProbabilisticScheme(EncryptionScheme):
+    """Randomized AES-CTR + HMAC encryption of SQL values (class PROB)."""
+
+    encryption_class = EncryptionClass.PROB
+    preserves_equality = False
+    preserves_order = False
+    supports_addition = False
+    is_probabilistic = True
+    ciphertext_kind = CiphertextKind.STRING
+
+    def __init__(self, key: bytes) -> None:
+        if len(key) < 16:
+            raise KeyError_("PROB key must be at least 16 bytes")
+        self._enc_key = derive_key(key, "prob-enc", 32)
+        self._mac_key = derive_key(key, "prob-mac", 32)
+
+    def encrypt(self, value: SqlValue) -> str:
+        nonce = random_bytes(16)
+        body = aes_ctr_transform(self._enc_key, nonce, encode_value(value))
+        tag = self._tag(nonce + body)
+        return _PREFIX + (nonce + body + tag).hex()
+
+    def decrypt(self, ciphertext: object) -> SqlValue:
+        raw = _unwrap(ciphertext)
+        if len(raw) < 16 + _TAG_LENGTH:
+            raise DecryptionError("PROB ciphertext too short")
+        nonce, body, tag = raw[:16], raw[16:-_TAG_LENGTH], raw[-_TAG_LENGTH:]
+        if not hmac.compare_digest(tag, self._tag(nonce + body)):
+            raise DecryptionError("PROB ciphertext failed authentication")
+        return decode_value(aes_ctr_transform(self._enc_key, nonce, body))
+
+    def _tag(self, data: bytes) -> bytes:
+        return hmac.new(self._mac_key, data, hashlib.sha256).digest()[:_TAG_LENGTH]
+
+
+def _unwrap(ciphertext: object) -> bytes:
+    if not isinstance(ciphertext, str) or not ciphertext.startswith(_PREFIX):
+        raise DecryptionError("not a PROB ciphertext")
+    try:
+        return bytes.fromhex(ciphertext[len(_PREFIX) :])
+    except ValueError as exc:
+        raise DecryptionError("malformed PROB ciphertext") from exc

@@ -1,0 +1,104 @@
+"""Scheme registry: instantiate a concrete scheme for an encryption class.
+
+Step 3 of KIT-DPE ("ensuring the equivalence notions") picks an encryption
+*class*; to actually encrypt anything an *instance* of that class is needed.
+The registry maps classes to factories so that the DPE schemes and the
+CryptDB layer can obtain schemes uniformly, and so that experiments can swap
+instances (e.g. a toy Paillier key for fast tests vs. a 2048-bit one).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+
+from repro.crypto.base import EncryptionClass, EncryptionScheme, IdentityScheme
+from repro.crypto.det import DeterministicScheme
+from repro.crypto.hom import PaillierKeyPair, PaillierScheme
+from repro.crypto.keys import KeyChain
+from repro.crypto.ope import OrderPreservingScheme
+from repro.crypto.prob import ProbabilisticScheme
+from repro.exceptions import CryptoError
+
+SchemeFactory = Callable[[bytes], EncryptionScheme]
+
+
+class SchemeRegistry:
+    """Maps encryption classes to scheme factories taking a key."""
+
+    def __init__(self) -> None:
+        self._factories: dict[EncryptionClass, SchemeFactory] = {}
+
+    def register(self, encryption_class: EncryptionClass, factory: SchemeFactory) -> None:
+        """Register (or replace) the factory for ``encryption_class``."""
+        self._factories[encryption_class] = factory
+
+    def supports(self, encryption_class: EncryptionClass) -> bool:
+        """Return True if a factory is registered for ``encryption_class``."""
+        return encryption_class in self._factories
+
+    def create(self, encryption_class: EncryptionClass, key: bytes) -> EncryptionScheme:
+        """Instantiate a scheme of ``encryption_class`` with ``key``."""
+        try:
+            factory = self._factories[encryption_class]
+        except KeyError:
+            raise CryptoError(f"no scheme registered for class {encryption_class}") from None
+        return factory(key)
+
+    def create_for(
+        self, encryption_class: EncryptionClass, keychain: KeyChain, *path: str
+    ) -> EncryptionScheme:
+        """Instantiate a scheme with a key derived from ``keychain`` at ``path``."""
+        return self.create(encryption_class, keychain.key_for(*path, encryption_class.value))
+
+
+def default_registry(
+    *,
+    paillier_keypair: PaillierKeyPair | None = None,
+    paillier_bits: int = 512,
+    ope_domain: tuple[int, int] = (-(2**31), 2**31 - 1),
+) -> SchemeRegistry:
+    """Build the default registry with one instance per class of Figure 1.
+
+    Parameters
+    ----------
+    paillier_keypair:
+        Reuse an existing Paillier key pair (key generation dominates set-up
+        time); if None a fresh pair with ``paillier_bits`` is generated lazily
+        on first use of the HOM class.
+    paillier_bits:
+        Modulus size for lazily generated Paillier keys.
+    ope_domain:
+        Inclusive plaintext domain for OPE instances.
+    """
+    registry = SchemeRegistry()
+    registry.register(EncryptionClass.PLAIN, lambda key: IdentityScheme())
+    registry.register(EncryptionClass.PROB, ProbabilisticScheme)
+    registry.register(EncryptionClass.DET, DeterministicScheme)
+    registry.register(
+        EncryptionClass.OPE,
+        lambda key: OrderPreservingScheme(
+            key, domain_min=ope_domain[0], domain_max=ope_domain[1]
+        ),
+    )
+    registry.register(EncryptionClass.JOIN, DeterministicScheme)
+    registry.register(
+        EncryptionClass.JOIN_OPE,
+        lambda key: OrderPreservingScheme(
+            key, domain_min=ope_domain[0], domain_max=ope_domain[1]
+        ),
+    )
+
+    paillier_cache: dict[str, PaillierScheme] = {}
+
+    def make_paillier(key: bytes) -> EncryptionScheme:
+        # The HOM scheme is asymmetric: the key argument is ignored and a
+        # single key pair is shared across uses, which matches how CryptDB
+        # provisions its HOM onion (one Paillier key per principal).
+        _ = key
+        if "scheme" not in paillier_cache:
+            keypair = paillier_keypair or PaillierKeyPair.generate(paillier_bits)
+            paillier_cache["scheme"] = PaillierScheme(keypair)
+        return paillier_cache["scheme"]
+
+    registry.register(EncryptionClass.HOM, make_paillier)
+    return registry

@@ -1,0 +1,30 @@
+"""In-memory relational engine.
+
+The query-result distance measure (Definition 4 in the paper) needs actual
+query execution: the distance between two queries is the Jaccard distance of
+their *result tuple sets*.  To verify distance preservation we therefore need
+to execute queries both over the plain-text database and over its encrypted
+counterpart (via the CryptDB-style layer in :mod:`repro.cryptdb`).
+
+This package implements a small but complete SELECT engine over in-memory
+tables: typed schemas, expression evaluation (including three-valued NULL
+logic), inner/left/right/cross joins, GROUP BY with HAVING, the five standard
+aggregates, DISTINCT, ORDER BY and LIMIT.
+"""
+
+from repro.db.database import Database
+from repro.db.executor import QueryExecutor, ResultSet
+from repro.db.schema import Column, ColumnType, DatabaseSchema, TableSchema
+from repro.db.table import Row, Table
+
+__all__ = [
+    "Column",
+    "ColumnType",
+    "Database",
+    "DatabaseSchema",
+    "QueryExecutor",
+    "ResultSet",
+    "Row",
+    "Table",
+    "TableSchema",
+]

@@ -1,0 +1,91 @@
+"""Aggregate functions over row groups.
+
+The executor groups rows (either by the GROUP BY key or into one global
+group) and asks this module to evaluate aggregate calls over each group.
+NULL handling follows SQL: aggregates skip NULL inputs, ``COUNT(*)`` counts
+rows, ``COUNT(expr)`` counts non-NULL values, and every aggregate except
+``COUNT`` returns NULL over an empty (or all-NULL) group.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Sequence
+
+from repro.db.expressions import RowScope, evaluate
+from repro.exceptions import ExecutionError
+from repro.sql.ast import AggregateCall, Star
+
+#: Custom aggregate implementations registered by higher layers.  The
+#: CryptDB-style proxy registers ``HOMSUM`` here: summation of Paillier
+#: ciphertexts is modular multiplication, which the engine cannot know about.
+_CUSTOM_AGGREGATES: dict[str, Callable[[list[object]], object]] = {}
+
+
+def register_custom_aggregate(name: str, implementation: Callable[[list[object]], object]) -> None:
+    """Register (or replace) a custom aggregate ``name`` (case-insensitive)."""
+    _CUSTOM_AGGREGATES[name.upper()] = implementation
+
+
+def unregister_custom_aggregate(name: str) -> None:
+    """Remove a previously registered custom aggregate (missing names are ignored)."""
+    _CUSTOM_AGGREGATES.pop(name.upper(), None)
+
+
+def evaluate_aggregate(call: AggregateCall, scopes: Sequence[RowScope]) -> object:
+    """Evaluate ``call`` over the group formed by ``scopes``."""
+    function = call.function
+
+    if isinstance(call.argument, Star):
+        if function != "COUNT":
+            raise ExecutionError(f"{function}(*) is not valid SQL")
+        return len(scopes)
+
+    values = [evaluate(call.argument, scope) for scope in scopes]
+    values = [value for value in values if value is not None]
+    if call.distinct:
+        values = _distinct(values)
+
+    if function in _CUSTOM_AGGREGATES:
+        return _CUSTOM_AGGREGATES[function](values)
+    if function == "COUNT":
+        return len(values)
+    if not values:
+        return None
+    if function == "SUM":
+        return _numeric_sum(values)
+    if function == "AVG":
+        return _numeric_sum(values) / len(values)
+    if function == "MIN":
+        return _extreme(values, smallest=True)
+    if function == "MAX":
+        return _extreme(values, smallest=False)
+    raise ExecutionError(f"unknown aggregate function {function!r}")
+
+
+def _distinct(values: list[object]) -> list[object]:
+    seen: list[object] = []
+    for value in values:
+        if value not in seen:
+            seen.append(value)
+    return seen
+
+
+def _numeric_sum(values: list[object]) -> int | float:
+    total: int | float = 0
+    for value in values:
+        if not isinstance(value, (int, float)) or isinstance(value, bool):
+            raise ExecutionError(f"SUM/AVG over non-numeric value {value!r}")
+        total += value
+    return total
+
+
+def _extreme(values: list[object], *, smallest: bool) -> object:
+    best = values[0]
+    for value in values[1:]:
+        try:
+            comparison = value < best  # type: ignore[operator]
+        except TypeError as exc:
+            raise ExecutionError(f"cannot order values {value!r} and {best!r}") from exc
+        if comparison == smallest:
+            best = value
+    return best

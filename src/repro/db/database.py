@@ -1,0 +1,84 @@
+"""Database: a named collection of tables plus the catalog."""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Iterator, Mapping
+
+from repro.db.schema import DatabaseSchema, TableSchema
+from repro.db.table import Table
+from repro.exceptions import SchemaError
+
+
+class Database:
+    """An in-memory database instance.
+
+    The database owns its tables; the executor only reads them.  The
+    encryption layer produces a *new* :class:`Database` with encrypted
+    identifiers and values rather than mutating the original, mirroring the
+    paper's scenario where the data owner keeps the plain-text database and
+    ships the encrypted copy to the service provider.
+    """
+
+    def __init__(self, name: str = "db") -> None:
+        self.name = name
+        self._tables: dict[str, Table] = {}
+
+    # -- catalog ---------------------------------------------------------- #
+
+    def create_table(self, schema: TableSchema) -> Table:
+        """Create an empty table from ``schema`` and register it."""
+        if schema.name in self._tables:
+            raise SchemaError(f"table {schema.name!r} already exists in database {self.name!r}")
+        table = Table(schema)
+        self._tables[schema.name] = table
+        return table
+
+    def add_table(self, table: Table) -> None:
+        """Register an existing table object."""
+        if table.name in self._tables:
+            raise SchemaError(f"table {table.name!r} already exists in database {self.name!r}")
+        self._tables[table.name] = table
+
+    def table(self, name: str) -> Table:
+        """Look up a table by name."""
+        try:
+            return self._tables[name]
+        except KeyError:
+            raise SchemaError(f"database {self.name!r} has no table {name!r}") from None
+
+    def has_table(self, name: str) -> bool:
+        """Return True if a table named ``name`` exists."""
+        return name in self._tables
+
+    @property
+    def table_names(self) -> tuple[str, ...]:
+        """Names of all tables, in creation order."""
+        return tuple(self._tables)
+
+    @property
+    def schema(self) -> DatabaseSchema:
+        """The database schema derived from the registered tables."""
+        return DatabaseSchema(table.schema for table in self._tables.values())
+
+    # -- data ------------------------------------------------------------- #
+
+    def insert(self, table_name: str, values: Mapping[str, object]) -> None:
+        """Insert one row into ``table_name``."""
+        self.table(table_name).insert(values)
+
+    def insert_many(self, table_name: str, rows: Iterable[Mapping[str, object]]) -> None:
+        """Insert several rows into ``table_name``."""
+        self.table(table_name).insert_many(rows)
+
+    def __iter__(self) -> Iterator[Table]:
+        return iter(self._tables.values())
+
+    def __len__(self) -> int:
+        return len(self._tables)
+
+    def total_rows(self) -> int:
+        """Total number of rows across all tables."""
+        return sum(len(table) for table in self._tables.values())
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Database({self.name!r}, tables={list(self._tables)})"

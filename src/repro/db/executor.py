@@ -1,0 +1,430 @@
+"""SELECT query execution over an in-memory :class:`~repro.db.database.Database`.
+
+The executor implements a straightforward (but correct) pipeline::
+
+    FROM/JOIN -> WHERE -> GROUP BY/aggregates -> HAVING -> SELECT projection
+              -> DISTINCT -> ORDER BY -> LIMIT
+
+It is intentionally a tuple-at-a-time interpreter without optimisation; the
+paper's result-distance experiments need correctness and determinism, not
+speed, and the benchmark harness measures *relative* costs (plaintext vs
+encrypted execution) where both sides use this same engine.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.db.aggregates import evaluate_aggregate
+from repro.db.database import Database
+from repro.db.expressions import RowScope, evaluate, evaluate_predicate, values_equal
+from repro.db.table import Row
+from repro.exceptions import ExecutionError
+from repro.sql.ast import (
+    AggregateCall,
+    Expression,
+    Join,
+    JoinType,
+    Query,
+    SelectItem,
+    Star,
+    TableRef,
+)
+from repro.sql.render import render_expression
+from repro.sql.visitor import contains_aggregate, walk
+
+
+@dataclass(frozen=True)
+class ResultSet:
+    """The result of executing a query: ordered columns and ordered rows."""
+
+    columns: tuple[str, ...]
+    rows: tuple[tuple[object, ...], ...]
+
+    def tuple_set(self) -> frozenset[tuple[object, ...]]:
+        """Return the *set* of result tuples (used by query-result distance)."""
+        return frozenset(self.rows)
+
+    def as_dicts(self) -> list[dict[str, object]]:
+        """Return the rows as dictionaries keyed by column name."""
+        return [dict(zip(self.columns, row)) for row in self.rows]
+
+    def __len__(self) -> int:
+        return len(self.rows)
+
+
+class QueryExecutor:
+    """Executes parsed queries against a database instance."""
+
+    def __init__(self, database: Database) -> None:
+        self._database = database
+
+    def execute(self, query: Query) -> ResultSet:
+        """Execute ``query`` and return its :class:`ResultSet`."""
+        scopes = self._build_from(query.from_table, query.joins)
+
+        if query.where is not None:
+            scopes = [scope for scope in scopes if evaluate_predicate(query.where, scope)]
+
+        grouped = query.group_by or query.has_aggregates()
+        if grouped:
+            columns, rows = self._project_grouped(query, scopes)
+        else:
+            columns, rows = self._project_plain(query, scopes)
+
+        if query.distinct:
+            rows = _distinct_rows(rows)
+
+        if query.order_by:
+            rows = self._order_rows(query, columns, rows, scopes, grouped)
+
+        if query.limit is not None:
+            rows = rows[: query.limit]
+
+        return ResultSet(tuple(columns), tuple(rows))
+
+    # ------------------------------------------------------------------ #
+    # FROM / JOIN
+
+    def _scan(self, ref: TableRef) -> list[RowScope]:
+        table = self._database.table(ref.name)
+        binding = ref.binding_name
+        return [RowScope({binding: row.as_dict()}) for row in table]
+
+    def _null_scope_for(self, ref: TableRef) -> dict[str, object]:
+        schema = self._database.table(ref.name).schema
+        return {name: None for name in schema.column_names}
+
+    def _build_from(self, first: TableRef, joins: tuple[Join, ...]) -> list[RowScope]:
+        scopes = self._scan(first)
+        bound: list[TableRef] = [first]
+        for join in joins:
+            scopes = self._apply_join(scopes, bound, join)
+            bound.append(join.right)
+        return scopes
+
+    def _apply_join(
+        self, left_scopes: list[RowScope], bound: list[TableRef], join: Join
+    ) -> list[RowScope]:
+        right_table = self._database.table(join.right.name)
+        right_binding = join.right.binding_name
+        if any(ref.binding_name == right_binding for ref in bound):
+            raise ExecutionError(f"duplicate table alias {right_binding!r} in FROM clause")
+
+        right_rows = [row.as_dict() for row in right_table]
+        joined: list[RowScope] = []
+
+        if join.join_type is JoinType.CROSS:
+            for left in left_scopes:
+                for right in right_rows:
+                    joined.append(_merge_scope(left, right_binding, right))
+            return joined
+
+        if join.join_type in (JoinType.INNER, JoinType.LEFT):
+            for left in left_scopes:
+                matched = False
+                for right in right_rows:
+                    candidate = _merge_scope(left, right_binding, right)
+                    if join.condition is None or evaluate_predicate(join.condition, candidate):
+                        joined.append(candidate)
+                        matched = True
+                if not matched and join.join_type is JoinType.LEFT:
+                    null_right = {name: None for name in right_table.schema.column_names}
+                    joined.append(_merge_scope(left, right_binding, null_right))
+            return joined
+
+        # RIGHT join: iterate right side, matching against all left scopes.
+        left_bindings = [ref.binding_name for ref in bound]
+        for right in right_rows:
+            matched = False
+            for left in left_scopes:
+                candidate = _merge_scope(left, right_binding, right)
+                if join.condition is None or evaluate_predicate(join.condition, candidate):
+                    joined.append(candidate)
+                    matched = True
+            if not matched:
+                null_left_bindings = {
+                    ref.binding_name: self._null_scope_for(ref) for ref in bound
+                }
+                null_left_bindings[right_binding] = right
+                joined.append(RowScope(null_left_bindings))
+        _ = left_bindings  # bound names only needed for the null-extension above
+        return joined
+
+    # ------------------------------------------------------------------ #
+    # projection
+
+    def _select_columns(self, query: Query, sample_scope: RowScope | None) -> list[str]:
+        columns: list[str] = []
+        for index, item in enumerate(query.select_items):
+            columns.append(_column_name(item, index))
+        return columns
+
+    def _expand_star(self, query: Query, scope: RowScope) -> list[tuple[str, object]]:
+        """Expand ``*`` / ``t.*`` projections into (name, value) pairs."""
+        pairs: list[tuple[str, object]] = []
+        for ref in query.tables():
+            schema = self._database.table(ref.name).schema
+            binding = scope.binding(ref.binding_name)
+            for name in schema.column_names:
+                pairs.append((name, binding[name]))
+        return pairs
+
+    def _project_plain(
+        self, query: Query, scopes: list[RowScope]
+    ) -> tuple[list[str], list[tuple[object, ...]]]:
+        has_star = any(isinstance(item.expression, Star) for item in query.select_items)
+        if has_star and len(query.select_items) == 1 and query.select_items[0].expression == Star():
+            # plain SELECT * FROM ...
+            columns: list[str] = []
+            rows: list[tuple[object, ...]] = []
+            for scope in scopes:
+                pairs = self._expand_star(query, scope)
+                if not columns:
+                    columns = [name for name, _ in pairs]
+                rows.append(tuple(value for _, value in pairs))
+            if not columns:
+                columns = self._star_columns(query)
+            return columns, rows
+
+        columns = []
+        rows = []
+        for index, item in enumerate(query.select_items):
+            if isinstance(item.expression, Star):
+                if item.expression.table is None:
+                    raise ExecutionError("'*' cannot be mixed with other select items")
+                schema = self._table_for_binding(query, item.expression.table).schema
+                columns.extend(schema.column_names)
+            else:
+                columns.append(_column_name(item, index))
+        for scope in scopes:
+            values: list[object] = []
+            for item in query.select_items:
+                if isinstance(item.expression, Star):
+                    binding = scope.binding(item.expression.table)  # type: ignore[arg-type]
+                    schema = self._table_for_binding(query, item.expression.table).schema  # type: ignore[arg-type]
+                    values.extend(binding[name] for name in schema.column_names)
+                else:
+                    values.append(evaluate(item.expression, scope))
+            rows.append(tuple(values))
+        return columns, rows
+
+    def _star_columns(self, query: Query) -> list[str]:
+        columns: list[str] = []
+        for ref in query.tables():
+            columns.extend(self._database.table(ref.name).schema.column_names)
+        return columns
+
+    def _table_for_binding(self, query: Query, binding: str):
+        for ref in query.tables():
+            if ref.binding_name == binding:
+                return self._database.table(ref.name)
+        raise ExecutionError(f"unknown table or alias {binding!r}")
+
+    def _project_grouped(
+        self, query: Query, scopes: list[RowScope]
+    ) -> tuple[list[str], list[tuple[object, ...]]]:
+        for item in query.select_items:
+            if isinstance(item.expression, Star):
+                raise ExecutionError("'*' projection cannot be combined with GROUP BY/aggregates")
+            if not contains_aggregate(item.expression) and query.group_by:
+                if item.expression not in query.group_by:
+                    raise ExecutionError(
+                        f"non-aggregated select item {render_expression(item.expression)!r} "
+                        "must appear in GROUP BY"
+                    )
+
+        groups = self._build_groups(query, scopes)
+
+        if query.having is not None:
+            groups = [
+                group
+                for group in groups
+                if _truthy(self._evaluate_over_group(query.having, group))
+            ]
+
+        columns = self._select_columns(query, scopes[0] if scopes else None)
+        rows = [
+            tuple(
+                self._evaluate_over_group(item.expression, group)
+                for item in query.select_items
+            )
+            for group in groups
+        ]
+        return columns, rows
+
+    def _build_groups(self, query: Query, scopes: list[RowScope]) -> list[list[RowScope]]:
+        if not query.group_by:
+            # Aggregates without GROUP BY: a single global group.  SQL returns
+            # one row even for an empty input.
+            return [scopes]
+        groups: dict[tuple[object, ...], list[RowScope]] = {}
+        order: list[tuple[object, ...]] = []
+        for scope in scopes:
+            key = tuple(_hashable(evaluate(expr, scope)) for expr in query.group_by)
+            if key not in groups:
+                groups[key] = []
+                order.append(key)
+            groups[key].append(scope)
+        return [groups[key] for key in order]
+
+    def _evaluate_over_group(self, expr: Expression, group: list[RowScope]) -> object:
+        """Evaluate an expression that may contain aggregates over a group."""
+        aggregates = [node for node in walk(expr) if isinstance(node, AggregateCall)]
+        if not aggregates:
+            if not group:
+                return None
+            return evaluate(expr, group[0])
+        if isinstance(expr, AggregateCall):
+            return evaluate_aggregate(expr, group)
+        # Expressions mixing aggregates with arithmetic (e.g. SUM(a) / COUNT(*))
+        # are evaluated by substituting aggregate results into a scope.
+        substitutions = {
+            render_expression(agg): evaluate_aggregate(agg, group) for agg in aggregates
+        }
+        return _evaluate_with_substitutions(expr, group, substitutions)
+
+    def _order_rows(
+        self,
+        query: Query,
+        columns: list[str],
+        rows: list[tuple[object, ...]],
+        scopes: list[RowScope],
+        grouped: bool,
+    ) -> list[tuple[object, ...]]:
+        """Sort result rows by the ORDER BY items.
+
+        ORDER BY expressions are resolved against the projected columns (by
+        column name, alias or rendered text).  For plain (non-grouped,
+        non-DISTINCT) queries an ORDER BY expression that is not projected is
+        evaluated against the underlying rows instead — the standard
+        "ORDER BY an unprojected column" case, which the encrypted-execution
+        layer relies on (it projects the EQ onion but orders by the ORD
+        onion).  After grouping or DISTINCT there is no per-row scope to fall
+        back to, so unprojected ORDER BY expressions are rejected there.
+        """
+        per_row_keys: list[list[_SortKey]] = [[] for _ in rows]
+        rendered_items = [render_expression(i.expression) for i in query.select_items]
+        aliases = [i.alias for i in query.select_items]
+
+        for item in query.order_by:
+            rendered = render_expression(item.expression)
+            if rendered in columns:
+                index = columns.index(rendered)
+            elif rendered in aliases:
+                index = aliases.index(rendered)
+            elif rendered in rendered_items:
+                index = rendered_items.index(rendered)
+            else:
+                index = None
+            if index is not None:
+                for row_index, row in enumerate(rows):
+                    per_row_keys[row_index].append(_SortKey(row[index], item.ascending))
+                continue
+            can_use_scopes = not grouped and not query.distinct and len(scopes) == len(rows)
+            if not can_use_scopes:
+                raise ExecutionError(
+                    f"ORDER BY expression {rendered!r} is not in the select list"
+                )
+            for row_index, scope in enumerate(scopes):
+                value = evaluate(item.expression, scope)
+                per_row_keys[row_index].append(_SortKey(value, item.ascending))
+
+        order = sorted(range(len(rows)), key=lambda row_index: tuple(per_row_keys[row_index]))
+        return [rows[row_index] for row_index in order]
+
+
+# --------------------------------------------------------------------------- #
+# helpers
+
+
+def _merge_scope(left: RowScope, binding: str, values: dict[str, object]) -> RowScope:
+    bindings = {name: left.binding(name) for name in left.binding_names()}
+    bindings[binding] = values
+    return RowScope(bindings)
+
+
+def _column_name(item: SelectItem, index: int) -> str:
+    if item.alias:
+        return item.alias
+    from repro.sql.ast import ColumnRef
+
+    if isinstance(item.expression, ColumnRef):
+        return item.expression.name
+    return render_expression(item.expression)
+
+
+def _distinct_rows(rows: list[tuple[object, ...]]) -> list[tuple[object, ...]]:
+    seen: set[tuple[object, ...]] = set()
+    result = []
+    for row in rows:
+        key = tuple(_hashable(value) for value in row)
+        if key not in seen:
+            seen.add(key)
+            result.append(row)
+    return result
+
+
+def _hashable(value: object) -> object:
+    if isinstance(value, (list, dict, set)):
+        return repr(value)
+    return value
+
+
+def _truthy(value: object) -> bool:
+    return bool(value) if value is not None else False
+
+
+class _SortKey:
+    """Sort key wrapper implementing NULLS LAST and descending order."""
+
+    __slots__ = ("value", "ascending")
+
+    def __init__(self, value: object, ascending: bool) -> None:
+        self.value = value
+        self.ascending = ascending
+
+    def __lt__(self, other: "_SortKey") -> bool:
+        a, b = self.value, other.value
+        if a is None and b is None:
+            return False
+        if a is None:
+            return False  # NULLS LAST regardless of direction
+        if b is None:
+            return True
+        if isinstance(a, bool) or isinstance(b, bool):
+            a, b = bool(a), bool(b)
+        try:
+            less = a < b  # type: ignore[operator]
+        except TypeError:
+            less = str(a) < str(b)
+        return less if self.ascending else not less
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, _SortKey):
+            return NotImplemented
+        return self.value == other.value
+
+
+def _evaluate_with_substitutions(
+    expr: Expression, group: list[RowScope], substitutions: dict[str, object]
+) -> object:
+    """Evaluate ``expr`` over a group with aggregate sub-expressions pre-computed."""
+    from repro.sql.ast import BinaryOp, UnaryMinus
+
+    rendered = render_expression(expr)
+    if rendered in substitutions:
+        return substitutions[rendered]
+    if isinstance(expr, BinaryOp):
+        left = _evaluate_with_substitutions(expr.left, group, substitutions)
+        right = _evaluate_with_substitutions(expr.right, group, substitutions)
+        from repro.sql.ast import Literal
+
+        probe = BinaryOp(expr.op, Literal(left), Literal(right))  # type: ignore[arg-type]
+        return evaluate(probe, RowScope({}))
+    if isinstance(expr, UnaryMinus):
+        inner = _evaluate_with_substitutions(expr.operand, group, substitutions)
+        return None if inner is None else -inner  # type: ignore[operator]
+    if not group:
+        return None
+    return evaluate(expr, group[0])

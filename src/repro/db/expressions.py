@@ -1,0 +1,313 @@
+"""Expression evaluation over rows.
+
+The evaluator implements SQL's three-valued logic: any comparison involving
+NULL yields ``None`` (unknown), ``AND``/``OR``/``NOT`` combine truth values
+per the standard truth tables, and a WHERE clause keeps a row only when the
+predicate evaluates to ``True`` (not merely "not false").
+
+The evaluator is *value-generic*: it compares whatever Python values the rows
+contain.  This is essential for the CryptDB-style layer, which executes the
+same query plans over DET ciphertexts (equality) and OPE ciphertexts
+(integers, order comparisons) without the executor knowing it operates on
+encrypted data.
+"""
+
+from __future__ import annotations
+
+import re
+from collections.abc import Mapping
+
+from repro.exceptions import ExecutionError
+from repro.sql.ast import (
+    AggregateCall,
+    ArithmeticOp,
+    BetweenPredicate,
+    BinaryOp,
+    ColumnRef,
+    ComparisonOp,
+    Expression,
+    InPredicate,
+    IsNullPredicate,
+    LikePredicate,
+    Literal,
+    LogicalConnective,
+    LogicalOp,
+    NotOp,
+    Star,
+    UnaryMinus,
+)
+
+
+class RowScope:
+    """Name-resolution scope for a single (possibly joined) row.
+
+    A scope maps *binding names* (table names or aliases) to per-table value
+    mappings and resolves qualified (``t.a``) and unqualified (``a``) column
+    references.  Ambiguous unqualified references raise
+    :class:`ExecutionError`, as a real DBMS would.
+    """
+
+    def __init__(self, bindings: Mapping[str, Mapping[str, object]]) -> None:
+        self._bindings = {name: dict(values) for name, values in bindings.items()}
+
+    def resolve(self, ref: ColumnRef) -> object:
+        """Resolve a column reference to its value in this scope."""
+        if ref.table is not None:
+            try:
+                table_values = self._bindings[ref.table]
+            except KeyError:
+                raise ExecutionError(f"unknown table or alias {ref.table!r}") from None
+            if ref.name not in table_values:
+                raise ExecutionError(f"table {ref.table!r} has no column {ref.name!r}")
+            return table_values[ref.name]
+
+        matches = [
+            values[ref.name] for values in self._bindings.values() if ref.name in values
+        ]
+        owners = [
+            name for name, values in self._bindings.items() if ref.name in values
+        ]
+        if not matches:
+            raise ExecutionError(f"unknown column {ref.name!r}")
+        if len(matches) > 1:
+            raise ExecutionError(
+                f"ambiguous column {ref.name!r} (candidates: {', '.join(sorted(owners))})"
+            )
+        return matches[0]
+
+    def flatten(self) -> dict[str, object]:
+        """Return a single mapping of unqualified column names to values.
+
+        Columns appearing in several bindings keep the value of the first
+        binding (callers that care about ambiguity use :meth:`resolve`).
+        """
+        flat: dict[str, object] = {}
+        for values in self._bindings.values():
+            for key, value in values.items():
+                flat.setdefault(key, value)
+        return flat
+
+    def binding_names(self) -> tuple[str, ...]:
+        """Names of the tables/aliases bound in this scope."""
+        return tuple(self._bindings)
+
+    def binding(self, name: str) -> dict[str, object]:
+        """Return the value mapping of a specific binding."""
+        return dict(self._bindings[name])
+
+
+def evaluate(expr: Expression, scope: RowScope) -> object:
+    """Evaluate ``expr`` against ``scope``.
+
+    Aggregate calls cannot be evaluated row-wise and raise
+    :class:`ExecutionError`; the executor evaluates them separately over row
+    groups (see :mod:`repro.db.aggregates`).
+    """
+    if isinstance(expr, Literal):
+        return expr.value
+    if isinstance(expr, ColumnRef):
+        return scope.resolve(expr)
+    if isinstance(expr, Star):
+        raise ExecutionError("'*' is only valid inside COUNT(*) or as a projection")
+    if isinstance(expr, AggregateCall):
+        raise ExecutionError(
+            f"aggregate {expr.function} cannot be evaluated in a row-wise context"
+        )
+    if isinstance(expr, UnaryMinus):
+        value = evaluate(expr.operand, scope)
+        if value is None:
+            return None
+        if not isinstance(value, (int, float)) or isinstance(value, bool):
+            raise ExecutionError(f"cannot negate non-numeric value {value!r}")
+        return -value
+    if isinstance(expr, BinaryOp):
+        return _evaluate_binary(expr, scope)
+    if isinstance(expr, LogicalOp):
+        return _evaluate_logical(expr, scope)
+    if isinstance(expr, NotOp):
+        value = _as_truth(evaluate(expr.operand, scope))
+        if value is None:
+            return None
+        return not value
+    if isinstance(expr, BetweenPredicate):
+        return _evaluate_between(expr, scope)
+    if isinstance(expr, InPredicate):
+        return _evaluate_in(expr, scope)
+    if isinstance(expr, LikePredicate):
+        return _evaluate_like(expr, scope)
+    if isinstance(expr, IsNullPredicate):
+        value = evaluate(expr.operand, scope)
+        result = value is None
+        return (not result) if expr.negated else result
+    raise ExecutionError(f"cannot evaluate expression of type {type(expr).__name__}")
+
+
+def evaluate_predicate(expr: Expression, scope: RowScope) -> bool:
+    """Evaluate a predicate; unknown (NULL) counts as False, per SQL WHERE."""
+    return _as_truth(evaluate(expr, scope)) is True
+
+
+# --------------------------------------------------------------------------- #
+# helpers
+
+
+def _as_truth(value: object) -> bool | None:
+    if value is None:
+        return None
+    if isinstance(value, bool):
+        return value
+    # Non-boolean values used in boolean position: SQL engines vary; we treat
+    # nonzero numbers and non-empty strings as true for robustness.
+    return bool(value)
+
+
+def compare_values(left: object, right: object) -> int | None:
+    """Three-way compare two SQL values; None signals an unknown comparison.
+
+    Numeric types compare numerically; strings, bytes and booleans compare
+    within their own type.  Mixed-type ordering raises
+    :class:`ExecutionError` because silently ordering across types would hide
+    bugs in the encryption layer (e.g. comparing an OPE integer with a DET
+    string).
+    """
+    if left is None or right is None:
+        return None
+    if isinstance(left, bool) != isinstance(right, bool):
+        raise ExecutionError(f"cannot compare {left!r} with {right!r}")
+    numeric = (int, float)
+    if isinstance(left, numeric) and isinstance(right, numeric):
+        if left < right:
+            return -1
+        if left > right:
+            return 1
+        return 0
+    if type(left) is not type(right):
+        raise ExecutionError(f"cannot compare {type(left).__name__} with {type(right).__name__}")
+    if left < right:  # type: ignore[operator]
+        return -1
+    if left > right:  # type: ignore[operator]
+        return 1
+    return 0
+
+
+def values_equal(left: object, right: object) -> bool | None:
+    """SQL equality: NULL-propagating, type-tolerant (mixed types are unequal)."""
+    if left is None or right is None:
+        return None
+    if isinstance(left, bool) != isinstance(right, bool):
+        return False
+    numeric = (int, float)
+    if isinstance(left, numeric) and isinstance(right, numeric):
+        return float(left) == float(right)
+    if type(left) is not type(right):
+        return False
+    return left == right
+
+
+def _evaluate_binary(expr: BinaryOp, scope: RowScope) -> object:
+    left = evaluate(expr.left, scope)
+    right = evaluate(expr.right, scope)
+
+    if isinstance(expr.op, ComparisonOp):
+        if expr.op is ComparisonOp.EQ:
+            return values_equal(left, right)
+        if expr.op is ComparisonOp.NEQ:
+            equal = values_equal(left, right)
+            return None if equal is None else not equal
+        order = compare_values(left, right)
+        if order is None:
+            return None
+        if expr.op is ComparisonOp.LT:
+            return order < 0
+        if expr.op is ComparisonOp.LTE:
+            return order <= 0
+        if expr.op is ComparisonOp.GT:
+            return order > 0
+        return order >= 0
+
+    # Arithmetic
+    if left is None or right is None:
+        return None
+    if not isinstance(left, (int, float)) or not isinstance(right, (int, float)):
+        raise ExecutionError(f"arithmetic on non-numeric values {left!r}, {right!r}")
+    if isinstance(left, bool) or isinstance(right, bool):
+        raise ExecutionError("arithmetic on boolean values is not supported")
+    if expr.op is ArithmeticOp.ADD:
+        return left + right
+    if expr.op is ArithmeticOp.SUB:
+        return left - right
+    if expr.op is ArithmeticOp.MUL:
+        return left * right
+    if expr.op is ArithmeticOp.DIV:
+        if right == 0:
+            raise ExecutionError("division by zero")
+        return left / right
+    if right == 0:
+        raise ExecutionError("modulo by zero")
+    return left % right
+
+
+def _evaluate_logical(expr: LogicalOp, scope: RowScope) -> bool | None:
+    values = [_as_truth(evaluate(operand, scope)) for operand in expr.operands]
+    if expr.op is LogicalConnective.AND:
+        if any(value is False for value in values):
+            return False
+        if any(value is None for value in values):
+            return None
+        return True
+    if any(value is True for value in values):
+        return True
+    if any(value is None for value in values):
+        return None
+    return False
+
+
+def _evaluate_between(expr: BetweenPredicate, scope: RowScope) -> bool | None:
+    value = evaluate(expr.operand, scope)
+    low = evaluate(expr.low, scope)
+    high = evaluate(expr.high, scope)
+    low_cmp = compare_values(value, low)
+    high_cmp = compare_values(value, high)
+    if low_cmp is None or high_cmp is None:
+        return None
+    result = low_cmp >= 0 and high_cmp <= 0
+    return (not result) if expr.negated else result
+
+
+def _evaluate_in(expr: InPredicate, scope: RowScope) -> bool | None:
+    value = evaluate(expr.operand, scope)
+    saw_null = False
+    for candidate in expr.values:
+        equal = values_equal(value, evaluate(candidate, scope))
+        if equal is True:
+            return False if expr.negated else True
+        if equal is None:
+            saw_null = True
+    if saw_null:
+        return None
+    return True if expr.negated else False
+
+
+def _evaluate_like(expr: LikePredicate, scope: RowScope) -> bool | None:
+    value = evaluate(expr.operand, scope)
+    pattern = evaluate(expr.pattern, scope)
+    if value is None or pattern is None:
+        return None
+    if not isinstance(value, str) or not isinstance(pattern, str):
+        raise ExecutionError("LIKE requires string operands")
+    regex = _like_to_regex(pattern)
+    result = regex.fullmatch(value) is not None
+    return (not result) if expr.negated else result
+
+
+def _like_to_regex(pattern: str) -> re.Pattern[str]:
+    """Translate an SQL LIKE pattern ('%', '_') into a compiled regex."""
+    parts: list[str] = []
+    for char in pattern:
+        if char == "%":
+            parts.append(".*")
+        elif char == "_":
+            parts.append(".")
+        else:
+            parts.append(re.escape(char))
+    return re.compile("".join(parts), re.DOTALL)

@@ -1,0 +1,171 @@
+"""Schemas: columns, tables and databases.
+
+Schemas serve two purposes: (1) the executor validates queries against them,
+and (2) the encryption layer walks them to decide, per column, which
+encryption classes/onions to apply (constants of numeric columns may need
+OPE or HOM, text columns DET, and so on).
+"""
+
+from __future__ import annotations
+
+import enum
+from collections.abc import Iterable, Iterator
+from dataclasses import dataclass
+
+from repro.exceptions import SchemaError
+
+
+class ColumnType(enum.Enum):
+    """Supported column types.
+
+    ``INTEGER`` and ``REAL`` are ordered numeric domains (candidates for OPE
+    and HOM); ``TEXT`` supports equality and LIKE; ``BOOLEAN`` supports
+    equality only.
+    """
+
+    INTEGER = "INTEGER"
+    REAL = "REAL"
+    TEXT = "TEXT"
+    BOOLEAN = "BOOLEAN"
+
+    @property
+    def is_numeric(self) -> bool:
+        """True for totally ordered numeric domains."""
+        return self in (ColumnType.INTEGER, ColumnType.REAL)
+
+    def validate(self, value: object) -> None:
+        """Raise :class:`SchemaError` if ``value`` is not of this type (NULL allowed)."""
+        if value is None:
+            return
+        if self is ColumnType.INTEGER and isinstance(value, bool):
+            raise SchemaError(f"expected INTEGER, got boolean {value!r}")
+        expected: tuple[type, ...]
+        if self is ColumnType.INTEGER:
+            expected = (int,)
+        elif self is ColumnType.REAL:
+            expected = (int, float)
+        elif self is ColumnType.TEXT:
+            expected = (str,)
+        else:
+            expected = (bool,)
+        if not isinstance(value, expected):
+            raise SchemaError(f"expected {self.value}, got {type(value).__name__} {value!r}")
+
+
+@dataclass(frozen=True)
+class Column:
+    """A single column definition."""
+
+    name: str
+    type: ColumnType
+    nullable: bool = True
+
+    def validate(self, value: object) -> None:
+        """Raise :class:`SchemaError` if ``value`` violates the column definition."""
+        if value is None:
+            if not self.nullable:
+                raise SchemaError(f"column {self.name!r} is not nullable")
+            return
+        self.type.validate(value)
+
+
+class TableSchema:
+    """Schema of a single table: an ordered collection of named columns."""
+
+    def __init__(self, name: str, columns: Iterable[Column]) -> None:
+        self.name = name
+        self.columns: tuple[Column, ...] = tuple(columns)
+        if not self.columns:
+            raise SchemaError(f"table {name!r} must have at least one column")
+        self._by_name = {column.name: column for column in self.columns}
+        if len(self._by_name) != len(self.columns):
+            raise SchemaError(f"duplicate column names in table {name!r}")
+
+    @property
+    def column_names(self) -> tuple[str, ...]:
+        """Column names in declaration order."""
+        return tuple(column.name for column in self.columns)
+
+    def column(self, name: str) -> Column:
+        """Look up a column by name."""
+        try:
+            return self._by_name[name]
+        except KeyError:
+            raise SchemaError(f"table {self.name!r} has no column {name!r}") from None
+
+    def has_column(self, name: str) -> bool:
+        """Return True if a column with ``name`` exists."""
+        return name in self._by_name
+
+    def validate_row(self, values: dict[str, object]) -> None:
+        """Validate a full row mapping against this schema."""
+        for column in self.columns:
+            if column.name not in values:
+                raise SchemaError(
+                    f"missing value for column {column.name!r} of table {self.name!r}"
+                )
+            column.validate(values[column.name])
+        extra = set(values) - set(self._by_name)
+        if extra:
+            raise SchemaError(f"unknown columns {sorted(extra)} for table {self.name!r}")
+
+    def rename(self, name: str, column_names: dict[str, str]) -> "TableSchema":
+        """Return a copy with the table renamed and columns renamed per mapping.
+
+        Used by the encryption layer: the encrypted database has the same
+        shape as the plain-text one but with encrypted identifiers.
+        """
+        columns = [
+            Column(column_names.get(column.name, column.name), column.type, column.nullable)
+            for column in self.columns
+        ]
+        return TableSchema(name, columns)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, TableSchema):
+            return NotImplemented
+        return self.name == other.name and self.columns == other.columns
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        cols = ", ".join(f"{c.name} {c.type.value}" for c in self.columns)
+        return f"TableSchema({self.name!r}: {cols})"
+
+
+class DatabaseSchema:
+    """A collection of table schemas forming a database schema."""
+
+    def __init__(self, tables: Iterable[TableSchema] = ()) -> None:
+        self._tables: dict[str, TableSchema] = {}
+        for table in tables:
+            self.add_table(table)
+
+    def add_table(self, table: TableSchema) -> None:
+        """Register a table schema; duplicate names are rejected."""
+        if table.name in self._tables:
+            raise SchemaError(f"table {table.name!r} already exists")
+        self._tables[table.name] = table
+
+    def table(self, name: str) -> TableSchema:
+        """Look up a table schema by name."""
+        try:
+            return self._tables[name]
+        except KeyError:
+            raise SchemaError(f"unknown table {name!r}") from None
+
+    def has_table(self, name: str) -> bool:
+        """Return True if a table with ``name`` exists."""
+        return name in self._tables
+
+    @property
+    def table_names(self) -> tuple[str, ...]:
+        """Names of all registered tables, in insertion order."""
+        return tuple(self._tables)
+
+    def __iter__(self) -> Iterator[TableSchema]:
+        return iter(self._tables.values())
+
+    def __len__(self) -> int:
+        return len(self._tables)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"DatabaseSchema({', '.join(self.table_names)})"

@@ -1,0 +1,105 @@
+"""Tables and rows.
+
+A :class:`Row` is an immutable mapping from column name to value.  A
+:class:`Table` couples a :class:`~repro.db.schema.TableSchema` with a list of
+rows and validates every insert against the schema.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Iterator, Mapping
+
+from repro.db.schema import TableSchema
+from repro.exceptions import SchemaError
+
+
+class Row(Mapping[str, object]):
+    """An immutable, hashable row."""
+
+    __slots__ = ("_values", "_key")
+
+    def __init__(self, values: Mapping[str, object]) -> None:
+        self._values = dict(values)
+        self._key = tuple(sorted(self._values.items(), key=lambda kv: kv[0]))
+
+    def __getitem__(self, key: str) -> object:
+        return self._values[key]
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self._values)
+
+    def __len__(self) -> int:
+        return len(self._values)
+
+    def __hash__(self) -> int:
+        return hash(self._key)
+
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, Row):
+            return self._key == other._key
+        if isinstance(other, Mapping):
+            return dict(self._values) == dict(other)
+        return NotImplemented
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        inner = ", ".join(f"{k}={v!r}" for k, v in self._values.items())
+        return f"Row({inner})"
+
+    def as_dict(self) -> dict[str, object]:
+        """Return a mutable copy of the row's values."""
+        return dict(self._values)
+
+    def project(self, columns: Iterable[str]) -> "Row":
+        """Return a new row restricted to ``columns``."""
+        return Row({name: self._values[name] for name in columns})
+
+    def values_tuple(self, columns: Iterable[str]) -> tuple[object, ...]:
+        """Return the values of ``columns`` as a tuple, in the given order."""
+        return tuple(self._values[name] for name in columns)
+
+
+class Table:
+    """A schema-validated, in-memory table."""
+
+    def __init__(self, schema: TableSchema, rows: Iterable[Mapping[str, object]] = ()) -> None:
+        self.schema = schema
+        self._rows: list[Row] = []
+        for row in rows:
+            self.insert(row)
+
+    @property
+    def name(self) -> str:
+        """The table's name (from its schema)."""
+        return self.schema.name
+
+    @property
+    def rows(self) -> list[Row]:
+        """The table's rows, in insertion order."""
+        return list(self._rows)
+
+    def insert(self, values: Mapping[str, object]) -> Row:
+        """Validate and insert a row; returns the stored :class:`Row`."""
+        self.schema.validate_row(dict(values))
+        row = Row(values)
+        self._rows.append(row)
+        return row
+
+    def insert_many(self, rows: Iterable[Mapping[str, object]]) -> None:
+        """Insert several rows, validating each."""
+        for row in rows:
+            self.insert(row)
+
+    def column_values(self, column: str) -> list[object]:
+        """Return every value of ``column``, in row order."""
+        if not self.schema.has_column(column):
+            raise SchemaError(f"table {self.name!r} has no column {column!r}")
+        return [row[column] for row in self._rows]
+
+    def __len__(self) -> int:
+        return len(self._rows)
+
+    def __iter__(self) -> Iterator[Row]:
+        return iter(self._rows)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Table({self.name!r}, {len(self._rows)} rows)"

@@ -1,0 +1,121 @@
+"""Exception hierarchy shared across the ``repro`` package.
+
+Every subsystem raises exceptions rooted at :class:`ReproError` so that
+callers embedding the library can catch a single base class.  Subsystems
+define more specific subclasses (for instance the SQL parser raises
+:class:`SqlSyntaxError`), which keeps error handling explicit without
+forcing users to import from deep module paths.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the ``repro`` package."""
+
+
+class SqlError(ReproError):
+    """Base class for errors raised by the SQL subsystem (``repro.sql``)."""
+
+
+class SqlSyntaxError(SqlError):
+    """Raised when a query string cannot be tokenized or parsed.
+
+    Attributes
+    ----------
+    message:
+        Human readable description of the problem.
+    position:
+        Character offset into the query string at which the problem was
+        detected, or ``None`` when not applicable.
+    """
+
+    def __init__(self, message: str, position: int | None = None) -> None:
+        super().__init__(message)
+        self.message = message
+        self.position = position
+
+    def __str__(self) -> str:  # pragma: no cover - trivial
+        if self.position is None:
+            return self.message
+        return f"{self.message} (at position {self.position})"
+
+
+class DatabaseError(ReproError):
+    """Base class for errors raised by the relational engine (``repro.db``)."""
+
+
+class SchemaError(DatabaseError):
+    """Raised for schema violations: unknown tables, columns, type clashes."""
+
+
+class ExecutionError(DatabaseError):
+    """Raised when a query cannot be evaluated against a database instance."""
+
+
+class CryptoError(ReproError):
+    """Base class for errors raised by the encryption layer (``repro.crypto``)."""
+
+
+class KeyError_(CryptoError):
+    """Raised when a key is missing, malformed or of the wrong length.
+
+    Named with a trailing underscore to avoid shadowing the built-in
+    :class:`KeyError`.
+    """
+
+
+class EncryptionError(CryptoError):
+    """Raised when a value cannot be encrypted under the selected scheme."""
+
+
+class DecryptionError(CryptoError):
+    """Raised when a ciphertext cannot be decrypted (corruption, wrong key)."""
+
+
+class TaxonomyError(CryptoError):
+    """Raised for inconsistent encryption-class taxonomy definitions."""
+
+
+class CryptDbError(ReproError):
+    """Base class for errors raised by the CryptDB-style layer (``repro.cryptdb``)."""
+
+
+class OnionError(CryptDbError):
+    """Raised when an onion layer is missing or cannot be peeled/adjusted."""
+
+
+class RewriteError(CryptDbError):
+    """Raised when a query cannot be rewritten into the encrypted space."""
+
+
+class DpeError(ReproError):
+    """Base class for errors raised by the DPE core (``repro.core``)."""
+
+
+class EquivalenceViolation(DpeError):
+    """Raised when an encryption scheme violates a required c-equivalence."""
+
+
+class PreservationViolation(DpeError):
+    """Raised when distance preservation (Definition 1) is violated."""
+
+
+class SecurityModelError(DpeError):
+    """Raised for inconsistent security-model specifications."""
+
+
+class MiningError(ReproError):
+    """Base class for errors raised by the mining subsystem (``repro.mining``)."""
+
+
+class WorkloadError(ReproError):
+    """Base class for errors raised by the workload generators (``repro.workloads``)."""
+
+
+class AttackError(ReproError):
+    """Base class for errors raised by the attack simulations (``repro.attacks``)."""
+
+
+class AnalysisError(ReproError):
+    """Base class for errors raised by the analysis harness (``repro.analysis``)."""

@@ -1,0 +1,68 @@
+"""Distance-based data-mining algorithms.
+
+The paper's motivation is that many mining algorithms only consume pairwise
+distances, so distance-preserving encryption makes their results identical on
+plain-text and cipher-text data.  This package provides the cited families of
+algorithms, all operating on a precomputed distance matrix so they can be run
+on either side without modification:
+
+* :func:`~repro.mining.dbscan.dbscan` — density-based clustering (Ester et
+  al. [4]),
+* :func:`~repro.mining.kmedoids.k_medoids` — k-medoids / PAM clustering
+  (Park & Jun [5]),
+* :func:`~repro.mining.hierarchical.complete_link` — complete-link
+  agglomerative clustering (Defays [3]),
+* :func:`~repro.mining.outliers.distance_based_outliers` — DB(p, D)-outliers
+  (Knorr et al. [6]),
+* :func:`~repro.mining.knn.k_nearest_neighbors` — k-nearest-neighbour queries,
+* :mod:`~repro.mining.evaluation` — clustering/outlier comparison metrics
+  (ARI, NMI, exact label equivalence) used to verify that mining results
+  coincide.
+"""
+
+from repro.mining.association import (
+    AssociationRule,
+    FrequentItemset,
+    apriori,
+    association_rules,
+    mine_query_log,
+)
+from repro.mining.dbscan import DbscanResult, dbscan
+from repro.mining.evaluation import (
+    adjusted_rand_index,
+    clusterings_equivalent,
+    confusion_counts,
+    normalized_mutual_information,
+)
+from repro.mining.hierarchical import Dendrogram, complete_link, cut_dendrogram
+from repro.mining.kmedoids import KMedoidsResult, k_medoids
+from repro.mining.knn import k_nearest_neighbors, knn_classify
+from repro.mining.matrix import check_distance_matrix, condensed_to_square, square_to_condensed
+from repro.mining.outliers import OutlierResult, distance_based_outliers, top_n_outliers
+
+__all__ = [
+    "AssociationRule",
+    "DbscanResult",
+    "FrequentItemset",
+    "apriori",
+    "association_rules",
+    "mine_query_log",
+    "Dendrogram",
+    "KMedoidsResult",
+    "OutlierResult",
+    "adjusted_rand_index",
+    "check_distance_matrix",
+    "clusterings_equivalent",
+    "complete_link",
+    "condensed_to_square",
+    "confusion_counts",
+    "cut_dendrogram",
+    "dbscan",
+    "distance_based_outliers",
+    "k_medoids",
+    "k_nearest_neighbors",
+    "knn_classify",
+    "normalized_mutual_information",
+    "square_to_condensed",
+    "top_n_outliers",
+]

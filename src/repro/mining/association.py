@@ -1,0 +1,180 @@
+"""Association-rule mining over query logs (Apriori).
+
+The paper's conclusion points out that result/feature equivalence also makes
+*association-rule mining over encrypted SQL logs* possible (Aligon et al.
+[17] mine OLAP query logs for proactive personalisation).  This module
+provides the classic Apriori algorithm over transactions of hashable items —
+for query logs, the transactions are the per-query feature sets (or token
+sets), so the same run works on plaintext and on DET-encrypted items and
+produces isomorphic itemsets and rules.
+
+The implementation is deliberately itemset-generic; nothing in it knows about
+SQL.  ``mine_query_log`` adapts a :class:`~repro.sql.log.QueryLog` by using
+each query's feature set as its transaction.
+"""
+
+from __future__ import annotations
+
+import math
+from collections.abc import Callable, Iterable, Sequence
+from dataclasses import dataclass
+from itertools import combinations
+
+from repro.exceptions import MiningError
+from repro.sql.features import feature_set
+from repro.sql.log import QueryLog
+
+#: A transaction is a set of hashable items.
+Transaction = frozenset
+
+
+@dataclass(frozen=True)
+class FrequentItemset:
+    """An itemset together with its absolute support count."""
+
+    items: frozenset
+    support_count: int
+
+    def support(self, n_transactions: int) -> float:
+        """Relative support in a database of ``n_transactions`` transactions."""
+        return self.support_count / n_transactions
+
+
+@dataclass(frozen=True)
+class AssociationRule:
+    """A rule ``antecedent -> consequent`` with support and confidence."""
+
+    antecedent: frozenset
+    consequent: frozenset
+    support: float
+    confidence: float
+
+    def __str__(self) -> str:  # pragma: no cover - debugging aid
+        left = ", ".join(sorted(map(str, self.antecedent)))
+        right = ", ".join(sorted(map(str, self.consequent)))
+        return f"{{{left}}} -> {{{right}}} (supp={self.support:.2f}, conf={self.confidence:.2f})"
+
+
+def apriori(
+    transactions: Sequence[Iterable],
+    *,
+    min_support: float,
+    max_length: int | None = None,
+) -> list[FrequentItemset]:
+    """Find all frequent itemsets with relative support >= ``min_support``.
+
+    The standard level-wise Apriori: candidates of size k are joined from
+    frequent itemsets of size k-1 and pruned by the downward-closure
+    property before counting.
+    """
+    if not 0.0 < min_support <= 1.0:
+        raise MiningError("min_support must lie in (0, 1]")
+    transaction_sets = [frozenset(t) for t in transactions]
+    if not transaction_sets:
+        raise MiningError("cannot mine an empty transaction database")
+    n = len(transaction_sets)
+    min_count = max(1, math.ceil(min_support * n - 1e-9))
+
+    # L1
+    counts: dict[frozenset, int] = {}
+    for transaction in transaction_sets:
+        for item in transaction:
+            key = frozenset({item})
+            counts[key] = counts.get(key, 0) + 1
+    current = {itemset for itemset, count in counts.items() if count >= min_count}
+    frequent: dict[frozenset, int] = {
+        itemset: counts[itemset] for itemset in current
+    }
+
+    size = 1
+    while current and (max_length is None or size < max_length):
+        size += 1
+        candidates = _generate_candidates(current, size)
+        if not candidates:
+            break
+        candidate_counts = {candidate: 0 for candidate in candidates}
+        for transaction in transaction_sets:
+            for candidate in candidates:
+                if candidate <= transaction:
+                    candidate_counts[candidate] += 1
+        current = {
+            candidate for candidate, count in candidate_counts.items() if count >= min_count
+        }
+        for candidate in current:
+            frequent[candidate] = candidate_counts[candidate]
+
+    return sorted(
+        (FrequentItemset(items, count) for items, count in frequent.items()),
+        key=lambda f: (len(f.items), -f.support_count, sorted(map(str, f.items))),
+    )
+
+
+def _generate_candidates(previous_level: set[frozenset], size: int) -> set[frozenset]:
+    """Join step + prune step of Apriori candidate generation."""
+    candidates = set()
+    previous = list(previous_level)
+    for i in range(len(previous)):
+        for j in range(i + 1, len(previous)):
+            union = previous[i] | previous[j]
+            if len(union) != size:
+                continue
+            # Downward closure: every (size-1)-subset must be frequent.
+            if all(
+                frozenset(subset) in previous_level for subset in combinations(union, size - 1)
+            ):
+                candidates.add(union)
+    return candidates
+
+
+def association_rules(
+    itemsets: Sequence[FrequentItemset],
+    n_transactions: int,
+    *,
+    min_confidence: float,
+) -> list[AssociationRule]:
+    """Derive all rules with confidence >= ``min_confidence`` from frequent itemsets."""
+    if not 0.0 < min_confidence <= 1.0:
+        raise MiningError("min_confidence must lie in (0, 1]")
+    support_of = {itemset.items: itemset.support_count for itemset in itemsets}
+    rules: list[AssociationRule] = []
+    for itemset in itemsets:
+        if len(itemset.items) < 2:
+            continue
+        for antecedent_size in range(1, len(itemset.items)):
+            for antecedent_items in combinations(sorted(itemset.items, key=str), antecedent_size):
+                antecedent = frozenset(antecedent_items)
+                if antecedent not in support_of:
+                    continue
+                confidence = itemset.support_count / support_of[antecedent]
+                if confidence >= min_confidence:
+                    rules.append(
+                        AssociationRule(
+                            antecedent=antecedent,
+                            consequent=itemset.items - antecedent,
+                            support=itemset.support_count / n_transactions,
+                            confidence=confidence,
+                        )
+                    )
+    rules.sort(key=lambda r: (-r.confidence, -r.support, str(sorted(map(str, r.antecedent)))))
+    return rules
+
+
+def mine_query_log(
+    log: QueryLog,
+    *,
+    min_support: float = 0.2,
+    min_confidence: float = 0.7,
+    transaction_of: Callable | None = None,
+) -> tuple[list[FrequentItemset], list[AssociationRule]]:
+    """Mine frequent feature sets and association rules from a query log.
+
+    ``transaction_of`` maps a query to its transaction; the default is the
+    SnipSuggest feature set, so running this on a log encrypted with the
+    structure (or token) scheme yields itemsets/rules that are the encryption
+    of the plaintext ones — the property the paper's conclusion points to.
+    """
+    transaction_of = transaction_of or feature_set
+    transactions = [transaction_of(entry.query) for entry in log]
+    itemsets = apriori(transactions, min_support=min_support)
+    rules = association_rules(itemsets, len(transactions), min_confidence=min_confidence)
+    return itemsets, rules

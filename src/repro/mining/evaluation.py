@@ -1,0 +1,107 @@
+"""Comparing mining results: cluster-agreement metrics.
+
+The paper's correctness claim is that mining results on encrypted data equal
+those on plaintext data.  Exact equality of label vectors is too strict in
+general (cluster numbering is arbitrary), so the experiments use:
+
+* :func:`clusterings_equivalent` — equality up to a relabelling (the right
+  notion of "the same clustering"),
+* :func:`adjusted_rand_index` — 1.0 iff the partitions agree, robust partial
+  credit otherwise (reported in EXPERIMENTS.md),
+* :func:`normalized_mutual_information` — a second agreement score to guard
+  against metric-specific artefacts.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import Counter, defaultdict
+from collections.abc import Sequence
+
+from repro.exceptions import MiningError
+
+
+def _check_same_length(labels_a: Sequence[object], labels_b: Sequence[object]) -> int:
+    if len(labels_a) != len(labels_b):
+        raise MiningError("label vectors must have the same length")
+    if not labels_a:
+        raise MiningError("label vectors must not be empty")
+    return len(labels_a)
+
+
+def clusterings_equivalent(labels_a: Sequence[object], labels_b: Sequence[object]) -> bool:
+    """True if the two label vectors describe the same partition.
+
+    The mapping between label values may differ; what must agree is which
+    items are grouped together.
+    """
+    n = _check_same_length(labels_a, labels_b)
+    forward: dict[object, object] = {}
+    backward: dict[object, object] = {}
+    for i in range(n):
+        a, b = labels_a[i], labels_b[i]
+        if forward.setdefault(a, b) != b:
+            return False
+        if backward.setdefault(b, a) != a:
+            return False
+    return True
+
+
+def confusion_counts(
+    labels_a: Sequence[object], labels_b: Sequence[object]
+) -> dict[tuple[object, object], int]:
+    """The contingency table of two labelings as a sparse dictionary."""
+    _check_same_length(labels_a, labels_b)
+    table: dict[tuple[object, object], int] = defaultdict(int)
+    for a, b in zip(labels_a, labels_b):
+        table[(a, b)] += 1
+    return dict(table)
+
+
+def adjusted_rand_index(labels_a: Sequence[object], labels_b: Sequence[object]) -> float:
+    """Adjusted Rand index between two labelings (1.0 = identical partitions)."""
+    n = _check_same_length(labels_a, labels_b)
+    table = confusion_counts(labels_a, labels_b)
+    counts_a = Counter(labels_a)
+    counts_b = Counter(labels_b)
+
+    def comb2(x: int) -> float:
+        return x * (x - 1) / 2.0
+
+    sum_cells = sum(comb2(count) for count in table.values())
+    sum_a = sum(comb2(count) for count in counts_a.values())
+    sum_b = sum(comb2(count) for count in counts_b.values())
+    total = comb2(n)
+    expected = sum_a * sum_b / total if total else 0.0
+    maximum = (sum_a + sum_b) / 2.0
+    if math.isclose(maximum, expected):
+        return 1.0
+    return (sum_cells - expected) / (maximum - expected)
+
+
+def normalized_mutual_information(
+    labels_a: Sequence[object], labels_b: Sequence[object]
+) -> float:
+    """Normalized mutual information between two labelings (1.0 = identical)."""
+    n = _check_same_length(labels_a, labels_b)
+    table = confusion_counts(labels_a, labels_b)
+    counts_a = Counter(labels_a)
+    counts_b = Counter(labels_b)
+
+    mutual_information = 0.0
+    for (a, b), joint in table.items():
+        p_joint = joint / n
+        p_a = counts_a[a] / n
+        p_b = counts_b[b] / n
+        mutual_information += p_joint * math.log(p_joint / (p_a * p_b))
+
+    def entropy(counts: Counter) -> float:
+        return -sum((c / n) * math.log(c / n) for c in counts.values())
+
+    h_a, h_b = entropy(counts_a), entropy(counts_b)
+    if h_a == 0.0 and h_b == 0.0:
+        return 1.0
+    denominator = math.sqrt(h_a * h_b)
+    if denominator == 0.0:
+        return 1.0 if mutual_information == 0.0 else 0.0
+    return max(0.0, min(1.0, mutual_information / denominator))

@@ -1,0 +1,135 @@
+"""Complete-link agglomerative clustering (Defays, 1977).
+
+The algorithm repeatedly merges the two clusters with the smallest
+complete-link (maximum pairwise) distance and records the merge tree as a
+:class:`Dendrogram`.  :func:`cut_dendrogram` produces flat clusterings either
+at a distance threshold or at a target cluster count.
+
+Tie-breaking is deterministic (lowest index pair), so the dendrogram is a
+pure function of the distance matrix.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.exceptions import MiningError
+from repro.mining.matrix import check_distance_matrix
+
+
+@dataclass(frozen=True)
+class Merge:
+    """One agglomeration step: the two merged clusters and their distance."""
+
+    left: int
+    right: int
+    distance: float
+    new_id: int
+
+
+@dataclass(frozen=True)
+class Dendrogram:
+    """The full merge history of an agglomerative clustering run."""
+
+    n_items: int
+    merges: tuple[Merge, ...]
+
+    def heights(self) -> tuple[float, ...]:
+        """The merge distances, in merge order (non-decreasing for complete link)."""
+        return tuple(merge.distance for merge in self.merges)
+
+
+def complete_link(distance_matrix: np.ndarray) -> Dendrogram:
+    """Build the complete-link dendrogram for a distance matrix."""
+    matrix = check_distance_matrix(distance_matrix)
+    n = matrix.shape[0]
+
+    # Active clusters: id -> set of member indices.  Item i starts as cluster i;
+    # merged clusters get ids n, n+1, ...
+    members: dict[int, frozenset[int]] = {i: frozenset({i}) for i in range(n)}
+    # Complete-link distances between active clusters.
+    distances: dict[tuple[int, int], float] = {}
+    for i in range(n):
+        for j in range(i + 1, n):
+            distances[(i, j)] = float(matrix[i, j])
+
+    merges: list[Merge] = []
+    next_id = n
+    while len(members) > 1:
+        (left, right), height = _closest_pair(distances)
+        merged = members.pop(left) | members.pop(right)
+        _drop_cluster(distances, left)
+        _drop_cluster(distances, right)
+        for other, other_members in members.items():
+            linkage = float(
+                max(matrix[a, b] for a in merged for b in other_members)
+            )
+            distances[_ordered(other, next_id)] = linkage
+        members[next_id] = merged
+        merges.append(Merge(left, right, height, next_id))
+        next_id += 1
+
+    return Dendrogram(n_items=n, merges=tuple(merges))
+
+
+def cut_dendrogram(
+    dendrogram: Dendrogram,
+    *,
+    n_clusters: int | None = None,
+    height: float | None = None,
+) -> tuple[int, ...]:
+    """Cut a dendrogram into a flat clustering.
+
+    Exactly one of ``n_clusters`` (stop when that many clusters remain) or
+    ``height`` (apply only merges with distance <= height) must be given.
+    Labels are renumbered 0..k-1 by smallest member index.
+    """
+    if (n_clusters is None) == (height is None):
+        raise MiningError("specify exactly one of n_clusters or height")
+    n = dendrogram.n_items
+    if n_clusters is not None and not 1 <= n_clusters <= n:
+        raise MiningError(f"n_clusters must be between 1 and {n}")
+
+    parent: dict[int, int] = {}
+
+    def find(x: int) -> int:
+        while parent.get(x, x) != x:
+            parent[x] = parent.get(parent[x], parent[x])
+            x = parent[x]
+        return x
+
+    clusters_remaining = n
+    for merge in dendrogram.merges:
+        if n_clusters is not None and clusters_remaining <= n_clusters:
+            break
+        if height is not None and merge.distance > height:
+            break
+        parent[find(merge.left)] = merge.new_id
+        parent[find(merge.right)] = merge.new_id
+        parent.setdefault(merge.new_id, merge.new_id)
+        clusters_remaining -= 1
+
+    roots = [find(i) for i in range(n)]
+    label_of: dict[int, int] = {}
+    labels = []
+    for root in roots:
+        if root not in label_of:
+            label_of[root] = len(label_of)
+        labels.append(label_of[root])
+    return tuple(labels)
+
+
+def _ordered(a: int, b: int) -> tuple[int, int]:
+    return (a, b) if a < b else (b, a)
+
+
+def _closest_pair(distances: dict[tuple[int, int], float]) -> tuple[tuple[int, int], float]:
+    best_pair = min(distances, key=lambda pair: (distances[pair], pair))
+    return best_pair, distances[best_pair]
+
+
+def _drop_cluster(distances: dict[tuple[int, int], float], cluster: int) -> None:
+    for pair in [pair for pair in distances if cluster in pair]:
+        del distances[pair]

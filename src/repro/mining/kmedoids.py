@@ -1,0 +1,95 @@
+"""K-medoids clustering (PAM-style) over a precomputed distance matrix.
+
+Follows the "simple and fast" k-medoids algorithm of Park & Jun (2009) cited
+by the paper: initial medoids are the points minimising the sum of distances
+to all others (a deterministic seeding), then the algorithm alternates
+assignment and medoid-update steps until the medoid set is stable.
+
+All tie-breaks are by smallest index, so the outcome is a deterministic
+function of the distance matrix — identical matrices yield identical
+clusterings, which is what the encrypted-vs-plaintext experiments check.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.exceptions import MiningError
+from repro.mining.matrix import check_distance_matrix
+
+
+@dataclass(frozen=True)
+class KMedoidsResult:
+    """Labels, medoid indices and total cost of a k-medoids run."""
+
+    labels: tuple[int, ...]
+    medoids: tuple[int, ...]
+    cost: float
+    iterations: int
+
+    def cluster_members(self, cluster: int) -> tuple[int, ...]:
+        """Indices of the points assigned to cluster ``cluster``."""
+        return tuple(i for i, label in enumerate(self.labels) if label == cluster)
+
+
+def k_medoids(
+    distance_matrix: np.ndarray, *, k: int, max_iterations: int = 100
+) -> KMedoidsResult:
+    """Cluster items into ``k`` groups around medoids."""
+    matrix = check_distance_matrix(distance_matrix)
+    n = matrix.shape[0]
+    if not 1 <= k <= n:
+        raise MiningError(f"k must be between 1 and {n}, got {k}")
+
+    # Deterministic seeding (Park & Jun): pick the k points with the smallest
+    # total distance to all other points.
+    totals = matrix.sum(axis=1)
+    medoids = list(np.argsort(totals, kind="stable")[:k])
+
+    labels = _assign(matrix, medoids)
+    cost = _cost(matrix, medoids, labels)
+    iterations = 0
+    for iterations in range(1, max_iterations + 1):
+        new_medoids = _update_medoids(matrix, labels, medoids)
+        new_labels = _assign(matrix, new_medoids)
+        new_cost = _cost(matrix, new_medoids, new_labels)
+        if sorted(new_medoids) == sorted(medoids) and new_cost >= cost - 1e-12:
+            break
+        medoids, labels, cost = new_medoids, new_labels, new_cost
+
+    ordered = sorted(medoids)
+    relabel = {medoid: index for index, medoid in enumerate(ordered)}
+    final_labels = tuple(relabel[medoids[label]] for label in labels)
+    return KMedoidsResult(
+        labels=final_labels,
+        medoids=tuple(ordered),
+        cost=float(_cost(matrix, ordered, [relabel[medoids[label]] for label in labels])),
+        iterations=iterations,
+    )
+
+
+def _assign(matrix: np.ndarray, medoids: list[int]) -> list[int]:
+    """Assign every point to its nearest medoid (ties: lowest medoid position)."""
+    distances = matrix[:, medoids]
+    return [int(np.argmin(row)) for row in distances]
+
+
+def _cost(matrix: np.ndarray, medoids: list[int], labels: list[int]) -> float:
+    return float(sum(matrix[i, medoids[labels[i]]] for i in range(matrix.shape[0])))
+
+
+def _update_medoids(matrix: np.ndarray, labels: list[int], medoids: list[int]) -> list[int]:
+    """Within each cluster, pick the point minimising intra-cluster distance."""
+    new_medoids: list[int] = []
+    for cluster_index in range(len(medoids)):
+        members = [i for i, label in enumerate(labels) if label == cluster_index]
+        if not members:
+            new_medoids.append(medoids[cluster_index])
+            continue
+        submatrix = matrix[np.ix_(members, members)]
+        within = submatrix.sum(axis=1)
+        best = members[int(np.argmin(within))]
+        new_medoids.append(best)
+    return new_medoids

@@ -1,0 +1,56 @@
+"""k-nearest-neighbour queries over a precomputed distance matrix."""
+
+from __future__ import annotations
+
+from collections import Counter
+
+import numpy as np
+
+from repro.exceptions import MiningError
+from repro.mining.matrix import check_distance_matrix
+
+
+def k_nearest_neighbors(
+    distance_matrix: np.ndarray, index: int, *, k: int
+) -> tuple[int, ...]:
+    """The indices of the ``k`` nearest neighbours of item ``index``.
+
+    The item itself is excluded; ties are broken by smaller index so the
+    result is deterministic.
+    """
+    matrix = check_distance_matrix(distance_matrix)
+    n = matrix.shape[0]
+    if not 0 <= index < n:
+        raise MiningError(f"index {index} out of range for {n} items")
+    if not 1 <= k <= n - 1:
+        raise MiningError(f"k must be between 1 and {n - 1}")
+    candidates = [(float(matrix[index, j]), j) for j in range(n) if j != index]
+    candidates.sort()
+    return tuple(j for _, j in candidates[:k])
+
+
+def knn_classify(
+    distance_matrix: np.ndarray,
+    labels: list[int | str],
+    index: int,
+    *,
+    k: int,
+) -> int | str:
+    """Majority-vote k-NN classification of item ``index``.
+
+    ``labels`` provides the class of every item; the label of ``index``
+    itself is ignored.  Ties between classes are broken by the class of the
+    nearest neighbour among the tied classes, keeping the outcome
+    deterministic.
+    """
+    matrix = check_distance_matrix(distance_matrix)
+    if len(labels) != matrix.shape[0]:
+        raise MiningError("labels must have one entry per item")
+    neighbors = k_nearest_neighbors(matrix, index, k=k)
+    votes = Counter(labels[j] for j in neighbors)
+    best_count = max(votes.values())
+    tied = {label for label, count in votes.items() if count == best_count}
+    for j in neighbors:
+        if labels[j] in tied:
+            return labels[j]
+    raise MiningError("unreachable: no neighbour carried a tied label")

@@ -1,0 +1,49 @@
+"""Distance-matrix helpers shared by the mining algorithms."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.exceptions import MiningError
+
+
+def check_distance_matrix(matrix: np.ndarray, *, tolerance: float = 1e-9) -> np.ndarray:
+    """Validate a distance matrix: square, symmetric, zero diagonal, non-negative.
+
+    Returns the matrix as a float array; raises :class:`MiningError` on any
+    violation.  Every mining entry point funnels its input through this check
+    so that a malformed matrix fails loudly instead of producing nonsense
+    clusters.
+    """
+    array = np.asarray(matrix, dtype=float)
+    if array.ndim != 2 or array.shape[0] != array.shape[1]:
+        raise MiningError(f"distance matrix must be square, got shape {array.shape}")
+    if array.shape[0] == 0:
+        raise MiningError("distance matrix must contain at least one item")
+    if np.any(array < -tolerance):
+        raise MiningError("distance matrix contains negative entries")
+    if np.any(np.abs(np.diagonal(array)) > tolerance):
+        raise MiningError("distance matrix has a non-zero diagonal")
+    if np.any(np.abs(array - array.T) > tolerance):
+        raise MiningError("distance matrix is not symmetric")
+    return array
+
+
+def square_to_condensed(matrix: np.ndarray) -> np.ndarray:
+    """Flatten the strict upper triangle of a square distance matrix."""
+    array = check_distance_matrix(matrix)
+    n = array.shape[0]
+    return array[np.triu_indices(n, k=1)]
+
+
+def condensed_to_square(condensed: np.ndarray, n: int) -> np.ndarray:
+    """Rebuild a square matrix from its condensed upper-triangle form."""
+    expected = n * (n - 1) // 2
+    values = np.asarray(condensed, dtype=float)
+    if values.shape != (expected,):
+        raise MiningError(
+            f"condensed form for {n} items must have {expected} entries, got {values.shape}"
+        )
+    square = np.zeros((n, n), dtype=float)
+    square[np.triu_indices(n, k=1)] = values
+    return square + square.T

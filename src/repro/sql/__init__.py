@@ -1,0 +1,81 @@
+"""SQL substrate: lexer, parser, AST, rendering, features and query logs.
+
+This package implements the minimal-but-real SQL machinery the paper's case
+study needs.  SQL queries are first tokenized (:mod:`repro.sql.lexer`) and
+parsed (:mod:`repro.sql.parser`) into a typed AST (:mod:`repro.sql.ast`).
+The AST is the unit all other subsystems work on:
+
+* :mod:`repro.sql.render` turns an AST back into SQL text,
+* :mod:`repro.sql.visitor` provides visitors/transformers used by the
+  encryption schemes to rewrite relation names, attribute names and
+  constants,
+* :mod:`repro.sql.features` extracts SnipSuggest-style feature sets used by
+  the query-structure distance,
+* :mod:`repro.sql.log` bundles queries into a :class:`~repro.sql.log.QueryLog`
+  with (de)serialization.
+"""
+
+from repro.sql.ast import (
+    AggregateCall,
+    BetweenPredicate,
+    BinaryOp,
+    ColumnRef,
+    ComparisonOp,
+    InPredicate,
+    IsNullPredicate,
+    Join,
+    LikePredicate,
+    Literal,
+    LogicalOp,
+    NotOp,
+    OrderItem,
+    Query,
+    SelectItem,
+    Star,
+    TableRef,
+    UnaryMinus,
+)
+from repro.sql.features import Feature, feature_set
+from repro.sql.lexer import Token, TokenType, tokenize
+from repro.sql.log import LogEntry, QueryLog
+from repro.sql.normalize import normalize_sql
+from repro.sql.parser import parse_query
+from repro.sql.render import render_expression, render_query
+from repro.sql.tokens import query_token_set
+from repro.sql.visitor import AstTransformer, AstVisitor, walk
+
+__all__ = [
+    "AggregateCall",
+    "AstTransformer",
+    "AstVisitor",
+    "BetweenPredicate",
+    "BinaryOp",
+    "ColumnRef",
+    "ComparisonOp",
+    "Feature",
+    "InPredicate",
+    "IsNullPredicate",
+    "Join",
+    "LikePredicate",
+    "Literal",
+    "LogEntry",
+    "LogicalOp",
+    "NotOp",
+    "OrderItem",
+    "Query",
+    "QueryLog",
+    "SelectItem",
+    "Star",
+    "TableRef",
+    "Token",
+    "TokenType",
+    "UnaryMinus",
+    "feature_set",
+    "normalize_sql",
+    "parse_query",
+    "query_token_set",
+    "render_expression",
+    "render_query",
+    "tokenize",
+    "walk",
+]

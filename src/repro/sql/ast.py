@@ -1,0 +1,279 @@
+"""Typed AST for the supported SQL subset.
+
+All nodes are frozen dataclasses, so queries are immutable values: rewriting
+(e.g. by the encryption schemes) produces new trees via
+:class:`repro.sql.visitor.AstTransformer`.  Immutability also makes nodes
+hashable, which the distance measures rely on (feature sets, token sets).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+
+class Expression:
+    """Marker base class for all expression nodes."""
+
+    __slots__ = ()
+
+
+@dataclass(frozen=True)
+class Literal(Expression):
+    """A literal constant: integer, float, string, boolean or NULL.
+
+    The original SQL type is tracked through the runtime type of ``value``:
+    ``int``, ``float``, ``str``, ``bool`` or ``None``.
+    """
+
+    value: int | float | str | bool | None
+
+    def sql_type(self) -> str:
+        """Return a coarse SQL type name for the literal."""
+        if self.value is None:
+            return "NULL"
+        if isinstance(self.value, bool):
+            return "BOOLEAN"
+        if isinstance(self.value, int):
+            return "INTEGER"
+        if isinstance(self.value, float):
+            return "REAL"
+        return "TEXT"
+
+
+@dataclass(frozen=True)
+class ColumnRef(Expression):
+    """Reference to a column, optionally qualified with a table name/alias."""
+
+    name: str
+    table: str | None = None
+
+    @property
+    def qualified_name(self) -> str:
+        """Return ``table.name`` when qualified, else just ``name``."""
+        if self.table is None:
+            return self.name
+        return f"{self.table}.{self.name}"
+
+
+@dataclass(frozen=True)
+class Star(Expression):
+    """The ``*`` projection, optionally qualified (``t.*``)."""
+
+    table: str | None = None
+
+
+class ComparisonOp(enum.Enum):
+    """Binary comparison operators."""
+
+    EQ = "="
+    NEQ = "<>"
+    LT = "<"
+    LTE = "<="
+    GT = ">"
+    GTE = ">="
+
+    def flip(self) -> "ComparisonOp":
+        """Return the operator with operand sides swapped (``a < b`` ≡ ``b > a``)."""
+        return {
+            ComparisonOp.EQ: ComparisonOp.EQ,
+            ComparisonOp.NEQ: ComparisonOp.NEQ,
+            ComparisonOp.LT: ComparisonOp.GT,
+            ComparisonOp.LTE: ComparisonOp.GTE,
+            ComparisonOp.GT: ComparisonOp.LT,
+            ComparisonOp.GTE: ComparisonOp.LTE,
+        }[self]
+
+
+class ArithmeticOp(enum.Enum):
+    """Binary arithmetic operators."""
+
+    ADD = "+"
+    SUB = "-"
+    MUL = "*"
+    DIV = "/"
+    MOD = "%"
+
+
+class LogicalConnective(enum.Enum):
+    """Logical connectives for predicate composition."""
+
+    AND = "AND"
+    OR = "OR"
+
+
+@dataclass(frozen=True)
+class BinaryOp(Expression):
+    """A binary comparison or arithmetic expression."""
+
+    op: ComparisonOp | ArithmeticOp
+    left: Expression
+    right: Expression
+
+
+@dataclass(frozen=True)
+class LogicalOp(Expression):
+    """Conjunction or disjunction of two or more predicates."""
+
+    op: LogicalConnective
+    operands: tuple[Expression, ...]
+
+    def __post_init__(self) -> None:
+        if len(self.operands) < 2:
+            raise ValueError("LogicalOp requires at least two operands")
+
+
+@dataclass(frozen=True)
+class NotOp(Expression):
+    """Logical negation of a predicate."""
+
+    operand: Expression
+
+
+@dataclass(frozen=True)
+class UnaryMinus(Expression):
+    """Arithmetic negation."""
+
+    operand: Expression
+
+
+@dataclass(frozen=True)
+class BetweenPredicate(Expression):
+    """``expr [NOT] BETWEEN low AND high``."""
+
+    operand: Expression
+    low: Expression
+    high: Expression
+    negated: bool = False
+
+
+@dataclass(frozen=True)
+class InPredicate(Expression):
+    """``expr [NOT] IN (v1, v2, ...)``."""
+
+    operand: Expression
+    values: tuple[Expression, ...]
+    negated: bool = False
+
+
+@dataclass(frozen=True)
+class LikePredicate(Expression):
+    """``expr [NOT] LIKE pattern``."""
+
+    operand: Expression
+    pattern: Expression
+    negated: bool = False
+
+
+@dataclass(frozen=True)
+class IsNullPredicate(Expression):
+    """``expr IS [NOT] NULL``."""
+
+    operand: Expression
+    negated: bool = False
+
+
+@dataclass(frozen=True)
+class AggregateCall(Expression):
+    """Aggregate function call such as ``SUM(price)`` or ``COUNT(*)``."""
+
+    function: str
+    argument: Expression
+    distinct: bool = False
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "function", self.function.upper())
+
+
+@dataclass(frozen=True)
+class SelectItem:
+    """A single item in the SELECT clause: an expression with optional alias."""
+
+    expression: Expression
+    alias: str | None = None
+
+
+@dataclass(frozen=True)
+class TableRef:
+    """A base-table reference in the FROM clause, with optional alias."""
+
+    name: str
+    alias: str | None = None
+
+    @property
+    def binding_name(self) -> str:
+        """Name under which columns of this table can be qualified."""
+        return self.alias if self.alias is not None else self.name
+
+
+class JoinType(enum.Enum):
+    """Join kinds supported by the parser and executor."""
+
+    INNER = "INNER"
+    LEFT = "LEFT"
+    RIGHT = "RIGHT"
+    CROSS = "CROSS"
+
+
+@dataclass(frozen=True)
+class Join:
+    """An explicit join between the accumulated FROM item and ``right``."""
+
+    join_type: JoinType
+    right: TableRef
+    condition: Expression | None = None
+
+
+@dataclass(frozen=True)
+class OrderItem:
+    """A single ORDER BY item."""
+
+    expression: Expression
+    ascending: bool = True
+
+
+@dataclass(frozen=True)
+class Query:
+    """A parsed SELECT query.
+
+    The FROM clause is represented as a first :class:`TableRef` plus a tuple
+    of :class:`Join` steps; comma-separated FROM lists are parsed as CROSS
+    joins, which preserves semantics while keeping the structure uniform.
+    """
+
+    select_items: tuple[SelectItem, ...]
+    from_table: TableRef
+    joins: tuple[Join, ...] = ()
+    where: Expression | None = None
+    group_by: tuple[Expression, ...] = ()
+    having: Expression | None = None
+    order_by: tuple[OrderItem, ...] = ()
+    limit: int | None = None
+    distinct: bool = False
+
+    def tables(self) -> tuple[TableRef, ...]:
+        """Return every base-table reference in the FROM clause."""
+        return (self.from_table, *(join.right for join in self.joins))
+
+    def table_names(self) -> tuple[str, ...]:
+        """Return the (unaliased) names of all referenced tables."""
+        return tuple(ref.name for ref in self.tables())
+
+    def has_aggregates(self) -> bool:
+        """Return True if any SELECT item or HAVING clause uses an aggregate."""
+        from repro.sql.visitor import contains_aggregate
+
+        if any(contains_aggregate(item.expression) for item in self.select_items):
+            return True
+        return self.having is not None and contains_aggregate(self.having)
+
+
+#: Convenience alias used throughout the code base.
+AstNode = (
+    Expression
+    | SelectItem
+    | TableRef
+    | Join
+    | OrderItem
+    | Query
+)

@@ -1,0 +1,169 @@
+"""SnipSuggest-style feature extraction (query-structure distance).
+
+Following Khoussainova et al. [15] as used by the paper (Example 5), a
+*feature* of a query is a tuple representing a part of its structure, e.g.::
+
+    SELECT A1 FROM R WHERE A2 > 5
+    -> {(SELECT, A1), (FROM, R), (WHERE, A2 >)}
+
+We extract one feature per:
+
+* projected column / aggregate in the SELECT clause (``(SELECT, expr)``),
+* referenced relation (``(FROM, relation)``),
+* predicate skeleton in the WHERE/HAVING clauses: the attribute together
+  with the comparison operator, but **without** the constant
+  (``(WHERE, A2 >)``) — this is why the structure measure tolerates PROB
+  encryption of constants,
+* join condition (``(JOIN, left = right)``),
+* group-by column (``(GROUPBY, col)``) and order-by column
+  (``(ORDERBY, col direction)``).
+
+Features are plain ``(clause, text)`` string tuples so that feature sets are
+hashable and Jaccard-comparable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.sql.ast import (
+    AggregateCall,
+    BetweenPredicate,
+    BinaryOp,
+    ColumnRef,
+    ComparisonOp,
+    Expression,
+    InPredicate,
+    IsNullPredicate,
+    LikePredicate,
+    LogicalOp,
+    NotOp,
+    Query,
+    Star,
+    UnaryMinus,
+)
+from repro.sql.render import render_expression
+
+
+@dataclass(frozen=True, order=True)
+class Feature:
+    """A structural feature: the clause it stems from plus a skeleton string."""
+
+    clause: str
+    skeleton: str
+
+    def __str__(self) -> str:  # pragma: no cover - debugging aid
+        return f"({self.clause}, {self.skeleton})"
+
+
+def feature_set(query: Query) -> frozenset[Feature]:
+    """Extract the feature set of ``query`` (Example 5 of the paper)."""
+    features: set[Feature] = set()
+
+    for item in query.select_items:
+        features.add(Feature("SELECT", _select_skeleton(item.expression)))
+
+    for table in query.tables():
+        features.add(Feature("FROM", table.name))
+
+    if query.where is not None:
+        for skeleton in _predicate_skeletons(query.where):
+            features.add(Feature("WHERE", skeleton))
+
+    for join in query.joins:
+        if join.condition is not None:
+            features.add(Feature("JOIN", render_expression(join.condition)))
+
+    for expr in query.group_by:
+        features.add(Feature("GROUPBY", render_expression(expr)))
+
+    if query.having is not None:
+        for skeleton in _predicate_skeletons(query.having):
+            features.add(Feature("HAVING", skeleton))
+
+    for item in query.order_by:
+        direction = "ASC" if item.ascending else "DESC"
+        features.add(Feature("ORDERBY", f"{render_expression(item.expression)} {direction}"))
+
+    return frozenset(features)
+
+
+def _select_skeleton(expr: Expression) -> str:
+    """Skeleton of a SELECT item: full expression text (no constants expected)."""
+    if isinstance(expr, Star):
+        return "*" if expr.table is None else f"{expr.table}.*"
+    if isinstance(expr, AggregateCall):
+        return f"{expr.function}({_select_skeleton(expr.argument)})"
+    return render_expression(expr)
+
+
+def _predicate_skeletons(expr: Expression) -> list[str]:
+    """Return the predicate skeletons of a WHERE/HAVING expression.
+
+    The skeleton of an atomic predicate keeps the attribute side and the
+    operator but drops constants, mirroring Example 5 where ``A2 > 5``
+    contributes the feature ``(WHERE, A2 >)``.
+    """
+    if isinstance(expr, LogicalOp):
+        skeletons: list[str] = []
+        for operand in expr.operands:
+            skeletons.extend(_predicate_skeletons(operand))
+        return skeletons
+    if isinstance(expr, NotOp):
+        return [f"NOT {s}" for s in _predicate_skeletons(expr.operand)]
+    return [_atomic_skeleton(expr)]
+
+
+def _atomic_skeleton(expr: Expression) -> str:
+    if isinstance(expr, BinaryOp) and isinstance(expr.op, ComparisonOp):
+        left = _operand_skeleton(expr.left)
+        right = _operand_skeleton(expr.right)
+        # Keep only non-constant sides: `A2 > 5` -> `A2 >`, `A = B` -> `A = B`.
+        if right is None and left is not None:
+            return f"{left} {expr.op.value}"
+        if left is None and right is not None:
+            return f"{right} {expr.op.flip().value}"
+        if left is not None and right is not None:
+            return f"{left} {expr.op.value} {right}"
+        return expr.op.value
+    if isinstance(expr, BetweenPredicate):
+        operand = _operand_skeleton(expr.operand) or "?"
+        neg = "NOT " if expr.negated else ""
+        return f"{operand} {neg}BETWEEN"
+    if isinstance(expr, InPredicate):
+        operand = _operand_skeleton(expr.operand) or "?"
+        neg = "NOT " if expr.negated else ""
+        return f"{operand} {neg}IN"
+    if isinstance(expr, LikePredicate):
+        operand = _operand_skeleton(expr.operand) or "?"
+        neg = "NOT " if expr.negated else ""
+        return f"{operand} {neg}LIKE"
+    if isinstance(expr, IsNullPredicate):
+        operand = _operand_skeleton(expr.operand) or "?"
+        neg = "NOT " if expr.negated else ""
+        return f"{operand} IS {neg}NULL"
+    # Fall back to full rendering for anything exotic (boolean columns etc.).
+    return render_expression(expr)
+
+
+def _operand_skeleton(expr: Expression) -> str | None:
+    """Return the skeleton text of a predicate operand, or None for constants."""
+    from repro.sql.ast import Literal
+
+    if isinstance(expr, Literal):
+        return None
+    if isinstance(expr, UnaryMinus):
+        inner = _operand_skeleton(expr.operand)
+        return None if inner is None else f"-{inner}"
+    if isinstance(expr, ColumnRef):
+        return expr.qualified_name
+    if isinstance(expr, AggregateCall):
+        return f"{expr.function}({_select_skeleton(expr.argument)})"
+    if isinstance(expr, BinaryOp):
+        left = _operand_skeleton(expr.left)
+        right = _operand_skeleton(expr.right)
+        if left is None and right is None:
+            return None
+        op = expr.op.value
+        return f"{left or '?'} {op} {right or '?'}"
+    return render_expression(expr)

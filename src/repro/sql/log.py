@@ -1,0 +1,160 @@
+"""Query logs: ordered collections of SQL queries with metadata.
+
+A :class:`QueryLog` is the unit that the data owner shares with the service
+provider (encrypted).  Entries keep optional metadata (user, timestamp)
+because real logs carry it, but none of the distance measures uses it; the
+encryption schemes simply pass it through or drop it depending on the
+security model.
+"""
+
+from __future__ import annotations
+
+import json
+from collections.abc import Iterable, Iterator, Sequence
+from dataclasses import dataclass, field
+
+from repro.exceptions import SqlError
+from repro.sql.ast import Query
+from repro.sql.parser import parse_query
+from repro.sql.render import render_query
+
+
+@dataclass(frozen=True)
+class LogEntry:
+    """A single query-log entry: the parsed query plus optional metadata."""
+
+    query: Query
+    user: str | None = None
+    timestamp: float | None = None
+    metadata: tuple[tuple[str, str], ...] = field(default_factory=tuple)
+
+    @property
+    def sql(self) -> str:
+        """Canonical SQL text of the entry's query."""
+        return render_query(self.query)
+
+    def with_query(self, query: Query) -> "LogEntry":
+        """Return a copy of the entry with ``query`` substituted.
+
+        Used by the encryption schemes, which replace each query with its
+        encrypted counterpart while keeping the log structure intact.
+        """
+        return LogEntry(query, self.user, self.timestamp, self.metadata)
+
+
+class QueryLog(Sequence[LogEntry]):
+    """An ordered, immutable-by-convention collection of log entries."""
+
+    def __init__(self, entries: Iterable[LogEntry] = ()) -> None:
+        self._entries: list[LogEntry] = list(entries)
+
+    # -- construction --------------------------------------------------- #
+
+    @classmethod
+    def from_sql(cls, statements: Iterable[str]) -> "QueryLog":
+        """Build a log by parsing an iterable of SQL strings."""
+        entries = [LogEntry(parse_query(sql)) for sql in statements]
+        return cls(entries)
+
+    @classmethod
+    def from_queries(cls, queries: Iterable[Query]) -> "QueryLog":
+        """Build a log from already-parsed queries."""
+        return cls(LogEntry(query) for query in queries)
+
+    # -- sequence protocol ----------------------------------------------- #
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __getitem__(self, index):  # type: ignore[override]
+        if isinstance(index, slice):
+            return QueryLog(self._entries[index])
+        return self._entries[index]
+
+    def __iter__(self) -> Iterator[LogEntry]:
+        return iter(self._entries)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, QueryLog):
+            return NotImplemented
+        return self._entries == other._entries
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"QueryLog({len(self._entries)} entries)"
+
+    # -- accessors ------------------------------------------------------- #
+
+    @property
+    def queries(self) -> list[Query]:
+        """The parsed queries, in log order."""
+        return [entry.query for entry in self._entries]
+
+    @property
+    def statements(self) -> list[str]:
+        """The canonical SQL strings, in log order."""
+        return [entry.sql for entry in self._entries]
+
+    def accessed_tables(self) -> frozenset[str]:
+        """Names of all relations referenced by at least one query."""
+        tables: set[str] = set()
+        for query in self.queries:
+            tables.update(query.table_names())
+        return frozenset(tables)
+
+    def accessed_columns(self) -> frozenset[str]:
+        """Unqualified names of all columns referenced by at least one query."""
+        from repro.sql.visitor import column_refs
+
+        columns: set[str] = set()
+        for query in self.queries:
+            columns.update(ref.name for ref in column_refs(query))
+        return frozenset(columns)
+
+    def map_queries(self, transform) -> "QueryLog":
+        """Return a new log with ``transform(query)`` applied to every entry."""
+        return QueryLog(entry.with_query(transform(entry.query)) for entry in self._entries)
+
+    # -- (de)serialization ------------------------------------------------ #
+
+    def to_json(self) -> str:
+        """Serialize the log to a JSON string (one object per entry)."""
+        payload = [
+            {
+                "sql": entry.sql,
+                "user": entry.user,
+                "timestamp": entry.timestamp,
+                "metadata": dict(entry.metadata),
+            }
+            for entry in self._entries
+        ]
+        return json.dumps(payload, indent=2)
+
+    @classmethod
+    def from_json(cls, text: str) -> "QueryLog":
+        """Deserialize a log previously produced by :meth:`to_json`."""
+        try:
+            payload = json.loads(text)
+        except json.JSONDecodeError as exc:
+            raise SqlError(f"invalid query-log JSON: {exc}") from exc
+        entries = []
+        for item in payload:
+            entries.append(
+                LogEntry(
+                    query=parse_query(item["sql"]),
+                    user=item.get("user"),
+                    timestamp=item.get("timestamp"),
+                    metadata=tuple(sorted((item.get("metadata") or {}).items())),
+                )
+            )
+        return cls(entries)
+
+    def save(self, path: str) -> None:
+        """Write the log to ``path`` as JSON."""
+        with open(path, "w", encoding="utf-8") as handle:
+            handle.write(self.to_json())
+
+    @classmethod
+    def load(cls, path: str) -> "QueryLog":
+        """Read a log previously written by :meth:`save`."""
+        with open(path, "r", encoding="utf-8") as handle:
+            return cls.from_json(handle.read())

@@ -1,0 +1,33 @@
+"""Query normalization.
+
+Normalization canonicalises a query string without changing its meaning:
+whitespace is collapsed, keywords are upper-cased and a trailing semicolon is
+removed.  The distance measures work on normalized queries so that purely
+typographic differences (tabs, line breaks, keyword case) do not affect
+distances, on either the plain-text or the cipher-text side.
+"""
+
+from __future__ import annotations
+
+from repro.sql.parser import parse_query
+from repro.sql.render import render_query
+
+
+def normalize_sql(sql: str) -> str:
+    """Return the canonical rendering of ``sql``.
+
+    The query is parsed and re-rendered, which collapses whitespace,
+    upper-cases keywords, normalises operator spelling (``!=`` becomes
+    ``<>``) and drops redundant semicolons.
+
+    Raises
+    ------
+    SqlSyntaxError
+        If the input is not valid SQL in the supported subset.
+    """
+    return render_query(parse_query(sql))
+
+
+def queries_equivalent(sql_a: str, sql_b: str) -> bool:
+    """Return True if both strings parse to the identical AST."""
+    return parse_query(sql_a) == parse_query(sql_b)

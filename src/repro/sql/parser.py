@@ -1,0 +1,454 @@
+"""Recursive-descent parser for the supported SQL subset.
+
+The grammar (informally)::
+
+    query       := SELECT [DISTINCT] select_list FROM from_clause
+                   [WHERE expr] [GROUP BY expr_list] [HAVING expr]
+                   [ORDER BY order_list] [LIMIT number]
+    select_list := select_item ("," select_item)*
+    select_item := "*" | expr [[AS] alias]
+    from_clause := table_ref (("," table_ref) | join)*
+    join        := [INNER|LEFT [OUTER]|RIGHT [OUTER]|CROSS] JOIN table_ref [ON expr]
+    expr        := or_expr
+    or_expr     := and_expr (OR and_expr)*
+    and_expr    := not_expr (AND not_expr)*
+    not_expr    := [NOT] predicate
+    predicate   := additive [comparison | BETWEEN | IN | LIKE | IS NULL]
+    additive    := multiplicative (("+"|"-") multiplicative)*
+    multiplicative := unary (("*"|"/"|"%") unary)*
+    unary       := ["-"] primary
+    primary     := literal | aggregate | column_ref | "(" expr ")"
+
+Operator precedence follows standard SQL.  The parser produces the immutable
+AST defined in :mod:`repro.sql.ast`.
+"""
+
+from __future__ import annotations
+
+from repro.exceptions import SqlSyntaxError
+from repro.sql.ast import (
+    AggregateCall,
+    ArithmeticOp,
+    BetweenPredicate,
+    BinaryOp,
+    ColumnRef,
+    ComparisonOp,
+    Expression,
+    InPredicate,
+    IsNullPredicate,
+    Join,
+    JoinType,
+    LikePredicate,
+    Literal,
+    LogicalConnective,
+    LogicalOp,
+    NotOp,
+    OrderItem,
+    Query,
+    SelectItem,
+    Star,
+    TableRef,
+    UnaryMinus,
+)
+from repro.sql.lexer import AGGREGATE_FUNCTIONS, Token, TokenType, tokenize
+
+_COMPARISON_OPS = {
+    "=": ComparisonOp.EQ,
+    "<>": ComparisonOp.NEQ,
+    "!=": ComparisonOp.NEQ,
+    "<": ComparisonOp.LT,
+    "<=": ComparisonOp.LTE,
+    ">": ComparisonOp.GT,
+    ">=": ComparisonOp.GTE,
+}
+
+
+def parse_query(sql: str) -> Query:
+    """Parse ``sql`` into a :class:`~repro.sql.ast.Query`.
+
+    Raises
+    ------
+    SqlSyntaxError
+        If the string is not a syntactically valid query in the supported
+        subset.
+    """
+    parser = _Parser(tokenize(sql))
+    query = parser.parse_query()
+    parser.expect_eof()
+    return query
+
+
+def parse_expression(sql: str) -> Expression:
+    """Parse a standalone expression (used by tests and the rewriter)."""
+    parser = _Parser(tokenize(sql))
+    expr = parser.parse_expression()
+    parser.expect_eof()
+    return expr
+
+
+class _Parser:
+    """Stateful cursor over the token stream."""
+
+    def __init__(self, tokens: list[Token]) -> None:
+        self._tokens = tokens
+        self._pos = 0
+
+    # ------------------------------------------------------------------ #
+    # token-stream helpers
+
+    @property
+    def _current(self) -> Token:
+        return self._tokens[self._pos]
+
+    def _advance(self) -> Token:
+        token = self._current
+        if token.type is not TokenType.EOF:
+            self._pos += 1
+        return token
+
+    def _check_keyword(self, *names: str) -> bool:
+        return self._current.is_keyword(*names)
+
+    def _accept_keyword(self, *names: str) -> bool:
+        if self._check_keyword(*names):
+            self._advance()
+            return True
+        return False
+
+    def _expect_keyword(self, name: str) -> Token:
+        if not self._check_keyword(name):
+            raise SqlSyntaxError(
+                f"expected keyword {name}, found {self._current.value!r}",
+                position=self._current.position,
+            )
+        return self._advance()
+
+    def _accept_punctuation(self, char: str) -> bool:
+        token = self._current
+        if token.type is TokenType.PUNCTUATION and token.value == char:
+            self._advance()
+            return True
+        return False
+
+    def _expect_punctuation(self, char: str) -> None:
+        if not self._accept_punctuation(char):
+            raise SqlSyntaxError(
+                f"expected {char!r}, found {self._current.value!r}",
+                position=self._current.position,
+            )
+
+    def _expect_identifier(self) -> str:
+        token = self._current
+        if token.type is not TokenType.IDENTIFIER:
+            raise SqlSyntaxError(
+                f"expected identifier, found {token.value!r}", position=token.position
+            )
+        self._advance()
+        return token.value
+
+    def expect_eof(self) -> None:
+        """Fail unless the whole token stream has been consumed."""
+        if self._current.type is not TokenType.EOF:
+            raise SqlSyntaxError(
+                f"unexpected trailing input {self._current.value!r}",
+                position=self._current.position,
+            )
+
+    # ------------------------------------------------------------------ #
+    # grammar productions
+
+    def parse_query(self) -> Query:
+        self._expect_keyword("SELECT")
+        distinct = self._accept_keyword("DISTINCT")
+        select_items = self._parse_select_list()
+
+        self._expect_keyword("FROM")
+        from_table, joins = self._parse_from_clause()
+
+        where = None
+        if self._accept_keyword("WHERE"):
+            where = self.parse_expression()
+
+        group_by: tuple[Expression, ...] = ()
+        if self._accept_keyword("GROUP"):
+            self._expect_keyword("BY")
+            group_by = tuple(self._parse_expression_list())
+
+        having = None
+        if self._accept_keyword("HAVING"):
+            having = self.parse_expression()
+
+        order_by: tuple[OrderItem, ...] = ()
+        if self._accept_keyword("ORDER"):
+            self._expect_keyword("BY")
+            order_by = tuple(self._parse_order_list())
+
+        limit = None
+        if self._accept_keyword("LIMIT"):
+            token = self._current
+            if token.type is not TokenType.NUMBER:
+                raise SqlSyntaxError("LIMIT requires a numeric literal", token.position)
+            self._advance()
+            limit = int(token.value)
+
+        return Query(
+            select_items=tuple(select_items),
+            from_table=from_table,
+            joins=tuple(joins),
+            where=where,
+            group_by=group_by,
+            having=having,
+            order_by=order_by,
+            limit=limit,
+            distinct=distinct,
+        )
+
+    def _parse_select_list(self) -> list[SelectItem]:
+        items = [self._parse_select_item()]
+        while self._accept_punctuation(","):
+            items.append(self._parse_select_item())
+        return items
+
+    def _parse_select_item(self) -> SelectItem:
+        if self._current.type is TokenType.STAR:
+            self._advance()
+            return SelectItem(Star())
+        expression = self.parse_expression()
+        alias = None
+        if self._accept_keyword("AS"):
+            alias = self._expect_identifier()
+        elif self._current.type is TokenType.IDENTIFIER:
+            alias = self._expect_identifier()
+        return SelectItem(expression, alias)
+
+    def _parse_from_clause(self) -> tuple[TableRef, list[Join]]:
+        first = self._parse_table_ref()
+        joins: list[Join] = []
+        while True:
+            if self._accept_punctuation(","):
+                joins.append(Join(JoinType.CROSS, self._parse_table_ref(), None))
+                continue
+            join_type = self._parse_join_type()
+            if join_type is None:
+                break
+            right = self._parse_table_ref()
+            condition = None
+            if self._accept_keyword("ON"):
+                condition = self.parse_expression()
+            elif join_type is not JoinType.CROSS:
+                raise SqlSyntaxError(
+                    "non-cross join requires an ON condition", self._current.position
+                )
+            joins.append(Join(join_type, right, condition))
+        return first, joins
+
+    def _parse_join_type(self) -> JoinType | None:
+        if self._accept_keyword("JOIN"):
+            return JoinType.INNER
+        if self._accept_keyword("INNER"):
+            self._expect_keyword("JOIN")
+            return JoinType.INNER
+        if self._accept_keyword("LEFT"):
+            self._accept_keyword("OUTER")
+            self._expect_keyword("JOIN")
+            return JoinType.LEFT
+        if self._accept_keyword("RIGHT"):
+            self._accept_keyword("OUTER")
+            self._expect_keyword("JOIN")
+            return JoinType.RIGHT
+        if self._accept_keyword("CROSS"):
+            self._expect_keyword("JOIN")
+            return JoinType.CROSS
+        return None
+
+    def _parse_table_ref(self) -> TableRef:
+        name = self._expect_identifier()
+        alias = None
+        if self._accept_keyword("AS"):
+            alias = self._expect_identifier()
+        elif self._current.type is TokenType.IDENTIFIER:
+            alias = self._expect_identifier()
+        return TableRef(name, alias)
+
+    def _parse_expression_list(self) -> list[Expression]:
+        expressions = [self.parse_expression()]
+        while self._accept_punctuation(","):
+            expressions.append(self.parse_expression())
+        return expressions
+
+    def _parse_order_list(self) -> list[OrderItem]:
+        items = []
+        while True:
+            expression = self.parse_expression()
+            ascending = True
+            if self._accept_keyword("ASC"):
+                ascending = True
+            elif self._accept_keyword("DESC"):
+                ascending = False
+            items.append(OrderItem(expression, ascending))
+            if not self._accept_punctuation(","):
+                return items
+
+    # -- expressions --------------------------------------------------- #
+
+    def parse_expression(self) -> Expression:
+        """Parse a full boolean/arithmetic expression."""
+        return self._parse_or()
+
+    def _parse_or(self) -> Expression:
+        operands = [self._parse_and()]
+        while self._accept_keyword("OR"):
+            operands.append(self._parse_and())
+        if len(operands) == 1:
+            return operands[0]
+        return LogicalOp(LogicalConnective.OR, tuple(operands))
+
+    def _parse_and(self) -> Expression:
+        operands = [self._parse_not()]
+        while self._accept_keyword("AND"):
+            operands.append(self._parse_not())
+        if len(operands) == 1:
+            return operands[0]
+        return LogicalOp(LogicalConnective.AND, tuple(operands))
+
+    def _parse_not(self) -> Expression:
+        if self._accept_keyword("NOT"):
+            return NotOp(self._parse_not())
+        return self._parse_predicate()
+
+    def _parse_predicate(self) -> Expression:
+        left = self._parse_additive()
+
+        token = self._current
+        if token.type is TokenType.OPERATOR and token.value in _COMPARISON_OPS:
+            self._advance()
+            right = self._parse_additive()
+            return BinaryOp(_COMPARISON_OPS[token.value], left, right)
+
+        negated = False
+        if self._check_keyword("NOT"):
+            # lookahead: NOT BETWEEN / NOT IN / NOT LIKE
+            next_token = self._tokens[self._pos + 1]
+            if next_token.is_keyword("BETWEEN", "IN", "LIKE"):
+                self._advance()
+                negated = True
+
+        if self._accept_keyword("BETWEEN"):
+            low = self._parse_additive()
+            self._expect_keyword("AND")
+            high = self._parse_additive()
+            return BetweenPredicate(left, low, high, negated)
+
+        if self._accept_keyword("IN"):
+            self._expect_punctuation("(")
+            values = [self._parse_additive()]
+            while self._accept_punctuation(","):
+                values.append(self._parse_additive())
+            self._expect_punctuation(")")
+            return InPredicate(left, tuple(values), negated)
+
+        if self._accept_keyword("LIKE"):
+            pattern = self._parse_additive()
+            return LikePredicate(left, pattern, negated)
+
+        if self._accept_keyword("IS"):
+            is_negated = self._accept_keyword("NOT")
+            self._expect_keyword("NULL")
+            return IsNullPredicate(left, is_negated)
+
+        return left
+
+    def _parse_additive(self) -> Expression:
+        left = self._parse_multiplicative()
+        while True:
+            token = self._current
+            if token.type is TokenType.OPERATOR and token.value in ("+", "-"):
+                self._advance()
+                op = ArithmeticOp.ADD if token.value == "+" else ArithmeticOp.SUB
+                left = BinaryOp(op, left, self._parse_multiplicative())
+            else:
+                return left
+
+    def _parse_multiplicative(self) -> Expression:
+        left = self._parse_unary()
+        while True:
+            token = self._current
+            if token.type is TokenType.STAR:
+                self._advance()
+                left = BinaryOp(ArithmeticOp.MUL, left, self._parse_unary())
+            elif token.type is TokenType.OPERATOR and token.value in ("/", "%"):
+                self._advance()
+                op = ArithmeticOp.DIV if token.value == "/" else ArithmeticOp.MOD
+                left = BinaryOp(op, left, self._parse_unary())
+            else:
+                return left
+
+    def _parse_unary(self) -> Expression:
+        token = self._current
+        if token.type is TokenType.OPERATOR and token.value == "-":
+            self._advance()
+            return UnaryMinus(self._parse_unary())
+        return self._parse_primary()
+
+    def _parse_primary(self) -> Expression:
+        token = self._current
+
+        if token.type is TokenType.NUMBER:
+            self._advance()
+            if "." in token.value:
+                return Literal(float(token.value))
+            return Literal(int(token.value))
+
+        if token.type is TokenType.STRING:
+            self._advance()
+            return Literal(token.value)
+
+        if token.is_keyword("NULL"):
+            self._advance()
+            return Literal(None)
+
+        if token.is_keyword("TRUE"):
+            self._advance()
+            return Literal(True)
+
+        if token.is_keyword("FALSE"):
+            self._advance()
+            return Literal(False)
+
+        if token.type is TokenType.KEYWORD and token.value in AGGREGATE_FUNCTIONS:
+            return self._parse_aggregate()
+
+        if token.type is TokenType.PUNCTUATION and token.value == "(":
+            self._advance()
+            inner = self.parse_expression()
+            self._expect_punctuation(")")
+            return inner
+
+        if token.type is TokenType.IDENTIFIER:
+            return self._parse_column_ref()
+
+        raise SqlSyntaxError(
+            f"unexpected token {token.value!r} in expression", position=token.position
+        )
+
+    def _parse_aggregate(self) -> Expression:
+        function = self._advance().value
+        self._expect_punctuation("(")
+        distinct = self._accept_keyword("DISTINCT")
+        if self._current.type is TokenType.STAR:
+            self._advance()
+            argument: Expression = Star()
+        else:
+            argument = self.parse_expression()
+        self._expect_punctuation(")")
+        return AggregateCall(function, argument, distinct)
+
+    def _parse_column_ref(self) -> Expression:
+        first = self._expect_identifier()
+        if self._accept_punctuation("."):
+            if self._current.type is TokenType.STAR:
+                self._advance()
+                return Star(table=first)
+            second = self._expect_identifier()
+            return ColumnRef(second, table=first)
+        return ColumnRef(first)

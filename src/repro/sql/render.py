@@ -1,0 +1,159 @@
+"""Render an AST back into SQL text.
+
+Rendering is the inverse of parsing up to whitespace and redundant
+parentheses: ``parse_query(render_query(q)) == q`` holds for every query the
+parser produces (this round-trip property is tested with Hypothesis in
+``tests/sql/test_roundtrip.py``).  The encryption schemes use the renderer to
+produce the *encrypted query strings* that are handed to the service
+provider.
+"""
+
+from __future__ import annotations
+
+from repro.sql.ast import (
+    AggregateCall,
+    ArithmeticOp,
+    BetweenPredicate,
+    BinaryOp,
+    ColumnRef,
+    ComparisonOp,
+    Expression,
+    InPredicate,
+    IsNullPredicate,
+    Join,
+    JoinType,
+    LikePredicate,
+    Literal,
+    LogicalConnective,
+    LogicalOp,
+    NotOp,
+    OrderItem,
+    Query,
+    SelectItem,
+    Star,
+    TableRef,
+    UnaryMinus,
+)
+
+
+def render_query(query: Query) -> str:
+    """Serialize ``query`` into a canonical SQL string."""
+    parts = ["SELECT"]
+    if query.distinct:
+        parts.append("DISTINCT")
+    parts.append(", ".join(_render_select_item(item) for item in query.select_items))
+    parts.append("FROM")
+    parts.append(_render_table_ref(query.from_table))
+    for join in query.joins:
+        parts.append(_render_join(join))
+    if query.where is not None:
+        parts.append("WHERE")
+        parts.append(render_expression(query.where))
+    if query.group_by:
+        parts.append("GROUP BY")
+        parts.append(", ".join(render_expression(e) for e in query.group_by))
+    if query.having is not None:
+        parts.append("HAVING")
+        parts.append(render_expression(query.having))
+    if query.order_by:
+        parts.append("ORDER BY")
+        parts.append(", ".join(_render_order_item(item) for item in query.order_by))
+    if query.limit is not None:
+        parts.append(f"LIMIT {query.limit}")
+    return " ".join(parts)
+
+
+def render_expression(expr: Expression) -> str:
+    """Serialize a single expression into SQL text."""
+    if isinstance(expr, Literal):
+        return _render_literal(expr)
+    if isinstance(expr, ColumnRef):
+        return expr.qualified_name
+    if isinstance(expr, Star):
+        return f"{expr.table}.*" if expr.table else "*"
+    if isinstance(expr, AggregateCall):
+        distinct = "DISTINCT " if expr.distinct else ""
+        return f"{expr.function}({distinct}{render_expression(expr.argument)})"
+    if isinstance(expr, UnaryMinus):
+        return f"-{_render_operand(expr.operand)}"
+    if isinstance(expr, BinaryOp):
+        op = expr.op.value if isinstance(expr.op, (ComparisonOp, ArithmeticOp)) else str(expr.op)
+        return f"{_render_operand(expr.left)} {op} {_render_operand(expr.right)}"
+    if isinstance(expr, LogicalOp):
+        connective = f" {expr.op.value} "
+        return connective.join(_render_operand(op) for op in expr.operands)
+    if isinstance(expr, NotOp):
+        return f"NOT {_render_operand(expr.operand)}"
+    if isinstance(expr, BetweenPredicate):
+        neg = "NOT " if expr.negated else ""
+        return (
+            f"{_render_operand(expr.operand)} {neg}BETWEEN "
+            f"{_render_operand(expr.low)} AND {_render_operand(expr.high)}"
+        )
+    if isinstance(expr, InPredicate):
+        neg = "NOT " if expr.negated else ""
+        values = ", ".join(render_expression(v) for v in expr.values)
+        return f"{_render_operand(expr.operand)} {neg}IN ({values})"
+    if isinstance(expr, LikePredicate):
+        neg = "NOT " if expr.negated else ""
+        return f"{_render_operand(expr.operand)} {neg}LIKE {_render_operand(expr.pattern)}"
+    if isinstance(expr, IsNullPredicate):
+        neg = "NOT " if expr.negated else ""
+        return f"{_render_operand(expr.operand)} IS {neg}NULL"
+    raise TypeError(f"cannot render expression of type {type(expr).__name__}")
+
+
+def _render_operand(expr: Expression) -> str:
+    """Render a sub-expression, parenthesising compound operands.
+
+    Parenthesising every compound operand is slightly conservative but keeps
+    the renderer simple and the round-trip property exact.
+    """
+    text = render_expression(expr)
+    if isinstance(expr, (LogicalOp, BinaryOp, NotOp, BetweenPredicate, InPredicate,
+                         LikePredicate, IsNullPredicate)):
+        return f"({text})"
+    return text
+
+
+def _render_literal(literal: Literal) -> str:
+    value = literal.value
+    if value is None:
+        return "NULL"
+    if isinstance(value, bool):
+        return "TRUE" if value else "FALSE"
+    if isinstance(value, (int, float)):
+        return repr(value)
+    escaped = str(value).replace("'", "''")
+    return f"'{escaped}'"
+
+
+def _render_select_item(item: SelectItem) -> str:
+    text = render_expression(item.expression)
+    if item.alias:
+        return f"{text} AS {item.alias}"
+    return text
+
+
+def _render_table_ref(ref: TableRef) -> str:
+    if ref.alias:
+        return f"{ref.name} AS {ref.alias}"
+    return ref.name
+
+
+def _render_join(join: Join) -> str:
+    keyword = {
+        JoinType.INNER: "JOIN",
+        JoinType.LEFT: "LEFT JOIN",
+        JoinType.RIGHT: "RIGHT JOIN",
+        JoinType.CROSS: "CROSS JOIN",
+    }[join.join_type]
+    text = f"{keyword} {_render_table_ref(join.right)}"
+    if join.condition is not None:
+        text += f" ON {render_expression(join.condition)}"
+    return text
+
+
+def _render_order_item(item: OrderItem) -> str:
+    direction = "ASC" if item.ascending else "DESC"
+    return f"{render_expression(item.expression)} {direction}"

@@ -1,0 +1,52 @@
+"""Token-set extraction for the token-based query-string distance.
+
+Definition 3 of the paper interprets an SQL query as a *set of tokens* and
+measures distance with the Jaccard measure over these sets.  This module
+defines exactly which token representation is used, because the
+distance-preservation argument hinges on encryption mapping plain-text tokens
+to cipher-text tokens *bijectively per token kind*.
+
+Tokens are represented as ``(kind, text)`` pairs so that an identifier ``x``
+and a string literal ``'x'`` never collide.
+"""
+
+from __future__ import annotations
+
+from repro.sql.ast import Query
+from repro.sql.lexer import Token, TokenType, tokenize
+from repro.sql.render import render_query
+
+#: A token as used by the token-based distance: (kind, canonical text).
+QueryToken = tuple[str, str]
+
+
+def token_stream_to_set(tokens: list[Token]) -> frozenset[QueryToken]:
+    """Convert a lexer token stream into the token set of Definition 3.
+
+    EOF tokens are dropped; keywords are case-normalized by the lexer;
+    identifiers keep their spelling (the paper treats ``R`` and ``r`` as
+    different names, and so do real DBMSs for quoted identifiers).
+
+    The number following a ``LIMIT`` keyword is emitted with the dedicated
+    kind ``"limit"``: it is part of the query *structure* (how many rows to
+    fetch), not database content, so the DPE schemes leave it in the clear —
+    giving it its own kind keeps it from ever colliding with a constant of
+    the same spelling.
+    """
+    result = set()
+    previous_keyword: str | None = None
+    for token in tokens:
+        if token.type is TokenType.EOF:
+            continue
+        if token.type is TokenType.NUMBER and previous_keyword == "LIMIT":
+            result.add(("limit", token.value))
+        else:
+            result.add((token.type.value, token.value))
+        previous_keyword = token.value if token.type is TokenType.KEYWORD else None
+    return frozenset(result)
+
+
+def query_token_set(query: Query | str) -> frozenset[QueryToken]:
+    """Return the token set of a query (given as AST or SQL text)."""
+    sql = query if isinstance(query, str) else render_query(query)
+    return token_stream_to_set(tokenize(sql))

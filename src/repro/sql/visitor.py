@@ -1,0 +1,311 @@
+"""AST visitors and transformers.
+
+The encryption schemes in :mod:`repro.core.schemes` are implemented as
+:class:`AstTransformer` subclasses: they walk a query and replace relation
+names, attribute names and constants with their encrypted counterparts,
+leaving the query *structure* untouched.  Keeping the traversal machinery in
+one place guarantees that every scheme treats the same syntactic positions
+consistently (e.g. constants inside BETWEEN, IN lists and aggregate
+arguments).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterator
+
+from repro.sql.ast import (
+    AggregateCall,
+    BetweenPredicate,
+    BinaryOp,
+    ColumnRef,
+    Expression,
+    InPredicate,
+    IsNullPredicate,
+    Join,
+    LikePredicate,
+    Literal,
+    LogicalOp,
+    NotOp,
+    OrderItem,
+    Query,
+    SelectItem,
+    Star,
+    TableRef,
+    UnaryMinus,
+)
+
+
+def walk(node: object) -> Iterator[object]:
+    """Yield ``node`` and every descendant AST node in pre-order."""
+    yield node
+    for child in _children(node):
+        yield from walk(child)
+
+
+def _children(node: object) -> tuple[object, ...]:
+    if isinstance(node, Query):
+        children: list[object] = list(node.select_items)
+        children.append(node.from_table)
+        children.extend(node.joins)
+        if node.where is not None:
+            children.append(node.where)
+        children.extend(node.group_by)
+        if node.having is not None:
+            children.append(node.having)
+        children.extend(node.order_by)
+        return tuple(children)
+    if isinstance(node, SelectItem):
+        return (node.expression,)
+    if isinstance(node, Join):
+        if node.condition is not None:
+            return (node.right, node.condition)
+        return (node.right,)
+    if isinstance(node, OrderItem):
+        return (node.expression,)
+    if isinstance(node, BinaryOp):
+        return (node.left, node.right)
+    if isinstance(node, LogicalOp):
+        return node.operands
+    if isinstance(node, (NotOp, UnaryMinus)):
+        return (node.operand,)
+    if isinstance(node, BetweenPredicate):
+        return (node.operand, node.low, node.high)
+    if isinstance(node, InPredicate):
+        return (node.operand, *node.values)
+    if isinstance(node, LikePredicate):
+        return (node.operand, node.pattern)
+    if isinstance(node, IsNullPredicate):
+        return (node.operand,)
+    if isinstance(node, AggregateCall):
+        return (node.argument,)
+    return ()
+
+
+def contains_aggregate(expr: Expression) -> bool:
+    """Return True if ``expr`` contains an aggregate function call."""
+    return any(isinstance(node, AggregateCall) for node in walk(expr))
+
+
+def column_refs(node: object) -> list[ColumnRef]:
+    """Return every :class:`ColumnRef` below ``node`` in pre-order."""
+    return [n for n in walk(node) if isinstance(n, ColumnRef)]
+
+
+def literals(node: object) -> list[Literal]:
+    """Return every :class:`Literal` below ``node`` in pre-order."""
+    return [n for n in walk(node) if isinstance(n, Literal)]
+
+
+class AstVisitor:
+    """Read-only visitor with per-node-type hooks.
+
+    Subclasses override ``visit_<NodeType>`` methods; unhandled node types
+    fall back to :meth:`generic_visit`, which simply recurses.
+    """
+
+    def visit(self, node: object) -> None:
+        """Dispatch on the runtime type of ``node``."""
+        method = getattr(self, f"visit_{type(node).__name__}", None)
+        if method is not None:
+            method(node)
+        else:
+            self.generic_visit(node)
+
+    def generic_visit(self, node: object) -> None:
+        """Visit every child of ``node``."""
+        for child in _children(node):
+            self.visit(child)
+
+
+class AstTransformer:
+    """Bottom-up transformer producing a new (immutable) AST.
+
+    Subclasses override the ``transform_*`` hooks for the node types they are
+    interested in; by default every node is rebuilt with transformed children
+    and otherwise unchanged.  The transformer guarantees structural fidelity:
+    node types, clause order and arity never change unless a hook says so.
+    """
+
+    # -- hooks intended for overriding --------------------------------- #
+
+    def transform_literal(self, literal: Literal, context: "TransformContext") -> Expression:
+        """Transform a constant.  ``context`` carries its syntactic position."""
+        return literal
+
+    def transform_column_ref(self, ref: ColumnRef, context: "TransformContext") -> Expression:
+        """Transform an attribute (column) reference."""
+        return ref
+
+    def transform_table_ref(self, ref: TableRef) -> TableRef:
+        """Transform a relation (table) reference."""
+        return ref
+
+    # -- traversal ------------------------------------------------------ #
+
+    def transform_query(self, query: Query) -> Query:
+        """Return a transformed copy of ``query``."""
+        select_items = tuple(
+            SelectItem(
+                self._transform_expression(
+                    item.expression, TransformContext(clause="SELECT")
+                ),
+                item.alias,
+            )
+            for item in query.select_items
+        )
+        from_table = self.transform_table_ref(query.from_table)
+        joins = tuple(
+            Join(
+                join.join_type,
+                self.transform_table_ref(join.right),
+                None
+                if join.condition is None
+                else self._transform_expression(join.condition, TransformContext(clause="ON")),
+            )
+            for join in query.joins
+        )
+        where = (
+            None
+            if query.where is None
+            else self._transform_expression(query.where, TransformContext(clause="WHERE"))
+        )
+        group_by = tuple(
+            self._transform_expression(expr, TransformContext(clause="GROUP BY"))
+            for expr in query.group_by
+        )
+        having = (
+            None
+            if query.having is None
+            else self._transform_expression(query.having, TransformContext(clause="HAVING"))
+        )
+        order_by = tuple(
+            OrderItem(
+                self._transform_expression(item.expression, TransformContext(clause="ORDER BY")),
+                item.ascending,
+            )
+            for item in query.order_by
+        )
+        return Query(
+            select_items=select_items,
+            from_table=from_table,
+            joins=joins,
+            where=where,
+            group_by=group_by,
+            having=having,
+            order_by=order_by,
+            limit=query.limit,
+            distinct=query.distinct,
+        )
+
+    def _transform_expression(
+        self, expr: Expression, context: "TransformContext"
+    ) -> Expression:
+        if isinstance(expr, Literal):
+            return self.transform_literal(expr, context)
+        if isinstance(expr, ColumnRef):
+            return self.transform_column_ref(expr, context)
+        if isinstance(expr, Star):
+            return expr
+        if isinstance(expr, AggregateCall):
+            inner_context = context.with_aggregate(expr.function)
+            return AggregateCall(
+                expr.function,
+                self._transform_expression(expr.argument, inner_context),
+                expr.distinct,
+            )
+        if isinstance(expr, UnaryMinus):
+            return UnaryMinus(self._transform_expression(expr.operand, context))
+        if isinstance(expr, BinaryOp):
+            comparison = context.with_comparison(expr)
+            return BinaryOp(
+                expr.op,
+                self._transform_expression(expr.left, comparison),
+                self._transform_expression(expr.right, comparison),
+            )
+        if isinstance(expr, LogicalOp):
+            return LogicalOp(
+                expr.op,
+                tuple(self._transform_expression(op, context) for op in expr.operands),
+            )
+        if isinstance(expr, NotOp):
+            return NotOp(self._transform_expression(expr.operand, context))
+        if isinstance(expr, BetweenPredicate):
+            inner = context.with_comparison(expr)
+            return BetweenPredicate(
+                self._transform_expression(expr.operand, inner),
+                self._transform_expression(expr.low, inner),
+                self._transform_expression(expr.high, inner),
+                expr.negated,
+            )
+        if isinstance(expr, InPredicate):
+            inner = context.with_comparison(expr)
+            return InPredicate(
+                self._transform_expression(expr.operand, inner),
+                tuple(self._transform_expression(v, inner) for v in expr.values),
+                expr.negated,
+            )
+        if isinstance(expr, LikePredicate):
+            inner = context.with_comparison(expr)
+            return LikePredicate(
+                self._transform_expression(expr.operand, inner),
+                self._transform_expression(expr.pattern, inner),
+                expr.negated,
+            )
+        if isinstance(expr, IsNullPredicate):
+            return IsNullPredicate(
+                self._transform_expression(expr.operand, context), expr.negated
+            )
+        raise TypeError(f"cannot transform expression of type {type(expr).__name__}")
+
+
+class TransformContext:
+    """Syntactic position information handed to transformer hooks.
+
+    The encryption schemes need to know *where* a constant occurs: the
+    access-area scheme, for instance, encrypts constants compared against an
+    attribute inside an aggregate argument differently from constants in
+    range predicates.  The context records the enclosing clause, the nearest
+    enclosing comparison-like node (used to find the attribute a constant is
+    compared with), and whether the position is inside an aggregate call.
+    """
+
+    __slots__ = ("clause", "comparison", "aggregate")
+
+    def __init__(
+        self,
+        clause: str,
+        comparison: Expression | None = None,
+        aggregate: str | None = None,
+    ) -> None:
+        self.clause = clause
+        self.comparison = comparison
+        self.aggregate = aggregate
+
+    def with_comparison(self, comparison: Expression) -> "TransformContext":
+        """Return a copy with ``comparison`` recorded as the enclosing predicate."""
+        return TransformContext(self.clause, comparison, self.aggregate)
+
+    def with_aggregate(self, function: str) -> "TransformContext":
+        """Return a copy noting that we are inside aggregate ``function``."""
+        return TransformContext(self.clause, self.comparison, function)
+
+    def compared_column(self) -> ColumnRef | None:
+        """Return the column the enclosing predicate compares against, if any.
+
+        For a predicate like ``A2 > 5`` or ``A2 BETWEEN 1 AND 9`` the
+        transformer hook for the constant(s) receives this context and can
+        look up which attribute-specific encryption function to apply
+        (``EncA2.Const`` in the paper's notation).
+        """
+        if self.comparison is None:
+            return None
+        refs = column_refs(self.comparison)
+        if not refs:
+            return None
+        return refs[0]
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"TransformContext(clause={self.clause!r}, aggregate={self.aggregate!r}, "
+            f"comparison={'yes' if self.comparison is not None else 'no'})"
+        )

@@ -1,0 +1,30 @@
+"""Synthetic workloads: schemas, database content and query logs.
+
+The paper's case study targets SQL query logs such as the SkyServer log
+([16]); those logs and databases are not publicly redistributable, so this
+package generates synthetic equivalents that exercise the same query shapes:
+point and range selections, conjunctive predicates, IN lists, joins,
+aggregates and GROUP BY over a SkyServer-like astronomy schema and a
+web-shop schema.  All generation is seeded and therefore reproducible.
+"""
+
+from repro.workloads.generator import QueryLogGenerator, WorkloadMix
+from repro.workloads.schemas import (
+    ColumnProfile,
+    TableProfile,
+    WorkloadProfile,
+    populate_database,
+    skyserver_profile,
+    webshop_profile,
+)
+
+__all__ = [
+    "ColumnProfile",
+    "QueryLogGenerator",
+    "TableProfile",
+    "WorkloadMix",
+    "WorkloadProfile",
+    "populate_database",
+    "skyserver_profile",
+    "webshop_profile",
+]

@@ -1,0 +1,274 @@
+"""Synthetic query-log generation.
+
+:class:`QueryLogGenerator` draws queries from a :class:`WorkloadProfile`
+according to a :class:`WorkloadMix` of query shapes.  All randomness is
+seeded, so a (profile, mix, seed, size) tuple always yields the same log —
+experiments and benchmarks are reproducible run to run.
+
+The generated SQL stays inside the fragment every subsystem supports:
+SELECT with explicit projections, equality / range / BETWEEN / IN predicates
+combined with AND (and occasionally OR), equi-joins along the profile's join
+relationships, aggregates (COUNT/SUM/MIN/MAX/AVG) and GROUP BY.  LIKE and
+``SELECT *`` are deliberately never generated (the CryptDB layer rejects
+them), and aggregate queries can be switched off for the select-project-join
+workloads the result-distance scheme requires.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro._utils import deterministic_rng
+from repro.db.schema import ColumnType
+from repro.exceptions import WorkloadError
+from repro.sql.log import QueryLog
+from repro.workloads.schemas import ColumnProfile, TableProfile, WorkloadProfile
+
+
+@dataclass(frozen=True)
+class WorkloadMix:
+    """Relative weights of the generated query shapes."""
+
+    point_select: float = 3.0
+    range_select: float = 3.0
+    conjunctive_select: float = 2.0
+    in_select: float = 1.0
+    join_select: float = 1.5
+    aggregate_select: float = 1.5
+    group_by_select: float = 1.0
+
+    @classmethod
+    def spj_only(cls) -> "WorkloadMix":
+        """A mix without aggregates/GROUP BY (the result-distance fragment)."""
+        return cls(aggregate_select=0.0, group_by_select=0.0)
+
+    @classmethod
+    def analytical(cls) -> "WorkloadMix":
+        """A mix dominated by aggregates and grouping."""
+        return cls(
+            point_select=1.0,
+            range_select=2.0,
+            conjunctive_select=1.0,
+            in_select=0.5,
+            join_select=1.0,
+            aggregate_select=4.0,
+            group_by_select=3.0,
+        )
+
+    def as_weights(self) -> dict[str, float]:
+        """The mix as a name -> weight mapping (zero weights dropped)."""
+        weights = {
+            "point": self.point_select,
+            "range": self.range_select,
+            "conjunctive": self.conjunctive_select,
+            "in": self.in_select,
+            "join": self.join_select,
+            "aggregate": self.aggregate_select,
+            "group_by": self.group_by_select,
+        }
+        positive = {name: weight for name, weight in weights.items() if weight > 0}
+        if not positive:
+            raise WorkloadError("workload mix must have at least one positive weight")
+        return positive
+
+
+@dataclass
+class QueryLogGenerator:
+    """Draws reproducible synthetic query logs from a workload profile."""
+
+    profile: WorkloadProfile
+    mix: WorkloadMix = field(default_factory=WorkloadMix)
+    seed: int | str = 0
+
+    def generate(self, size: int) -> QueryLog:
+        """Generate a log of ``size`` queries."""
+        if size < 1:
+            raise WorkloadError("log size must be positive")
+        rng = deterministic_rng(f"{self.profile.name}/{self.mix}/{self.seed}")
+        weights = self.mix.as_weights()
+        kinds = list(weights)
+        kind_weights = [weights[kind] for kind in kinds]
+        statements = []
+        for _ in range(size):
+            kind = rng.choices(kinds, weights=kind_weights, k=1)[0]
+            statements.append(self._generate_statement(kind, rng))
+        return QueryLog.from_sql(statements)
+
+    # ------------------------------------------------------------------ #
+    # statement builders
+
+    def _generate_statement(self, kind: str, rng) -> str:
+        if kind == "point":
+            return self._point_select(rng)
+        if kind == "range":
+            return self._range_select(rng)
+        if kind == "conjunctive":
+            return self._conjunctive_select(rng)
+        if kind == "in":
+            return self._in_select(rng)
+        if kind == "join":
+            return self._join_select(rng)
+        if kind == "aggregate":
+            return self._aggregate_select(rng)
+        return self._group_by_select(rng)
+
+    def _point_select(self, rng) -> str:
+        table = self._pick_table(rng)
+        column = self._pick_column(table, rng, equality=True)
+        projection = self._projection(table, rng)
+        return (
+            f"SELECT {projection} FROM {table.name} "
+            f"WHERE {column.name} = {self._constant(column, rng)}"
+        )
+
+    def _range_select(self, rng) -> str:
+        table = self._pick_table(rng, needs_range=True)
+        column = self._pick_column(table, rng, range_=True)
+        projection = self._projection(table, rng)
+        if rng.random() < 0.4:
+            low, high = self._range_bounds(column, rng)
+            predicate = f"{column.name} BETWEEN {low} AND {high}"
+        else:
+            operator = rng.choice(["<", "<=", ">", ">="])
+            predicate = f"{column.name} {operator} {self._constant(column, rng)}"
+        return f"SELECT {projection} FROM {table.name} WHERE {predicate}"
+
+    def _conjunctive_select(self, rng) -> str:
+        table = self._pick_table(rng)
+        projection = self._projection(table, rng)
+        predicates = [self._predicate(table, rng) for _ in range(rng.randint(2, 3))]
+        connective = " AND " if rng.random() < 0.8 else " OR "
+        return f"SELECT {projection} FROM {table.name} WHERE {connective.join(predicates)}"
+
+    def _in_select(self, rng) -> str:
+        table = self._pick_table(rng)
+        column = self._pick_column(table, rng, equality=True)
+        projection = self._projection(table, rng)
+        values = ", ".join(
+            str(self._constant(column, rng)) for _ in range(rng.randint(2, 4))
+        )
+        return f"SELECT {projection} FROM {table.name} WHERE {column.name} IN ({values})"
+
+    def _join_select(self, rng) -> str:
+        if not self.profile.joins:
+            return self._conjunctive_select(rng)
+        join = rng.choice(list(self.profile.joins))
+        left = self.profile.table(join.left_table)
+        right = self.profile.table(join.right_table)
+        projection_columns = [
+            self._pick_column(left, rng, projectable=True).name,
+            self._pick_column(right, rng, projectable=True).name,
+        ]
+        filter_table = rng.choice([left, right])
+        predicate = self._predicate(filter_table, rng)
+        return (
+            f"SELECT {', '.join(dict.fromkeys(projection_columns))} "
+            f"FROM {join.left_table} JOIN {join.right_table} "
+            f"ON {join.left_column} = {join.right_column} "
+            f"WHERE {predicate}"
+        )
+
+    def _aggregate_select(self, rng) -> str:
+        table = self._pick_table(rng, needs_aggregate=True)
+        column = self._pick_column(table, rng, aggregate=True)
+        # AVG is omitted on purpose: CryptDB evaluates AVG client-side as
+        # SUM/COUNT, so realistic encrypted-execution workloads contain the
+        # rewritten forms rather than AVG itself.
+        function = rng.choice(["SUM", "MIN", "MAX", "COUNT"])
+        aggregate = "COUNT(*)" if function == "COUNT" else f"{function}({column.name})"
+        predicate = self._predicate(table, rng)
+        return f"SELECT {aggregate} FROM {table.name} WHERE {predicate}"
+
+    def _group_by_select(self, rng) -> str:
+        table = self._pick_table(rng, needs_aggregate=True)
+        group_column = self._pick_column(table, rng, equality=True)
+        aggregate_column = self._pick_column(table, rng, aggregate=True)
+        function = rng.choice(["SUM", "MIN", "MAX", "COUNT"])
+        aggregate = "COUNT(*)" if function == "COUNT" else f"{function}({aggregate_column.name})"
+        predicate = self._predicate(table, rng)
+        return (
+            f"SELECT {group_column.name}, {aggregate} FROM {table.name} "
+            f"WHERE {predicate} GROUP BY {group_column.name}"
+        )
+
+    # ------------------------------------------------------------------ #
+    # building blocks
+
+    def _pick_table(
+        self, rng, *, needs_range: bool = False, needs_aggregate: bool = False
+    ) -> TableProfile:
+        candidates = []
+        for table in self.profile.tables:
+            if needs_range and not any(c.range_candidate for c in table.columns):
+                continue
+            if needs_aggregate and not any(c.aggregate_candidate for c in table.columns):
+                continue
+            candidates.append(table)
+        if not candidates:
+            raise WorkloadError("no table in the profile satisfies the requested query shape")
+        return rng.choice(candidates)
+
+    def _pick_column(
+        self,
+        table: TableProfile,
+        rng,
+        *,
+        equality: bool = False,
+        range_: bool = False,
+        aggregate: bool = False,
+        projectable: bool = False,
+    ) -> ColumnProfile:
+        def admissible(column: ColumnProfile) -> bool:
+            if equality and not column.equality_candidate:
+                return False
+            if range_ and not column.range_candidate:
+                return False
+            if aggregate and not column.aggregate_candidate:
+                return False
+            return True
+
+        candidates = [column for column in table.columns if admissible(column)]
+        if not candidates:
+            if projectable:
+                candidates = list(table.columns)
+            else:
+                raise WorkloadError(
+                    f"table {table.name!r} has no column for the requested predicate kind"
+                )
+        return rng.choice(candidates)
+
+    def _projection(self, table: TableProfile, rng) -> str:
+        count = rng.randint(1, min(3, len(table.columns)))
+        names = [column.name for column in table.columns]
+        chosen = rng.sample(names, count)
+        return ", ".join(sorted(chosen, key=names.index))
+
+    def _predicate(self, table: TableProfile, rng) -> str:
+        range_columns = [c for c in table.columns if c.range_candidate]
+        equality_columns = [c for c in table.columns if c.equality_candidate]
+        use_range = range_columns and (not equality_columns or rng.random() < 0.5)
+        if use_range:
+            column = rng.choice(range_columns)
+            operator = rng.choice(["<", "<=", ">", ">="])
+            return f"{column.name} {operator} {self._constant(column, rng)}"
+        column = rng.choice(equality_columns)
+        return f"{column.name} = {self._constant(column, rng)}"
+
+    def _range_bounds(self, column: ColumnProfile, rng) -> tuple[str, str]:
+        """Two constants with low <= high for a BETWEEN predicate."""
+        first = self._constant(column, rng)
+        second = self._constant(column, rng)
+        low, high = sorted([float(first), float(second)])
+        if column.type is ColumnType.INTEGER:
+            return str(int(low)), str(int(high))
+        return str(low), str(high)
+
+    def _constant(self, column: ColumnProfile, rng) -> str:
+        if column.type is ColumnType.INTEGER:
+            return str(rng.randint(int(column.minimum), int(column.maximum)))  # type: ignore[arg-type]
+        if column.type is ColumnType.REAL:
+            value = rng.uniform(float(column.minimum), float(column.maximum))  # type: ignore[arg-type]
+            return f"{round(value, 2)}"
+        value = rng.choice(list(column.values))
+        escaped = str(value).replace("'", "''")
+        return f"'{escaped}'"

@@ -1,0 +1,324 @@
+"""Workload profiles: schemas plus the metadata the generators need.
+
+A :class:`WorkloadProfile` bundles a database schema with per-column value
+domains and join relationships.  Two ready-made profiles are provided:
+
+* :func:`skyserver_profile` — a simplified astronomy catalogue modelled after
+  the SkyServer ``PhotoObj`` / ``SpecObj`` tables the access-area measure was
+  originally evaluated on [16];
+* :func:`webshop_profile` — a customers/orders/products schema representative
+  of the OLTP-style logs the introduction motivates.
+
+Column names are globally unique across each profile (a documented
+assumption of the access-area machinery, see :mod:`repro.core.domains`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro._utils import deterministic_rng
+from repro.core.domains import Domain, DomainCatalog
+from repro.cryptdb.proxy import JoinGroupSpec
+from repro.db.database import Database
+from repro.db.schema import Column, ColumnType, TableSchema
+from repro.exceptions import WorkloadError
+
+
+@dataclass(frozen=True)
+class ColumnProfile:
+    """Metadata for one column: type, value domain and predicate roles."""
+
+    name: str
+    type: ColumnType
+    #: Numeric domain bounds (numeric columns).
+    minimum: float | None = None
+    maximum: float | None = None
+    #: Value pool (categorical columns).
+    values: tuple[object, ...] = ()
+    #: Whether the generator may use this column in range predicates.
+    range_candidate: bool = False
+    #: Whether the generator may use this column in equality/IN predicates.
+    equality_candidate: bool = False
+    #: Whether the generator may aggregate over this column (SUM/AVG/MIN/MAX).
+    aggregate_candidate: bool = False
+
+    def to_column(self) -> Column:
+        """The engine-level column definition."""
+        return Column(self.name, self.type)
+
+    def to_domain(self) -> Domain:
+        """The attribute domain used by the access-area measure."""
+        if self.type.is_numeric:
+            if self.minimum is None or self.maximum is None:
+                raise WorkloadError(f"numeric column {self.name!r} needs domain bounds")
+            return Domain(self.name, minimum=self.minimum, maximum=self.maximum)
+        if not self.values:
+            raise WorkloadError(f"categorical column {self.name!r} needs a value pool")
+        return Domain(self.name, values=frozenset(self.values))
+
+
+@dataclass(frozen=True)
+class TableProfile:
+    """Metadata for one table: its columns and target cardinality."""
+
+    name: str
+    columns: tuple[ColumnProfile, ...]
+    rows: int = 100
+
+    def schema(self) -> TableSchema:
+        """The engine-level table schema."""
+        return TableSchema(self.name, [column.to_column() for column in self.columns])
+
+    def column(self, name: str) -> ColumnProfile:
+        """Look up a column profile by name."""
+        for column in self.columns:
+            if column.name == name:
+                return column
+        raise WorkloadError(f"table {self.name!r} has no column {name!r}")
+
+
+@dataclass(frozen=True)
+class JoinProfile:
+    """A foreign-key style join relationship between two columns."""
+
+    left_table: str
+    left_column: str
+    right_table: str
+    right_column: str
+
+    def group_spec(self, name: str) -> JoinGroupSpec:
+        """The CryptDB join-group specification for this relationship."""
+        return JoinGroupSpec(
+            name,
+            frozenset(
+                {(self.left_table, self.left_column), (self.right_table, self.right_column)}
+            ),
+        )
+
+
+@dataclass(frozen=True)
+class WorkloadProfile:
+    """A full workload profile: tables, joins and derived catalogs."""
+
+    name: str
+    tables: tuple[TableProfile, ...]
+    joins: tuple[JoinProfile, ...] = ()
+
+    def table(self, name: str) -> TableProfile:
+        """Look up a table profile by name."""
+        for table in self.tables:
+            if table.name == name:
+                return table
+        raise WorkloadError(f"profile {self.name!r} has no table {name!r}")
+
+    def domain_catalog(self) -> DomainCatalog:
+        """Domains for every column of every table."""
+        catalog = DomainCatalog()
+        for table in self.tables:
+            for column in table.columns:
+                catalog.add(column.to_domain())
+        return catalog
+
+    def join_groups(self) -> tuple[JoinGroupSpec, ...]:
+        """Join groups for the CryptDB proxy, one per join relationship."""
+        return tuple(
+            join.group_spec(f"{self.name}-join-{index}")
+            for index, join in enumerate(self.joins)
+        )
+
+    def all_column_names(self) -> tuple[str, ...]:
+        """Every column name across all tables (guaranteed unique)."""
+        names: list[str] = []
+        for table in self.tables:
+            names.extend(column.name for column in table.columns)
+        if len(names) != len(set(names)):
+            raise WorkloadError(f"profile {self.name!r} has duplicate column names")
+        return tuple(names)
+
+
+# --------------------------------------------------------------------------- #
+# ready-made profiles
+
+
+def skyserver_profile(*, photo_rows: int = 200, spec_rows: int = 80) -> WorkloadProfile:
+    """A simplified SkyServer-style astronomy catalogue."""
+    photoobj = TableProfile(
+        "photoobj",
+        (
+            ColumnProfile(
+                "objid", ColumnType.INTEGER, minimum=1, maximum=photo_rows,
+                equality_candidate=True,
+            ),
+            ColumnProfile(
+                "ra", ColumnType.REAL, minimum=0.0, maximum=360.0,
+                range_candidate=True, aggregate_candidate=True,
+            ),
+            ColumnProfile(
+                "dec", ColumnType.REAL, minimum=-90.0, maximum=90.0,
+                range_candidate=True, aggregate_candidate=True,
+            ),
+            ColumnProfile(
+                "magnitude", ColumnType.REAL, minimum=10.0, maximum=25.0,
+                range_candidate=True, aggregate_candidate=True,
+            ),
+            ColumnProfile(
+                "obj_class", ColumnType.TEXT,
+                values=("STAR", "GALAXY", "QSO", "UNKNOWN"),
+                equality_candidate=True,
+            ),
+        ),
+        rows=photo_rows,
+    )
+    specobj = TableProfile(
+        "specobj",
+        (
+            ColumnProfile(
+                "specid", ColumnType.INTEGER, minimum=1, maximum=spec_rows,
+                equality_candidate=True,
+            ),
+            ColumnProfile(
+                "spec_objid", ColumnType.INTEGER, minimum=1, maximum=photo_rows,
+                equality_candidate=True,
+            ),
+            ColumnProfile(
+                "redshift", ColumnType.REAL, minimum=0.0, maximum=7.0,
+                range_candidate=True, aggregate_candidate=True,
+            ),
+            ColumnProfile(
+                "spec_class", ColumnType.TEXT,
+                values=("STAR", "GALAXY", "QSO"),
+                equality_candidate=True,
+            ),
+        ),
+        rows=spec_rows,
+    )
+    return WorkloadProfile(
+        name="skyserver",
+        tables=(photoobj, specobj),
+        joins=(JoinProfile("photoobj", "objid", "specobj", "spec_objid"),),
+    )
+
+
+def webshop_profile(
+    *, customer_rows: int = 150, order_rows: int = 400, product_rows: int = 60
+) -> WorkloadProfile:
+    """A customers / orders / products schema typical of OLTP query logs."""
+    customers = TableProfile(
+        "customers",
+        (
+            ColumnProfile(
+                "customer_id", ColumnType.INTEGER, minimum=1, maximum=customer_rows,
+                equality_candidate=True,
+            ),
+            ColumnProfile(
+                "customer_name", ColumnType.TEXT,
+                values=("Alice", "Bob", "Carol", "Dave", "Erin", "Frank", "Grace", "Heidi"),
+            ),
+            ColumnProfile(
+                "customer_city", ColumnType.TEXT,
+                values=("Berlin", "Karlsruhe", "Hamburg", "Munich", "Cologne"),
+                equality_candidate=True,
+            ),
+            ColumnProfile(
+                "customer_age", ColumnType.INTEGER, minimum=18, maximum=90,
+                range_candidate=True, aggregate_candidate=True,
+            ),
+        ),
+        rows=customer_rows,
+    )
+    orders = TableProfile(
+        "orders",
+        (
+            ColumnProfile(
+                "order_id", ColumnType.INTEGER, minimum=1, maximum=order_rows,
+                equality_candidate=True,
+            ),
+            ColumnProfile(
+                "order_customer", ColumnType.INTEGER, minimum=1, maximum=customer_rows,
+                equality_candidate=True,
+            ),
+            ColumnProfile(
+                "order_amount", ColumnType.REAL, minimum=1.0, maximum=500.0,
+                range_candidate=True, aggregate_candidate=True,
+            ),
+            # Aggregated in reports (SUM of granted discounts) but never used
+            # in predicates: the "aggregate-only" attribute class the paper's
+            # access-area scheme protects better than CryptDB-as-is.
+            ColumnProfile(
+                "order_discount", ColumnType.REAL, minimum=0.0, maximum=50.0,
+                aggregate_candidate=True,
+            ),
+            ColumnProfile(
+                "order_status", ColumnType.TEXT,
+                values=("OPEN", "SHIPPED", "RETURNED", "CANCELLED"),
+                equality_candidate=True,
+            ),
+        ),
+        rows=order_rows,
+    )
+    products = TableProfile(
+        "products",
+        (
+            ColumnProfile(
+                "product_id", ColumnType.INTEGER, minimum=1, maximum=product_rows,
+                equality_candidate=True,
+            ),
+            ColumnProfile(
+                "product_price", ColumnType.REAL, minimum=0.5, maximum=999.0,
+                range_candidate=True, aggregate_candidate=True,
+            ),
+            ColumnProfile(
+                "product_stock", ColumnType.INTEGER, minimum=0, maximum=5000,
+                aggregate_candidate=True,
+            ),
+            ColumnProfile(
+                "product_category", ColumnType.TEXT,
+                values=("BOOKS", "ELECTRONICS", "GARDEN", "TOYS", "FOOD"),
+                equality_candidate=True,
+            ),
+        ),
+        rows=product_rows,
+    )
+    return WorkloadProfile(
+        name="webshop",
+        tables=(customers, orders, products),
+        joins=(JoinProfile("customers", "customer_id", "orders", "order_customer"),),
+    )
+
+
+# --------------------------------------------------------------------------- #
+# database population
+
+
+def populate_database(profile: WorkloadProfile, *, seed: int | str = 0) -> Database:
+    """Create and fill a database instance matching ``profile``.
+
+    Values are drawn uniformly from each column's domain with a deterministic
+    RNG, except for join columns on the "many" side, which are drawn from the
+    referenced key range so joins actually produce matches.
+    """
+    rng = deterministic_rng(f"{profile.name}/{seed}")
+    database = Database(profile.name)
+    for table in profile.tables:
+        database.create_table(table.schema())
+        for row_index in range(table.rows):
+            row: dict[str, object] = {}
+            for column in table.columns:
+                row[column.name] = _generate_value(column, row_index, rng)
+            database.insert(table.name, row)
+    return database
+
+
+def _generate_value(column: ColumnProfile, row_index: int, rng) -> object:
+    if column.type is ColumnType.INTEGER:
+        if column.minimum is not None and float(column.minimum) == 1.0 and column.name.endswith("id"):
+            # Key-like columns get sequential values so joins and IN lists hit.
+            return row_index + 1
+        return rng.randint(int(column.minimum), int(column.maximum))  # type: ignore[arg-type]
+    if column.type is ColumnType.REAL:
+        value = rng.uniform(float(column.minimum), float(column.maximum))  # type: ignore[arg-type]
+        return round(value, 2)
+    if column.type is ColumnType.TEXT:
+        return rng.choice(list(column.values))
+    return rng.choice([True, False])

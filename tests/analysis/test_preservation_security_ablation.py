@@ -1,0 +1,120 @@
+"""Tests for the preservation harness, security comparison and ablation."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.analysis.ablation import run_ablation
+from repro.analysis.preservation import compare_mining, run_preservation_experiment
+from repro.analysis.security import run_security_comparison
+from repro.core.dpe import LogContext
+from repro.core.measures.token import TokenDistance
+from repro.core.schemes.token_scheme import TokenDpeScheme
+from repro.crypto.base import EncryptionClass
+from repro.sql.log import QueryLog
+
+
+class TestCompareMining:
+    def test_identical_matrices_agree_everywhere(self):
+        points = np.array([0.0, 0.2, 0.4, 5.0, 5.2, 9.9])
+        matrix = np.abs(points[:, None] - points[None, :])
+        comparison = compare_mining(matrix, matrix.copy())
+        assert comparison.all_identical
+        assert comparison.dbscan_ari == pytest.approx(1.0)
+        assert comparison.kmedoids_ari == pytest.approx(1.0)
+        assert comparison.hierarchical_ari == pytest.approx(1.0)
+
+    def test_different_matrices_detected(self):
+        points = np.array([0.0, 0.2, 0.4, 5.0, 5.2, 9.9])
+        matrix = np.abs(points[:, None] - points[None, :])
+        shuffled_points = np.array([0.0, 5.0, 0.4, 0.2, 9.9, 5.2])
+        other = np.abs(shuffled_points[:, None] - shuffled_points[None, :])
+        comparison = compare_mining(matrix, other)
+        assert not comparison.all_identical
+
+
+class TestPreservationExperiment:
+    def test_token_experiment_reproduces_paper(self, keychain, sample_context):
+        experiment = run_preservation_experiment(
+            TokenDpeScheme(keychain), TokenDistance(), sample_context
+        )
+        assert experiment.reproduces_paper
+        assert experiment.preservation.preserved
+        assert experiment.equivalence.holds
+        assert experiment.mining.all_identical
+        assert experiment.log_size == len(sample_context)
+
+    def test_summary_rows_render(self, keychain, sample_context):
+        experiment = run_preservation_experiment(
+            TokenDpeScheme(keychain), TokenDistance(), sample_context
+        )
+        rows = dict(experiment.summary_rows())
+        assert rows["measure"] == "token"
+        assert rows["c-equivalence"] == "holds"
+
+    def test_broken_scheme_detected(self, keychain):
+        from repro.analysis.ablation import ProbTokenScheme
+
+        log = QueryLog.from_sql(
+            ["SELECT a FROM t WHERE b = 5", "SELECT c FROM t WHERE d = 5", "SELECT a FROM t"]
+        )
+        context = LogContext(log=log)
+        scheme = ProbTokenScheme(keychain)
+        encrypted = LogContext(log=scheme.encrypt_log(log), labels={"encrypted": True})
+        from repro.core.dpe import verify_distance_preservation
+
+        assert not verify_distance_preservation(TokenDistance(), context, encrypted).preserved
+
+
+class TestSecurityComparison:
+    @pytest.fixture(scope="class")
+    def comparison(self):
+        return run_security_comparison(log_size=60, seed=5)
+
+    def test_kitdpe_never_less_secure(self, comparison):
+        assert comparison.attributes_worse == 0
+
+    def test_kitdpe_strictly_better_somewhere(self, comparison):
+        assert comparison.attributes_strictly_better >= 1
+
+    def test_aggregate_only_attributes_stay_probabilistic(self, comparison):
+        by_attribute = {(e.table, e.attribute): e for e in comparison.exposures}
+        discount = by_attribute[("orders", "order_discount")]
+        assert discount.kitdpe_class is EncryptionClass.PROB
+        assert discount.kitdpe_strictly_better
+
+    def test_det_constants_leak_more_than_prob(self, comparison):
+        rates = {a.scheme: a.constant_recovery_rate for a in comparison.attacks}
+        token_rate = rates["token scheme (DET constants)"]
+        structure_rate = rates["structure scheme (PROB constants)"]
+        assert token_rate > structure_rate
+
+    def test_tables_render(self, comparison):
+        assert "CryptDB class" in comparison.exposure_table()
+        assert "frequency-attack recovery" in comparison.attack_table()
+
+
+class TestAblation:
+    @pytest.fixture(scope="class")
+    def ablation(self):
+        return run_ablation(log_size=40, seed=11)
+
+    def test_appropriate_schemes_preserve(self, ablation):
+        assert ablation.case("token/DET (appropriate)").preserved
+        assert ablation.case("structure/PROB (appropriate)").preserved
+
+    def test_prob_token_breaks_preservation(self, ablation):
+        assert not ablation.case("token/PROB (not appropriate)").preserved
+
+    def test_det_structure_preserves_but_leaks(self, ablation):
+        weak = ablation.case("structure/DET (needlessly weak)")
+        strong = ablation.case("structure/PROB (appropriate)")
+        assert weak.preserved
+        assert weak.distinct_ciphertext_ratio < strong.distinct_ciphertext_ratio
+
+    def test_unknown_case_raises(self, ablation):
+        from repro.exceptions import DpeError
+
+        with pytest.raises(DpeError):
+            ablation.case("nonexistent")

@@ -1,0 +1,158 @@
+"""Tests for the sweep harness and the command-line interface."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.sweeps import preservation_sweep
+from repro.cli import build_parser, main
+from repro.core.measures.structure import StructureDistance
+from repro.core.measures.token import TokenDistance
+from repro.core.schemes.structure_scheme import StructureDpeScheme
+from repro.core.schemes.token_scheme import TokenDpeScheme
+from repro.crypto.keys import KeyChain, MasterKey
+from repro.exceptions import AnalysisError
+from repro.sql.log import QueryLog
+from repro.workloads.generator import WorkloadMix
+from repro.workloads.schemas import webshop_profile
+
+
+def keychain() -> KeyChain:
+    return KeyChain(MasterKey.from_passphrase("sweep-cli-tests"))
+
+
+class TestPreservationSweep:
+    @pytest.fixture(scope="class")
+    def sweep(self):
+        profile = webshop_profile(customer_rows=20, order_rows=40, product_rows=10)
+        return preservation_sweep(
+            profile=profile,
+            measure=TokenDistance(),
+            scheme_factory=lambda: TokenDpeScheme(keychain()),
+            sizes=(4, 8, 12),
+            seed=3,
+        )
+
+    def test_one_point_per_size(self, sweep):
+        assert [point.log_size for point in sweep.points] == [4, 8, 12]
+
+    def test_preserved_at_every_size(self, sweep):
+        assert sweep.all_preserved
+        assert all(point.max_deviation == 0.0 for point in sweep.points)
+
+    def test_timings_recorded(self, sweep):
+        for point in sweep.points:
+            assert point.plain_seconds >= 0.0
+            assert point.encrypted_seconds >= 0.0
+            assert point.encryption_seconds > 0.0
+            assert point.overhead > 0.0
+
+    def test_table_rendering(self, sweep):
+        table = sweep.as_table()
+        assert "log size" in table and "overhead" in table
+        assert table.count("\n") >= 4
+
+    def test_structure_measure_sweep(self):
+        profile = webshop_profile(customer_rows=20, order_rows=40, product_rows=10)
+        sweep = preservation_sweep(
+            profile=profile,
+            measure=StructureDistance(),
+            scheme_factory=lambda: StructureDpeScheme(keychain()),
+            sizes=(5, 9),
+            mix=WorkloadMix.analytical(),
+            seed=4,
+        )
+        assert sweep.all_preserved
+
+    def test_validation(self):
+        profile = webshop_profile(customer_rows=10, order_rows=20, product_rows=5)
+        with pytest.raises(AnalysisError):
+            preservation_sweep(
+                profile=profile,
+                measure=TokenDistance(),
+                scheme_factory=lambda: TokenDpeScheme(keychain()),
+                sizes=(),
+            )
+        with pytest.raises(AnalysisError):
+            preservation_sweep(
+                profile=profile,
+                measure=TokenDistance(),
+                scheme_factory=lambda: TokenDpeScheme(keychain()),
+                sizes=(1,),
+            )
+
+
+class TestCli:
+    def test_parser_knows_all_commands(self):
+        parser = build_parser()
+        for command in (["list"], ["run", "T1"], ["table1"], ["figure1"], ["demo"]):
+            assert parser.parse_args(command).command == command[0]
+
+    def test_list_command(self, capsys):
+        assert main(["list"]) == 0
+        output = capsys.readouterr().out
+        assert "T1" in output and "E4" in output
+
+    def test_table1_command(self, capsys):
+        assert main(["table1"]) == 0
+        output = capsys.readouterr().out
+        assert "via CryptDB, except HOM" in output
+
+    def test_figure1_command(self, capsys):
+        assert main(["figure1"]) == 0
+        assert "level 3" in capsys.readouterr().out
+
+    def test_run_single_experiment(self, capsys):
+        assert main(["run", "T1"]) == 0
+        output = capsys.readouterr().out
+        assert "[ok ] T1" in output
+
+    def test_run_without_ids_fails(self, capsys):
+        assert main(["run"]) == 2
+
+    def test_demo_command(self, capsys):
+        assert main(["demo"]) == 0
+        assert "PRESERVED" in capsys.readouterr().out
+
+    def test_encrypt_log_command(self, tmp_path, capsys):
+        plain_path = tmp_path / "plain.json"
+        encrypted_path = tmp_path / "encrypted.json"
+        QueryLog.from_sql(
+            ["SELECT a FROM t WHERE b > 5", "SELECT a FROM t WHERE c = 'x'"]
+        ).save(str(plain_path))
+
+        exit_code = main(
+            [
+                "encrypt-log",
+                str(plain_path),
+                str(encrypted_path),
+                "--scheme",
+                "token",
+                "--passphrase",
+                "cli-test",
+            ]
+        )
+        assert exit_code == 0
+        encrypted = QueryLog.load(str(encrypted_path))
+        assert len(encrypted) == 2
+        assert all("enc_" in statement for statement in encrypted.statements)
+        assert "t" not in encrypted.accessed_tables()
+
+    def test_encrypt_log_access_area_scheme(self, tmp_path):
+        plain_path = tmp_path / "plain.json"
+        encrypted_path = tmp_path / "encrypted.json"
+        QueryLog.from_sql(
+            ["SELECT a FROM t WHERE b > 5", "SELECT a FROM t WHERE b < 9"]
+        ).save(str(plain_path))
+        assert main(
+            [
+                "encrypt-log",
+                str(plain_path),
+                str(encrypted_path),
+                "--scheme",
+                "access-area",
+                "--passphrase",
+                "cli-test",
+            ]
+        ) == 0
+        assert len(QueryLog.load(str(encrypted_path))) == 2

@@ -1,0 +1,109 @@
+"""Tests for the Table I / Figure 1 reproduction and the experiment registry."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.experiments import (
+    build_log_context,
+    list_experiments,
+    run_experiment,
+    run_f1,
+    run_t1,
+)
+from repro.analysis.table1 import (
+    derive_table1,
+    expected_table1,
+    format_table1,
+    render_figure1,
+    table1_matches_paper,
+)
+from repro.exceptions import AnalysisError
+
+
+class TestTable1:
+    def test_derived_table_matches_paper_exactly(self):
+        rows = table1_matches_paper()
+        assert len(rows) == 4
+        for row in rows:
+            assert row.matches, f"derived {row.derived} != expected {row.expected}"
+
+    def test_expected_table_is_the_published_one(self):
+        expected = expected_table1()
+        assert expected[0][5] == "DET"
+        assert expected[1][5] == "PROB"
+        assert expected[2][5] == "via CryptDB"
+        assert expected[3][5] == "via CryptDB, except HOM"
+
+    def test_derivation_row_rendering(self):
+        derivations = derive_table1()
+        text = format_table1(derivations)
+        assert "Token-Based Query-String Distance" in text
+        assert "via CryptDB, except HOM" in text
+        assert "EncRel" in text and "EncAttr" in text
+
+    def test_figure1_rendering(self):
+        figure = render_figure1()
+        assert "level 3" in figure and "level 1" in figure
+        assert "HOM -> PROB" in figure
+
+
+class TestExperimentRegistry:
+    def test_all_experiments_registered(self):
+        ids = {experiment_id for experiment_id, _ in list_experiments()}
+        assert ids == {"T1", "F1", "E1", "E2", "E3", "E4", "S1", "P1", "P2", "A1"}
+
+    def test_unknown_experiment_rejected(self):
+        with pytest.raises(AnalysisError):
+            run_experiment("Z9")
+
+    def test_t1_outcome(self):
+        outcome = run_t1()
+        assert outcome.success
+        assert outcome.experiment_id == "T1"
+        assert len(outcome.data["rows"]) == 4
+
+    def test_f1_outcome(self):
+        outcome = run_f1()
+        assert outcome.success
+        assert all(outcome.data["checks"].values())
+
+    def test_run_experiment_is_case_insensitive(self):
+        assert run_experiment("t1").success
+
+    def test_small_e1_run(self):
+        outcome = run_experiment("E1", log_size=12, seed=2)
+        assert outcome.success
+        assert outcome.data["max_deviation"] == 0.0
+        assert outcome.data["mining_identical"] is True
+
+    def test_small_e2_run(self):
+        outcome = run_experiment("E2", log_size=12, seed=2)
+        assert outcome.success
+
+    def test_small_e4_run(self):
+        outcome = run_experiment("E4", log_size=12, seed=2)
+        assert outcome.success
+
+    def test_small_a1_run(self):
+        outcome = run_experiment("A1", log_size=30, seed=3)
+        assert outcome.success
+        assert "token/PROB (not appropriate)" in outcome.data
+
+    def test_small_p2_run(self):
+        outcome = run_experiment("P2", sizes=(6, 10))
+        assert outcome.success
+        assert set(outcome.data["series"]) == {6, 10}
+
+
+class TestContextBuilder:
+    def test_log_only_context(self):
+        context = build_log_context(log_size=8, seed=1)
+        assert len(context) == 8
+        assert context.database is None and context.domains is None
+
+    def test_context_with_database_and_domains(self):
+        context = build_log_context(log_size=5, seed=1, with_database=True, with_domains=True)
+        assert context.database is not None
+        assert context.domains is not None
+        assert context.database.total_rows() > 0

@@ -1,0 +1,136 @@
+"""Tests for the attack simulations (frequency, sorting, query-only)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.attacks.frequency import frequency_analysis_attack
+from repro.attacks.order import sorting_attack
+from repro.attacks.query_only import extract_constants, query_only_attack
+from repro.core.schemes.structure_scheme import StructureDpeScheme
+from repro.core.schemes.token_scheme import TokenDpeScheme
+from repro.crypto.det import DeterministicScheme
+from repro.crypto.ope import OrderPreservingScheme
+from repro.crypto.prob import ProbabilisticScheme
+from repro.exceptions import AttackError
+from repro.sql.log import QueryLog
+
+
+@pytest.fixture
+def skewed_plaintexts() -> list[str]:
+    """A skewed value distribution (frequency analysis needs skew)."""
+    return ["Berlin"] * 40 + ["Paris"] * 25 + ["Rome"] * 15 + ["Oslo"] * 5
+
+
+class TestFrequencyAttack:
+    def test_full_recovery_against_det_with_known_distribution(self, keychain, skewed_plaintexts):
+        scheme = DeterministicScheme(keychain.key_for("freq"))
+        ciphertexts = [scheme.encrypt(value) for value in skewed_plaintexts]
+        result = frequency_analysis_attack(
+            ciphertexts, skewed_plaintexts, ground_truth=skewed_plaintexts
+        )
+        assert result.recovery_rate == 1.0
+
+    def test_prob_encryption_defeats_frequency_analysis(self, keychain, skewed_plaintexts):
+        scheme = ProbabilisticScheme(keychain.key_for("freq-prob"))
+        ciphertexts = [scheme.encrypt(value) for value in skewed_plaintexts]
+        result = frequency_analysis_attack(
+            ciphertexts, skewed_plaintexts, ground_truth=skewed_plaintexts
+        )
+        # every ciphertext unique -> rank matching recovers at most the most
+        # common value by accident; far below the DET case
+        assert result.recovery_rate < 0.6
+
+    def test_recovery_degrades_with_wrong_auxiliary(self, keychain, skewed_plaintexts):
+        scheme = DeterministicScheme(keychain.key_for("freq"))
+        ciphertexts = [scheme.encrypt(value) for value in skewed_plaintexts]
+        wrong_auxiliary = ["Madrid"] * 50 + ["Lisbon"] * 50
+        result = frequency_analysis_attack(
+            ciphertexts, wrong_auxiliary, ground_truth=skewed_plaintexts
+        )
+        assert result.recovery_rate == 0.0
+
+    def test_guesses_mapping_without_ground_truth(self, keychain, skewed_plaintexts):
+        scheme = DeterministicScheme(keychain.key_for("freq"))
+        ciphertexts = [scheme.encrypt(value) for value in skewed_plaintexts]
+        result = frequency_analysis_attack(ciphertexts, skewed_plaintexts)
+        assert result.guesses[scheme.encrypt("Berlin")] == "Berlin"
+        assert result.correct == 0
+
+    def test_validation(self):
+        with pytest.raises(AttackError):
+            frequency_analysis_attack([], ["a"])
+        with pytest.raises(AttackError):
+            frequency_analysis_attack(["c"], ["a"], ground_truth=["a", "b"])
+
+
+class TestSortingAttack:
+    def test_high_recovery_with_exact_auxiliary(self, keychain):
+        values = list(range(0, 200, 2))
+        ope = OrderPreservingScheme(keychain.key_for("sort"), domain_min=0, domain_max=1000)
+        ciphertexts = [ope.encrypt(v) for v in values]
+        result = sorting_attack(ciphertexts, values, ground_truth=values)
+        assert result.recovery_rate == 1.0
+        assert result.mean_absolute_error == 0.0
+
+    def test_approximate_recovery_with_sampled_auxiliary(self, keychain):
+        values = list(range(100))
+        auxiliary = list(range(0, 100, 3))  # coarser sample of the same distribution
+        ope = OrderPreservingScheme(keychain.key_for("sort"), domain_min=0, domain_max=1000)
+        ciphertexts = [ope.encrypt(v) for v in values]
+        result = sorting_attack(ciphertexts, auxiliary, ground_truth=values)
+        assert result.mean_absolute_error < 5.0
+
+    def test_validation(self):
+        with pytest.raises(AttackError):
+            sorting_attack([], [1, 2])
+        with pytest.raises(AttackError):
+            sorting_attack([1], [])
+        with pytest.raises(AttackError):
+            sorting_attack([1, 2], [1], ground_truth=[1])
+
+
+class TestQueryOnlyAttack:
+    LOG = [
+        "SELECT a FROM t WHERE city = 'Berlin'",
+        "SELECT a FROM t WHERE city = 'Berlin'",
+        "SELECT a FROM t WHERE city = 'Berlin'",
+        "SELECT a FROM t WHERE city = 'Paris'",
+        "SELECT a FROM t WHERE city = 'Paris'",
+        "SELECT a FROM t WHERE city = 'Rome'",
+        "SELECT b FROM t WHERE amount > 100",
+        "SELECT b FROM t WHERE amount > 100",
+        "SELECT b FROM t WHERE amount > 250",
+    ]
+
+    def test_extract_constants(self):
+        log = QueryLog.from_sql(self.LOG)
+        constants = extract_constants(log)
+        assert constants.count("Berlin") == 3
+        assert constants.count(100) == 2
+
+    def test_det_constants_recovered(self, keychain):
+        log = QueryLog.from_sql(self.LOG)
+        encrypted = TokenDpeScheme(keychain).encrypt_log(log)
+        result = query_only_attack(encrypted, extract_constants(log), plaintext_log=log)
+        assert result.recovery_rate >= 0.5
+        assert result.distinct_ciphertexts < result.constants_seen
+
+    def test_prob_constants_not_recovered(self, keychain):
+        log = QueryLog.from_sql(self.LOG)
+        encrypted = StructureDpeScheme(keychain).encrypt_log(log)
+        result = query_only_attack(encrypted, extract_constants(log), plaintext_log=log)
+        assert result.distinct_ciphertexts == result.constants_seen
+        assert result.recovery_rate <= 0.4
+
+    def test_empty_log(self):
+        log = QueryLog.from_sql(["SELECT a FROM t"])
+        result = query_only_attack(log, [], plaintext_log=log)
+        assert result.constants_seen == 0
+        assert result.recovery_rate == 0.0
+
+    def test_mismatched_logs_rejected(self, keychain):
+        log = QueryLog.from_sql(self.LOG)
+        other = QueryLog.from_sql(self.LOG[:3])
+        with pytest.raises(AttackError):
+            query_only_attack(other, [], plaintext_log=log)

@@ -1,0 +1,159 @@
+"""Shared fixtures for the test suite.
+
+Fixtures are deterministic (passphrase-derived keys, seeded generators) so
+the suite is reproducible, and expensive objects (Paillier key pairs,
+populated databases) are session-scoped.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import HealthCheck, settings as hypothesis_settings
+
+from repro.core.domains import Domain, DomainCatalog
+
+# Function-scoped fixtures used inside @given tests are deterministic and
+# cheap to build here (passphrase-derived keys), so the corresponding health
+# check would only produce noise; deadlines are disabled because crypto
+# operations have high variance on shared CI machines.
+hypothesis_settings.register_profile(
+    "repro",
+    suppress_health_check=[HealthCheck.function_scoped_fixture],
+    deadline=None,
+)
+hypothesis_settings.load_profile("repro")
+from repro.core.dpe import LogContext
+from repro.crypto.hom import PaillierKeyPair
+from repro.crypto.keys import KeyChain, MasterKey
+from repro.db.database import Database
+from repro.db.schema import Column, ColumnType, TableSchema
+from repro.sql.log import QueryLog
+from repro.workloads.generator import QueryLogGenerator, WorkloadMix
+from repro.workloads.schemas import populate_database, skyserver_profile, webshop_profile
+
+
+@pytest.fixture
+def keychain() -> KeyChain:
+    """A deterministic keychain (fresh object per test, same keys)."""
+    return KeyChain(MasterKey.from_passphrase("test-suite"))
+
+
+@pytest.fixture(scope="session")
+def paillier_keypair() -> PaillierKeyPair:
+    """A small (fast) Paillier key pair shared across the session."""
+    return PaillierKeyPair.generate(256)
+
+
+@pytest.fixture
+def sample_statements() -> list[str]:
+    """A hand-written query log exercising every supported query shape."""
+    return [
+        "SELECT name FROM users WHERE age > 30",
+        "SELECT name, city FROM users WHERE age > 30 AND city = 'Berlin'",
+        "SELECT city FROM users WHERE age BETWEEN 20 AND 40",
+        "SELECT name FROM users WHERE city IN ('Berlin', 'Paris', 'Rome')",
+        "SELECT DISTINCT city FROM users WHERE salary >= 50000 ORDER BY city ASC",
+        "SELECT city, COUNT(*) FROM users WHERE age > 18 GROUP BY city",
+        "SELECT AVG(salary) FROM users WHERE age > 25",
+        "SELECT name FROM users JOIN accounts ON uid = owner_id WHERE balance < 0",
+        "SELECT name FROM users WHERE NOT age < 18",
+        "SELECT name FROM users WHERE age > 30 OR city = 'Paris' LIMIT 10",
+    ]
+
+
+@pytest.fixture
+def sample_log(sample_statements: list[str]) -> QueryLog:
+    """The hand-written statements as a parsed query log."""
+    return QueryLog.from_sql(sample_statements)
+
+
+@pytest.fixture
+def sample_context(sample_log: QueryLog) -> LogContext:
+    """A log-only context over the hand-written log."""
+    return LogContext(log=sample_log)
+
+
+@pytest.fixture
+def users_domains() -> DomainCatalog:
+    """Domains for the attributes used by the hand-written log."""
+    return DomainCatalog(
+        [
+            Domain("age", minimum=0, maximum=120),
+            Domain("salary", minimum=0, maximum=500000),
+            Domain("balance", minimum=-10000.0, maximum=10000.0),
+            Domain("uid", minimum=1, maximum=1000),
+            Domain("owner_id", minimum=1, maximum=1000),
+            Domain("name", values=frozenset({"Alice", "Bob", "Carol"})),
+            Domain("city", values=frozenset({"Berlin", "Paris", "Rome"})),
+        ]
+    )
+
+
+@pytest.fixture
+def small_database() -> Database:
+    """A small hand-built users/accounts database."""
+    database = Database("testdb")
+    database.create_table(
+        TableSchema(
+            "users",
+            [
+                Column("uid", ColumnType.INTEGER),
+                Column("name", ColumnType.TEXT),
+                Column("city", ColumnType.TEXT),
+                Column("age", ColumnType.INTEGER),
+                Column("salary", ColumnType.REAL),
+            ],
+        )
+    )
+    database.create_table(
+        TableSchema(
+            "accounts",
+            [
+                Column("acc_id", ColumnType.INTEGER),
+                Column("owner_id", ColumnType.INTEGER),
+                Column("balance", ColumnType.REAL),
+            ],
+        )
+    )
+    cities = ["Berlin", "Paris", "Rome", "Berlin", "Berlin", "Paris"]
+    for i in range(12):
+        database.insert(
+            "users",
+            {
+                "uid": i + 1,
+                "name": f"user{i}",
+                "city": cities[i % len(cities)],
+                "age": 18 + (i * 5) % 60,
+                "salary": 30000.0 + i * 2500,
+            },
+        )
+    for i in range(20):
+        database.insert(
+            "accounts",
+            {"acc_id": i + 1, "owner_id": (i % 12) + 1, "balance": -500.0 + i * 120.5},
+        )
+    return database
+
+
+@pytest.fixture(scope="session")
+def webshop():
+    """The webshop workload profile (session-scoped)."""
+    return webshop_profile(customer_rows=30, order_rows=60, product_rows=15)
+
+
+@pytest.fixture(scope="session")
+def webshop_database(webshop):
+    """A populated webshop database (session-scoped)."""
+    return populate_database(webshop, seed=1)
+
+
+@pytest.fixture(scope="session")
+def webshop_log(webshop) -> QueryLog:
+    """A mixed synthetic log over the webshop profile (session-scoped)."""
+    return QueryLogGenerator(webshop, WorkloadMix(), seed=1).generate(30)
+
+
+@pytest.fixture(scope="session")
+def skyserver():
+    """The SkyServer-like workload profile (session-scoped)."""
+    return skyserver_profile(photo_rows=60, spec_rows=25)

@@ -1,0 +1,252 @@
+"""Tests for the access-area algebra and Definition 5.
+
+Includes the property that all access-area relations (equality, overlap,
+emptiness) are invariant under strictly monotone transformations of the
+constants — the formal reason OPE-encrypted constants preserve the measure.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.domains import Domain, DomainCatalog
+from repro.core.dpe import LogContext
+from repro.core.measures.access_area import (
+    AccessArea,
+    AccessAreaDistance,
+    Interval,
+    query_access_areas,
+)
+from repro.sql.log import QueryLog
+from repro.sql.parser import parse_query
+
+
+class TestInterval:
+    def test_contains(self):
+        interval = Interval(1, 10)
+        assert interval.contains(1) and interval.contains(10) and interval.contains(5)
+        assert not interval.contains(0) and not interval.contains(11)
+
+    def test_exclusive_bounds(self):
+        interval = Interval(1, 10, low_inclusive=False, high_inclusive=False)
+        assert not interval.contains(1) and not interval.contains(10)
+        assert interval.contains(2)
+
+    def test_unbounded_sides(self):
+        assert Interval(None, 5).contains(-1000)
+        assert Interval(5, None).contains(10**9)
+
+    def test_emptiness(self):
+        assert Interval(5, 1).is_empty()
+        assert Interval(5, 5, low_inclusive=False).is_empty()
+        assert not Interval(5, 5).is_empty()
+
+    def test_intersection(self):
+        assert Interval(1, 10).intersect(Interval(5, 20)) == Interval(5, 10)
+        assert Interval(1, 4).intersect(Interval(5, 9)).is_empty()
+
+    def test_overlap(self):
+        assert Interval(1, 10).overlaps(Interval(10, 20))
+        assert not Interval(1, 10, high_inclusive=False).overlaps(Interval(10, 20))
+
+    def test_clip(self):
+        assert Interval(None, 50).clip(0, 100) == Interval(0, 50)
+
+
+class TestAccessArea:
+    def test_full_and_empty(self):
+        assert AccessArea.full_domain().contains(42)
+        assert AccessArea.empty().is_empty()
+        assert not AccessArea.full_domain().overlaps(AccessArea.empty())
+
+    def test_points_and_intervals(self):
+        area = AccessArea.of_points(frozenset({1, 5}))
+        assert area.contains(1) and not area.contains(2)
+        interval_area = AccessArea.of_interval(Interval(10, 20))
+        assert interval_area.contains(15)
+
+    def test_overlap_point_in_interval(self):
+        points = AccessArea.of_points(frozenset({15}))
+        interval = AccessArea.of_interval(Interval(10, 20))
+        assert points.overlaps(interval)
+        assert interval.overlaps(points)
+
+    def test_intersect_and_union(self):
+        a = AccessArea.of_interval(Interval(0, 10))
+        b = AccessArea.of_interval(Interval(5, 20))
+        assert a.intersect(b).contains(7)
+        assert not a.intersect(b).contains(2)
+        assert a.union(b).contains(2) and a.union(b).contains(15)
+
+    def test_intersect_with_full_is_identity(self):
+        area = AccessArea.of_points(frozenset({3}))
+        assert AccessArea.full_domain().intersect(area) == area.canonical()
+
+    def test_canonical_absorbs_covered_points(self):
+        area = AccessArea(
+            intervals=frozenset({Interval(0, 10)}), points=frozenset({5, 20})
+        ).canonical()
+        assert area.points == frozenset({20})
+
+    def test_empty_interval_constructor(self):
+        assert AccessArea.of_interval(Interval(9, 1)).is_empty()
+
+
+class TestQueryAccessAreas:
+    def areas(self, sql: str, domains: DomainCatalog | None = None):
+        return query_access_areas(parse_query(sql), domains)
+
+    def test_equality_predicate_is_point(self):
+        areas = self.areas("SELECT a FROM t WHERE b = 5")
+        assert areas["b"].points == frozenset({5})
+        assert areas["a"].full  # projected without constraint
+
+    def test_range_predicate_is_interval(self):
+        areas = self.areas("SELECT a FROM t WHERE b > 5")
+        assert not areas["b"].full
+        assert areas["b"].contains(6) and not areas["b"].contains(5)
+
+    def test_between_and_in(self):
+        areas = self.areas("SELECT a FROM t WHERE b BETWEEN 1 AND 9 AND c IN (2, 4)")
+        assert areas["b"].contains(9) and not areas["b"].contains(10)
+        assert areas["c"].points == frozenset({2, 4})
+
+    def test_conjunction_intersects(self):
+        areas = self.areas("SELECT a FROM t WHERE b > 5 AND b < 10")
+        assert areas["b"].contains(7)
+        assert not areas["b"].contains(5) and not areas["b"].contains(10)
+
+    def test_disjunction_unions(self):
+        areas = self.areas("SELECT a FROM t WHERE b < 3 OR b > 8")
+        assert areas["b"].contains(1) and areas["b"].contains(9)
+        assert not areas["b"].contains(5)
+
+    def test_or_with_different_attributes_is_full_for_each(self):
+        areas = self.areas("SELECT a FROM t WHERE b < 3 OR c = 1")
+        assert areas["b"].full and areas["c"].full
+
+    def test_not_and_like_are_conservative(self):
+        areas = self.areas("SELECT a FROM t WHERE NOT b = 5 AND name LIKE 'x%'")
+        assert areas["b"].full
+        assert areas["name"].full
+
+    def test_unreferenced_attribute_absent(self):
+        areas = self.areas("SELECT a FROM t WHERE b = 1")
+        assert "z" not in areas
+
+    def test_flipped_comparison(self):
+        areas = self.areas("SELECT a FROM t WHERE 5 < b")
+        assert areas["b"].contains(6) and not areas["b"].contains(4)
+
+    def test_domain_clipping(self):
+        domains = DomainCatalog([Domain("b", minimum=0, maximum=100)])
+        areas = self.areas("SELECT a FROM t WHERE b > 50", domains)
+        clipped = next(iter(areas["b"].intervals))
+        assert clipped.high == 100
+
+    def test_column_column_predicate_is_conservative(self):
+        areas = self.areas("SELECT a FROM t WHERE b = c")
+        assert areas["b"].full and areas["c"].full
+
+
+class TestDefinition5:
+    def distance(self, sql_a: str, sql_b: str, x: float = 0.5) -> float:
+        measure = AccessAreaDistance(overlap_score=x)
+        context = LogContext(log=QueryLog.from_sql([sql_a, sql_b]))
+        return measure.distance(parse_query(sql_a), parse_query(sql_b), context)
+
+    def test_equal_access_areas_distance_zero(self):
+        assert self.distance(
+            "SELECT a FROM t WHERE b BETWEEN 1 AND 9",
+            "SELECT a FROM t WHERE b BETWEEN 1 AND 9",
+        ) == 0.0
+
+    def test_overlapping_areas_score_half(self):
+        # attribute a: full vs full -> 0; attribute b: [1,9] vs [5,20] -> 0.5
+        assert self.distance(
+            "SELECT a FROM t WHERE b BETWEEN 1 AND 9",
+            "SELECT a FROM t WHERE b BETWEEN 5 AND 20",
+        ) == pytest.approx(0.25)
+
+    def test_disjoint_areas_score_one(self):
+        assert self.distance(
+            "SELECT a FROM t WHERE b < 3",
+            "SELECT a FROM t WHERE b > 7",
+        ) == pytest.approx(0.5)  # averaged with attribute a (0)
+
+    def test_custom_overlap_score(self):
+        assert self.distance(
+            "SELECT a FROM t WHERE b BETWEEN 1 AND 9",
+            "SELECT a FROM t WHERE b BETWEEN 5 AND 20",
+            x=0.8,
+        ) == pytest.approx(0.4)
+
+    def test_invalid_overlap_score_rejected(self):
+        with pytest.raises(ValueError):
+            AccessAreaDistance(overlap_score=1.0)
+        with pytest.raises(ValueError):
+            AccessAreaDistance(overlap_score=0.0)
+
+    def test_attribute_accessed_by_only_one_query_counts_as_disjoint(self):
+        # Q1 accesses {a, b}, Q2 accesses {a, c}: delta_b = delta_c = 1,
+        # delta_a = 0 -> distance = 2/3.
+        assert self.distance(
+            "SELECT a FROM t WHERE b = 1", "SELECT a FROM t WHERE c = 1"
+        ) == pytest.approx(2 / 3)
+
+    def test_empty_characteristics(self):
+        measure = AccessAreaDistance()
+        assert measure.distance_between({}, {}) == 0.0
+
+
+class TestMonotoneInvariance:
+    """Access-area relations are invariant under strictly monotone maps."""
+
+    @staticmethod
+    def _transform_area(area: AccessArea, mapping) -> AccessArea:
+        if area.full:
+            return AccessArea.full_domain()
+        return AccessArea(
+            intervals=frozenset(
+                Interval(
+                    None if i.low is None else mapping(i.low),
+                    None if i.high is None else mapping(i.high),
+                    i.low_inclusive,
+                    i.high_inclusive,
+                )
+                for i in area.intervals
+            ),
+            points=frozenset(mapping(p) for p in area.points),
+        )
+
+    @settings(max_examples=80)
+    @given(
+        low_a=st.integers(min_value=-100, max_value=100),
+        width_a=st.integers(min_value=0, max_value=50),
+        low_b=st.integers(min_value=-100, max_value=100),
+        width_b=st.integers(min_value=0, max_value=50),
+        points=st.frozensets(st.integers(min_value=-100, max_value=100), max_size=4),
+        scale=st.integers(min_value=1, max_value=1000),
+        offset=st.integers(min_value=-10**6, max_value=10**6),
+    )
+    def test_relations_preserved_under_affine_map(
+        self, low_a, width_a, low_b, width_b, points, scale, offset
+    ):
+        def mapping(x):
+            return scale * x + offset
+
+        area_a = AccessArea(
+            intervals=frozenset({Interval(low_a, low_a + width_a)}), points=frozenset()
+        ).canonical()
+        area_b = AccessArea(
+            intervals=frozenset({Interval(low_b, low_b + width_b)}), points=points
+        ).canonical()
+
+        mapped_a = self._transform_area(area_a, mapping).canonical()
+        mapped_b = self._transform_area(area_b, mapping).canonical()
+
+        assert (area_a.canonical() == area_b.canonical()) == (mapped_a == mapped_b)
+        assert area_a.overlaps(area_b) == mapped_a.overlaps(mapped_b)
+        assert area_a.intersect(area_b).is_empty() == mapped_a.intersect(mapped_b).is_empty()

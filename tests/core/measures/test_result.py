@@ -1,0 +1,111 @@
+"""Tests for the query-result distance measure (Definition 4)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.dpe import LogContext
+from repro.core.measures.result import ResultDistance
+from repro.exceptions import DpeError
+from repro.sql.log import QueryLog
+from repro.sql.parser import parse_query
+
+
+@pytest.fixture
+def measure() -> ResultDistance:
+    return ResultDistance()
+
+
+@pytest.fixture
+def context(small_database) -> LogContext:
+    return LogContext(log=QueryLog.from_sql(["SELECT name FROM users"]), database=small_database)
+
+
+class TestCharacteristic:
+    def test_characteristic_is_result_tuple_set(self, measure, context):
+        tuples = measure.characteristic(parse_query("SELECT city FROM users WHERE uid = 1"), context)
+        assert tuples == frozenset({("Berlin",)})
+
+    def test_database_required(self, measure):
+        context = LogContext(log=QueryLog.from_sql(["SELECT a FROM t"]))
+        with pytest.raises(DpeError):
+            measure.characteristic(parse_query("SELECT a FROM t"), context)
+
+
+class TestDistance:
+    def distance(self, measure, context, sql_a: str, sql_b: str) -> float:
+        return measure.distance(parse_query(sql_a), parse_query(sql_b), context)
+
+    def test_same_results_distance_zero(self, measure, context):
+        assert self.distance(
+            measure, context,
+            "SELECT name FROM users WHERE age > 30",
+            "SELECT name FROM users WHERE age >= 31",
+        ) == 0.0
+
+    def test_disjoint_results_distance_one(self, measure, context):
+        assert self.distance(
+            measure, context,
+            "SELECT name FROM users WHERE city = 'Rome'",
+            "SELECT name FROM users WHERE city = 'Paris'",
+        ) == 1.0
+
+    def test_partial_overlap(self, measure, context):
+        distance = self.distance(
+            measure, context,
+            "SELECT name FROM users WHERE age > 30",
+            "SELECT name FROM users WHERE age > 50",
+        )
+        assert 0.0 < distance < 1.0
+
+    def test_empty_results_are_equal(self, measure, context):
+        assert self.distance(
+            measure, context,
+            "SELECT name FROM users WHERE age > 500",
+            "SELECT name FROM users WHERE age > 900",
+        ) == 0.0
+
+    def test_depends_on_database_state(self, measure, small_database):
+        from repro.db.database import Database
+        from repro.db.schema import Column, ColumnType, TableSchema
+
+        other = Database("other")
+        other.create_table(
+            TableSchema(
+                "users",
+                [
+                    Column("uid", ColumnType.INTEGER),
+                    Column("name", ColumnType.TEXT),
+                    Column("city", ColumnType.TEXT),
+                    Column("age", ColumnType.INTEGER),
+                    Column("salary", ColumnType.REAL),
+                ],
+            )
+        )
+        other.insert("users", {"uid": 1, "name": "only", "city": "Rome", "age": 99, "salary": 1.0})
+        log = QueryLog.from_sql(["SELECT name FROM users"])
+        context_a = LogContext(log=log, database=small_database)
+        context_b = LogContext(log=log, database=other)
+        query_a = parse_query("SELECT name FROM users WHERE age > 30")
+        query_b = parse_query("SELECT name FROM users WHERE age > 90")
+        assert measure.distance(query_a, query_b, context_a) != measure.distance(
+            query_a, query_b, context_b
+        )
+
+    def test_matrix_over_log(self, measure, small_database):
+        log = QueryLog.from_sql(
+            [
+                "SELECT name FROM users WHERE age > 30",
+                "SELECT name FROM users WHERE age > 50",
+                "SELECT name FROM users WHERE city = 'Rome'",
+            ]
+        )
+        matrix = measure.distance_matrix(LogContext(log=log, database=small_database))
+        assert matrix.shape == (3, 3)
+        assert (matrix.diagonal() == 0).all()
+        assert ((matrix >= 0) & (matrix <= 1)).all()
+
+    def test_metadata(self, measure):
+        description = measure.describe()
+        assert description["equivalence_notion"] == "Result Equivalence"
+        assert description["shared_information"] == "Log + DB-Content"

@@ -1,0 +1,102 @@
+"""Tests for the token-based and structure distance measures."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.dpe import LogContext
+from repro.core.measures.structure import StructureDistance
+from repro.core.measures.token import TokenDistance
+from repro.sql.log import QueryLog
+from repro.sql.parser import parse_query
+
+
+@pytest.fixture
+def context() -> LogContext:
+    return LogContext(log=QueryLog.from_sql(["SELECT a FROM t"]))
+
+
+def token_distance(sql_a: str, sql_b: str) -> float:
+    measure = TokenDistance()
+    context = LogContext(log=QueryLog.from_sql([sql_a, sql_b]))
+    return measure.distance(parse_query(sql_a), parse_query(sql_b), context)
+
+
+def structure_distance(sql_a: str, sql_b: str) -> float:
+    measure = StructureDistance()
+    context = LogContext(log=QueryLog.from_sql([sql_a, sql_b]))
+    return measure.distance(parse_query(sql_a), parse_query(sql_b), context)
+
+
+class TestTokenDistance:
+    def test_identical_queries_distance_zero(self):
+        assert token_distance("SELECT a FROM t WHERE b > 5", "SELECT a FROM t WHERE b > 5") == 0.0
+
+    def test_disjoint_queries_distance_near_one(self):
+        distance = token_distance("SELECT a FROM t", "SELECT x, y FROM s WHERE z = 'v'")
+        assert distance > 0.5
+
+    def test_constant_change_matters(self):
+        assert token_distance(
+            "SELECT a FROM t WHERE b > 5", "SELECT a FROM t WHERE b > 6"
+        ) > 0.0
+
+    def test_symmetry(self):
+        a, b = "SELECT a FROM t WHERE b > 5", "SELECT c FROM t WHERE b > 5"
+        assert token_distance(a, b) == token_distance(b, a)
+
+    def test_range_and_identity(self, sample_log):
+        measure = TokenDistance()
+        context = LogContext(log=sample_log)
+        matrix = measure.distance_matrix(context)
+        assert matrix.shape == (len(sample_log), len(sample_log))
+        assert (matrix.diagonal() == 0).all()
+        assert ((matrix >= 0) & (matrix <= 1)).all()
+        assert (matrix == matrix.T).all()
+
+    def test_jaccard_value_hand_computed(self):
+        # tokens(Q1) = {SELECT, a, FROM, t}; tokens(Q2) = {SELECT, b, FROM, t}
+        # intersection = 3, union = 5 -> distance = 1 - 3/5
+        assert token_distance("SELECT a FROM t", "SELECT b FROM t") == pytest.approx(0.4)
+
+    def test_measure_metadata(self):
+        measure = TokenDistance()
+        description = measure.describe()
+        assert description["equivalence_notion"] == "Token Equivalence"
+        assert description["shared_information"] == "Log"
+
+
+class TestStructureDistance:
+    def test_constants_do_not_matter(self):
+        assert structure_distance(
+            "SELECT a FROM t WHERE b > 5", "SELECT a FROM t WHERE b > 999"
+        ) == 0.0
+
+    def test_operator_matters(self):
+        assert structure_distance(
+            "SELECT a FROM t WHERE b > 5", "SELECT a FROM t WHERE b = 5"
+        ) > 0.0
+
+    def test_projection_matters(self):
+        assert structure_distance("SELECT a FROM t", "SELECT a, b FROM t") > 0.0
+
+    def test_identical_structure_distance_zero(self):
+        assert structure_distance(
+            "SELECT name, COUNT(*) FROM users WHERE age > 1 GROUP BY name",
+            "SELECT name, COUNT(*) FROM users WHERE age > 30 GROUP BY name",
+        ) == 0.0
+
+    def test_jaccard_value_hand_computed(self):
+        # features(Q1) = {(SELECT,a),(FROM,t),(WHERE,b >)}
+        # features(Q2) = {(SELECT,a),(FROM,t)}
+        distance = structure_distance("SELECT a FROM t WHERE b > 5", "SELECT a FROM t")
+        assert distance == pytest.approx(1 - 2 / 3)
+
+    def test_matrix_properties(self, sample_log):
+        measure = StructureDistance()
+        matrix = measure.distance_matrix(LogContext(log=sample_log))
+        assert (matrix.diagonal() == 0).all()
+        assert ((matrix >= 0) & (matrix <= 1)).all()
+
+    def test_metadata(self):
+        assert StructureDistance().describe()["equivalence_notion"] == "Structural Equivalence"

@@ -1,0 +1,216 @@
+"""Tests for the result and access-area DPE schemes (Table I rows 3-4)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.domains import DomainCatalog
+from repro.core.dpe import LogContext, verify_distance_preservation
+from repro.core.equivalence import verify_c_equivalence
+from repro.core.measures.access_area import AccessAreaDistance
+from repro.core.measures.result import ResultDistance
+from repro.core.schemes.access_area_scheme import AccessAreaDpeScheme, AttributeUsage
+from repro.core.schemes.result_scheme import ResultDpeScheme
+from repro.cryptdb.proxy import JoinGroupSpec
+from repro.exceptions import DpeError
+from repro.sql.log import QueryLog
+from repro.sql.parser import parse_query
+from repro.sql.render import render_query
+from repro.sql.visitor import literals
+
+SPJ_LOG = [
+    "SELECT name FROM users WHERE age > 30",
+    "SELECT name FROM users WHERE age > 50",
+    "SELECT name, city FROM users WHERE city = 'Berlin'",
+    "SELECT city FROM users WHERE uid IN (1, 2, 3)",
+    "SELECT DISTINCT city FROM users WHERE salary >= 40000",
+    "SELECT name FROM users JOIN accounts ON uid = owner_id WHERE balance < 0",
+    "SELECT name FROM users WHERE age BETWEEN 20 AND 45 AND city = 'Paris'",
+]
+
+JOIN_GROUPS = [
+    JoinGroupSpec("users-accounts", frozenset({("users", "uid"), ("accounts", "owner_id")}))
+]
+
+
+@pytest.fixture
+def result_context(small_database) -> LogContext:
+    return LogContext(log=QueryLog.from_sql(SPJ_LOG), database=small_database)
+
+
+@pytest.fixture
+def result_scheme(keychain) -> ResultDpeScheme:
+    return ResultDpeScheme(keychain, join_groups=JOIN_GROUPS, paillier_bits=256)
+
+
+class TestResultScheme:
+    def test_encrypt_context_encrypts_log_and_database(self, result_scheme, result_context):
+        encrypted = result_scheme.encrypt_context(result_context)
+        assert len(encrypted.log) == len(result_context.log)
+        assert encrypted.database is not None
+        assert encrypted.database.table_names != result_context.database.table_names
+
+    def test_distance_preserved(self, result_scheme, result_context):
+        encrypted = result_scheme.encrypt_context(result_context)
+        report = verify_distance_preservation(ResultDistance(), result_context, encrypted)
+        assert report.preserved, report.violating_pairs
+
+    def test_result_equivalence_definition4(self, result_scheme, result_context):
+        encrypted = result_scheme.encrypt_context(result_context)
+        report = verify_c_equivalence(result_scheme, ResultDistance(), result_context, encrypted)
+        assert report.holds
+
+    def test_aggregate_queries_rejected(self, result_scheme):
+        with pytest.raises(DpeError):
+            result_scheme.encrypt_query(parse_query("SELECT COUNT(*) FROM users"))
+
+    def test_star_projections_rejected(self, result_scheme):
+        with pytest.raises(DpeError):
+            result_scheme.encrypt_query(parse_query("SELECT * FROM users"))
+
+    def test_encrypt_characteristic_requires_column_projections(
+        self, result_scheme, result_context
+    ):
+        result_scheme.encrypt_context(result_context)
+        query = parse_query("SELECT age + 1 FROM users")
+        with pytest.raises(DpeError):
+            result_scheme.encrypt_characteristic(query, frozenset(), result_context)
+
+    def test_describe_matches_table1(self, keychain):
+        description = ResultDpeScheme(keychain, paillier_bits=256).describe()
+        assert description["enc_const"] == "via CryptDB"
+
+
+@pytest.fixture
+def access_area_log() -> QueryLog:
+    return QueryLog.from_sql(
+        [
+            "SELECT name FROM users WHERE age > 30",
+            "SELECT name FROM users WHERE age BETWEEN 25 AND 45",
+            "SELECT city FROM users WHERE city = 'Berlin'",
+            "SELECT name FROM users WHERE city IN ('Paris', 'Rome')",
+            "SELECT AVG(salary) FROM users WHERE age > 20",
+            "SELECT SUM(salary) FROM users WHERE city = 'Berlin'",
+            "SELECT name FROM users WHERE uid = 7",
+        ]
+    )
+
+
+@pytest.fixture
+def access_area_context(access_area_log, users_domains) -> LogContext:
+    return LogContext(log=access_area_log, domains=users_domains)
+
+
+class TestAccessAreaSchemeFit:
+    def test_usage_classification(self, keychain, access_area_log, users_domains):
+        scheme = AccessAreaDpeScheme(keychain)
+        usage = scheme.fit(access_area_log, users_domains)
+        assert usage["age"] is AttributeUsage.RANGE
+        assert usage["city"] is AttributeUsage.EQUALITY
+        assert usage["uid"] is AttributeUsage.EQUALITY
+        assert usage["salary"] is AttributeUsage.AGGREGATE_ONLY
+        assert usage["name"] is AttributeUsage.OTHER
+
+    def test_encrypt_before_fit_raises(self, keychain):
+        scheme = AccessAreaDpeScheme(keychain)
+        with pytest.raises(DpeError):
+            scheme.encrypt_query(parse_query("SELECT a FROM t WHERE b > 1"))
+
+    def test_usage_of_unknown_attribute_is_other(self, keychain, access_area_log):
+        scheme = AccessAreaDpeScheme(keychain)
+        scheme.fit(access_area_log)
+        assert scheme.usage_of("never_seen") is AttributeUsage.OTHER
+
+
+class TestAccessAreaSchemeEncryption:
+    def test_range_constants_become_ope_integers(self, keychain, access_area_log):
+        scheme = AccessAreaDpeScheme(keychain)
+        scheme.fit(access_area_log)
+        encrypted = scheme.encrypt_query(parse_query("SELECT name FROM users WHERE age > 30"))
+        constant_types = {type(l.value) for l in literals(encrypted)}
+        assert constant_types == {int}
+
+    def test_equality_constants_on_range_attributes_stay_comparable(
+        self, keychain, access_area_log
+    ):
+        scheme = AccessAreaDpeScheme(keychain)
+        scheme.fit(access_area_log)
+        point = scheme.encrypt_constant_for("age", 30)
+        low = scheme.encrypt_constant_for("age", 25)
+        high = scheme.encrypt_constant_for("age", 45)
+        assert low < point < high  # OPE keeps the point inside the interval
+
+    def test_equality_only_attribute_uses_det(self, keychain, access_area_log):
+        scheme = AccessAreaDpeScheme(keychain)
+        scheme.fit(access_area_log)
+        ciphertext = scheme.encrypt_constant_for("city", "Berlin")
+        assert isinstance(ciphertext, str) and ciphertext.startswith("det:")
+        assert ciphertext == scheme.encrypt_constant_for("city", "Berlin")
+
+    def test_aggregate_only_attribute_uses_prob(self, keychain, access_area_log):
+        scheme = AccessAreaDpeScheme(keychain)
+        scheme.fit(access_area_log)
+        first = scheme.encrypt_constant_for("salary", 100)
+        second = scheme.encrypt_constant_for("salary", 100)
+        assert first != second  # probabilistic
+
+    def test_names_hidden_in_encrypted_query(self, keychain, access_area_log):
+        scheme = AccessAreaDpeScheme(keychain)
+        scheme.fit(access_area_log)
+        sql = render_query(
+            scheme.encrypt_query(parse_query("SELECT name FROM users WHERE age > 30"))
+        )
+        for secret in ("users", "name", "age", "30"):
+            assert secret not in sql
+
+    def test_encrypted_domains_cover_only_range_attributes(
+        self, keychain, access_area_log, users_domains
+    ):
+        scheme = AccessAreaDpeScheme(keychain)
+        scheme.fit(access_area_log, users_domains)
+        encrypted_domains = scheme.encrypt_domains(users_domains)
+        encrypted_age = scheme.attribute_scheme.encrypt_identifier("age")
+        assert encrypted_domains.has_domain(encrypted_age)
+        # equality-only and aggregate-only attributes are not shared at all
+        encrypted_city = scheme.attribute_scheme.encrypt_identifier("city")
+        encrypted_salary = scheme.attribute_scheme.encrypt_identifier("salary")
+        assert not encrypted_domains.has_domain(encrypted_city)
+        assert not encrypted_domains.has_domain(encrypted_salary)
+        domain = encrypted_domains.domain(encrypted_age)
+        assert domain.minimum < domain.maximum  # OPE-encrypted bounds stay ordered
+
+
+class TestAccessAreaSchemePreservation:
+    def test_distance_preserved(self, keychain, access_area_context):
+        scheme = AccessAreaDpeScheme(keychain)
+        encrypted = scheme.encrypt_context(access_area_context)
+        report = verify_distance_preservation(
+            AccessAreaDistance(), access_area_context, encrypted
+        )
+        assert report.preserved, report.violating_pairs
+
+    def test_c_equivalence(self, keychain, access_area_context):
+        scheme = AccessAreaDpeScheme(keychain)
+        encrypted = scheme.encrypt_context(access_area_context)
+        report = verify_c_equivalence(
+            scheme, AccessAreaDistance(), access_area_context, encrypted
+        )
+        assert report.holds
+
+    def test_preservation_with_float_constants(self, keychain):
+        log = QueryLog.from_sql(
+            [
+                "SELECT a FROM t WHERE price > 10.5",
+                "SELECT a FROM t WHERE price BETWEEN 5.25 AND 20.75",
+                "SELECT a FROM t WHERE price < 5.25",
+            ]
+        )
+        context = LogContext(log=log)
+        scheme = AccessAreaDpeScheme(keychain)
+        encrypted = scheme.encrypt_context(context)
+        report = verify_distance_preservation(AccessAreaDistance(), context, encrypted)
+        assert report.preserved
+
+    def test_describe_matches_table1(self, keychain):
+        description = AccessAreaDpeScheme(keychain).describe()
+        assert description["enc_const"] == "via CryptDB, except HOM"

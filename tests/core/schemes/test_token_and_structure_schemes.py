@@ -1,0 +1,158 @@
+"""Tests for the token and structure DPE schemes (Table I rows 1-2)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.dpe import LogContext, verify_distance_preservation
+from repro.core.equivalence import verify_c_equivalence
+from repro.core.measures.structure import StructureDistance
+from repro.core.measures.token import TokenDistance
+from repro.core.schemes.structure_scheme import StructureDpeScheme
+from repro.core.schemes.token_scheme import TokenDpeScheme
+from repro.exceptions import DpeError
+from repro.sql.log import QueryLog
+from repro.sql.parser import parse_query
+from repro.sql.render import render_query
+from repro.sql.visitor import column_refs, literals
+
+
+class TestTokenSchemeQueryEncryption:
+    def test_names_and_constants_hidden(self, keychain):
+        scheme = TokenDpeScheme(keychain)
+        encrypted = scheme.encrypt_query(
+            parse_query("SELECT name FROM users WHERE age > 30 AND city = 'Berlin'")
+        )
+        from repro.sql.tokens import query_token_set
+
+        # No plaintext name or constant survives as a token of the encrypted
+        # query (substring checks would false-positive on hex ciphertexts).
+        encrypted_token_values = {value for _, value in query_token_set(encrypted)}
+        for secret in ("users", "name", "age", "city", "Berlin", "30"):
+            assert secret not in encrypted_token_values
+
+    def test_structure_is_preserved(self, keychain):
+        scheme = TokenDpeScheme(keychain)
+        plain = parse_query("SELECT a, b FROM t WHERE c > 5 GROUP BY a ORDER BY a ASC LIMIT 3")
+        encrypted = scheme.encrypt_query(plain)
+        assert len(encrypted.select_items) == 2
+        assert len(encrypted.group_by) == 1
+        assert len(encrypted.order_by) == 1
+        assert encrypted.limit == 3
+
+    def test_deterministic_encryption_of_queries(self, keychain):
+        scheme = TokenDpeScheme(keychain)
+        query = parse_query("SELECT a FROM t WHERE b = 5")
+        assert scheme.encrypt_query(query) == scheme.encrypt_query(query)
+
+    def test_encrypted_query_reparses(self, keychain):
+        scheme = TokenDpeScheme(keychain)
+        encrypted = scheme.encrypt_query(
+            parse_query("SELECT a FROM t WHERE b BETWEEN 1 AND 5 AND c IN ('x', 'y')")
+        )
+        assert parse_query(render_query(encrypted)) == encrypted
+
+    def test_same_constant_same_ciphertext_across_queries(self, keychain):
+        scheme = TokenDpeScheme(keychain)
+        enc_a = scheme.encrypt_query(parse_query("SELECT a FROM t WHERE b = 5"))
+        enc_b = scheme.encrypt_query(parse_query("SELECT a FROM t WHERE c = 5"))
+        constants_a = {l.value for l in literals(enc_a)}
+        constants_b = {l.value for l in literals(enc_b)}
+        assert constants_a == constants_b
+
+    def test_per_attribute_mode_differs_across_attributes(self, keychain):
+        scheme = TokenDpeScheme(keychain, per_attribute_constants=True)
+        enc_a = scheme.encrypt_query(parse_query("SELECT a FROM t WHERE b = 5"))
+        enc_b = scheme.encrypt_query(parse_query("SELECT a FROM t WHERE c = 5"))
+        assert {l.value for l in literals(enc_a)} != {l.value for l in literals(enc_b)}
+
+    def test_null_and_boolean_literals_left_plain(self, keychain):
+        scheme = TokenDpeScheme(keychain)
+        encrypted = scheme.encrypt_query(parse_query("SELECT a FROM t WHERE b IS NULL"))
+        assert "NULL" in render_query(encrypted)
+
+    def test_alias_encrypted(self, keychain):
+        scheme = TokenDpeScheme(keychain)
+        encrypted = scheme.encrypt_query(parse_query("SELECT a AS label FROM t AS alias_name"))
+        sql = render_query(encrypted)
+        assert "label" not in sql and "alias_name" not in sql
+
+
+class TestTokenSchemePreservation:
+    def test_distance_preserved_on_sample_log(self, keychain, sample_context):
+        scheme = TokenDpeScheme(keychain)
+        encrypted = scheme.encrypt_context(sample_context)
+        report = verify_distance_preservation(TokenDistance(), sample_context, encrypted)
+        assert report.preserved
+        assert report.pairs_checked == len(sample_context) * (len(sample_context) - 1) // 2
+
+    def test_c_equivalence_on_sample_log(self, keychain, sample_context):
+        scheme = TokenDpeScheme(keychain)
+        encrypted = scheme.encrypt_context(sample_context)
+        report = verify_c_equivalence(scheme, TokenDistance(), sample_context, encrypted)
+        assert report.holds
+
+    def test_characteristic_encryption_rejects_per_attribute_mode(self, keychain, sample_context):
+        scheme = TokenDpeScheme(keychain, per_attribute_constants=True)
+        query = sample_context.log[0].query
+        characteristic = TokenDistance().characteristic(query, sample_context)
+        with pytest.raises(DpeError):
+            scheme.encrypt_characteristic(query, characteristic, sample_context)
+
+    def test_describe_matches_table1(self, keychain):
+        description = TokenDpeScheme(keychain).describe()
+        assert (description["enc_rel"], description["enc_attr"], description["enc_const"]) == (
+            "DET",
+            "DET",
+            "DET",
+        )
+
+
+class TestStructureScheme:
+    def test_constants_are_randomized(self, keychain):
+        scheme = StructureDpeScheme(keychain)
+        query = parse_query("SELECT a FROM t WHERE b = 5")
+        first = {l.value for l in literals(scheme.encrypt_query(query))}
+        second = {l.value for l in literals(scheme.encrypt_query(query))}
+        assert first != second  # PROB: same constant, different ciphertexts
+
+    def test_identifiers_are_deterministic(self, keychain):
+        scheme = StructureDpeScheme(keychain)
+        query = parse_query("SELECT a FROM t WHERE b = 5")
+        enc_a = scheme.encrypt_query(query)
+        enc_b = scheme.encrypt_query(query)
+        assert {c.name for c in column_refs(enc_a)} == {c.name for c in column_refs(enc_b)}
+        assert enc_a.from_table == enc_b.from_table
+
+    def test_distance_preserved_despite_randomized_constants(self, keychain, sample_context):
+        scheme = StructureDpeScheme(keychain)
+        encrypted = scheme.encrypt_context(sample_context)
+        report = verify_distance_preservation(StructureDistance(), sample_context, encrypted)
+        assert report.preserved
+
+    def test_c_equivalence(self, keychain, sample_context):
+        scheme = StructureDpeScheme(keychain)
+        encrypted = scheme.encrypt_context(sample_context)
+        report = verify_c_equivalence(scheme, StructureDistance(), sample_context, encrypted)
+        assert report.holds
+
+    def test_token_distance_not_preserved_by_structure_scheme(self, keychain):
+        # Cross-check: the structure scheme is NOT appropriate for the token
+        # measure when queries share constants (the ablation claim).
+        log = QueryLog.from_sql(
+            ["SELECT a FROM t WHERE b = 5", "SELECT c FROM t WHERE d = 5"]
+        )
+        context = LogContext(log=log)
+        scheme = StructureDpeScheme(keychain)
+        encrypted = scheme.encrypt_context(context)
+        report = verify_distance_preservation(TokenDistance(), context, encrypted)
+        assert not report.preserved
+
+    def test_describe_matches_table1(self, keychain):
+        description = StructureDpeScheme(keychain).describe()
+        assert description["enc_const"] == "PROB"
+
+    def test_encrypted_log_keeps_order_and_length(self, keychain, sample_log):
+        scheme = StructureDpeScheme(keychain)
+        encrypted_log = scheme.encrypt_log(sample_log)
+        assert len(encrypted_log) == len(sample_log)

@@ -1,0 +1,129 @@
+"""Tests for attribute domains and the security model (KIT-DPE step 1)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.domains import Domain, DomainCatalog
+from repro.core.security_model import (
+    AttackType,
+    HighLevelScheme,
+    QueryPart,
+    SecurityGoal,
+    SecurityModel,
+    ThreatModel,
+)
+from repro.db.schema import ColumnType
+from repro.exceptions import DpeError, SecurityModelError
+
+
+class TestDomain:
+    def test_numeric_domain(self):
+        domain = Domain("age", minimum=0, maximum=120)
+        assert domain.is_numeric
+        assert domain.size_hint() == 120
+
+    def test_categorical_domain(self):
+        domain = Domain("city", values=frozenset({"a", "b"}))
+        assert not domain.is_numeric
+        assert domain.size_hint() == 2
+
+    def test_must_be_exactly_one_kind(self):
+        with pytest.raises(DpeError):
+            Domain("x")
+        with pytest.raises(DpeError):
+            Domain("x", minimum=0, maximum=1, values=frozenset({"a"}))
+
+    def test_numeric_needs_both_bounds(self):
+        with pytest.raises(DpeError):
+            Domain("x", minimum=0)
+
+    def test_inverted_bounds_rejected(self):
+        with pytest.raises(DpeError):
+            Domain("x", minimum=10, maximum=0)
+
+
+class TestDomainCatalog:
+    def test_add_and_lookup(self):
+        catalog = DomainCatalog([Domain("age", minimum=0, maximum=9)])
+        assert catalog.has_domain("age")
+        assert catalog.domain("age").maximum == 9
+        assert not catalog.has_domain("other")
+        with pytest.raises(DpeError):
+            catalog.domain("other")
+
+    def test_duplicate_rejected(self):
+        catalog = DomainCatalog([Domain("age", minimum=0, maximum=9)])
+        with pytest.raises(DpeError):
+            catalog.add(Domain("age", minimum=0, maximum=5))
+
+    def test_from_database(self, small_database):
+        catalog = DomainCatalog.from_database(small_database)
+        assert catalog.domain("age").minimum == 18
+        assert catalog.domain("city").values == frozenset({"Berlin", "Paris", "Rome"})
+        assert catalog.domain("balance").is_numeric
+
+    def test_from_schema_hints(self):
+        catalog = DomainCatalog.from_schema_hints(
+            {
+                "age": (ColumnType.INTEGER, (0, 99)),
+                "city": (ColumnType.TEXT, ["a", "b"]),
+            }
+        )
+        assert catalog.domain("age").maximum == 99
+        assert catalog.domain("city").values == frozenset({"a", "b"})
+
+    def test_iteration_and_len(self):
+        catalog = DomainCatalog([Domain("a", minimum=0, maximum=1), Domain("b", minimum=0, maximum=2)])
+        assert len(catalog) == 2
+        assert {domain.attribute for domain in catalog} == {"a", "b"}
+
+
+class TestThreatModel:
+    def test_default_covers_all_passive_attacks(self):
+        model = ThreatModel.passive_default()
+        assert model.attacks == frozenset(AttackType)
+        assert model.strongest_attack() is AttackType.CHOSEN_QUERY
+
+    def test_empty_model_rejected(self):
+        with pytest.raises(SecurityModelError):
+            ThreatModel(frozenset())
+
+    def test_attack_strength_ordering(self):
+        assert AttackType.QUERY_ONLY.strength < AttackType.KNOWN_QUERY.strength
+        assert AttackType.KNOWN_QUERY.strength < AttackType.CHOSEN_QUERY.strength
+
+    def test_describe_mentions_attacks(self):
+        assert "query-only" in ThreatModel.passive_default().describe()
+
+
+class TestHighLevelScheme:
+    def test_sql_default_encrypts_names_and_constants(self):
+        scheme = HighLevelScheme.sql_log_default()
+        assert scheme.encrypts(QueryPart.RELATION_NAMES)
+        assert scheme.encrypts(QueryPart.ATTRIBUTE_NAMES)
+        assert scheme.encrypts(QueryPart.CONSTANTS)
+        assert not scheme.encrypts(QueryPart.KEYWORDS)
+        assert scheme.per_attribute_constants
+
+    def test_describe(self):
+        assert "constants" in HighLevelScheme.sql_log_default().describe()
+
+
+class TestSecurityModel:
+    def test_default_validates(self):
+        SecurityModel.sql_log_default().validate()
+
+    def test_goal_requiring_unencrypted_part_rejected(self):
+        model = SecurityModel(
+            high_level_scheme=HighLevelScheme(frozenset({QueryPart.CONSTANTS})),
+            goals=(
+                SecurityGoal("hide schema", frozenset({QueryPart.RELATION_NAMES})),
+            ),
+        )
+        with pytest.raises(SecurityModelError):
+            model.validate()
+
+    def test_describe_contains_goals(self):
+        text = SecurityModel.sql_log_default().describe()
+        assert "goal:" in text and "passive attacks" in text

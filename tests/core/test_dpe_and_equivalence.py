@@ -1,0 +1,155 @@
+"""Tests for Definition 1 / Definition 2 verification machinery."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.dpe import (
+    DistanceMeasure,
+    LogContext,
+    SharedInformation,
+    verify_distance_preservation,
+)
+from repro.core.equivalence import verify_c_equivalence
+from repro.exceptions import DpeError
+from repro.sql.log import QueryLog
+from repro.sql.parser import parse_query
+
+
+class LengthMeasure(DistanceMeasure):
+    """Toy measure for testing the framework: |len(tokens_a) - len(tokens_b)| scaled."""
+
+    name = "length"
+    display_name = "Length Distance"
+    equivalence_notion = "Length Equivalence"
+
+    def characteristic(self, query, context):
+        from repro.sql.render import render_query
+
+        return len(render_query(query))
+
+    def distance_between(self, a, b):
+        return abs(a - b) / 1000.0
+
+
+class IdentityScheme:
+    """A 'scheme' that does not encrypt anything (for framework tests)."""
+
+    def encrypt_context(self, context):
+        return context
+
+    def encrypt_characteristic(self, query, characteristic, context):
+        return characteristic
+
+
+class BrokenScheme(IdentityScheme):
+    """A scheme whose characteristic encryption is inconsistent."""
+
+    def encrypt_characteristic(self, query, characteristic, context):
+        return characteristic + 1
+
+
+class TestSharedInformation:
+    def test_describe(self):
+        assert SharedInformation(log=True).describe() == "Log"
+        assert SharedInformation(log=True, db_content=True).describe() == "Log + DB-Content"
+        assert SharedInformation(log=True, domains=True).describe() == "Log + Domains"
+        assert SharedInformation(log=False).describe() == "nothing"
+
+
+class TestLogContext:
+    def test_require_database_and_domains(self, sample_log):
+        context = LogContext(log=sample_log)
+        with pytest.raises(DpeError):
+            context.require_database()
+        with pytest.raises(DpeError):
+            context.require_domains()
+
+    def test_len(self, sample_log):
+        assert len(LogContext(log=sample_log)) == len(sample_log)
+
+
+class TestDistanceMatrix:
+    def test_matrix_shape_and_symmetry(self, sample_context):
+        matrix = LengthMeasure().distance_matrix(sample_context)
+        n = len(sample_context)
+        assert matrix.shape == (n, n)
+        assert (matrix == matrix.T).all()
+        assert (matrix.diagonal() == 0).all()
+
+    def test_single_query_matrix(self):
+        context = LogContext(log=QueryLog.from_sql(["SELECT a FROM t"]))
+        matrix = LengthMeasure().distance_matrix(context)
+        assert matrix.shape == (1, 1)
+
+    def test_distance_method(self, sample_context):
+        measure = LengthMeasure()
+        q1 = parse_query("SELECT a FROM t")
+        q2 = parse_query("SELECT a, b FROM t")
+        assert measure.distance(q1, q2, sample_context) == measure.distance(q2, q1, sample_context)
+
+
+class TestVerifyPreservation:
+    def test_identity_scheme_preserves(self, sample_context):
+        report = verify_distance_preservation(LengthMeasure(), sample_context, sample_context)
+        assert report.preserved
+        assert report.max_absolute_deviation == 0.0
+        assert report.mean_absolute_deviation == 0.0
+        assert "PRESERVED" in report.summary()
+
+    def test_mismatched_lengths_rejected(self, sample_context, sample_log):
+        shorter = LogContext(log=sample_log[:3])
+        with pytest.raises(DpeError):
+            verify_distance_preservation(LengthMeasure(), sample_context, shorter)
+
+    def test_violations_detected_and_reported(self, sample_log):
+        plain = LogContext(log=sample_log)
+        # "Encrypt" by replacing a query with a much longer one: distances change.
+        tampered_statements = sample_log.statements[:]
+        tampered_statements[0] = (
+            "SELECT a, b, c, d, e, f, g, h FROM some_very_long_table_name "
+            "WHERE alpha > 1 AND beta > 2 AND gamma > 3"
+        )
+        tampered = LogContext(log=QueryLog.from_sql(tampered_statements))
+        report = verify_distance_preservation(LengthMeasure(), plain, tampered)
+        assert not report.preserved
+        assert report.violating_pairs
+        assert "VIOLATED" in report.summary()
+        index_pairs = {(i, j) for i, j, _, _ in report.violating_pairs}
+        assert all(0 in pair for pair in index_pairs)
+
+    def test_violation_report_caps_examples(self, sample_log):
+        plain = LogContext(log=sample_log)
+        tampered = LogContext(
+            log=QueryLog.from_sql(
+                ["SELECT completely, different, stuff FROM elsewhere WHERE x = 1"]
+                * len(sample_log)
+            )
+        )
+        report = verify_distance_preservation(
+            LengthMeasure(), plain, tampered, max_violations_reported=3
+        )
+        assert len(report.violating_pairs) <= 3
+
+
+class TestVerifyEquivalence:
+    def test_identity_scheme_satisfies_equivalence(self, sample_context):
+        report = verify_c_equivalence(
+            IdentityScheme(), LengthMeasure(), sample_context, sample_context
+        )
+        assert report.holds
+        assert "HOLDS" in report.summary()
+
+    def test_broken_scheme_detected(self, sample_context):
+        report = verify_c_equivalence(
+            BrokenScheme(), LengthMeasure(), sample_context, sample_context
+        )
+        assert not report.holds
+        assert len(report.violations) == len(sample_context)
+        assert "VIOLATED" in report.summary()
+
+    def test_mismatched_lengths_rejected(self, sample_context, sample_log):
+        with pytest.raises(DpeError):
+            verify_c_equivalence(
+                IdentityScheme(), LengthMeasure(), sample_context, LogContext(log=sample_log[:2])
+            )

@@ -1,0 +1,162 @@
+"""Tests for the KIT-DPE engine (Definition 6 and steps 3-4)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.kitdpe import (
+    ComponentRequirement,
+    ConstantRequirement,
+    ConstantUsage,
+    EquivalenceRequirements,
+    KitDpeEngine,
+)
+from repro.core.measures import (
+    AccessAreaDistance,
+    ResultDistance,
+    StructureDistance,
+    TokenDistance,
+    standard_measures,
+)
+from repro.crypto.base import EncryptionClass
+from repro.exceptions import DpeError
+
+
+@pytest.fixture
+def engine() -> KitDpeEngine:
+    return KitDpeEngine()
+
+
+class TestAppropriateClass:
+    def test_no_requirement_yields_prob(self, engine):
+        choice = engine.appropriate_class(ComponentRequirement())
+        assert choice.chosen is EncryptionClass.PROB
+        assert choice.security_level == 3
+
+    def test_equality_requirement_yields_det(self, engine):
+        choice = engine.appropriate_class(ComponentRequirement(needs_equality=True))
+        assert choice.chosen is EncryptionClass.DET
+
+    def test_order_requirement_yields_ope(self, engine):
+        choice = engine.appropriate_class(
+            ComponentRequirement(needs_equality=True, needs_order=True)
+        )
+        assert choice.chosen is EncryptionClass.OPE
+
+    def test_addition_requirement_yields_hom(self, engine):
+        choice = engine.appropriate_class(ComponentRequirement(needs_addition=True))
+        assert choice.chosen is EncryptionClass.HOM
+
+    def test_plain_excluded_by_default(self, engine):
+        candidates = engine.appropriate_classes(ComponentRequirement())
+        assert EncryptionClass.PLAIN not in candidates
+
+    def test_plain_can_be_included(self):
+        engine = KitDpeEngine(include_plain=True)
+        # PLAIN satisfies everything but sits on level 0, so it never wins.
+        choice = engine.appropriate_class(ComponentRequirement(needs_equality=True))
+        assert choice.chosen is EncryptionClass.DET
+
+    def test_impossible_requirement_raises(self, engine):
+        with pytest.raises(DpeError):
+            engine.appropriate_class(
+                ComponentRequirement(needs_order=True, needs_addition=True)
+            )
+
+    def test_subclasses_are_dropped_in_favour_of_parents(self, engine):
+        # Both DET and JOIN qualify for equality; DET (the parent) is chosen.
+        candidates = engine.appropriate_classes(ComponentRequirement(needs_equality=True))
+        assert EncryptionClass.DET in candidates
+        assert EncryptionClass.JOIN not in candidates
+        # Both PROB and HOM qualify for "nothing"; PROB (the parent) is chosen.
+        candidates = engine.appropriate_classes(ComponentRequirement())
+        assert candidates == [EncryptionClass.PROB]
+
+
+class TestDerivation:
+    def test_token_row(self, engine):
+        derivation = engine.derive(TokenDistance())
+        assert derivation.enc_rel.chosen is EncryptionClass.DET
+        assert derivation.enc_attr.chosen is EncryptionClass.DET
+        assert derivation.enc_const.summary == "DET"
+
+    def test_structure_row(self, engine):
+        derivation = engine.derive(StructureDistance())
+        assert derivation.enc_const.summary == "PROB"
+
+    def test_result_row(self, engine):
+        derivation = engine.derive(ResultDistance())
+        assert derivation.enc_const.summary == "via CryptDB"
+        assert derivation.enc_const.via_cryptdb
+        per_usage = dict(derivation.enc_const.per_usage)
+        assert per_usage[ConstantUsage.EQUALITY_PREDICATE].chosen is EncryptionClass.DET
+        assert per_usage[ConstantUsage.RANGE_PREDICATE].chosen is EncryptionClass.OPE
+        assert per_usage[ConstantUsage.AGGREGATE_ARGUMENT].chosen is EncryptionClass.HOM
+
+    def test_access_area_row(self, engine):
+        derivation = engine.derive(AccessAreaDistance())
+        assert derivation.enc_const.summary == "via CryptDB, except HOM"
+        per_usage = dict(derivation.enc_const.per_usage)
+        assert per_usage[ConstantUsage.AGGREGATE_ARGUMENT].chosen is EncryptionClass.PROB
+        assert per_usage[ConstantUsage.RANGE_PREDICATE].chosen is EncryptionClass.OPE
+
+    def test_derive_table_covers_all_measures(self, engine):
+        derivations = engine.derive_table(standard_measures())
+        assert [d.measure for d in derivations] == ["token", "structure", "result", "access_area"]
+
+    def test_shared_information_column(self, engine):
+        derivations = {d.measure: d for d in engine.derive_table(standard_measures())}
+        assert derivations["token"].shared_information == "Log"
+        assert derivations["result"].shared_information == "Log + DB-Content"
+        assert derivations["access_area"].shared_information == "Log + Domains"
+
+    def test_measure_without_requirements_rejected(self, engine):
+        class Bare:
+            name = "bare"
+
+        with pytest.raises(DpeError):
+            engine.derive(Bare())  # type: ignore[arg-type]
+
+    def test_constant_choice_usage_lookup(self, engine):
+        derivation = engine.derive(ResultDistance())
+        choice = derivation.enc_const.usage_choice(ConstantUsage.RANGE_PREDICATE)
+        assert choice.chosen is EncryptionClass.OPE
+        uniform = engine.derive(TokenDistance()).enc_const
+        assert uniform.usage_choice(ConstantUsage.RANGE_PREDICATE).chosen is EncryptionClass.DET
+
+
+class TestSecurityAssessment:
+    def test_assessment_lists_classes_and_levels(self, engine):
+        derivation = engine.derive(StructureDistance())
+        assessment = engine.assess(derivation)
+        assert EncryptionClass.DET in assessment.classes_in_use
+        assert EncryptionClass.PROB in assessment.classes_in_use
+        assert assessment.minimum_security_level == 2
+        assert assessment.known_from_literature
+
+    def test_assessment_for_cryptdb_backed_scheme(self, engine):
+        derivation = engine.derive(ResultDistance())
+        assessment = engine.assess(derivation)
+        assert assessment.minimum_security_level == 1  # OPE constants
+        assert any("CryptDB" in note for note in assessment.notes)
+
+    def test_token_assessment_level(self, engine):
+        assessment = engine.assess(engine.derive(TokenDistance()))
+        assert assessment.minimum_security_level == 2
+
+
+class TestRequirementValidation:
+    def test_constant_requirement_needs_exactly_one_form(self):
+        with pytest.raises(DpeError):
+            ConstantRequirement()
+        with pytest.raises(DpeError):
+            ConstantRequirement(
+                uniform=ComponentRequirement(),
+                per_usage=((ConstantUsage.OTHER, ComponentRequirement()),),
+            )
+
+    def test_requirements_expose_notion_names(self):
+        requirements = TokenDistance().component_requirements()
+        assert isinstance(requirements, EquivalenceRequirements)
+        assert requirements.notion == "Token Equivalence"
+        assert requirements.characteristic == "tokens"

@@ -1,0 +1,156 @@
+"""Tests for onion states and the encrypted schema map."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.crypto.base import EncryptionClass
+from repro.crypto.det import DeterministicScheme
+from repro.crypto.prob import ProbabilisticScheme
+from repro.crypto.taxonomy import SECURITY_LEVELS
+from repro.cryptdb.column import (
+    ColumnEncryption,
+    EncryptedColumn,
+    EncryptedSchemaMap,
+    EncryptedTable,
+    normalize_equality_value,
+)
+from repro.cryptdb.onion import ONION_STACKS, Onion, OnionLayer, OnionState
+from repro.db.schema import ColumnType
+from repro.exceptions import CryptDbError, OnionError
+
+
+class TestOnionState:
+    def test_initial_state_is_outermost(self):
+        state = OnionState.initial((Onion.EQ, Onion.ORD, Onion.HOM))
+        assert state.current_layer(Onion.EQ) is OnionLayer.RND
+        assert state.current_layer(Onion.ORD) is OnionLayer.RND
+        assert state.current_layer(Onion.HOM) is OnionLayer.HOM
+
+    def test_adjust_peels_layers(self):
+        state = OnionState.initial((Onion.EQ,))
+        assert state.adjust_to(Onion.EQ, OnionLayer.DET) is True
+        assert state.current_layer(Onion.EQ) is OnionLayer.DET
+        # idempotent
+        assert state.adjust_to(Onion.EQ, OnionLayer.DET) is False
+
+    def test_adjust_cannot_rewrap(self):
+        state = OnionState.initial((Onion.EQ,))
+        state.adjust_to(Onion.EQ, OnionLayer.JOIN)
+        with pytest.raises(OnionError):
+            state.adjust_to(Onion.EQ, OnionLayer.RND)
+
+    def test_adjust_rejects_foreign_layer(self):
+        state = OnionState.initial((Onion.EQ,))
+        with pytest.raises(OnionError):
+            state.adjust_to(Onion.EQ, OnionLayer.OPE)
+
+    def test_missing_onion_raises(self):
+        state = OnionState.initial((Onion.EQ,))
+        with pytest.raises(OnionError):
+            state.current_layer(Onion.ORD)
+
+    def test_exposed_classes_and_weakest_level(self):
+        state = OnionState.initial((Onion.EQ, Onion.ORD))
+        assert state.exposed_classes() == frozenset({EncryptionClass.PROB})
+        state.adjust_to(Onion.ORD, OnionLayer.OPE)
+        assert EncryptionClass.OPE in state.exposed_classes()
+        assert state.weakest_exposed_level(SECURITY_LEVELS) == 1
+
+    def test_layer_class_mapping(self):
+        assert OnionLayer.RND.encryption_class is EncryptionClass.PROB
+        assert OnionLayer.DET.encryption_class is EncryptionClass.DET
+        assert OnionLayer.OPE.encryption_class is EncryptionClass.OPE
+        assert OnionLayer.HOM.encryption_class is EncryptionClass.HOM
+
+    def test_stacks_order_rnd_outermost(self):
+        assert ONION_STACKS[Onion.EQ][0] is OnionLayer.RND
+        assert ONION_STACKS[Onion.ORD][0] is OnionLayer.RND
+
+
+class TestNormalizeEqualityValue:
+    def test_integral_float_folds_to_int(self):
+        assert normalize_equality_value(5.0) == 5
+        assert isinstance(normalize_equality_value(5.0), int)
+
+    def test_non_integral_float_unchanged(self):
+        assert normalize_equality_value(5.25) == 5.25
+
+    def test_other_types_unchanged(self):
+        assert normalize_equality_value("x") == "x"
+        assert normalize_equality_value(7) == 7
+        assert normalize_equality_value(True) is True
+
+
+def make_column(keychain, name: str = "age", numeric: bool = True) -> EncryptedColumn:
+    encryption = ColumnEncryption(
+        det=DeterministicScheme(keychain.key_for("c", name, "det")),
+        prob=ProbabilisticScheme(keychain.key_for("c", name, "prob")),
+    )
+    return EncryptedColumn(
+        plain_table="users",
+        plain_name=name,
+        encrypted_name=f"enc_{name}",
+        column_type=ColumnType.INTEGER if numeric else ColumnType.TEXT,
+        onions=(Onion.EQ,),
+        encryption=encryption,
+    )
+
+
+class TestEncryptedColumnAndSchemaMap:
+    def test_physical_names(self, keychain):
+        column = make_column(keychain)
+        assert column.physical_name(Onion.EQ) == "enc_age"
+        with pytest.raises(CryptDbError):
+            column.physical_name(Onion.ORD)
+
+    def test_missing_onion_scheme_raises(self, keychain):
+        column = make_column(keychain)
+        with pytest.raises(CryptDbError):
+            column.encryption.scheme_for_onion(Onion.ORD)
+        with pytest.raises(CryptDbError):
+            column.encryption.scheme_for_onion(Onion.HOM)
+
+    def test_encode_numeric_scaling(self, keychain):
+        column = make_column(keychain)
+        column.encryption.numeric_scale = 100
+        assert column.encode_numeric(2.5) == 250
+        with pytest.raises(CryptDbError):
+            column.encode_numeric("x")
+
+    def test_schema_map_lookup(self, keychain):
+        table = EncryptedTable("users", "enc_users")
+        column = make_column(keychain)
+        table.columns["age"] = column
+        schema_map = EncryptedSchemaMap()
+        schema_map.add_table(table)
+
+        assert schema_map.table("users").encrypted_name == "enc_users"
+        assert schema_map.table_by_encrypted_name("enc_users").plain_name == "users"
+        assert schema_map.column("users", "age") is column
+        assert schema_map.find_column("age", ("users",)) is column
+        assert schema_map.has_table("users")
+        assert len(schema_map.all_columns()) == 1
+
+    def test_schema_map_errors(self, keychain):
+        schema_map = EncryptedSchemaMap()
+        table = EncryptedTable("users", "enc_users")
+        table.columns["age"] = make_column(keychain)
+        schema_map.add_table(table)
+        with pytest.raises(CryptDbError):
+            schema_map.add_table(EncryptedTable("users", "enc_users2"))
+        with pytest.raises(CryptDbError):
+            schema_map.table("missing")
+        with pytest.raises(CryptDbError):
+            schema_map.column("users", "missing")
+        with pytest.raises(CryptDbError):
+            schema_map.find_column("age", ("nope",))
+
+    def test_find_column_ambiguous(self, keychain):
+        schema_map = EncryptedSchemaMap()
+        for table_name in ("a", "b"):
+            table = EncryptedTable(table_name, f"enc_{table_name}")
+            table.columns["x"] = make_column(keychain, "x")
+            schema_map.add_table(table)
+        with pytest.raises(CryptDbError):
+            schema_map.find_column("x", ("a", "b"))

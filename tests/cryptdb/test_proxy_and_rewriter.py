@@ -1,0 +1,216 @@
+"""Tests for the CryptDB-style proxy and query rewriter."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.crypto.base import EncryptionClass
+from repro.crypto.keys import KeyChain, MasterKey
+from repro.cryptdb.onion import Onion, OnionLayer
+from repro.cryptdb.proxy import CryptDBProxy, JoinGroupSpec
+from repro.exceptions import CryptDbError, RewriteError
+from repro.sql.parser import parse_query
+from repro.sql.render import render_query
+from repro.sql.visitor import literals
+
+
+@pytest.fixture
+def proxy(small_database) -> CryptDBProxy:
+    keychain = KeyChain(MasterKey.from_passphrase("proxy-tests"))
+    proxy = CryptDBProxy(
+        keychain,
+        join_groups=[
+            JoinGroupSpec("users-accounts", frozenset({("users", "uid"), ("accounts", "owner_id")}))
+        ],
+        paillier_bits=256,
+    )
+    proxy.encrypt_database(small_database)
+    return proxy
+
+
+class TestDatabaseEncryption:
+    def test_encrypted_database_has_same_shape(self, proxy, small_database):
+        encrypted = proxy.encrypted_database
+        assert len(encrypted.table_names) == len(small_database.table_names)
+        for table in small_database:
+            mapping = proxy.schema_map.table(table.name)
+            assert len(encrypted.table(mapping.encrypted_name)) == len(table)
+
+    def test_table_and_column_names_are_hidden(self, proxy, small_database):
+        for name in small_database.table_names:
+            assert name not in proxy.encrypted_database.table_names
+        users_mapping = proxy.schema_map.table("users")
+        physical_columns = proxy.encrypted_database.table(
+            users_mapping.encrypted_name
+        ).schema.column_names
+        assert "age" not in physical_columns
+        assert all(column.startswith("enc_") for column in physical_columns)
+
+    def test_numeric_columns_get_three_onions(self, proxy):
+        age = proxy.schema_map.column("users", "age")
+        assert set(age.onions) == {Onion.EQ, Onion.ORD, Onion.HOM}
+        city = proxy.schema_map.column("users", "city")
+        assert set(city.onions) == {Onion.EQ}
+
+    def test_cell_values_are_ciphertexts(self, proxy):
+        mapping = proxy.schema_map.table("users")
+        encrypted_table = proxy.encrypted_database.table(mapping.encrypted_name)
+        eq_column = mapping.column("name").physical_name(Onion.EQ)
+        values = encrypted_table.column_values(eq_column)
+        assert all(isinstance(value, str) and value.startswith("det:") for value in values)
+
+    def test_encrypt_database_required_before_queries(self):
+        bare = CryptDBProxy(KeyChain(MasterKey.from_passphrase("bare")), paillier_bits=256)
+        with pytest.raises(CryptDbError):
+            bare.encrypt_query(parse_query("SELECT a FROM t"))
+        with pytest.raises(CryptDbError):
+            _ = bare.encrypted_database
+
+
+class TestRewriting:
+    def test_identifiers_and_constants_replaced(self, proxy):
+        encrypted = proxy.encrypt_query(parse_query("SELECT name FROM users WHERE age > 30"))
+        sql = render_query(encrypted)
+        assert "users" not in sql and "name" not in sql and "age" not in sql
+        assert "30" not in sql.split("WHERE")[1] or "enc_" in sql
+
+    def test_encrypted_query_is_parseable_sql(self, proxy):
+        encrypted = proxy.encrypt_query(
+            parse_query("SELECT name, age FROM users WHERE age BETWEEN 20 AND 40 AND city = 'Rome'")
+        )
+        assert parse_query(render_query(encrypted)) == encrypted
+
+    def test_equality_uses_eq_onion_and_range_uses_ord(self, proxy):
+        encrypted = proxy.encrypt_query(
+            parse_query("SELECT uid FROM users WHERE city = 'Rome' AND age > 30")
+        )
+        constants = literals(encrypted)
+        kinds = {type(literal.value) for literal in constants}
+        assert str in kinds  # DET ciphertext for the equality constant
+        assert int in kinds  # OPE ciphertext for the range constant
+
+    def test_rewriter_records_onion_adjustments(self, proxy):
+        rewriter = proxy.make_rewriter()
+        rewriter.rewrite(parse_query("SELECT uid FROM users WHERE age > 30"))
+        adjusted = {(table, column, onion) for table, column, onion, _ in rewriter.adjustments}
+        assert ("users", "age", Onion.ORD) in adjusted
+
+    def test_like_rejected(self, proxy):
+        with pytest.raises(RewriteError):
+            proxy.encrypt_query(parse_query("SELECT name FROM users WHERE name LIKE 'a%'"))
+
+    def test_star_rejected(self, proxy):
+        with pytest.raises(RewriteError):
+            proxy.encrypt_query(parse_query("SELECT * FROM users"))
+
+    def test_avg_rejected(self, proxy):
+        with pytest.raises(RewriteError):
+            proxy.encrypt_query(parse_query("SELECT AVG(age) FROM users"))
+
+    def test_unknown_table_rejected(self, proxy):
+        with pytest.raises(RewriteError):
+            proxy.encrypt_query(parse_query("SELECT a FROM missing"))
+
+    def test_text_column_range_predicate_rejected(self, proxy):
+        with pytest.raises(RewriteError):
+            proxy.encrypt_query(parse_query("SELECT uid FROM users WHERE city > 'A'"))
+
+
+class TestEncryptedExecution:
+    @pytest.mark.parametrize(
+        "sql",
+        [
+            "SELECT name FROM users WHERE age > 40",
+            "SELECT name, city FROM users WHERE city = 'Berlin'",
+            "SELECT uid FROM users WHERE age BETWEEN 23 AND 48 AND city = 'Paris'",
+            "SELECT name FROM users WHERE uid IN (1, 3, 5)",
+            "SELECT DISTINCT city FROM users WHERE age >= 18",
+            "SELECT name FROM users JOIN accounts ON uid = owner_id WHERE balance < 0",
+            "SELECT name FROM users WHERE age > 100",
+        ],
+    )
+    def test_execute_then_decrypt_matches_plain(self, proxy, sql):
+        query = parse_query(sql)
+        encrypted_result = proxy.execute(query)
+        decrypted = proxy.decrypt_result(encrypted_result)
+        plain = proxy.execute_plain(query)
+        assert sorted(map(repr, decrypted.rows)) == sorted(map(repr, plain.rows))
+
+    def test_aggregates_over_encrypted_data(self, proxy):
+        query = parse_query(
+            "SELECT city, COUNT(*), SUM(age), MIN(salary), MAX(age) FROM users "
+            "WHERE age > 20 GROUP BY city"
+        )
+        decrypted = proxy.decrypt_result(proxy.execute(query))
+        plain = proxy.execute_plain(query)
+        assert len(decrypted.rows) == len(plain.rows)
+        for decrypted_row, plain_row in zip(
+            sorted(decrypted.rows, key=repr), sorted(plain.rows, key=repr)
+        ):
+            assert decrypted_row[0] == plain_row[0]
+            assert decrypted_row[1] == plain_row[1]
+            assert decrypted_row[2] == pytest.approx(plain_row[2])
+            assert decrypted_row[3] == pytest.approx(plain_row[3])
+            assert decrypted_row[4] == pytest.approx(plain_row[4])
+
+    def test_count_star_without_group(self, proxy):
+        query = parse_query("SELECT COUNT(*) FROM accounts WHERE balance > 0")
+        decrypted = proxy.decrypt_result(proxy.execute(query))
+        plain = proxy.execute_plain(query)
+        assert decrypted.rows == plain.rows
+
+    def test_join_produces_same_cardinality(self, proxy):
+        query = parse_query(
+            "SELECT name, balance FROM users JOIN accounts ON uid = owner_id"
+        )
+        encrypted_result = proxy.execute(query)
+        plain = proxy.execute_plain(query)
+        assert len(encrypted_result.result) == len(plain)
+
+    def test_result_tuples_are_deterministic_ciphertexts(self, proxy):
+        query = parse_query("SELECT city FROM users WHERE age > 18")
+        first = proxy.execute(query).result.tuple_set()
+        second = proxy.execute(query).result.tuple_set()
+        assert first == second
+        assert all(isinstance(value, str) for row in first for value in row)
+
+
+class TestExposureReport:
+    def test_exposure_tracks_workload(self, small_database):
+        keychain = KeyChain(MasterKey.from_passphrase("exposure"))
+        proxy = CryptDBProxy(keychain, paillier_bits=256)
+        proxy.encrypt_database(small_database)
+        report_before = proxy.exposure_report()
+        assert report_before[("users", "age")]["security_level"] == 3
+
+        proxy.encrypt_query(parse_query("SELECT name FROM users WHERE age > 30"))
+        report_after = proxy.exposure_report()
+        assert report_after[("users", "age")]["weakest_class"] is EncryptionClass.OPE
+        assert report_after[("users", "age")]["security_level"] == 1
+        # name was projected -> DET exposure of its EQ onion
+        assert report_after[("users", "name")]["weakest_class"] is EncryptionClass.DET
+        # salary untouched -> still at the probabilistic level
+        assert report_after[("users", "salary")]["security_level"] == 3
+
+    def test_hom_exposure_from_sum(self, small_database):
+        keychain = KeyChain(MasterKey.from_passphrase("exposure-hom"))
+        proxy = CryptDBProxy(keychain, paillier_bits=256)
+        proxy.encrypt_database(small_database)
+        proxy.encrypt_query(parse_query("SELECT SUM(salary) FROM users WHERE age > 30"))
+        report = proxy.exposure_report()
+        assert report[("users", "salary")]["weakest_class"] is EncryptionClass.HOM
+
+
+class TestSharedDetKey:
+    def test_shared_key_makes_cross_column_equality_visible(self, small_database):
+        keychain = KeyChain(MasterKey.from_passphrase("shared-det"))
+        proxy = CryptDBProxy(keychain, paillier_bits=256, shared_det_key=True)
+        proxy.encrypt_database(small_database)
+        uid_column = proxy.schema_map.column("users", "uid")
+        owner_column = proxy.schema_map.column("accounts", "owner_id")
+        assert uid_column.encryption.det.encrypt(7) == owner_column.encryption.det.encrypt(7)
+
+    def test_per_column_keys_differ_without_flag(self, proxy):
+        uid_column = proxy.schema_map.column("users", "uid")
+        acc_column = proxy.schema_map.column("accounts", "acc_id")
+        assert uid_column.encryption.det.encrypt(7) != acc_column.encryption.det.encrypt(7)

@@ -1,0 +1,122 @@
+"""Tests for Paillier homomorphic encryption."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.crypto.base import EncryptionClass
+from repro.crypto.hom import PaillierCiphertext, PaillierKeyPair, PaillierScheme
+from repro.exceptions import DecryptionError, EncryptionError
+
+
+@pytest.fixture(scope="module")
+def scheme() -> PaillierScheme:
+    return PaillierScheme(PaillierKeyPair.generate(256))
+
+
+class TestKeyGeneration:
+    def test_modulus_size(self, paillier_keypair):
+        assert paillier_keypair.public.bits >= 255
+
+    def test_rejects_tiny_modulus(self):
+        with pytest.raises(EncryptionError):
+            PaillierKeyPair.generate(32)
+
+
+class TestEncryptDecrypt:
+    @pytest.mark.parametrize("value", [0, 1, -1, 42, -42, 123456, -99999, 3.25, -0.5])
+    def test_round_trip(self, scheme, value):
+        assert scheme.decrypt(scheme.encrypt(value)) == pytest.approx(value)
+
+    def test_probabilistic(self, scheme):
+        assert scheme.encrypt(5).value != scheme.encrypt(5).value
+
+    def test_rejects_non_numeric(self, scheme):
+        for bad in ("x", None, True):
+            with pytest.raises(EncryptionError):
+                scheme.encrypt(bad)
+
+    def test_rejects_oversized_value(self, scheme):
+        with pytest.raises(EncryptionError):
+            scheme.encrypt(int(scheme.public_key.n))
+
+    def test_decrypt_requires_matching_key(self, scheme):
+        other = PaillierScheme(PaillierKeyPair.generate(256))
+        ciphertext = other.encrypt(5)
+        with pytest.raises(DecryptionError):
+            scheme.decrypt(ciphertext)
+
+    def test_decrypt_rejects_garbage(self, scheme):
+        with pytest.raises(DecryptionError):
+            scheme.decrypt("nonsense")
+
+    def test_class_metadata(self, scheme):
+        assert scheme.encryption_class is EncryptionClass.HOM
+        assert scheme.supports_addition
+        assert scheme.is_probabilistic
+
+
+class TestHomomorphism:
+    def test_ciphertext_addition(self, scheme):
+        total = scheme.encrypt(5) + scheme.encrypt(7)
+        assert scheme.decode_sum(total) == 12
+
+    def test_addition_with_floats(self, scheme):
+        total = scheme.encrypt(2.5) + scheme.encrypt(0.25)
+        assert scheme.decode_sum(total) == pytest.approx(2.75)
+
+    def test_addition_with_negatives(self, scheme):
+        total = scheme.encrypt(10) + scheme.encrypt(-4)
+        assert scheme.decode_sum(total) == 6
+
+    def test_add_many(self, scheme):
+        values = [3, -1, 10, 7, 0, 25]
+        total = scheme.add(*(scheme.encrypt(v) for v in values))
+        assert scheme.decode_sum(total) == sum(values)
+
+    def test_add_requires_at_least_one(self, scheme):
+        with pytest.raises(EncryptionError):
+            scheme.add()
+
+    def test_plaintext_addition_on_raw_residues(self, scheme):
+        ciphertext = scheme.encrypt_raw(100) + 23
+        assert scheme.decrypt_raw(ciphertext) == 123
+
+    def test_scalar_multiplication_on_raw_residues(self, scheme):
+        ciphertext = scheme.encrypt_raw(21) * 2
+        assert scheme.decrypt_raw(ciphertext) == 42
+        ciphertext = 3 * scheme.encrypt_raw(5)
+        assert scheme.decrypt_raw(ciphertext) == 15
+
+    def test_mixing_keys_rejected(self, scheme):
+        other = PaillierScheme(PaillierKeyPair.generate(256))
+        with pytest.raises(EncryptionError):
+            scheme.encrypt(1) + other.encrypt(2)
+
+    @settings(max_examples=25, deadline=None)
+    @given(
+        a=st.integers(min_value=-(10**6), max_value=10**6),
+        b=st.integers(min_value=-(10**6), max_value=10**6),
+    )
+    def test_additive_homomorphism_property(self, scheme, a, b):
+        assert scheme.decode_sum(scheme.encrypt(a) + scheme.encrypt(b)) == a + b
+
+    @settings(max_examples=20, deadline=None)
+    @given(
+        value=st.integers(min_value=-(10**6), max_value=10**6),
+        scalar=st.integers(min_value=0, max_value=50),
+    )
+    def test_scalar_multiplication_property(self, scheme, value, scalar):
+        ciphertext = scheme.encrypt_raw(value % scheme.public_key.n) * scalar
+        expected = (value * scalar) % scheme.public_key.n
+        assert scheme.decrypt_raw(ciphertext) == expected
+
+
+class TestCiphertextValue:
+    def test_ciphertext_is_bound_to_public_key(self, scheme):
+        ciphertext = scheme.encrypt(5)
+        assert isinstance(ciphertext, PaillierCiphertext)
+        assert ciphertext.public_key == scheme.public_key
+        assert 0 < ciphertext.value < scheme.public_key.n_squared

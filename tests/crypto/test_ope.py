@@ -1,0 +1,118 @@
+"""Tests for order-preserving encryption (including property-based checks)."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.crypto.keys import KeyChain, MasterKey
+from repro.crypto.ope import OrderPreservingScheme
+from repro.exceptions import DecryptionError, EncryptionError, KeyError_
+
+
+@pytest.fixture
+def small_ope(keychain) -> OrderPreservingScheme:
+    return OrderPreservingScheme(keychain.key_for("ope"), domain_min=0, domain_max=10_000)
+
+
+@pytest.fixture
+def signed_ope(keychain) -> OrderPreservingScheme:
+    return OrderPreservingScheme(keychain.key_for("ope-signed"))
+
+
+class TestBasics:
+    def test_round_trip(self, small_ope):
+        for value in (0, 1, 2, 77, 5000, 9999, 10_000):
+            assert small_ope.decrypt(small_ope.encrypt(value)) == value
+
+    def test_deterministic(self, small_ope):
+        assert small_ope.encrypt(123) == small_ope.encrypt(123)
+
+    def test_strictly_monotone_on_sample(self, small_ope):
+        values = [0, 1, 2, 3, 10, 57, 58, 100, 4999, 5000, 9999, 10_000]
+        ciphertexts = [small_ope.encrypt(v) for v in values]
+        assert ciphertexts == sorted(ciphertexts)
+        assert len(set(ciphertexts)) == len(values)
+
+    def test_ciphertexts_within_range(self, small_ope):
+        for value in (0, 5000, 10_000):
+            assert 0 <= small_ope.encrypt(value) < small_ope.range_size
+
+    def test_negative_domain(self, signed_ope):
+        assert signed_ope.encrypt(-100) < signed_ope.encrypt(0) < signed_ope.encrypt(100)
+        assert signed_ope.decrypt(signed_ope.encrypt(-12345)) == -12345
+
+    def test_key_separation(self, keychain):
+        a = OrderPreservingScheme(keychain.key_for("ope-1"), domain_min=0, domain_max=1000)
+        b = OrderPreservingScheme(keychain.key_for("ope-2"), domain_min=0, domain_max=1000)
+        assert [a.encrypt(v) for v in range(10)] != [b.encrypt(v) for v in range(10)]
+
+
+class TestValidation:
+    def test_rejects_non_integers(self, small_ope):
+        with pytest.raises(EncryptionError):
+            small_ope.encrypt(2.5)
+        with pytest.raises(EncryptionError):
+            small_ope.encrypt("5")
+        with pytest.raises(EncryptionError):
+            small_ope.encrypt(True)
+
+    def test_rejects_out_of_domain(self, small_ope):
+        with pytest.raises(EncryptionError):
+            small_ope.encrypt(10_001)
+        with pytest.raises(EncryptionError):
+            small_ope.encrypt(-1)
+
+    def test_rejects_bad_domain(self, keychain):
+        with pytest.raises(EncryptionError):
+            OrderPreservingScheme(keychain.key_for("x"), domain_min=5, domain_max=5)
+        with pytest.raises(EncryptionError):
+            OrderPreservingScheme(keychain.key_for("x"), domain_min=0, domain_max=10, expansion_bits=0)
+
+    def test_short_key_rejected(self):
+        with pytest.raises(KeyError_):
+            OrderPreservingScheme(b"short")
+
+    def test_decrypt_rejects_foreign_ciphertext(self, small_ope):
+        with pytest.raises(DecryptionError):
+            small_ope.decrypt(small_ope.range_size + 5)
+        with pytest.raises(DecryptionError):
+            small_ope.decrypt("not an int")
+        # A ciphertext value that was never produced by encrypt fails the
+        # leaf check rather than silently decrypting.
+        valid = small_ope.encrypt(500)
+        with pytest.raises(DecryptionError):
+            small_ope.decrypt(valid + 1 if valid + 1 != small_ope.encrypt(501) else valid + 2)
+
+
+class TestProperties:
+    @settings(max_examples=80, deadline=None)
+    @given(
+        a=st.integers(min_value=0, max_value=10_000),
+        b=st.integers(min_value=0, max_value=10_000),
+    )
+    def test_order_preserved_property(self, small_ope, a, b):
+        ca, cb = small_ope.encrypt(a), small_ope.encrypt(b)
+        if a < b:
+            assert ca < cb
+        elif a > b:
+            assert ca > cb
+        else:
+            assert ca == cb
+
+    @settings(max_examples=60, deadline=None)
+    @given(value=st.integers(min_value=0, max_value=10_000))
+    def test_decrypt_inverts_encrypt_property(self, small_ope, value):
+        assert small_ope.decrypt(small_ope.encrypt(value)) == value
+
+    @settings(max_examples=40, deadline=None)
+    @given(value=st.integers(min_value=-(2**31), max_value=2**31 - 1))
+    def test_full_default_domain_round_trip(self, signed_ope, value):
+        assert signed_ope.decrypt(signed_ope.encrypt(value)) == value
+
+    def test_same_key_same_mapping_across_instances(self):
+        keychain = KeyChain(MasterKey.from_passphrase("ope-shared"))
+        a = OrderPreservingScheme(keychain.key_for("shared"), domain_min=0, domain_max=500)
+        b = OrderPreservingScheme(keychain.key_for("shared"), domain_min=0, domain_max=500)
+        assert [a.encrypt(v) for v in range(0, 500, 37)] == [b.encrypt(v) for v in range(0, 500, 37)]

@@ -1,0 +1,187 @@
+"""Tests for crypto primitives, the value codec and key management."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.crypto.keys import KeyChain, MasterKey
+from repro.crypto.primitives import (
+    DeterministicStream,
+    aes_ctr_transform,
+    decode_value,
+    derive_key,
+    encode_value,
+    generate_prime,
+    is_probable_prime,
+    modular_inverse,
+    prf,
+    prf_int,
+    random_bytes,
+)
+from repro.exceptions import CryptoError, DecryptionError, KeyError_
+
+KEY = b"0123456789abcdef0123456789abcdef"
+
+
+class TestPrf:
+    def test_deterministic(self):
+        assert prf(KEY, "a", "b") == prf(KEY, "a", "b")
+
+    def test_key_separation(self):
+        assert prf(KEY, "a") != prf(b"x" * 32, "a")
+
+    def test_length_prefixing_prevents_ambiguity(self):
+        assert prf(KEY, "ab", "c") != prf(KEY, "a", "bc")
+
+    def test_prf_int_range(self):
+        value = prf_int(KEY, "x", bits=16)
+        assert 0 <= value < 2**16
+
+    def test_prf_int_large_bits(self):
+        value = prf_int(KEY, "x", bits=300)
+        assert 0 <= value < 2**300
+
+
+class TestDeriveKey:
+    def test_deterministic_and_label_separated(self):
+        assert derive_key(KEY, "a") == derive_key(KEY, "a")
+        assert derive_key(KEY, "a") != derive_key(KEY, "b")
+
+    def test_length(self):
+        assert len(derive_key(KEY, "a", 48)) == 48
+
+
+class TestAesCtr:
+    def test_round_trip(self):
+        nonce = random_bytes(16)
+        data = b"the quick brown fox"
+        assert aes_ctr_transform(KEY, nonce, aes_ctr_transform(KEY, nonce, data)) == data
+
+    def test_nonce_length_checked(self):
+        with pytest.raises(CryptoError):
+            aes_ctr_transform(KEY, b"short", b"data")
+
+
+class TestDeterministicStream:
+    def test_reproducible(self):
+        a = DeterministicStream(KEY, "seed").read(64)
+        b = DeterministicStream(KEY, "seed").read(64)
+        assert a == b
+
+    def test_different_seeds_differ(self):
+        assert DeterministicStream(KEY, "s1").read(32) != DeterministicStream(KEY, "s2").read(32)
+
+    def test_uniform_int_in_range(self):
+        stream = DeterministicStream(KEY, "seed")
+        for _ in range(200):
+            value = stream.uniform_int(5, 9)
+            assert 5 <= value <= 9
+
+    def test_uniform_int_single_value_range(self):
+        assert DeterministicStream(KEY, "s").uniform_int(7, 7) == 7
+
+    def test_uniform_int_empty_range_raises(self):
+        with pytest.raises(CryptoError):
+            DeterministicStream(KEY, "s").uniform_int(5, 4)
+
+    def test_uniform_float_in_unit_interval(self):
+        stream = DeterministicStream(KEY, "seed")
+        for _ in range(50):
+            assert 0.0 <= stream.uniform_float() < 1.0
+
+
+class TestValueCodec:
+    @pytest.mark.parametrize(
+        "value",
+        [None, True, False, 0, 1, -1, 42, -99999999999999, 3.25, -2.5, 0.0, "", "hello", "ümlauts ß"],
+    )
+    def test_round_trip(self, value):
+        assert decode_value(encode_value(value)) == value
+
+    def test_type_preserved(self):
+        assert isinstance(decode_value(encode_value(5)), int)
+        assert isinstance(decode_value(encode_value(5.0)), float)
+        assert isinstance(decode_value(encode_value(True)), bool)
+
+    def test_distinct_types_encode_differently(self):
+        assert encode_value(5) != encode_value(5.0)
+        assert encode_value("5") != encode_value(5)
+        assert encode_value(True) != encode_value(1)
+
+    def test_bad_inputs(self):
+        with pytest.raises(CryptoError):
+            encode_value([1, 2])  # type: ignore[arg-type]
+        with pytest.raises(DecryptionError):
+            decode_value(b"")
+        with pytest.raises(DecryptionError):
+            decode_value(b"\xff\x00")
+
+    @settings(max_examples=100, deadline=None)
+    @given(value=st.one_of(st.integers(), st.text(max_size=30), st.booleans(), st.none()))
+    def test_round_trip_property(self, value):
+        assert decode_value(encode_value(value)) == value
+
+
+class TestPrimes:
+    def test_known_primes(self):
+        for p in (2, 3, 5, 101, 7919):
+            assert is_probable_prime(p)
+
+    def test_known_composites(self):
+        for c in (1, 4, 100, 561, 7917):
+            assert not is_probable_prime(c)
+
+    def test_generate_prime_bits(self):
+        p = generate_prime(64)
+        assert p.bit_length() == 64
+        assert is_probable_prime(p)
+
+    def test_generate_prime_rejects_tiny(self):
+        with pytest.raises(CryptoError):
+            generate_prime(4)
+
+    def test_modular_inverse(self):
+        assert (modular_inverse(3, 11) * 3) % 11 == 1
+        with pytest.raises(CryptoError):
+            modular_inverse(6, 9)
+
+
+class TestMasterKeyAndKeyChain:
+    def test_generate_is_random(self):
+        assert MasterKey.generate().material != MasterKey.generate().material
+
+    def test_passphrase_is_deterministic(self):
+        assert MasterKey.from_passphrase("x") == MasterKey.from_passphrase("x")
+        assert MasterKey.from_passphrase("x") != MasterKey.from_passphrase("y")
+
+    def test_short_key_rejected(self):
+        with pytest.raises(KeyError_):
+            MasterKey(b"short")
+
+    def test_keychain_path_determinism(self, keychain):
+        assert keychain.key_for("a", "b") == keychain.key_for("a", "b")
+        assert keychain.key_for("a", "b") != keychain.key_for("a", "c")
+        assert keychain.key_for("a", "b") != keychain.key_for("a/b")
+
+    def test_keychain_empty_path_rejected(self, keychain):
+        with pytest.raises(KeyError_):
+            keychain.key_for()
+
+    def test_purpose_accessors_are_distinct(self, keychain):
+        keys = {
+            keychain.relation_key(),
+            keychain.attribute_key(),
+            keychain.constant_key("t", "a", "det"),
+            keychain.constant_key("t", "a", "ope"),
+            keychain.constant_key("t", "b", "det"),
+            keychain.onion_key("t", "a", "EQ", "DET"),
+            keychain.join_key("g"),
+        }
+        assert len(keys) == 7
+
+    def test_different_masters_different_keys(self):
+        chain_a = KeyChain(MasterKey.from_passphrase("a"))
+        chain_b = KeyChain(MasterKey.from_passphrase("b"))
+        assert chain_a.relation_key() != chain_b.relation_key()

@@ -1,0 +1,167 @@
+"""Tests for the PROB, DET and JOIN schemes."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.crypto.base import CiphertextKind, EncryptionClass, IdentityScheme
+from repro.crypto.det import DeterministicScheme
+from repro.crypto.join import JoinGroup, JoinScheme
+from repro.crypto.prob import ProbabilisticScheme
+from repro.exceptions import DecryptionError, EncryptionError, KeyError_
+
+VALUES = [0, 1, -7, 123456789, 2.5, -0.125, "", "hello", "O'Brien", True, False, None]
+sql_values = st.one_of(
+    st.integers(min_value=-(10**12), max_value=10**12),
+    st.text(max_size=40),
+    st.floats(allow_nan=False, allow_infinity=False, width=32),
+)
+
+
+class TestProbabilisticScheme:
+    def test_round_trip(self, keychain):
+        scheme = ProbabilisticScheme(keychain.key_for("prob"))
+        for value in VALUES:
+            assert scheme.decrypt(scheme.encrypt(value)) == value
+
+    def test_randomized(self, keychain):
+        scheme = ProbabilisticScheme(keychain.key_for("prob"))
+        assert scheme.encrypt("x") != scheme.encrypt("x")
+
+    def test_class_metadata(self, keychain):
+        scheme = ProbabilisticScheme(keychain.key_for("prob"))
+        assert scheme.encryption_class is EncryptionClass.PROB
+        assert scheme.is_probabilistic
+        assert not scheme.preserves_equality
+        assert scheme.describe()["class"] == "PROB"
+
+    def test_tampering_detected(self, keychain):
+        scheme = ProbabilisticScheme(keychain.key_for("prob"))
+        ciphertext = scheme.encrypt("secret")
+        tampered = ciphertext[:-2] + ("00" if ciphertext[-2:] != "00" else "11")
+        with pytest.raises(DecryptionError):
+            scheme.decrypt(tampered)
+
+    def test_wrong_key_fails(self, keychain):
+        ciphertext = ProbabilisticScheme(keychain.key_for("prob1")).encrypt("secret")
+        with pytest.raises(DecryptionError):
+            ProbabilisticScheme(keychain.key_for("prob2")).decrypt(ciphertext)
+
+    def test_malformed_ciphertexts_rejected(self, keychain):
+        scheme = ProbabilisticScheme(keychain.key_for("prob"))
+        for bad in ["nope", "prob:zz", "prob:aa", 42, None]:
+            with pytest.raises(DecryptionError):
+                scheme.decrypt(bad)
+
+    def test_short_key_rejected(self):
+        with pytest.raises(KeyError_):
+            ProbabilisticScheme(b"short")
+
+    @settings(max_examples=60, deadline=None)
+    @given(value=sql_values)
+    def test_round_trip_property(self, keychain, value):
+        scheme = ProbabilisticScheme(keychain.key_for("prob"))
+        assert scheme.decrypt(scheme.encrypt(value)) == value
+
+
+class TestDeterministicScheme:
+    def test_round_trip(self, keychain):
+        scheme = DeterministicScheme(keychain.key_for("det"))
+        for value in VALUES:
+            assert scheme.decrypt(scheme.encrypt(value)) == value
+
+    def test_deterministic_and_injective(self, keychain):
+        scheme = DeterministicScheme(keychain.key_for("det"))
+        assert scheme.encrypt("x") == scheme.encrypt("x")
+        ciphertexts = {scheme.encrypt(value) for value in VALUES}
+        assert len(ciphertexts) == len(VALUES)
+
+    def test_types_do_not_collide(self, keychain):
+        scheme = DeterministicScheme(keychain.key_for("det"))
+        assert scheme.encrypt(5) != scheme.encrypt("5")
+        assert scheme.encrypt(5) != scheme.encrypt(5.0)
+
+    def test_key_separation(self, keychain):
+        a = DeterministicScheme(keychain.key_for("det-a"))
+        b = DeterministicScheme(keychain.key_for("det-b"))
+        assert a.encrypt("x") != b.encrypt("x")
+
+    def test_identifier_encryption_is_valid_identifier(self, keychain):
+        scheme = DeterministicScheme(keychain.key_for("det"))
+        ciphertext = scheme.encrypt_identifier("users")
+        assert ciphertext.startswith("enc_")
+        assert ciphertext[4:].isalnum()
+        assert scheme.decrypt_identifier(ciphertext) == "users"
+        assert scheme.is_identifier_ciphertext(ciphertext)
+
+    def test_identifier_and_value_namespaces_differ(self, keychain):
+        scheme = DeterministicScheme(keychain.key_for("det"))
+        assert scheme.encrypt("users") != scheme.encrypt_identifier("users")
+
+    def test_integrity_check(self, keychain):
+        scheme = DeterministicScheme(keychain.key_for("det"))
+        ciphertext = scheme.encrypt("secret")
+        tampered = ciphertext[:-2] + ("00" if ciphertext[-2:] != "00" else "11")
+        with pytest.raises(DecryptionError):
+            scheme.decrypt(tampered)
+
+    def test_malformed_inputs(self, keychain):
+        scheme = DeterministicScheme(keychain.key_for("det"))
+        with pytest.raises(DecryptionError):
+            scheme.decrypt("not-a-ciphertext")
+        with pytest.raises(DecryptionError):
+            scheme.decrypt_identifier("nope")
+
+    @settings(max_examples=60, deadline=None)
+    @given(value=sql_values)
+    def test_determinism_property(self, keychain, value):
+        scheme = DeterministicScheme(keychain.key_for("det"))
+        assert scheme.encrypt(value) == scheme.encrypt(value)
+        assert scheme.decrypt(scheme.encrypt(value)) == value
+
+
+class TestJoinScheme:
+    def test_same_group_shares_ciphertexts(self, keychain):
+        group = JoinGroup("g1")
+        group.add("users", "uid")
+        group.add("accounts", "owner_id")
+        scheme = JoinScheme(keychain, group)
+        assert scheme.encrypt_for("users", "uid", 42) == scheme.encrypt_for(
+            "accounts", "owner_id", 42
+        )
+        assert scheme.encryption_class is EncryptionClass.JOIN
+
+    def test_non_member_rejected(self, keychain):
+        group = JoinGroup("g1", {("users", "uid")})
+        scheme = JoinScheme(keychain, group)
+        with pytest.raises(EncryptionError):
+            scheme.encrypt_for("orders", "oid", 1)
+
+    def test_different_groups_do_not_join(self, keychain):
+        g1 = JoinGroup("g1", {("a", "x")})
+        g2 = JoinGroup("g2", {("b", "y")})
+        assert JoinScheme(keychain, g1).encrypt(7) != JoinScheme(keychain, g2).encrypt(7)
+
+    def test_join_ope_mode_preserves_order(self, keychain):
+        group = JoinGroup("g-ope", {("a", "x"), ("b", "y")})
+        scheme = JoinScheme(keychain, group, order_preserving=True, domain_min=0, domain_max=1000)
+        assert scheme.encryption_class is EncryptionClass.JOIN_OPE
+        ciphertexts = [scheme.encrypt(v) for v in (1, 5, 500)]
+        assert ciphertexts == sorted(ciphertexts)
+        assert scheme.ciphertext_kind is CiphertextKind.INTEGER
+
+    def test_round_trip(self, keychain):
+        group = JoinGroup("g1", {("a", "x")})
+        scheme = JoinScheme(keychain, group)
+        assert scheme.decrypt(scheme.encrypt("v")) == "v"
+
+
+class TestIdentityScheme:
+    def test_identity(self):
+        scheme = IdentityScheme()
+        assert scheme.encrypt(5) == 5
+        assert scheme.decrypt("x") == "x"
+        assert scheme.encryption_class is EncryptionClass.PLAIN
+        assert scheme.preserves_equality and scheme.preserves_order

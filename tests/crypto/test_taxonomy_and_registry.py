@@ -1,0 +1,163 @@
+"""Tests for the Figure 1 taxonomy and the scheme registry."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.crypto.base import EncryptionClass
+from repro.crypto.det import DeterministicScheme
+from repro.crypto.hom import PaillierScheme
+from repro.crypto.ope import OrderPreservingScheme
+from repro.crypto.prob import ProbabilisticScheme
+from repro.crypto.registry import SchemeRegistry, default_registry
+from repro.crypto.taxonomy import (
+    SECURITY_LEVELS,
+    EncryptionTaxonomy,
+    default_taxonomy,
+)
+from repro.exceptions import CryptoError, TaxonomyError
+
+
+class TestSecurityLevels:
+    def test_figure1_rows(self):
+        taxonomy = default_taxonomy()
+        assert taxonomy.security_level(EncryptionClass.PROB) == 3
+        assert taxonomy.security_level(EncryptionClass.HOM) == 3
+        assert taxonomy.security_level(EncryptionClass.DET) == 2
+        assert taxonomy.security_level(EncryptionClass.JOIN) == 2
+        assert taxonomy.security_level(EncryptionClass.OPE) == 1
+        assert taxonomy.security_level(EncryptionClass.JOIN_OPE) == 1
+
+    def test_plain_is_weakest(self):
+        assert SECURITY_LEVELS[EncryptionClass.PLAIN] == 0
+
+    def test_more_secure_is_strict(self):
+        taxonomy = default_taxonomy()
+        assert taxonomy.more_secure(EncryptionClass.PROB, EncryptionClass.DET)
+        assert not taxonomy.more_secure(EncryptionClass.PROB, EncryptionClass.HOM)
+        assert not taxonomy.more_secure(EncryptionClass.OPE, EncryptionClass.DET)
+
+    def test_at_least_as_secure(self):
+        taxonomy = default_taxonomy()
+        assert taxonomy.at_least_as_secure(EncryptionClass.PROB, EncryptionClass.HOM)
+        assert taxonomy.at_least_as_secure(EncryptionClass.DET, EncryptionClass.OPE)
+        assert not taxonomy.at_least_as_secure(EncryptionClass.OPE, EncryptionClass.DET)
+
+
+class TestSubclassRelation:
+    def test_figure1_edges(self):
+        taxonomy = default_taxonomy()
+        assert taxonomy.is_subclass(EncryptionClass.HOM, EncryptionClass.PROB)
+        assert taxonomy.is_subclass(EncryptionClass.OPE, EncryptionClass.DET)
+        assert taxonomy.is_subclass(EncryptionClass.JOIN, EncryptionClass.DET)
+        assert taxonomy.is_subclass(EncryptionClass.JOIN_OPE, EncryptionClass.JOIN)
+        assert taxonomy.is_subclass(EncryptionClass.JOIN_OPE, EncryptionClass.DET)
+
+    def test_reflexive(self):
+        assert default_taxonomy().is_subclass(EncryptionClass.DET, EncryptionClass.DET)
+
+    def test_non_edges(self):
+        taxonomy = default_taxonomy()
+        assert not taxonomy.is_subclass(EncryptionClass.PROB, EncryptionClass.HOM)
+        assert not taxonomy.is_subclass(EncryptionClass.DET, EncryptionClass.PROB)
+
+    def test_superclasses_and_subclasses(self):
+        taxonomy = default_taxonomy()
+        assert EncryptionClass.DET in taxonomy.superclasses(EncryptionClass.JOIN_OPE)
+        assert EncryptionClass.JOIN_OPE in taxonomy.subclasses(EncryptionClass.DET)
+
+    def test_cyclic_taxonomy_rejected(self):
+        with pytest.raises(TaxonomyError):
+            EncryptionTaxonomy(
+                subclass_edges=[
+                    (EncryptionClass.HOM, EncryptionClass.PROB),
+                    (EncryptionClass.PROB, EncryptionClass.HOM),
+                ]
+            )
+
+    def test_unknown_class_in_edge_rejected(self):
+        with pytest.raises(TaxonomyError):
+            EncryptionTaxonomy(
+                levels={EncryptionClass.PROB: 3},
+                subclass_edges=[(EncryptionClass.HOM, EncryptionClass.PROB)],
+            )
+
+
+class TestSelectionPrimitives:
+    def test_most_secure(self):
+        taxonomy = default_taxonomy()
+        assert set(taxonomy.most_secure([EncryptionClass.DET, EncryptionClass.OPE])) == {
+            EncryptionClass.DET
+        }
+        assert set(
+            taxonomy.most_secure([EncryptionClass.PROB, EncryptionClass.HOM, EncryptionClass.DET])
+        ) == {EncryptionClass.PROB, EncryptionClass.HOM}
+
+    def test_most_secure_empty_rejected(self):
+        with pytest.raises(TaxonomyError):
+            default_taxonomy().most_secure([])
+
+    def test_revealed_capabilities_subset_order(self):
+        taxonomy = default_taxonomy()
+        assert taxonomy.reveals_strictly_less(EncryptionClass.PROB, EncryptionClass.HOM)
+        assert taxonomy.reveals_strictly_less(EncryptionClass.DET, EncryptionClass.OPE)
+        assert taxonomy.reveals_strictly_less(EncryptionClass.PROB, EncryptionClass.OPE)
+        assert not taxonomy.reveals_strictly_less(EncryptionClass.HOM, EncryptionClass.PROB)
+        assert not taxonomy.reveals_strictly_less(EncryptionClass.DET, EncryptionClass.DET)
+        # DET and HOM are incomparable: neither level nor capabilities decide.
+        assert not default_taxonomy().reveals_strictly_less(
+            EncryptionClass.DET, EncryptionClass.HOM
+        )
+
+    def test_figure_rendering_mentions_all_classes(self):
+        figure = default_taxonomy().to_figure()
+        for encryption_class in ("PROB", "HOM", "DET", "JOIN", "OPE", "JOIN-OPE"):
+            assert encryption_class in figure
+
+
+class TestRegistry:
+    def test_default_registry_covers_figure1(self, keychain):
+        registry = default_registry(paillier_bits=256)
+        for encryption_class in (
+            EncryptionClass.PROB,
+            EncryptionClass.DET,
+            EncryptionClass.OPE,
+            EncryptionClass.JOIN,
+            EncryptionClass.JOIN_OPE,
+            EncryptionClass.HOM,
+            EncryptionClass.PLAIN,
+        ):
+            assert registry.supports(encryption_class)
+            scheme = registry.create(encryption_class, keychain.key_for("reg-test"))
+            assert scheme is not None
+
+    def test_created_schemes_have_expected_types(self, keychain):
+        registry = default_registry(paillier_bits=256)
+        key = keychain.key_for("reg")
+        assert isinstance(registry.create(EncryptionClass.PROB, key), ProbabilisticScheme)
+        assert isinstance(registry.create(EncryptionClass.DET, key), DeterministicScheme)
+        assert isinstance(registry.create(EncryptionClass.OPE, key), OrderPreservingScheme)
+        assert isinstance(registry.create(EncryptionClass.HOM, key), PaillierScheme)
+
+    def test_paillier_instance_is_cached(self, keychain):
+        registry = default_registry(paillier_bits=256)
+        first = registry.create(EncryptionClass.HOM, keychain.key_for("a"))
+        second = registry.create(EncryptionClass.HOM, keychain.key_for("b"))
+        assert first is second
+
+    def test_create_for_derives_from_keychain(self, keychain):
+        registry = default_registry(paillier_bits=256)
+        a = registry.create_for(EncryptionClass.DET, keychain, "col", "a")
+        b = registry.create_for(EncryptionClass.DET, keychain, "col", "b")
+        assert a.encrypt("x") != b.encrypt("x")
+
+    def test_unknown_class_raises(self, keychain):
+        registry = SchemeRegistry()
+        with pytest.raises(CryptoError):
+            registry.create(EncryptionClass.DET, keychain.key_for("x"))
+
+    def test_ope_domain_configurable(self, keychain):
+        registry = default_registry(ope_domain=(0, 100))
+        scheme = registry.create(EncryptionClass.OPE, keychain.key_for("x"))
+        assert isinstance(scheme, OrderPreservingScheme)
+        assert scheme.domain_max == 100

@@ -1,0 +1,244 @@
+"""Tests for the SELECT executor."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.db.executor import QueryExecutor
+from repro.exceptions import ExecutionError
+from repro.sql.parser import parse_query
+
+
+@pytest.fixture
+def executor(small_database) -> QueryExecutor:
+    return QueryExecutor(small_database)
+
+
+def run(executor: QueryExecutor, sql: str):
+    return executor.execute(parse_query(sql))
+
+
+class TestProjection:
+    def test_simple_projection(self, executor):
+        result = run(executor, "SELECT name FROM users")
+        assert result.columns == ("name",)
+        assert len(result) == 12
+
+    def test_star_projection(self, executor):
+        result = run(executor, "SELECT * FROM users")
+        assert set(result.columns) == {"uid", "name", "city", "age", "salary"}
+        assert len(result) == 12
+
+    def test_qualified_star(self, executor):
+        result = run(executor, "SELECT users.* FROM users WHERE uid = 1")
+        assert len(result) == 1
+        assert len(result.columns) == 5
+
+    def test_alias_names_result_column(self, executor):
+        result = run(executor, "SELECT name AS who FROM users")
+        assert result.columns == ("who",)
+
+    def test_expression_projection(self, executor):
+        result = run(executor, "SELECT age + 1 FROM users WHERE uid = 1")
+        assert result.rows[0][0] == 19
+
+    def test_distinct(self, executor):
+        result = run(executor, "SELECT DISTINCT city FROM users")
+        assert len(result) == 3
+
+    def test_tuple_set(self, executor):
+        result = run(executor, "SELECT city FROM users")
+        assert ("Berlin",) in result.tuple_set()
+
+    def test_as_dicts(self, executor):
+        rows = run(executor, "SELECT uid, name FROM users WHERE uid = 2").as_dicts()
+        assert rows == [{"uid": 2, "name": "user1"}]
+
+
+class TestFilters:
+    def test_equality_filter(self, executor):
+        result = run(executor, "SELECT uid FROM users WHERE city = 'Paris'")
+        assert len(result) == 4
+
+    def test_range_filter(self, executor):
+        result = run(executor, "SELECT uid FROM users WHERE age > 50")
+        ages = run(executor, "SELECT age FROM users WHERE age > 50")
+        assert all(age > 50 for (age,) in ages.rows)
+        assert len(result) == len(ages)
+
+    def test_between_filter(self, executor):
+        result = run(executor, "SELECT uid FROM users WHERE age BETWEEN 18 AND 28")
+        assert len(result) > 0
+
+    def test_in_filter(self, executor):
+        result = run(executor, "SELECT uid FROM users WHERE uid IN (1, 2, 3)")
+        assert sorted(row[0] for row in result.rows) == [1, 2, 3]
+
+    def test_compound_filter(self, executor):
+        result = run(
+            executor, "SELECT uid FROM users WHERE city = 'Berlin' AND age < 40"
+        )
+        for (uid,) in result.rows:
+            check = run(
+                executor, f"SELECT city, age FROM users WHERE uid = {uid}"
+            ).rows[0]
+            assert check[0] == "Berlin" and check[1] < 40
+
+    def test_like_filter(self, executor):
+        result = run(executor, "SELECT name FROM users WHERE name LIKE 'user1%'")
+        assert {row[0] for row in result.rows} == {"user1", "user10", "user11"}
+
+    def test_limit(self, executor):
+        assert len(run(executor, "SELECT uid FROM users LIMIT 3")) == 3
+
+
+class TestJoins:
+    def test_inner_join(self, executor):
+        result = run(
+            executor,
+            "SELECT name, balance FROM users JOIN accounts ON uid = owner_id",
+        )
+        assert len(result) == 20  # every account matches exactly one user
+
+    def test_join_with_filter(self, executor):
+        result = run(
+            executor,
+            "SELECT name FROM users JOIN accounts ON uid = owner_id WHERE balance < 0",
+        )
+        assert len(result) > 0
+
+    def test_left_join_keeps_unmatched(self, executor):
+        result = run(
+            executor,
+            "SELECT name, acc_id FROM users LEFT JOIN accounts "
+            "ON uid = owner_id AND balance > 100000",
+        )
+        # no account has balance > 100000, so every user appears once with NULL
+        assert len(result) == 12
+        assert all(row[1] is None for row in result.rows)
+
+    def test_right_join(self, executor):
+        result = run(
+            executor,
+            "SELECT acc_id, name FROM users RIGHT JOIN accounts ON uid = owner_id",
+        )
+        assert len(result) == 20
+
+    def test_cross_join_cardinality(self, executor):
+        result = run(executor, "SELECT uid, acc_id FROM users CROSS JOIN accounts")
+        assert len(result) == 12 * 20
+
+    def test_aliased_join(self, executor):
+        result = run(
+            executor,
+            "SELECT u.name FROM users AS u JOIN accounts AS a ON u.uid = a.owner_id "
+            "WHERE a.balance > 0",
+        )
+        assert len(result) > 0
+
+    def test_duplicate_alias_rejected(self, executor):
+        with pytest.raises(ExecutionError):
+            run(executor, "SELECT uid FROM users JOIN users ON uid = uid")
+
+
+class TestAggregates:
+    def test_count_star(self, executor):
+        assert run(executor, "SELECT COUNT(*) FROM users").rows[0][0] == 12
+
+    def test_count_with_filter(self, executor):
+        count = run(executor, "SELECT COUNT(*) FROM users WHERE city = 'Rome'").rows[0][0]
+        assert count == 2
+
+    def test_sum_and_avg(self, executor):
+        total = run(executor, "SELECT SUM(age) FROM users").rows[0][0]
+        average = run(executor, "SELECT AVG(age) FROM users").rows[0][0]
+        assert total == sum(18 + (i * 5) % 60 for i in range(12))
+        assert average == pytest.approx(total / 12)
+
+    def test_min_max(self, executor):
+        assert run(executor, "SELECT MIN(uid), MAX(uid) FROM users").rows[0] == (1, 12)
+
+    def test_aggregate_over_empty_group(self, executor):
+        row = run(executor, "SELECT COUNT(*), SUM(age), MIN(age) FROM users WHERE age > 999").rows[0]
+        assert row == (0, None, None)
+
+    def test_group_by(self, executor):
+        result = run(executor, "SELECT city, COUNT(*) FROM users GROUP BY city")
+        counts = dict(result.rows)
+        assert counts == {"Berlin": 6, "Paris": 4, "Rome": 2}
+
+    def test_group_by_with_having(self, executor):
+        result = run(
+            executor,
+            "SELECT city, COUNT(*) FROM users GROUP BY city HAVING COUNT(*) > 3",
+        )
+        assert {row[0] for row in result.rows} == {"Berlin", "Paris"}
+
+    def test_group_key_must_be_selected_or_grouped(self, executor):
+        with pytest.raises(ExecutionError):
+            run(executor, "SELECT name, COUNT(*) FROM users GROUP BY city")
+
+    def test_aggregate_arithmetic(self, executor):
+        value = run(executor, "SELECT SUM(age) / COUNT(*) FROM users").rows[0][0]
+        assert value == pytest.approx(sum(18 + (i * 5) % 60 for i in range(12)) / 12)
+
+    def test_count_distinct(self, executor):
+        assert run(executor, "SELECT COUNT(DISTINCT city) FROM users").rows[0][0] == 3
+
+
+class TestOrderBy:
+    def test_order_ascending(self, executor):
+        result = run(executor, "SELECT age FROM users ORDER BY age ASC")
+        ages = [row[0] for row in result.rows]
+        assert ages == sorted(ages)
+
+    def test_order_descending(self, executor):
+        result = run(executor, "SELECT age FROM users ORDER BY age DESC")
+        ages = [row[0] for row in result.rows]
+        assert ages == sorted(ages, reverse=True)
+
+    def test_order_by_alias(self, executor):
+        result = run(executor, "SELECT age AS years FROM users ORDER BY years ASC")
+        ages = [row[0] for row in result.rows]
+        assert ages == sorted(ages)
+
+    def test_order_by_aggregate(self, executor):
+        result = run(
+            executor,
+            "SELECT city, COUNT(*) FROM users GROUP BY city ORDER BY COUNT(*) DESC",
+        )
+        counts = [row[1] for row in result.rows]
+        assert counts == sorted(counts, reverse=True)
+
+    def test_order_by_unprojected_column(self, executor):
+        result = run(executor, "SELECT name FROM users ORDER BY salary DESC LIMIT 1")
+        assert result.rows == (("user11",),)  # the highest-salary user
+
+    def test_order_by_unprojected_column_with_distinct_rejected(self, executor):
+        with pytest.raises(ExecutionError):
+            run(executor, "SELECT DISTINCT city FROM users ORDER BY salary ASC")
+
+    def test_order_by_unprojected_after_group_by_rejected(self, executor):
+        with pytest.raises(ExecutionError):
+            run(executor, "SELECT city, COUNT(*) FROM users GROUP BY city ORDER BY salary ASC")
+
+    def test_order_then_limit(self, executor):
+        result = run(executor, "SELECT age FROM users ORDER BY age DESC LIMIT 2")
+        all_ages = sorted(
+            (row[0] for row in run(executor, "SELECT age FROM users").rows), reverse=True
+        )
+        assert [row[0] for row in result.rows] == all_ages[:2]
+
+
+class TestErrors:
+    def test_unknown_table(self, executor):
+        with pytest.raises(Exception):
+            run(executor, "SELECT a FROM missing")
+
+    def test_unknown_column(self, executor):
+        with pytest.raises(ExecutionError):
+            run(executor, "SELECT nonexistent FROM users")
+
+    def test_star_mixed_with_aggregates_rejected(self, executor):
+        with pytest.raises(ExecutionError):
+            run(executor, "SELECT *, COUNT(*) FROM users GROUP BY uid")

@@ -1,0 +1,169 @@
+"""Tests for row-wise expression evaluation (including NULL semantics)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.db.expressions import (
+    RowScope,
+    compare_values,
+    evaluate,
+    evaluate_predicate,
+    values_equal,
+)
+from repro.exceptions import ExecutionError
+from repro.sql.parser import parse_expression
+
+
+def scope(**values) -> RowScope:
+    return RowScope({"t": values})
+
+
+def run(expression: str, **values):
+    return evaluate(parse_expression(expression), scope(**values))
+
+
+class TestScopes:
+    def test_qualified_resolution(self):
+        s = RowScope({"t": {"a": 1}, "s": {"a": 2}})
+        assert evaluate(parse_expression("t.a"), s) == 1
+        assert evaluate(parse_expression("s.a"), s) == 2
+
+    def test_ambiguous_unqualified_raises(self):
+        s = RowScope({"t": {"a": 1}, "s": {"a": 2}})
+        with pytest.raises(ExecutionError):
+            evaluate(parse_expression("a"), s)
+
+    def test_unknown_column_raises(self):
+        with pytest.raises(ExecutionError):
+            run("missing", a=1)
+
+    def test_unknown_table_raises(self):
+        with pytest.raises(ExecutionError):
+            run("x.a", a=1)
+
+
+class TestComparisons:
+    def test_numeric_comparisons(self):
+        assert run("a > 5", a=6) is True
+        assert run("a > 5", a=5) is False
+        assert run("a <= 5", a=5) is True
+        assert run("a <> 5", a=4) is True
+
+    def test_string_equality_and_order(self):
+        assert run("a = 'x'", a="x") is True
+        assert run("a < 'b'", a="a") is True
+
+    def test_mixed_type_equality_is_false(self):
+        assert run("a = 'x'", a=5) is False
+        assert run("a = 5", a="5") is False
+
+    def test_int_float_equality(self):
+        assert run("a = 5", a=5.0) is True
+
+    def test_mixed_type_ordering_raises(self):
+        with pytest.raises(ExecutionError):
+            run("a > 'x'", a=5)
+
+    def test_null_comparisons_are_unknown(self):
+        assert run("a > 5", a=None) is None
+        assert run("a = 5", a=None) is None
+
+
+class TestLogic:
+    def test_and_or_not(self):
+        assert run("a > 1 AND a < 5", a=3) is True
+        assert run("a > 1 OR a > 100", a=3) is True
+        assert run("NOT a > 1", a=3) is False
+
+    def test_three_valued_and(self):
+        # unknown AND false = false; unknown AND true = unknown
+        assert run("a > 5 AND b = 1", a=None, b=2) is False
+        assert run("a > 5 AND b = 1", a=None, b=1) is None
+
+    def test_three_valued_or(self):
+        assert run("a > 5 OR b = 1", a=None, b=1) is True
+        assert run("a > 5 OR b = 1", a=None, b=2) is None
+
+    def test_not_of_unknown(self):
+        assert run("NOT a > 5", a=None) is None
+
+    def test_predicate_treats_unknown_as_false(self):
+        assert evaluate_predicate(parse_expression("a > 5"), scope(a=None)) is False
+        assert evaluate_predicate(parse_expression("a > 5"), scope(a=7)) is True
+
+
+class TestPredicates:
+    def test_between(self):
+        assert run("a BETWEEN 1 AND 5", a=3) is True
+        assert run("a BETWEEN 1 AND 5", a=6) is False
+        assert run("a NOT BETWEEN 1 AND 5", a=6) is True
+        assert run("a BETWEEN 1 AND 5", a=None) is None
+
+    def test_in(self):
+        assert run("a IN (1, 2, 3)", a=2) is True
+        assert run("a IN (1, 2, 3)", a=9) is False
+        assert run("a NOT IN (1, 2, 3)", a=9) is True
+
+    def test_in_with_null_member_is_unknown_when_no_match(self):
+        assert run("a IN (1, NULL)", a=5) is None
+        assert run("a IN (1, NULL)", a=1) is True
+
+    def test_like(self):
+        assert run("a LIKE 'ab%'", a="abcdef") is True
+        assert run("a LIKE 'ab%'", a="xabc") is False
+        assert run("a LIKE '_b'", a="ab") is True
+        assert run("a LIKE '_b'", a="aab") is False
+        assert run("a NOT LIKE 'ab%'", a="xy") is True
+
+    def test_like_escapes_regex_metacharacters(self):
+        assert run("a LIKE 'a.c'", a="a.c") is True
+        assert run("a LIKE 'a.c'", a="abc") is False
+
+    def test_like_requires_strings(self):
+        with pytest.raises(ExecutionError):
+            run("a LIKE 'x%'", a=5)
+
+    def test_is_null(self):
+        assert run("a IS NULL", a=None) is True
+        assert run("a IS NULL", a=1) is False
+        assert run("a IS NOT NULL", a=1) is True
+
+
+class TestArithmetic:
+    def test_basic_arithmetic(self):
+        assert run("a + 2 * 3", a=1) == 7
+        assert run("(a + 2) * 3", a=1) == 9
+        assert run("a % 3", a=7) == 1
+        assert run("-a", a=4) == -4
+
+    def test_division(self):
+        assert run("a / 2", a=5) == 2.5
+
+    def test_division_by_zero_raises(self):
+        with pytest.raises(ExecutionError):
+            run("a / 0", a=5)
+        with pytest.raises(ExecutionError):
+            run("a % 0", a=5)
+
+    def test_null_propagates(self):
+        assert run("a + 1", a=None) is None
+
+    def test_non_numeric_arithmetic_raises(self):
+        with pytest.raises(ExecutionError):
+            run("a + 1", a="x")
+
+
+class TestHelpers:
+    def test_compare_values(self):
+        assert compare_values(1, 2) == -1
+        assert compare_values(2, 1) == 1
+        assert compare_values(2, 2) == 0
+        assert compare_values(None, 1) is None
+
+    def test_values_equal(self):
+        assert values_equal(1, 1.0) is True
+        assert values_equal("a", "a") is True
+        assert values_equal(1, "1") is False
+        assert values_equal(None, 1) is None
+        assert values_equal(True, 1) is False

@@ -1,0 +1,158 @@
+"""Tests for schemas, tables and the database catalog."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.db.database import Database
+from repro.db.schema import Column, ColumnType, DatabaseSchema, TableSchema
+from repro.db.table import Row, Table
+from repro.exceptions import SchemaError
+
+
+class TestColumnType:
+    def test_numeric_flag(self):
+        assert ColumnType.INTEGER.is_numeric
+        assert ColumnType.REAL.is_numeric
+        assert not ColumnType.TEXT.is_numeric
+        assert not ColumnType.BOOLEAN.is_numeric
+
+    def test_integer_rejects_bool_and_str(self):
+        with pytest.raises(SchemaError):
+            ColumnType.INTEGER.validate(True)
+        with pytest.raises(SchemaError):
+            ColumnType.INTEGER.validate("5")
+
+    def test_real_accepts_int_and_float(self):
+        ColumnType.REAL.validate(5)
+        ColumnType.REAL.validate(5.5)
+
+    def test_text_rejects_numbers(self):
+        with pytest.raises(SchemaError):
+            ColumnType.TEXT.validate(5)
+
+    def test_null_is_always_valid_at_type_level(self):
+        for column_type in ColumnType:
+            column_type.validate(None)
+
+
+class TestColumn:
+    def test_not_nullable_rejects_none(self):
+        column = Column("a", ColumnType.INTEGER, nullable=False)
+        with pytest.raises(SchemaError):
+            column.validate(None)
+
+    def test_nullable_accepts_none(self):
+        Column("a", ColumnType.INTEGER).validate(None)
+
+
+class TestTableSchema:
+    def test_duplicate_columns_rejected(self):
+        with pytest.raises(SchemaError):
+            TableSchema("t", [Column("a", ColumnType.INTEGER), Column("a", ColumnType.TEXT)])
+
+    def test_empty_schema_rejected(self):
+        with pytest.raises(SchemaError):
+            TableSchema("t", [])
+
+    def test_column_lookup(self):
+        schema = TableSchema("t", [Column("a", ColumnType.INTEGER)])
+        assert schema.column("a").type is ColumnType.INTEGER
+        assert schema.has_column("a")
+        assert not schema.has_column("b")
+        with pytest.raises(SchemaError):
+            schema.column("b")
+
+    def test_validate_row_missing_and_extra(self):
+        schema = TableSchema("t", [Column("a", ColumnType.INTEGER), Column("b", ColumnType.TEXT)])
+        with pytest.raises(SchemaError):
+            schema.validate_row({"a": 1})
+        with pytest.raises(SchemaError):
+            schema.validate_row({"a": 1, "b": "x", "c": 3})
+        schema.validate_row({"a": 1, "b": "x"})
+
+    def test_rename(self):
+        schema = TableSchema("t", [Column("a", ColumnType.INTEGER), Column("b", ColumnType.TEXT)])
+        renamed = schema.rename("enc_t", {"a": "enc_a"})
+        assert renamed.name == "enc_t"
+        assert renamed.column_names == ("enc_a", "b")
+
+
+class TestRow:
+    def test_rows_are_hashable_and_comparable(self):
+        row1 = Row({"a": 1, "b": "x"})
+        row2 = Row({"b": "x", "a": 1})
+        assert row1 == row2
+        assert hash(row1) == hash(row2)
+        assert len({row1, row2}) == 1
+
+    def test_row_equals_plain_mapping(self):
+        assert Row({"a": 1}) == {"a": 1}
+
+    def test_project_and_values_tuple(self):
+        row = Row({"a": 1, "b": 2, "c": 3})
+        assert row.project(["a", "c"]) == Row({"a": 1, "c": 3})
+        assert row.values_tuple(["c", "a"]) == (3, 1)
+
+    def test_as_dict_is_a_copy(self):
+        row = Row({"a": 1})
+        copy = row.as_dict()
+        copy["a"] = 99
+        assert row["a"] == 1
+
+
+class TestTable:
+    def make_table(self) -> Table:
+        schema = TableSchema(
+            "t", [Column("a", ColumnType.INTEGER), Column("b", ColumnType.TEXT)]
+        )
+        return Table(schema)
+
+    def test_insert_validates(self):
+        table = self.make_table()
+        table.insert({"a": 1, "b": "x"})
+        with pytest.raises(SchemaError):
+            table.insert({"a": "wrong", "b": "x"})
+        assert len(table) == 1
+
+    def test_insert_many(self):
+        table = self.make_table()
+        table.insert_many([{"a": i, "b": "x"} for i in range(5)])
+        assert len(table) == 5
+
+    def test_column_values(self):
+        table = self.make_table()
+        table.insert_many([{"a": i, "b": "x"} for i in range(3)])
+        assert table.column_values("a") == [0, 1, 2]
+        with pytest.raises(SchemaError):
+            table.column_values("missing")
+
+
+class TestDatabase:
+    def test_create_and_lookup(self):
+        database = Database("db")
+        database.create_table(TableSchema("t", [Column("a", ColumnType.INTEGER)]))
+        assert database.has_table("t")
+        assert database.table("t").name == "t"
+        with pytest.raises(SchemaError):
+            database.table("missing")
+
+    def test_duplicate_table_rejected(self):
+        database = Database("db")
+        schema = TableSchema("t", [Column("a", ColumnType.INTEGER)])
+        database.create_table(schema)
+        with pytest.raises(SchemaError):
+            database.create_table(schema)
+
+    def test_insert_and_total_rows(self):
+        database = Database("db")
+        database.create_table(TableSchema("t", [Column("a", ColumnType.INTEGER)]))
+        database.insert_many("t", [{"a": i} for i in range(4)])
+        database.insert("t", {"a": 10})
+        assert database.total_rows() == 5
+
+    def test_schema_property(self, small_database):
+        schema = small_database.schema
+        assert isinstance(schema, DatabaseSchema)
+        assert set(schema.table_names) == {"users", "accounts"}
+        assert schema.table("users").has_column("age")

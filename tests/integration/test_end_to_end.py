@@ -1,0 +1,161 @@
+"""End-to-end integration tests: the paper's full pipeline on synthetic workloads.
+
+Each test follows the outsourcing story: the data owner generates a workload,
+encrypts it with the measure-specific KIT-DPE scheme, hands the encrypted
+context to the "service provider" (which only ever touches ciphertexts),
+and the provider's mining results equal the owner's plaintext results.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.preservation import compare_mining, run_preservation_experiment
+from repro.core.dpe import LogContext, verify_distance_preservation
+from repro.core.measures import (
+    AccessAreaDistance,
+    ResultDistance,
+    StructureDistance,
+    TokenDistance,
+)
+from repro.core.schemes import (
+    AccessAreaDpeScheme,
+    ResultDpeScheme,
+    StructureDpeScheme,
+    TokenDpeScheme,
+)
+from repro.crypto.keys import KeyChain, MasterKey
+from repro.mining import dbscan, k_medoids
+from repro.sql.log import QueryLog
+from repro.workloads.generator import QueryLogGenerator, WorkloadMix
+from repro.workloads.schemas import populate_database, webshop_profile
+
+
+def keychain_for(label: str) -> KeyChain:
+    return KeyChain(MasterKey.from_passphrase(f"integration/{label}"))
+
+
+class TestTokenPipeline:
+    def test_synthetic_webshop_log(self, webshop):
+        log = QueryLogGenerator(webshop, WorkloadMix(), seed=21).generate(25)
+        context = LogContext(log=log)
+        experiment = run_preservation_experiment(
+            TokenDpeScheme(keychain_for("token")), TokenDistance(), context
+        )
+        assert experiment.reproduces_paper
+
+    @settings(max_examples=10, deadline=None)
+    @given(seed=st.integers(min_value=0, max_value=10**6), size=st.integers(min_value=5, max_value=18))
+    def test_random_workloads_property(self, webshop, seed, size):
+        log = QueryLogGenerator(webshop, WorkloadMix(), seed=seed).generate(size)
+        context = LogContext(log=log)
+        scheme = TokenDpeScheme(keychain_for(f"token-{seed}"))
+        encrypted = scheme.encrypt_context(context)
+        report = verify_distance_preservation(TokenDistance(), context, encrypted)
+        assert report.preserved
+
+
+class TestStructurePipeline:
+    def test_synthetic_webshop_log(self, webshop):
+        log = QueryLogGenerator(webshop, WorkloadMix.analytical(), seed=22).generate(25)
+        context = LogContext(log=log)
+        experiment = run_preservation_experiment(
+            StructureDpeScheme(keychain_for("structure")), StructureDistance(), context
+        )
+        assert experiment.reproduces_paper
+
+    @settings(max_examples=10, deadline=None)
+    @given(seed=st.integers(min_value=0, max_value=10**6), size=st.integers(min_value=5, max_value=18))
+    def test_random_workloads_property(self, webshop, seed, size):
+        log = QueryLogGenerator(webshop, WorkloadMix.analytical(), seed=seed).generate(size)
+        context = LogContext(log=log)
+        scheme = StructureDpeScheme(keychain_for(f"structure-{seed}"))
+        encrypted = scheme.encrypt_context(context)
+        assert verify_distance_preservation(StructureDistance(), context, encrypted).preserved
+
+
+class TestResultPipeline:
+    def test_synthetic_webshop_log(self):
+        profile = webshop_profile(customer_rows=25, order_rows=50, product_rows=12)
+        database = populate_database(profile, seed=23)
+        log = QueryLogGenerator(profile, WorkloadMix.spj_only(), seed=23).generate(15)
+        context = LogContext(log=log, database=database)
+        scheme = ResultDpeScheme(
+            keychain_for("result"), join_groups=profile.join_groups(), paillier_bits=256
+        )
+        experiment = run_preservation_experiment(scheme, ResultDistance(), context)
+        assert experiment.reproduces_paper
+
+    def test_provider_never_sees_plaintext(self):
+        profile = webshop_profile(customer_rows=20, order_rows=40, product_rows=10)
+        database = populate_database(profile, seed=24)
+        log = QueryLogGenerator(profile, WorkloadMix.spj_only(), seed=24).generate(8)
+        context = LogContext(log=log, database=database)
+        scheme = ResultDpeScheme(
+            keychain_for("result-privacy"), join_groups=profile.join_groups(), paillier_bits=256
+        )
+        encrypted = scheme.encrypt_context(context)
+        plaintext_values = {"Berlin", "OPEN", "SHIPPED", "customers", "orders", "order_amount"}
+        for statement in encrypted.log.statements:
+            for secret in plaintext_values:
+                assert secret not in statement
+        assert set(encrypted.database.table_names).isdisjoint(set(database.table_names))
+
+
+class TestAccessAreaPipeline:
+    def test_synthetic_webshop_log(self, webshop):
+        log = QueryLogGenerator(webshop, WorkloadMix.analytical(), seed=25).generate(25)
+        context = LogContext(log=log, domains=webshop.domain_catalog())
+        experiment = run_preservation_experiment(
+            AccessAreaDpeScheme(keychain_for("aa")), AccessAreaDistance(), context
+        )
+        assert experiment.reproduces_paper
+
+    @settings(max_examples=8, deadline=None)
+    @given(seed=st.integers(min_value=0, max_value=10**6))
+    def test_random_workloads_property(self, webshop, seed):
+        log = QueryLogGenerator(webshop, WorkloadMix.analytical(), seed=seed).generate(12)
+        context = LogContext(log=log, domains=webshop.domain_catalog())
+        scheme = AccessAreaDpeScheme(keychain_for(f"aa-{seed}"))
+        encrypted = scheme.encrypt_context(context)
+        assert verify_distance_preservation(AccessAreaDistance(), context, encrypted).preserved
+
+
+class TestMiningOnEncryptedLog:
+    """The headline claim, spelled out: clustering encrypted logs = clustering plain logs."""
+
+    def test_clustering_results_identical(self, webshop):
+        log = QueryLogGenerator(webshop, WorkloadMix(), seed=30).generate(20)
+        plain_context = LogContext(log=log)
+        scheme = TokenDpeScheme(keychain_for("mining"))
+        encrypted_context = scheme.encrypt_context(plain_context)
+
+        measure = TokenDistance()
+        plain_matrix = measure.distance_matrix(plain_context)
+        encrypted_matrix = measure.distance_matrix(encrypted_context)
+
+        comparison = compare_mining(plain_matrix, encrypted_matrix, n_clusters=4)
+        assert comparison.all_identical
+
+        plain_dbscan = dbscan(plain_matrix, eps=0.6, min_points=2)
+        encrypted_dbscan = dbscan(encrypted_matrix, eps=0.6, min_points=2)
+        assert plain_dbscan.labels == encrypted_dbscan.labels
+
+        plain_kmedoids = k_medoids(plain_matrix, k=3)
+        encrypted_kmedoids = k_medoids(encrypted_matrix, k=3)
+        assert plain_kmedoids.labels == encrypted_kmedoids.labels
+        assert plain_kmedoids.medoids == encrypted_kmedoids.medoids
+
+    def test_example4_from_the_paper(self):
+        """Example 4: the encrypted query keeps its shape with encrypted parts."""
+        keychain = keychain_for("example4")
+        scheme = TokenDpeScheme(keychain)
+        log = QueryLog.from_sql(["SELECT A1 FROM R WHERE A2 > 5"])
+        encrypted = scheme.encrypt_log(log)
+        statement = encrypted.statements[0]
+        assert statement.startswith("SELECT enc_")
+        assert " FROM enc_" in statement
+        assert " WHERE enc_" in statement
+        assert "A1" not in statement and "R " not in statement and " 5" not in statement

@@ -1,0 +1,146 @@
+"""Tests for Apriori association-rule mining (the conclusion's extension)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.schemes.structure_scheme import StructureDpeScheme
+from repro.core.schemes.token_scheme import TokenDpeScheme
+from repro.exceptions import MiningError
+from repro.mining.association import apriori, association_rules, mine_query_log
+from repro.sql.log import QueryLog
+from repro.sql.tokens import query_token_set
+
+MARKET_BASKETS = [
+    {"bread", "milk"},
+    {"bread", "diapers", "beer", "eggs"},
+    {"milk", "diapers", "beer", "cola"},
+    {"bread", "milk", "diapers", "beer"},
+    {"bread", "milk", "diapers", "cola"},
+]
+
+
+class TestApriori:
+    def test_frequent_singletons(self):
+        itemsets = apriori(MARKET_BASKETS, min_support=0.7)
+        singles = {next(iter(i.items)) for i in itemsets if len(i.items) == 1}
+        assert singles == {"bread", "milk", "diapers"}
+
+    def test_singletons_at_lower_support_include_beer(self):
+        itemsets = apriori(MARKET_BASKETS, min_support=0.6)
+        singles = {next(iter(i.items)) for i in itemsets if len(i.items) == 1}
+        assert singles == {"bread", "milk", "diapers", "beer"}
+
+    def test_support_counts(self):
+        itemsets = {frozenset(i.items): i.support_count for i in apriori(MARKET_BASKETS, min_support=0.4)}
+        assert itemsets[frozenset({"bread"})] == 4
+        assert itemsets[frozenset({"beer", "diapers"})] == 3
+        assert itemsets[frozenset({"bread", "milk", "diapers"})] == 2
+
+    def test_downward_closure(self):
+        itemsets = apriori(MARKET_BASKETS, min_support=0.4)
+        frequent = {frozenset(i.items) for i in itemsets}
+        for itemset in frequent:
+            if len(itemset) > 1:
+                for item in itemset:
+                    assert itemset - {item} in frequent
+
+    def test_min_support_one_keeps_only_universal_items(self):
+        itemsets = apriori(MARKET_BASKETS, min_support=1.0)
+        assert itemsets == []
+
+    def test_max_length(self):
+        itemsets = apriori(MARKET_BASKETS, min_support=0.4, max_length=1)
+        assert all(len(i.items) == 1 for i in itemsets)
+
+    def test_relative_support_helper(self):
+        itemsets = apriori(MARKET_BASKETS, min_support=0.4)
+        bread = next(i for i in itemsets if i.items == frozenset({"bread"}))
+        assert bread.support(len(MARKET_BASKETS)) == pytest.approx(0.8)
+
+    def test_validation(self):
+        with pytest.raises(MiningError):
+            apriori(MARKET_BASKETS, min_support=0.0)
+        with pytest.raises(MiningError):
+            apriori([], min_support=0.5)
+
+
+class TestAssociationRules:
+    def test_rule_confidence(self):
+        itemsets = apriori(MARKET_BASKETS, min_support=0.4)
+        rules = association_rules(itemsets, len(MARKET_BASKETS), min_confidence=0.7)
+        by_rule = {(tuple(sorted(r.antecedent)), tuple(sorted(r.consequent))): r for r in rules}
+        beer_to_diapers = by_rule[(("beer",), ("diapers",))]
+        assert beer_to_diapers.confidence == pytest.approx(1.0)
+        assert beer_to_diapers.support == pytest.approx(0.6)
+
+    def test_low_confidence_rules_excluded(self):
+        itemsets = apriori(MARKET_BASKETS, min_support=0.4)
+        rules = association_rules(itemsets, len(MARKET_BASKETS), min_confidence=0.99)
+        assert all(rule.confidence >= 0.99 for rule in rules)
+
+    def test_rules_sorted_by_confidence(self):
+        itemsets = apriori(MARKET_BASKETS, min_support=0.4)
+        rules = association_rules(itemsets, len(MARKET_BASKETS), min_confidence=0.5)
+        confidences = [rule.confidence for rule in rules]
+        assert confidences == sorted(confidences, reverse=True)
+
+    def test_validation(self):
+        itemsets = apriori(MARKET_BASKETS, min_support=0.4)
+        with pytest.raises(MiningError):
+            association_rules(itemsets, len(MARKET_BASKETS), min_confidence=0.0)
+
+
+QUERY_LOG = [
+    "SELECT name FROM customers WHERE city = 'Berlin'",
+    "SELECT name FROM customers WHERE city = 'Paris'",
+    "SELECT name, age FROM customers WHERE city = 'Berlin' AND age > 30",
+    "SELECT name FROM customers WHERE age > 40",
+    "SELECT amount FROM orders WHERE amount > 100",
+    "SELECT amount FROM orders WHERE amount > 200",
+]
+
+
+class TestQueryLogMining:
+    def test_mine_plaintext_log(self):
+        log = QueryLog.from_sql(QUERY_LOG)
+        itemsets, rules = mine_query_log(log, min_support=0.3, min_confidence=0.7)
+        assert itemsets
+        # The FROM customers / SELECT name features co-occur often enough to
+        # produce at least one rule.
+        assert any(rule.confidence >= 0.7 for rule in rules)
+
+    def test_mining_encrypted_log_is_isomorphic(self, keychain):
+        """The conclusion's claim: rule mining works on the encrypted log."""
+        log = QueryLog.from_sql(QUERY_LOG)
+        scheme = StructureDpeScheme(keychain)
+        encrypted_log = scheme.encrypt_log(log)
+
+        plain_itemsets, plain_rules = mine_query_log(log, min_support=0.3, min_confidence=0.7)
+        encrypted_itemsets, encrypted_rules = mine_query_log(
+            encrypted_log, min_support=0.3, min_confidence=0.7
+        )
+
+        # Same number of frequent itemsets per size and identical support counts.
+        def histogram(itemsets):
+            return sorted((len(i.items), i.support_count) for i in itemsets)
+
+        assert histogram(plain_itemsets) == histogram(encrypted_itemsets)
+        # Same rule statistics (the rules themselves are the encrypted images).
+        assert sorted((r.support, r.confidence) for r in plain_rules) == sorted(
+            (r.support, r.confidence) for r in encrypted_rules
+        )
+
+    def test_mining_token_sets_on_encrypted_log(self, keychain):
+        log = QueryLog.from_sql(QUERY_LOG)
+        scheme = TokenDpeScheme(keychain)
+        encrypted_log = scheme.encrypt_log(log)
+        plain_itemsets, _ = mine_query_log(
+            log, min_support=0.5, transaction_of=query_token_set
+        )
+        encrypted_itemsets, _ = mine_query_log(
+            encrypted_log, min_support=0.5, transaction_of=query_token_set
+        )
+        assert sorted(i.support_count for i in plain_itemsets) == sorted(
+            i.support_count for i in encrypted_itemsets
+        )

@@ -1,0 +1,205 @@
+"""Tests for DBSCAN, k-medoids and complete-link clustering."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.exceptions import MiningError
+from repro.mining.dbscan import NOISE, dbscan
+from repro.mining.hierarchical import complete_link, cut_dendrogram
+from repro.mining.kmedoids import k_medoids
+from repro.mining.matrix import check_distance_matrix, condensed_to_square, square_to_condensed
+
+
+def two_blobs_matrix() -> np.ndarray:
+    """Six points: indices 0-2 close together, 3-5 close together, far apart."""
+    points = np.array([0.0, 0.1, 0.2, 10.0, 10.1, 10.2])
+    return np.abs(points[:, None] - points[None, :])
+
+
+def blob_with_outlier() -> np.ndarray:
+    points = np.array([0.0, 0.1, 0.2, 0.15, 50.0])
+    return np.abs(points[:, None] - points[None, :])
+
+
+class TestMatrixHelpers:
+    def test_check_accepts_valid(self):
+        matrix = two_blobs_matrix()
+        assert check_distance_matrix(matrix).shape == (6, 6)
+
+    def test_check_rejects_invalid(self):
+        with pytest.raises(MiningError):
+            check_distance_matrix(np.ones((2, 3)))
+        with pytest.raises(MiningError):
+            check_distance_matrix(np.array([[0.0, 1.0], [2.0, 0.0]]))  # asymmetric
+        with pytest.raises(MiningError):
+            check_distance_matrix(np.array([[1.0]]))  # nonzero diagonal
+        with pytest.raises(MiningError):
+            check_distance_matrix(np.array([[0.0, -1.0], [-1.0, 0.0]]))
+        with pytest.raises(MiningError):
+            check_distance_matrix(np.zeros((0, 0)))
+
+    def test_condensed_round_trip(self):
+        matrix = two_blobs_matrix()
+        condensed = square_to_condensed(matrix)
+        assert condensed.shape == (15,)
+        rebuilt = condensed_to_square(condensed, 6)
+        assert np.allclose(rebuilt, matrix)
+
+    def test_condensed_wrong_size_rejected(self):
+        with pytest.raises(MiningError):
+            condensed_to_square(np.zeros(4), 4)
+
+
+class TestDbscan:
+    def test_two_blobs_found(self):
+        result = dbscan(two_blobs_matrix(), eps=0.5, min_points=2)
+        assert result.n_clusters == 2
+        assert result.labels[0] == result.labels[1] == result.labels[2]
+        assert result.labels[3] == result.labels[4] == result.labels[5]
+        assert result.labels[0] != result.labels[3]
+
+    def test_outlier_is_noise(self):
+        result = dbscan(blob_with_outlier(), eps=0.5, min_points=2)
+        assert result.labels[4] == NOISE
+        assert result.noise_points() == (4,)
+
+    def test_all_noise_when_eps_tiny(self):
+        result = dbscan(two_blobs_matrix(), eps=0.001, min_points=2)
+        assert result.n_clusters == 0
+        assert set(result.labels) == {NOISE}
+
+    def test_single_cluster_when_eps_huge(self):
+        result = dbscan(two_blobs_matrix(), eps=100, min_points=2)
+        assert result.n_clusters == 1
+
+    def test_core_points_tracked(self):
+        result = dbscan(blob_with_outlier(), eps=0.5, min_points=3)
+        assert 4 not in result.core_points
+        assert len(result.core_points) >= 3
+
+    def test_cluster_members(self):
+        result = dbscan(two_blobs_matrix(), eps=0.5, min_points=2)
+        assert set(result.cluster_members(result.labels[0])) == {0, 1, 2}
+
+    def test_parameter_validation(self):
+        with pytest.raises(MiningError):
+            dbscan(two_blobs_matrix(), eps=-1, min_points=2)
+        with pytest.raises(MiningError):
+            dbscan(two_blobs_matrix(), eps=1, min_points=0)
+
+    def test_deterministic(self):
+        matrix = two_blobs_matrix()
+        assert dbscan(matrix, eps=0.5, min_points=2) == dbscan(matrix, eps=0.5, min_points=2)
+
+
+class TestKMedoids:
+    def test_two_blobs(self):
+        result = k_medoids(two_blobs_matrix(), k=2)
+        assert len(set(result.labels)) == 2
+        assert result.labels[0] == result.labels[1] == result.labels[2]
+        assert result.labels[3] == result.labels[4] == result.labels[5]
+
+    def test_k_equals_n(self):
+        matrix = two_blobs_matrix()
+        result = k_medoids(matrix, k=6)
+        assert len(set(result.labels)) == 6
+        assert result.cost == 0.0
+
+    def test_k_one(self):
+        result = k_medoids(two_blobs_matrix(), k=1)
+        assert set(result.labels) == {0}
+        assert len(result.medoids) == 1
+
+    def test_medoids_are_members_of_their_cluster(self):
+        result = k_medoids(two_blobs_matrix(), k=2)
+        for cluster_index, medoid in enumerate(result.medoids):
+            assert result.labels[medoid] == cluster_index
+
+    def test_cost_is_sum_of_distances_to_medoids(self):
+        matrix = two_blobs_matrix()
+        result = k_medoids(matrix, k=2)
+        expected = sum(
+            matrix[i, result.medoids[result.labels[i]]] for i in range(matrix.shape[0])
+        )
+        assert result.cost == pytest.approx(expected)
+
+    def test_invalid_k(self):
+        with pytest.raises(MiningError):
+            k_medoids(two_blobs_matrix(), k=0)
+        with pytest.raises(MiningError):
+            k_medoids(two_blobs_matrix(), k=7)
+
+    def test_deterministic(self):
+        matrix = blob_with_outlier()
+        assert k_medoids(matrix, k=2) == k_medoids(matrix, k=2)
+
+
+class TestCompleteLink:
+    def test_merge_count(self):
+        dendrogram = complete_link(two_blobs_matrix())
+        assert dendrogram.n_items == 6
+        assert len(dendrogram.merges) == 5
+
+    def test_heights_non_decreasing(self):
+        heights = complete_link(two_blobs_matrix()).heights()
+        assert list(heights) == sorted(heights)
+
+    def test_cut_by_count(self):
+        labels = cut_dendrogram(complete_link(two_blobs_matrix()), n_clusters=2)
+        assert labels[0] == labels[1] == labels[2]
+        assert labels[3] == labels[4] == labels[5]
+        assert labels[0] != labels[3]
+
+    def test_cut_by_height(self):
+        labels = cut_dendrogram(complete_link(two_blobs_matrix()), height=1.0)
+        assert len(set(labels)) == 2
+
+    def test_cut_all_singletons(self):
+        labels = cut_dendrogram(complete_link(two_blobs_matrix()), n_clusters=6)
+        assert len(set(labels)) == 6
+
+    def test_cut_single_cluster(self):
+        labels = cut_dendrogram(complete_link(two_blobs_matrix()), n_clusters=1)
+        assert set(labels) == {0}
+
+    def test_cut_validation(self):
+        dendrogram = complete_link(two_blobs_matrix())
+        with pytest.raises(MiningError):
+            cut_dendrogram(dendrogram)
+        with pytest.raises(MiningError):
+            cut_dendrogram(dendrogram, n_clusters=2, height=1.0)
+        with pytest.raises(MiningError):
+            cut_dendrogram(dendrogram, n_clusters=0)
+
+    def test_complete_link_uses_maximum_distance(self):
+        # three points on a line: 0, 1, 3.  Complete link merges {0,1} first
+        # (d=1), then merges with {3} at the *maximum* distance 3 (not 2).
+        points = np.array([0.0, 1.0, 3.0])
+        matrix = np.abs(points[:, None] - points[None, :])
+        dendrogram = complete_link(matrix)
+        assert dendrogram.heights() == (1.0, 3.0)
+
+
+class TestDeterminismProperty:
+    @settings(max_examples=30, deadline=None)
+    @given(
+        values=st.lists(
+            st.floats(min_value=0.0, max_value=100.0, allow_nan=False), min_size=3, max_size=10
+        )
+    )
+    def test_identical_matrices_identical_results(self, values):
+        points = np.array(values)
+        matrix = np.abs(points[:, None] - points[None, :])
+        eps = float(np.median(matrix[matrix > 0])) if (matrix > 0).any() else 1.0
+        first = dbscan(matrix, eps=eps, min_points=2)
+        second = dbscan(matrix.copy(), eps=eps, min_points=2)
+        assert first.labels == second.labels
+        k = min(3, len(values))
+        assert k_medoids(matrix, k=k).labels == k_medoids(matrix.copy(), k=k).labels
+        assert cut_dendrogram(complete_link(matrix), n_clusters=k) == cut_dendrogram(
+            complete_link(matrix.copy()), n_clusters=k
+        )

@@ -1,0 +1,94 @@
+"""Tests for SnipSuggest-style feature extraction."""
+
+from __future__ import annotations
+
+from repro.sql.features import Feature, feature_set
+from repro.sql.parser import parse_query
+
+
+def features_of(sql: str) -> set[tuple[str, str]]:
+    return {(f.clause, f.skeleton) for f in feature_set(parse_query(sql))}
+
+
+class TestPaperExample:
+    def test_example_5(self):
+        """Example 5 of the paper: SELECT A1 FROM R WHERE A2 > 5."""
+        features = features_of("SELECT A1 FROM R WHERE A2 > 5")
+        assert features == {("SELECT", "A1"), ("FROM", "R"), ("WHERE", "A2 >")}
+
+
+class TestConstantsDropped:
+    def test_constant_value_does_not_change_features(self):
+        assert features_of("SELECT a FROM t WHERE b > 5") == features_of(
+            "SELECT a FROM t WHERE b > 99"
+        )
+
+    def test_between_constants_dropped(self):
+        features = features_of("SELECT a FROM t WHERE b BETWEEN 1 AND 9")
+        assert ("WHERE", "b BETWEEN") in features
+
+    def test_in_constants_dropped(self):
+        features = features_of("SELECT a FROM t WHERE b IN (1, 2, 3)")
+        assert ("WHERE", "b IN") in features
+
+    def test_like_pattern_dropped(self):
+        features = features_of("SELECT a FROM t WHERE name LIKE 'x%'")
+        assert ("WHERE", "name LIKE") in features
+
+    def test_flipped_comparison_normalised(self):
+        assert ("WHERE", "b <") in features_of("SELECT a FROM t WHERE 5 > b")
+
+
+class TestClauseCoverage:
+    def test_from_features_for_all_tables(self):
+        features = features_of("SELECT a FROM t JOIN s ON t.id = s.id")
+        assert ("FROM", "t") in features and ("FROM", "s") in features
+
+    def test_join_condition_feature(self):
+        features = features_of("SELECT a FROM t JOIN s ON t.id = s.id")
+        assert ("JOIN", "t.id = s.id") in features
+
+    def test_group_by_and_having(self):
+        features = features_of(
+            "SELECT city, COUNT(*) FROM t WHERE age > 1 GROUP BY city HAVING COUNT(*) > 2"
+        )
+        assert ("GROUPBY", "city") in features
+        assert ("HAVING", "COUNT(*) >") in features
+
+    def test_order_by_direction_included(self):
+        features = features_of("SELECT a FROM t ORDER BY a DESC")
+        assert ("ORDERBY", "a DESC") in features
+
+    def test_aggregate_select_feature(self):
+        features = features_of("SELECT SUM(price) FROM t")
+        assert ("SELECT", "SUM(price)") in features
+
+    def test_column_column_predicate_kept_whole(self):
+        features = features_of("SELECT a FROM t WHERE x = y")
+        assert ("WHERE", "x = y") in features
+
+    def test_not_predicate(self):
+        features = features_of("SELECT a FROM t WHERE NOT b > 5")
+        assert ("WHERE", "NOT b >") in features
+
+    def test_or_predicates_each_contribute(self):
+        features = features_of("SELECT a FROM t WHERE b > 5 OR c = 1")
+        assert ("WHERE", "b >") in features and ("WHERE", "c =") in features
+
+
+class TestFeatureValueSemantics:
+    def test_feature_is_hashable_and_ordered(self):
+        f1 = Feature("WHERE", "a >")
+        f2 = Feature("WHERE", "a >")
+        assert f1 == f2
+        assert len({f1, f2}) == 1
+        assert sorted([Feature("WHERE", "b"), Feature("FROM", "a")])[0].clause == "FROM"
+
+    def test_identical_queries_have_identical_feature_sets(self):
+        sql = "SELECT a, b FROM t WHERE a > 3 AND b = 'x' ORDER BY a ASC"
+        assert feature_set(parse_query(sql)) == feature_set(parse_query(sql))
+
+    def test_different_structure_different_features(self):
+        assert features_of("SELECT a FROM t WHERE b > 1") != features_of(
+            "SELECT a FROM t WHERE b = 1"
+        )

@@ -1,0 +1,129 @@
+"""Tests for the SQL lexer."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import SqlSyntaxError
+from repro.sql.lexer import KEYWORDS, Token, TokenType, tokenize
+
+
+def kinds(sql: str) -> list[TokenType]:
+    return [token.type for token in tokenize(sql)]
+
+
+def values(sql: str) -> list[str]:
+    return [token.value for token in tokenize(sql) if token.type is not TokenType.EOF]
+
+
+class TestBasicTokens:
+    def test_keywords_are_upper_cased(self):
+        assert values("select from where")[:3] == ["SELECT", "FROM", "WHERE"]
+
+    def test_identifiers_keep_case(self):
+        assert values("SELECT Name FROM Users")[1] == "Name"
+
+    def test_star_token(self):
+        tokens = tokenize("SELECT * FROM t")
+        assert tokens[1].type is TokenType.STAR
+
+    def test_integer_literal(self):
+        token = tokenize("42")[0]
+        assert token.type is TokenType.NUMBER
+        assert token.value == "42"
+
+    def test_decimal_literal(self):
+        token = tokenize("3.14")[0]
+        assert token.type is TokenType.NUMBER
+        assert token.value == "3.14"
+
+    def test_string_literal(self):
+        token = tokenize("'hello world'")[0]
+        assert token.type is TokenType.STRING
+        assert token.value == "hello world"
+
+    def test_string_literal_with_escaped_quote(self):
+        token = tokenize("'it''s'")[0]
+        assert token.value == "it's"
+
+    def test_quoted_identifier(self):
+        token = tokenize('"weird name"')[0]
+        assert token.type is TokenType.IDENTIFIER
+        assert token.value == "weird name"
+
+    def test_eof_always_present(self):
+        assert tokenize("")[-1].type is TokenType.EOF
+        assert tokenize("SELECT")[-1].type is TokenType.EOF
+
+
+class TestOperatorsAndPunctuation:
+    @pytest.mark.parametrize("op", ["=", "<", ">", "<=", ">=", "<>", "!="])
+    def test_comparison_operators(self, op):
+        token = tokenize(f"a {op} b")[1]
+        assert token.type is TokenType.OPERATOR
+        assert token.value == op
+
+    def test_multi_char_operator_not_split(self):
+        assert values("a <= 5") == ["a", "<=", "5"]
+
+    def test_punctuation(self):
+        vals = values("f(a, b.c)")
+        assert "(" in vals and ")" in vals and "," in vals and "." in vals
+
+    def test_arithmetic_operators(self):
+        assert values("a + b - c / d % e") == ["a", "+", "b", "-", "c", "/", "d", "%", "e"]
+
+    def test_trailing_semicolon_is_dropped(self):
+        assert values("SELECT a FROM t;") == ["SELECT", "a", "FROM", "t"]
+
+
+class TestPositions:
+    def test_positions_point_into_source(self):
+        sql = "SELECT a FROM t"
+        for token in tokenize(sql):
+            if token.type in (TokenType.KEYWORD, TokenType.IDENTIFIER):
+                assert sql[token.position : token.position + len(token.value)].upper() == (
+                    token.value.upper()
+                )
+
+    def test_whitespace_is_skipped(self):
+        assert values("SELECT\n\ta  FROM\tt") == ["SELECT", "a", "FROM", "t"]
+
+
+class TestErrors:
+    def test_unterminated_string(self):
+        with pytest.raises(SqlSyntaxError):
+            tokenize("SELECT 'oops FROM t")
+
+    def test_unterminated_quoted_identifier(self):
+        with pytest.raises(SqlSyntaxError):
+            tokenize('SELECT "oops FROM t')
+
+    def test_unexpected_character(self):
+        with pytest.raises(SqlSyntaxError):
+            tokenize("SELECT a FROM t WHERE a ?? 5")
+
+    def test_malformed_number(self):
+        with pytest.raises(SqlSyntaxError):
+            tokenize("SELECT 5. FROM t")
+
+    def test_error_carries_position(self):
+        with pytest.raises(SqlSyntaxError) as excinfo:
+            tokenize("SELECT @ FROM t")
+        assert excinfo.value.position == 7
+
+
+class TestKeywordTable:
+    def test_aggregates_are_keywords(self):
+        for name in ("COUNT", "SUM", "AVG", "MIN", "MAX"):
+            assert name in KEYWORDS
+
+    def test_token_helper_is_keyword(self):
+        token = Token(TokenType.KEYWORD, "SELECT", 0)
+        assert token.is_keyword("SELECT")
+        assert token.is_keyword("SELECT", "FROM")
+        assert not token.is_keyword("FROM")
+
+    def test_identifier_is_not_keyword_match(self):
+        token = Token(TokenType.IDENTIFIER, "SELECTED", 0)
+        assert not token.is_keyword("SELECT")

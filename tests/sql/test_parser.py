@@ -1,0 +1,261 @@
+"""Tests for the SQL parser."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import SqlSyntaxError
+from repro.sql.ast import (
+    AggregateCall,
+    ArithmeticOp,
+    BetweenPredicate,
+    BinaryOp,
+    ColumnRef,
+    ComparisonOp,
+    InPredicate,
+    IsNullPredicate,
+    JoinType,
+    LikePredicate,
+    Literal,
+    LogicalConnective,
+    LogicalOp,
+    NotOp,
+    Star,
+    UnaryMinus,
+)
+from repro.sql.parser import parse_expression, parse_query
+
+
+class TestSelectList:
+    def test_single_column(self):
+        query = parse_query("SELECT a FROM t")
+        assert query.select_items[0].expression == ColumnRef("a")
+
+    def test_multiple_columns(self):
+        query = parse_query("SELECT a, b, c FROM t")
+        assert [item.expression for item in query.select_items] == [
+            ColumnRef("a"),
+            ColumnRef("b"),
+            ColumnRef("c"),
+        ]
+
+    def test_star(self):
+        query = parse_query("SELECT * FROM t")
+        assert query.select_items[0].expression == Star()
+
+    def test_qualified_star(self):
+        query = parse_query("SELECT t.* FROM t")
+        assert query.select_items[0].expression == Star(table="t")
+
+    def test_alias_with_as(self):
+        query = parse_query("SELECT a AS x FROM t")
+        assert query.select_items[0].alias == "x"
+
+    def test_alias_without_as(self):
+        query = parse_query("SELECT a x FROM t")
+        assert query.select_items[0].alias == "x"
+
+    def test_distinct(self):
+        assert parse_query("SELECT DISTINCT a FROM t").distinct is True
+        assert parse_query("SELECT a FROM t").distinct is False
+
+    def test_qualified_column(self):
+        query = parse_query("SELECT t.a FROM t")
+        assert query.select_items[0].expression == ColumnRef("a", table="t")
+
+    def test_aggregate_count_star(self):
+        query = parse_query("SELECT COUNT(*) FROM t")
+        expr = query.select_items[0].expression
+        assert isinstance(expr, AggregateCall)
+        assert expr.function == "COUNT"
+        assert isinstance(expr.argument, Star)
+
+    def test_aggregate_distinct(self):
+        expr = parse_query("SELECT COUNT(DISTINCT a) FROM t").select_items[0].expression
+        assert isinstance(expr, AggregateCall) and expr.distinct
+
+
+class TestFromClause:
+    def test_single_table(self):
+        query = parse_query("SELECT a FROM t")
+        assert query.from_table.name == "t"
+        assert query.joins == ()
+
+    def test_table_alias(self):
+        query = parse_query("SELECT a FROM my_table AS m")
+        assert query.from_table.alias == "m"
+        assert query.from_table.binding_name == "m"
+
+    def test_comma_join_is_cross(self):
+        query = parse_query("SELECT a FROM t, s")
+        assert query.joins[0].join_type is JoinType.CROSS
+        assert query.joins[0].right.name == "s"
+
+    def test_inner_join_with_on(self):
+        query = parse_query("SELECT a FROM t JOIN s ON t.id = s.id")
+        join = query.joins[0]
+        assert join.join_type is JoinType.INNER
+        assert isinstance(join.condition, BinaryOp)
+
+    def test_left_outer_join(self):
+        query = parse_query("SELECT a FROM t LEFT OUTER JOIN s ON t.id = s.id")
+        assert query.joins[0].join_type is JoinType.LEFT
+
+    def test_right_join(self):
+        query = parse_query("SELECT a FROM t RIGHT JOIN s ON t.id = s.id")
+        assert query.joins[0].join_type is JoinType.RIGHT
+
+    def test_cross_join_keyword(self):
+        query = parse_query("SELECT a FROM t CROSS JOIN s")
+        assert query.joins[0].join_type is JoinType.CROSS
+        assert query.joins[0].condition is None
+
+    def test_join_without_on_rejected(self):
+        with pytest.raises(SqlSyntaxError):
+            parse_query("SELECT a FROM t JOIN s")
+
+    def test_table_names_helper(self):
+        query = parse_query("SELECT a FROM t JOIN s ON x = y, u")
+        assert query.table_names() == ("t", "s", "u")
+
+
+class TestWhereClause:
+    def test_comparison(self):
+        query = parse_query("SELECT a FROM t WHERE a > 5")
+        assert query.where == BinaryOp(ComparisonOp.GT, ColumnRef("a"), Literal(5))
+
+    def test_not_equal_spellings(self):
+        q1 = parse_query("SELECT a FROM t WHERE a <> 5")
+        q2 = parse_query("SELECT a FROM t WHERE a != 5")
+        assert q1.where == q2.where
+
+    def test_and_or_precedence(self):
+        query = parse_query("SELECT a FROM t WHERE a = 1 OR b = 2 AND c = 3")
+        assert isinstance(query.where, LogicalOp)
+        assert query.where.op is LogicalConnective.OR
+        assert isinstance(query.where.operands[1], LogicalOp)
+        assert query.where.operands[1].op is LogicalConnective.AND
+
+    def test_parentheses_override_precedence(self):
+        query = parse_query("SELECT a FROM t WHERE (a = 1 OR b = 2) AND c = 3")
+        assert isinstance(query.where, LogicalOp)
+        assert query.where.op is LogicalConnective.AND
+
+    def test_not(self):
+        query = parse_query("SELECT a FROM t WHERE NOT a = 1")
+        assert isinstance(query.where, NotOp)
+
+    def test_between(self):
+        query = parse_query("SELECT a FROM t WHERE a BETWEEN 1 AND 10")
+        where = query.where
+        assert isinstance(where, BetweenPredicate)
+        assert where.low == Literal(1) and where.high == Literal(10)
+        assert not where.negated
+
+    def test_not_between(self):
+        where = parse_query("SELECT a FROM t WHERE a NOT BETWEEN 1 AND 10").where
+        assert isinstance(where, BetweenPredicate) and where.negated
+
+    def test_in_list(self):
+        where = parse_query("SELECT a FROM t WHERE a IN (1, 2, 3)").where
+        assert isinstance(where, InPredicate)
+        assert len(where.values) == 3
+
+    def test_not_in(self):
+        where = parse_query("SELECT a FROM t WHERE a NOT IN (1, 2)").where
+        assert isinstance(where, InPredicate) and where.negated
+
+    def test_like(self):
+        where = parse_query("SELECT a FROM t WHERE name LIKE 'ab%'").where
+        assert isinstance(where, LikePredicate)
+
+    def test_is_null_and_is_not_null(self):
+        where = parse_query("SELECT a FROM t WHERE a IS NULL").where
+        assert isinstance(where, IsNullPredicate) and not where.negated
+        where = parse_query("SELECT a FROM t WHERE a IS NOT NULL").where
+        assert isinstance(where, IsNullPredicate) and where.negated
+
+    def test_arithmetic_precedence(self):
+        expr = parse_expression("1 + 2 * 3")
+        assert isinstance(expr, BinaryOp)
+        assert expr.op is ArithmeticOp.ADD
+        assert isinstance(expr.right, BinaryOp)
+        assert expr.right.op is ArithmeticOp.MUL
+
+    def test_unary_minus(self):
+        expr = parse_expression("-5")
+        assert expr == UnaryMinus(Literal(5))
+
+    def test_boolean_and_null_literals(self):
+        assert parse_expression("TRUE") == Literal(True)
+        assert parse_expression("FALSE") == Literal(False)
+        assert parse_expression("NULL") == Literal(None)
+
+    def test_string_literal_type(self):
+        assert parse_expression("'abc'") == Literal("abc")
+
+    def test_float_literal_type(self):
+        literal = parse_expression("2.5")
+        assert isinstance(literal, Literal) and isinstance(literal.value, float)
+
+
+class TestOtherClauses:
+    def test_group_by(self):
+        query = parse_query("SELECT a, COUNT(*) FROM t GROUP BY a")
+        assert query.group_by == (ColumnRef("a"),)
+
+    def test_group_by_multiple(self):
+        query = parse_query("SELECT a, b, COUNT(*) FROM t GROUP BY a, b")
+        assert len(query.group_by) == 2
+
+    def test_having(self):
+        query = parse_query("SELECT a, COUNT(*) FROM t GROUP BY a HAVING COUNT(*) > 2")
+        assert query.having is not None
+
+    def test_order_by_directions(self):
+        query = parse_query("SELECT a, b FROM t ORDER BY a ASC, b DESC")
+        assert query.order_by[0].ascending is True
+        assert query.order_by[1].ascending is False
+
+    def test_order_by_default_ascending(self):
+        query = parse_query("SELECT a FROM t ORDER BY a")
+        assert query.order_by[0].ascending is True
+
+    def test_limit(self):
+        assert parse_query("SELECT a FROM t LIMIT 7").limit == 7
+
+    def test_limit_requires_number(self):
+        with pytest.raises(SqlSyntaxError):
+            parse_query("SELECT a FROM t LIMIT x")
+
+    def test_has_aggregates(self):
+        assert parse_query("SELECT COUNT(*) FROM t").has_aggregates()
+        assert not parse_query("SELECT a FROM t").has_aggregates()
+        assert parse_query(
+            "SELECT a FROM t GROUP BY a HAVING COUNT(*) > 1"
+        ).has_aggregates()
+
+
+class TestParseErrors:
+    @pytest.mark.parametrize(
+        "sql",
+        [
+            "SELECT FROM t",
+            "SELECT a",
+            "SELECT a FROM",
+            "SELECT a FROM t WHERE",
+            "SELECT a FROM t GROUP a",
+            "FROM t SELECT a",
+            "SELECT a FROM t WHERE a >",
+            "SELECT a FROM t WHERE a BETWEEN 1",
+            "SELECT a FROM t WHERE a IN 1, 2",
+            "SELECT a FROM t trailing garbage tokens ??",
+        ],
+    )
+    def test_invalid_queries_rejected(self, sql):
+        with pytest.raises(SqlSyntaxError):
+            parse_query(sql)
+
+    def test_trailing_input_rejected(self):
+        with pytest.raises(SqlSyntaxError):
+            parse_query("SELECT a FROM t SELECT b FROM s")

@@ -1,0 +1,125 @@
+"""Renderer tests, including the parse/render round-trip property."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sql.ast import ColumnRef, Literal
+from repro.sql.normalize import normalize_sql, queries_equivalent
+from repro.sql.parser import parse_query
+from repro.sql.render import render_expression, render_query
+
+ROUNDTRIP_QUERIES = [
+    "SELECT a FROM t",
+    "SELECT DISTINCT a, b FROM t",
+    "SELECT * FROM t",
+    "SELECT t.* FROM t",
+    "SELECT a AS x, b FROM t AS u",
+    "SELECT a FROM t WHERE a > 5",
+    "SELECT a FROM t WHERE a > 5 AND b = 'x'",
+    "SELECT a FROM t WHERE a BETWEEN 1 AND 10",
+    "SELECT a FROM t WHERE a NOT BETWEEN 1 AND 10",
+    "SELECT a FROM t WHERE a IN (1, 2, 3)",
+    "SELECT a FROM t WHERE name LIKE 'ab%'",
+    "SELECT a FROM t WHERE a IS NOT NULL",
+    "SELECT a FROM t WHERE NOT a = 5",
+    "SELECT a FROM t JOIN s ON t.id = s.id WHERE s.x < 3",
+    "SELECT a FROM t LEFT JOIN s ON t.id = s.id",
+    "SELECT a FROM t CROSS JOIN s",
+    "SELECT a, COUNT(*) FROM t GROUP BY a",
+    "SELECT a, SUM(b) FROM t GROUP BY a HAVING COUNT(*) > 2",
+    "SELECT a FROM t ORDER BY a ASC, b DESC LIMIT 5",
+    "SELECT AVG(salary) FROM employees WHERE age > 30",
+    "SELECT a FROM t WHERE a = -5",
+    "SELECT a FROM t WHERE a * 2 + 1 > 10",
+    "SELECT a FROM t WHERE a = 1 OR b = 2 AND c = 3",
+]
+
+
+class TestRoundTrip:
+    @pytest.mark.parametrize("sql", ROUNDTRIP_QUERIES)
+    def test_parse_render_parse_is_identity(self, sql):
+        query = parse_query(sql)
+        rendered = render_query(query)
+        assert parse_query(rendered) == query
+
+    @pytest.mark.parametrize("sql", ROUNDTRIP_QUERIES)
+    def test_rendering_is_stable(self, sql):
+        once = render_query(parse_query(sql))
+        twice = render_query(parse_query(once))
+        assert once == twice
+
+
+class TestLiteralRendering:
+    def test_string_quotes_escaped(self):
+        assert render_expression(Literal("it's")) == "'it''s'"
+
+    def test_null_and_booleans(self):
+        assert render_expression(Literal(None)) == "NULL"
+        assert render_expression(Literal(True)) == "TRUE"
+        assert render_expression(Literal(False)) == "FALSE"
+
+    def test_numbers(self):
+        assert render_expression(Literal(42)) == "42"
+        assert render_expression(Literal(2.5)) == "2.5"
+
+    def test_qualified_column(self):
+        assert render_expression(ColumnRef("a", "t")) == "t.a"
+
+
+class TestNormalize:
+    def test_whitespace_and_case_normalized(self):
+        assert normalize_sql("select  a\nfrom   t  where a>5") == "SELECT a FROM t WHERE a > 5"
+
+    def test_operator_spelling_normalized(self):
+        assert "<>" in normalize_sql("SELECT a FROM t WHERE a != 5")
+
+    def test_equivalence_check(self):
+        assert queries_equivalent("select a from t", "SELECT  a  FROM  t")
+        assert not queries_equivalent("SELECT a FROM t", "SELECT b FROM t")
+
+
+# --------------------------------------------------------------------------- #
+# property-based round trip over generated queries
+
+_identifiers = st.sampled_from(["a", "b", "c", "col1", "value_x", "T1"])
+_tables = st.sampled_from(["t", "s", "log_table", "R"])
+_numbers = st.one_of(st.integers(min_value=-1000, max_value=1000),
+                     st.floats(min_value=-100, max_value=100, allow_nan=False).map(lambda x: round(x, 2)))
+_strings = st.text(alphabet="abcXYZ 0", min_size=0, max_size=6)
+_constants = st.one_of(_numbers, _strings)
+
+
+def _comparison(column: str, value: object) -> str:
+    if isinstance(value, str):
+        escaped = value.replace("'", "''")
+        return f"{column} = '{escaped}'"
+    return f"{column} > {value}"
+
+
+_predicates = st.builds(_comparison, _identifiers, _constants)
+
+
+@st.composite
+def generated_queries(draw) -> str:
+    columns = draw(st.lists(_identifiers, min_size=1, max_size=3, unique=True))
+    table = draw(_tables)
+    sql = f"SELECT {', '.join(columns)} FROM {table}"
+    if draw(st.booleans()):
+        predicates = draw(st.lists(_predicates, min_size=1, max_size=3))
+        sql += " WHERE " + " AND ".join(predicates)
+    if draw(st.booleans()):
+        sql += f" ORDER BY {columns[0]} DESC"
+    if draw(st.booleans()):
+        sql += f" LIMIT {draw(st.integers(min_value=1, max_value=50))}"
+    return sql
+
+
+class TestRoundTripProperty:
+    @settings(max_examples=60, deadline=None)
+    @given(sql=generated_queries())
+    def test_generated_queries_round_trip(self, sql):
+        query = parse_query(sql)
+        assert parse_query(render_query(query)) == query

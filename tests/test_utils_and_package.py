@@ -1,0 +1,113 @@
+"""Tests for shared helpers, the package facade and the report generator."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import quick_demo
+from repro._utils import (
+    chunks,
+    deterministic_rng,
+    format_table,
+    is_close,
+    jaccard_distance,
+    pairwise_indices,
+    stable_hash,
+    stable_hash_int,
+)
+from repro.db.aggregates import (
+    evaluate_aggregate,
+    register_custom_aggregate,
+    unregister_custom_aggregate,
+)
+from repro.db.expressions import RowScope
+from repro.sql.ast import AggregateCall, ColumnRef
+
+
+class TestStableHash:
+    def test_deterministic_across_calls(self):
+        assert stable_hash("hello") == stable_hash("hello")
+        assert stable_hash_int("hello") == stable_hash_int("hello")
+
+    def test_different_inputs_differ(self):
+        assert stable_hash("a") != stable_hash("b")
+
+    def test_bytes_and_str_supported(self):
+        assert stable_hash(b"abc") == stable_hash("abc")
+
+    def test_int_range(self):
+        assert 0 <= stable_hash_int("x", bits=32) < 2**32
+
+
+class TestSmallHelpers:
+    def test_chunks(self):
+        assert list(chunks([1, 2, 3, 4, 5], 2)) == [[1, 2], [3, 4], [5]]
+        with pytest.raises(ValueError):
+            list(chunks([1], 0))
+
+    def test_pairwise_indices(self):
+        assert list(pairwise_indices(3)) == [(0, 1), (0, 2), (1, 2)]
+        assert list(pairwise_indices(1)) == []
+
+    def test_jaccard_distance(self):
+        assert jaccard_distance({1, 2}, {2, 3}) == pytest.approx(1 - 1 / 3)
+        assert jaccard_distance(set(), set()) == 0.0
+        assert jaccard_distance({1}, {2}) == 1.0
+        assert jaccard_distance({1, 2}, {1, 2}) == 0.0
+
+    def test_is_close(self):
+        assert is_close(1.0, 1.0 + 1e-13)
+        assert not is_close(1.0, 1.001)
+
+    def test_deterministic_rng(self):
+        assert deterministic_rng("seed").random() == deterministic_rng("seed").random()
+        assert deterministic_rng("a").random() != deterministic_rng("b").random()
+
+    def test_format_table_alignment(self):
+        text = format_table(["col", "x"], [["a", 1], ["long-value", 22]])
+        lines = text.splitlines()
+        assert len(lines) == 4
+        assert len(set(map(len, lines))) == 1  # all lines padded to equal width
+        assert "long-value" in lines[3]
+
+
+class TestCustomAggregates:
+    def test_register_and_evaluate(self):
+        register_custom_aggregate("mysum", lambda values: sum(values) * 10)
+        try:
+            call = AggregateCall("MYSUM", ColumnRef("a"))
+            scopes = [RowScope({"t": {"a": 1}}), RowScope({"t": {"a": 2}})]
+            assert evaluate_aggregate(call, scopes) == 30
+        finally:
+            unregister_custom_aggregate("mysum")
+
+    def test_unregister_restores_error(self):
+        register_custom_aggregate("temp", lambda values: 0)
+        unregister_custom_aggregate("temp")
+        from repro.exceptions import ExecutionError
+
+        with pytest.raises(ExecutionError):
+            evaluate_aggregate(AggregateCall("TEMP", ColumnRef("a")), [RowScope({"t": {"a": 1}})])
+
+    def test_unregister_missing_is_noop(self):
+        unregister_custom_aggregate("never-registered")
+
+
+class TestPackageFacade:
+    def test_quick_demo_runs(self):
+        output = quick_demo()
+        assert "PRESERVED" in output
+        assert "enc_" in output
+
+    def test_version_exposed(self):
+        import repro
+
+        assert repro.__version__
+
+
+class TestReportGenerator:
+    def test_paper_claims_cover_all_experiments(self):
+        from repro.analysis.experiments import list_experiments
+        from repro.analysis.report import PAPER_CLAIMS
+
+        assert {experiment_id for experiment_id, _ in list_experiments()} == set(PAPER_CLAIMS)

@@ -1,0 +1,168 @@
+"""Tests for workload profiles, database population and log generation."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.db.schema import ColumnType
+from repro.exceptions import WorkloadError
+from repro.sql.visitor import column_refs, walk
+from repro.sql.ast import AggregateCall, LikePredicate, Star
+from repro.workloads.generator import QueryLogGenerator, WorkloadMix
+from repro.workloads.schemas import (
+    populate_database,
+    skyserver_profile,
+    webshop_profile,
+)
+
+
+class TestProfiles:
+    def test_webshop_tables_and_unique_columns(self, webshop):
+        assert {t.name for t in webshop.tables} == {"customers", "orders", "products"}
+        names = webshop.all_column_names()
+        assert len(names) == len(set(names))
+
+    def test_skyserver_tables(self, skyserver):
+        assert {t.name for t in skyserver.tables} == {"photoobj", "specobj"}
+
+    def test_domain_catalog_covers_all_columns(self, webshop):
+        catalog = webshop.domain_catalog()
+        for name in webshop.all_column_names():
+            assert catalog.has_domain(name)
+
+    def test_join_groups(self, webshop):
+        groups = webshop.join_groups()
+        assert len(groups) == 1
+        assert ("customers", "customer_id") in groups[0].members
+        assert ("orders", "order_customer") in groups[0].members
+
+    def test_table_lookup_errors(self, webshop):
+        with pytest.raises(WorkloadError):
+            webshop.table("missing")
+        with pytest.raises(WorkloadError):
+            webshop.table("orders").column("missing")
+
+    def test_aggregate_only_columns_exist(self, webshop):
+        discount = webshop.table("orders").column("order_discount")
+        assert discount.aggregate_candidate
+        assert not discount.range_candidate and not discount.equality_candidate
+
+
+class TestPopulation:
+    def test_row_counts_match_profile(self, webshop, webshop_database):
+        for table in webshop.tables:
+            assert len(webshop_database.table(table.name)) == table.rows
+
+    def test_values_respect_domains(self, webshop, webshop_database):
+        for table in webshop.tables:
+            for column in table.columns:
+                values = [
+                    v for v in webshop_database.table(table.name).column_values(column.name)
+                    if v is not None
+                ]
+                if column.type is ColumnType.TEXT:
+                    assert set(values) <= set(column.values)
+                elif column.type.is_numeric:
+                    assert min(values) >= column.minimum
+                    assert max(values) <= column.maximum
+
+    def test_key_columns_are_sequential(self, webshop, webshop_database):
+        ids = webshop_database.table("customers").column_values("customer_id")
+        assert ids == list(range(1, len(ids) + 1))
+
+    def test_population_is_deterministic(self, webshop):
+        first = populate_database(webshop, seed=7)
+        second = populate_database(webshop, seed=7)
+        assert first.table("orders").rows == second.table("orders").rows
+
+    def test_different_seeds_differ(self, webshop):
+        first = populate_database(webshop, seed=1)
+        second = populate_database(webshop, seed=2)
+        assert first.table("orders").rows != second.table("orders").rows
+
+    def test_joins_produce_matches(self, webshop, webshop_database):
+        from repro.db.executor import QueryExecutor
+        from repro.sql.parser import parse_query
+
+        result = QueryExecutor(webshop_database).execute(
+            parse_query(
+                "SELECT customer_id FROM customers JOIN orders ON customer_id = order_customer"
+            )
+        )
+        assert len(result) > 0
+
+
+class TestGenerator:
+    def test_log_size_and_determinism(self, webshop):
+        generator = QueryLogGenerator(webshop, WorkloadMix(), seed=5)
+        log = generator.generate(25)
+        assert len(log) == 25
+        assert log.statements == QueryLogGenerator(webshop, WorkloadMix(), seed=5).generate(25).statements
+
+    def test_different_seeds_produce_different_logs(self, webshop):
+        a = QueryLogGenerator(webshop, WorkloadMix(), seed=1).generate(20)
+        b = QueryLogGenerator(webshop, WorkloadMix(), seed=2).generate(20)
+        assert a.statements != b.statements
+
+    def test_queries_reference_only_profile_tables_and_columns(self, webshop, webshop_log):
+        tables = {t.name for t in webshop.tables}
+        columns = set(webshop.all_column_names())
+        for query in webshop_log.queries:
+            assert set(query.table_names()) <= tables
+            assert {ref.name for ref in column_refs(query)} <= columns
+
+    def test_no_like_or_star(self, webshop_log):
+        for query in webshop_log.queries:
+            for node in walk(query):
+                assert not isinstance(node, LikePredicate)
+            for item in query.select_items:
+                assert not isinstance(item.expression, Star)
+
+    def test_spj_mix_has_no_aggregates(self, webshop):
+        log = QueryLogGenerator(webshop, WorkloadMix.spj_only(), seed=3).generate(40)
+        for query in log.queries:
+            assert not query.has_aggregates()
+            assert not query.group_by
+
+    def test_analytical_mix_has_aggregates(self, webshop):
+        log = QueryLogGenerator(webshop, WorkloadMix.analytical(), seed=3).generate(40)
+        assert any(query.has_aggregates() for query in log.queries)
+        assert any(query.group_by for query in log.queries)
+        # AVG is never generated (CryptDB evaluates it client-side).
+        for query in log.queries:
+            for node in walk(query):
+                if isinstance(node, AggregateCall):
+                    assert node.function != "AVG"
+
+    def test_join_queries_use_declared_join_columns(self, webshop):
+        log = QueryLogGenerator(webshop, WorkloadMix(join_select=10.0), seed=4).generate(30)
+        join_queries = [q for q in log.queries if q.joins]
+        assert join_queries
+        for query in join_queries:
+            condition = query.joins[0].condition
+            names = {ref.name for ref in column_refs(condition)}
+            assert names == {"customer_id", "order_customer"}
+
+    def test_generated_queries_execute_on_populated_database(self, webshop, webshop_database):
+        from repro.db.executor import QueryExecutor
+
+        log = QueryLogGenerator(webshop, WorkloadMix(), seed=6).generate(30)
+        executor = QueryExecutor(webshop_database)
+        for query in log.queries:
+            executor.execute(query)  # must not raise
+
+    def test_invalid_inputs(self, webshop):
+        with pytest.raises(WorkloadError):
+            QueryLogGenerator(webshop, WorkloadMix(), seed=1).generate(0)
+        with pytest.raises(WorkloadError):
+            WorkloadMix(
+                point_select=0, range_select=0, conjunctive_select=0, in_select=0,
+                join_select=0, aggregate_select=0, group_by_select=0,
+            ).as_weights()
+
+    def test_skyserver_generation(self, skyserver):
+        log = QueryLogGenerator(skyserver, WorkloadMix.analytical(), seed=2).generate(20)
+        assert len(log) == 20
+        tables = {t.name for t in skyserver.tables}
+        for query in log.queries:
+            assert set(query.table_names()) <= tables
