@@ -27,10 +27,10 @@ def test_e2_log_encryption_throughput(benchmark, bench_keychain, bench_analytica
 def test_e2_feature_extraction_over_ciphertexts(benchmark, bench_keychain, bench_analytical_log):
     """Time: feature-set extraction + distance matrix over the encrypted log."""
     scheme = StructureDpeScheme(bench_keychain)
-    measure = StructureDistance()
     encrypted_context = scheme.encrypt_context(LogContext(log=bench_analytical_log))
 
-    matrix = benchmark(measure.distance_matrix, encrypted_context)
+    # Fresh measure per round: the pipeline memoizes per (measure, context).
+    matrix = benchmark(lambda: StructureDistance().distance_matrix(encrypted_context))
 
     assert matrix.shape == (len(bench_analytical_log), len(bench_analytical_log))
 

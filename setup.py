@@ -1,11 +1,61 @@
-"""Setuptools shim.
+"""Setuptools packaging for the repro package.
 
 The environment ships an older setuptools without wheel support, so the
 PEP 660 editable-install path is unavailable; this ``setup.py`` enables the
-legacy ``pip install -e . --no-use-pep517 --no-build-isolation`` route.  All
-project metadata lives in ``pyproject.toml``.
+legacy ``pip install -e . --no-use-pep517 --no-build-isolation`` route.
+
+The version is read from ``src/repro/__init__.py`` (the single source of
+truth, also reported by ``repro --version``) and the long description from
+``README.md``, so neither can drift from the package itself.
 """
 
-from setuptools import setup
+import pathlib
+import re
 
-setup()
+from setuptools import find_packages, setup
+
+HERE = pathlib.Path(__file__).resolve().parent
+
+
+def read_version() -> str:
+    """Extract ``__version__`` from the package without importing it."""
+    source = (HERE / "src" / "repro" / "__init__.py").read_text(encoding="utf-8")
+    match = re.search(r'^__version__ = "([^"]+)"', source, re.MULTILINE)
+    if match is None:
+        raise RuntimeError("__version__ not found in src/repro/__init__.py")
+    return match.group(1)
+
+
+def read_long_description() -> str:
+    readme = HERE / "README.md"
+    return readme.read_text(encoding="utf-8") if readme.exists() else ""
+
+
+setup(
+    name="repro-kitdpe",
+    version=read_version(),
+    description=(
+        "Reproduction of 'Distance-Based Data Mining over Encrypted Data' "
+        "(Tex, Schäler, Böhm; ICDE 2018): distance-preserving encryption, "
+        "KIT-DPE, and encrypted query-log mining"
+    ),
+    long_description=read_long_description(),
+    long_description_content_type="text/markdown",
+    author="paper-repo-growth",
+    license="MIT",
+    packages=find_packages("src"),
+    package_dir={"": "src"},
+    python_requires=">=3.10",
+    install_requires=["numpy"],
+    entry_points={"console_scripts": ["repro = repro.cli:main"]},
+    classifiers=[
+        "Development Status :: 4 - Beta",
+        "Intended Audience :: Science/Research",
+        "Programming Language :: Python :: 3",
+        "Programming Language :: Python :: 3.10",
+        "Programming Language :: Python :: 3.11",
+        "Programming Language :: Python :: 3.12",
+        "Topic :: Security :: Cryptography",
+        "Topic :: Scientific/Engineering :: Information Analysis",
+    ],
+)

@@ -37,6 +37,7 @@ from repro.mining import (
     distance_based_outliers,
     k_medoids,
     k_nearest_neighbors,
+    pairwise_view,
 )
 
 
@@ -102,12 +103,25 @@ def compare_mining(
     n_clusters: int = 3,
     knn_k: int = 3,
 ) -> MiningComparison:
-    """Run the mining algorithms on both matrices and compare their outputs."""
-    n = plain_matrix.shape[0]
+    """Run the mining algorithms on both matrices and compare their outputs.
+
+    Both inputs may be square arrays or condensed
+    :class:`~repro.mining.matrix.CondensedDistanceMatrix` instances; the
+    heuristics (eps, outlier threshold) are computed from the condensed
+    values in a way that reproduces the square-form statistics exactly, so
+    results are identical across representations.
+    """
+    plain_matrix = pairwise_view(plain_matrix)
+    encrypted_matrix = pairwise_view(encrypted_matrix)
+    n = plain_matrix.n_items
     n_clusters = max(1, min(n_clusters, n))
     knn_k = max(1, min(knn_k, n - 1)) if n > 1 else 1
 
-    positive = plain_matrix[plain_matrix > 0]
+    # The condensed form holds each off-diagonal value once; the square form
+    # holds it twice plus n diagonal zeros.  Repeat/append reproduces the
+    # square multiset so median/quantile match the seed's square-form values.
+    condensed = plain_matrix.condensed()
+    positive = np.repeat(condensed[condensed > 0], 2)
     eps = float(np.median(positive)) if positive.size else 0.5
     min_points = max(2, min(4, n // 5 + 2))
 
@@ -120,7 +134,8 @@ def compare_mining(
     plain_cut = cut_dendrogram(complete_link(plain_matrix), n_clusters=n_clusters)
     encrypted_cut = cut_dendrogram(complete_link(encrypted_matrix), n_clusters=n_clusters)
 
-    outlier_d = float(np.quantile(plain_matrix, 0.9)) if n > 1 else 0.5
+    full_multiset = np.concatenate([np.repeat(condensed, 2), np.zeros(n)])
+    outlier_d = float(np.quantile(full_multiset, 0.9)) if n > 1 else 0.5
     plain_outliers = distance_based_outliers(plain_matrix, p=0.8, d=outlier_d)
     encrypted_outliers = distance_based_outliers(encrypted_matrix, p=0.8, d=outlier_d)
 
@@ -158,8 +173,11 @@ def run_preservation_experiment(
     encrypted_context = scheme.encrypt_context(plain_context)
     preservation = verify_distance_preservation(measure, plain_context, encrypted_context)
     equivalence = verify_c_equivalence(scheme, measure, plain_context, encrypted_context)
-    plain_matrix = measure.distance_matrix(plain_context)
-    encrypted_matrix = measure.distance_matrix(encrypted_context)
+    # The condensed matrices are memoized by the measure's pipeline, so this
+    # reuses the characteristics and distances the verification just computed
+    # instead of recomputing the O(n²) loop.
+    plain_matrix = measure.condensed_distance_matrix(plain_context)
+    encrypted_matrix = measure.condensed_distance_matrix(encrypted_context)
     mining = compare_mining(plain_matrix, encrypted_matrix, n_clusters=n_clusters)
     return PreservationExperiment(
         measure=measure.name,

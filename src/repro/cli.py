@@ -5,10 +5,12 @@ Everything the repository reproduces can be driven from the shell::
     python -m repro list                    # registered experiments
     python -m repro run T1 E1               # run selected experiments
     python -m repro run --all               # run every experiment
-    python -m repro report EXPERIMENTS.md   # regenerate the markdown report
+    python -m repro docs                    # regenerate EXPERIMENTS.md (deterministic)
+    python -m repro report REPORT.md        # run everything, write measured report
     python -m repro table1                  # print the derived Table I
     python -m repro figure1                 # print the Figure 1 taxonomy
     python -m repro demo                    # 10-second installation check
+    python -m repro --version               # package version
     python -m repro encrypt-log plain.json encrypted.json --scheme token
                                             # encrypt a query-log JSON file
 
@@ -24,7 +26,9 @@ import argparse
 import sys
 from collections.abc import Sequence
 
+import repro
 from repro import quick_demo
+from repro.analysis.docs import render_experiments_doc, write_document
 from repro.analysis.experiments import list_experiments, run_experiment
 from repro.analysis.report import generate_report
 from repro.analysis.table1 import format_table1, render_figure1
@@ -46,6 +50,9 @@ def build_parser() -> argparse.ArgumentParser:
         prog="repro",
         description="Reproduction of 'Distance-Based Data Mining over Encrypted Data' (ICDE 2018)",
     )
+    parser.add_argument(
+        "--version", action="version", version=f"repro {repro.__version__}"
+    )
     subparsers = parser.add_subparsers(dest="command", required=True)
 
     subparsers.add_parser("list", help="list registered experiments")
@@ -54,7 +61,17 @@ def build_parser() -> argparse.ArgumentParser:
     run_parser.add_argument("experiments", nargs="*", help="experiment ids (e.g. T1 E1 S1)")
     run_parser.add_argument("--all", action="store_true", help="run every registered experiment")
 
-    report_parser = subparsers.add_parser("report", help="regenerate the EXPERIMENTS.md report")
+    docs_parser = subparsers.add_parser(
+        "docs", help="render EXPERIMENTS.md from the experiment registry (deterministic)"
+    )
+    docs_parser.add_argument(
+        "output", nargs="?", default="EXPERIMENTS.md",
+        help="output file (default: EXPERIMENTS.md; '-' for stdout)",
+    )
+
+    report_parser = subparsers.add_parser(
+        "report", help="run every experiment and render the measured-results report"
+    )
     report_parser.add_argument("output", nargs="?", help="output file (default: stdout)")
 
     subparsers.add_parser("table1", help="print the derived Table I")
@@ -100,15 +117,12 @@ def _command_run(experiment_ids: Sequence[str], run_all: bool) -> int:
     return 1 if failures else 0
 
 
+def _command_docs(output: str) -> int:
+    return write_document(render_experiments_doc(), output)
+
+
 def _command_report(output: str | None) -> int:
-    report = generate_report()
-    if output:
-        with open(output, "w", encoding="utf-8") as handle:
-            handle.write(report)
-        print(f"wrote {output}")
-    else:
-        print(report)
-    return 0
+    return write_document(generate_report(), output or "-")
 
 
 def _command_encrypt_log(input_path: str, output_path: str, scheme_name: str, passphrase: str | None) -> int:
@@ -136,6 +150,8 @@ def main(argv: Sequence[str] | None = None) -> int:
         return _command_list()
     if arguments.command == "run":
         return _command_run(arguments.experiments, arguments.all)
+    if arguments.command == "docs":
+        return _command_docs(arguments.output)
     if arguments.command == "report":
         return _command_report(arguments.output)
     if arguments.command == "table1":

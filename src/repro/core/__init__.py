@@ -15,6 +15,7 @@ Public surface:
 from repro.core.domains import Domain, DomainCatalog
 from repro.core.dpe import (
     DistanceMeasure,
+    JaccardSetMeasure,
     LogContext,
     PreservationReport,
     SharedInformation,
@@ -69,6 +70,7 @@ __all__ = [
     "EquivalenceRequirements",
     "HighLevelScheme",
     "Interval",
+    "JaccardSetMeasure",
     "KitDpeEngine",
     "LogContext",
     "PreservationReport",

@@ -9,24 +9,48 @@ Two pieces make this executable:
 
 * :class:`DistanceMeasure` — a distance measure ``d`` over query-log entries.
   Every measure factors through a per-item *characteristic* ``c`` (the
-  paper's Definition 2): ``prepare`` computes ``c(x)`` for every log entry
-  and ``distance_between`` compares two characteristics.  This factoring is
-  exactly what lets the paper reason item-wise about encryption.
+  paper's Definition 2): ``characteristics`` computes ``c(x)`` for a batch of
+  queries and ``distance_between`` compares two characteristics.  This
+  factoring is exactly what lets the paper reason item-wise about encryption.
 * :func:`verify_distance_preservation` — computes the full pairwise distance
   matrices on a plaintext and an encrypted :class:`LogContext` and reports
   the maximum absolute deviation (which must be 0 for a DPE scheme).
+
+Distance pipeline
+-----------------
+
+``distance_matrix`` is a three-stage pipeline rather than a naive double
+loop:
+
+1. **batch** — ``characteristics(queries, context)`` computes every
+   characteristic in one pass (measures may override it with a bulk
+   implementation);
+2. **cache** — the characteristics and the condensed distances are memoized
+   per :class:`LogContext` (weakly keyed, invalidated when the context's log
+   is swapped), so verification, experiments and mining share one
+   computation;
+3. **vectorize** — ``condensed_distances`` fills the strict upper triangle
+   as one flat numpy array; :class:`JaccardSetMeasure` replaces the pair
+   loop with a set-membership matrix product that is exactly (bit-for-bit)
+   equal to the scalar Jaccard distance.
+
+``distance_matrix_reference`` keeps the seed's naive O(n²) loop verbatim as
+an equality oracle for tests and benchmarks.
 """
 
 from __future__ import annotations
 
 import abc
+import weakref
 from dataclasses import dataclass, field
 
 import numpy as np
 
+from repro._utils import jaccard_distance
 from repro.core.domains import DomainCatalog
 from repro.db.database import Database
 from repro.exceptions import DpeError
+from repro.mining.matrix import CondensedDistanceMatrix, condensed_length
 from repro.sql.ast import Query
 from repro.sql.log import QueryLog
 
@@ -56,9 +80,13 @@ class SharedInformation:
         return " + ".join(parts) if parts else "nothing"
 
 
-@dataclass
+@dataclass(eq=False)
 class LogContext:
-    """A query log together with the side information a measure may need."""
+    """A query log together with the side information a measure may need.
+
+    Contexts compare (and hash) by identity so they can key the weak
+    per-measure caches of the distance pipeline.
+    """
 
     log: QueryLog
     database: Database | None = None
@@ -82,6 +110,33 @@ class LogContext:
         return len(self.log)
 
 
+class _ContextCache:
+    """Per-(measure, context) memo: characteristics and condensed distances.
+
+    ``sources`` snapshots the identity of everything a characteristic may
+    depend on (log, database, domains); swapping any of them on the context
+    invalidates the memo.  In-place mutation of a shared Database is not
+    detectable — callers doing that must call
+    :meth:`DistanceMeasure.invalidate_cache`.
+    """
+
+    __slots__ = ("sources", "characteristics", "condensed")
+
+    def __init__(self, context: LogContext) -> None:
+        self.sources = (context.log, context.database, context.domains)
+        self.characteristics: list[object] | None = None
+        self.condensed: CondensedDistanceMatrix | None = None
+
+    def fresh_for(self, context: LogContext) -> bool:
+        """True if the context still references the snapshotted side inputs."""
+        log, database, domains = self.sources
+        return (
+            log is context.log
+            and database is context.database
+            and domains is context.domains
+        )
+
+
 class DistanceMeasure(abc.ABC):
     """A distance measure over SQL queries, factored through a characteristic."""
 
@@ -102,11 +157,51 @@ class DistanceMeasure(abc.ABC):
     def distance_between(self, characteristic_a: object, characteristic_b: object) -> float:
         """Distance between two characteristics; must be symmetric and in [0, 1]."""
 
+    # -- batch hook ----------------------------------------------------------- #
+
+    def characteristics(self, queries: list[Query], context: LogContext) -> list[object]:
+        """Batch hook: the characteristic of every query, in order.
+
+        The default delegates to :meth:`characteristic` per query; measures
+        whose characteristic extraction amortises over a batch (shared
+        executors, shared vocabularies) override this.
+        """
+        return [self.characteristic(query, context) for query in queries]
+
+    # -- caching -------------------------------------------------------------- #
+
+    def _context_cache(self, context: LogContext) -> _ContextCache:
+        """The memo attached to ``context``, invalidated when its inputs change."""
+        caches = getattr(self, "_prepared", None)
+        if caches is None:
+            caches = weakref.WeakKeyDictionary()
+            self._prepared = caches
+        cache = caches.get(context)
+        if cache is None or not cache.fresh_for(context):
+            cache = _ContextCache(context)
+            caches[context] = cache
+        return cache
+
+    def invalidate_cache(self, context: LogContext | None = None) -> None:
+        """Drop the memoized pipeline state (for one context, or all of them)."""
+        caches = getattr(self, "_prepared", None)
+        if caches is None:
+            return
+        if context is None:
+            caches.clear()
+        else:
+            caches.pop(context, None)
+
     # -- derived functionality ------------------------------------------------ #
 
     def prepare(self, context: LogContext) -> list[object]:
-        """Compute the characteristic of every log entry in ``context``."""
-        return [self.characteristic(entry.query, context) for entry in context.log]
+        """Compute (and memoize) the characteristic of every log entry."""
+        cache = self._context_cache(context)
+        if cache.characteristics is None:
+            cache.characteristics = self.characteristics(
+                [entry.query for entry in context.log], context
+            )
+        return list(cache.characteristics)
 
     def distance(self, query_a: Query, query_b: Query, context: LogContext) -> float:
         """Distance between two individual queries evaluated in ``context``."""
@@ -114,9 +209,48 @@ class DistanceMeasure(abc.ABC):
             self.characteristic(query_a, context), self.characteristic(query_b, context)
         )
 
+    def condensed_distances(self, characteristics: list[object]) -> np.ndarray:
+        """All pairwise distances as a flat upper-triangle array (row-major).
+
+        The default fills the triangle with the scalar ``distance_between``;
+        measures whose distance reduces to set or vector operations override
+        this with a vectorized implementation (see :class:`JaccardSetMeasure`).
+        """
+        n = len(characteristics)
+        out = np.zeros(condensed_length(n), dtype=float)
+        position = 0
+        for i in range(n):
+            characteristic_i = characteristics[i]
+            for j in range(i + 1, n):
+                out[position] = self.distance_between(characteristic_i, characteristics[j])
+                position += 1
+        return out
+
+    def condensed_distance_matrix(self, context: LogContext) -> CondensedDistanceMatrix:
+        """The pairwise distances in condensed (upper-triangle) form, memoized.
+
+        This is the preferred entry point for large logs: the square matrix
+        is never materialised, and the mining algorithms accept the condensed
+        form directly.
+        """
+        cache = self._context_cache(context)
+        if cache.condensed is None:
+            characteristics = self.prepare(context)
+            values = np.asarray(self.condensed_distances(characteristics), dtype=float)
+            cache.condensed = CondensedDistanceMatrix(values=values, n=len(characteristics))
+        return cache.condensed
+
     def distance_matrix(self, context: LogContext) -> np.ndarray:
         """The full symmetric pairwise distance matrix over the log."""
-        characteristics = self.prepare(context)
+        return self.condensed_distance_matrix(context).to_square()
+
+    def distance_matrix_reference(self, context: LogContext) -> np.ndarray:
+        """The seed's naive O(n²) implementation, kept as an equality oracle.
+
+        No batching, caching or vectorization — tests and benchmarks compare
+        the pipeline against this loop.
+        """
+        characteristics = [self.characteristic(entry.query, context) for entry in context.log]
         n = len(characteristics)
         matrix = np.zeros((n, n), dtype=float)
         for i in range(n):
@@ -134,6 +268,74 @@ class DistanceMeasure(abc.ABC):
             "equivalence_notion": self.equivalence_notion,
             "shared_information": self.shared_information.describe(),
         }
+
+
+class JaccardSetMeasure(DistanceMeasure):
+    """Base class for measures whose characteristic is a set under Jaccard.
+
+    The vectorized fast path maps every distinct set element to a column of
+    a 0/1 membership matrix ``M`` and computes all pairwise intersection
+    sizes as ``M @ Mᵀ``.  Products and partial sums of 0/1 values are exact
+    in float64 (integers below 2⁵³), and IEEE division is correctly rounded,
+    so the result is bit-for-bit equal to the scalar
+    ``1 - |A ∩ B| / |A ∪ B|``.
+
+    Large vocabularies (e.g. result-tuple sets over a big database) are
+    processed in column blocks so peak memory stays bounded at roughly
+    ``_MEMBERSHIP_BLOCK_CELLS`` floats regardless of how many distinct
+    elements the log produces; block-wise accumulation of ``M_b @ M_bᵀ``
+    sums exact integers, so chunking never changes the result.
+    """
+
+    #: Upper bound on the cells of one membership block (~256 MB of float64).
+    _MEMBERSHIP_BLOCK_CELLS = 32_000_000
+
+    def distance_between(self, characteristic_a: object, characteristic_b: object) -> float:
+        """Jaccard distance between two characteristic sets."""
+        return jaccard_distance(characteristic_a, characteristic_b)
+
+    def condensed_distances(self, characteristics: list[object]) -> np.ndarray:
+        n = len(characteristics)
+        if n < 2:
+            return np.zeros(0, dtype=float)
+        vocabulary: dict[object, int] = {}
+        rows: list[int] = []
+        columns: list[int] = []
+        for index, characteristic in enumerate(characteristics):
+            for element in characteristic:
+                column = vocabulary.setdefault(element, len(vocabulary))
+                rows.append(index)
+                columns.append(column)
+        pairs = condensed_length(n)
+        if not vocabulary:
+            # All sets empty: every pair is identical, distance 0.
+            return np.zeros(pairs, dtype=float)
+        vocabulary_size = len(vocabulary)
+        row_index = np.asarray(rows, dtype=np.int64)
+        column_index = np.asarray(columns, dtype=np.int64)
+        # Sort the coordinates by column once so each block is a slice, not a
+        # full mask pass over every element per block.
+        order = np.argsort(column_index, kind="stable")
+        row_index = row_index[order]
+        column_index = column_index[order]
+        block_columns = max(1, min(vocabulary_size, self._MEMBERSHIP_BLOCK_CELLS // n))
+        intersections = np.zeros((n, n), dtype=float)
+        sizes = np.array([float(len(characteristic)) for characteristic in characteristics])
+        for block_start in range(0, vocabulary_size, block_columns):
+            block_end = min(block_start + block_columns, vocabulary_size)
+            low = int(np.searchsorted(column_index, block_start, side="left"))
+            high = int(np.searchsorted(column_index, block_end, side="left"))
+            membership = np.zeros((n, block_end - block_start), dtype=float)
+            membership[row_index[low:high], column_index[low:high] - block_start] = 1.0
+            intersections += membership @ membership.T
+        unions = sizes[:, np.newaxis] + sizes[np.newaxis, :] - intersections
+        upper = np.triu_indices(n, k=1)
+        intersection = intersections[upper]
+        union = unions[upper]
+        distances = np.zeros(pairs, dtype=float)
+        nonempty = union > 0
+        distances[nonempty] = 1.0 - intersection[nonempty] / union[nonempty]
+        return distances
 
 
 @dataclass(frozen=True)
@@ -160,6 +362,18 @@ class PreservationReport:
         )
 
 
+def _condensed_index_to_pair(position: int, n: int) -> tuple[int, int]:
+    """Map a condensed (row-major upper-triangle) index back to ``(i, j)``."""
+    i = 0
+    offset = 0
+    row_length = n - 1
+    while position >= offset + row_length:
+        offset += row_length
+        row_length -= 1
+        i += 1
+    return i, i + 1 + (position - offset)
+
+
 def verify_distance_preservation(
     measure: DistanceMeasure,
     plain_context: LogContext,
@@ -171,30 +385,28 @@ def verify_distance_preservation(
 
     The two contexts must contain the same number of log entries, with entry
     ``i`` of the encrypted context being the encryption of entry ``i`` of the
-    plaintext context.
+    plaintext context.  The check runs on the condensed (upper-triangle)
+    distances of the shared pipeline, so repeated verification and subsequent
+    mining reuse the same cached characteristics.
     """
     if len(plain_context) != len(encrypted_context):
         raise DpeError(
             "plaintext and encrypted logs differ in length "
             f"({len(plain_context)} vs {len(encrypted_context)})"
         )
-    plain_matrix = measure.distance_matrix(plain_context)
-    encrypted_matrix = measure.distance_matrix(encrypted_context)
-    deviations = np.abs(plain_matrix - encrypted_matrix)
     n = len(plain_context)
+    plain = measure.condensed_distance_matrix(plain_context).values
+    encrypted = measure.condensed_distance_matrix(encrypted_context).values
+    deviations = np.abs(plain - encrypted)
+    pairs = int(deviations.size)
     violations: list[tuple[int, int, float, float]] = []
-    total = 0.0
-    pairs = 0
-    for i in range(n):
-        for j in range(i + 1, n):
-            pairs += 1
-            total += deviations[i, j]
-            if deviations[i, j] > 1e-9 and len(violations) < max_violations_reported:
-                violations.append((i, j, float(plain_matrix[i, j]), float(encrypted_matrix[i, j])))
+    for position in np.flatnonzero(deviations > 1e-9)[:max_violations_reported]:
+        i, j = _condensed_index_to_pair(int(position), n)
+        violations.append((i, j, float(plain[position]), float(encrypted[position])))
     return PreservationReport(
         measure=measure.name,
         pairs_checked=pairs,
-        max_absolute_deviation=float(deviations.max()) if n > 1 else 0.0,
-        mean_absolute_deviation=float(total / pairs) if pairs else 0.0,
+        max_absolute_deviation=float(deviations.max()) if pairs else 0.0,
+        mean_absolute_deviation=float(deviations.mean()) if pairs else 0.0,
         violating_pairs=tuple(violations),
     )

@@ -52,22 +52,23 @@ def verify_c_equivalence(
     push it through the scheme's characteristic-level encryption
     (``Enc(c(x))``), and compare against the characteristic of the encrypted
     entry (``c(Enc(x))``) computed in the encrypted context.
+
+    Characteristics come from the measure's memoized batch pipeline
+    (:meth:`~repro.core.dpe.DistanceMeasure.prepare`), so a preceding or
+    following distance-preservation check on the same contexts shares the
+    computation.
     """
     if len(plain_context) != len(encrypted_context):
         raise DpeError("plaintext and encrypted logs differ in length")
 
+    plain_characteristics = measure.prepare(plain_context)
+    encrypted_characteristics = measure.prepare(encrypted_context)
     violations: list[int] = []
-    for index, (plain_entry, encrypted_entry) in enumerate(
-        zip(plain_context.log, encrypted_context.log)
-    ):
-        plain_characteristic = measure.characteristic(plain_entry.query, plain_context)
+    for index, plain_entry in enumerate(plain_context.log):
         encrypted_of_plain = scheme.encrypt_characteristic(
-            plain_entry.query, plain_characteristic, plain_context
+            plain_entry.query, plain_characteristics[index], plain_context
         )
-        characteristic_of_encrypted = measure.characteristic(
-            encrypted_entry.query, encrypted_context
-        )
-        if encrypted_of_plain != characteristic_of_encrypted:
+        if encrypted_of_plain != encrypted_characteristics[index]:
             violations.append(index)
     return EquivalenceReport(
         measure=measure.name,

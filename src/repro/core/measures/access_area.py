@@ -32,8 +32,11 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+import numpy as np
+
 from repro.core.dpe import DistanceMeasure, LogContext, SharedInformation
 from repro.core.domains import DomainCatalog
+from repro.mining.matrix import condensed_length
 from repro.core.kitdpe import (
     ComponentRequirement,
     ConstantRequirement,
@@ -390,6 +393,40 @@ class AccessAreaDistance(DistanceMeasure):
         if area_a.overlaps(area_b):
             return self.overlap_score
         return 1.0
+
+    def condensed_distances(self, characteristics: list[object]) -> np.ndarray:
+        """Batched fast path: canonicalise each area once, not once per pair.
+
+        The naive loop calls ``canonical()`` on both areas for every pair
+        (O(n²·attrs) canonicalisations); here each characteristic is
+        canonicalised a single time up front.  ``canonical()`` is idempotent
+        and ``overlaps`` is invariant under canonicalisation, so the
+        resulting distances are bit-identical to the reference loop.
+        """
+        canonical: list[dict[str, AccessArea]] = [
+            {attribute: area.canonical() for attribute, area in characteristic.items()}
+            for characteristic in characteristics
+        ]
+        empty = AccessArea.empty()
+        n = len(canonical)
+        out = np.zeros(condensed_length(n), dtype=float)
+        position = 0
+        for i in range(n):
+            areas_i = canonical[i]
+            for j in range(i + 1, n):
+                areas_j = canonical[j]
+                attributes = set(areas_i) | set(areas_j)
+                if attributes:
+                    total = 0.0
+                    for attribute in attributes:
+                        area_a = areas_i.get(attribute, empty)
+                        area_b = areas_j.get(attribute, empty)
+                        if area_a == area_b:
+                            continue
+                        total += self.overlap_score if area_a.overlaps(area_b) else 1.0
+                    out[position] = total / len(attributes)
+                position += 1
+        return out
 
     def component_requirements(self) -> EquivalenceRequirements:
         """KIT-DPE step 2: names need equality; constants depend on their usage.

@@ -14,8 +14,7 @@ compares ciphertext tuples — it never decrypts anything.
 
 from __future__ import annotations
 
-from repro._utils import jaccard_distance
-from repro.core.dpe import DistanceMeasure, LogContext, SharedInformation
+from repro.core.dpe import JaccardSetMeasure, LogContext, SharedInformation
 from repro.core.kitdpe import (
     ComponentRequirement,
     ConstantRequirement,
@@ -29,8 +28,13 @@ from repro.sql.ast import Query
 ResultTuple = tuple[object, ...]
 
 
-class ResultDistance(DistanceMeasure):
-    """Jaccard distance over result-tuple sets."""
+class ResultDistance(JaccardSetMeasure):
+    """Jaccard distance over result-tuple sets.
+
+    Inherits the vectorized membership-matrix distance pipeline from
+    :class:`~repro.core.dpe.JaccardSetMeasure`; the batch hook shares one
+    executor across the whole log.
+    """
 
     name = "result"
     display_name = "Query-Result Distance"
@@ -43,13 +47,17 @@ class ResultDistance(DistanceMeasure):
         result = QueryExecutor(database).execute(query)
         return result.tuple_set()
 
-    def distance_between(
-        self,
-        characteristic_a: frozenset[ResultTuple],
-        characteristic_b: frozenset[ResultTuple],
-    ) -> float:
-        """Jaccard distance between two result-tuple sets."""
-        return jaccard_distance(characteristic_a, characteristic_b)
+    def characteristics(
+        self, queries: list[Query], context: LogContext
+    ) -> list[frozenset[ResultTuple]]:
+        """Batch hook: one shared executor that reuses joins across the log.
+
+        Queries in a log overwhelmingly share their FROM/JOIN shape, so the
+        joined row scopes are computed once per shape instead of once per
+        query — the dominant cost of the naive per-query path.
+        """
+        executor = QueryExecutor(context.require_database(), reuse_join_state=True)
+        return [executor.execute(query).tuple_set() for query in queries]
 
     def component_requirements(self) -> EquivalenceRequirements:
         """KIT-DPE step 2: queries must stay *executable* over the encrypted DB.

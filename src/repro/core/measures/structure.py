@@ -8,15 +8,18 @@ Table I can afford PROB encryption for constants under this measure.
 
 from __future__ import annotations
 
-from repro._utils import jaccard_distance
-from repro.core.dpe import DistanceMeasure, LogContext, SharedInformation
+from repro.core.dpe import JaccardSetMeasure, LogContext, SharedInformation
 from repro.core.kitdpe import ComponentRequirement, ConstantRequirement, EquivalenceRequirements
 from repro.sql.ast import Query
 from repro.sql.features import Feature, feature_set
 
 
-class StructureDistance(DistanceMeasure):
-    """Jaccard distance over SnipSuggest-style feature sets."""
+class StructureDistance(JaccardSetMeasure):
+    """Jaccard distance over SnipSuggest-style feature sets.
+
+    Inherits the vectorized membership-matrix distance pipeline from
+    :class:`~repro.core.dpe.JaccardSetMeasure`.
+    """
 
     name = "structure"
     display_name = "Query-Structure Distance"
@@ -27,12 +30,6 @@ class StructureDistance(DistanceMeasure):
         """The feature set of ``query`` (the paper's ``c = features``)."""
         _ = context
         return feature_set(query)
-
-    def distance_between(
-        self, characteristic_a: frozenset[Feature], characteristic_b: frozenset[Feature]
-    ) -> float:
-        """Jaccard distance between two feature sets."""
-        return jaccard_distance(characteristic_a, characteristic_b)
 
     def component_requirements(self) -> EquivalenceRequirements:
         """KIT-DPE step 2: identifiers must stay comparable, constants need nothing.

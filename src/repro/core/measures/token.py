@@ -10,15 +10,18 @@ The characteristic to preserve is the token set (*token equivalence*).
 
 from __future__ import annotations
 
-from repro._utils import jaccard_distance
-from repro.core.dpe import DistanceMeasure, LogContext, SharedInformation
+from repro.core.dpe import JaccardSetMeasure, LogContext, SharedInformation
 from repro.core.kitdpe import ComponentRequirement, ConstantRequirement, EquivalenceRequirements
 from repro.sql.ast import Query
 from repro.sql.tokens import QueryToken, query_token_set
 
 
-class TokenDistance(DistanceMeasure):
-    """Jaccard distance over query token sets."""
+class TokenDistance(JaccardSetMeasure):
+    """Jaccard distance over query token sets.
+
+    Inherits the vectorized membership-matrix distance pipeline from
+    :class:`~repro.core.dpe.JaccardSetMeasure`.
+    """
 
     name = "token"
     display_name = "Token-Based Query-String Distance"
@@ -29,12 +32,6 @@ class TokenDistance(DistanceMeasure):
         """The token set of ``query`` (the paper's ``c = tokens``)."""
         _ = context
         return query_token_set(query)
-
-    def distance_between(
-        self, characteristic_a: frozenset[QueryToken], characteristic_b: frozenset[QueryToken]
-    ) -> float:
-        """Jaccard distance between two token sets."""
-        return jaccard_distance(characteristic_a, characteristic_b)
 
     def component_requirements(self) -> EquivalenceRequirements:
         """KIT-DPE step 2: every encrypted token must stay equality-comparable.

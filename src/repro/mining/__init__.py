@@ -37,11 +37,20 @@ from repro.mining.evaluation import (
 from repro.mining.hierarchical import Dendrogram, complete_link, cut_dendrogram
 from repro.mining.kmedoids import KMedoidsResult, k_medoids
 from repro.mining.knn import k_nearest_neighbors, knn_classify
-from repro.mining.matrix import check_distance_matrix, condensed_to_square, square_to_condensed
+from repro.mining.matrix import (
+    CondensedDistanceMatrix,
+    check_distance_matrix,
+    condensed_length,
+    condensed_to_square,
+    n_items_from_condensed,
+    pairwise_view,
+    square_to_condensed,
+)
 from repro.mining.outliers import OutlierResult, distance_based_outliers, top_n_outliers
 
 __all__ = [
     "AssociationRule",
+    "CondensedDistanceMatrix",
     "DbscanResult",
     "FrequentItemset",
     "apriori",
@@ -54,6 +63,7 @@ __all__ = [
     "check_distance_matrix",
     "clusterings_equivalent",
     "complete_link",
+    "condensed_length",
     "condensed_to_square",
     "confusion_counts",
     "cut_dendrogram",
@@ -62,7 +72,9 @@ __all__ = [
     "k_medoids",
     "k_nearest_neighbors",
     "knn_classify",
+    "n_items_from_condensed",
     "normalized_mutual_information",
+    "pairwise_view",
     "square_to_condensed",
     "top_n_outliers",
 ]

@@ -20,7 +20,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.exceptions import MiningError
-from repro.mining.matrix import check_distance_matrix
+from repro.mining.matrix import pairwise_view
 
 #: Label used for noise points.
 NOISE = -1
@@ -49,7 +49,9 @@ def dbscan(distance_matrix: np.ndarray, *, eps: float, min_points: int) -> Dbsca
     Parameters
     ----------
     distance_matrix:
-        Square symmetric matrix of pairwise distances.
+        Square symmetric matrix of pairwise distances, or a
+        :class:`~repro.mining.matrix.CondensedDistanceMatrix` (the square
+        form is never materialised in that case).
     eps:
         Neighbourhood radius (inclusive: ``d <= eps``).
     min_points:
@@ -59,10 +61,10 @@ def dbscan(distance_matrix: np.ndarray, *, eps: float, min_points: int) -> Dbsca
         raise MiningError("eps must be non-negative")
     if min_points < 1:
         raise MiningError("min_points must be at least 1")
-    matrix = check_distance_matrix(distance_matrix)
-    n = matrix.shape[0]
+    distances = pairwise_view(distance_matrix)
+    n = distances.n_items
 
-    neighborhoods = [np.flatnonzero(matrix[i] <= eps) for i in range(n)]
+    neighborhoods = [np.flatnonzero(distances.row(i) <= eps) for i in range(n)]
     is_core = np.array([len(neighborhoods[i]) >= min_points for i in range(n)])
 
     labels = np.full(n, NOISE, dtype=int)

@@ -16,7 +16,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.exceptions import MiningError
-from repro.mining.matrix import check_distance_matrix
+from repro.mining.matrix import pairwise_view
 
 
 @dataclass(frozen=True)
@@ -42,9 +42,13 @@ class Dendrogram:
 
 
 def complete_link(distance_matrix: np.ndarray) -> Dendrogram:
-    """Build the complete-link dendrogram for a distance matrix."""
-    matrix = check_distance_matrix(distance_matrix)
-    n = matrix.shape[0]
+    """Build the complete-link dendrogram for a distance matrix.
+
+    Accepts the square form or a condensed
+    :class:`~repro.mining.matrix.CondensedDistanceMatrix`.
+    """
+    pairwise = pairwise_view(distance_matrix)
+    n = pairwise.n_items
 
     # Active clusters: id -> set of member indices.  Item i starts as cluster i;
     # merged clusters get ids n, n+1, ...
@@ -53,7 +57,7 @@ def complete_link(distance_matrix: np.ndarray) -> Dendrogram:
     distances: dict[tuple[int, int], float] = {}
     for i in range(n):
         for j in range(i + 1, n):
-            distances[(i, j)] = float(matrix[i, j])
+            distances[(i, j)] = pairwise.value(i, j)
 
     merges: list[Merge] = []
     next_id = n
@@ -63,8 +67,8 @@ def complete_link(distance_matrix: np.ndarray) -> Dendrogram:
         _drop_cluster(distances, left)
         _drop_cluster(distances, right)
         for other, other_members in members.items():
-            linkage = float(
-                max(matrix[a, b] for a in merged for b in other_members)
+            linkage = max(
+                pairwise.value(a, b) for a in merged for b in other_members
             )
             distances[_ordered(other, next_id)] = linkage
         members[next_id] = merged

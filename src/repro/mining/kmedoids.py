@@ -17,7 +17,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.exceptions import MiningError
-from repro.mining.matrix import check_distance_matrix
+from repro.mining.matrix import pairwise_view
 
 
 @dataclass(frozen=True)
@@ -37,15 +37,19 @@ class KMedoidsResult:
 def k_medoids(
     distance_matrix: np.ndarray, *, k: int, max_iterations: int = 100
 ) -> KMedoidsResult:
-    """Cluster items into ``k`` groups around medoids."""
-    matrix = check_distance_matrix(distance_matrix)
-    n = matrix.shape[0]
+    """Cluster items into ``k`` groups around medoids.
+
+    Accepts the square form or a condensed
+    :class:`~repro.mining.matrix.CondensedDistanceMatrix`.
+    """
+    matrix = pairwise_view(distance_matrix)
+    n = matrix.n_items
     if not 1 <= k <= n:
         raise MiningError(f"k must be between 1 and {n}, got {k}")
 
     # Deterministic seeding (Park & Jun): pick the k points with the smallest
     # total distance to all other points.
-    totals = matrix.sum(axis=1)
+    totals = np.array([matrix.row(i).sum() for i in range(n)])
     medoids = list(np.argsort(totals, kind="stable")[:k])
 
     labels = _assign(matrix, medoids)
@@ -70,17 +74,17 @@ def k_medoids(
     )
 
 
-def _assign(matrix: np.ndarray, medoids: list[int]) -> list[int]:
+def _assign(matrix, medoids: list[int]) -> list[int]:
     """Assign every point to its nearest medoid (ties: lowest medoid position)."""
-    distances = matrix[:, medoids]
+    distances = matrix.columns(medoids)
     return [int(np.argmin(row)) for row in distances]
 
 
-def _cost(matrix: np.ndarray, medoids: list[int], labels: list[int]) -> float:
-    return float(sum(matrix[i, medoids[labels[i]]] for i in range(matrix.shape[0])))
+def _cost(matrix, medoids: list[int], labels: list[int]) -> float:
+    return float(sum(matrix.value(i, medoids[labels[i]]) for i in range(matrix.n_items)))
 
 
-def _update_medoids(matrix: np.ndarray, labels: list[int], medoids: list[int]) -> list[int]:
+def _update_medoids(matrix, labels: list[int], medoids: list[int]) -> list[int]:
     """Within each cluster, pick the point minimising intra-cluster distance."""
     new_medoids: list[int] = []
     for cluster_index in range(len(medoids)):
@@ -88,8 +92,7 @@ def _update_medoids(matrix: np.ndarray, labels: list[int], medoids: list[int]) -
         if not members:
             new_medoids.append(medoids[cluster_index])
             continue
-        submatrix = matrix[np.ix_(members, members)]
-        within = submatrix.sum(axis=1)
+        within = matrix.submatrix(members).sum(axis=1)
         best = members[int(np.argmin(within))]
         new_medoids.append(best)
     return new_medoids

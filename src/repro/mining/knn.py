@@ -7,7 +7,7 @@ from collections import Counter
 import numpy as np
 
 from repro.exceptions import MiningError
-from repro.mining.matrix import check_distance_matrix
+from repro.mining.matrix import pairwise_view
 
 
 def k_nearest_neighbors(
@@ -16,15 +16,18 @@ def k_nearest_neighbors(
     """The indices of the ``k`` nearest neighbours of item ``index``.
 
     The item itself is excluded; ties are broken by smaller index so the
-    result is deterministic.
+    result is deterministic.  Accepts the square form or a condensed
+    :class:`~repro.mining.matrix.CondensedDistanceMatrix` — only one row of
+    distances is ever materialised.
     """
-    matrix = check_distance_matrix(distance_matrix)
-    n = matrix.shape[0]
+    matrix = pairwise_view(distance_matrix)
+    n = matrix.n_items
     if not 0 <= index < n:
         raise MiningError(f"index {index} out of range for {n} items")
     if not 1 <= k <= n - 1:
         raise MiningError(f"k must be between 1 and {n - 1}")
-    candidates = [(float(matrix[index, j]), j) for j in range(n) if j != index]
+    row = matrix.row(index)
+    candidates = [(float(row[j]), j) for j in range(n) if j != index]
     candidates.sort()
     return tuple(j for _, j in candidates[:k])
 
@@ -43,8 +46,8 @@ def knn_classify(
     nearest neighbour among the tied classes, keeping the outcome
     deterministic.
     """
-    matrix = check_distance_matrix(distance_matrix)
-    if len(labels) != matrix.shape[0]:
+    matrix = pairwise_view(distance_matrix)
+    if len(labels) != matrix.n_items:
         raise MiningError("labels must have one entry per item")
     neighbors = k_nearest_neighbors(matrix, index, k=k)
     votes = Counter(labels[j] for j in neighbors)

@@ -14,7 +14,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.exceptions import MiningError
-from repro.mining.matrix import check_distance_matrix
+from repro.mining.matrix import pairwise_view
 
 
 @dataclass(frozen=True)
@@ -39,7 +39,9 @@ def distance_based_outliers(
     Parameters
     ----------
     distance_matrix:
-        Square symmetric matrix of pairwise distances.
+        Square symmetric matrix of pairwise distances, or a condensed
+        :class:`~repro.mining.matrix.CondensedDistanceMatrix` (rows are
+        scanned one at a time, the square form is never materialised).
     p:
         Required fraction (0 < p <= 1) of objects farther than ``d``.
     d:
@@ -49,15 +51,15 @@ def distance_based_outliers(
         raise MiningError("p must lie in (0, 1]")
     if d < 0:
         raise MiningError("d must be non-negative")
-    matrix = check_distance_matrix(distance_matrix)
-    n = matrix.shape[0]
+    matrix = pairwise_view(distance_matrix)
+    n = matrix.n_items
     if n == 1:
         return OutlierResult(outliers=(), fraction_far=(0.0,), p=p, d=d)
 
     fractions: list[float] = []
     outliers: list[int] = []
     for i in range(n):
-        others = np.delete(matrix[i], i)
+        others = np.delete(matrix.row(i), i)
         fraction = float(np.count_nonzero(others > d)) / (n - 1)
         fractions.append(fraction)
         if fraction >= p:
@@ -71,16 +73,18 @@ def top_n_outliers(distance_matrix: np.ndarray, *, n_outliers: int, k: int = 3) 
     """Rank items by their distance to the k-th nearest neighbour, return the top n.
 
     Ties are broken by smaller index so the ranking is deterministic.
+    Accepts the square form or a condensed
+    :class:`~repro.mining.matrix.CondensedDistanceMatrix`.
     """
-    matrix = check_distance_matrix(distance_matrix)
-    n = matrix.shape[0]
+    matrix = pairwise_view(distance_matrix)
+    n = matrix.n_items
     if not 1 <= n_outliers <= n:
         raise MiningError(f"n_outliers must be between 1 and {n}")
     if not 1 <= k < n:
         raise MiningError(f"k must be between 1 and {n - 1}")
     scores = []
     for i in range(n):
-        others = np.sort(np.delete(matrix[i], i))
+        others = np.sort(np.delete(matrix.row(i), i))
         scores.append(float(others[k - 1]))
     order = sorted(range(n), key=lambda i: (-scores[i], i))
     return tuple(order[:n_outliers])

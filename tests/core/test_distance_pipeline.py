@@ -1,0 +1,237 @@
+"""Tests for the batched/cached/vectorized distance pipeline.
+
+The contract under test: for every measure, ``distance_matrix`` (batch +
+cache + vectorized fast path) is element-wise equal to
+``distance_matrix_reference`` (the seed's naive O(n²) loop, kept as the
+equality oracle) — exactly for the Jaccard/set measures, within 1e-9 for
+all of them — and the condensed representation round-trips through the
+mining entry points without changing any result.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.dpe import JaccardSetMeasure, LogContext
+from repro.core.measures import (
+    AccessAreaDistance,
+    ResultDistance,
+    StructureDistance,
+    TokenDistance,
+)
+from repro.core.schemes import TokenDpeScheme
+from repro.crypto.keys import KeyChain, MasterKey
+from repro.mining.matrix import CondensedDistanceMatrix
+from repro.sql.log import QueryLog
+from repro.workloads.generator import QueryLogGenerator, WorkloadMix
+from repro.workloads.schemas import populate_database, webshop_profile
+
+
+def _context_for(measure, profile, database, *, size: int, seed) -> LogContext:
+    """A plaintext context with exactly the side information ``measure`` needs."""
+    if isinstance(measure, ResultDistance):
+        mix = WorkloadMix.spj_only()
+    elif isinstance(measure, AccessAreaDistance):
+        mix = WorkloadMix.analytical()
+    else:
+        mix = WorkloadMix()
+    log = QueryLogGenerator(profile, mix, seed=seed).generate(size)
+    return LogContext(
+        log=log,
+        database=database if measure.shared_information.db_content else None,
+        domains=profile.domain_catalog() if measure.shared_information.domains else None,
+    )
+
+
+ALL_MEASURES = [TokenDistance, StructureDistance, ResultDistance, AccessAreaDistance]
+
+
+class TestPipelineMatchesReference:
+    @pytest.fixture(scope="class")
+    def profile(self):
+        return webshop_profile(customer_rows=20, order_rows=40, product_rows=10)
+
+    @pytest.fixture(scope="class")
+    def database(self, profile):
+        return populate_database(profile, seed=7)
+
+    @pytest.mark.parametrize("measure_class", ALL_MEASURES)
+    @pytest.mark.parametrize("seed", [1, 2, 3])
+    def test_elementwise_equal_to_reference(self, profile, database, measure_class, seed):
+        measure = measure_class()
+        context = _context_for(measure, profile, database, size=14, seed=seed)
+        reference = measure.distance_matrix_reference(context)
+        pipeline = measure.distance_matrix(context)
+        assert pipeline.shape == reference.shape
+        assert np.max(np.abs(pipeline - reference)) <= 1e-9
+        if isinstance(measure, JaccardSetMeasure):
+            # The membership-matrix product is bit-for-bit equal, not merely close.
+            assert np.array_equal(pipeline, reference)
+
+    @given(seed=st.integers(min_value=0, max_value=10_000))
+    @settings(max_examples=15, deadline=None)
+    def test_token_property_any_workload_seed(self, seed):
+        profile = webshop_profile(customer_rows=15, order_rows=30, product_rows=8)
+        measure = TokenDistance()
+        context = _context_for(measure, profile, None, size=10, seed=seed)
+        assert np.array_equal(
+            measure.distance_matrix(context), measure.distance_matrix_reference(context)
+        )
+
+    def test_encrypted_context_equal_to_reference(self, profile):
+        measure = TokenDistance()
+        context = _context_for(measure, profile, None, size=12, seed=5)
+        scheme = TokenDpeScheme(KeyChain(MasterKey.from_passphrase("pipeline-tests")))
+        encrypted = scheme.encrypt_context(context)
+        assert np.array_equal(
+            measure.distance_matrix(encrypted), measure.distance_matrix_reference(encrypted)
+        )
+
+
+class CountingTokenDistance(TokenDistance):
+    """Token measure that counts characteristic extractions (cache probe)."""
+
+    def __init__(self) -> None:
+        self.batch_calls = 0
+
+    def characteristics(self, queries, context):
+        self.batch_calls += 1
+        return super().characteristics(queries, context)
+
+
+class TestCaching:
+    def test_prepare_is_memoized_per_context(self, sample_context):
+        measure = CountingTokenDistance()
+        first = measure.prepare(sample_context)
+        second = measure.prepare(sample_context)
+        assert first == second
+        assert measure.batch_calls == 1
+
+    def test_distance_matrix_reuses_prepared_characteristics(self, sample_context):
+        measure = CountingTokenDistance()
+        measure.prepare(sample_context)
+        measure.distance_matrix(sample_context)
+        measure.distance_matrix(sample_context)
+        assert measure.batch_calls == 1
+
+    def test_cache_invalidated_when_log_is_swapped(self, sample_context):
+        measure = CountingTokenDistance()
+        before = measure.distance_matrix(sample_context)
+        sample_context.log = QueryLog.from_sql(
+            ["SELECT a FROM t", "SELECT b FROM t", "SELECT a, b FROM t"]
+        )
+        after = measure.distance_matrix(sample_context)
+        assert measure.batch_calls == 2
+        assert after.shape == (3, 3)
+        assert before.shape != after.shape
+
+    def test_cache_invalidated_when_database_is_swapped(self, webshop, webshop_database):
+        calls = {"batches": 0}
+
+        class CountingResultDistance(ResultDistance):
+            def characteristics(self, queries, context):
+                calls["batches"] += 1
+                return super().characteristics(queries, context)
+
+        log = QueryLogGenerator(webshop, WorkloadMix.spj_only(), seed=3).generate(6)
+        context = LogContext(log=log, database=webshop_database)
+        measure = CountingResultDistance()
+        stale = measure.distance_matrix(context)
+        context.database = populate_database(webshop, seed=99)
+        fresh = measure.distance_matrix(context)
+        assert calls["batches"] == 2
+        assert fresh.shape == stale.shape
+
+    def test_invalidate_cache_forces_recomputation(self, sample_context):
+        measure = CountingTokenDistance()
+        measure.distance_matrix(sample_context)
+        measure.invalidate_cache(sample_context)
+        measure.distance_matrix(sample_context)
+        assert measure.batch_calls == 2
+
+    def test_caches_are_independent_per_context(self, sample_log):
+        measure = CountingTokenDistance()
+        context_a = LogContext(log=sample_log)
+        context_b = LogContext(log=sample_log)
+        measure.distance_matrix(context_a)
+        measure.distance_matrix(context_b)
+        assert measure.batch_calls == 2
+        assert np.array_equal(
+            measure.distance_matrix(context_a), measure.distance_matrix(context_b)
+        )
+
+    def test_returned_square_matrix_is_writeable(self, sample_context):
+        # Callers may post-process the square form; only the cached condensed
+        # values are frozen.
+        matrix = TokenDistance().distance_matrix(sample_context)
+        matrix[0, 0] = 1.0  # must not raise
+
+
+class TestCondensedPipeline:
+    def test_condensed_matches_square(self, sample_context):
+        measure = TokenDistance()
+        condensed = measure.condensed_distance_matrix(sample_context)
+        square = measure.distance_matrix(sample_context)
+        assert isinstance(condensed, CondensedDistanceMatrix)
+        assert condensed.n == len(sample_context)
+        assert np.array_equal(condensed.to_square(), square)
+        assert np.array_equal(condensed.values, square[np.triu_indices(condensed.n, k=1)])
+
+    def test_condensed_values_are_frozen(self, sample_context):
+        condensed = TokenDistance().condensed_distance_matrix(sample_context)
+        with pytest.raises(ValueError):
+            condensed.values[0] = 0.5
+
+    def test_single_query_log(self):
+        context = LogContext(log=QueryLog.from_sql(["SELECT a FROM t"]))
+        measure = TokenDistance()
+        assert measure.distance_matrix(context).shape == (1, 1)
+        assert measure.condensed_distance_matrix(context).values.shape == (0,)
+
+
+class TestJaccardVectorization:
+    def test_all_empty_sets_give_zero_distances(self):
+        measure = TokenDistance()
+        values = measure.condensed_distances([frozenset(), frozenset(), frozenset()])
+        assert np.array_equal(values, np.zeros(3))
+
+    def test_empty_vs_nonempty_is_distance_one(self):
+        measure = TokenDistance()
+        values = measure.condensed_distances([frozenset(), frozenset({"a"})])
+        assert np.array_equal(values, np.ones(1))
+
+    @given(
+        sets=st.lists(
+            st.frozensets(st.integers(min_value=0, max_value=40), max_size=12),
+            min_size=2,
+            max_size=10,
+        )
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_vectorized_jaccard_equals_scalar(self, sets):
+        measure = TokenDistance()
+        vectorized = measure.condensed_distances(list(sets))
+        expected = []
+        for i in range(len(sets)):
+            for j in range(i + 1, len(sets)):
+                expected.append(measure.distance_between(sets[i], sets[j]))
+        assert np.array_equal(vectorized, np.array(expected))
+
+    def test_vocabulary_chunking_is_exact(self, monkeypatch):
+        # Force multi-block accumulation: block size of n cells → 1 column/block.
+        monkeypatch.setattr(JaccardSetMeasure, "_MEMBERSHIP_BLOCK_CELLS", 4)
+        chunked = TokenDistance()
+        sets = [
+            frozenset({"a", "b", "c"}),
+            frozenset({"b", "c", "d", "e"}),
+            frozenset({"e", "f"}),
+            frozenset(),
+        ]
+        expected = []
+        for i in range(len(sets)):
+            for j in range(i + 1, len(sets)):
+                expected.append(chunked.distance_between(sets[i], sets[j]))
+        assert np.array_equal(chunked.condensed_distances(sets), np.array(expected))
