@@ -1,25 +1,36 @@
-"""Benchmark P1: encryption throughput per class and per DPE scheme.
+"""Benchmark P1: encryption and encrypted-execution throughput.
 
 The paper does not report absolute performance numbers (it is a concept
 paper); this benchmark records the practicality side of the reproduction:
-how expensive each property-preserving encryption class is, and what
-encrypting a whole query log costs under each scheme.  The expected *shape*
-is HOM ≫ OPE > PROB ≈ DET per value, and the access-area scheme between the
-token scheme and the CryptDB-backed result scheme per query.
+how expensive each property-preserving encryption class is, what encrypting
+a whole query log costs under each scheme, and what *serving* an encrypted
+workload costs per execution backend.  The expected *shape* is
+HOM ≫ OPE > PROB ≈ DET per value, the access-area scheme between the token
+scheme and the CryptDB-backed result scheme per query, and the SQLite
+backend at least ``P1_MIN_SPEEDUP`` (default 3x, lowered on noisy CI
+runners) over the interpreter on 1k-row tables.
 """
 
 from __future__ import annotations
 
+import os
+import time
+
 import pytest
 
+from benchmarks.conftest import print_report
 from repro.core.dpe import LogContext
 from repro.core.schemes.access_area_scheme import AccessAreaDpeScheme
 from repro.core.schemes.structure_scheme import StructureDpeScheme
 from repro.core.schemes.token_scheme import TokenDpeScheme
 from repro.crypto.det import DeterministicScheme
 from repro.crypto.hom import PaillierKeyPair, PaillierScheme
+from repro.crypto.keys import KeyChain, MasterKey
 from repro.crypto.ope import OrderPreservingScheme
 from repro.crypto.prob import ProbabilisticScheme
+from repro.cryptdb.proxy import CryptDBProxy
+from repro.workloads.generator import QueryLogGenerator, WorkloadMix
+from repro.workloads.schemas import populate_database, webshop_profile
 
 VALUES = list(range(1, 201))
 
@@ -27,6 +38,22 @@ VALUES = list(range(1, 201))
 @pytest.fixture(scope="module")
 def paillier_scheme():
     return PaillierScheme(PaillierKeyPair.generate(512))
+
+
+@pytest.fixture(scope="module")
+def encrypted_workload():
+    """1k-row webshop tables encrypted via the proxy, plus an SPJ workload."""
+    profile = webshop_profile(customer_rows=1000, order_rows=1000, product_rows=250)
+    database = populate_database(profile, seed=42)
+    log = QueryLogGenerator(profile, WorkloadMix.spj_only(), seed=42).generate(20)
+    proxy = CryptDBProxy(
+        KeyChain(MasterKey.from_passphrase("p1-workload")),
+        join_groups=profile.join_groups(),
+        paillier_bits=256,
+        shared_det_key=True,
+    )
+    proxy.encrypt_database(database)
+    return proxy, log
 
 
 class TestPerClassThroughput:
@@ -79,3 +106,49 @@ class TestPerSchemeThroughput:
         context = LogContext(log=bench_mixed_log)
         encrypted = benchmark(scheme.encrypt_context, context)
         assert len(encrypted.log) == len(bench_mixed_log)
+
+
+class TestEncryptedWorkloadThroughput:
+    """Serve a whole encrypted SPJ workload through one batched proxy session.
+
+    This is the ``--backend`` axis of experiment P1: the same workload, the
+    same encrypted 1k-row store, executed once on the interpreter oracle and
+    once on the SQLite backend.
+    """
+
+    @pytest.mark.parametrize("backend", ["memory", "sqlite"])
+    def test_session_workload(self, benchmark, encrypted_workload, backend):
+        proxy, log = encrypted_workload
+
+        def serve() -> int:
+            with proxy.session(backend=backend) as session:
+                return len(session.run(log.queries))
+
+        # One round per backend: the interpreter side takes seconds per pass,
+        # and the speedup assertion below does the statistics that matter.
+        served = benchmark.pedantic(serve, rounds=1, iterations=1)
+        assert served == len(log.queries)
+
+    def test_sqlite_speedup_at_1k_rows(self, encrypted_workload):
+        """Acceptance gate: >= P1_MIN_SPEEDUP on 1k-row tables (default 3x)."""
+        proxy, log = encrypted_workload
+
+        def timed(backend: str) -> float:
+            with proxy.session(backend=backend) as session:
+                start = time.perf_counter()
+                results = session.run(log.queries)
+                elapsed = time.perf_counter() - start
+            assert len(results) == len(log.queries)
+            return elapsed
+
+        sqlite_elapsed = timed("sqlite")
+        memory_elapsed = timed("memory")
+        speedup = memory_elapsed / sqlite_elapsed if sqlite_elapsed > 0 else float("inf")
+        minimum = float(os.environ.get("P1_MIN_SPEEDUP", "3"))
+        print_report(
+            "P1: encrypted-workload throughput (1k-row tables)",
+            f"memory backend : {len(log.queries) / memory_elapsed:,.1f} queries/s\n"
+            f"sqlite backend : {len(log.queries) / sqlite_elapsed:,.1f} queries/s\n"
+            f"speedup        : {speedup:.1f}x (gate: >= {minimum:.1f}x)",
+        )
+        assert speedup >= minimum

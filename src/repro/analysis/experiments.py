@@ -14,7 +14,7 @@ T1        Table I — derived scheme table vs. the published one
 F1        Figure 1 — encryption-class taxonomy
 E1–E4     Definition 1 + mining equality, one per distance measure
 S1        security comparison KIT-DPE vs CryptDB-as-is (+ attacks)
-P1        encryption throughput per class and per scheme
+P1        encryption throughput per class/scheme + encrypted execution
 P2        distance-matrix / mining cost, plaintext vs encrypted
 A1        ablation: non-appropriate class choices
 ========  ===========================================================
@@ -50,6 +50,8 @@ from repro.crypto.base import EncryptionClass
 from repro.crypto.keys import KeyChain, MasterKey
 from repro.crypto.registry import default_registry
 from repro.crypto.taxonomy import default_taxonomy
+from repro.cryptdb.proxy import CryptDBProxy
+from repro.db.backend import DEFAULT_BACKEND
 from repro.exceptions import AnalysisError
 from repro.workloads.generator import QueryLogGenerator, WorkloadMix
 from repro.workloads.schemas import (
@@ -187,8 +189,13 @@ def run_e2(*, log_size: int = 40, seed: int = 4) -> ExperimentOutcome:
     )
 
 
-def run_e3(*, log_size: int = 25, seed: int = 5) -> ExperimentOutcome:
-    """E3: query-result distance (requires encrypted execution)."""
+def run_e3(*, log_size: int = 25, seed: int = 5, backend: str = DEFAULT_BACKEND) -> ExperimentOutcome:
+    """E3: query-result distance (requires encrypted execution).
+
+    ``backend`` selects the execution backend (``memory`` or ``sqlite``) for
+    both plaintext and encrypted query execution; result-tuple sets — and
+    therefore every distance — are bit-for-bit identical across backends.
+    """
     profile = webshop_profile(customer_rows=40, order_rows=80, product_rows=20)
     context = build_log_context(
         profile=profile,
@@ -198,11 +205,11 @@ def run_e3(*, log_size: int = 25, seed: int = 5) -> ExperimentOutcome:
         with_database=True,
     )
     scheme = ResultDpeScheme(
-        _keychain("e3"), join_groups=profile.join_groups(), paillier_bits=256
+        _keychain("e3"), join_groups=profile.join_groups(), paillier_bits=256, backend=backend
     )
     return _preservation_outcome(
         "E3", "Distance preservation & mining equality: result distance",
-        scheme, ResultDistance(), context,
+        scheme, ResultDistance(backend=backend), context,
     )
 
 
@@ -223,9 +230,14 @@ def run_e4(*, log_size: int = 40, seed: int = 6) -> ExperimentOutcome:
     )
 
 
-def run_s1(*, log_size: int = 100, seed: int = 7) -> ExperimentOutcome:
-    """S1: security comparison KIT-DPE vs CryptDB-as-is."""
-    comparison = run_security_comparison(log_size=log_size, seed=seed)
+def run_s1(*, log_size: int = 100, seed: int = 7, backend: str = DEFAULT_BACKEND) -> ExperimentOutcome:
+    """S1: security comparison KIT-DPE vs CryptDB-as-is.
+
+    ``backend`` selects the execution backend the CryptDB proxy session
+    serves the workload on; exposure depends only on the rewrites, so the
+    comparison is identical across backends.
+    """
+    comparison = run_security_comparison(log_size=log_size, seed=seed, backend=backend)
     lines = [
         comparison.exposure_table(),
         "",
@@ -251,8 +263,20 @@ def run_s1(*, log_size: int = 100, seed: int = 7) -> ExperimentOutcome:
     )
 
 
-def run_p1(*, values_per_class: int = 200, log_size: int = 30, seed: int = 8) -> ExperimentOutcome:
-    """P1: encryption throughput per class and per DPE scheme."""
+def run_p1(
+    *,
+    values_per_class: int = 200,
+    log_size: int = 30,
+    seed: int = 8,
+    backend: str = DEFAULT_BACKEND,
+) -> ExperimentOutcome:
+    """P1: encryption throughput per class, per DPE scheme and per backend.
+
+    Besides the per-class and per-scheme encryption rates, the experiment
+    serves an encrypted select-project-join workload through a batched
+    CryptDB proxy session on the chosen execution backend and reports the
+    end-to-end (rewrite + execute) throughput.
+    """
     registry = default_registry(paillier_bits=256)
     keychain = _keychain("p1")
     rows = []
@@ -290,17 +314,40 @@ def run_p1(*, values_per_class: int = 200, log_size: int = 30, seed: int = 8) ->
         timings[f"scheme:{name}"] = qps
         scheme_rows.append((name, f"{qps:,.1f} queries/s"))
 
+    # End-to-end encrypted-workload throughput: rewrite + execute a whole
+    # SPJ workload through one batched proxy session on the chosen backend.
+    spj_log = QueryLogGenerator(profile, WorkloadMix.spj_only(), seed=seed + 1).generate(log_size)
+    proxy = CryptDBProxy(
+        _keychain("p1-proxy"),
+        join_groups=profile.join_groups(),
+        paillier_bits=256,
+        shared_det_key=True,
+    )
+    proxy.encrypt_database(populate_database(profile, seed=seed))
+    with proxy.session(backend=backend, on_unsupported="skip") as session:
+        start = time.perf_counter()
+        results = session.run(spj_log.queries)
+        elapsed = time.perf_counter() - start
+    workload_qps = len(results) / elapsed if elapsed > 0 else float("inf")
+    timings[f"workload:{backend}"] = workload_qps
+    workload_rows = [(backend, len(results), f"{workload_qps:,.1f} queries/s")]
+
     report = (
         format_table(["encryption class", "throughput"], rows)
         + "\n\n"
         + format_table(["DPE scheme", "log-encryption throughput"], scheme_rows)
+        + "\n\n"
+        + format_table(
+            ["execution backend", "queries served", "encrypted-workload throughput"],
+            workload_rows,
+        )
     )
     return ExperimentOutcome(
         experiment_id="P1",
-        title="Encryption throughput per class and per DPE scheme",
+        title="Encryption throughput per class, per DPE scheme and per backend",
         success=all(rate > 0 for rate in timings.values()),
         report=report,
-        data={"throughput": timings},
+        data={"throughput": timings, "backend": backend},
     )
 
 
@@ -434,7 +481,7 @@ _REGISTRY: dict[str, tuple[str, Callable[..., ExperimentOutcome]]] = {
     "E3": ("Preservation & mining equality: result distance", run_e3),
     "E4": ("Preservation & mining equality: access-area distance", run_e4),
     "S1": ("Security comparison vs CryptDB", run_s1),
-    "P1": ("Encryption throughput", run_p1),
+    "P1": ("Encryption & encrypted-execution throughput", run_p1),
     "P2": ("Distance-matrix cost plaintext vs encrypted", run_p2),
     "A1": ("Ablation: non-appropriate classes", run_a1),
 }
@@ -455,6 +502,23 @@ def registry_entries() -> list[tuple[str, str, Callable[..., ExperimentOutcome]]
     return [
         (experiment_id, title, runner) for experiment_id, (title, runner) in _REGISTRY.items()
     ]
+
+
+def experiment_parameters(experiment_id: str) -> tuple[str, ...]:
+    """Keyword parameters accepted by an experiment's runner.
+
+    Used by the CLI to pass cross-cutting axes (e.g. ``--backend``) only to
+    the experiments that support them.
+    """
+    import inspect
+
+    try:
+        _, runner = _REGISTRY[experiment_id.upper()]
+    except KeyError:
+        raise AnalysisError(
+            f"unknown experiment {experiment_id!r}; known: {sorted(_REGISTRY)}"
+        ) from None
+    return tuple(inspect.signature(runner).parameters)
 
 
 def run_experiment(experiment_id: str, **parameters) -> ExperimentOutcome:

@@ -30,7 +30,7 @@ from repro.crypto.base import EncryptionClass
 from repro.crypto.keys import KeyChain, MasterKey
 from repro.crypto.taxonomy import SECURITY_LEVELS
 from repro.cryptdb.proxy import CryptDBProxy
-from repro.exceptions import RewriteError
+from repro.db.backend import DEFAULT_BACKEND
 from repro.sql.log import QueryLog
 from repro.workloads.generator import QueryLogGenerator, WorkloadMix
 from repro.workloads.schemas import WorkloadProfile, populate_database, webshop_profile
@@ -133,13 +133,21 @@ def run_security_comparison(
     log_size: int = 120,
     seed: int = 7,
     passphrase: str = "s1-experiment",
+    backend: str = DEFAULT_BACKEND,
 ) -> SecurityComparison:
-    """Run the full S1 comparison on a synthetic analytical workload."""
+    """Run the full S1 comparison on a synthetic analytical workload.
+
+    ``backend`` selects the execution backend the CryptDB-side proxy session
+    serves the workload on (``"memory"`` or ``"sqlite"``).  The exposure an
+    attacker sees is a function of the *rewrites*, not of the engine, so the
+    comparison result is identical across backends — which the differential
+    tests assert.
+    """
     profile = profile or webshop_profile(customer_rows=60, order_rows=150, product_rows=30)
     database = populate_database(profile, seed=seed)
     log = QueryLogGenerator(profile, WorkloadMix.analytical(), seed=seed).generate(log_size)
 
-    exposures = _exposure_comparison(profile, database, log, passphrase)
+    exposures = _exposure_comparison(profile, database, log, passphrase, backend)
     attacks, ope_recovery = _attack_comparison(profile, log, passphrase, seed)
     return SecurityComparison(
         exposures=tuple(exposures), attacks=tuple(attacks), ope_sorting_recovery=ope_recovery
@@ -150,23 +158,20 @@ def run_security_comparison(
 # exposure comparison
 
 
-def _exposure_comparison(profile, database, log: QueryLog, passphrase: str):
-    # CryptDB-as-is: encrypt the database and rewrite the whole workload; the
-    # onion adjustments triggered by the rewriter are what the provider sees.
+def _exposure_comparison(profile, database, log: QueryLog, passphrase: str, backend: str):
+    # CryptDB-as-is: encrypt the database and *serve* the whole workload
+    # through a batched proxy session; the onion adjustments triggered while
+    # rewriting are what the provider sees.  Queries outside the executable
+    # fragment are skipped (CryptDB would fall back to client-side
+    # evaluation) — the session records them under ``session.skipped``.
     cryptdb_keychain = KeyChain(MasterKey.from_passphrase(passphrase + "/cryptdb"))
     proxy = CryptDBProxy(
         cryptdb_keychain, join_groups=profile.join_groups(), paillier_bits=256
     )
     proxy.encrypt_database(database)
-    rewriter = proxy.make_rewriter()
-    for entry in log:
-        try:
-            rewriter.rewrite(entry.query)
-        except RewriteError:
-            # Queries outside the executable fragment (e.g. exotic shapes) are
-            # skipped; CryptDB would fall back to client-side evaluation.
-            continue
-    cryptdb_report = proxy.exposure_report()
+    with proxy.session(backend=backend, on_unsupported="skip") as session:
+        session.run(log.queries)
+        cryptdb_report = session.exposure_report()
 
     # KIT-DPE access-area scheme: the exposed class per attribute follows the
     # fitted usage; nothing else about the attribute is shared.

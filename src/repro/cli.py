@@ -4,6 +4,7 @@ Everything the repository reproduces can be driven from the shell::
 
     python -m repro list                    # registered experiments
     python -m repro run T1 E1               # run selected experiments
+    python -m repro run E3 --backend sqlite # choose the execution backend
     python -m repro run --all               # run every experiment
     python -m repro docs                    # regenerate EXPERIMENTS.md (deterministic)
     python -m repro report REPORT.md        # run everything, write measured report
@@ -29,7 +30,8 @@ from collections.abc import Sequence
 import repro
 from repro import quick_demo
 from repro.analysis.docs import render_experiments_doc, write_document
-from repro.analysis.experiments import list_experiments, run_experiment
+from repro.analysis.experiments import experiment_parameters, list_experiments, run_experiment
+from repro.db.backend import available_backends
 from repro.analysis.report import generate_report
 from repro.analysis.table1 import format_table1, render_figure1
 from repro.core.schemes import StructureDpeScheme, TokenDpeScheme
@@ -60,6 +62,13 @@ def build_parser() -> argparse.ArgumentParser:
     run_parser = subparsers.add_parser("run", help="run experiments by id")
     run_parser.add_argument("experiments", nargs="*", help="experiment ids (e.g. T1 E1 S1)")
     run_parser.add_argument("--all", action="store_true", help="run every registered experiment")
+    run_parser.add_argument(
+        "--backend",
+        choices=sorted(available_backends()),
+        default=None,
+        help="execution backend for experiments with a backend axis (E3, S1, P1); "
+        "others ignore the flag",
+    )
 
     docs_parser = subparsers.add_parser(
         "docs", help="render EXPERIMENTS.md from the experiment registry (deterministic)"
@@ -100,14 +109,17 @@ def _command_list() -> int:
     return 0
 
 
-def _command_run(experiment_ids: Sequence[str], run_all: bool) -> int:
+def _command_run(experiment_ids: Sequence[str], run_all: bool, backend: str | None) -> int:
     ids = [experiment_id for experiment_id, _ in list_experiments()] if run_all else list(experiment_ids)
     if not ids:
         print("nothing to run: pass experiment ids or --all", file=sys.stderr)
         return 2
     failures = 0
     for experiment_id in ids:
-        outcome = run_experiment(experiment_id)
+        parameters = {}
+        if backend is not None and "backend" in experiment_parameters(experiment_id):
+            parameters["backend"] = backend
+        outcome = run_experiment(experiment_id, **parameters)
         status = "ok " if outcome.success else "FAIL"
         print(f"[{status}] {outcome.experiment_id} — {outcome.title}")
         print(outcome.report)
@@ -149,7 +161,7 @@ def main(argv: Sequence[str] | None = None) -> int:
     if arguments.command == "list":
         return _command_list()
     if arguments.command == "run":
-        return _command_run(arguments.experiments, arguments.all)
+        return _command_run(arguments.experiments, arguments.all, arguments.backend)
     if arguments.command == "docs":
         return _command_docs(arguments.output)
     if arguments.command == "report":

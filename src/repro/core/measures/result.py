@@ -21,7 +21,7 @@ from repro.core.kitdpe import (
     ConstantUsage,
     EquivalenceRequirements,
 )
-from repro.db.executor import QueryExecutor
+from repro.db.backend import DEFAULT_BACKEND, create_backend
 from repro.sql.ast import Query
 
 #: A result tuple as used by the measure: the projected values, in order.
@@ -33,7 +33,11 @@ class ResultDistance(JaccardSetMeasure):
 
     Inherits the vectorized membership-matrix distance pipeline from
     :class:`~repro.core.dpe.JaccardSetMeasure`; the batch hook shares one
-    executor across the whole log.
+    execution backend across the whole log.  The backend is chosen by name
+    (see :mod:`repro.db.backend`): the ``"memory"`` interpreter is the
+    default oracle, ``"sqlite"`` scales to large logs/databases.  The
+    characteristic — a *set* of result tuples — is backend-independent, so
+    distances are bit-for-bit identical across backends.
     """
 
     name = "result"
@@ -41,23 +45,43 @@ class ResultDistance(JaccardSetMeasure):
     equivalence_notion = "Result Equivalence"
     shared_information = SharedInformation(log=True, db_content=True)
 
+    def __init__(self, *, backend: str = DEFAULT_BACKEND) -> None:
+        self.backend_name = backend
+        # Single-slot backend cache for the most recent database snapshot:
+        # per-database setup (joined row scopes for the interpreter, the
+        # bulk load for SQLite) is paid once even on per-query paths like
+        # distance() or the reference loop, while switching snapshots
+        # closes the previous backend — the cache never holds more than one
+        # database alive.  Databases are treated as immutable once a
+        # backend has seen them (the executor's join-state contract).
+        self._cached_backend: tuple[object, object] | None = None
+
+    def _backend_for(self, context: LogContext):
+        database = context.require_database()
+        if self._cached_backend is not None:
+            cached_database, backend = self._cached_backend
+            if cached_database is database:
+                return backend
+            backend.close()  # type: ignore[attr-defined]
+        backend = create_backend(self.backend_name, database)
+        self._cached_backend = (database, backend)
+        return backend
+
     def characteristic(self, query: Query, context: LogContext) -> frozenset[ResultTuple]:
         """The result-tuple set of ``query`` against the context's database."""
-        database = context.require_database()
-        result = QueryExecutor(database).execute(query)
-        return result.tuple_set()
+        return self._backend_for(context).execute(query).tuple_set()
 
     def characteristics(
         self, queries: list[Query], context: LogContext
     ) -> list[frozenset[ResultTuple]]:
-        """Batch hook: one shared executor that reuses joins across the log.
+        """Batch hook: one shared backend amortized across the log.
 
         Queries in a log overwhelmingly share their FROM/JOIN shape, so the
-        joined row scopes are computed once per shape instead of once per
-        query — the dominant cost of the naive per-query path.
+        per-database setup cost is paid once instead of once per query — the
+        dominant cost of the naive per-query path.
         """
-        executor = QueryExecutor(context.require_database(), reuse_join_state=True)
-        return [executor.execute(query).tuple_set() for query in queries]
+        backend = self._backend_for(context)
+        return [result.tuple_set() for result in backend.execute_many(queries)]
 
     def component_requirements(self) -> EquivalenceRequirements:
         """KIT-DPE step 2: queries must stay *executable* over the encrypted DB.

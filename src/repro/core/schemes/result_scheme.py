@@ -27,6 +27,7 @@ from repro.core.measures.result import ResultDistance
 from repro.core.schemes.base import QueryLogDpeScheme
 from repro.crypto.keys import KeyChain
 from repro.cryptdb.proxy import CryptDBProxy, JoinGroupSpec
+from repro.db.backend import DEFAULT_BACKEND
 from repro.exceptions import DpeError
 from repro.sql.ast import ColumnRef, Query, Star
 from repro.sql.log import QueryLog
@@ -41,9 +42,10 @@ class ResultDpeScheme(QueryLogDpeScheme):
         *,
         join_groups: Iterable[JoinGroupSpec] = (),
         paillier_bits: int = 512,
+        backend: str = DEFAULT_BACKEND,
     ) -> None:
         super().__init__(keychain)
-        self.measure = ResultDistance()
+        self.measure = ResultDistance(backend=backend)
         # The shared EQ-onion key is what makes distance preservation hold
         # *across* queries: Definition 1 compares result tuples from different
         # queries, so SQL-equal values must encrypt identically no matter
@@ -55,6 +57,7 @@ class ResultDpeScheme(QueryLogDpeScheme):
             join_groups=join_groups,
             paillier_bits=paillier_bits,
             shared_det_key=True,
+            backend=backend,
         )
 
     # -- QueryLogDpeScheme interface ------------------------------------------- #

@@ -1,17 +1,24 @@
-"""The CryptDB-style proxy.
+"""The CryptDB-style proxy and its batched sessions.
 
 The proxy sits between the data owner and the (untrusted) service provider:
 
 1. :meth:`CryptDBProxy.encrypt_database` produces the encrypted database that
-   is shipped to the provider, together with the schema map the owner keeps.
-2. :meth:`CryptDBProxy.encrypt_query` rewrites a plaintext query into an
-   executable query over the encrypted database.
-3. :meth:`CryptDBProxy.execute_encrypted` runs the rewritten query on the
-   encrypted database (this is what the provider does).
-4. :meth:`CryptDBProxy.decrypt_result` maps an encrypted result back to
+   is shipped to the provider (columns are batch-encrypted column-wise),
+   together with the schema map the owner keeps.
+2. :meth:`CryptDBProxy.session` opens a :class:`ProxySession`: one rewriter
+   plus one execution backend, so a whole workload is rewritten and executed
+   in a single pass (``session.run(queries)``) with onion-state and exposure
+   tracking threaded through.  Sessions choose their engine by backend name
+   (see :mod:`repro.db.backend`): ``"memory"`` for the interpreter oracle,
+   ``"sqlite"`` for workload-scale execution.
+3. :meth:`CryptDBProxy.decrypt_result` maps an encrypted result back to
    plaintext values (done by the owner, or — for the paper's result-distance
    measure — *not* done at all: the provider computes Jaccard distances
    directly on the encrypted result tuples).
+
+The single-query methods (:meth:`CryptDBProxy.encrypt_query`,
+:meth:`CryptDBProxy.execute_encrypted`, :meth:`CryptDBProxy.execute`) remain
+as thin wrappers over a cached default session.
 
 The proxy also exposes :meth:`exposure_report`, which lists the encryption
 class every column is exposed at after serving a workload; experiment S1
@@ -20,7 +27,7 @@ compares this against the class assignment of the paper's KIT-DPE schemes.
 
 from __future__ import annotations
 
-from collections.abc import Iterable
+from collections.abc import Callable, Iterable, Sequence
 from dataclasses import dataclass
 
 from repro.crypto.det import DeterministicScheme
@@ -34,13 +41,16 @@ from repro.cryptdb.column import (
     EncryptedColumn,
     EncryptedSchemaMap,
     EncryptedTable,
+    normalize_equality_value,
 )
 from repro.cryptdb.onion import Onion
 from repro.cryptdb.rewriter import ConstantPolicy, QueryRewriter
 from repro.db.aggregates import register_custom_aggregate
+from repro.db.backend import DEFAULT_BACKEND, ExecutionBackend, create_backend
 from repro.db.database import Database
 from repro.db.executor import QueryExecutor, ResultSet
 from repro.db.schema import Column, ColumnType, TableSchema
+from repro.db.table import Table
 from repro.exceptions import CryptDbError, RewriteError
 from repro.sql.ast import AggregateCall, ColumnRef, Literal, Query
 from repro.sql.render import render_query
@@ -73,6 +83,121 @@ class EncryptedResult:
         return render_query(self.encrypted_query)
 
 
+class ProxySession:
+    """A batched proxy session: one rewriter, one execution backend.
+
+    A session amortizes everything that is per-workload rather than
+    per-query: the rewriter (whose onion adjustments accumulate across the
+    workload), the execution backend (for SQLite, the one-time bulk load of
+    the encrypted store), and the skip bookkeeping for queries outside the
+    executable fragment.  ``session.run(queries)`` serves a whole workload in
+    one pass; :attr:`adjustments` and :meth:`exposure_report` expose what the
+    provider learned from serving it.
+
+    Sessions are context managers; closing releases the backend's engine
+    resources.
+    """
+
+    def __init__(
+        self,
+        proxy: "CryptDBProxy",
+        *,
+        backend: str | None = None,
+        on_unsupported: str = "raise",
+    ) -> None:
+        """Open a session over ``proxy``'s encrypted database.
+
+        ``on_unsupported`` controls what happens to queries the rewriter
+        rejects: ``"raise"`` propagates the :class:`RewriteError`, ``"skip"``
+        records the query under :attr:`skipped` and carries on — the CryptDB
+        behaviour of falling back to client-side evaluation.
+        """
+        if on_unsupported not in ("raise", "skip"):
+            raise CryptDbError(
+                f"on_unsupported must be 'raise' or 'skip', got {on_unsupported!r}"
+            )
+        self._proxy = proxy
+        self._on_unsupported = on_unsupported
+        self._rewriter = proxy.make_rewriter()
+        self._backend = create_backend(
+            backend if backend is not None else proxy.backend_name,
+            proxy.encrypted_database,
+        )
+        self._skipped: list[tuple[Query, str]] = []
+
+    # -- introspection -------------------------------------------------- #
+
+    @property
+    def backend(self) -> ExecutionBackend:
+        """The execution backend serving this session."""
+        return self._backend
+
+    @property
+    def backend_name(self) -> str:
+        """Registry name of the session's backend."""
+        return self._backend.name
+
+    @property
+    def adjustments(self) -> tuple[tuple[str, str, Onion, object], ...]:
+        """Onion adjustments performed while rewriting this session's workload."""
+        return tuple(self._rewriter.adjustments)
+
+    @property
+    def skipped(self) -> tuple[tuple[Query, str], ...]:
+        """Queries skipped as unsupported, with the rewriter's reason."""
+        return tuple(self._skipped)
+
+    def exposure_report(self) -> dict[tuple[str, str], dict[str, object]]:
+        """Per-column exposure after the workload served so far (all sessions)."""
+        return self._proxy.exposure_report()
+
+    # -- execution ------------------------------------------------------ #
+
+    def rewrite(self, query: Query) -> Query | None:
+        """Rewrite one query; returns None for skipped unsupported queries."""
+        try:
+            return self._rewriter.rewrite(query)
+        except RewriteError as error:
+            if self._on_unsupported == "skip":
+                self._skipped.append((query, str(error)))
+                return None
+            raise
+
+    def execute(self, query: Query) -> EncryptedResult | None:
+        """Rewrite and execute one plaintext query on the session backend."""
+        encrypted_query = self.rewrite(query)
+        if encrypted_query is None:
+            return None
+        return EncryptedResult(query, encrypted_query, self._backend.execute(encrypted_query))
+
+    def execute_encrypted(self, encrypted_query: Query) -> ResultSet:
+        """Execute an already-rewritten query on the session backend."""
+        return self._backend.execute(encrypted_query)
+
+    def run(self, queries: Iterable[Query]) -> list[EncryptedResult]:
+        """Serve a whole workload: rewrite and execute every query in order.
+
+        Skipped queries (with ``on_unsupported="skip"``) are recorded under
+        :attr:`skipped` and omitted from the returned results.
+        """
+        results: list[EncryptedResult] = []
+        for query in queries:
+            result = self.execute(query)
+            if result is not None:
+                results.append(result)
+        return results
+
+    def close(self) -> None:
+        """Release the backend's engine resources."""
+        self._backend.close()
+
+    def __enter__(self) -> "ProxySession":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+
 class CryptDBProxy:
     """Encrypts databases and queries, executes over ciphertexts, decrypts results."""
 
@@ -86,6 +211,7 @@ class CryptDBProxy:
         constant_policy: ConstantPolicy | None = None,
         taxonomy: EncryptionTaxonomy | None = None,
         shared_det_key: bool = False,
+        backend: str = DEFAULT_BACKEND,
     ) -> None:
         """Create a proxy.
 
@@ -96,12 +222,17 @@ class CryptDBProxy:
         queries, so values that are equal as SQL values must encrypt equally
         regardless of which column they came from.  The trade-off (equality
         leakage across columns) is documented in DESIGN.md.
+
+        ``backend`` names the default execution backend (see
+        :mod:`repro.db.backend`) used by sessions that do not choose their
+        own, and by the proxy's single-query convenience methods.
         """
         self._keychain = keychain
         self._join_groups = {group.name: group for group in join_groups}
         self._shared_det_key = shared_det_key
         self._taxonomy = taxonomy or default_taxonomy()
         self._constant_policy = constant_policy
+        self._backend_name = backend
         self._relation_scheme = DeterministicScheme(keychain.relation_key())
         self._attribute_scheme = DeterministicScheme(keychain.attribute_key())
         self._paillier = PaillierScheme(
@@ -110,6 +241,7 @@ class CryptDBProxy:
         self._schema_map: EncryptedSchemaMap | None = None
         self._encrypted_db: Database | None = None
         self._plain_db: Database | None = None
+        self._default_session: ProxySession | None = None
         register_custom_aggregate("HOMSUM", self._homsum)
 
     # ------------------------------------------------------------------ #
@@ -134,8 +266,11 @@ class CryptDBProxy:
 
         Every table keeps its shape; per column the encrypted table carries
         one physical column per onion (EQ always; ORD and HOM for numeric
-        columns).  NULLs remain NULL — like CryptDB, the layer leaks which
-        cells are NULL, which none of the distance measures depends on.
+        columns).  Encryption runs *column-wise* through the schemes' batch
+        hooks (:meth:`~repro.crypto.base.EncryptionScheme.encrypt_many`), so
+        deterministic schemes pay for each distinct value once per column.
+        NULLs remain NULL — like CryptDB, the layer leaks which cells are
+        NULL, which none of the distance measures depends on.
         """
         schema_map = EncryptedSchemaMap()
         encrypted_db = Database(f"{database.name}_encrypted")
@@ -145,12 +280,16 @@ class CryptDBProxy:
             schema_map.add_table(encrypted_table)
             physical_schema = self._physical_schema(table.schema, encrypted_table)
             physical = encrypted_db.create_table(physical_schema)
-            for row in table:
-                physical.insert(self._encrypt_row(row.as_dict(), table.schema, encrypted_table))
+            columns = self._encrypt_table_columns(table, encrypted_table)
+            names = physical_schema.column_names
+            physical.insert_many(
+                {name: columns[name][index] for name in names} for index in range(len(table))
+            )
 
         self._schema_map = schema_map
         self._encrypted_db = encrypted_db
         self._plain_db = database
+        self._invalidate_default_session()
         return encrypted_db
 
     def _join_group_for(self, table: str, column: str) -> JoinGroupSpec | None:
@@ -214,37 +353,45 @@ class CryptDBProxy:
                 columns.append(Column(encrypted.physical_name(Onion.HOM), ColumnType.INTEGER))
         return TableSchema(mapping.encrypted_name, columns)
 
-    def _encrypt_row(
-        self, row: dict[str, object], schema: TableSchema, mapping: EncryptedTable
-    ) -> dict[str, object]:
-        encrypted_row: dict[str, object] = {}
-        for column in schema.columns:
+    def _encrypt_table_columns(
+        self, table: Table, mapping: EncryptedTable
+    ) -> dict[str, list[object]]:
+        """Encrypt one table column-wise: physical column name -> cell values."""
+        columns: dict[str, list[object]] = {}
+        for column in table.schema.columns:
             encrypted = mapping.column(column.name)
-            value = row[column.name]
-            if value is None:
-                encrypted_row[encrypted.physical_name(Onion.EQ)] = None
-                if encrypted.has_onion(Onion.ORD):
-                    encrypted_row[encrypted.physical_name(Onion.ORD)] = None
-                if encrypted.has_onion(Onion.HOM):
-                    encrypted_row[encrypted.physical_name(Onion.HOM)] = None
-                continue
-            from repro.cryptdb.column import normalize_equality_value
-
-            encrypted_row[encrypted.physical_name(Onion.EQ)] = encrypted.encryption.det.encrypt(
-                normalize_equality_value(value)  # type: ignore[arg-type]
+            values = table.column_values(column.name)
+            det = encrypted.encryption.det
+            columns[encrypted.physical_name(Onion.EQ)] = _encrypt_column(
+                values,
+                lambda batch: det.encrypt_many(
+                    [normalize_equality_value(value) for value in batch]  # type: ignore[list-item]
+                ),
             )
             if encrypted.has_onion(Onion.ORD):
-                scaled = encrypted.encode_numeric(value)
-                encrypted_row[encrypted.physical_name(Onion.ORD)] = (
-                    encrypted.encryption.ope.encrypt(scaled)  # type: ignore[union-attr]
+                ope = encrypted.encryption.ope
+                columns[encrypted.physical_name(Onion.ORD)] = _encrypt_column(
+                    values,
+                    lambda batch: ope.encrypt_many(  # type: ignore[union-attr]
+                        [encrypted.encode_numeric(value) for value in batch]
+                    ),
                 )
             if encrypted.has_onion(Onion.HOM):
-                ciphertext = self._paillier.encrypt(value)  # type: ignore[arg-type]
-                encrypted_row[encrypted.physical_name(Onion.HOM)] = ciphertext.value
-        return encrypted_row
+                columns[encrypted.physical_name(Onion.HOM)] = _encrypt_column(
+                    values,
+                    lambda batch: [
+                        ciphertext.value for ciphertext in self._paillier.encrypt_many(batch)  # type: ignore[arg-type]
+                    ],
+                )
+        return columns
 
     # ------------------------------------------------------------------ #
     # query processing
+
+    @property
+    def backend_name(self) -> str:
+        """Name of the default execution backend for this proxy's sessions."""
+        return self._backend_name
 
     def make_rewriter(self, *, projection_onion: Onion = Onion.EQ) -> QueryRewriter:
         """Create a fresh rewriter bound to the current schema map."""
@@ -255,14 +402,30 @@ class CryptDBProxy:
             projection_onion=projection_onion,
         )
 
+    def session(
+        self, *, backend: str | None = None, on_unsupported: str = "raise"
+    ) -> ProxySession:
+        """Open a batched :class:`ProxySession` over the encrypted database."""
+        return ProxySession(self, backend=backend, on_unsupported=on_unsupported)
+
+    def _invalidate_default_session(self) -> None:
+        if self._default_session is not None:
+            self._default_session.close()
+            self._default_session = None
+
+    def _session(self) -> ProxySession:
+        """The cached default session backing the single-query methods."""
+        if self._default_session is None:
+            self._default_session = self.session()
+        return self._default_session
+
     def encrypt_query(self, query: Query) -> Query:
         """Rewrite a plaintext query for execution over the encrypted database."""
         return self.make_rewriter().rewrite(query)
 
     def execute_encrypted(self, encrypted_query: Query) -> ResultSet:
         """Execute an (already rewritten) query over the encrypted database."""
-        executor = QueryExecutor(self.encrypted_database)
-        return executor.execute(encrypted_query)
+        return self._session().execute_encrypted(encrypted_query)
 
     def execute(self, query: Query) -> EncryptedResult:
         """Rewrite and execute ``query``; returns the encrypted result."""
@@ -371,6 +534,18 @@ class CryptDBProxy:
                 "security_level": SECURITY_LEVELS[weakest],
             }
         return report
+
+
+def _encrypt_column(
+    values: Sequence[object], transform: Callable[[list[object]], list[object]]
+) -> list[object]:
+    """Batch-encrypt one column's cells, passing NULLs through untouched."""
+    present = [index for index, value in enumerate(values) if value is not None]
+    encrypted = transform([values[index] for index in present])
+    cells: list[object] = [None] * len(values)
+    for index, ciphertext in zip(present, encrypted):
+        cells[index] = ciphertext
+    return cells
 
 
 def _plain_column_name(item, index: int) -> str:

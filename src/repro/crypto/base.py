@@ -81,6 +81,28 @@ class EncryptionScheme(abc.ABC):
         """Encrypt a batch of values (default: element-wise)."""
         return [self.encrypt(value) for value in values]
 
+    def _encrypt_many_deduplicated(self, values: list[SqlValue]) -> list[object]:
+        """Batch encryption reusing the ciphertext of repeated plaintexts.
+
+        Only valid for deterministic schemes (equal plaintexts must map to
+        equal ciphertexts); such schemes expose it as their
+        :meth:`encrypt_many`.  Real columns repeat values heavily
+        (categories, cities, flags), so column-wise database encryption pays
+        the cipher cost once per distinct value.  The cache key includes the
+        value's runtime type because SQL equality is type-sensitive here
+        (``1``, ``1.0`` and ``True`` encode differently).
+        """
+        cache: dict[tuple[type, SqlValue], object] = {}
+        ciphertexts: list[object] = []
+        for value in values:
+            key = (type(value), value)
+            ciphertext = cache.get(key)
+            if ciphertext is None:
+                ciphertext = self.encrypt(value)
+                cache[key] = ciphertext
+            ciphertexts.append(ciphertext)
+        return ciphertexts
+
     def decrypt_many(self, ciphertexts: list[object]) -> list[SqlValue]:
         """Decrypt a batch of ciphertexts (default: element-wise)."""
         return [self.decrypt(ciphertext) for ciphertext in ciphertexts]

@@ -60,6 +60,11 @@ class DeterministicScheme(EncryptionScheme):
             raise DecryptionError("not a DET ciphertext")
         return decode_value(self._decrypt_raw(_from_hex(ciphertext[len(_VALUE_PREFIX) :])))
 
+    def encrypt_many(self, values: list[SqlValue]) -> list[str]:
+        """Batch encryption with repeated-plaintext deduplication (DET is
+        deterministic, so repeated values reuse one AES/PRF evaluation)."""
+        return self._encrypt_many_deduplicated(values)  # type: ignore[return-value]
+
     # -- identifier ciphertexts ------------------------------------------- #
 
     def encrypt_identifier(self, name: str) -> str:

@@ -10,8 +10,20 @@ This package implements a small but complete SELECT engine over in-memory
 tables: typed schemas, expression evaluation (including three-valued NULL
 logic), inner/left/right/cross joins, GROUP BY with HAVING, the five standard
 aggregates, DISTINCT, ORDER BY and LIMIT.
+
+Execution is backend-agnostic (see :mod:`repro.db.backend`): the interpreter
+is the ``"memory"`` backend and equality oracle, and the same queries run on
+the compiled ``"sqlite"`` backend for workload-scale execution.
 """
 
+from repro.db.backend import (
+    DEFAULT_BACKEND,
+    ExecutionBackend,
+    InMemoryBackend,
+    available_backends,
+    create_backend,
+    register_backend,
+)
 from repro.db.database import Database
 from repro.db.executor import QueryExecutor, ResultSet
 from repro.db.schema import Column, ColumnType, DatabaseSchema, TableSchema
@@ -20,11 +32,17 @@ from repro.db.table import Row, Table
 __all__ = [
     "Column",
     "ColumnType",
+    "DEFAULT_BACKEND",
     "Database",
     "DatabaseSchema",
+    "ExecutionBackend",
+    "InMemoryBackend",
     "QueryExecutor",
     "ResultSet",
     "Row",
     "Table",
     "TableSchema",
+    "available_backends",
+    "create_backend",
+    "register_backend",
 ]

@@ -31,6 +31,16 @@ def unregister_custom_aggregate(name: str) -> None:
     _CUSTOM_AGGREGATES.pop(name.upper(), None)
 
 
+def custom_aggregates() -> dict[str, Callable[[list[object]], object]]:
+    """Snapshot of the registered custom aggregates.
+
+    Execution backends that bring their own engine (e.g. the SQLite backend)
+    mirror this registry into engine-native UDFs, so a custom aggregate
+    registered once works on every backend.
+    """
+    return dict(_CUSTOM_AGGREGATES)
+
+
 def evaluate_aggregate(call: AggregateCall, scopes: Sequence[RowScope]) -> object:
     """Evaluate ``call`` over the group formed by ``scopes``."""
     function = call.function

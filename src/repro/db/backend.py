@@ -1,0 +1,139 @@
+"""Backend-agnostic query execution.
+
+The paper's experiments only care about *what* a query returns, not *how* it
+is evaluated, so execution is factored behind the :class:`ExecutionBackend`
+protocol: a backend is built once per database snapshot, answers queries with
+:class:`~repro.db.executor.ResultSet`, and is closed when the workload is
+done.  Two backends ship with the repository:
+
+* ``"memory"`` — :class:`InMemoryBackend`, the original tuple-at-a-time
+  tree-walking interpreter.  Slow but transparent; it is the *equality
+  oracle* every other backend is differentially tested against (the same
+  role ``distance_matrix_reference`` plays for the mining pipeline).
+* ``"sqlite"`` — :class:`~repro.db.sqlite_backend.SQLiteBackend`, which
+  compiles the AST to parameterized SQL and executes it on SQLite with the
+  encryption layer's custom aggregates registered as UDFs.  Orders of
+  magnitude faster on large tables; used by the batched proxy sessions.
+
+Backends register themselves in a name -> factory registry so experiment
+runners, benchmarks and the CLI can expose a ``--backend`` axis without
+importing concrete backend classes.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Iterable
+from typing import Protocol, runtime_checkable
+
+from repro.db.database import Database
+from repro.db.executor import QueryExecutor, ResultSet
+from repro.exceptions import ExecutionError
+from repro.sql.ast import Query
+
+#: Name of the backend used when callers do not choose one explicitly.
+DEFAULT_BACKEND = "memory"
+
+
+@runtime_checkable
+class ExecutionBackend(Protocol):
+    """A query execution engine bound to one database snapshot.
+
+    Backends assume the database content does not change for their lifetime
+    (the encrypted store is immutable once shipped to the provider); callers
+    that mutate the database must create a fresh backend.
+    """
+
+    #: Registry name of the backend (``"memory"``, ``"sqlite"``, ...).
+    name: str
+
+    def execute(self, query: Query) -> ResultSet:
+        """Execute one query and return its result set."""
+
+    def execute_many(self, queries: Iterable[Query]) -> list[ResultSet]:
+        """Execute a batch of queries, returning one result set per query."""
+
+    def close(self) -> None:
+        """Release engine resources (idempotent)."""
+
+
+class InMemoryBackend:
+    """The tree-walking interpreter as an :class:`ExecutionBackend`.
+
+    Join-state reuse is on by default: a backend instance is scoped to one
+    database snapshot, which is exactly the lifetime for which the
+    executor's FROM/JOIN cache is valid.
+    """
+
+    name = "memory"
+
+    def __init__(self, database: Database, *, reuse_join_state: bool = True) -> None:
+        self._database = database
+        self._executor = QueryExecutor(database, reuse_join_state=reuse_join_state)
+
+    @property
+    def database(self) -> Database:
+        """The database snapshot this backend executes against."""
+        return self._database
+
+    def execute(self, query: Query) -> ResultSet:
+        return self._executor.execute(query)
+
+    def execute_many(self, queries: Iterable[Query]) -> list[ResultSet]:
+        return [self._executor.execute(query) for query in queries]
+
+    def close(self) -> None:
+        pass
+
+    def __enter__(self) -> "InMemoryBackend":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+
+# --------------------------------------------------------------------------- #
+# registry
+
+BackendFactory = Callable[..., ExecutionBackend]
+
+_BACKENDS: dict[str, BackendFactory] = {}
+
+
+def register_backend(name: str, factory: BackendFactory, *, replace: bool = False) -> None:
+    """Register a backend factory under ``name``.
+
+    The factory is called as ``factory(database, **options)``.  Existing
+    names are protected unless ``replace=True``, so a typo cannot silently
+    shadow a built-in backend.
+    """
+    if name in _BACKENDS and not replace:
+        raise ExecutionError(f"execution backend {name!r} is already registered")
+    _BACKENDS[name] = factory
+
+
+def available_backends() -> tuple[str, ...]:
+    """Names of all registered backends, in registration order."""
+    return tuple(_BACKENDS)
+
+
+def create_backend(name: str, database: Database, **options: object) -> ExecutionBackend:
+    """Instantiate the backend registered under ``name`` for ``database``."""
+    try:
+        factory = _BACKENDS[name]
+    except KeyError:
+        raise ExecutionError(
+            f"unknown execution backend {name!r}; available: {sorted(_BACKENDS)}"
+        ) from None
+    return factory(database, **options)
+
+
+def _sqlite_factory(database: Database, **options: object) -> ExecutionBackend:
+    # Imported lazily so repro.db does not hard-depend on the sqlite3 module
+    # at import time (some minimal Python builds omit it).
+    from repro.db.sqlite_backend import SQLiteBackend
+
+    return SQLiteBackend(database, **options)  # type: ignore[arg-type]
+
+
+register_backend("memory", InMemoryBackend)
+register_backend("sqlite", _sqlite_factory)

@@ -1,0 +1,128 @@
+"""Differential oracle: compare result sets across execution backends.
+
+The ``"memory"`` interpreter backend is the semantics reference; every other
+backend must agree with it.  Agreement is *not* plain tuple-sequence equality
+— SQL leaves two freedoms that differ legitimately between engines:
+
+* without ORDER BY, the row *order* is unspecified (only the multiset of
+  rows is defined);
+* under LIMIT without ORDER BY, *which* rows are returned is unspecified
+  (only how many, and that they come from the full result).
+
+:func:`result_difference` encodes exactly these freedoms and nothing more:
+columns must match exactly, row multisets must match (type-exactly, so an
+``int``/``float`` representation drift is caught even though SQL calls the
+values equal), ORDER BY sequences must satisfy the query's sort keys with
+the engine's NULLS LAST rule, and LIMIT is checked against the unlimited
+reference result when one is provided.  It returns a human-readable
+explanation of the first difference found, or ``None`` when the results are
+equivalent — the differential test suite asserts ``None``.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+
+from repro.db.executor import ResultSet, _SortKey
+from repro.sql.ast import Query
+from repro.sql.render import render_expression
+
+#: Type-exact multiset key for a result row.  Booleans, integers and floats
+#: all compare equal under SQL (and under Python hashing), so the runtime
+#: type name is included to catch representation drift between backends.
+def _row_key(row: tuple[object, ...]) -> tuple[tuple[str, object], ...]:
+    return tuple((type(value).__name__, value) for value in row)
+
+
+def _multiset(rows: tuple[tuple[object, ...], ...]) -> Counter:
+    return Counter(_row_key(row) for row in rows)
+
+
+def result_difference(
+    query: Query,
+    reference: ResultSet,
+    candidate: ResultSet,
+    *,
+    unlimited_reference: ResultSet | None = None,
+) -> str | None:
+    """Explain how ``candidate`` deviates from ``reference`` for ``query``.
+
+    Returns ``None`` when the two results are equivalent answers to
+    ``query``.  For queries with LIMIT but no ORDER BY, pass the reference
+    result of the same query *without* its LIMIT as ``unlimited_reference``
+    to additionally check that the candidate's rows come from the full
+    result.
+    """
+    if reference.columns != candidate.columns:
+        return (
+            f"column mismatch: reference {reference.columns!r}, "
+            f"candidate {candidate.columns!r}"
+        )
+
+    if query.limit is not None:
+        if len(reference.rows) != len(candidate.rows):
+            return (
+                f"row-count mismatch under LIMIT {query.limit}: "
+                f"reference {len(reference.rows)}, candidate {len(candidate.rows)}"
+            )
+        if unlimited_reference is not None:
+            extra = _multiset(candidate.rows) - _multiset(unlimited_reference.rows)
+            if extra:
+                return f"LIMIT returned rows outside the full result: {sorted(extra)[:3]!r}"
+        if not query.order_by:
+            return None  # which rows survive an unordered LIMIT is unspecified
+        return _order_difference(query, reference, candidate)
+
+    if _multiset(reference.rows) != _multiset(candidate.rows):
+        missing = _multiset(reference.rows) - _multiset(candidate.rows)
+        extra = _multiset(candidate.rows) - _multiset(reference.rows)
+        return (
+            f"row multiset mismatch: missing {sorted(missing)[:3]!r}, "
+            f"extra {sorted(extra)[:3]!r}"
+        )
+    if query.order_by:
+        return _order_difference(query, reference, candidate)
+    return None
+
+
+def _order_difference(query: Query, reference: ResultSet, candidate: ResultSet) -> str | None:
+    """Check that both row sequences satisfy the query's ORDER BY keys.
+
+    Only sort keys that resolve to a projected position can be checked from
+    the result alone (the interpreter's resolution rules: column name, alias,
+    or rendered expression text).  Checking stops at the first unresolvable
+    key: sortedness by a *prefix* of the ORDER BY list is implied by full
+    sortedness, but keys ranked below an uncheckable one are only tie-breaks
+    within groups the checker cannot see.  Ties may be broken differently by
+    different engines, so sortedness — not sequence equality — is asserted,
+    with the engine contract's NULLS LAST rule via :class:`_SortKey`.
+    """
+    columns = list(reference.columns)
+    aliases = [item.alias for item in query.select_items]
+    rendered_items = [render_expression(item.expression) for item in query.select_items]
+    keys: list[tuple[int, bool]] = []
+    for item in query.order_by:
+        rendered = render_expression(item.expression)
+        if rendered in columns:
+            index = columns.index(rendered)
+        elif rendered in aliases:
+            index = aliases.index(rendered)
+        elif rendered in rendered_items:
+            index = rendered_items.index(rendered)
+        else:
+            break  # unprojected sort key: this and lower keys are uncheckable
+        keys.append((index, item.ascending))
+    if not keys:
+        return None
+    for label, rows in (("reference", reference.rows), ("candidate", candidate.rows)):
+        for first, second in zip(rows, rows[1:]):
+            first_key = tuple(_SortKey(first[i], asc) for i, asc in keys)
+            second_key = tuple(_SortKey(second[i], asc) for i, asc in keys)
+            if second_key < first_key:
+                return (
+                    f"{label} rows violate ORDER BY: {first!r} precedes {second!r}"
+                )
+    return None
+
+
+__all__ = ["result_difference"]

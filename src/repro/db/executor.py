@@ -244,15 +244,7 @@ class QueryExecutor:
     def _project_grouped(
         self, query: Query, scopes: list[RowScope]
     ) -> tuple[list[str], list[tuple[object, ...]]]:
-        for item in query.select_items:
-            if isinstance(item.expression, Star):
-                raise ExecutionError("'*' projection cannot be combined with GROUP BY/aggregates")
-            if not contains_aggregate(item.expression) and query.group_by:
-                if item.expression not in query.group_by:
-                    raise ExecutionError(
-                        f"non-aggregated select item {render_expression(item.expression)!r} "
-                        "must appear in GROUP BY"
-                    )
+        validate_grouped_projection(query)
 
         groups = self._build_groups(query, scopes)
 
@@ -356,6 +348,61 @@ class QueryExecutor:
 
 # --------------------------------------------------------------------------- #
 # helpers
+
+
+def validate_grouped_projection(query: Query) -> None:
+    """Reject select lists that are invalid under GROUP BY/aggregates.
+
+    The single validation rule shared by every execution backend: in a
+    grouped query no ``*`` projection is allowed, and (with an explicit
+    GROUP BY) every non-aggregated select item must appear in the GROUP BY
+    list.  SQLite itself tolerates bare columns in grouped queries and
+    returns an engine-arbitrary row per group; enforcing this rule up front
+    keeps such queries an error on every backend instead of a silent
+    cross-backend divergence.
+    """
+    if not (query.group_by or query.has_aggregates()):
+        return
+    for item in query.select_items:
+        if isinstance(item.expression, Star):
+            raise ExecutionError("'*' projection cannot be combined with GROUP BY/aggregates")
+        if not contains_aggregate(item.expression) and query.group_by:
+            if item.expression not in query.group_by:
+                raise ExecutionError(
+                    f"non-aggregated select item {render_expression(item.expression)!r} "
+                    "must appear in GROUP BY"
+                )
+
+
+def projection_columns(query: Query, database: Database) -> tuple[str, ...]:
+    """Result column names of ``query``, derived from the AST and catalog.
+
+    This is the single naming rule shared by every execution backend: aliases
+    win, plain column references keep their name, other expressions use their
+    rendered text, and ``*`` / ``t.*`` expand to the schema's column order.
+    Backends that delegate execution to a real engine (SQLite) use this
+    instead of the engine's own cursor description, so result columns cannot
+    drift between backends.
+    """
+    columns: list[str] = []
+    for index, item in enumerate(query.select_items):
+        expr = item.expression
+        if isinstance(expr, Star):
+            if expr.table is None:
+                if len(query.select_items) > 1:
+                    raise ExecutionError("'*' cannot be mixed with other select items")
+                for ref in query.tables():
+                    columns.extend(database.table(ref.name).schema.column_names)
+            else:
+                for ref in query.tables():
+                    if ref.binding_name == expr.table:
+                        columns.extend(database.table(ref.name).schema.column_names)
+                        break
+                else:
+                    raise ExecutionError(f"unknown table or alias {expr.table!r}")
+        else:
+            columns.append(_column_name(item, index))
+    return tuple(columns)
 
 
 def _merge_scope(left: RowScope, binding: str, values: dict[str, object]) -> RowScope:

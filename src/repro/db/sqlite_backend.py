@@ -1,0 +1,326 @@
+"""SQLite execution backend.
+
+Executes the supported SQL fragment on a real engine instead of the Python
+tree-walking interpreter: the database snapshot is bulk-loaded into an
+in-memory SQLite connection once (``executemany`` per table), every query is
+compiled to parameterized SQL by :func:`repro.sql.render.compile_query`, and
+the encryption layer's custom aggregates (``HOMSUM``) plus Python-semantics
+``/`` and ``%`` are registered as UDFs.  The backend is differentially tested
+against :class:`~repro.db.backend.InMemoryBackend`, which stays the equality
+oracle.
+
+Two representation details keep results bit-for-bit compatible with the
+interpreter:
+
+* **Big integers.**  SQLite integers are 64-bit, but Paillier (HOM onion)
+  ciphertexts are hundreds of bits.  Any integer outside the 64-bit range is
+  stored as a tagged hex string (the tag contains a NUL byte, which no SQL
+  value in the supported fragment produces) and decoded back to ``int`` on
+  the way out — including through custom aggregates, so ``HOMSUM`` sees and
+  returns plain Python integers exactly as it does on the memory backend.
+* **Booleans.**  SQLite stores booleans as 0/1.  Result positions that are
+  boolean by construction (BOOLEAN columns, predicates projected as values)
+  are coerced back to Python ``bool``.
+"""
+
+from __future__ import annotations
+
+import sqlite3
+from collections.abc import Callable, Iterable
+
+from repro.db.database import Database
+from repro.db.executor import ResultSet, projection_columns, validate_grouped_projection
+from repro.db.schema import ColumnType
+from repro.exceptions import ExecutionError
+from repro.sql.ast import (
+    AggregateCall,
+    BetweenPredicate,
+    BinaryOp,
+    ColumnRef,
+    ComparisonOp,
+    Expression,
+    InPredicate,
+    IsNullPredicate,
+    LikePredicate,
+    Literal,
+    LogicalOp,
+    NotOp,
+    Query,
+    Star,
+)
+from repro.sql.render import DIV_FUNCTION, MOD_FUNCTION, compile_query, quote_identifier
+
+_INT64_MIN = -(2**63)
+_INT64_MAX = 2**63 - 1
+
+#: Tag prefixing hex-encoded out-of-range integers.  Contains a NUL byte so it
+#: cannot collide with legitimate TEXT values of the supported fragment
+#: (identifiers, DET/PROB ciphertexts and generated workload strings are all
+#: NUL-free).
+_BIGINT_TAG = "\x00bigint:"
+
+
+def encode_sql_value(value: object) -> object:
+    """Encode a Python value for storage in / binding against SQLite."""
+    if (
+        isinstance(value, int)
+        and not isinstance(value, bool)
+        and not _INT64_MIN <= value <= _INT64_MAX
+    ):
+        return _BIGINT_TAG + format(value, "x")
+    return value
+
+
+def decode_sql_value(value: object) -> object:
+    """Invert :func:`encode_sql_value`."""
+    if isinstance(value, str) and value.startswith(_BIGINT_TAG):
+        return int(value[len(_BIGINT_TAG) :], 16)
+    return value
+
+
+class SQLiteBackend:
+    """Compile-to-SQL execution over an in-memory SQLite database."""
+
+    name = "sqlite"
+
+    def __init__(self, database: Database) -> None:
+        self._database = database
+        self._connection = sqlite3.connect(":memory:")
+        # The interpreter's LIKE is case-sensitive (regex translation);
+        # SQLite's is ASCII-case-insensitive by default.
+        self._connection.execute("PRAGMA case_sensitive_like = ON")
+        self._udf_error: str | None = None
+        self._registered_aggregates: dict[str, Callable[[list[object]], object]] = {}
+        self._register_scalar_functions()
+        self._load(database)
+
+    @property
+    def database(self) -> Database:
+        """The database snapshot this backend executes against."""
+        return self._database
+
+    # ------------------------------------------------------------------ #
+    # loading
+
+    def _load(self, database: Database) -> None:
+        cursor = self._connection.cursor()
+        for table in database:
+            names = table.schema.column_names
+            columns = ", ".join(quote_identifier(name) for name in names)
+            cursor.execute(f"CREATE TABLE {quote_identifier(table.name)} ({columns})")
+            placeholders = ", ".join("?" for _ in names)
+            cursor.executemany(
+                f"INSERT INTO {quote_identifier(table.name)} VALUES ({placeholders})",
+                (
+                    tuple(encode_sql_value(row[name]) for name in names)
+                    for row in table
+                ),
+            )
+        self._connection.commit()
+
+    # ------------------------------------------------------------------ #
+    # UDF plumbing
+
+    def _capture_udf_errors(self, function: Callable[..., object]) -> Callable[..., object]:
+        """Wrap a UDF so its error message survives SQLite's generic exception."""
+
+        def wrapped(*args: object) -> object:
+            try:
+                return function(*args)
+            except Exception as exc:
+                self._udf_error = str(exc)
+                raise
+
+        return wrapped
+
+    def _register_scalar_functions(self) -> None:
+        self._connection.create_function(
+            DIV_FUNCTION, 2, self._capture_udf_errors(_python_division), deterministic=True
+        )
+        self._connection.create_function(
+            MOD_FUNCTION, 2, self._capture_udf_errors(_python_modulo), deterministic=True
+        )
+
+    def _sync_custom_aggregates(self) -> None:
+        """Mirror :mod:`repro.db.aggregates` custom aggregates as SQLite UDFs."""
+        from repro.db.aggregates import custom_aggregates
+
+        registry = custom_aggregates()
+        if registry == self._registered_aggregates:
+            return
+        for name in self._registered_aggregates:
+            if name not in registry:
+                self._connection.create_aggregate(name, 1, None)
+        for name, function in registry.items():
+            if self._registered_aggregates.get(name) is not function:
+                self._connection.create_aggregate(
+                    name, 1, _make_aggregate_adapter(self, function)
+                )
+        self._registered_aggregates = registry
+
+    # ------------------------------------------------------------------ #
+    # execution
+
+    def execute(self, query: Query) -> ResultSet:
+        """Execute ``query`` via compiled parameterized SQL."""
+        self._sync_custom_aggregates()
+        # SQLite is laxer than the interpreter in two places: it tolerates
+        # duplicate table aliases as long as no reference is ambiguous, and
+        # it returns engine-arbitrary rows for bare columns in grouped
+        # queries.  Enforce the interpreter's stricter contract up front so
+        # error behaviour matches across backends.
+        bindings = [ref.binding_name for ref in query.tables()]
+        for binding in bindings:
+            if bindings.count(binding) > 1:
+                raise ExecutionError(f"duplicate table alias {binding!r} in FROM clause")
+        validate_grouped_projection(query)
+        columns = projection_columns(query, self._database)
+        compiled = compile_query(query)
+        parameters = tuple(encode_sql_value(value) for value in compiled.parameters)
+        self._udf_error = None
+        try:
+            fetched = self._connection.execute(compiled.sql, parameters).fetchall()
+        except sqlite3.Error as exc:
+            raise ExecutionError(self._udf_error or f"sqlite backend: {exc}") from exc
+        boolean_positions = self._boolean_positions(query)
+        rows = tuple(
+            tuple(
+                _coerce_boolean(decode_sql_value(value)) if index in boolean_positions
+                else decode_sql_value(value)
+                for index, value in enumerate(row)
+            )
+            for row in fetched
+        )
+        return ResultSet(columns, rows)
+
+    def execute_many(self, queries: Iterable[Query]) -> list[ResultSet]:
+        """Execute a batch of queries on the shared connection."""
+        return [self.execute(query) for query in queries]
+
+    def close(self) -> None:
+        """Close the SQLite connection (idempotent)."""
+        self._connection.close()
+
+    def __enter__(self) -> "SQLiteBackend":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------ #
+    # boolean round-trip
+
+    def _boolean_positions(self, query: Query) -> frozenset[int]:
+        """Result positions whose values must be coerced back to ``bool``."""
+        positions: list[int] = []
+        index = 0
+        for item in query.select_items:
+            expr = item.expression
+            if isinstance(expr, Star):
+                refs = (
+                    query.tables()
+                    if expr.table is None
+                    else tuple(ref for ref in query.tables() if ref.binding_name == expr.table)
+                )
+                for ref in refs:
+                    for column in self._database.table(ref.name).schema.columns:
+                        if column.type is ColumnType.BOOLEAN:
+                            positions.append(index)
+                        index += 1
+            else:
+                if self._is_boolean_expression(expr, query):
+                    positions.append(index)
+                index += 1
+        return frozenset(positions)
+
+    def _is_boolean_expression(self, expr: Expression, query: Query) -> bool:
+        if isinstance(
+            expr,
+            (LogicalOp, NotOp, BetweenPredicate, InPredicate, LikePredicate, IsNullPredicate),
+        ):
+            return True
+        if isinstance(expr, BinaryOp):
+            return isinstance(expr.op, ComparisonOp)
+        if isinstance(expr, Literal):
+            return isinstance(expr.value, bool)
+        if isinstance(expr, ColumnRef):
+            return self._column_type(expr, query) is ColumnType.BOOLEAN
+        if isinstance(expr, AggregateCall) and expr.function in ("MIN", "MAX"):
+            if isinstance(expr.argument, ColumnRef):
+                return self._column_type(expr.argument, query) is ColumnType.BOOLEAN
+        return False
+
+    def _column_type(self, ref: ColumnRef, query: Query) -> ColumnType | None:
+        candidates: list[ColumnType] = []
+        for table_ref in query.tables():
+            if ref.table is not None and table_ref.binding_name != ref.table:
+                continue
+            if not self._database.has_table(table_ref.name):
+                continue
+            schema = self._database.table(table_ref.name).schema
+            if schema.has_column(ref.name):
+                candidates.append(schema.column(ref.name).type)
+        if len(candidates) == 1:
+            return candidates[0]
+        return None
+
+
+# --------------------------------------------------------------------------- #
+# UDF implementations
+
+
+def _python_division(left: object, right: object) -> object:
+    if left is None or right is None:
+        return None
+    _require_numeric(left, right)
+    if right == 0:
+        raise ExecutionError("division by zero")
+    return left / right  # type: ignore[operator]
+
+
+def _python_modulo(left: object, right: object) -> object:
+    if left is None or right is None:
+        return None
+    _require_numeric(left, right)
+    if right == 0:
+        raise ExecutionError("modulo by zero")
+    return left % right  # type: ignore[operator]
+
+
+def _require_numeric(left: object, right: object) -> None:
+    if not isinstance(left, (int, float)) or not isinstance(right, (int, float)):
+        raise ExecutionError(f"arithmetic on non-numeric values {left!r}, {right!r}")
+
+
+def _coerce_boolean(value: object) -> object:
+    if value is None:
+        return None
+    return bool(value)
+
+
+def _make_aggregate_adapter(
+    backend: SQLiteBackend, function: Callable[[list[object]], object]
+) -> type:
+    """Adapt a list-based custom aggregate to SQLite's step/finalize protocol.
+
+    NULL inputs are skipped (matching :func:`repro.db.aggregates.evaluate_aggregate`);
+    DISTINCT is applied by the SQLite engine itself before ``step`` is called.
+    """
+
+    class _Adapter:
+        def __init__(self) -> None:
+            self._values: list[object] = []
+
+        def step(self, value: object) -> None:
+            if value is None:
+                return
+            self._values.append(decode_sql_value(value))
+
+        def finalize(self) -> object:
+            try:
+                return encode_sql_value(function(self._values))
+            except Exception as exc:
+                backend._udf_error = str(exc)
+                raise
+
+    return _Adapter

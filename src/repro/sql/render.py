@@ -1,4 +1,4 @@
-"""Render an AST back into SQL text.
+"""Render an AST back into SQL text, or compile it to parameterized SQL.
 
 Rendering is the inverse of parsing up to whitespace and redundant
 parentheses: ``parse_query(render_query(q)) == q`` holds for every query the
@@ -6,9 +6,21 @@ parser produces (this round-trip property is tested with Hypothesis in
 ``tests/sql/test_roundtrip.py``).  The encryption schemes use the renderer to
 produce the *encrypted query strings* that are handed to the service
 provider.
+
+:func:`compile_query` is the second emitter: it targets a real SQL engine
+(the SQLite execution backend) instead of human eyes.  Identifiers are
+double-quoted (encrypted names are hex blobs that could otherwise collide
+with keywords or start with digits) and every literal becomes a ``?``
+placeholder with the Python value carried out-of-band, so DET ciphertext
+strings and OPE integers never pass through SQL text.  Parameterization also
+removes two classic text-SQL ambiguities: a literal integer in ORDER BY or
+GROUP BY would be read as a column ordinal by SQLite, whereas a bound
+parameter is always a constant expression — matching the interpreter.
 """
 
 from __future__ import annotations
+
+from dataclasses import dataclass
 
 from repro.sql.ast import (
     AggregateCall,
@@ -157,3 +169,172 @@ def _render_join(join: Join) -> str:
 def _render_order_item(item: OrderItem) -> str:
     direction = "ASC" if item.ascending else "DESC"
     return f"{render_expression(item.expression)} {direction}"
+
+
+# --------------------------------------------------------------------------- #
+# parameterized compilation (SQLite execution backend)
+
+#: UDF names the compiled SQL relies on.  SQLite's native ``/`` truncates
+#: integer division and its ``%`` follows C sign rules; the execution backend
+#: registers these functions with Python semantics (true division, Python
+#: modulo, ``ExecutionError`` on division by zero) so compiled queries agree
+#: with the tree-walking interpreter bit for bit.
+DIV_FUNCTION = "REPRO_DIV"
+MOD_FUNCTION = "REPRO_MOD"
+
+
+@dataclass(frozen=True)
+class CompiledQuery:
+    """Parameterized SQL for one query: text with ``?`` placeholders + values."""
+
+    sql: str
+    parameters: tuple[object, ...]
+
+
+def quote_identifier(name: str) -> str:
+    """Quote ``name`` as a SQL identifier (doubling embedded quotes)."""
+    return '"' + name.replace('"', '""') + '"'
+
+
+def compile_query(query: Query) -> CompiledQuery:
+    """Compile ``query`` into parameterized SQL for a real engine.
+
+    The emitted dialect is deliberately conservative (explicit parentheses,
+    quoted identifiers, ``?`` placeholders) and encodes the interpreter's
+    semantics where engines commonly differ: ORDER BY gets an ``expr IS
+    NULL`` prefix key so NULLs sort last in both directions, and ``/`` / ``%``
+    become the :data:`DIV_FUNCTION` / :data:`MOD_FUNCTION` UDF calls.
+    """
+    compiler = _QueryCompiler()
+    sql = compiler.compile(query)
+    return CompiledQuery(sql, tuple(compiler.parameters))
+
+
+class _QueryCompiler:
+    """Single-use compiler collecting ``?`` parameters while emitting SQL."""
+
+    def __init__(self) -> None:
+        self.parameters: list[object] = []
+
+    def compile(self, query: Query) -> str:
+        parts = ["SELECT"]
+        if query.distinct:
+            parts.append("DISTINCT")
+        parts.append(", ".join(self._select_item(item) for item in query.select_items))
+        parts.append("FROM")
+        parts.append(self._table_ref(query.from_table))
+        for join in query.joins:
+            parts.append(self._join(join))
+        if query.where is not None:
+            parts.append("WHERE")
+            parts.append(self.expression(query.where))
+        if query.group_by:
+            parts.append("GROUP BY")
+            parts.append(", ".join(self.expression(expr) for expr in query.group_by))
+        if query.having is not None:
+            parts.append("HAVING")
+            parts.append(self.expression(query.having))
+        if query.order_by:
+            parts.append("ORDER BY")
+            parts.append(", ".join(self._order_item(item) for item in query.order_by))
+        if query.limit is not None:
+            self.parameters.append(query.limit)
+            parts.append("LIMIT ?")
+        return " ".join(parts)
+
+    # -- clauses ----------------------------------------------------------- #
+
+    def _select_item(self, item: SelectItem) -> str:
+        text = self.expression(item.expression)
+        if item.alias:
+            return f"{text} AS {quote_identifier(item.alias)}"
+        return text
+
+    def _table_ref(self, ref: TableRef) -> str:
+        text = quote_identifier(ref.name)
+        if ref.alias:
+            text += f" AS {quote_identifier(ref.alias)}"
+        return text
+
+    def _join(self, join: Join) -> str:
+        keyword = {
+            JoinType.INNER: "JOIN",
+            JoinType.LEFT: "LEFT JOIN",
+            JoinType.RIGHT: "RIGHT JOIN",
+            JoinType.CROSS: "CROSS JOIN",
+        }[join.join_type]
+        text = f"{keyword} {self._table_ref(join.right)}"
+        if join.condition is not None:
+            text += f" ON {self.expression(join.condition)}"
+        return text
+
+    def _order_item(self, item: OrderItem) -> str:
+        # The interpreter sorts NULLs last regardless of direction; SQLite
+        # treats NULL as smaller than everything.  A leading `expr IS NULL`
+        # key (0 for values, 1 for NULL) pins NULLs last in both directions
+        # without requiring the NULLS LAST syntax (SQLite >= 3.30 only).
+        # The expression is compiled twice because it appears twice: each
+        # occurrence emits its own placeholders, keeping the `?` count in
+        # sync with the collected parameters.
+        null_key = self.expression(item.expression)
+        rendered = self.expression(item.expression)
+        direction = "ASC" if item.ascending else "DESC"
+        return f"({null_key} IS NULL) ASC, {rendered} {direction}"
+
+    # -- expressions -------------------------------------------------------- #
+
+    def expression(self, expr: Expression) -> str:
+        if isinstance(expr, Literal):
+            self.parameters.append(expr.value)
+            return "?"
+        if isinstance(expr, ColumnRef):
+            name = quote_identifier(expr.name)
+            if expr.table is not None:
+                return f"{quote_identifier(expr.table)}.{name}"
+            return name
+        if isinstance(expr, Star):
+            if expr.table is not None:
+                return f"{quote_identifier(expr.table)}.*"
+            return "*"
+        if isinstance(expr, AggregateCall):
+            distinct = "DISTINCT " if expr.distinct else ""
+            return f"{expr.function}({distinct}{self.expression(expr.argument)})"
+        if isinstance(expr, UnaryMinus):
+            return f"-({self.expression(expr.operand)})"
+        if isinstance(expr, BinaryOp):
+            return self._binary(expr)
+        if isinstance(expr, LogicalOp):
+            connective = f" {expr.op.value} "
+            return connective.join(f"({self.expression(op)})" for op in expr.operands)
+        if isinstance(expr, NotOp):
+            return f"NOT ({self.expression(expr.operand)})"
+        if isinstance(expr, BetweenPredicate):
+            neg = "NOT " if expr.negated else ""
+            return (
+                f"({self.expression(expr.operand)}) {neg}BETWEEN "
+                f"({self.expression(expr.low)}) AND ({self.expression(expr.high)})"
+            )
+        if isinstance(expr, InPredicate):
+            neg = "NOT " if expr.negated else ""
+            values = ", ".join(self.expression(value) for value in expr.values)
+            return f"({self.expression(expr.operand)}) {neg}IN ({values})"
+        if isinstance(expr, LikePredicate):
+            neg = "NOT " if expr.negated else ""
+            return (
+                f"({self.expression(expr.operand)}) {neg}LIKE "
+                f"({self.expression(expr.pattern)})"
+            )
+        if isinstance(expr, IsNullPredicate):
+            neg = "NOT " if expr.negated else ""
+            return f"({self.expression(expr.operand)}) IS {neg}NULL"
+        raise TypeError(f"cannot compile expression of type {type(expr).__name__}")
+
+    def _binary(self, expr: BinaryOp) -> str:
+        left = self.expression(expr.left)
+        right = self.expression(expr.right)
+        if expr.op is ArithmeticOp.DIV:
+            return f"{DIV_FUNCTION}({left}, {right})"
+        if expr.op is ArithmeticOp.MOD:
+            return f"{MOD_FUNCTION}({left}, {right})"
+        op = expr.op.value if isinstance(expr.op, (ComparisonOp, ArithmeticOp)) else str(expr.op)
+        return f"({left}) {op} ({right})"

@@ -1,0 +1,121 @@
+"""Tests for the batched proxy session API."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.crypto.keys import KeyChain, MasterKey
+from repro.cryptdb.onion import Onion
+from repro.cryptdb.proxy import CryptDBProxy, JoinGroupSpec
+from repro.exceptions import CryptDbError, RewriteError
+from repro.sql.parser import parse_query
+
+
+@pytest.fixture
+def proxy(small_database) -> CryptDBProxy:
+    keychain = KeyChain(MasterKey.from_passphrase("session-tests"))
+    proxy = CryptDBProxy(
+        keychain,
+        join_groups=[
+            JoinGroupSpec("users-accounts", frozenset({("users", "uid"), ("accounts", "owner_id")}))
+        ],
+        paillier_bits=256,
+    )
+    proxy.encrypt_database(small_database)
+    return proxy
+
+
+WORKLOAD = [
+    "SELECT name FROM users WHERE age > 30",
+    "SELECT city, COUNT(*) FROM users GROUP BY city",
+    "SELECT name FROM users WHERE city = 'Paris'",
+    "SELECT SUM(salary) FROM users",
+    "SELECT name FROM users JOIN accounts ON uid = owner_id WHERE balance > 0",
+]
+
+
+class TestSessionRun:
+    @pytest.mark.parametrize("backend", ["memory", "sqlite"])
+    def test_run_matches_single_query_execution(self, proxy, backend):
+        queries = [parse_query(sql) for sql in WORKLOAD]
+        with proxy.session(backend=backend) as session:
+            batch_results = session.run(queries)
+        assert len(batch_results) == len(queries)
+        for query, batch in zip(queries, batch_results):
+            single = proxy.execute(query)
+            assert batch.encrypted_query == single.encrypted_query
+            assert batch.result.columns == single.result.columns
+            assert batch.result.tuple_set() == single.result.tuple_set()
+
+    def test_backends_return_identical_encrypted_results(self, proxy):
+        queries = [parse_query(sql) for sql in WORKLOAD]
+        with proxy.session(backend="memory") as memory_session:
+            with proxy.session(backend="sqlite") as sqlite_session:
+                memory_results = memory_session.run(queries)
+                sqlite_results = sqlite_session.run(queries)
+        for reference, candidate in zip(memory_results, sqlite_results):
+            assert reference.result.columns == candidate.result.columns
+            assert reference.result.tuple_set() == candidate.result.tuple_set()
+
+    def test_session_reports_backend_name(self, proxy):
+        with proxy.session(backend="sqlite") as session:
+            assert session.backend_name == "sqlite"
+        assert proxy.backend_name == "memory"
+
+    def test_decrypted_session_results_match_plain(self, proxy):
+        queries = [parse_query(sql) for sql in WORKLOAD]
+        with proxy.session(backend="sqlite") as session:
+            for encrypted in session.run(queries):
+                decrypted = proxy.decrypt_result(encrypted)
+                plain = proxy.execute_plain(encrypted.plain_query)
+                assert decrypted.tuple_set() == plain.tuple_set()
+
+
+class TestSessionErrorHandling:
+    def test_unsupported_query_raises_by_default(self, proxy):
+        with proxy.session() as session:
+            with pytest.raises(RewriteError):
+                session.execute(parse_query("SELECT AVG(age) FROM users"))
+
+    def test_skip_mode_records_unsupported_queries(self, proxy):
+        queries = [
+            parse_query("SELECT name FROM users WHERE age > 30"),
+            parse_query("SELECT AVG(age) FROM users"),  # AVG is not rewritable
+            parse_query("SELECT city FROM users"),
+        ]
+        with proxy.session(on_unsupported="skip") as session:
+            results = session.run(queries)
+        assert len(results) == 2
+        assert len(session.skipped) == 1
+        skipped_query, reason = session.skipped[0]
+        assert skipped_query == queries[1]
+        assert "AVG" in reason
+
+    def test_invalid_skip_mode_rejected(self, proxy):
+        with pytest.raises(CryptDbError):
+            proxy.session(on_unsupported="ignore")
+
+    def test_session_requires_encrypted_database(self):
+        bare = CryptDBProxy(KeyChain(MasterKey.from_passphrase("bare")), paillier_bits=256)
+        with pytest.raises(CryptDbError):
+            bare.session()
+
+
+class TestSessionExposureTracking:
+    def test_adjustments_accumulate_over_workload(self, proxy):
+        with proxy.session() as session:
+            session.run([parse_query(sql) for sql in WORKLOAD])
+            adjusted = {(table, column, onion) for table, column, onion, _ in session.adjustments}
+        assert ("users", "age", Onion.ORD) in adjusted
+        assert ("users", "city", Onion.EQ) in adjusted
+        # the HOM onion is single-layer (never peeled), so SUM(salary) must
+        # not record an adjustment
+        assert ("users", "salary", Onion.HOM) not in adjusted
+
+    def test_exposure_report_reflects_session_workload(self, proxy):
+        before = proxy.exposure_report()[("users", "age")]["onions"]
+        assert before[Onion.ORD.value] == "RND"
+        with proxy.session(backend="sqlite") as session:
+            session.run([parse_query("SELECT name FROM users WHERE age > 30")])
+            after = session.exposure_report()[("users", "age")]["onions"]
+        assert after[Onion.ORD.value] == "OPE"

@@ -1,0 +1,342 @@
+"""Differential tests: every execution backend must agree with the interpreter.
+
+The in-memory interpreter is the semantics oracle; the SQLite backend runs
+the same queries — hand-written SQL-surface cases, generated plain workloads
+and rewritten encrypted workloads — and :func:`repro.db.differential.
+result_difference` must find no deviation.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import pytest
+
+from repro.crypto.keys import KeyChain, MasterKey
+from repro.cryptdb.proxy import CryptDBProxy
+from repro.db import (
+    Column,
+    ColumnType,
+    Database,
+    TableSchema,
+    available_backends,
+    create_backend,
+    register_backend,
+)
+from repro.db.differential import result_difference
+from repro.db.sqlite_backend import decode_sql_value, encode_sql_value
+from repro.exceptions import ExecutionError
+from repro.sql.parser import parse_query
+from repro.workloads.generator import QueryLogGenerator, WorkloadMix
+
+
+@pytest.fixture(scope="module")
+def surface_database() -> Database:
+    """A small database with NULLs, booleans, reals and text edge cases."""
+    database = Database("surface")
+    database.create_table(
+        TableSchema(
+            "people",
+            [
+                Column("pid", ColumnType.INTEGER),
+                Column("name", ColumnType.TEXT),
+                Column("age", ColumnType.INTEGER),
+                Column("score", ColumnType.REAL),
+                Column("active", ColumnType.BOOLEAN),
+            ],
+        )
+    )
+    database.create_table(
+        TableSchema(
+            "visits",
+            [
+                Column("vid", ColumnType.INTEGER),
+                Column("person_id", ColumnType.INTEGER),
+                Column("place", ColumnType.TEXT),
+            ],
+        )
+    )
+    rows = [
+        (1, "Alice", 30, 8.5, True),
+        (2, "alice", None, 7.0, False),
+        (3, "Bob", 25, None, True),
+        (4, "carol_x", 40, 9.25, None),
+        (5, None, 25, 6.0, False),
+        (6, "Dave", 61, 8.5, True),
+        (7, "Eve", None, None, None),
+    ]
+    for pid, name, age, score, active in rows:
+        database.insert(
+            "people", {"pid": pid, "name": name, "age": age, "score": score, "active": active}
+        )
+    visits = [(1, 1, "Rome"), (2, 1, "Paris"), (3, 3, "Rome"), (4, 9, "Oslo"), (5, 5, None)]
+    for vid, person_id, place in visits:
+        database.insert("visits", {"vid": vid, "person_id": person_id, "place": place})
+    return database
+
+
+@pytest.fixture(scope="module")
+def surface_backends(surface_database):
+    memory = create_backend("memory", surface_database)
+    sqlite = create_backend("sqlite", surface_database)
+    yield memory, sqlite
+    sqlite.close()
+
+
+def assert_backends_agree(backends, sql: str) -> None:
+    memory, sqlite = backends
+    query = parse_query(sql)
+    reference = memory.execute(query)
+    candidate = sqlite.execute(query)
+    unlimited = None
+    if query.limit is not None:
+        unlimited = memory.execute(dataclasses.replace(query, limit=None))
+    difference = result_difference(
+        query, reference, candidate, unlimited_reference=unlimited
+    )
+    assert difference is None, f"{sql}\n{difference}"
+
+
+SURFACE_QUERIES = [
+    # projections, stars, aliases
+    "SELECT * FROM people",
+    "SELECT p.*, vid FROM people AS p JOIN visits ON pid = person_id",
+    "SELECT name AS who, age FROM people",
+    # IS NULL / IS NOT NULL
+    "SELECT pid FROM people WHERE age IS NULL",
+    "SELECT pid FROM people WHERE score IS NOT NULL AND active IS NOT NULL",
+    # LIKE: case sensitivity, '_' wildcard, literal underscore text
+    "SELECT name FROM people WHERE name LIKE 'A%'",
+    "SELECT name FROM people WHERE name LIKE '_lice'",
+    "SELECT name FROM people WHERE name NOT LIKE '%a%'",
+    "SELECT name FROM people WHERE name LIKE 'carol__'",
+    # DISTINCT, incl. NULLs and booleans
+    "SELECT DISTINCT score FROM people",
+    "SELECT DISTINCT active FROM people",
+    "SELECT DISTINCT age, active FROM people",
+    # ORDER BY with NULLs, both directions, multiple keys, unprojected keys,
+    # and expressions containing literals (placeholder/parameter sync)
+    "SELECT name, age FROM people ORDER BY age ASC",
+    "SELECT name, age FROM people ORDER BY age DESC",
+    "SELECT name FROM people ORDER BY score DESC, pid ASC",
+    "SELECT pid, score FROM people ORDER BY score ASC, age DESC",
+    "SELECT pid, age FROM people ORDER BY age + 1 ASC",
+    "SELECT name FROM people ORDER BY age % 3 ASC, pid ASC",
+    # LIMIT with and without ORDER BY, LIMIT 0, LIMIT past the end
+    "SELECT pid FROM people LIMIT 3",
+    "SELECT pid FROM people ORDER BY pid DESC LIMIT 2",
+    "SELECT pid FROM people LIMIT 0",
+    "SELECT pid FROM people LIMIT 99",
+    "SELECT DISTINCT active FROM people LIMIT 2",
+    "SELECT pid FROM people ORDER BY age DESC, pid ASC",
+    # arithmetic: true division, modulo, NULL propagation, unary minus
+    "SELECT pid, age / 2 FROM people",
+    "SELECT pid, age % 7 FROM people",
+    "SELECT pid, -age FROM people WHERE age IS NOT NULL",
+    "SELECT pid FROM people WHERE age + 10 > 40",
+    # three-valued logic
+    "SELECT pid FROM people WHERE NOT age > 30",
+    "SELECT pid FROM people WHERE age > 20 OR score > 8",
+    "SELECT pid FROM people WHERE age > 20 AND score > 8",
+    # IN / BETWEEN with NULL operands in the data
+    "SELECT pid FROM people WHERE age IN (25, 61)",
+    "SELECT pid FROM people WHERE age NOT IN (25, 61)",
+    "SELECT pid FROM people WHERE age BETWEEN 25 AND 40",
+    "SELECT pid FROM people WHERE age NOT BETWEEN 25 AND 40",
+    # aggregates and grouping
+    "SELECT COUNT(*), COUNT(age), COUNT(DISTINCT age) FROM people",
+    "SELECT SUM(age), AVG(score), MIN(name), MAX(score) FROM people",
+    "SELECT active, COUNT(*) FROM people GROUP BY active",
+    "SELECT active, AVG(age) FROM people GROUP BY active HAVING COUNT(*) > 1",
+    "SELECT age, COUNT(*) AS n FROM people GROUP BY age ORDER BY n DESC, age ASC",
+    "SELECT SUM(age) / COUNT(*) FROM people",
+    "SELECT MIN(active), MAX(active) FROM people",
+    # joins: inner, left, right, cross, self-join with aliases
+    "SELECT name, place FROM people JOIN visits ON pid = person_id",
+    "SELECT name, place FROM people LEFT JOIN visits ON pid = person_id",
+    "SELECT name, place FROM people RIGHT JOIN visits ON pid = person_id",
+    "SELECT COUNT(*) FROM people CROSS JOIN visits",
+    "SELECT a.name, b.name FROM people AS a JOIN people AS b ON a.age = b.age WHERE a.pid < b.pid",
+    # empty results keep their columns
+    "SELECT name, age FROM people WHERE age > 1000",
+    "SELECT age, COUNT(*) FROM people WHERE age > 1000 GROUP BY age",
+    "SELECT COUNT(*), SUM(age) FROM people WHERE age > 1000",
+]
+
+
+class TestSqlSurface:
+    @pytest.mark.parametrize("sql", SURFACE_QUERIES)
+    def test_backends_agree(self, surface_backends, sql):
+        assert_backends_agree(surface_backends, sql)
+
+    def test_division_by_zero_raises_on_both(self, surface_backends):
+        query = parse_query("SELECT age / 0 FROM people WHERE age IS NOT NULL")
+        for backend in surface_backends:
+            with pytest.raises(ExecutionError):
+                backend.execute(query)
+
+    def test_modulo_by_zero_raises_on_both(self, surface_backends):
+        query = parse_query("SELECT age % 0 FROM people WHERE age IS NOT NULL")
+        for backend in surface_backends:
+            with pytest.raises(ExecutionError):
+                backend.execute(query)
+
+    def test_duplicate_alias_rejected_on_both(self, surface_backends):
+        query = parse_query("SELECT 1 FROM people AS p JOIN visits AS p ON pid = person_id")
+        for backend in surface_backends:
+            with pytest.raises(ExecutionError):
+                backend.execute(query)
+
+    def test_ungrouped_select_item_rejected_on_both(self, surface_backends):
+        # SQLite alone would return an engine-arbitrary name per group.
+        query = parse_query("SELECT name, COUNT(*) FROM people GROUP BY age")
+        for backend in surface_backends:
+            with pytest.raises(ExecutionError):
+                backend.execute(query)
+
+    def test_star_with_group_by_rejected_on_both(self, surface_backends):
+        query = parse_query("SELECT * FROM people GROUP BY age")
+        for backend in surface_backends:
+            with pytest.raises(ExecutionError):
+                backend.execute(query)
+
+    def test_boolean_values_round_trip(self, surface_backends):
+        memory, sqlite = surface_backends
+        query = parse_query("SELECT active FROM people WHERE pid = 1")
+        assert sqlite.execute(query).rows == ((True,),)
+        assert sqlite.execute(query).rows == memory.execute(query).rows
+
+
+class TestGeneratedWorkloads:
+    @pytest.mark.parametrize("mix_name", ["mixed", "spj", "analytical"])
+    def test_plain_workloads_agree(self, webshop, webshop_database, mix_name):
+        mix = {
+            "mixed": WorkloadMix(),
+            "spj": WorkloadMix.spj_only(),
+            "analytical": WorkloadMix.analytical(),
+        }[mix_name]
+        log = QueryLogGenerator(webshop, mix, seed=13).generate(40)
+        memory = create_backend("memory", webshop_database)
+        with create_backend("sqlite", webshop_database) as sqlite:
+            for query in log.queries:
+                reference = memory.execute(query)
+                candidate = sqlite.execute(query)
+                difference = result_difference(query, reference, candidate)
+                assert difference is None, f"{query}\n{difference}"
+
+    def test_encrypted_workload_agrees(self, webshop, webshop_database):
+        log = QueryLogGenerator(webshop, WorkloadMix.spj_only(), seed=17).generate(25)
+        proxy = CryptDBProxy(
+            KeyChain(MasterKey.from_passphrase("differential")),
+            join_groups=webshop.join_groups(),
+            paillier_bits=256,
+            shared_det_key=True,
+        )
+        proxy.encrypt_database(webshop_database)
+        with proxy.session(backend="memory") as memory_session:
+            with proxy.session(backend="sqlite") as sqlite_session:
+                for query in log.queries:
+                    reference = memory_session.execute(query)
+                    candidate = sqlite_session.execute(query)
+                    assert reference is not None and candidate is not None
+                    assert reference.encrypted_query == candidate.encrypted_query
+                    difference = result_difference(
+                        reference.encrypted_query, reference.result, candidate.result
+                    )
+                    assert difference is None, f"{query}\n{difference}"
+
+    def test_encrypted_analytical_workload_agrees(self, webshop, webshop_database):
+        """HOMSUM and grouped aggregates agree across backends (big-int path)."""
+        log = QueryLogGenerator(webshop, WorkloadMix.analytical(), seed=19).generate(30)
+        proxy = CryptDBProxy(
+            KeyChain(MasterKey.from_passphrase("differential-agg")),
+            join_groups=webshop.join_groups(),
+            paillier_bits=256,
+        )
+        proxy.encrypt_database(webshop_database)
+        with proxy.session(backend="memory", on_unsupported="skip") as memory_session:
+            with proxy.session(backend="sqlite", on_unsupported="skip") as sqlite_session:
+                memory_results = memory_session.run(log.queries)
+                sqlite_results = sqlite_session.run(log.queries)
+        assert memory_session.skipped == sqlite_session.skipped
+        assert len(memory_results) == len(sqlite_results)
+        for reference, candidate in zip(memory_results, sqlite_results):
+            difference = result_difference(
+                reference.encrypted_query, reference.result, candidate.result
+            )
+            assert difference is None, f"{reference.plain_query}\n{difference}"
+
+
+class TestResultDifferenceOracle:
+    def test_order_violation_detected(self):
+        from repro.db.executor import ResultSet
+
+        query = parse_query("SELECT pid FROM people ORDER BY pid ASC")
+        reference = ResultSet(("pid",), ((1,), (2,)))
+        shuffled = ResultSet(("pid",), ((2,), (1,)))
+        assert result_difference(query, reference, shuffled) is not None
+
+    def test_type_drift_detected(self):
+        from repro.db.executor import ResultSet
+
+        query = parse_query("SELECT pid FROM people")
+        assert (
+            result_difference(
+                query, ResultSet(("pid",), ((1,),)), ResultSet(("pid",), ((1.0,),))
+            )
+            is not None
+        )
+
+    def test_keys_below_an_unprojected_key_are_not_checked(self):
+        from repro.db.executor import ResultSet
+
+        # Primary key `age` is unprojected, so the secondary `pid` ordering
+        # inside age groups cannot be validated from the result alone.
+        query = parse_query("SELECT pid FROM people ORDER BY age DESC, pid ASC")
+        reference = ResultSet(("pid",), ((2,), (1,)))
+        candidate = ResultSet(("pid",), ((1,), (2,)))
+        assert result_difference(query, reference, candidate) is None
+
+
+class TestBackendRegistry:
+    def test_builtin_backends_registered(self):
+        names = available_backends()
+        assert "memory" in names and "sqlite" in names
+
+    def test_unknown_backend_rejected(self, surface_database):
+        with pytest.raises(ExecutionError):
+            create_backend("no-such-engine", surface_database)
+
+    def test_duplicate_registration_rejected(self):
+        with pytest.raises(ExecutionError):
+            register_backend("memory", lambda database: None)  # type: ignore[arg-type]
+
+    def test_backend_names_match_instances(self, surface_database):
+        memory = create_backend("memory", surface_database)
+        with create_backend("sqlite", surface_database) as sqlite:
+            assert memory.name == "memory"
+            assert sqlite.name == "sqlite"
+
+
+class TestBigIntCodec:
+    @pytest.mark.parametrize(
+        "value",
+        [0, 1, -1, 2**63 - 1, -(2**63), 2**63, -(2**63) - 1, 2**1024 + 12345, -(2**512)],
+    )
+    def test_round_trip(self, value):
+        assert decode_sql_value(encode_sql_value(value)) == value
+
+    def test_in_range_integers_unchanged(self):
+        assert encode_sql_value(42) == 42
+        assert encode_sql_value("det:abc") == "det:abc"
+        assert encode_sql_value(None) is None
+        assert encode_sql_value(True) is True
+
+    def test_big_integers_survive_sqlite_storage(self):
+        database = Database("big")
+        database.create_table(TableSchema("t", [Column("c", ColumnType.INTEGER)]))
+        huge = 3**400
+        database.insert("t", {"c": huge})
+        with create_backend("sqlite", database) as backend:
+            result = backend.execute(parse_query("SELECT c FROM t"))
+        assert result.rows == ((huge,),)

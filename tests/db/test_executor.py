@@ -4,7 +4,9 @@ from __future__ import annotations
 
 import pytest
 
-from repro.db.executor import QueryExecutor
+from repro.db.database import Database
+from repro.db.executor import QueryExecutor, projection_columns
+from repro.db.schema import Column, ColumnType, TableSchema
 from repro.exceptions import ExecutionError
 from repro.sql.parser import parse_query
 
@@ -242,3 +244,125 @@ class TestErrors:
     def test_star_mixed_with_aggregates_rejected(self, executor):
         with pytest.raises(ExecutionError):
             run(executor, "SELECT *, COUNT(*) FROM users GROUP BY uid")
+
+
+@pytest.fixture
+def nullable_executor() -> QueryExecutor:
+    """An executor over a table with NULLs in every column type."""
+    database = Database("nullable")
+    database.create_table(
+        TableSchema(
+            "items",
+            [
+                Column("iid", ColumnType.INTEGER),
+                Column("label", ColumnType.TEXT),
+                Column("weight", ColumnType.REAL),
+            ],
+        )
+    )
+    rows = [
+        (1, "Widget", 2.5),
+        (2, "widget", None),
+        (3, None, 1.0),
+        (4, "gadget_pro", 2.5),
+        (5, "Gizmo", None),
+    ]
+    for iid, label, weight in rows:
+        database.insert("items", {"iid": iid, "label": label, "weight": weight})
+    return QueryExecutor(database)
+
+
+class TestSqlSurfaceSemantics:
+    """Pinned interpreter semantics for the surface the backends must share."""
+
+    def test_is_null(self, nullable_executor):
+        result = run(nullable_executor, "SELECT iid FROM items WHERE weight IS NULL")
+        assert result.rows == ((2,), (5,))
+
+    def test_is_not_null(self, nullable_executor):
+        result = run(nullable_executor, "SELECT iid FROM items WHERE label IS NOT NULL")
+        assert result.rows == ((1,), (2,), (4,), (5,))
+
+    def test_like_is_case_sensitive(self, nullable_executor):
+        result = run(nullable_executor, "SELECT iid FROM items WHERE label LIKE 'W%'")
+        assert result.rows == ((1,),)
+
+    def test_like_underscore_matches_single_character(self, nullable_executor):
+        result = run(nullable_executor, "SELECT iid FROM items WHERE label LIKE '_idget'")
+        assert result.rows == ((1,), (2,))
+
+    def test_like_over_null_filters_row(self, nullable_executor):
+        result = run(nullable_executor, "SELECT iid FROM items WHERE label LIKE '%'")
+        assert result.rows == ((1,), (2,), (4,), (5,))
+
+    def test_not_like(self, nullable_executor):
+        result = run(nullable_executor, "SELECT iid FROM items WHERE label NOT LIKE '%i%'")
+        assert result.rows == ((4,),)
+
+    def test_distinct_keeps_one_null(self, nullable_executor):
+        result = run(nullable_executor, "SELECT DISTINCT weight FROM items")
+        assert sorted(result.rows, key=repr) == [(1.0,), (2.5,), (None,)]
+
+    def test_order_by_nulls_last_ascending(self, nullable_executor):
+        result = run(nullable_executor, "SELECT iid, weight FROM items ORDER BY weight ASC")
+        assert [row[1] for row in result.rows] == [1.0, 2.5, 2.5, None, None]
+
+    def test_order_by_nulls_last_descending(self, nullable_executor):
+        result = run(nullable_executor, "SELECT iid, weight FROM items ORDER BY weight DESC")
+        assert [row[1] for row in result.rows] == [2.5, 2.5, 1.0, None, None]
+
+    def test_limit_zero(self, nullable_executor):
+        result = run(nullable_executor, "SELECT iid FROM items LIMIT 0")
+        assert result.rows == ()
+        assert result.columns == ("iid",)
+
+    def test_limit_beyond_row_count(self, nullable_executor):
+        result = run(nullable_executor, "SELECT iid FROM items LIMIT 100")
+        assert len(result) == 5
+
+    def test_true_division(self, nullable_executor):
+        result = run(nullable_executor, "SELECT iid / 2 FROM items WHERE iid = 5")
+        assert result.rows == ((2.5,),)
+
+    def test_null_propagates_through_arithmetic(self, nullable_executor):
+        result = run(nullable_executor, "SELECT weight + 1 FROM items WHERE iid = 2")
+        assert result.rows == ((None,),)
+
+    def test_count_distinct_skips_nulls(self, nullable_executor):
+        result = run(nullable_executor, "SELECT COUNT(DISTINCT weight) FROM items")
+        assert result.rows == ((2,),)
+
+    def test_aggregates_over_empty_group(self, nullable_executor):
+        result = run(
+            nullable_executor, "SELECT COUNT(*), SUM(weight), MIN(label) FROM items WHERE iid > 99"
+        )
+        assert result.rows == ((0, None, None),)
+
+
+class TestProjectionColumns:
+    """The shared AST-level column-naming rule used by all backends."""
+
+    def test_star_expands_in_schema_order(self, small_database):
+        query = parse_query("SELECT * FROM users")
+        assert projection_columns(query, small_database) == (
+            "uid", "name", "city", "age", "salary",
+        )
+
+    def test_alias_and_expression_names(self, small_database):
+        query = parse_query("SELECT uid AS id, age + 1, COUNT(*) FROM users GROUP BY uid, age")
+        assert projection_columns(query, small_database) == ("id", "age + 1", "COUNT(*)")
+
+    def test_qualified_star_mixed_with_columns(self, small_database):
+        query = parse_query("SELECT u.*, balance FROM users AS u JOIN accounts ON uid = owner_id")
+        columns = projection_columns(query, small_database)
+        assert columns == ("uid", "name", "city", "age", "salary", "balance")
+
+    def test_bare_star_mixed_with_columns_rejected(self, small_database):
+        query = parse_query("SELECT *, uid FROM users")
+        with pytest.raises(ExecutionError):
+            projection_columns(query, small_database)
+
+    def test_unknown_star_qualifier_rejected(self, small_database):
+        query = parse_query("SELECT missing.* FROM users")
+        with pytest.raises(ExecutionError):
+            projection_columns(query, small_database)

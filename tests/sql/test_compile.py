@@ -1,0 +1,80 @@
+"""Tests for the parameterized SQL compiler (repro.sql.render.compile_query)."""
+
+from __future__ import annotations
+
+from repro.sql.parser import parse_query
+from repro.sql.render import CompiledQuery, compile_query, quote_identifier
+
+
+def compile_sql(sql: str) -> CompiledQuery:
+    return compile_query(parse_query(sql))
+
+
+class TestParameterization:
+    def test_literals_become_placeholders(self):
+        compiled = compile_sql("SELECT name FROM users WHERE age > 30 AND city = 'Rome'")
+        assert "30" not in compiled.sql and "Rome" not in compiled.sql
+        assert compiled.sql.count("?") == 2
+        assert compiled.parameters == (30, "Rome")
+
+    def test_parameters_in_clause_order(self):
+        compiled = compile_sql(
+            "SELECT a FROM t WHERE a BETWEEN 1 AND 5 AND b IN ('x', 'y') "
+            "GROUP BY a HAVING COUNT(*) > 2 LIMIT 7"
+        )
+        assert compiled.parameters == (1, 5, "x", "y", 2, 7)
+
+    def test_null_and_boolean_literals(self):
+        compiled = compile_sql("SELECT a FROM t WHERE a = TRUE OR b = NULL")
+        assert compiled.parameters == (True, None)
+
+    def test_order_by_literal_is_not_an_ordinal(self):
+        # SQLite reads a literal integer in ORDER BY as a column ordinal; a
+        # bound parameter is always a constant, matching the interpreter.
+        compiled = compile_sql("SELECT a, b FROM t ORDER BY 2 ASC")
+        assert 2 in compiled.parameters
+        assert "ORDER BY" in compiled.sql and " 2 " not in compiled.sql
+
+
+class TestIdentifierQuoting:
+    def test_identifiers_are_double_quoted(self):
+        compiled = compile_sql("SELECT u.name FROM users AS u JOIN t2 ON u.id = t2.id")
+        assert '"users" AS "u"' in compiled.sql
+        assert '"u"."name"' in compiled.sql
+
+    def test_quote_identifier_escapes_embedded_quotes(self):
+        assert quote_identifier('we"ird') == '"we""ird"'
+
+    def test_alias_in_select_is_quoted(self):
+        compiled = compile_sql("SELECT a AS result FROM t")
+        assert 'AS "result"' in compiled.sql
+
+
+class TestSemanticsEncoding:
+    def test_division_uses_python_semantics_udf(self):
+        compiled = compile_sql("SELECT a / b FROM t")
+        assert "REPRO_DIV(" in compiled.sql
+
+    def test_modulo_uses_python_semantics_udf(self):
+        compiled = compile_sql("SELECT a % b FROM t")
+        assert "REPRO_MOD(" in compiled.sql
+
+    def test_order_by_pins_nulls_last(self):
+        compiled = compile_sql("SELECT a FROM t ORDER BY a DESC")
+        assert '("a" IS NULL) ASC, "a" DESC' in compiled.sql
+
+    def test_order_by_expression_parameters_stay_in_sync(self):
+        # The ORDER BY expression is emitted twice (NULLS-last key + sort
+        # key), so its literals must be bound twice as well.
+        compiled = compile_sql("SELECT a FROM t ORDER BY a + 1 ASC")
+        assert compiled.sql.count("?") == len(compiled.parameters) == 2
+        assert compiled.parameters == (1, 1)
+
+    def test_aggregates_and_distinct_survive(self):
+        compiled = compile_sql("SELECT COUNT(DISTINCT a), HOMSUM(b) FROM t")
+        assert 'COUNT(DISTINCT "a")' in compiled.sql
+        assert 'HOMSUM("b")' in compiled.sql
+
+    def test_star_projections(self):
+        assert compile_sql("SELECT * FROM t").sql.startswith("SELECT * FROM")
+        assert '"t".*' in compile_sql("SELECT t.* FROM t").sql
