@@ -1,0 +1,120 @@
+"""Streaming encrypted queries into an incrementally maintained clustering.
+
+The production shape of the paper's outsourcing story: the query log is not
+a file that exists up front but a *stream* that grows while the provider
+mines it.  This example runs the full loop:
+
+1. the owner generates a workload and encrypts the database behind a
+   CryptDB-style proxy,
+2. batches of plaintext queries arrive at a :class:`ProxySession`, which
+   rewrites them and streams the *encrypted* queries into a
+   :class:`StreamingQueryLog` (what the provider sees),
+3. an :class:`IncrementalDistanceMatrix` subscribed to that stream extends
+   the token-distance matrix by the new pairs only and keeps DBSCAN labels,
+   kNN lists and outlier scores current after every batch,
+4. after each batch, the provider-side artefacts are compared against a full
+   batch recompute over the grown log — they are identical, while the
+   incremental path computed a fraction of the pairs.
+
+Run with::
+
+    python examples/streaming_mining.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import KeyChain, LogContext, MasterKey, TokenDistance
+from repro._utils import format_table
+from repro.cryptdb.proxy import CryptDBProxy
+from repro.mining import (
+    IncrementalDistanceMatrix,
+    StreamingQueryLog,
+    condensed_length,
+    dbscan,
+)
+from repro.sql.log import QueryLog
+from repro.workloads import QueryLogGenerator, WorkloadMix, populate_database, webshop_profile
+
+# --------------------------------------------------------------------------- #
+# 1. Owner side: workload, encrypted database, proxy session.
+
+profile = webshop_profile(customer_rows=60, order_rows=150, product_rows=30)
+workload = QueryLogGenerator(profile, WorkloadMix.spj_only(), seed=2026).generate(120)
+batches = [workload.queries[start : start + 30] for start in range(0, 120, 30)]
+
+proxy = CryptDBProxy(
+    KeyChain(MasterKey.generate()),
+    join_groups=profile.join_groups(),
+    paillier_bits=256,
+    shared_det_key=True,
+)
+proxy.encrypt_database(populate_database(profile, seed=2026))
+print(f"owner: {len(workload)} queries will arrive in {len(batches)} batches of 30")
+print()
+
+# --------------------------------------------------------------------------- #
+# 2./3. Provider side: a streaming log feeding an incremental clustering.
+
+stream = StreamingQueryLog()
+mining = IncrementalDistanceMatrix(
+    TokenDistance(),
+    stream,
+    knn_k=3,
+    outlier_p=0.9,
+    outlier_d=0.9,
+    dbscan_eps=0.55,
+    dbscan_min_points=3,
+)
+
+rows = []
+with proxy.session(on_unsupported="skip") as session:
+    for number, batch in enumerate(batches, start=1):
+        # The session rewrites the plaintext batch; only the encrypted
+        # queries enter the stream — and the subscribed matrix extends
+        # itself by the new pairs the moment they land.
+        session.stream(batch, into=stream)
+
+        # 4. Oracle: a full batch recompute over everything seen so far.
+        recomputed = TokenDistance().condensed_distance_matrix(
+            LogContext(log=QueryLog(list(stream)))
+        )
+        labels = mining.dbscan()
+        reference = dbscan(recomputed, eps=0.55, min_points=3)
+        assert np.array_equal(mining.condensed().values, recomputed.values)
+        assert labels.labels == reference.labels
+
+        n = mining.n_items
+        rows.append(
+            (
+                number,
+                n,
+                mining.pairs_computed,
+                condensed_length(n),
+                labels.n_clusters,
+                len(mining.outliers().outliers),
+            )
+        )
+
+print(
+    format_table(
+        [
+            "batch",
+            "queries seen",
+            "pairs computed (cumulative)",
+            "pairs of one full recompute",
+            "clusters",
+            "outliers",
+        ],
+        rows,
+    )
+)
+print()
+recompute_total = sum(condensed_length(row[1]) for row in rows)
+print(
+    f"incremental maintenance computed {rows[-1][2]} pair distances in total; "
+    f"recomputing from scratch after every batch would have cost {recompute_total}."
+)
+print("Every artefact matched the full recompute after every batch — the")
+print("paper's equality carries over to streams, pair for pair and label for label.")

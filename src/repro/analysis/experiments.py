@@ -16,6 +16,7 @@ E1–E4     Definition 1 + mining equality, one per distance measure
 S1        security comparison KIT-DPE vs CryptDB-as-is (+ attacks)
 P1        encryption throughput per class/scheme + encrypted execution
 P2        distance-matrix / mining cost, plaintext vs encrypted
+P3        parallel sharding + incremental streaming of the pipeline
 A1        ablation: non-appropriate class choices
 ========  ===========================================================
 """
@@ -419,6 +420,172 @@ def run_p2(*, sizes: tuple[int, ...] = (10, 20, 40), seed: int = 9) -> Experimen
     )
 
 
+def run_p3(
+    *,
+    log_size: int = 160,
+    batch_size: int = 40,
+    workers: int = 2,
+    chunk_size: int | None = None,
+    seed: int = 12,
+) -> ExperimentOutcome:
+    """P3: parallel sharding and incremental streaming of the mining pipeline.
+
+    Two scaling claims are verified on top of the paper's equality story.
+    (1) *Parallel*: sharding the condensed distance-matrix computation over
+    ``workers`` processes (row-block partitioning, ``chunk_size`` pairs per
+    task) is bit-for-bit equal to the serial pipeline for the token and
+    access-area measures.  (2) *Incremental*: streaming the log in batches
+    of ``batch_size`` through a ``StreamingQueryLog`` computes only the new
+    pairs per append, yet the distance matrix, kNN lists, DB(p, D)-outliers
+    and DBSCAN labels equal a full batch recompute after every append — on
+    the plaintext stream, on the encrypted stream, and across the two
+    (preservation holds under streaming).  Success requires every equality;
+    the wall-clock speedup is hardware-dependent and recorded without being
+    gated (the gate lives in ``benchmarks/bench_p3_parallel.py``).
+    """
+    from repro.mining import (
+        IncrementalDistanceMatrix,
+        StreamingQueryLog,
+        condensed_length,
+        dbscan,
+        distance_based_outliers,
+        k_nearest_neighbors,
+    )
+    from repro.sql.log import QueryLog
+
+    profile = webshop_profile(customer_rows=40, order_rows=80, product_rows=20)
+    log = QueryLogGenerator(profile, WorkloadMix(), seed=seed).generate(log_size)
+    sky = skyserver_profile(photo_rows=80, spec_rows=30)
+    analytical_log = QueryLogGenerator(sky, WorkloadMix.analytical(), seed=seed).generate(log_size)
+
+    parallel_rows = []
+    parallel_equal = True
+    timings: dict[str, float] = {}
+    for measure_factory, context in (
+        (TokenDistance, LogContext(log=log)),
+        (AccessAreaDistance, LogContext(log=analytical_log, domains=sky.domain_catalog())),
+    ):
+        start = time.perf_counter()
+        serial = measure_factory().condensed_distance_matrix(context)
+        serial_seconds = time.perf_counter() - start
+        start = time.perf_counter()
+        parallel = measure_factory().condensed_distance_matrix(
+            context, workers=workers, chunk_size=chunk_size
+        )
+        parallel_seconds = time.perf_counter() - start
+        equal = bool(np.array_equal(serial.values, parallel.values))
+        parallel_equal = parallel_equal and equal
+        name = measure_factory().name
+        timings[f"serial:{name}"] = serial_seconds
+        timings[f"parallel:{name}"] = parallel_seconds
+        speedup = serial_seconds / parallel_seconds if parallel_seconds > 0 else float("inf")
+        parallel_rows.append(
+            (
+                name,
+                f"{serial_seconds * 1000:.1f} ms",
+                f"{parallel_seconds * 1000:.1f} ms",
+                f"{speedup:.2f}x",
+                "bit-for-bit" if equal else "DEVIATES",
+            )
+        )
+
+    mining_parameters = dict(
+        knn_k=3, outlier_p=0.9, outlier_d=0.9, dbscan_eps=0.55, dbscan_min_points=3
+    )
+    scheme = TokenDpeScheme(_keychain("p3"))
+    plain_stream = StreamingQueryLog()
+    plain_inc = IncrementalDistanceMatrix(TokenDistance(), plain_stream, **mining_parameters)
+    encrypted_stream = StreamingQueryLog()
+    encrypted_inc = IncrementalDistanceMatrix(
+        TokenDistance(), encrypted_stream, **mining_parameters
+    )
+
+    incremental_rows = []
+    incremental_equal = True
+    entries = list(log)
+    appended = 0
+    while appended < len(entries):
+        batch = entries[appended : appended + batch_size]
+        appended += len(batch)
+        before = plain_inc.pairs_computed
+        plain_stream.append(batch)
+        encrypted_stream.append(list(scheme.encrypt_log(QueryLog(batch))))
+        new_pairs = plain_inc.pairs_computed - before
+
+        batch_measure = TokenDistance()
+        batch_matrix = batch_measure.condensed_distance_matrix(
+            LogContext(log=QueryLog(entries[:appended]))
+        )
+        n = appended
+        checks = {
+            "distances": bool(
+                np.array_equal(plain_inc.condensed().values, batch_matrix.values)
+            ),
+            "knn": all(
+                plain_inc.knn(i)
+                == k_nearest_neighbors(batch_matrix, i, k=mining_parameters["knn_k"])
+                for i in range(n)
+            ),
+            "outliers": plain_inc.outliers()
+            == distance_based_outliers(
+                batch_matrix,
+                p=mining_parameters["outlier_p"],
+                d=mining_parameters["outlier_d"],
+            ),
+            "dbscan": plain_inc.dbscan()
+            == dbscan(
+                batch_matrix,
+                eps=mining_parameters["dbscan_eps"],
+                min_points=mining_parameters["dbscan_min_points"],
+            ),
+            "preserved": bool(
+                np.array_equal(
+                    plain_inc.condensed().values, encrypted_inc.condensed().values
+                )
+            )
+            and plain_inc.dbscan().labels == encrypted_inc.dbscan().labels,
+        }
+        incremental_equal = incremental_equal and all(checks.values())
+        incremental_rows.append(
+            (
+                n,
+                new_pairs,
+                condensed_length(n),
+                "all equal" if all(checks.values()) else
+                ", ".join(name for name, ok in checks.items() if not ok) + " DIFFER",
+            )
+        )
+
+    report = (
+        format_table(
+            ["measure", "serial pipeline", f"parallel ({workers} workers)", "speedup", "equality"],
+            parallel_rows,
+        )
+        + "\n\n"
+        + format_table(
+            ["log size", "new pairs computed", "pairs of full recompute", "artefacts vs batch"],
+            incremental_rows,
+        )
+        + f"\n\ntotal incremental pair computations: {plain_inc.pairs_computed} "
+        f"(a per-append full recompute would have cost "
+        f"{sum(condensed_length(row[0]) for row in incremental_rows)})"
+    )
+    return ExperimentOutcome(
+        experiment_id="P3",
+        title="Parallel sharding & incremental streaming of the mining pipeline",
+        success=parallel_equal and incremental_equal,
+        report=report,
+        data={
+            "timings": timings,
+            "workers": workers,
+            "chunk_size": chunk_size,
+            "parallel_equal": parallel_equal,
+            "incremental_equal": incremental_equal,
+            "incremental_pairs": plain_inc.pairs_computed,
+        },
+    )
+
+
 def run_a1(*, log_size: int = 50, seed: int = 11) -> ExperimentOutcome:
     """A1: ablation of non-appropriate encryption-class choices."""
     result = run_ablation(log_size=log_size, seed=seed)
@@ -483,6 +650,7 @@ _REGISTRY: dict[str, tuple[str, Callable[..., ExperimentOutcome]]] = {
     "S1": ("Security comparison vs CryptDB", run_s1),
     "P1": ("Encryption & encrypted-execution throughput", run_p1),
     "P2": ("Distance-matrix cost plaintext vs encrypted", run_p2),
+    "P3": ("Parallel & incremental mining pipeline", run_p3),
     "A1": ("Ablation: non-appropriate classes", run_a1),
 }
 

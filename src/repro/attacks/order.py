@@ -42,7 +42,20 @@ def sorting_attack(
     """Match OPE ciphertexts to plaintext values by relative rank.
 
     The i-th smallest distinct ciphertext is guessed to be the value at the
-    same quantile of the sorted auxiliary sample.
+    same quantile of the sorted auxiliary sample.  The threat model is an
+    honest-but-curious provider (or eavesdropper) who sees every ORD-onion
+    ciphertext and knows the plaintext *distribution* but not the values: no
+    keys, no chosen plaintexts.  Recovery is strongest when the auxiliary
+    sample is drawn from the same distribution as the data and the domain is
+    dense (every quantile is populated); sparse or skewed domains push the
+    quantile guess off by whole ranks, which the
+    :attr:`~SortingAttackResult.mean_absolute_error` quantifies.
+
+    ``ground_truth`` (the real plaintexts, aligned with ``ciphertexts``) is
+    only used to *score* the attack — the attack itself never touches it.
+    Without it the result carries the guesses with zero score.  For
+    non-numeric values the absolute error degrades to 0/1 (exact/wrong),
+    keeping the metric defined on mixed-type columns.
     """
     if not ciphertexts:
         raise AttackError("cannot attack an empty ciphertext sequence")

@@ -69,6 +69,17 @@ def query_only_attack(
     ``plaintext_log`` provides the ground truth (the attacker does not have
     it; it is only used to score the attack).  ``auxiliary_constants`` is the
     attacker's knowledge of the plaintext constant distribution.
+
+    The two logs must correspond entry-wise — ``encrypted_log`` is the DPE
+    encryption of ``plaintext_log``, so both expose the same number of
+    constant occurrences in the same (query, position) order; a mismatch
+    means the logs are unrelated and the attack refuses to score rather
+    than report a meaningless rate.  ``distinct_ciphertexts`` in the result
+    is the attacker's view of the ciphertext space: equal to
+    ``constants_seen`` under PROB encryption (nothing repeats, frequency
+    analysis collapses to guessing) and far smaller under DET encryption
+    (the frequency histogram leaks) — experiment A1's distinct-ratio column
+    is exactly this quotient.
     """
     encrypted_constants = extract_constants(encrypted_log)
     plaintext_constants = extract_constants(plaintext_log)

@@ -6,7 +6,8 @@ Everything the repository reproduces can be driven from the shell::
     python -m repro run T1 E1               # run selected experiments
     python -m repro run E3 --backend sqlite # choose the execution backend
     python -m repro run --all               # run every experiment
-    python -m repro docs                    # regenerate EXPERIMENTS.md (deterministic)
+    python -m repro docs                    # regenerate EXPERIMENTS.md + ARCHITECTURE.md
+    python -m repro run P3 --workers 4      # parallel/incremental pipeline experiment
     python -m repro report REPORT.md        # run everything, write measured report
     python -m repro table1                  # print the derived Table I
     python -m repro figure1                 # print the Figure 1 taxonomy
@@ -29,7 +30,7 @@ from collections.abc import Sequence
 
 import repro
 from repro import quick_demo
-from repro.analysis.docs import render_experiments_doc, write_document
+from repro.analysis.docs import write_all_docs, write_document
 from repro.analysis.experiments import experiment_parameters, list_experiments, run_experiment
 from repro.db.backend import available_backends
 from repro.analysis.report import generate_report
@@ -69,13 +70,33 @@ def build_parser() -> argparse.ArgumentParser:
         help="execution backend for experiments with a backend axis (E3, S1, P1); "
         "others ignore the flag",
     )
+    run_parser.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        help="worker processes for experiments with a parallelism axis (P3); "
+        "others ignore the flag",
+    )
+    run_parser.add_argument(
+        "--chunk-size",
+        type=int,
+        default=None,
+        dest="chunk_size",
+        help="pairs per parallel task for experiments with a parallelism axis (P3)",
+    )
 
     docs_parser = subparsers.add_parser(
-        "docs", help="render EXPERIMENTS.md from the experiment registry (deterministic)"
+        "docs",
+        help="render EXPERIMENTS.md and ARCHITECTURE.md from the source tree (deterministic)",
     )
     docs_parser.add_argument(
-        "output", nargs="?", default="EXPERIMENTS.md",
-        help="output file (default: EXPERIMENTS.md; '-' for stdout)",
+        "output", nargs="?", default=None,
+        help="EXPERIMENTS.md output file ('-' for stdout); when neither this nor "
+        "--architecture is given, both documents are written to their default paths",
+    )
+    docs_parser.add_argument(
+        "--architecture", default=None, metavar="PATH",
+        help="ARCHITECTURE.md output file ('-' for stdout)",
     )
 
     report_parser = subparsers.add_parser(
@@ -109,16 +130,27 @@ def _command_list() -> int:
     return 0
 
 
-def _command_run(experiment_ids: Sequence[str], run_all: bool, backend: str | None) -> int:
+def _command_run(
+    experiment_ids: Sequence[str],
+    run_all: bool,
+    backend: str | None,
+    workers: int | None = None,
+    chunk_size: int | None = None,
+) -> int:
     ids = [experiment_id for experiment_id, _ in list_experiments()] if run_all else list(experiment_ids)
     if not ids:
         print("nothing to run: pass experiment ids or --all", file=sys.stderr)
         return 2
     failures = 0
+    # Cross-cutting axes are passed only to the experiments that declare them.
+    axes = {"backend": backend, "workers": workers, "chunk_size": chunk_size}
     for experiment_id in ids:
-        parameters = {}
-        if backend is not None and "backend" in experiment_parameters(experiment_id):
-            parameters["backend"] = backend
+        supported = experiment_parameters(experiment_id)
+        parameters = {
+            name: value
+            for name, value in axes.items()
+            if value is not None and name in supported
+        }
         outcome = run_experiment(experiment_id, **parameters)
         status = "ok " if outcome.success else "FAIL"
         print(f"[{status}] {outcome.experiment_id} — {outcome.title}")
@@ -129,8 +161,8 @@ def _command_run(experiment_ids: Sequence[str], run_all: bool, backend: str | No
     return 1 if failures else 0
 
 
-def _command_docs(output: str) -> int:
-    return write_document(render_experiments_doc(), output)
+def _command_docs(output: str | None, architecture: str | None) -> int:
+    return write_all_docs(experiments=output, architecture=architecture)
 
 
 def _command_report(output: str | None) -> int:
@@ -161,9 +193,15 @@ def main(argv: Sequence[str] | None = None) -> int:
     if arguments.command == "list":
         return _command_list()
     if arguments.command == "run":
-        return _command_run(arguments.experiments, arguments.all, arguments.backend)
+        return _command_run(
+            arguments.experiments,
+            arguments.all,
+            arguments.backend,
+            arguments.workers,
+            arguments.chunk_size,
+        )
     if arguments.command == "docs":
-        return _command_docs(arguments.output)
+        return _command_docs(arguments.output, arguments.architecture)
     if arguments.command == "report":
         return _command_report(arguments.output)
     if arguments.command == "table1":

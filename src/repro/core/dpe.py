@@ -49,7 +49,7 @@ import numpy as np
 from repro._utils import jaccard_distance
 from repro.core.domains import DomainCatalog
 from repro.db.database import Database
-from repro.exceptions import DpeError
+from repro.exceptions import DpeError, MiningError
 from repro.mining.matrix import CondensedDistanceMatrix, condensed_length
 from repro.sql.ast import Query
 from repro.sql.log import QueryLog
@@ -226,23 +226,88 @@ class DistanceMeasure(abc.ABC):
                 position += 1
         return out
 
-    def condensed_distance_matrix(self, context: LogContext) -> CondensedDistanceMatrix:
+    def condensed_row_block(
+        self, characteristics: list[object], start: int, stop: int
+    ) -> np.ndarray:
+        """The condensed entries of rows ``start .. stop-1`` (row-major).
+
+        This is the unit of work of the multi-process pipeline
+        (:mod:`repro.mining.parallel`): a contiguous row range of the strict
+        upper triangle, i.e. all pairs ``(i, j)`` with ``start <= i < stop``
+        and ``i < j < n``.  Implementations must return exactly the floats
+        the serial ``condensed_distances`` would place at those positions —
+        the parallel pipeline's bit-for-bit guarantee rests on this contract.
+        The default mirrors the scalar loop; vectorized measures override it.
+        """
+        n = len(characteristics)
+        if not 0 <= start <= stop <= n:
+            raise MiningError(f"row block [{start}, {stop}) out of range for {n} items")
+        out = np.zeros(
+            sum(n - 1 - i for i in range(start, stop)), dtype=float
+        )
+        position = 0
+        for i in range(start, stop):
+            characteristic_i = characteristics[i]
+            for j in range(i + 1, n):
+                out[position] = self.distance_between(characteristic_i, characteristics[j])
+                position += 1
+        return out
+
+    def condensed_distance_matrix(
+        self, context: LogContext, *, workers: int = 1, chunk_size: int | None = None
+    ) -> CondensedDistanceMatrix:
         """The pairwise distances in condensed (upper-triangle) form, memoized.
 
         This is the preferred entry point for large logs: the square matrix
         is never materialised, and the mining algorithms accept the condensed
-        form directly.
+        form directly.  ``workers > 1`` shards the pair computation over that
+        many worker processes (see :mod:`repro.mining.parallel`) with a
+        bit-for-bit identical result; ``chunk_size`` tunes the pairs-per-task
+        granularity.  A memoized matrix is returned as-is regardless of
+        ``workers`` — serial and parallel runs populate the same cache.
         """
+        if workers < 1:
+            raise MiningError("workers must be at least 1")
         cache = self._context_cache(context)
         if cache.condensed is None:
             characteristics = self.prepare(context)
-            values = np.asarray(self.condensed_distances(characteristics), dtype=float)
+            if workers > 1:
+                from repro.mining.parallel import parallel_condensed_distances
+
+                values = parallel_condensed_distances(
+                    self, characteristics, workers=workers, chunk_size=chunk_size
+                )
+            else:
+                values = np.asarray(self.condensed_distances(characteristics), dtype=float)
             cache.condensed = CondensedDistanceMatrix(values=values, n=len(characteristics))
         return cache.condensed
 
-    def distance_matrix(self, context: LogContext) -> np.ndarray:
-        """The full symmetric pairwise distance matrix over the log."""
-        return self.condensed_distance_matrix(context).to_square()
+    def distance_matrix(
+        self, context: LogContext, *, workers: int = 1, chunk_size: int | None = None
+    ) -> np.ndarray:
+        """The full symmetric pairwise distance matrix over the log.
+
+        ``workers``/``chunk_size`` are forwarded to
+        :meth:`condensed_distance_matrix` for multi-process computation.
+        """
+        return self.condensed_distance_matrix(
+            context, workers=workers, chunk_size=chunk_size
+        ).to_square()
+
+    # -- pickling (worker processes) ------------------------------------------ #
+
+    def __getstate__(self) -> dict[str, object]:
+        """Pickle support for the parallel pipeline's worker processes.
+
+        The per-context memo is keyed by object identity, which does not
+        survive pickling, so it is dropped; workers receive the measure's
+        configuration only.  Subclasses holding other process-local resources
+        (e.g. an execution backend) extend this.
+        """
+        state = dict(self.__dict__)
+        state.pop("_prepared", None)
+        state.pop("_coordinate_cache", None)
+        return state
 
     def distance_matrix_reference(self, context: LogContext) -> np.ndarray:
         """The seed's naive O(n²) implementation, kept as an equality oracle.
@@ -294,10 +359,21 @@ class JaccardSetMeasure(DistanceMeasure):
         """Jaccard distance between two characteristic sets."""
         return jaccard_distance(characteristic_a, characteristic_b)
 
-    def condensed_distances(self, characteristics: list[object]) -> np.ndarray:
-        n = len(characteristics)
-        if n < 2:
-            return np.zeros(0, dtype=float)
+    def _membership_coordinates(
+        self, characteristics: list[object]
+    ) -> tuple[np.ndarray, np.ndarray, int]:
+        """Sparse (row, column) membership coordinates, sorted by column.
+
+        Every distinct set element maps to one column of the 0/1 membership
+        matrix; sorting by column once makes each column block a slice
+        instead of a full mask pass per block.  The result is memoized per
+        characteristics *list object* (assumed immutable once built, like
+        every pipeline intermediate) so the row-block tasks a worker process
+        serves against its cached list pay for the coordinate build once.
+        """
+        cached = getattr(self, "_coordinate_cache", None)
+        if cached is not None and cached[0] is characteristics:
+            return cached[1]
         vocabulary: dict[object, int] = {}
         rows: list[int] = []
         columns: list[int] = []
@@ -306,30 +382,76 @@ class JaccardSetMeasure(DistanceMeasure):
                 column = vocabulary.setdefault(element, len(vocabulary))
                 rows.append(index)
                 columns.append(column)
-        pairs = condensed_length(n)
-        if not vocabulary:
-            # All sets empty: every pair is identical, distance 0.
-            return np.zeros(pairs, dtype=float)
-        vocabulary_size = len(vocabulary)
         row_index = np.asarray(rows, dtype=np.int64)
         column_index = np.asarray(columns, dtype=np.int64)
-        # Sort the coordinates by column once so each block is a slice, not a
-        # full mask pass over every element per block.
         order = np.argsort(column_index, kind="stable")
-        row_index = row_index[order]
-        column_index = column_index[order]
+        coordinates = (row_index[order], column_index[order], len(vocabulary))
+        self._coordinate_cache = (characteristics, coordinates)
+        return coordinates
+
+    def _intersection_counts(
+        self,
+        characteristics: list[object],
+        start: int,
+        stop: int,
+    ) -> np.ndarray:
+        """Exact pairwise intersection sizes of rows ``start .. stop-1`` vs all.
+
+        Accumulates ``M[start:stop] @ Mᵀ`` over column blocks of the 0/1
+        membership matrix.  The counts are exact integers in float64, so the
+        block accumulation — and any row partitioning of it — produces
+        identical values to the full-matrix product.
+        """
+        n = len(characteristics)
+        row_index, column_index, vocabulary_size = self._membership_coordinates(characteristics)
+        intersections = np.zeros((stop - start, n), dtype=float)
+        if vocabulary_size == 0:
+            return intersections
+        # A full-coverage block uses the symmetric product M @ Mᵀ (BLAS takes
+        # the ~2x faster syrk path); partial blocks multiply only their rows.
+        # Both produce the same exact integer counts.
+        full_block = start == 0 and stop >= n - 1
         block_columns = max(1, min(vocabulary_size, self._MEMBERSHIP_BLOCK_CELLS // n))
-        intersections = np.zeros((n, n), dtype=float)
-        sizes = np.array([float(len(characteristic)) for characteristic in characteristics])
         for block_start in range(0, vocabulary_size, block_columns):
             block_end = min(block_start + block_columns, vocabulary_size)
             low = int(np.searchsorted(column_index, block_start, side="left"))
             high = int(np.searchsorted(column_index, block_end, side="left"))
             membership = np.zeros((n, block_end - block_start), dtype=float)
             membership[row_index[low:high], column_index[low:high] - block_start] = 1.0
-            intersections += membership @ membership.T
-        unions = sizes[:, np.newaxis] + sizes[np.newaxis, :] - intersections
-        upper = np.triu_indices(n, k=1)
+            if full_block:
+                intersections += (membership @ membership.T)[start:stop]
+            else:
+                intersections += membership[start:stop] @ membership.T
+        return intersections
+
+    def condensed_distances(self, characteristics: list[object]) -> np.ndarray:
+        n = len(characteristics)
+        if n < 2:
+            return np.zeros(0, dtype=float)
+        return self.condensed_row_block(characteristics, 0, n - 1)
+
+    def condensed_row_block(
+        self, characteristics: list[object], start: int, stop: int
+    ) -> np.ndarray:
+        """Vectorized row block: membership matmul restricted to ``start .. stop-1``.
+
+        Intersection and union sizes are exact integers whether computed for
+        the full triangle or for a row slice, and IEEE division is correctly
+        rounded, so any partitioning into row blocks concatenates to exactly
+        the serial ``condensed_distances`` array.
+        """
+        n = len(characteristics)
+        if not 0 <= start <= stop <= n:
+            raise MiningError(f"row block [{start}, {stop}) out of range for {n} items")
+        pairs = sum(n - 1 - i for i in range(start, stop))
+        if pairs == 0:
+            return np.zeros(0, dtype=float)
+        intersections = self._intersection_counts(characteristics, start, stop)
+        sizes = np.array([float(len(characteristic)) for characteristic in characteristics])
+        unions = sizes[start:stop, np.newaxis] + sizes[np.newaxis, :] - intersections
+        # Boolean-mask extraction flattens in C order: row i's entries with
+        # j > i, ascending — exactly the row-major condensed layout.
+        upper = np.arange(n)[np.newaxis, :] > np.arange(start, stop)[:, np.newaxis]
         intersection = intersections[upper]
         union = unions[upper]
         distances = np.zeros(pairs, dtype=float)

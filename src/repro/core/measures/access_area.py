@@ -36,7 +36,7 @@ import numpy as np
 
 from repro.core.dpe import DistanceMeasure, LogContext, SharedInformation
 from repro.core.domains import DomainCatalog
-from repro.mining.matrix import condensed_length
+from repro.exceptions import MiningError
 from repro.core.kitdpe import (
     ComponentRequirement,
     ConstantRequirement,
@@ -403,18 +403,37 @@ class AccessAreaDistance(DistanceMeasure):
         and ``overlaps`` is invariant under canonicalisation, so the
         resulting distances are bit-identical to the reference loop.
         """
+        n = len(characteristics)
+        return self.condensed_row_block(characteristics, 0, max(n - 1, 0))
+
+    def condensed_row_block(
+        self, characteristics: list[object], start: int, stop: int
+    ) -> np.ndarray:
+        """Canonicalise-once row block for the parallel pipeline.
+
+        Each δ_A is 0, ``overlap_score`` or 1, so the per-pair sum is a small
+        dyadic rational: float addition over it is exact in any order, and
+        the final division by the attribute count is correctly rounded on
+        identical operands — row blocks concatenate to bit-identical values
+        even across worker processes with different hash seeds (which change
+        set iteration order, but not exact sums).
+        """
+        n = len(characteristics)
+        if not 0 <= start <= stop <= n:
+            raise MiningError(f"row block [{start}, {stop}) out of range for {n} items")
+        # A block only reads indices start..n-1 (its rows and everything to
+        # their right), so the prefix is never canonicalised.
         canonical: list[dict[str, AccessArea]] = [
             {attribute: area.canonical() for attribute, area in characteristic.items()}
-            for characteristic in characteristics
+            for characteristic in characteristics[start:]
         ]
         empty = AccessArea.empty()
-        n = len(canonical)
-        out = np.zeros(condensed_length(n), dtype=float)
+        out = np.zeros(sum(n - 1 - i for i in range(start, stop)), dtype=float)
         position = 0
-        for i in range(n):
-            areas_i = canonical[i]
+        for i in range(start, stop):
+            areas_i = canonical[i - start]
             for j in range(i + 1, n):
-                areas_j = canonical[j]
+                areas_j = canonical[j - start]
                 attributes = set(areas_i) | set(areas_j)
                 if attributes:
                     total = 0.0

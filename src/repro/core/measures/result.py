@@ -83,6 +83,17 @@ class ResultDistance(JaccardSetMeasure):
         backend = self._backend_for(context)
         return [result.tuple_set() for result in backend.execute_many(queries)]
 
+    def __getstate__(self) -> dict[str, object]:
+        """Pickle support for parallel workers: drop the live backend.
+
+        Workers only compute Jaccard distances over already-extracted
+        result-tuple sets, so the engine handle (which may hold an open
+        SQLite connection) never crosses the process boundary.
+        """
+        state = super().__getstate__()
+        state["_cached_backend"] = None
+        return state
+
     def component_requirements(self) -> EquivalenceRequirements:
         """KIT-DPE step 2: queries must stay *executable* over the encrypted DB.
 

@@ -187,6 +187,27 @@ class ProxySession:
                 results.append(result)
         return results
 
+    def stream(self, queries: Iterable[Query], *, into) -> list[Query]:
+        """Rewrite a batch and append the encrypted queries to a streaming log.
+
+        ``into`` is an append-only log — typically a
+        :class:`~repro.mining.incremental.StreamingQueryLog` feeding an
+        :class:`~repro.mining.incremental.IncrementalDistanceMatrix`, so each
+        streamed batch immediately extends the provider-side mining artefacts
+        by the new pairs only (duck-typed here: anything whose ``append``
+        accepts an iterable of queries works, keeping the proxy layer free of
+        a mining dependency).  Queries the rewriter rejects follow the
+        session's ``on_unsupported`` policy; the appended batch contains only
+        the rewritten queries, which are also returned.
+        """
+        encrypted: list[Query] = []
+        for query in queries:
+            rewritten = self.rewrite(query)
+            if rewritten is not None:
+                encrypted.append(rewritten)
+        into.append(encrypted)
+        return encrypted
+
     def close(self) -> None:
         """Release the backend's engine resources."""
         self._backend.close()

@@ -17,6 +17,13 @@ the engine's NULLS LAST rule, and LIMIT is checked against the unlimited
 reference result when one is provided.  It returns a human-readable
 explanation of the first difference found, or ``None`` when the results are
 equivalent — the differential test suite asserts ``None``.
+
+The oracle is what makes the backend axis of E3/S1/P1 trustworthy: the
+result-distance measure's characteristic is a *set* of result tuples, so
+backend equivalence here implies bit-for-bit equal distance matrices — and
+therefore identical mining results — on every backend.  The cross-backend
+test suites run it over plaintext, encrypted and generated workloads; the
+P1 CI job smoke-tests the same agreement on every push.
 """
 
 from __future__ import annotations

@@ -18,6 +18,17 @@ on either side without modification:
 * :mod:`~repro.mining.evaluation` — clustering/outlier comparison metrics
   (ARI, NMI, exact label equivalence) used to verify that mining results
   coincide.
+
+Two subsystems scale the distance computation itself:
+
+* :mod:`~repro.mining.parallel` — sharded multi-process computation of the
+  condensed matrix (:func:`~repro.mining.parallel.compute_distance_matrix`),
+  bit-for-bit equal to the serial pipeline;
+* :mod:`~repro.mining.incremental` — append-only streaming logs
+  (:class:`~repro.mining.incremental.StreamingQueryLog`) whose distance
+  matrix, kNN, outlier and DBSCAN artefacts update per append
+  (:class:`~repro.mining.incremental.IncrementalDistanceMatrix`) instead of
+  via full recompute.
 """
 
 from repro.mining.association import (
@@ -35,6 +46,7 @@ from repro.mining.evaluation import (
     normalized_mutual_information,
 )
 from repro.mining.hierarchical import Dendrogram, complete_link, cut_dendrogram
+from repro.mining.incremental import IncrementalDistanceMatrix, StreamingQueryLog
 from repro.mining.kmedoids import KMedoidsResult, k_medoids
 from repro.mining.knn import k_nearest_neighbors, knn_classify
 from repro.mining.matrix import (
@@ -47,12 +59,22 @@ from repro.mining.matrix import (
     square_to_condensed,
 )
 from repro.mining.outliers import OutlierResult, distance_based_outliers, top_n_outliers
+from repro.mining.parallel import (
+    compute_distance_matrix,
+    parallel_condensed_distances,
+    plan_row_blocks,
+)
 
 __all__ = [
     "AssociationRule",
     "CondensedDistanceMatrix",
     "DbscanResult",
     "FrequentItemset",
+    "IncrementalDistanceMatrix",
+    "StreamingQueryLog",
+    "compute_distance_matrix",
+    "parallel_condensed_distances",
+    "plan_row_blocks",
     "apriori",
     "association_rules",
     "mine_query_log",

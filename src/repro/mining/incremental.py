@@ -1,0 +1,390 @@
+"""Streaming query logs with incrementally maintained mining artefacts.
+
+The batch pipeline recomputes the full ``O(n²)`` condensed matrix whenever
+the log changes — prohibitive for an append-only production log.  This
+module exploits the structure of appends: adding ``k`` queries to an
+``n``-query log only creates ``n·k + k(k-1)/2`` *new* pairs; every old
+pairwise distance is unchanged.  Two pieces make that incremental:
+
+* :class:`StreamingQueryLog` — an append-only
+  :class:`~repro.sql.log.QueryLog` that notifies subscribers of each
+  appended batch.  It *is* a query log, so it can be wrapped in a
+  :class:`~repro.core.dpe.LogContext` and passed to any existing entry
+  point; an encrypted stream is just a second instance fed through a DPE
+  scheme or a :meth:`~repro.cryptdb.proxy.ProxySession.stream` call.
+* :class:`IncrementalDistanceMatrix` — subscribes to a stream and maintains,
+  per append: the grown distance matrix (only new pairs are computed), the
+  k-nearest-neighbour lists, the DB(p, D)-outlier counts, and the ε-neighbour
+  graph from which DBSCAN labels are produced.
+
+Equality with batch recompute is the hard invariant (it is what makes the
+paper's result carry over to streams): every artefact equals the one a full
+recompute over the grown log would produce, bit for bit —
+
+* **distances**: new pairs go through the measure's scalar
+  ``distance_between``, which the vectorized batch paths are documented (and
+  tested) to match exactly;
+* **kNN**: the true k nearest of a grown set are always a subset of the old
+  k nearest plus the new items, so merging the two candidate lists under the
+  same ``(distance, index)`` tie-break is exact;
+* **outliers**: the far-counts are integers, incremented per append; the
+  fractions divide the same integers batch recompute divides;
+* **DBSCAN**: appended items have larger indices, so extending each ε-list
+  keeps it sorted, and the label pass is the same breadth-first expansion
+  :func:`~repro.mining.dbscan.dbscan` runs — the expensive O(n²) distance
+  work is incremental, the cheap O(n + edges) labelling is re-run per call.
+
+The measure-level per-context cache is deliberately bypassed: it snapshots
+the log by identity and would go stale as the stream grows.  The
+incremental matrix owns its state instead and invalidates the measure's
+cache after every append so mixed batch/incremental use stays correct.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Iterable
+from typing import TYPE_CHECKING
+
+import numpy as np
+
+from repro.exceptions import MiningError
+from repro.mining.dbscan import NOISE, DbscanResult
+from repro.mining.matrix import CondensedDistanceMatrix
+from repro.mining.outliers import OutlierResult
+from repro.sql.ast import Query
+from repro.sql.log import LogEntry, QueryLog
+from repro.sql.parser import parse_query
+
+if TYPE_CHECKING:  # pragma: no cover - cycle guard (dpe imports mining.matrix)
+    from repro.core.dpe import DistanceMeasure, LogContext
+
+
+class StreamingQueryLog(QueryLog):
+    """An append-only query log that notifies subscribers of appended batches.
+
+    Unlike the base :class:`~repro.sql.log.QueryLog` (immutable by
+    convention), a streaming log grows over time: :meth:`append` adds a
+    batch of entries and pushes it to every subscriber — typically an
+    :class:`IncrementalDistanceMatrix`, which extends its artefacts by the
+    new pairs only.  Batches accept parsed queries, SQL strings or full
+    :class:`~repro.sql.log.LogEntry` objects interchangeably.
+    """
+
+    def __init__(self, entries: Iterable[LogEntry] = ()) -> None:
+        super().__init__(entries)
+        self._subscribers: list[Callable[[tuple[LogEntry, ...]], None]] = []
+        self._appends = 0
+
+    @property
+    def appends(self) -> int:
+        """Number of append batches accepted so far."""
+        return self._appends
+
+    def subscribe(self, callback: Callable[[tuple[LogEntry, ...]], None]) -> None:
+        """Register ``callback`` to receive every future appended batch."""
+        self._subscribers.append(callback)
+
+    def append(self, items: Iterable[LogEntry | Query | str]) -> tuple[LogEntry, ...]:
+        """Append a batch of queries and notify subscribers.
+
+        Returns the normalized entries that were appended.  Subscribers run
+        synchronously, in subscription order, after the entries are visible
+        in the log — a subscriber reading ``len(log)`` sees the grown log.
+        """
+        batch = tuple(self._normalize(item) for item in items)
+        if not batch:
+            return batch
+        self._entries.extend(batch)
+        self._appends += 1
+        for callback in self._subscribers:
+            callback(batch)
+        return batch
+
+    @staticmethod
+    def _normalize(item: LogEntry | Query | str) -> LogEntry:
+        if isinstance(item, LogEntry):
+            return item
+        if isinstance(item, Query):
+            return LogEntry(item)
+        if isinstance(item, str):
+            return LogEntry(parse_query(item))
+        raise MiningError(f"cannot append {type(item).__name__} to a streaming log")
+
+
+class IncrementalDistanceMatrix:
+    """Mining artefacts over a streaming log, updated per append.
+
+    Construction subscribes to ``stream`` (and ingests anything already in
+    it).  Each appended batch of ``k`` queries triggers exactly
+    ``n·k + k(k-1)/2`` distance evaluations (``n`` = items before the
+    append); :attr:`pairs_computed` exposes the running total so tests can
+    prove no full recompute happened.  All artefact accessors return values
+    equal — bit for bit — to a batch recompute over the grown log.
+
+    Mining parameters are fixed at construction because the incremental
+    state (far-counts, ε-lists, kNN lists) depends on them:
+
+    ``knn_k``
+        neighbours maintained per item (also the maximum ``k`` for
+        :meth:`top_outliers`),
+    ``outlier_p`` / ``outlier_d``
+        the DB(p, D)-outlier definition served by :meth:`outliers`,
+    ``dbscan_eps`` / ``dbscan_min_points``
+        the density parameters served by :meth:`dbscan`.
+    """
+
+    def __init__(
+        self,
+        measure: "DistanceMeasure",
+        stream: StreamingQueryLog,
+        *,
+        database: object | None = None,
+        domains: object | None = None,
+        knn_k: int = 3,
+        outlier_p: float = 0.95,
+        outlier_d: float = 0.9,
+        dbscan_eps: float = 0.5,
+        dbscan_min_points: int = 3,
+    ) -> None:
+        if knn_k < 1:
+            raise MiningError("knn_k must be at least 1")
+        if not 0.0 < outlier_p <= 1.0:
+            raise MiningError("outlier_p must lie in (0, 1]")
+        if outlier_d < 0:
+            raise MiningError("outlier_d must be non-negative")
+        if dbscan_eps < 0:
+            raise MiningError("dbscan_eps must be non-negative")
+        if dbscan_min_points < 1:
+            raise MiningError("dbscan_min_points must be at least 1")
+        from repro.core.dpe import LogContext
+
+        self._measure = measure
+        self._stream = stream
+        self._context: "LogContext" = LogContext(
+            log=stream, database=database, domains=domains  # type: ignore[arg-type]
+        )
+        self._knn_k = knn_k
+        self._outlier_p = outlier_p
+        self._outlier_d = outlier_d
+        self._dbscan_eps = dbscan_eps
+        self._dbscan_min_points = dbscan_min_points
+
+        self._n = 0
+        self._capacity = 16
+        self._square = np.zeros((self._capacity, self._capacity), dtype=float)
+        self._characteristics: list[object] = []
+        #: Per item: ascending list of (distance, neighbour) pairs, length
+        #: min(knn_k, n - 1) — the same (d, j) tie-break k_nearest_neighbors uses.
+        self._knn: list[list[tuple[float, int]]] = []
+        #: Per item: how many *other* items lie strictly farther than outlier_d.
+        self._far_counts: list[int] = []
+        #: Per item: sorted indices with d <= dbscan_eps (including itself).
+        self._neighborhoods: list[list[int]] = []
+        self.pairs_computed = 0
+
+        stream.subscribe(self._on_append)
+        if len(stream):
+            self._extend(tuple(stream))
+
+    # -- growth ---------------------------------------------------------- #
+
+    @property
+    def n_items(self) -> int:
+        """Number of log entries currently covered by the matrix."""
+        return self._n
+
+    @property
+    def measure(self) -> "DistanceMeasure":
+        """The distance measure the matrix is maintained under."""
+        return self._measure
+
+    def _on_append(self, batch: tuple[LogEntry, ...]) -> None:
+        self._extend(batch)
+
+    def _grow_storage(self, needed: int) -> None:
+        if needed <= self._capacity:
+            return
+        capacity = self._capacity
+        while capacity < needed:
+            capacity *= 2
+        grown = np.zeros((capacity, capacity), dtype=float)
+        grown[: self._n, : self._n] = self._square[: self._n, : self._n]
+        self._square = grown
+        self._capacity = capacity
+
+    def _extend(self, batch: tuple[LogEntry, ...]) -> None:
+        """Ingest ``k`` appended entries: n·k + k(k-1)/2 new distances."""
+        k = len(batch)
+        if k == 0:
+            return
+        n_old = self._n
+        n_new = n_old + k
+        self._grow_storage(n_new)
+        new_characteristics = self._measure.characteristics(
+            [entry.query for entry in batch], self._context
+        )
+        # The measure's per-context memo snapshots the log by identity and
+        # cannot see the growth; drop it so batch calls stay correct.
+        self._measure.invalidate_cache(self._context)
+        square = self._square
+        eps = self._dbscan_eps
+        threshold = self._outlier_d
+        for offset, characteristic in enumerate(new_characteristics):
+            j = n_old + offset
+            self._characteristics.append(characteristic)
+            self._knn.append([])
+            self._far_counts.append(0)
+            self._neighborhoods.append([])
+            for i in range(j):
+                value = self._measure.distance_between(
+                    self._characteristics[i], characteristic
+                )
+                square[i, j] = value
+                square[j, i] = value
+                self.pairs_computed += 1
+                if value > threshold:
+                    self._far_counts[i] += 1
+                    self._far_counts[j] += 1
+                if value <= eps:
+                    self._neighborhoods[i].append(j)
+                    self._neighborhoods[j].append(i)
+            # An item is always inside its own ε-neighbourhood (d(i, i) = 0).
+            self._neighborhoods[j].append(j)
+            self._n = j + 1
+        self._update_knn(n_old, k)
+
+    def _update_knn(self, n_old: int, k: int) -> None:
+        """Merge the new items into every kNN list under the (d, j) order.
+
+        For an existing item the true k nearest of the grown set are a
+        subset of its old k nearest plus the new items (anything else was
+        already beaten by the old k-th).  New items consider everyone.
+        """
+        n_new = n_old + k
+        square = self._square
+        limit = self._knn_k
+        new_indices = range(n_old, n_new)
+        for i in range(n_old):
+            candidates = self._knn[i] + [
+                (float(square[i, j]), j) for j in new_indices
+            ]
+            candidates.sort()
+            self._knn[i] = candidates[: min(limit, n_new - 1)]
+        for j in new_indices:
+            candidates = [
+                (float(square[j, other]), other) for other in range(n_new) if other != j
+            ]
+            candidates.sort()
+            self._knn[j] = candidates[: min(limit, n_new - 1)]
+
+    # -- artefact accessors ----------------------------------------------- #
+
+    def _require_items(self, minimum: int = 1) -> None:
+        if self._n < minimum:
+            raise MiningError(
+                f"streaming matrix holds {self._n} items, need at least {minimum}"
+            )
+
+    def square(self) -> np.ndarray:
+        """The current full symmetric distance matrix (a fresh copy)."""
+        self._require_items()
+        return self._square[: self._n, : self._n].copy()
+
+    def condensed(self) -> CondensedDistanceMatrix:
+        """The current distances in condensed form (no distance recomputation)."""
+        self._require_items()
+        n = self._n
+        return CondensedDistanceMatrix(
+            values=self._square[:n, :n][np.triu_indices(n, k=1)], n=n
+        )
+
+    def knn(self, index: int) -> tuple[int, ...]:
+        """The ``knn_k`` nearest neighbours of ``index``, ties by smaller index."""
+        self._require_items(2)
+        if not 0 <= index < self._n:
+            raise MiningError(f"index {index} out of range for {self._n} items")
+        if self._knn_k > self._n - 1:
+            raise MiningError(f"k must be between 1 and {self._n - 1}")
+        return tuple(j for _, j in self._knn[index])
+
+    def knn_all(self) -> tuple[tuple[int, ...], ...]:
+        """The maintained kNN lists of every item."""
+        return tuple(self.knn(i) for i in range(self._n))
+
+    def outliers(self) -> OutlierResult:
+        """The DB(p, D)-outliers of the current log (equal to a batch scan)."""
+        self._require_items()
+        n = self._n
+        if n == 1:
+            return OutlierResult(
+                outliers=(), fraction_far=(0.0,), p=self._outlier_p, d=self._outlier_d
+            )
+        fractions = [count / (n - 1) for count in self._far_counts]
+        flagged = tuple(i for i, fraction in enumerate(fractions) if fraction >= self._outlier_p)
+        return OutlierResult(
+            outliers=flagged,
+            fraction_far=tuple(fractions),
+            p=self._outlier_p,
+            d=self._outlier_d,
+        )
+
+    def top_outliers(self, n_outliers: int, *, k: int | None = None) -> tuple[int, ...]:
+        """Top ``n_outliers`` by k-th-nearest-neighbour distance, from the kNN lists.
+
+        ``k`` defaults to the maintained ``knn_k`` and must not exceed it —
+        the k-th nearest distance of anything beyond the maintained horizon
+        is unknown without recomputation.
+        """
+        self._require_items(2)
+        k = self._knn_k if k is None else k
+        if not 1 <= k <= self._knn_k:
+            raise MiningError(f"k must be between 1 and the maintained knn_k={self._knn_k}")
+        if k >= self._n:
+            raise MiningError(f"k must be between 1 and {self._n - 1}")
+        if not 1 <= n_outliers <= self._n:
+            raise MiningError(f"n_outliers must be between 1 and {self._n}")
+        scores = [self._knn[i][k - 1][0] for i in range(self._n)]
+        order = sorted(range(self._n), key=lambda i: (-scores[i], i))
+        return tuple(order[:n_outliers])
+
+    def dbscan(self) -> DbscanResult:
+        """DBSCAN labels over the maintained ε-graph (equal to a batch run).
+
+        The ε-neighbourhood lists are maintained incrementally (appends only
+        ever *extend* them, keeping the ascending order the batch
+        ``np.flatnonzero`` produces); the label pass re-runs the same
+        deterministic breadth-first expansion over the graph, which costs
+        O(n + edges) — no distances are recomputed.
+        """
+        from collections import deque
+
+        self._require_items()
+        n = self._n
+        neighborhoods = self._neighborhoods
+        # Sort once per call: each list is "ascending old neighbours, then
+        # ascending new neighbours, then self" — sorted() restores the exact
+        # flatnonzero order cheaply (Timsort exploits the runs).
+        ordered = [sorted(neighborhoods[i]) for i in range(n)]
+        is_core = [len(ordered[i]) >= self._dbscan_min_points for i in range(n)]
+        labels = [NOISE] * n
+        cluster = 0
+        for start in range(n):
+            if labels[start] != NOISE or not is_core[start]:
+                continue
+            labels[start] = cluster
+            queue: deque[int] = deque(ordered[start])
+            while queue:
+                point = queue.popleft()
+                if labels[point] == NOISE:
+                    labels[point] = cluster
+                    if is_core[point]:
+                        queue.extend(ordered[point])
+            cluster += 1
+        return DbscanResult(
+            labels=tuple(labels),
+            core_points=frozenset(i for i in range(n) if is_core[i]),
+            n_clusters=cluster,
+        )
+
+
+__all__ = ["IncrementalDistanceMatrix", "StreamingQueryLog"]

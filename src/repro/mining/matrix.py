@@ -15,6 +15,15 @@ protocol.  Square inputs keep their exact seed semantics (rows are views
 into the validated array); condensed inputs reconstruct rows on demand from
 the same stored floats, so mining results are bit-identical across
 representations.
+
+The row-major condensed layout is also what the scaling subsystems build
+on.  Row ``i`` occupies the contiguous slice starting at
+``i * (2n - i - 1) / 2``, so a *row block* of the triangle is a contiguous
+slice of ``values`` — :mod:`repro.mining.parallel` exploits this to merge
+worker results by offset, deterministically and without reordering.
+Appending items, by contrast, interleaves new entries into every row, which
+is why :mod:`repro.mining.incremental` maintains a growing square buffer
+internally and emits the condensed form on demand.
 """
 
 from __future__ import annotations

@@ -1,0 +1,184 @@
+"""Sharded multi-process computation of the condensed distance matrix.
+
+The distance pipeline of :mod:`repro.core.dpe` is CPU-bound: after the
+characteristics are extracted, filling the ``n(n-1)/2`` condensed entries is
+pure computation with no shared mutable state.  This module shards that work
+across worker *processes* (the measures are plain Python, so threads would
+serialize on the GIL):
+
+1. **partition** — :func:`plan_row_blocks` splits the rows of the strict
+   upper triangle into contiguous blocks of approximately equal *pair*
+   counts (row ``i`` owns ``n - 1 - i`` pairs, so equal row counts would be
+   badly skewed);
+2. **shard** — each worker process receives the measure and the full
+   characteristics list once, via the pool initializer, and caches them in
+   process-local state; tasks are then just ``(start, stop)`` row ranges;
+3. **merge** — a row block of the triangle is a *contiguous slice* of the
+   condensed array (rows are stored row-major), so the parent writes each
+   returned slice at its row offset.  The merge is deterministic regardless
+   of task completion order.
+
+Bit-for-bit equality with the serial pipeline is a hard invariant, not an
+approximation: every measure computes a row block with
+:meth:`~repro.core.dpe.DistanceMeasure.condensed_row_block`, whose
+implementations produce exactly the floats of the serial
+``condensed_distances`` (exact integer arithmetic for the Jaccard measures,
+exact dyadic sums for the access-area measure, and the identical scalar
+calls otherwise).  ``distance_matrix_reference`` remains the independent
+oracle; tests compare all three.
+
+Entry points
+------------
+
+* :func:`compute_distance_matrix` — the one-call API:
+  ``compute_distance_matrix(measure, context, workers=4)`` returns the
+  memoized :class:`~repro.mining.matrix.CondensedDistanceMatrix`.
+* :func:`parallel_condensed_distances` — the lower-level array API over an
+  already-extracted characteristics list.
+* :func:`plan_row_blocks` — the partitioning strategy (exposed for tests and
+  for the ``--chunk-size`` experiment axis).
+"""
+
+from __future__ import annotations
+
+import math
+import pickle
+from concurrent.futures import ProcessPoolExecutor
+from typing import TYPE_CHECKING
+
+import multiprocessing
+import numpy as np
+
+from repro.exceptions import MiningError
+from repro.mining.matrix import CondensedDistanceMatrix, condensed_length
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (dpe imports matrix)
+    from repro.core.dpe import DistanceMeasure, LogContext
+
+#: Below this pair count the pool overhead dominates and the serial path runs.
+MIN_PARALLEL_PAIRS = 512
+
+#: Process-local worker state: measure and characteristics, sent once per
+#: worker through the pool initializer instead of once per task.
+_WORKER_STATE: dict[str, object] = {}
+
+
+def row_block_offset(n: int, row: int) -> int:
+    """Condensed-array offset where ``row``'s pairs start (row-major layout)."""
+    return row * (2 * n - row - 1) // 2
+
+
+def plan_row_blocks(
+    n: int, *, workers: int, chunk_size: int | None = None
+) -> list[tuple[int, int]]:
+    """Partition rows ``0 .. n-2`` into contiguous blocks of ~equal pair counts.
+
+    ``chunk_size`` is the target number of *pairs* per block; the default
+    oversubscribes the pool four-to-one (``total_pairs / (4 * workers)``) so
+    the tail rows — which own few pairs — cannot leave workers idle.  Blocks
+    are returned as ``(start, stop)`` half-open row ranges covering every
+    pair exactly once.
+    """
+    if workers < 1:
+        raise MiningError("workers must be at least 1")
+    if chunk_size is not None and chunk_size < 1:
+        raise MiningError("chunk_size must be at least 1")
+    if n < 2:
+        return []
+    pairs = condensed_length(n)
+    if chunk_size is None:
+        chunk_size = max(1, math.ceil(pairs / (4 * workers)))
+    blocks: list[tuple[int, int]] = []
+    start = 0
+    accumulated = 0
+    for row in range(n - 1):
+        accumulated += n - 1 - row
+        if accumulated >= chunk_size or row == n - 2:
+            blocks.append((start, row + 1))
+            start = row + 1
+            accumulated = 0
+    return blocks
+
+
+def _initialize_worker(payload: bytes) -> None:
+    """Pool initializer: unpack the measure and characteristics once per worker."""
+    measure, characteristics = pickle.loads(payload)
+    _WORKER_STATE["measure"] = measure
+    _WORKER_STATE["characteristics"] = characteristics
+
+
+def _compute_block(block: tuple[int, int]) -> tuple[int, np.ndarray]:
+    """Worker task: one row block of the condensed triangle."""
+    start, stop = block
+    measure = _WORKER_STATE["measure"]
+    characteristics = _WORKER_STATE["characteristics"]
+    return start, measure.condensed_row_block(characteristics, start, stop)  # type: ignore[union-attr]
+
+
+def _pool_context() -> multiprocessing.context.BaseContext:
+    """Prefer fork (cheap on Linux); fall back to spawn elsewhere."""
+    if "fork" in multiprocessing.get_all_start_methods():
+        return multiprocessing.get_context("fork")
+    return multiprocessing.get_context("spawn")
+
+
+def parallel_condensed_distances(
+    measure: "DistanceMeasure",
+    characteristics: list[object],
+    *,
+    workers: int,
+    chunk_size: int | None = None,
+) -> np.ndarray:
+    """All pairwise distances, condensed, computed on ``workers`` processes.
+
+    Falls back to the measure's serial ``condensed_distances`` when a pool
+    cannot pay for itself (``workers == 1``, fewer than
+    :data:`MIN_PARALLEL_PAIRS` pairs, or a single planned block); both paths
+    return bit-for-bit identical arrays, so the fallback is unobservable.
+    """
+    blocks = plan_row_blocks(len(characteristics), workers=workers, chunk_size=chunk_size)
+    n = len(characteristics)
+    if workers == 1 or condensed_length(n) < MIN_PARALLEL_PAIRS or len(blocks) <= 1:
+        return np.asarray(measure.condensed_distances(list(characteristics)), dtype=float)
+    payload = pickle.dumps(
+        (measure, list(characteristics)), protocol=pickle.HIGHEST_PROTOCOL
+    )
+    out = np.zeros(condensed_length(n), dtype=float)
+    with ProcessPoolExecutor(
+        max_workers=workers,
+        mp_context=_pool_context(),
+        initializer=_initialize_worker,
+        initargs=(payload,),
+    ) as pool:
+        for start, values in pool.map(_compute_block, blocks):
+            offset = row_block_offset(n, start)
+            out[offset : offset + values.shape[0]] = values
+    return out
+
+
+def compute_distance_matrix(
+    measure: "DistanceMeasure",
+    context: "LogContext",
+    *,
+    workers: int = 1,
+    chunk_size: int | None = None,
+) -> CondensedDistanceMatrix:
+    """The memoized condensed distance matrix of ``context``, sharded over processes.
+
+    Functional alias for
+    ``measure.condensed_distance_matrix(context, workers=..., chunk_size=...)``:
+    characteristics are extracted (and memoized) once in the parent, the pair
+    distances are sharded over ``workers`` processes, and the result lands in
+    the same per-context cache the mining entry points read — so a parallel
+    computation warms the cache for every subsequent mining call.
+    """
+    return measure.condensed_distance_matrix(context, workers=workers, chunk_size=chunk_size)
+
+
+__all__ = [
+    "MIN_PARALLEL_PAIRS",
+    "compute_distance_matrix",
+    "parallel_condensed_distances",
+    "plan_row_blocks",
+    "row_block_offset",
+]

@@ -12,6 +12,14 @@ relationships, aggregates (COUNT/SUM/MIN/MAX/AVG) and GROUP BY.  LIKE and
 ``SELECT *`` are deliberately never generated (the CryptDB layer rejects
 them), and aggregate queries can be switched off for the select-project-join
 workloads the result-distance scheme requires.
+
+Streaming workloads reuse the same determinism: generate one log of the
+final size and append its entries to a
+:class:`~repro.mining.incremental.StreamingQueryLog` in slices, as
+``examples/streaming_mining.py`` and experiment P3 do.  Because the log is
+a pure function of (profile, mix, seed, size), the streamed and the batch
+variant of an experiment see identical queries — any difference in mining
+output is then attributable to the incremental machinery, never the data.
 """
 
 from __future__ import annotations

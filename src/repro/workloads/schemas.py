@@ -11,6 +11,16 @@ domains and join relationships.  Two ready-made profiles are provided:
 
 Column names are globally unique across each profile (a documented
 assumption of the access-area machinery, see :mod:`repro.core.domains`).
+
+A profile is the single source of truth the rest of the harness derives
+from: :func:`populate_database` materialises seeded rows for the
+result-distance measure and the CryptDB layer,
+:meth:`WorkloadProfile.domain_catalog` exposes the per-attribute domains the
+access-area measure clips against, and :meth:`WorkloadProfile.join_groups`
+names the column groups that must share DET/OPE keys to stay joinable after
+encryption.  Experiments therefore never hand-assemble schemas; they pick a
+profile and a size, which keeps every artefact reproducible from its
+(profile, mix, seed, size) tuple alone.
 """
 
 from __future__ import annotations

@@ -1,0 +1,114 @@
+"""The generated documentation set: determinism, drift, loud failure modes.
+
+ARCHITECTURE.md and EXPERIMENTS.md are committed artifacts rendered from the
+source tree; these tests pin the three properties that make that workable:
+renders are byte-identical run to run, the committed files match a fresh
+render (the local mirror of the CI docs-drift job), and the generator fails
+loudly — on unknown modules and on undocumented public code — instead of
+emitting stubs.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+from repro.analysis.architecture import (
+    iter_package_modules,
+    render_architecture_doc,
+    render_package_section,
+    subpackages,
+    top_level_modules,
+)
+from repro.analysis.docs import render_experiments_doc, write_all_docs
+from repro.exceptions import AnalysisError
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parents[2]
+
+
+class TestDeterminism:
+    def test_two_renders_are_byte_identical(self):
+        assert render_architecture_doc() == render_architecture_doc()
+        assert render_experiments_doc() == render_experiments_doc()
+
+    def test_committed_architecture_md_is_current(self):
+        committed = (REPO_ROOT / "ARCHITECTURE.md").read_text(encoding="utf-8")
+        assert committed == render_architecture_doc(), (
+            "ARCHITECTURE.md drifted from the source tree; "
+            "regenerate with `python -m repro docs`"
+        )
+
+    def test_committed_experiments_md_is_current(self):
+        committed = (REPO_ROOT / "EXPERIMENTS.md").read_text(encoding="utf-8")
+        assert committed == render_experiments_doc(), (
+            "EXPERIMENTS.md drifted from the source tree; "
+            "regenerate with `python -m repro docs`"
+        )
+
+
+class TestStructure:
+    def test_every_subpackage_has_a_section(self):
+        document = render_architecture_doc()
+        names = subpackages()
+        assert names, "no subpackages discovered"
+        for name in names:
+            assert f"## `{name}`" in document
+        # The new scaling subsystem must be part of the mining section.
+        assert "### `repro.mining.parallel`" in document
+        assert "### `repro.mining.incremental`" in document
+
+    def test_top_level_modules_exclude_private_and_main(self):
+        names = top_level_modules()
+        assert "repro.cli" in names
+        assert "repro.__main__" not in names
+        assert all("._" not in name for name in names)
+
+    def test_package_modules_are_sorted_and_complete(self):
+        names = iter_package_modules("repro.mining")
+        assert names == sorted(names)
+        assert "repro.mining.matrix" in names
+        assert "repro.mining.incremental" in names
+
+
+class TestLoudFailures:
+    def test_unknown_module_fails_loudly(self):
+        with pytest.raises(AnalysisError, match="unknown module"):
+            render_package_section("repro.nonexistent_subsystem")
+
+    def test_unknown_package_in_module_iteration(self):
+        with pytest.raises(AnalysisError):
+            iter_package_modules("repro.also_not_there")
+
+    def test_undocumented_member_fails_loudly(self):
+        from repro.analysis.architecture import _summary
+
+        class Undocumented:
+            pass
+
+        Undocumented.__doc__ = None
+        with pytest.raises(AnalysisError, match="no docstring"):
+            _summary(Undocumented, "repro.fake.Undocumented")
+
+
+class TestWriteAllDocs:
+    def test_default_writes_both_documents(self, tmp_path, monkeypatch, capsys):
+        monkeypatch.chdir(tmp_path)
+        assert write_all_docs() == 0
+        assert (tmp_path / "EXPERIMENTS.md").exists()
+        assert (tmp_path / "ARCHITECTURE.md").exists()
+
+    def test_single_document_selection(self, tmp_path, capsys):
+        architecture = tmp_path / "ARCH.md"
+        assert write_all_docs(architecture=str(architecture)) == 0
+        assert architecture.exists()
+        assert not (tmp_path / "EXPERIMENTS.md").exists()
+
+    def test_cli_docs_writes_both(self, tmp_path, capsys):
+        from repro.cli import main
+
+        experiments = tmp_path / "E.md"
+        architecture = tmp_path / "A.md"
+        assert main(["docs", str(experiments), "--architecture", str(architecture)]) == 0
+        assert "## P3 — " in experiments.read_text(encoding="utf-8")
+        assert "## `repro.mining`" in architecture.read_text(encoding="utf-8")

@@ -1,0 +1,200 @@
+"""Streaming logs and incremental artefacts vs full batch recompute.
+
+The invariant under test: after any sequence of appends, every artefact of
+the :class:`IncrementalDistanceMatrix` — distances, kNN lists, DB(p, D)
+outliers, top-n outlier ranking, DBSCAN labels — equals the one a batch
+recompute over the grown log produces, bit for bit, while the incremental
+path computed only the new pairs.  Checked on plaintext logs, on encrypted
+logs, and on encrypted queries streamed through a live ProxySession.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.dpe import LogContext
+from repro.core.measures import TokenDistance
+from repro.core.schemes.token_scheme import TokenDpeScheme
+from repro.exceptions import MiningError
+from repro.mining import (
+    IncrementalDistanceMatrix,
+    StreamingQueryLog,
+    condensed_length,
+    dbscan,
+    distance_based_outliers,
+    k_nearest_neighbors,
+    top_n_outliers,
+)
+from repro.sql.log import LogEntry, QueryLog
+from repro.sql.parser import parse_query
+from repro.workloads.generator import QueryLogGenerator, WorkloadMix
+
+#: Mining parameters shared by the incremental matrix and the batch oracles.
+PARAMETERS = dict(knn_k=3, outlier_p=0.85, outlier_d=0.88, dbscan_eps=0.6, dbscan_min_points=3)
+
+
+def _batch_matrix(entries):
+    return TokenDistance().condensed_distance_matrix(LogContext(log=QueryLog(entries)))
+
+
+def _assert_artefacts_equal(incremental, entries):
+    """Every incremental artefact equals its batch-recompute counterpart."""
+    matrix = _batch_matrix(entries)
+    n = len(entries)
+    assert incremental.n_items == n
+    assert np.array_equal(incremental.condensed().values, matrix.values)
+    assert np.array_equal(incremental.square(), matrix.to_square())
+    if n > PARAMETERS["knn_k"]:
+        for i in range(n):
+            assert incremental.knn(i) == k_nearest_neighbors(matrix, i, k=PARAMETERS["knn_k"])
+        assert incremental.top_outliers(min(5, n)) == top_n_outliers(
+            matrix, n_outliers=min(5, n), k=PARAMETERS["knn_k"]
+        )
+    batch_outliers = distance_based_outliers(
+        matrix, p=PARAMETERS["outlier_p"], d=PARAMETERS["outlier_d"]
+    )
+    assert incremental.outliers() == batch_outliers
+    batch_dbscan = dbscan(
+        matrix, eps=PARAMETERS["dbscan_eps"], min_points=PARAMETERS["dbscan_min_points"]
+    )
+    incremental_dbscan = incremental.dbscan()
+    assert incremental_dbscan.labels == batch_dbscan.labels
+    assert incremental_dbscan.core_points == batch_dbscan.core_points
+    assert incremental_dbscan.n_clusters == batch_dbscan.n_clusters
+
+
+class TestStreamingQueryLog:
+    def test_append_accepts_entries_queries_and_sql(self):
+        stream = StreamingQueryLog()
+        stream.append(["SELECT name FROM users WHERE age > 30"])
+        stream.append([parse_query("SELECT city FROM users WHERE age < 18")])
+        stream.append([LogEntry(parse_query("SELECT name FROM users WHERE age = 5"))])
+        assert len(stream) == 3
+        assert stream.appends == 3
+        assert all(isinstance(entry, LogEntry) for entry in stream)
+
+    def test_append_rejects_unknown_payloads(self):
+        with pytest.raises(MiningError):
+            StreamingQueryLog().append([42])
+
+    def test_subscribers_see_batches_after_growth(self):
+        stream = StreamingQueryLog()
+        observed: list[tuple[int, int]] = []
+        stream.subscribe(lambda batch: observed.append((len(batch), len(stream))))
+        stream.append(["SELECT name FROM users WHERE age > 30"] * 2)
+        stream.append([])
+        stream.append(["SELECT city FROM users WHERE age < 18"])
+        assert observed == [(2, 2), (1, 3)]
+        assert stream.appends == 2  # the empty batch is not an append
+
+    def test_streaming_log_is_a_query_log(self, webshop_log):
+        stream = StreamingQueryLog(list(webshop_log))
+        assert QueryLog(list(webshop_log)) == stream
+        assert stream.statements == webshop_log.statements
+
+
+class TestIncrementalVsBatch:
+    def test_interleaved_appends_match_batch_recompute(self, webshop):
+        log = QueryLogGenerator(webshop, WorkloadMix(), seed=13).generate(50)
+        entries = list(log)
+        stream = StreamingQueryLog()
+        incremental = IncrementalDistanceMatrix(TokenDistance(), stream, **PARAMETERS)
+        seen: list[LogEntry] = []
+        for size in (4, 1, 13, 2, 20, 10):  # deliberately ragged batches
+            batch = entries[len(seen) : len(seen) + size]
+            stream.append(batch)
+            seen.extend(batch)
+            _assert_artefacts_equal(incremental, seen)
+        assert incremental.pairs_computed == condensed_length(len(seen))
+
+    def test_preexisting_entries_are_ingested_on_subscription(self, webshop_log):
+        stream = StreamingQueryLog(list(webshop_log))
+        incremental = IncrementalDistanceMatrix(TokenDistance(), stream, **PARAMETERS)
+        _assert_artefacts_equal(incremental, list(webshop_log))
+
+    def test_only_new_pairs_are_computed(self, webshop):
+        log = QueryLogGenerator(webshop, WorkloadMix(), seed=14).generate(30)
+        entries = list(log)
+        stream = StreamingQueryLog()
+        incremental = IncrementalDistanceMatrix(TokenDistance(), stream, **PARAMETERS)
+        stream.append(entries[:20])
+        before = incremental.pairs_computed
+        assert before == condensed_length(20)
+        stream.append(entries[20:])
+        # 20 old x 10 new cross pairs plus the 10-choose-2 pairs among the new.
+        assert incremental.pairs_computed - before == 20 * 10 + condensed_length(10)
+
+    def test_encrypted_stream_matches_plain_stream(self, webshop, keychain):
+        log = QueryLogGenerator(webshop, WorkloadMix(), seed=15).generate(36)
+        entries = list(log)
+        scheme = TokenDpeScheme(keychain)
+        plain_stream, encrypted_stream = StreamingQueryLog(), StreamingQueryLog()
+        plain = IncrementalDistanceMatrix(TokenDistance(), plain_stream, **PARAMETERS)
+        encrypted = IncrementalDistanceMatrix(TokenDistance(), encrypted_stream, **PARAMETERS)
+        for start in range(0, 36, 12):
+            batch = entries[start : start + 12]
+            plain_stream.append(batch)
+            encrypted_stream.append(list(scheme.encrypt_log(QueryLog(batch))))
+            # Both sides equal their own batch recompute...
+            _assert_artefacts_equal(plain, entries[: start + 12])
+            # ...and preservation holds pair for pair across the two streams.
+            assert np.array_equal(plain.condensed().values, encrypted.condensed().values)
+            assert plain.dbscan().labels == encrypted.dbscan().labels
+            assert plain.outliers() == encrypted.outliers()
+
+    def test_parameter_validation(self):
+        stream = StreamingQueryLog()
+        with pytest.raises(MiningError):
+            IncrementalDistanceMatrix(TokenDistance(), stream, knn_k=0)
+        with pytest.raises(MiningError):
+            IncrementalDistanceMatrix(TokenDistance(), stream, outlier_p=0.0)
+        with pytest.raises(MiningError):
+            IncrementalDistanceMatrix(TokenDistance(), stream, dbscan_eps=-0.1)
+
+    def test_empty_matrix_accessors_fail_loudly(self):
+        incremental = IncrementalDistanceMatrix(TokenDistance(), StreamingQueryLog())
+        with pytest.raises(MiningError):
+            incremental.condensed()
+        with pytest.raises(MiningError):
+            incremental.dbscan()
+
+    def test_knn_respects_item_count_bounds(self):
+        stream = StreamingQueryLog()
+        incremental = IncrementalDistanceMatrix(TokenDistance(), stream, knn_k=3)
+        stream.append(["SELECT name FROM users WHERE age > 30",
+                       "SELECT city FROM users WHERE age < 18"])
+        with pytest.raises(MiningError):  # k=3 > n-1=1, exactly like the batch API
+            incremental.knn(0)
+
+
+class TestProxySessionStreaming:
+    def test_session_streams_encrypted_queries_into_matrix(
+        self, webshop, webshop_database, keychain
+    ):
+        from repro.cryptdb.proxy import CryptDBProxy
+
+        log = QueryLogGenerator(webshop, WorkloadMix.spj_only(), seed=16).generate(24)
+        proxy = CryptDBProxy(
+            keychain,
+            join_groups=webshop.join_groups(),
+            paillier_bits=256,
+            shared_det_key=True,
+        )
+        proxy.encrypt_database(webshop_database)
+        stream = StreamingQueryLog()
+        incremental = IncrementalDistanceMatrix(TokenDistance(), stream, **PARAMETERS)
+        rewritten: list = []
+        with proxy.session(on_unsupported="skip") as session:
+            for start in range(0, 24, 8):
+                rewritten.extend(session.stream(log.queries[start : start + 8], into=stream))
+        assert len(stream) == len(rewritten) > 0
+        # The incremental matrix over the streamed (encrypted) queries equals
+        # a batch recompute over the same rewritten workload.
+        batch = TokenDistance().condensed_distance_matrix(
+            LogContext(log=QueryLog.from_queries(rewritten))
+        )
+        assert np.array_equal(incremental.condensed().values, batch.values)
+        assert incremental.dbscan().labels == dbscan(
+            batch, eps=PARAMETERS["dbscan_eps"], min_points=PARAMETERS["dbscan_min_points"]
+        ).labels

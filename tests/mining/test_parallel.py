@@ -1,0 +1,172 @@
+"""The sharded parallel distance pipeline: partitioning and exact equality.
+
+The parallel pipeline's contract is *bit-for-bit* equality with the serial
+pipeline (and therefore with the ``distance_matrix_reference`` oracle) for
+every measure, every worker count and every chunk size — parallelism is an
+execution detail, never a semantics change.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.dpe import LogContext
+from repro.core.measures import (
+    AccessAreaDistance,
+    ResultDistance,
+    StructureDistance,
+    TokenDistance,
+)
+from repro.exceptions import MiningError
+from repro.mining import compute_distance_matrix, condensed_length, plan_row_blocks
+from repro.mining.parallel import parallel_condensed_distances, row_block_offset
+from repro.workloads.generator import QueryLogGenerator, WorkloadMix
+from repro.workloads.schemas import skyserver_profile
+
+
+class TestPlanRowBlocks:
+    def test_blocks_cover_every_row_exactly_once(self):
+        for n in (2, 3, 10, 57, 200):
+            for workers in (1, 2, 4, 8):
+                blocks = plan_row_blocks(n, workers=workers)
+                covered = [row for start, stop in blocks for row in range(start, stop)]
+                assert covered == list(range(n - 1)), (n, workers)
+
+    def test_chunk_size_bounds_pairs_per_block(self):
+        n = 60
+        blocks = plan_row_blocks(n, workers=4, chunk_size=100)
+        for start, stop in blocks[:-1]:
+            pairs = sum(n - 1 - row for row in range(start, stop))
+            # A block closes as soon as it reaches the target, so it can
+            # overshoot by at most one row's worth of pairs.
+            assert pairs >= 100
+            assert pairs <= 100 + (n - 1 - start)
+
+    def test_trivial_inputs(self):
+        assert plan_row_blocks(0, workers=2) == []
+        assert plan_row_blocks(1, workers=2) == []
+        assert plan_row_blocks(2, workers=8) == [(0, 1)]
+
+    def test_invalid_parameters(self):
+        with pytest.raises(MiningError):
+            plan_row_blocks(10, workers=0)
+        with pytest.raises(MiningError):
+            plan_row_blocks(10, workers=2, chunk_size=0)
+
+    def test_row_block_offsets_are_contiguous(self):
+        n = 23
+        blocks = plan_row_blocks(n, workers=3, chunk_size=20)
+        end = 0
+        for start, stop in blocks:
+            assert row_block_offset(n, start) == end
+            end = row_block_offset(n, stop) if stop < n else condensed_length(n)
+        assert end == condensed_length(n)
+
+
+class TestRowBlockHooks:
+    """condensed_row_block must concatenate to condensed_distances exactly."""
+
+    def _assert_blocks_concatenate(self, measure, context):
+        characteristics = measure.prepare(context)
+        serial = measure.condensed_distances(characteristics)
+        n = len(characteristics)
+        for chunk in (1, 3, n):
+            pieces = [
+                measure.condensed_row_block(characteristics, start, stop)
+                for start, stop in plan_row_blocks(n, workers=1, chunk_size=chunk)
+            ]
+            stitched = np.concatenate(pieces) if pieces else np.zeros(0)
+            assert np.array_equal(stitched, serial), (measure.name, chunk)
+
+    def test_token_row_blocks(self, webshop_log):
+        self._assert_blocks_concatenate(TokenDistance(), LogContext(log=webshop_log))
+
+    def test_structure_row_blocks(self, webshop_log):
+        self._assert_blocks_concatenate(StructureDistance(), LogContext(log=webshop_log))
+
+    def test_access_area_row_blocks(self, skyserver):
+        log = QueryLogGenerator(skyserver, WorkloadMix.analytical(), seed=5).generate(25)
+        context = LogContext(log=log, domains=skyserver.domain_catalog())
+        self._assert_blocks_concatenate(AccessAreaDistance(), context)
+
+    def test_out_of_range_block_rejected(self, webshop_log):
+        measure = TokenDistance()
+        characteristics = measure.prepare(LogContext(log=webshop_log))
+        with pytest.raises(MiningError):
+            measure.condensed_row_block(characteristics, 5, len(characteristics) + 1)
+        with pytest.raises(MiningError):
+            measure.condensed_row_block(characteristics, -1, 5)
+
+
+class TestParallelEqualsSerial:
+    """Multi-process results across all four measures, against both oracles."""
+
+    @pytest.mark.parametrize("workers,chunk_size", [(2, None), (3, 40), (2, 7)])
+    def test_token_parallel_equals_serial(self, webshop, workers, chunk_size):
+        log = QueryLogGenerator(webshop, WorkloadMix(), seed=11).generate(40)
+        context = LogContext(log=log)
+        serial = TokenDistance().condensed_distance_matrix(context)
+        parallel = compute_distance_matrix(
+            TokenDistance(), context, workers=workers, chunk_size=chunk_size
+        )
+        reference = TokenDistance().distance_matrix_reference(context)
+        assert np.array_equal(parallel.values, serial.values)
+        assert np.array_equal(parallel.to_square(), reference)
+
+    def test_structure_parallel_equals_serial(self, webshop_log):
+        context = LogContext(log=webshop_log)
+        serial = StructureDistance().condensed_distance_matrix(context)
+        parallel = compute_distance_matrix(StructureDistance(), context, workers=2)
+        assert np.array_equal(parallel.values, serial.values)
+
+    def test_result_parallel_equals_serial(self, webshop, webshop_database):
+        log = QueryLogGenerator(webshop, WorkloadMix.spj_only(), seed=11).generate(30)
+        context = LogContext(log=log, database=webshop_database)
+        serial = ResultDistance().condensed_distance_matrix(context)
+        parallel = compute_distance_matrix(ResultDistance(), context, workers=2)
+        assert np.array_equal(parallel.values, serial.values)
+
+    def test_access_area_parallel_equals_serial(self, skyserver):
+        log = QueryLogGenerator(skyserver, WorkloadMix.analytical(), seed=11).generate(40)
+        context = LogContext(log=log, domains=skyserver.domain_catalog())
+        serial = AccessAreaDistance().condensed_distance_matrix(context)
+        parallel = compute_distance_matrix(AccessAreaDistance(), context, workers=2)
+        assert np.array_equal(parallel.values, serial.values)
+
+    def test_parallel_result_lands_in_measure_cache(self, webshop_log):
+        measure = TokenDistance()
+        context = LogContext(log=webshop_log)
+        parallel = measure.condensed_distance_matrix(context, workers=2, chunk_size=10)
+        # Same measure, serial call: must return the memoized parallel result.
+        assert measure.condensed_distance_matrix(context) is parallel
+
+    def test_workers_one_is_the_serial_path(self, webshop_log):
+        measure = TokenDistance()
+        characteristics = measure.prepare(LogContext(log=webshop_log))
+        serial = measure.condensed_distances(characteristics)
+        direct = parallel_condensed_distances(measure, characteristics, workers=1)
+        assert np.array_equal(direct, serial)
+
+    def test_invalid_workers_rejected(self, webshop_log):
+        measure = TokenDistance()
+        characteristics = measure.prepare(LogContext(log=webshop_log))
+        with pytest.raises(MiningError):
+            parallel_condensed_distances(measure, characteristics, workers=0)
+        # The memoized entry point validates too — `--workers 0` must not
+        # silently fall back to the serial path and report success.
+        with pytest.raises(MiningError):
+            measure.condensed_distance_matrix(LogContext(log=webshop_log), workers=0)
+        with pytest.raises(MiningError):
+            measure.distance_matrix(LogContext(log=webshop_log), workers=-3)
+
+
+class TestEncryptedParallel:
+    def test_encrypted_context_parallel_equals_plain(self, webshop_log, keychain):
+        from repro.core.schemes.token_scheme import TokenDpeScheme
+
+        plain_context = LogContext(log=webshop_log)
+        encrypted_context = TokenDpeScheme(keychain).encrypt_context(plain_context)
+        plain = compute_distance_matrix(TokenDistance(), plain_context, workers=2)
+        encrypted = compute_distance_matrix(TokenDistance(), encrypted_context, workers=2)
+        assert np.array_equal(plain.values, encrypted.values)
