@@ -17,6 +17,7 @@ S1        security comparison KIT-DPE vs CryptDB-as-is (+ attacks)
 P1        encryption throughput per class/scheme + encrypted execution
 P2        distance-matrix / mining cost, plaintext vs encrypted
 P3        parallel sharding + incremental streaming of the pipeline
+P4        crypto fast paths (batched Paillier, cached OPE) vs reference
 A1        ablation: non-appropriate class choices
 ========  ===========================================================
 """
@@ -586,6 +587,136 @@ def run_p3(
     )
 
 
+def run_p4(
+    *,
+    values: int = 200,
+    key_bits: int = 512,
+    pool_size: int | None = None,
+    ope_values: int = 2000,
+    seed: int = 13,
+) -> ExperimentOutcome:
+    """P4: crypto-layer fast paths vs the scalar reference oracles.
+
+    The pure-Python crypto layer is the dominant cost of every encrypted
+    workload once mining and execution are batched (P2/P1/P3), so its three
+    classic fast paths are measured against the seed's scalar
+    implementations, which are kept as equality oracles: (1) *Paillier
+    encryption* via the binomial shortcut ``(n+1)^m = 1 + m·n (mod n²)``
+    plus a precomputed pool of ``r^n mod n²`` blinding factors
+    (``encrypt_many``) vs two full ``pow``s per value
+    (``encrypt_raw_reference``); (2) *Paillier decryption* via CRT (mod
+    ``p²``/``q²``, Garner recombination) vs the one-big-``pow``
+    ``L``-function path; (3) *OPE encryption* via the memoized descent-node
+    cache with sorted-batch dedup (``encrypt_many``) vs the per-value
+    uncached descent (``encrypt_reference``).  Success requires every
+    fast-path artefact to equal its oracle: Paillier round-trips through
+    both decrypt paths on both ciphertext kinds, and OPE batch ciphertexts
+    are bit-for-bit the reference ones.  ``key_bits`` and ``pool_size`` are
+    CLI axes (``--key-bits``, ``--pool-size``); the wall-clock gates live in
+    ``benchmarks/bench_p4_crypto.py``.
+    """
+    import random
+
+    from repro.crypto.hom import PaillierKeyPair, PaillierScheme
+    from repro.crypto.ope import OrderPreservingScheme
+
+    rng = random.Random(seed)
+    keypair = PaillierKeyPair.generate(key_bits)
+    scheme = PaillierScheme(keypair, pool_size=0, eager_pool=False)
+    plaintexts: list[int | float] = [rng.randrange(-(10**6), 10**6) for _ in range(values)]
+
+    start = time.perf_counter()
+    reference_cts = [scheme.encrypt_raw_reference(scheme._encode(v)) for v in plaintexts]
+    enc_reference = time.perf_counter() - start
+
+    scheme.precompute(pool_size if pool_size is not None else len(plaintexts))
+    start = time.perf_counter()
+    fast_cts = scheme.encrypt_many(plaintexts)  # type: ignore[arg-type]
+    enc_fast = time.perf_counter() - start
+
+    start = time.perf_counter()
+    reference_plain = [scheme._decode(scheme.decrypt_raw_reference(ct)) for ct in fast_cts]
+    dec_reference = time.perf_counter() - start
+    start = time.perf_counter()
+    fast_plain = scheme.decrypt_many(fast_cts)  # type: ignore[arg-type]
+    dec_fast = time.perf_counter() - start
+
+    paillier_equal = (
+        fast_plain == plaintexts
+        and reference_plain == plaintexts
+        and all(scheme.decrypt(ct) == value for ct, value in zip(reference_cts, plaintexts))
+    )
+
+    ope = OrderPreservingScheme(_keychain("p4").key_for("ope"))
+    column = [rng.randrange(0, max(2, ope_values // 2)) for _ in range(ope_values)]
+    start = time.perf_counter()
+    ope_reference = [ope.encrypt_reference(v) for v in column]
+    ope_reference_seconds = time.perf_counter() - start
+    ope.clear_cache()
+    start = time.perf_counter()
+    ope_fast = ope.encrypt_many(column)  # type: ignore[arg-type]
+    ope_fast_seconds = time.perf_counter() - start
+    ope_equal = ope_fast == ope_reference
+
+    def _speedup(reference: float, fast: float) -> float:
+        return reference / fast if fast > 0 else float("inf")
+
+    rows = [
+        (
+            f"Paillier encrypt ({values} values, {key_bits}-bit)",
+            f"{enc_reference * 1000:.1f} ms",
+            f"{enc_fast * 1000:.1f} ms",
+            f"{_speedup(enc_reference, enc_fast):.1f}x",
+        ),
+        (
+            f"Paillier decrypt ({values} values, CRT)",
+            f"{dec_reference * 1000:.1f} ms",
+            f"{dec_fast * 1000:.1f} ms",
+            f"{_speedup(dec_reference, dec_fast):.1f}x",
+        ),
+        (
+            f"OPE encrypt ({ope_values}-value column)",
+            f"{ope_reference_seconds * 1000:.1f} ms",
+            f"{ope_fast_seconds * 1000:.1f} ms",
+            f"{_speedup(ope_reference_seconds, ope_fast_seconds):.1f}x",
+        ),
+    ]
+    cache = ope.cache_stats()
+    report = (
+        format_table(["operation", "scalar reference", "batched fast path", "speedup"], rows)
+        + f"\n\nPaillier fast == reference on all values: {'yes' if paillier_equal else 'NO'}"
+        + f"\nOPE fast bit-for-bit == reference: {'yes' if ope_equal else 'NO'}"
+        + f"\nOPE node cache: {cache['nodes']} nodes, {cache['hit_rate']:.0%} hit rate"
+        + f"\nnoise pool: {scheme.fast_path_stats()['noise_pool']}"
+    )
+    return ExperimentOutcome(
+        experiment_id="P4",
+        title="Crypto fast paths: batched Paillier & cached OPE vs reference",
+        success=paillier_equal and ope_equal,
+        report=report,
+        data={
+            "timings": {
+                "paillier_encrypt_reference": enc_reference,
+                "paillier_encrypt_fast": enc_fast,
+                "paillier_decrypt_reference": dec_reference,
+                "paillier_decrypt_fast": dec_fast,
+                "ope_encrypt_reference": ope_reference_seconds,
+                "ope_encrypt_fast": ope_fast_seconds,
+            },
+            "speedups": {
+                "paillier_encrypt": _speedup(enc_reference, enc_fast),
+                "paillier_decrypt": _speedup(dec_reference, dec_fast),
+                "ope_encrypt": _speedup(ope_reference_seconds, ope_fast_seconds),
+            },
+            "key_bits": key_bits,
+            "pool_size": pool_size,
+            "ope_cache": cache,
+            "paillier_equal": paillier_equal,
+            "ope_equal": ope_equal,
+        },
+    )
+
+
 def run_a1(*, log_size: int = 50, seed: int = 11) -> ExperimentOutcome:
     """A1: ablation of non-appropriate encryption-class choices."""
     result = run_ablation(log_size=log_size, seed=seed)
@@ -651,6 +782,7 @@ _REGISTRY: dict[str, tuple[str, Callable[..., ExperimentOutcome]]] = {
     "P1": ("Encryption & encrypted-execution throughput", run_p1),
     "P2": ("Distance-matrix cost plaintext vs encrypted", run_p2),
     "P3": ("Parallel & incremental mining pipeline", run_p3),
+    "P4": ("Crypto fast paths vs scalar reference", run_p4),
     "A1": ("Ablation: non-appropriate classes", run_a1),
 }
 

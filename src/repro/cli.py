@@ -8,6 +8,8 @@ Everything the repository reproduces can be driven from the shell::
     python -m repro run --all               # run every experiment
     python -m repro docs                    # regenerate EXPERIMENTS.md + ARCHITECTURE.md
     python -m repro run P3 --workers 4      # parallel/incremental pipeline experiment
+    python -m repro run P4 --key-bits 1024 --pool-size 500
+                                            # crypto fast-path experiment
     python -m repro report REPORT.md        # run everything, write measured report
     python -m repro table1                  # print the derived Table I
     python -m repro figure1                 # print the Figure 1 taxonomy
@@ -84,6 +86,21 @@ def build_parser() -> argparse.ArgumentParser:
         dest="chunk_size",
         help="pairs per parallel task for experiments with a parallelism axis (P3)",
     )
+    run_parser.add_argument(
+        "--pool-size",
+        type=int,
+        default=None,
+        dest="pool_size",
+        help="precomputed Paillier blinding factors for experiments with a "
+        "crypto axis (P4); others ignore the flag",
+    )
+    run_parser.add_argument(
+        "--key-bits",
+        type=int,
+        default=None,
+        dest="key_bits",
+        help="Paillier modulus size for experiments with a crypto axis (P4)",
+    )
 
     docs_parser = subparsers.add_parser(
         "docs",
@@ -136,6 +153,8 @@ def _command_run(
     backend: str | None,
     workers: int | None = None,
     chunk_size: int | None = None,
+    pool_size: int | None = None,
+    key_bits: int | None = None,
 ) -> int:
     ids = [experiment_id for experiment_id, _ in list_experiments()] if run_all else list(experiment_ids)
     if not ids:
@@ -143,7 +162,13 @@ def _command_run(
         return 2
     failures = 0
     # Cross-cutting axes are passed only to the experiments that declare them.
-    axes = {"backend": backend, "workers": workers, "chunk_size": chunk_size}
+    axes = {
+        "backend": backend,
+        "workers": workers,
+        "chunk_size": chunk_size,
+        "pool_size": pool_size,
+        "key_bits": key_bits,
+    }
     for experiment_id in ids:
         supported = experiment_parameters(experiment_id)
         parameters = {
@@ -199,6 +224,8 @@ def main(argv: Sequence[str] | None = None) -> int:
             arguments.backend,
             arguments.workers,
             arguments.chunk_size,
+            arguments.pool_size,
+            arguments.key_bits,
         )
     if arguments.command == "docs":
         return _command_docs(arguments.output, arguments.architecture)

@@ -151,6 +151,10 @@ class ProxySession:
         """Per-column exposure after the workload served so far (all sessions)."""
         return self._proxy.exposure_report()
 
+    def crypto_stats(self) -> dict[str, object]:
+        """Fast-path statistics of the proxy's crypto layer (pool + caches)."""
+        return self._proxy.crypto_stats()
+
     # -- execution ------------------------------------------------------ #
 
     def rewrite(self, query: Query) -> Query | None:
@@ -206,6 +210,10 @@ class ProxySession:
             if rewritten is not None:
                 encrypted.append(rewritten)
         into.append(encrypted)
+        # Regenerate Paillier blinding factors while the provider side mines
+        # the appended batch, so the next batch's HOM constants encrypt from
+        # a warm pool (one multiplication each).
+        self._proxy.paillier_scheme.noise_pool.refill_async()
         return encrypted
 
     def close(self) -> None:
@@ -229,6 +237,7 @@ class CryptDBProxy:
         join_groups: Iterable[JoinGroupSpec] = (),
         paillier_keypair: PaillierKeyPair | None = None,
         paillier_bits: int = 512,
+        paillier_pool_size: int = PaillierScheme.DEFAULT_POOL_SIZE,
         constant_policy: ConstantPolicy | None = None,
         taxonomy: EncryptionTaxonomy | None = None,
         shared_det_key: bool = False,
@@ -247,6 +256,11 @@ class CryptDBProxy:
         ``backend`` names the default execution backend (see
         :mod:`repro.db.backend`) used by sessions that do not choose their
         own, and by the proxy's single-query convenience methods.
+
+        ``paillier_pool_size`` sizes the HOM scheme's precomputed
+        blinding-factor pool (see
+        :class:`~repro.crypto.hom.PaillierNoisePool`); streaming sessions
+        refill it in the background between batches.
         """
         self._keychain = keychain
         self._join_groups = {group.name: group for group in join_groups}
@@ -257,7 +271,8 @@ class CryptDBProxy:
         self._relation_scheme = DeterministicScheme(keychain.relation_key())
         self._attribute_scheme = DeterministicScheme(keychain.attribute_key())
         self._paillier = PaillierScheme(
-            paillier_keypair or PaillierKeyPair.generate(paillier_bits)
+            paillier_keypair or PaillierKeyPair.generate(paillier_bits),
+            pool_size=paillier_pool_size,
         )
         self._schema_map: EncryptedSchemaMap | None = None
         self._encrypted_db: Database | None = None
@@ -319,19 +334,26 @@ class CryptDBProxy:
                 return group
         return None
 
-    def _column_encryption(self, table: str, column: Column) -> ColumnEncryption:
-        group = self._join_group_for(table, column.name)
+    def _column_key_paths(
+        self, table: str, column_name: str
+    ) -> tuple[tuple[str, ...], tuple[str, ...], tuple[str, ...]]:
+        """The keychain paths of one column's (det, ope, prob) keys."""
+        group = self._join_group_for(table, column_name)
         if self._shared_det_key:
-            det_key = self._keychain.key_for("shared-eq-onion")
-            ope_key = self._keychain.constant_key(table, column.name, "ope")
+            det_path: tuple[str, ...] = ("shared-eq-onion",)
+            ope_path: tuple[str, ...] = ("constants", table, column_name, "ope")
         elif group is not None:
-            det_key = self._keychain.join_key(group.name)
-            ope_key = self._keychain.key_for("join-group", group.name, "ope")
+            det_path = ("join-group", group.name)
+            ope_path = ("join-group", group.name, "ope")
         else:
-            det_key = self._keychain.constant_key(table, column.name, "det")
-            ope_key = self._keychain.constant_key(table, column.name, "ope")
-        prob_key = self._keychain.constant_key(table, column.name, "prob")
+            det_path = ("constants", table, column_name, "det")
+            ope_path = ("constants", table, column_name, "ope")
+        return det_path, ope_path, ("constants", table, column_name, "prob")
 
+    def _column_encryption(self, table: str, column: Column) -> ColumnEncryption:
+        det_key, ope_key, prob_key = self._keychain.keys_for(
+            self._column_key_paths(table, column.name)
+        )
         det = DeterministicScheme(det_key)
         prob = ProbabilisticScheme(prob_key)
         ope = None
@@ -348,6 +370,13 @@ class CryptDBProxy:
     def _encrypt_table_schema(self, schema: TableSchema) -> EncryptedTable:
         encrypted_name = self._relation_scheme.encrypt_identifier(schema.name)
         encrypted_table = EncryptedTable(schema.name, encrypted_name)
+        # Warm the keychain cache with every per-column key up front; the
+        # per-column loop below then only does cache lookups.
+        self._keychain.keys_for(
+            path
+            for column in schema.columns
+            for path in self._column_key_paths(schema.name, column.name)
+        )
         for column in schema.columns:
             onions: tuple[Onion, ...] = (Onion.EQ,)
             if column.type.is_numeric:
@@ -527,6 +556,39 @@ class CryptDBProxy:
                 raise RewriteError(f"HOMSUM expects Paillier ciphertext integers, got {value!r}")
             product = (product * value) % n_squared
         return product
+
+    @property
+    def paillier_scheme(self) -> PaillierScheme:
+        """The proxy's shared HOM (Paillier) scheme instance."""
+        return self._paillier
+
+    def crypto_stats(self) -> dict[str, object]:
+        """Aggregate fast-path statistics of the crypto layer.
+
+        Returns the Paillier noise-pool counters plus the OPE descent-node
+        cache totals summed over every ORD-capable column of the encrypted
+        schema — the numbers that show whether the batch/precompute fast
+        paths actually carried the workload.
+        """
+        stats: dict[str, object] = {"paillier": self._paillier.fast_path_stats()}
+        ope_totals = {"nodes": 0, "hits": 0, "misses": 0}
+        columns = 0
+        if self._schema_map is not None:
+            for column in self._schema_map.all_columns():
+                ope = column.encryption.ope
+                if ope is None:
+                    continue
+                columns += 1
+                cache = ope.cache_stats()
+                for key in ope_totals:
+                    ope_totals[key] += int(cache[key])
+        lookups = ope_totals["hits"] + ope_totals["misses"]
+        stats["ope"] = {
+            "columns": columns,
+            **ope_totals,
+            "hit_rate": ope_totals["hits"] / lookups if lookups else 0.0,
+        }
+        return stats
 
     def exposure_report(self) -> dict[tuple[str, str], dict[str, object]]:
         """Per-column exposure after serving the workload rewritten so far.

@@ -12,6 +12,7 @@ from __future__ import annotations
 
 import abc
 import enum
+from collections.abc import Callable
 
 from repro.crypto.primitives import SqlValue
 
@@ -106,6 +107,58 @@ class EncryptionScheme(abc.ABC):
     def decrypt_many(self, ciphertexts: list[object]) -> list[SqlValue]:
         """Decrypt a batch of ciphertexts (default: element-wise)."""
         return [self.decrypt(ciphertext) for ciphertext in ciphertexts]
+
+    def _decrypt_many_deduplicated(
+        self,
+        ciphertexts: list[object],
+        *,
+        cache_key: Callable[[object], object] | None = None,
+    ) -> list[SqlValue]:
+        """Batch decryption reusing the plaintext of repeated ciphertexts.
+
+        Decryption is a deterministic function of the ciphertext for every
+        scheme here, so — dual to :meth:`_encrypt_many_deduplicated` — a
+        repeated ciphertext pays the cipher cost once.  This matters exactly
+        where the encrypt-side dedup mattered: decrypting a column that was
+        batch-encrypted with dedup contains one distinct ciphertext per
+        distinct plaintext.  ``cache_key`` maps a ciphertext to its hashable
+        cache key (schemes with unhashable ciphertext objects key on the
+        underlying value); unhashable keys fall back to direct decryption so
+        malformed inputs still raise the scheme's own error.
+        """
+        cache: dict[object, SqlValue] = {}
+        plaintexts: list[SqlValue] = []
+        for ciphertext in ciphertexts:
+            key = cache_key(ciphertext) if cache_key is not None else ciphertext
+            try:
+                cached = key in cache
+            except TypeError:
+                plaintexts.append(self.decrypt(ciphertext))
+                continue
+            if not cached:
+                cache[key] = self.decrypt(ciphertext)
+            plaintexts.append(cache[key])
+        return plaintexts
+
+    def precompute(self, count: int) -> None:
+        """Precompute per-value material for ``count`` upcoming encryptions.
+
+        Default: no-op.  Schemes with precomputable per-value work override
+        it (Paillier tops up its blinding-factor pool); callers that know a
+        batch size — column-wise database encryption, streaming sessions —
+        call it ahead of :meth:`encrypt_many` so the hot loop stays free of
+        expensive operations.
+        """
+        _ = count
+
+    def fast_path_stats(self) -> dict[str, object]:
+        """Counters describing the scheme's precomputation/caching fast paths.
+
+        Default: empty (no fast path).  Paillier reports its noise pool, OPE
+        its descent-node cache; the proxy aggregates these per column so
+        experiments can report cache effectiveness.
+        """
+        return {}
 
     def describe(self) -> dict[str, object]:
         """Return a machine-readable description of the scheme's properties."""

@@ -65,6 +65,12 @@ class DeterministicScheme(EncryptionScheme):
         deterministic, so repeated values reuse one AES/PRF evaluation)."""
         return self._encrypt_many_deduplicated(values)  # type: ignore[return-value]
 
+    def decrypt_many(self, ciphertexts: list[object]) -> list[SqlValue]:
+        """Batch decryption with repeated-ciphertext deduplication (the dual
+        of :meth:`encrypt_many`: a column batch-encrypted with dedup repeats
+        its ciphertexts, so each distinct one pays AES/PRF once)."""
+        return self._decrypt_many_deduplicated(ciphertexts)
+
     # -- identifier ciphertexts ------------------------------------------- #
 
     def encrypt_identifier(self, name: str) -> str:

@@ -10,6 +10,7 @@ different purposes never share key material by accident.
 
 from __future__ import annotations
 
+from collections.abc import Iterable, Sequence
 from dataclasses import dataclass
 
 from repro.crypto.primitives import derive_key, random_bytes
@@ -64,6 +65,17 @@ class KeyChain:
             label = "|".join(f"{len(component)}:{component}" for component in path)
             self._cache[cache_key] = derive_key(self._master.material, label, length)
         return self._cache[cache_key]
+
+    def keys_for(self, paths: Iterable[Sequence[str]], *, length: int = 32) -> list[bytes]:
+        """Derive (and cache) the sub-keys for many paths in one call.
+
+        The bulk counterpart of :meth:`key_for` — the same per-path HKDF
+        derivation, not an amortized one — so callers that know every key
+        they will need (the CryptDB proxy needs three per column when
+        encrypting a schema) can warm the cache up front and state that
+        intent in one call.  Returns the keys in ``paths`` order.
+        """
+        return [self.key_for(*path, length=length) for path in paths]
 
     # Convenience accessors matching the paper's high-level encryption scheme
     # (EncRel, EncAttr, {EncA.Const : Attribute A}).

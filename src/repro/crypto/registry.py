@@ -55,6 +55,7 @@ def default_registry(
     *,
     paillier_keypair: PaillierKeyPair | None = None,
     paillier_bits: int = 512,
+    paillier_pool_size: int = PaillierScheme.DEFAULT_POOL_SIZE,
     ope_domain: tuple[int, int] = (-(2**31), 2**31 - 1),
 ) -> SchemeRegistry:
     """Build the default registry with one instance per class of Figure 1.
@@ -67,6 +68,10 @@ def default_registry(
         on first use of the HOM class.
     paillier_bits:
         Modulus size for lazily generated Paillier keys.
+    paillier_pool_size:
+        Blinding factors (``r^n mod n²``) precomputed eagerly when the HOM
+        instance is created; size it to the expected batch so
+        ``encrypt_many`` stays one multiplication per value.
     ope_domain:
         Inclusive plaintext domain for OPE instances.
     """
@@ -97,7 +102,7 @@ def default_registry(
         _ = key
         if "scheme" not in paillier_cache:
             keypair = paillier_keypair or PaillierKeyPair.generate(paillier_bits)
-            paillier_cache["scheme"] = PaillierScheme(keypair)
+            paillier_cache["scheme"] = PaillierScheme(keypair, pool_size=paillier_pool_size)
         return paillier_cache["scheme"]
 
     registry.register(EncryptionClass.HOM, make_paillier)

@@ -23,7 +23,7 @@ hypothesis_settings.register_profile(
 )
 hypothesis_settings.load_profile("repro")
 from repro.core.dpe import LogContext
-from repro.crypto.hom import PaillierKeyPair
+from repro.crypto.hom import PaillierKeyPair, PaillierScheme
 from repro.crypto.keys import KeyChain, MasterKey
 from repro.db.database import Database
 from repro.db.schema import Column, ColumnType, TableSchema
@@ -42,6 +42,28 @@ def keychain() -> KeyChain:
 def paillier_keypair() -> PaillierKeyPair:
     """A small (fast) Paillier key pair shared across the session."""
     return PaillierKeyPair.generate(256)
+
+
+@pytest.fixture(scope="session")
+def paillier_keypair_alt() -> PaillierKeyPair:
+    """A second session-scoped key pair for wrong-key/cross-key tests.
+
+    Key generation is the most expensive fixture in the crypto suite; every
+    test needing "some other key" shares this one instead of regenerating.
+    """
+    return PaillierKeyPair.generate(256)
+
+
+@pytest.fixture(scope="session")
+def paillier_scheme(paillier_keypair: PaillierKeyPair) -> PaillierScheme:
+    """A Paillier scheme over the shared key pair (session-scoped)."""
+    return PaillierScheme(paillier_keypair)
+
+
+@pytest.fixture(scope="session")
+def paillier_scheme_alt(paillier_keypair_alt: PaillierKeyPair) -> PaillierScheme:
+    """A Paillier scheme over the alternate key pair (session-scoped)."""
+    return PaillierScheme(paillier_keypair_alt)
 
 
 @pytest.fixture

@@ -1,4 +1,9 @@
-"""Tests for Paillier homomorphic encryption."""
+"""Tests for Paillier homomorphic encryption (fast paths included).
+
+Key pairs are expensive to generate, so every test shares the session-scoped
+``paillier_scheme``/``paillier_scheme_alt`` fixtures from ``tests/conftest.py``
+instead of regenerating keys per test/module.
+"""
 
 from __future__ import annotations
 
@@ -7,13 +12,18 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.crypto.base import EncryptionClass
-from repro.crypto.hom import PaillierCiphertext, PaillierKeyPair, PaillierScheme
+from repro.crypto.hom import (
+    PaillierCiphertext,
+    PaillierKeyPair,
+    PaillierNoisePool,
+    PaillierScheme,
+)
 from repro.exceptions import DecryptionError, EncryptionError
 
 
-@pytest.fixture(scope="module")
-def scheme() -> PaillierScheme:
-    return PaillierScheme(PaillierKeyPair.generate(256))
+@pytest.fixture
+def scheme(paillier_scheme: PaillierScheme) -> PaillierScheme:
+    return paillier_scheme
 
 
 class TestKeyGeneration:
@@ -23,6 +33,11 @@ class TestKeyGeneration:
     def test_rejects_tiny_modulus(self):
         with pytest.raises(EncryptionError):
             PaillierKeyPair.generate(32)
+
+    def test_private_key_carries_factors(self, paillier_keypair):
+        private = paillier_keypair.private
+        assert private.has_crt
+        assert private.p * private.q == paillier_keypair.public.n
 
 
 class TestEncryptDecrypt:
@@ -42,9 +57,8 @@ class TestEncryptDecrypt:
         with pytest.raises(EncryptionError):
             scheme.encrypt(int(scheme.public_key.n))
 
-    def test_decrypt_requires_matching_key(self, scheme):
-        other = PaillierScheme(PaillierKeyPair.generate(256))
-        ciphertext = other.encrypt(5)
+    def test_decrypt_requires_matching_key(self, scheme, paillier_scheme_alt):
+        ciphertext = paillier_scheme_alt.encrypt(5)
         with pytest.raises(DecryptionError):
             scheme.decrypt(ciphertext)
 
@@ -56,6 +70,100 @@ class TestEncryptDecrypt:
         assert scheme.encryption_class is EncryptionClass.HOM
         assert scheme.supports_addition
         assert scheme.is_probabilistic
+
+
+class TestFastPaths:
+    """Binomial + pool encryption and CRT decryption vs the reference oracle."""
+
+    def test_fast_and_reference_ciphertexts_interchangeable(self, scheme):
+        for message in (0, 1, 12345, scheme.public_key.n - 1):
+            fast = scheme.encrypt_raw(message)
+            reference = scheme.encrypt_raw_reference(message)
+            for ciphertext in (fast, reference):
+                assert scheme.decrypt_raw(ciphertext) == message
+                assert scheme.decrypt_raw_reference(ciphertext) == message
+
+    def test_reference_decrypt_requires_matching_key(self, scheme, paillier_scheme_alt):
+        with pytest.raises(DecryptionError):
+            scheme.decrypt_raw_reference(paillier_scheme_alt.encrypt_raw(1))
+
+    def test_crt_fallback_without_factors(self, paillier_keypair):
+        from repro.crypto.hom import PaillierPrivateKey
+
+        stripped = PaillierKeyPair(
+            paillier_keypair.public,
+            PaillierPrivateKey(paillier_keypair.private.lam, paillier_keypair.private.mu),
+        )
+        scheme = PaillierScheme(stripped, pool_size=2)
+        assert not stripped.private.has_crt
+        assert scheme.fast_path_stats()["crt_decrypt"] is False
+        assert scheme.decrypt(scheme.encrypt(77)) == 77
+
+    def test_encrypt_many_round_trip(self, scheme):
+        values = [0, 1, -5, 123456, -99999, 17, 17]
+        ciphertexts = scheme.encrypt_many(values)
+        assert scheme.decrypt_many(ciphertexts) == values
+        # Probabilistic: equal plaintexts must NOT share ciphertexts.
+        assert ciphertexts[-1].value != ciphertexts[-2].value
+
+    def test_encrypt_many_rejects_non_numeric(self, scheme):
+        with pytest.raises(EncryptionError):
+            scheme.encrypt_many([1, "x", 2])
+
+    def test_decrypt_many_deduplicates_repeated_ciphertexts(self, scheme):
+        ciphertext = scheme.encrypt(99)
+        assert scheme.decrypt_many([ciphertext, ciphertext, ciphertext]) == [99, 99, 99]
+
+    def test_decrypt_many_rejects_garbage(self, scheme):
+        with pytest.raises(DecryptionError):
+            scheme.decrypt_many([scheme.encrypt(1), "nonsense"])
+
+    def test_decrypt_many_dedup_does_not_bypass_key_check(self, scheme, paillier_scheme_alt):
+        ciphertext = scheme.encrypt(5)
+        foreign = PaillierCiphertext(ciphertext.value, paillier_scheme_alt.public_key)
+        with pytest.raises(DecryptionError):
+            scheme.decrypt_many([ciphertext, foreign])
+
+
+class TestNoisePool:
+    def test_eager_fill_and_take(self, paillier_keypair):
+        pool = PaillierNoisePool(paillier_keypair.public, size=4)
+        assert len(pool) == 4
+        factors = {pool.take() for _ in range(4)}
+        assert len(factors) == 4  # every blinding factor is served once
+        assert len(pool) == 0
+
+    def test_on_demand_fallback_when_empty(self, paillier_keypair):
+        pool = PaillierNoisePool(paillier_keypair.public, size=0)
+        factor = pool.take()
+        n_sq = paillier_keypair.public.n_squared
+        assert 0 < factor < n_sq
+        assert pool.stats()["served_on_demand"] == 1
+
+    def test_ensure_and_refill(self, paillier_keypair):
+        pool = PaillierNoisePool(paillier_keypair.public, size=3, eager=False)
+        pool.ensure(5)
+        assert len(pool) == 5
+        for _ in range(5):
+            pool.take()
+        pool.refill()
+        assert len(pool) == 3
+
+    def test_background_refill(self, paillier_keypair):
+        pool = PaillierNoisePool(paillier_keypair.public, size=8, eager=False)
+        thread = pool.refill_async()
+        thread.join(timeout=30)
+        assert not thread.is_alive()
+        assert len(pool) == 8
+
+    def test_scheme_precompute_tops_up_pool(self, paillier_keypair):
+        scheme = PaillierScheme(paillier_keypair, pool_size=0, eager_pool=False)
+        scheme.precompute(6)
+        assert scheme.fast_path_stats()["noise_pool"]["pooled"] == 6
+
+    def test_rejects_negative_size(self, paillier_keypair):
+        with pytest.raises(EncryptionError):
+            PaillierNoisePool(paillier_keypair.public, size=-1)
 
 
 class TestHomomorphism:
@@ -90,10 +198,9 @@ class TestHomomorphism:
         ciphertext = 3 * scheme.encrypt_raw(5)
         assert scheme.decrypt_raw(ciphertext) == 15
 
-    def test_mixing_keys_rejected(self, scheme):
-        other = PaillierScheme(PaillierKeyPair.generate(256))
+    def test_mixing_keys_rejected(self, scheme, paillier_scheme_alt):
         with pytest.raises(EncryptionError):
-            scheme.encrypt(1) + other.encrypt(2)
+            scheme.encrypt(1) + paillier_scheme_alt.encrypt(2)
 
     @settings(max_examples=25, deadline=None)
     @given(

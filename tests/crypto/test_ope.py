@@ -48,6 +48,20 @@ class TestBasics:
         b = OrderPreservingScheme(keychain.key_for("ope-2"), domain_min=0, domain_max=1000)
         assert [a.encrypt(v) for v in range(10)] != [b.encrypt(v) for v in range(10)]
 
+    def test_batch_round_trip_with_repeats(self, small_ope):
+        values = [9_999, 0, 42, 42, 5_000, 0]
+        ciphertexts = small_ope.encrypt_many(values)
+        assert ciphertexts == [small_ope.encrypt_reference(v) for v in values]
+        assert small_ope.decrypt_many(ciphertexts) == values
+
+    def test_node_cache_shared_between_encrypt_and_decrypt(self, small_ope):
+        ciphertext = small_ope.encrypt(1234)
+        nodes_after_encrypt = small_ope.cache_stats()["nodes"]
+        assert small_ope.decrypt(ciphertext) == 1234
+        stats = small_ope.cache_stats()
+        assert stats["nodes"] == nodes_after_encrypt  # decrypt walked cached nodes
+        assert stats["hits"] >= nodes_after_encrypt
+
 
 class TestValidation:
     def test_rejects_non_integers(self, small_ope):

@@ -121,6 +121,18 @@ class TestDeterministicScheme:
         assert scheme.encrypt(value) == scheme.encrypt(value)
         assert scheme.decrypt(scheme.encrypt(value)) == value
 
+    def test_batch_round_trip_with_repeats(self, keychain):
+        scheme = DeterministicScheme(keychain.key_for("det"))
+        values = ["a", 5, "a", None, 5.0, 5, "a"]
+        ciphertexts = scheme.encrypt_many(values)
+        assert ciphertexts.count(ciphertexts[0]) == 3  # dedup: equal bits
+        assert scheme.decrypt_many(ciphertexts) == values
+
+    def test_decrypt_many_rejects_malformed(self, keychain):
+        scheme = DeterministicScheme(keychain.key_for("det"))
+        with pytest.raises(DecryptionError):
+            scheme.decrypt_many([scheme.encrypt("ok"), "not-a-ciphertext"])
+
 
 class TestJoinScheme:
     def test_same_group_shares_ciphertexts(self, keychain):
