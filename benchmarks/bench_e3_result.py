@@ -49,7 +49,8 @@ def test_e3_encrypted_execution_throughput(
     scheme.proxy.encrypt_database(bench_webshop_db)
 
     def run_workload():
-        return [scheme.proxy.execute(query) for query in bench_spj_log.queries]
+        with scheme.proxy.session() as session:
+            return session.run(bench_spj_log.queries)
 
     results = benchmark.pedantic(run_workload, rounds=3, iterations=1)
 

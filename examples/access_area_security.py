@@ -28,11 +28,10 @@ from repro import (
     TokenDpeScheme,
     verify_distance_preservation,
 )
-from repro._utils import format_table
+from repro.api import complete_link, cut_dendrogram, format_table
 from repro.attacks import query_only_attack
 from repro.attacks.query_only import extract_constants
 from repro.core.schemes.access_area_scheme import AttributeUsage
-from repro.mining import complete_link, cut_dendrogram
 from repro.workloads import QueryLogGenerator, WorkloadMix, skyserver_profile
 
 # --------------------------------------------------------------------------- #

@@ -15,9 +15,8 @@ Run with::
 from __future__ import annotations
 
 from repro import KeyChain, MasterKey
-from repro._utils import format_table
+from repro.api import format_table, mine_query_log
 from repro.core.schemes import StructureDpeScheme
-from repro.mining import mine_query_log
 from repro.workloads import QueryLogGenerator, WorkloadMix, webshop_profile
 
 # --------------------------------------------------------------------------- #

@@ -15,10 +15,8 @@ Run with::
 from __future__ import annotations
 
 from repro import KeyChain, LogContext, MasterKey, ResultDistance, verify_distance_preservation
-from repro._utils import format_table
+from repro.api import format_table, k_medoids, parse_query, top_n_outliers
 from repro.core.schemes import ResultDpeScheme
-from repro.mining import k_medoids, top_n_outliers
-from repro.sql import parse_query
 from repro.workloads import QueryLogGenerator, WorkloadMix, populate_database, webshop_profile
 
 # --------------------------------------------------------------------------- #
@@ -80,7 +78,8 @@ question = parse_query(
     "JOIN orders ON customer_id = order_customer "
     "WHERE order_amount > 100 GROUP BY customer_city"
 )
-encrypted_answer = scheme.proxy.execute(question)
+with scheme.proxy.session() as session:
+    encrypted_answer = session.execute(question)
 decrypted = scheme.proxy.decrypt_result(encrypted_answer)
 print("owner-side decrypted answer to an ad-hoc aggregate query:")
 print(format_table(decrypted.columns, [tuple(map(str, row)) for row in decrypted.rows]))

@@ -28,13 +28,13 @@ from repro import (
     TokenDpeScheme,
     verify_distance_preservation,
 )
-from repro._utils import format_table
-from repro.mining import (
+from repro.api import (
     adjusted_rand_index,
     complete_link,
     cut_dendrogram,
     dbscan,
     distance_based_outliers,
+    format_table,
     k_medoids,
 )
 from repro.workloads import QueryLogGenerator, WorkloadMix, webshop_profile

@@ -21,7 +21,7 @@ from repro import (
     TokenDpeScheme,
     verify_distance_preservation,
 )
-from repro.mining import dbscan
+from repro.api import dbscan
 
 # --------------------------------------------------------------------------- #
 # 1. The data owner's plaintext query log.

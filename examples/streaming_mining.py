@@ -2,15 +2,16 @@
 
 The production shape of the paper's outsourcing story: the query log is not
 a file that exists up front but a *stream* that grows while the provider
-mines it.  This example runs the full loop:
+mines it.  This example runs the full loop through the public API:
 
-1. the owner generates a workload and encrypts the database behind a
-   CryptDB-style proxy,
-2. batches of plaintext queries arrive at a :class:`ProxySession`, which
-   rewrites them and streams the *encrypted* queries into a
-   :class:`StreamingQueryLog` (what the provider sees),
-3. an :class:`IncrementalDistanceMatrix` subscribed to that stream extends
-   the token-distance matrix by the new pairs only and keeps DBSCAN labels,
+1. the owner configures an :class:`~repro.api.EncryptedMiningService` and
+   encrypts the database behind its CryptDB-style proxy,
+2. batches of plaintext queries arrive at a service session, which rewrites
+   them and streams the *encrypted* queries directly into an incremental
+   mining matrix (the matrix satisfies the
+   :class:`~repro.api.StreamSink` protocol — no separate log object needed),
+3. the :class:`~repro.api.IncrementalDistanceMatrix` extends the
+   token-distance matrix by the new pairs only and keeps DBSCAN labels,
    kNN lists and outlier scores current after every batch,
 4. after each batch, the provider-side artefacts are compared against a full
    batch recompute over the grown log — they are identical, while the
@@ -25,60 +26,64 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro import KeyChain, LogContext, MasterKey, TokenDistance
-from repro._utils import format_table
-from repro.cryptdb.proxy import CryptDBProxy
-from repro.mining import (
-    IncrementalDistanceMatrix,
-    StreamingQueryLog,
+from repro.api import (
+    CryptoConfig,
+    EncryptedMiningService,
+    LogContext,
+    MiningConfig,
+    QueryLog,
+    QueryLogGenerator,
+    ServiceConfig,
+    TokenDistance,
+    WorkloadMix,
     condensed_length,
     dbscan,
+    format_table,
+    populate_database,
+    webshop_profile,
 )
-from repro.sql.log import QueryLog
-from repro.workloads import QueryLogGenerator, WorkloadMix, populate_database, webshop_profile
 
 # --------------------------------------------------------------------------- #
-# 1. Owner side: workload, encrypted database, proxy session.
+# 1. Owner side: workload, service configuration, encrypted database.
 
 profile = webshop_profile(customer_rows=60, order_rows=150, product_rows=30)
 workload = QueryLogGenerator(profile, WorkloadMix.spj_only(), seed=2026).generate(120)
 batches = [workload.queries[start : start + 30] for start in range(0, 120, 30)]
 
-proxy = CryptDBProxy(
-    KeyChain(MasterKey.generate()),
+service = EncryptedMiningService(
+    ServiceConfig(
+        crypto=CryptoConfig(paillier_bits=256, shared_det_key=True),
+        mining=MiningConfig(
+            measure="token",
+            knn_k=3,
+            outlier_p=0.9,
+            outlier_d=0.9,
+            dbscan_eps=0.55,
+            dbscan_min_points=3,
+        ),
+    ),
     join_groups=profile.join_groups(),
-    paillier_bits=256,
-    shared_det_key=True,
 )
-proxy.encrypt_database(populate_database(profile, seed=2026))
+service.encrypt(populate_database(profile, seed=2026))
 print(f"owner: {len(workload)} queries will arrive in {len(batches)} batches of 30")
 print()
 
 # --------------------------------------------------------------------------- #
-# 2./3. Provider side: a streaming log feeding an incremental clustering.
+# 2./3. Provider side: an incremental mining matrix fed straight from the
+# session.  The matrix owns its stream and satisfies StreamSink, so it *is*
+# the `into` target — encrypted queries land in the mining artefacts the
+# moment the session rewrites them.
 
-stream = StreamingQueryLog()
-mining = IncrementalDistanceMatrix(
-    TokenDistance(),
-    stream,
-    knn_k=3,
-    outlier_p=0.9,
-    outlier_d=0.9,
-    dbscan_eps=0.55,
-    dbscan_min_points=3,
-)
+mining = service.incremental_miner()
 
 rows = []
-with proxy.session(on_unsupported="skip") as session:
+with service.open_session(on_unsupported="skip") as session:
     for number, batch in enumerate(batches, start=1):
-        # The session rewrites the plaintext batch; only the encrypted
-        # queries enter the stream — and the subscribed matrix extends
-        # itself by the new pairs the moment they land.
-        session.stream(batch, into=stream)
+        session.stream(batch, into=mining)
 
         # 4. Oracle: a full batch recompute over everything seen so far.
         recomputed = TokenDistance().condensed_distance_matrix(
-            LogContext(log=QueryLog(list(stream)))
+            LogContext(log=QueryLog(list(mining.stream)))
         )
         labels = mining.dbscan()
         reference = dbscan(recomputed, eps=0.55, min_points=3)

@@ -12,7 +12,10 @@ Quickstart::
     from repro import quick_demo
     print(quick_demo())
 
-or see ``examples/quickstart.py`` for a commented walk-through.
+or see ``examples/quickstart.py`` for a commented walk-through.  Embedding
+applications should program against :mod:`repro.api`, the versioned public
+surface: typed configs, the ``EncryptedMiningService`` façade, typed result
+objects and the unified error hierarchy.
 """
 
 from repro.core import (

@@ -35,6 +35,12 @@ from repro.analysis.ablation import run_ablation
 from repro.analysis.preservation import run_preservation_experiment
 from repro.analysis.security import run_security_comparison
 from repro.analysis.table1 import format_table1, render_figure1, table1_matches_paper
+from repro.api import (
+    DEFAULT_BACKEND,
+    CryptoConfig,
+    EncryptedMiningService,
+    ServiceConfig,
+)
 from repro.core.dpe import LogContext
 from repro.core.measures import (
     AccessAreaDistance,
@@ -52,8 +58,6 @@ from repro.crypto.base import EncryptionClass
 from repro.crypto.keys import KeyChain, MasterKey
 from repro.crypto.registry import default_registry
 from repro.crypto.taxonomy import default_taxonomy
-from repro.cryptdb.proxy import CryptDBProxy
-from repro.db.backend import DEFAULT_BACKEND
 from repro.exceptions import AnalysisError
 from repro.workloads.generator import QueryLogGenerator, WorkloadMix
 from repro.workloads.schemas import (
@@ -275,9 +279,10 @@ def run_p1(
     """P1: encryption throughput per class, per DPE scheme and per backend.
 
     Besides the per-class and per-scheme encryption rates, the experiment
-    serves an encrypted select-project-join workload through a batched
-    CryptDB proxy session on the chosen execution backend and reports the
-    end-to-end (rewrite + execute) throughput.
+    serves an encrypted select-project-join workload through the
+    :class:`repro.api.EncryptedMiningService` façade (one batched proxy
+    session) on the chosen execution backend and reports the end-to-end
+    (rewrite + execute) throughput.
     """
     registry = default_registry(paillier_bits=256)
     keychain = _keychain("p1")
@@ -317,22 +322,21 @@ def run_p1(
         scheme_rows.append((name, f"{qps:,.1f} queries/s"))
 
     # End-to-end encrypted-workload throughput: rewrite + execute a whole
-    # SPJ workload through one batched proxy session on the chosen backend.
+    # SPJ workload through the service façade on the chosen backend.
     spj_log = QueryLogGenerator(profile, WorkloadMix.spj_only(), seed=seed + 1).generate(log_size)
-    proxy = CryptDBProxy(
-        _keychain("p1-proxy"),
+    service = EncryptedMiningService(
+        ServiceConfig(
+            crypto=CryptoConfig(
+                passphrase="experiments/p1-proxy", paillier_bits=256, shared_det_key=True
+            )
+        ),
         join_groups=profile.join_groups(),
-        paillier_bits=256,
-        shared_det_key=True,
     )
-    proxy.encrypt_database(populate_database(profile, seed=seed))
-    with proxy.session(backend=backend, on_unsupported="skip") as session:
-        start = time.perf_counter()
-        results = session.run(spj_log.queries)
-        elapsed = time.perf_counter() - start
-    workload_qps = len(results) / elapsed if elapsed > 0 else float("inf")
+    service.encrypt(populate_database(profile, seed=seed))
+    outcome = service.run_workload(spj_log, backend=backend, on_unsupported="skip")
+    workload_qps = outcome.throughput
     timings[f"workload:{backend}"] = workload_qps
-    workload_rows = [(backend, len(results), f"{workload_qps:,.1f} queries/s")]
+    workload_rows = [(backend, outcome.queries_served, f"{workload_qps:,.1f} queries/s")]
 
     report = (
         format_table(["encryption class", "throughput"], rows)
@@ -444,7 +448,7 @@ def run_p3(
     the wall-clock speedup is hardware-dependent and recorded without being
     gated (the gate lives in ``benchmarks/bench_p3_parallel.py``).
     """
-    from repro.mining import (
+    from repro.api import (
         IncrementalDistanceMatrix,
         StreamingQueryLog,
         condensed_length,

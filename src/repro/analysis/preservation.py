@@ -28,7 +28,7 @@ from repro.core.dpe import (
 )
 from repro.core.equivalence import EquivalenceReport, verify_c_equivalence
 from repro.core.schemes.base import QueryLogDpeScheme
-from repro.mining import (
+from repro.api import (
     adjusted_rand_index,
     clusterings_equivalent,
     complete_link,

@@ -19,6 +19,12 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro._utils import format_table
+from repro.api import (
+    DEFAULT_BACKEND,
+    CryptoConfig,
+    EncryptedMiningService,
+    ServiceConfig,
+)
 from repro.attacks.frequency import frequency_analysis_attack
 from repro.attacks.order import sorting_attack
 from repro.attacks.query_only import extract_constants, query_only_attack
@@ -29,8 +35,6 @@ from repro.core.schemes.token_scheme import TokenDpeScheme
 from repro.crypto.base import EncryptionClass
 from repro.crypto.keys import KeyChain, MasterKey
 from repro.crypto.taxonomy import SECURITY_LEVELS
-from repro.cryptdb.proxy import CryptDBProxy
-from repro.db.backend import DEFAULT_BACKEND
 from repro.sql.log import QueryLog
 from repro.workloads.generator import QueryLogGenerator, WorkloadMix
 from repro.workloads.schemas import WorkloadProfile, populate_database, webshop_profile
@@ -160,16 +164,18 @@ def run_security_comparison(
 
 def _exposure_comparison(profile, database, log: QueryLog, passphrase: str, backend: str):
     # CryptDB-as-is: encrypt the database and *serve* the whole workload
-    # through a batched proxy session; the onion adjustments triggered while
-    # rewriting are what the provider sees.  Queries outside the executable
-    # fragment are skipped (CryptDB would fall back to client-side
-    # evaluation) — the session records them under ``session.skipped``.
-    cryptdb_keychain = KeyChain(MasterKey.from_passphrase(passphrase + "/cryptdb"))
-    proxy = CryptDBProxy(
-        cryptdb_keychain, join_groups=profile.join_groups(), paillier_bits=256
+    # through one batched service session; the onion adjustments triggered
+    # while rewriting are what the provider sees.  Queries outside the
+    # executable fragment are skipped (CryptDB would fall back to
+    # client-side evaluation) — recorded under ``session.skipped``.
+    service = EncryptedMiningService(
+        ServiceConfig(
+            crypto=CryptoConfig(passphrase=passphrase + "/cryptdb", paillier_bits=256)
+        ),
+        join_groups=profile.join_groups(),
     )
-    proxy.encrypt_database(database)
-    with proxy.session(backend=backend, on_unsupported="skip") as session:
+    service.encrypt(database)
+    with service.open_session(backend=backend, on_unsupported="skip") as session:
         session.run(log.queries)
         cryptdb_report = session.exposure_report()
 
@@ -179,11 +185,13 @@ def _exposure_comparison(profile, database, log: QueryLog, passphrase: str, back
     scheme = AccessAreaDpeScheme(kitdpe_keychain)
     scheme.fit(log, profile.domain_catalog())
 
+    exposure_by_column = {
+        (entry.table, entry.column): entry for entry in cryptdb_report.columns
+    }
     exposures = []
     for table in profile.tables:
         for column in table.columns:
-            cryptdb_info = cryptdb_report[(table.name, column.name)]
-            cryptdb_class: EncryptionClass = cryptdb_info["weakest_class"]  # type: ignore[assignment]
+            cryptdb_class = exposure_by_column[(table.name, column.name)].weakest_class
             usage = scheme.usage_of(column.name)
             kitdpe_class = _KIT_DPE_CLASS_BY_USAGE[usage]
             exposures.append(

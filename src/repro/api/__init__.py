@@ -1,0 +1,166 @@
+"""The versioned public surface of the ``repro`` package.
+
+``repro.api`` is the one import an embedding application needs: it exposes
+the typed configuration objects (:class:`CryptoConfig`,
+:class:`BackendConfig`, :class:`MiningConfig`, :class:`WorkloadConfig`,
+:class:`ServiceConfig`), the :class:`EncryptedMiningService` façade that
+composes the proxy, execution, distance and mining layers behind typed
+result objects (:class:`WorkloadResult`, :class:`MiningResult`,
+:class:`ExposureReport`), the unified :class:`ApiError` hierarchy, and the
+stable re-exports of the paper's building blocks (measures, DPE schemes,
+mining algorithms, workload generators).
+
+The exported symbol set is a deliberate contract: it is snapshot-tested
+(``tests/api/test_public_surface.py``), so additions and removals are
+explicit decisions, and the CLI, the experiment drivers and every script in
+``examples/`` run exclusively through this surface.  ``API_VERSION``
+identifies the surface revision.
+
+Quickstart::
+
+    from repro.api import EncryptedMiningService, ServiceConfig
+
+    service = EncryptedMiningService(ServiceConfig())
+    service.encrypt(service.build_database())
+    workload = service.generate_workload()
+    result = service.run_workload(workload)
+    mined = service.mine(result.encrypted_log())
+    print(result.queries_served, mined.n_clusters)
+"""
+
+from repro._utils import format_table
+from repro.api.config import (
+    BackendConfig,
+    CryptoConfig,
+    MiningConfig,
+    ServiceConfig,
+    WorkloadConfig,
+)
+from repro.api.errors import (
+    ApiError,
+    ConfigError,
+    QueryRejected,
+    ServiceError,
+    SessionError,
+)
+from repro.api.results import (
+    ColumnExposure,
+    ExposureReport,
+    MiningResult,
+    WorkloadResult,
+)
+from repro.api.service import EncryptedMiningService, ServiceSession
+from repro.core import (
+    AccessAreaDistance,
+    AccessAreaDpeScheme,
+    LogContext,
+    ResultDistance,
+    ResultDpeScheme,
+    StructureDistance,
+    StructureDpeScheme,
+    TokenDistance,
+    TokenDpeScheme,
+    verify_distance_preservation,
+)
+from repro.crypto import KeyChain, MasterKey
+from repro.cryptdb.proxy import EncryptedResult, JoinGroupSpec, StreamSink
+from repro.db.backend import DEFAULT_BACKEND, available_backends
+from repro.mining import (
+    CondensedDistanceMatrix,
+    DbscanResult,
+    Dendrogram,
+    IncrementalDistanceMatrix,
+    KMedoidsResult,
+    OutlierResult,
+    StreamingQueryLog,
+    adjusted_rand_index,
+    clusterings_equivalent,
+    complete_link,
+    condensed_length,
+    cut_dendrogram,
+    dbscan,
+    distance_based_outliers,
+    k_medoids,
+    k_nearest_neighbors,
+    mine_query_log,
+    pairwise_view,
+    top_n_outliers,
+)
+from repro.sql import QueryLog, parse_query, render_query
+from repro.workloads import (
+    QueryLogGenerator,
+    WorkloadMix,
+    WorkloadProfile,
+    populate_database,
+    skyserver_profile,
+    webshop_profile,
+)
+
+#: Revision of the public surface; bumped when ``__all__`` changes shape.
+API_VERSION = "1.0"
+
+__all__ = [
+    "API_VERSION",
+    "AccessAreaDistance",
+    "AccessAreaDpeScheme",
+    "ApiError",
+    "BackendConfig",
+    "ColumnExposure",
+    "CondensedDistanceMatrix",
+    "ConfigError",
+    "CryptoConfig",
+    "DEFAULT_BACKEND",
+    "DbscanResult",
+    "Dendrogram",
+    "EncryptedMiningService",
+    "EncryptedResult",
+    "ExposureReport",
+    "IncrementalDistanceMatrix",
+    "JoinGroupSpec",
+    "KMedoidsResult",
+    "KeyChain",
+    "LogContext",
+    "MasterKey",
+    "MiningConfig",
+    "MiningResult",
+    "OutlierResult",
+    "QueryLog",
+    "QueryLogGenerator",
+    "QueryRejected",
+    "ResultDistance",
+    "ResultDpeScheme",
+    "ServiceConfig",
+    "ServiceError",
+    "ServiceSession",
+    "SessionError",
+    "StreamSink",
+    "StreamingQueryLog",
+    "StructureDistance",
+    "StructureDpeScheme",
+    "TokenDistance",
+    "TokenDpeScheme",
+    "WorkloadConfig",
+    "WorkloadMix",
+    "WorkloadProfile",
+    "WorkloadResult",
+    "adjusted_rand_index",
+    "available_backends",
+    "clusterings_equivalent",
+    "complete_link",
+    "condensed_length",
+    "cut_dendrogram",
+    "dbscan",
+    "distance_based_outliers",
+    "format_table",
+    "k_medoids",
+    "k_nearest_neighbors",
+    "mine_query_log",
+    "pairwise_view",
+    "parse_query",
+    "populate_database",
+    "render_query",
+    "skyserver_profile",
+    "top_n_outliers",
+    "verify_distance_preservation",
+    "webshop_profile",
+]

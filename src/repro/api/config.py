@@ -1,0 +1,285 @@
+"""Typed, frozen configuration objects for the public API.
+
+Each layer of the pipeline gets one frozen dataclass —
+:class:`CryptoConfig` (keys and Paillier parameters),
+:class:`BackendConfig` (execution engine), :class:`MiningConfig` (measure and
+mining parameters) and :class:`WorkloadConfig` (synthetic workload shape) —
+composed into one :class:`ServiceConfig` consumed by
+:class:`~repro.api.EncryptedMiningService`.  They replace the ad-hoc kwargs
+(``workers``, ``pool_size``, ``backend``, ...) that every caller used to
+re-learn per layer.
+
+Three properties are guaranteed:
+
+* **loud validation** — every field is checked in ``__post_init__`` and an
+  invalid value raises :class:`~repro.api.errors.ConfigError` naming the
+  field, so a bad config can never travel into the pipeline;
+* **JSON round-trips** — ``to_dict()`` returns plain JSON-serialisable data
+  and ``from_dict(to_dict(cfg)) == cfg`` holds for every config (tested
+  property-based);
+* **strict deserialisation** — ``from_dict`` rejects unknown keys by name
+  instead of silently dropping them.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from collections.abc import Mapping
+from dataclasses import dataclass, field
+from typing import TypeVar
+
+from repro.api.errors import ConfigError
+from repro.crypto.hom import PaillierScheme
+from repro.db.backend import DEFAULT_BACKEND, available_backends
+
+_C = TypeVar("_C", bound="_Config")
+
+#: Distance-measure names accepted by :class:`MiningConfig`.
+MEASURE_NAMES = ("access-area", "result", "structure", "token")
+#: Workload-profile names accepted by :class:`WorkloadConfig`.
+PROFILE_NAMES = ("skyserver", "webshop")
+#: Workload-mix names accepted by :class:`WorkloadConfig`.
+MIX_NAMES = ("analytical", "mixed", "spj")
+#: ``on_unsupported`` policies accepted by :class:`BackendConfig`.
+UNSUPPORTED_POLICIES = ("raise", "skip")
+
+
+def _require_int(config: str, name: str, value: object, *, minimum: int) -> None:
+    """Reject non-integers (including bools) and values below ``minimum``."""
+    if isinstance(value, bool) or not isinstance(value, int):
+        raise ConfigError(f"{config}.{name} must be an integer, got {value!r}")
+    if value < minimum:
+        raise ConfigError(f"{config}.{name} must be >= {minimum}, got {value}")
+
+
+def _require_optional_int(config: str, name: str, value: object, *, minimum: int) -> None:
+    if value is not None:
+        _require_int(config, name, value, minimum=minimum)
+
+
+def _require_float(
+    config: str, name: str, value: object, *, minimum: float, maximum: float | None = None,
+    exclusive_minimum: bool = False,
+) -> None:
+    """Reject non-numbers (including bools) and values outside the range."""
+    if isinstance(value, bool) or not isinstance(value, (int, float)):
+        raise ConfigError(f"{config}.{name} must be a number, got {value!r}")
+    below = value <= minimum if exclusive_minimum else value < minimum
+    if below or (maximum is not None and value > maximum):
+        bound = f"> {minimum}" if exclusive_minimum else f">= {minimum}"
+        if maximum is not None:
+            bound += f" and <= {maximum}"
+        raise ConfigError(f"{config}.{name} must be {bound}, got {value!r}")
+
+
+def _require_choice(config: str, name: str, value: object, choices: tuple[str, ...]) -> None:
+    if value not in choices:
+        raise ConfigError(
+            f"{config}.{name} must be one of {list(choices)}, got {value!r}"
+        )
+
+
+class _Config:
+    """Shared ``to_dict``/``from_dict`` machinery of the config dataclasses."""
+
+    def to_dict(self) -> dict[str, object]:
+        """This config as plain JSON-serialisable data (nested configs recurse)."""
+        return dataclasses.asdict(self)  # type: ignore[call-overload]
+
+    @classmethod
+    def from_dict(cls: type[_C], data: Mapping[str, object]) -> _C:
+        """Build a config from ``data``, rejecting unknown keys by name.
+
+        The inverse of :meth:`to_dict`: ``from_dict(to_dict(cfg)) == cfg``.
+        Value validation happens in ``__post_init__`` as for direct
+        construction, so a bad dict fails exactly as loudly as bad kwargs.
+        """
+        if not isinstance(data, Mapping):
+            raise ConfigError(
+                f"{cls.__name__}.from_dict expects a mapping, got {type(data).__name__}"
+            )
+        known = {f.name for f in dataclasses.fields(cls)}  # type: ignore[arg-type]
+        unknown = sorted(set(data) - known)
+        if unknown:
+            raise ConfigError(
+                f"{cls.__name__} got unknown option(s) {unknown}; known: {sorted(known)}"
+            )
+        return cls(**data)  # type: ignore[arg-type]
+
+
+@dataclass(frozen=True)
+class CryptoConfig(_Config):
+    """Key derivation and Paillier parameters of the encryption layer.
+
+    ``passphrase`` seeds the deterministic master key (``None`` generates a
+    random one — reproducible runs should always set it); ``paillier_bits``
+    sizes the HOM modulus; ``paillier_pool_size`` sizes the precomputed
+    blinding-factor pool; ``shared_det_key`` switches every EQ onion to one
+    shared DET key (required by the result-distance scheme, see DESIGN.md).
+    """
+
+    passphrase: str | None = None
+    paillier_bits: int = 512
+    paillier_pool_size: int = PaillierScheme.DEFAULT_POOL_SIZE
+    shared_det_key: bool = False
+
+    def __post_init__(self) -> None:
+        if self.passphrase is not None and not isinstance(self.passphrase, str):
+            raise ConfigError(
+                f"CryptoConfig.passphrase must be a string or None, got {self.passphrase!r}"
+            )
+        _require_int("CryptoConfig", "paillier_bits", self.paillier_bits, minimum=64)
+        _require_int(
+            "CryptoConfig", "paillier_pool_size", self.paillier_pool_size, minimum=0
+        )
+        if not isinstance(self.shared_det_key, bool):
+            raise ConfigError(
+                f"CryptoConfig.shared_det_key must be a bool, got {self.shared_det_key!r}"
+            )
+
+
+@dataclass(frozen=True)
+class BackendConfig(_Config):
+    """Execution-backend choice and unsupported-query policy for sessions.
+
+    ``name`` must be a registered backend (see
+    :func:`~repro.db.backend.available_backends`); ``on_unsupported``
+    chooses between propagating rewriter rejections (``"raise"``) and
+    recording them as skipped (``"skip"`` — CryptDB's client-side fallback).
+    """
+
+    name: str = DEFAULT_BACKEND
+    on_unsupported: str = "raise"
+
+    def __post_init__(self) -> None:
+        backends = available_backends()
+        if self.name not in backends:
+            raise ConfigError(
+                f"BackendConfig.name: unknown execution backend {self.name!r}; "
+                f"available backends: {sorted(backends)}"
+            )
+        _require_choice(
+            "BackendConfig", "on_unsupported", self.on_unsupported, UNSUPPORTED_POLICIES
+        )
+
+
+@dataclass(frozen=True)
+class MiningConfig(_Config):
+    """Distance measure and mining parameters of the provider side.
+
+    ``measure`` names one of the paper's four distances; ``workers`` /
+    ``chunk_size`` shard the condensed-matrix computation over processes;
+    the remaining fields are the mining-algorithm parameters served by
+    :meth:`~repro.api.EncryptedMiningService.mine` and the incremental
+    miner (same meaning as in
+    :class:`~repro.mining.incremental.IncrementalDistanceMatrix`).
+    """
+
+    measure: str = "token"
+    workers: int = 1
+    chunk_size: int | None = None
+    knn_k: int = 3
+    outlier_p: float = 0.95
+    outlier_d: float = 0.9
+    dbscan_eps: float = 0.5
+    dbscan_min_points: int = 3
+
+    def __post_init__(self) -> None:
+        _require_choice("MiningConfig", "measure", self.measure, MEASURE_NAMES)
+        _require_int("MiningConfig", "workers", self.workers, minimum=1)
+        _require_optional_int("MiningConfig", "chunk_size", self.chunk_size, minimum=1)
+        _require_int("MiningConfig", "knn_k", self.knn_k, minimum=1)
+        _require_float(
+            "MiningConfig", "outlier_p", self.outlier_p,
+            minimum=0.0, maximum=1.0, exclusive_minimum=True,
+        )
+        _require_float("MiningConfig", "outlier_d", self.outlier_d, minimum=0.0)
+        _require_float("MiningConfig", "dbscan_eps", self.dbscan_eps, minimum=0.0)
+        _require_int("MiningConfig", "dbscan_min_points", self.dbscan_min_points, minimum=1)
+
+
+@dataclass(frozen=True)
+class WorkloadConfig(_Config):
+    """Shape of the synthetic workload the service can generate.
+
+    ``profile`` picks the schema family (web shop or SkyServer-like
+    astronomy), ``mix`` the query-shape mix (full mix, select-project-join
+    only, or aggregate-heavy analytical), ``size`` the log length and
+    ``seed`` the deterministic generator seed.
+    """
+
+    profile: str = "webshop"
+    mix: str = "mixed"
+    size: int = 40
+    seed: int = 3
+
+    def __post_init__(self) -> None:
+        _require_choice("WorkloadConfig", "profile", self.profile, PROFILE_NAMES)
+        _require_choice("WorkloadConfig", "mix", self.mix, MIX_NAMES)
+        _require_int("WorkloadConfig", "size", self.size, minimum=1)
+        if isinstance(self.seed, bool) or not isinstance(self.seed, int):
+            raise ConfigError(f"WorkloadConfig.seed must be an integer, got {self.seed!r}")
+
+
+@dataclass(frozen=True)
+class ServiceConfig(_Config):
+    """The full configuration of an :class:`~repro.api.EncryptedMiningService`.
+
+    One nested config per layer; every field defaults to that layer's
+    defaults, so ``ServiceConfig()`` is a working configuration.
+    ``from_dict`` accepts the nested dicts ``to_dict`` produces (and, for
+    convenience, already-built sub-configs).
+    """
+
+    crypto: CryptoConfig = field(default_factory=CryptoConfig)
+    backend: BackendConfig = field(default_factory=BackendConfig)
+    mining: MiningConfig = field(default_factory=MiningConfig)
+    workload: WorkloadConfig = field(default_factory=WorkloadConfig)
+
+    _NESTED = {
+        "crypto": CryptoConfig,
+        "backend": BackendConfig,
+        "mining": MiningConfig,
+        "workload": WorkloadConfig,
+    }
+
+    def __post_init__(self) -> None:
+        for name, expected in self._NESTED.items():
+            value = getattr(self, name)
+            if not isinstance(value, expected):
+                raise ConfigError(
+                    f"ServiceConfig.{name} must be a {expected.__name__}, got {value!r}"
+                )
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, object]) -> "ServiceConfig":
+        """Build a service config from nested plain dicts (strict, validated)."""
+        if not isinstance(data, Mapping):
+            raise ConfigError(
+                f"ServiceConfig.from_dict expects a mapping, got {type(data).__name__}"
+            )
+        unknown = sorted(set(data) - set(cls._NESTED))
+        if unknown:
+            raise ConfigError(
+                f"ServiceConfig got unknown option(s) {unknown}; known: {sorted(cls._NESTED)}"
+            )
+        kwargs: dict[str, object] = {}
+        for name, sub_cls in cls._NESTED.items():
+            if name not in data:
+                continue
+            value = data[name]
+            kwargs[name] = value if isinstance(value, sub_cls) else sub_cls.from_dict(value)  # type: ignore[arg-type]
+        return cls(**kwargs)  # type: ignore[arg-type]
+
+
+__all__ = [
+    "BackendConfig",
+    "CryptoConfig",
+    "MEASURE_NAMES",
+    "MIX_NAMES",
+    "MiningConfig",
+    "PROFILE_NAMES",
+    "ServiceConfig",
+    "UNSUPPORTED_POLICIES",
+    "WorkloadConfig",
+]

@@ -1,0 +1,97 @@
+"""The unified error hierarchy of the public API.
+
+Every pipeline failure that escapes ``repro.api`` is an :class:`ApiError`,
+so callers embedding the façade handle one family instead of learning which
+subsystem raises what.  (Plain Python errors from passing wrong object
+types — a non-database to ``encrypt``, say — remain ordinary exceptions.)
+The internal hierarchies (:class:`~repro.exceptions.CryptDbError`,
+:class:`~repro.exceptions.RewriteError`,
+:class:`~repro.exceptions.ExecutionError`, ...) are *wrapped*, not replaced:
+:func:`wrap_errors` translates them at the façade boundary and chains the
+original exception as ``__cause__``, so nothing about the failure is lost —
+``raise ApiError from CryptDbError`` keeps the full story in the traceback.
+
+The mapping is by failure kind, not by subsystem:
+
+* :class:`ConfigError` — a configuration value is invalid (raised directly by
+  the config dataclasses, and for unknown backends at session-open time);
+* :class:`QueryRejected` — a query could not be served: the rewriter refused
+  it or it failed to parse (wraps :class:`~repro.exceptions.RewriteError`
+  and :class:`~repro.exceptions.SqlError`);
+* :class:`SessionError` — a session or its execution backend failed
+  (wraps :class:`~repro.exceptions.ExecutionError` and session-level
+  :class:`~repro.exceptions.CryptDbError`);
+* :class:`ServiceError` — the façade itself was misused (e.g. running a
+  workload before :meth:`~repro.api.EncryptedMiningService.encrypt`).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterator
+from contextlib import contextmanager
+
+from repro.exceptions import (
+    CryptDbError,
+    ExecutionError,
+    ReproError,
+    RewriteError,
+    SqlError,
+)
+
+
+class ApiError(ReproError):
+    """Base class for every error raised by the ``repro.api`` façade."""
+
+
+class ConfigError(ApiError, ValueError):
+    """An invalid configuration value (bad option, unknown name, bad range)."""
+
+
+class ServiceError(ApiError):
+    """The :class:`~repro.api.EncryptedMiningService` façade was misused."""
+
+
+class SessionError(ServiceError):
+    """A service session (or its execution backend) failed."""
+
+
+class QueryRejected(SessionError):
+    """A query was rejected: unparseable SQL or outside the executable fragment."""
+
+
+@contextmanager
+def wrap_errors(context: str) -> Iterator[None]:
+    """Translate internal exceptions into :class:`ApiError` subclasses.
+
+    ``context`` prefixes the message so the caller sees *which* façade
+    operation failed.  Existing :class:`ApiError` instances pass through
+    untouched; everything else keeps the original exception chained as
+    ``__cause__``.
+    """
+    try:
+        yield
+    except ApiError:
+        raise
+    except RewriteError as error:
+        raise QueryRejected(f"{context}: {error}") from error
+    except SqlError as error:
+        raise QueryRejected(f"{context}: {error}") from error
+    except ExecutionError as error:
+        raise SessionError(f"{context}: {error}") from error
+    except CryptDbError as error:
+        raise ServiceError(f"{context}: {error}") from error
+    except ReproError as error:
+        # Catch-all for the remaining internal families (MiningError,
+        # DpeError, ...): the façade contract is that *every* escaping
+        # failure is an ApiError.
+        raise ServiceError(f"{context}: {error}") from error
+
+
+__all__ = [
+    "ApiError",
+    "ConfigError",
+    "QueryRejected",
+    "ServiceError",
+    "SessionError",
+    "wrap_errors",
+]

@@ -1,0 +1,188 @@
+"""Typed result objects returned by the public API.
+
+The internal layers return tuples, lists and nested dicts; the façade wraps
+them in three frozen result types so callers get named, documented fields
+instead of positional conventions:
+
+* :class:`WorkloadResult` — everything one served workload produced:
+  the per-query :class:`~repro.cryptdb.proxy.EncryptedResult` objects,
+  skipped queries, onion adjustments and timing;
+* :class:`MiningResult` — the provider-side mining artefacts of one log
+  under one measure (condensed matrix, DBSCAN clusters, DB(p, D)-outliers,
+  kNN lists);
+* :class:`ExposureReport` / :class:`ColumnExposure` — the per-column
+  security exposure after serving a workload, replacing the nested
+  ``(table, column) -> {...}`` dict of
+  :meth:`~repro.cryptdb.proxy.CryptDBProxy.exposure_report`.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Mapping
+from dataclasses import dataclass
+
+from repro.api.errors import ServiceError
+from repro.crypto.base import EncryptionClass
+from repro.cryptdb.onion import Onion
+from repro.cryptdb.proxy import EncryptedResult
+from repro.mining.dbscan import DbscanResult
+from repro.mining.matrix import CondensedDistanceMatrix
+from repro.mining.outliers import OutlierResult
+from repro.sql.ast import Query
+from repro.sql.log import LogEntry, QueryLog
+
+
+@dataclass(frozen=True)
+class WorkloadResult:
+    """The outcome of serving one workload through a service session.
+
+    ``results`` holds one :class:`~repro.cryptdb.proxy.EncryptedResult` per
+    served query, in workload order; ``skipped`` the (query, reason) pairs
+    the rewriter rejected under the ``"skip"`` policy; ``adjustments`` the
+    onion adjustments rewriting triggered; ``backend`` the execution
+    backend's registry name; ``elapsed_seconds`` the wall-clock time of the
+    rewrite-and-execute pass.
+    """
+
+    results: tuple[EncryptedResult, ...]
+    skipped: tuple[tuple[Query, str], ...]
+    adjustments: tuple[tuple[str, str, Onion, object], ...]
+    backend: str
+    elapsed_seconds: float
+
+    @property
+    def queries_served(self) -> int:
+        """Number of queries rewritten and executed."""
+        return len(self.results)
+
+    @property
+    def queries_skipped(self) -> int:
+        """Number of queries rejected as outside the executable fragment."""
+        return len(self.skipped)
+
+    @property
+    def throughput(self) -> float:
+        """Served queries per second (``inf`` for a zero-duration pass)."""
+        if self.elapsed_seconds <= 0:
+            return float("inf")
+        return self.queries_served / self.elapsed_seconds
+
+    def encrypted_log(self) -> QueryLog:
+        """The rewritten (encrypted) queries as a query log, in served order."""
+        return QueryLog(LogEntry(result.encrypted_query) for result in self.results)
+
+
+@dataclass(frozen=True)
+class MiningResult:
+    """The provider-side mining artefacts of one log under one measure.
+
+    ``matrix`` is the condensed pairwise distance matrix; ``clusters`` the
+    DBSCAN result, ``outliers`` the DB(p, D)-outlier result and ``knn`` the
+    per-item nearest-neighbour lists, all computed with the parameters of
+    the service's :class:`~repro.api.MiningConfig`.  ``knn`` lists are
+    capped at ``n - 1`` neighbours for tiny logs.
+    """
+
+    measure: str
+    matrix: CondensedDistanceMatrix
+    clusters: DbscanResult
+    outliers: OutlierResult
+    knn: tuple[tuple[int, ...], ...]
+
+    @property
+    def n_items(self) -> int:
+        """Number of log entries mined."""
+        return self.matrix.n
+
+    @property
+    def labels(self) -> tuple[int, ...]:
+        """The DBSCAN cluster label of every item (noise is ``-1``)."""
+        return self.clusters.labels
+
+    @property
+    def n_clusters(self) -> int:
+        """Number of DBSCAN clusters found."""
+        return self.clusters.n_clusters
+
+    @property
+    def outlier_indices(self) -> tuple[int, ...]:
+        """Indices flagged as DB(p, D)-outliers."""
+        return self.outliers.outliers
+
+
+@dataclass(frozen=True)
+class ColumnExposure:
+    """What the provider can see for one column after serving a workload.
+
+    ``onions`` maps onion name to the encryption-layer name it currently
+    sits at (stored sorted as a tuple of pairs so the object stays
+    hashable); ``weakest_class`` is the most-revealing encryption class any
+    representation of the column exposes, ``security_level`` its Figure 1
+    level.
+    """
+
+    table: str
+    column: str
+    onions: tuple[tuple[str, str], ...]
+    weakest_class: EncryptionClass
+    security_level: int
+
+    @property
+    def onion_layers(self) -> dict[str, str]:
+        """The ``onions`` pairs as a plain dict (onion name -> layer name)."""
+        return dict(self.onions)
+
+
+@dataclass(frozen=True)
+class ExposureReport:
+    """Per-column exposure of the encrypted database, one entry per column.
+
+    The typed replacement for the nested dict of
+    :meth:`~repro.cryptdb.proxy.CryptDBProxy.exposure_report`; entries are
+    sorted by (table, column).
+    """
+
+    columns: tuple[ColumnExposure, ...]
+
+    @classmethod
+    def from_proxy_report(
+        cls, report: Mapping[tuple[str, str], Mapping[str, object]]
+    ) -> "ExposureReport":
+        """Build the typed report from the proxy's legacy dict shape."""
+        entries = []
+        for (table, column), info in sorted(report.items()):
+            onions = info["onions"]
+            entries.append(
+                ColumnExposure(
+                    table=table,
+                    column=column,
+                    onions=tuple(sorted(onions.items())),  # type: ignore[union-attr]
+                    weakest_class=info["weakest_class"],  # type: ignore[arg-type]
+                    security_level=int(info["security_level"]),  # type: ignore[call-overload]
+                )
+            )
+        return cls(columns=tuple(entries))
+
+    def for_column(self, table: str, column: str) -> ColumnExposure:
+        """The exposure entry of one column; unknown columns fail loudly."""
+        for entry in self.columns:
+            if entry.table == table and entry.column == column:
+                return entry
+        known = [f"{e.table}.{e.column}" for e in self.columns]
+        raise ServiceError(
+            f"no exposure entry for column {table}.{column}; known columns: {known}"
+        )
+
+    def weakest_level(self) -> int:
+        """The lowest (most exposed) security level over all columns."""
+        if not self.columns:
+            raise ServiceError("exposure report is empty")
+        return min(entry.security_level for entry in self.columns)
+
+
+__all__ = [
+    "ColumnExposure",
+    "ExposureReport",
+    "MiningResult",
+    "WorkloadResult",
+]

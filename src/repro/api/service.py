@@ -1,0 +1,492 @@
+"""The ``EncryptedMiningService`` façade: one entry point for the pipeline.
+
+The paper's workflow — encrypt the database, rewrite and execute the query
+log over ciphertexts, compute distances, mine clusters and outliers — used
+to require hand-wiring four layers (proxy, backend, matrix pipeline, mining
+algorithms).  :class:`EncryptedMiningService` composes them behind one typed
+surface driven by a :class:`~repro.api.ServiceConfig`:
+
+1. :meth:`EncryptedMiningService.encrypt` — encrypt the plaintext database
+   (the artefact shipped to the provider);
+2. :meth:`EncryptedMiningService.run_workload` /
+   :meth:`EncryptedMiningService.open_session` — serve workloads through
+   batched proxy sessions, returning typed
+   :class:`~repro.api.WorkloadResult` objects;
+3. :meth:`EncryptedMiningService.stream` — feed encrypted query batches into
+   any :class:`~repro.cryptdb.proxy.StreamSink` (e.g. an incrementally
+   maintained mining matrix);
+4. :meth:`EncryptedMiningService.mine` — distance matrix + DBSCAN +
+   outliers + kNN as one :class:`~repro.api.MiningResult`;
+5. :meth:`EncryptedMiningService.exposure_report` — the typed per-column
+   security exposure.
+
+Every *pipeline* failure escaping the façade — rewriting, execution,
+crypto, mining, parsing, configuration — is an
+:class:`~repro.api.errors.ApiError` (see :mod:`repro.api.errors`); plain
+Python errors from passing wrong object types remain ordinary
+``TypeError``/``AttributeError``.
+"""
+
+from __future__ import annotations
+
+import time
+from collections.abc import Iterable
+
+from repro.api.config import (
+    MEASURE_NAMES,
+    MIX_NAMES,
+    PROFILE_NAMES,
+    BackendConfig,
+    MiningConfig,
+    ServiceConfig,
+)
+from repro.api.errors import ConfigError, ServiceError, wrap_errors
+from repro.api.results import ExposureReport, MiningResult, WorkloadResult
+from repro.core.domains import DomainCatalog
+from repro.core.dpe import DistanceMeasure, LogContext
+from repro.core.measures import (
+    AccessAreaDistance,
+    ResultDistance,
+    StructureDistance,
+    TokenDistance,
+)
+from repro.crypto.keys import KeyChain, MasterKey
+from repro.cryptdb.proxy import (
+    CryptDBProxy,
+    EncryptedResult,
+    JoinGroupSpec,
+    ProxySession,
+    StreamSink,
+)
+from repro.db.database import Database
+from repro.db.executor import ResultSet
+from repro.mining.dbscan import dbscan
+from repro.mining.incremental import IncrementalDistanceMatrix, StreamingQueryLog
+from repro.mining.knn import k_nearest_neighbors
+from repro.mining.outliers import distance_based_outliers
+from repro.sql.ast import Query
+from repro.sql.log import QueryLog
+from repro.sql.parser import parse_query
+from repro.workloads.generator import QueryLogGenerator, WorkloadMix
+from repro.workloads.schemas import (
+    WorkloadProfile,
+    populate_database,
+    skyserver_profile,
+    webshop_profile,
+)
+
+_MEASURE_FACTORIES = {
+    "token": lambda backend: TokenDistance(),
+    "structure": lambda backend: StructureDistance(),
+    "result": lambda backend: ResultDistance(backend=backend),
+    "access-area": lambda backend: AccessAreaDistance(),
+}
+
+_PROFILE_FACTORIES = {
+    "webshop": webshop_profile,
+    "skyserver": skyserver_profile,
+}
+
+_MIX_FACTORIES = {
+    "mixed": WorkloadMix,
+    "spj": WorkloadMix.spj_only,
+    "analytical": WorkloadMix.analytical,
+}
+
+# The config module's name tuples are the single validation source; fail at
+# import time if the factories ever drift from them.
+assert set(_MEASURE_FACTORIES) == set(MEASURE_NAMES)
+assert set(_PROFILE_FACTORIES) == set(PROFILE_NAMES)
+assert set(_MIX_FACTORIES) == set(MIX_NAMES)
+
+
+def _normalize_queries(
+    queries: QueryLog | Query | str | Iterable[Query | str],
+) -> list[Query]:
+    """Accept a query log, a lone query, parsed queries or SQL strings.
+
+    Every malformed input is a :class:`~repro.api.errors.ServiceError` (or a
+    wrapped parse failure), never a raw ``TypeError`` — the façade's error
+    contract covers input validation too.
+    """
+    if isinstance(queries, QueryLog):
+        return queries.queries
+    if isinstance(queries, (Query, str)):
+        queries = [queries]
+    try:
+        items = list(queries)
+    except TypeError:
+        raise ServiceError(
+            f"cannot build a workload from {type(queries).__name__}; expected a "
+            "QueryLog, a query, an SQL string, or an iterable of queries/strings"
+        ) from None
+    normalized: list[Query] = []
+    for item in items:
+        if isinstance(item, Query):
+            normalized.append(item)
+        elif isinstance(item, str):
+            normalized.append(parse_query(item))
+        else:
+            raise ServiceError(
+                f"workloads contain parsed queries or SQL strings, got {type(item).__name__}"
+            )
+    return normalized
+
+
+class ServiceSession:
+    """A typed session over the service's encrypted database.
+
+    Wraps a batched :class:`~repro.cryptdb.proxy.ProxySession` (one rewriter,
+    one execution backend per workload) and returns typed results:
+    :meth:`run` produces a :class:`~repro.api.WorkloadResult`, failures are
+    :class:`~repro.api.errors.ApiError` subclasses.  Sessions are context
+    managers; closing releases the backend's engine resources.
+    """
+
+    def __init__(self, session: ProxySession) -> None:
+        """Wrap an open proxy session (built by the service, not callers)."""
+        self._session = session
+
+    @property
+    def backend_name(self) -> str:
+        """Registry name of the execution backend serving this session."""
+        return self._session.backend_name
+
+    @property
+    def skipped(self) -> tuple[tuple[Query, str], ...]:
+        """Queries skipped as unsupported so far, with the rewriter's reason."""
+        return self._session.skipped
+
+    @property
+    def adjustments(self) -> tuple[tuple[str, str, object, object], ...]:
+        """Onion adjustments performed while rewriting this session's workload."""
+        return self._session.adjustments
+
+    def execute(self, query: Query | str) -> EncryptedResult | None:
+        """Rewrite and execute one query (``None`` if skipped as unsupported)."""
+        with wrap_errors("execute"):
+            (parsed,) = _normalize_queries([query])
+            return self._session.execute(parsed)
+
+    def run(self, queries: QueryLog | Iterable[Query | str]) -> WorkloadResult:
+        """Serve a whole workload and return the typed result.
+
+        Rewrites and executes every query in order on the session backend;
+        skipped queries (under the ``"skip"`` policy) are recorded on the
+        result.  ``elapsed_seconds`` covers exactly the rewrite-and-execute
+        pass.
+        """
+        # Snapshot the session counters so the result reports *this* run's
+        # skips and adjustments, not the session's cumulative totals.
+        skipped_before = len(self._session.skipped)
+        adjustments_before = len(self._session.adjustments)
+        with wrap_errors("run_workload"):
+            parsed = _normalize_queries(queries)
+            start = time.perf_counter()
+            results = self._session.run(parsed)
+            elapsed = time.perf_counter() - start
+        return WorkloadResult(
+            results=tuple(results),
+            skipped=self._session.skipped[skipped_before:],
+            adjustments=self._session.adjustments[adjustments_before:],
+            backend=self._session.backend_name,
+            elapsed_seconds=elapsed,
+        )
+
+    def stream(
+        self, queries: QueryLog | Iterable[Query | str], *, into: StreamSink
+    ) -> tuple[Query, ...]:
+        """Rewrite a batch and append the encrypted queries to ``into``.
+
+        ``into`` is any :class:`~repro.cryptdb.proxy.StreamSink` — a
+        :class:`~repro.mining.incremental.StreamingQueryLog` or an
+        :class:`~repro.mining.incremental.IncrementalDistanceMatrix`
+        directly.  Returns the rewritten queries that entered the sink.
+        """
+        with wrap_errors("stream"):
+            parsed = _normalize_queries(queries)
+            return tuple(self._session.stream(parsed, into=into))
+
+    def exposure_report(self) -> ExposureReport:
+        """The typed per-column exposure after the workload served so far."""
+        with wrap_errors("exposure_report"):
+            return ExposureReport.from_proxy_report(self._session.exposure_report())
+
+    def close(self) -> None:
+        """Release the backend's engine resources."""
+        self._session.close()
+
+    def __enter__(self) -> "ServiceSession":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+
+class EncryptedMiningService:
+    """The façade over the paper's full pipeline, driven by one typed config.
+
+    Construction derives the key material (from
+    :attr:`~repro.api.CryptoConfig.passphrase`, or a caller-supplied
+    :class:`~repro.crypto.keys.KeyChain`) and builds the CryptDB-style proxy;
+    :meth:`encrypt` then fixes the database snapshot, after which sessions,
+    workloads, streaming and mining are all served from this one object.
+    ``join_groups`` declares columns that must stay joinable (shared DET/OPE
+    keys), exactly as for :class:`~repro.cryptdb.proxy.CryptDBProxy`.
+    """
+
+    def __init__(
+        self,
+        config: ServiceConfig | None = None,
+        *,
+        keychain: KeyChain | None = None,
+        join_groups: Iterable[JoinGroupSpec] = (),
+    ) -> None:
+        """Build the service from ``config`` (defaults to ``ServiceConfig()``)."""
+        if config is None:
+            config = ServiceConfig()
+        if not isinstance(config, ServiceConfig):
+            raise ConfigError(
+                f"EncryptedMiningService expects a ServiceConfig, got {config!r}"
+            )
+        self._config = config
+        crypto = config.crypto
+        if keychain is not None and crypto.passphrase is not None:
+            raise ConfigError(
+                "pass either CryptoConfig.passphrase or an explicit keychain, "
+                "not both: the explicit keychain would silently win"
+            )
+        if keychain is None:
+            master = (
+                MasterKey.from_passphrase(crypto.passphrase)
+                if crypto.passphrase is not None
+                else MasterKey.generate()
+            )
+            keychain = KeyChain(master)
+        self._keychain = keychain
+        with wrap_errors("service construction"):
+            self._proxy = CryptDBProxy(
+                keychain,
+                join_groups=join_groups,
+                paillier_bits=crypto.paillier_bits,
+                paillier_pool_size=crypto.paillier_pool_size,
+                shared_det_key=crypto.shared_det_key,
+                backend=config.backend.name,
+            )
+
+    # -- introspection --------------------------------------------------- #
+
+    @property
+    def config(self) -> ServiceConfig:
+        """The configuration this service was built from."""
+        return self._config
+
+    @property
+    def keychain(self) -> KeyChain:
+        """The owner-side keychain (derives every scheme key)."""
+        return self._keychain
+
+    def crypto_stats(self) -> dict[str, object]:
+        """Fast-path statistics of the crypto layer (noise pool, OPE caches)."""
+        return self._proxy.crypto_stats()
+
+    # -- owner side: encryption and workloads ----------------------------- #
+
+    def encrypt(self, database: Database) -> Database:
+        """Encrypt ``database`` and return the encrypted copy (provider-bound).
+
+        Must be called before sessions can be opened; calling it again
+        re-encrypts a new snapshot and invalidates prior sessions' view.
+        """
+        with wrap_errors("encrypt"):
+            return self._proxy.encrypt_database(database)
+
+    def decrypt(self, result: EncryptedResult) -> ResultSet:
+        """Decrypt an encrypted result back to plaintext values (owner side)."""
+        with wrap_errors("decrypt"):
+            return self._proxy.decrypt_result(result)
+
+    def workload_profile(self) -> WorkloadProfile:
+        """The workload profile named by the config (default row counts)."""
+        return _PROFILE_FACTORIES[self._config.workload.profile]()
+
+    def generate_workload(
+        self, *, profile: WorkloadProfile | None = None, size: int | None = None
+    ) -> QueryLog:
+        """Generate the deterministic synthetic workload the config describes."""
+        workload = self._config.workload
+        profile = profile if profile is not None else self.workload_profile()
+        mix = _MIX_FACTORIES[workload.mix]()
+        generator = QueryLogGenerator(profile, mix, seed=workload.seed)
+        return generator.generate(size if size is not None else workload.size)
+
+    def build_database(self, *, profile: WorkloadProfile | None = None) -> Database:
+        """Populate the plaintext database of the configured workload profile."""
+        profile = profile if profile is not None else self.workload_profile()
+        return populate_database(profile, seed=self._config.workload.seed)
+
+    # -- provider side: sessions, workloads, streams ----------------------- #
+
+    def open_session(
+        self, *, backend: str | None = None, on_unsupported: str | None = None
+    ) -> ServiceSession:
+        """Open a typed session (one rewriter + one execution backend).
+
+        ``backend`` / ``on_unsupported`` override the config's
+        :class:`~repro.api.BackendConfig` for this session only; an unknown
+        backend raises :class:`~repro.api.errors.ConfigError` listing the
+        registered ones.
+        """
+        # BackendConfig is the single validator for both axes; constructing
+        # it raises the canonical ConfigError for unknown names/policies.
+        effective = BackendConfig(
+            name=backend if backend is not None else self._config.backend.name,
+            on_unsupported=(
+                on_unsupported
+                if on_unsupported is not None
+                else self._config.backend.on_unsupported
+            ),
+        )
+        with wrap_errors("open_session"):
+            return ServiceSession(
+                self._proxy.session(
+                    backend=effective.name, on_unsupported=effective.on_unsupported
+                )
+            )
+
+    def run_workload(
+        self,
+        queries: QueryLog | Iterable[Query | str],
+        *,
+        backend: str | None = None,
+        on_unsupported: str | None = None,
+    ) -> WorkloadResult:
+        """Serve a whole workload in one session and return the typed result."""
+        with self.open_session(backend=backend, on_unsupported=on_unsupported) as session:
+            return session.run(queries)
+
+    def stream(
+        self,
+        batches: Iterable[QueryLog | Iterable[Query | str]],
+        *,
+        into: StreamSink,
+        backend: str | None = None,
+        on_unsupported: str | None = None,
+    ) -> tuple[Query, ...]:
+        """Stream successive batches of queries into a sink via one session.
+
+        Each batch is rewritten and appended to ``into`` (a streaming log or
+        an incremental mining matrix) the moment it is processed; the
+        returned tuple holds every encrypted query that entered the sink,
+        in order.  Batch shape is explicit: a :class:`QueryLog` or a flat
+        sequence of queries/SQL strings counts as *one* batch; otherwise
+        every element of ``batches`` is one batch (a lone query element is a
+        batch of one).  For per-batch control (e.g. inspecting mining
+        artefacts between batches), use :meth:`open_session` and
+        :meth:`ServiceSession.stream` directly.
+        """
+        if isinstance(batches, QueryLog):
+            batch_list: list[QueryLog | Iterable[Query | str]] = [batches.queries]
+        elif isinstance(batches, (Query, str)):
+            batch_list = [[batches]]
+        else:
+            batch_list = list(batches)
+            if batch_list and all(isinstance(item, (Query, str)) for item in batch_list):
+                # A flat sequence of queries is one batch, not many
+                # single-query batches.
+                batch_list = [batch_list]  # type: ignore[list-item]
+        encrypted: list[Query] = []
+        with self.open_session(backend=backend, on_unsupported=on_unsupported) as session:
+            for batch in batch_list:
+                encrypted.extend(session.stream(batch, into=into))
+        return tuple(encrypted)
+
+    def exposure_report(self) -> ExposureReport:
+        """The typed per-column exposure after every workload served so far."""
+        with wrap_errors("exposure_report"):
+            return ExposureReport.from_proxy_report(self._proxy.exposure_report())
+
+    # -- provider side: mining -------------------------------------------- #
+
+    def measure(self) -> DistanceMeasure:
+        """The distance measure named by the config's :class:`MiningConfig`."""
+        factory = _MEASURE_FACTORIES[self._config.mining.measure]
+        return factory(self._config.backend.name)
+
+    def mine(
+        self,
+        context: LogContext | QueryLog | Iterable[Query | str],
+        *,
+        measure: DistanceMeasure | None = None,
+    ) -> MiningResult:
+        """Compute the mining artefacts of a log under the configured measure.
+
+        ``context`` is a full :class:`~repro.core.dpe.LogContext` when the
+        measure needs side information (database content for the result
+        distance, domains for the access area); a bare log suffices for the
+        token and structure measures.  The distance matrix is sharded over
+        :attr:`~repro.api.MiningConfig.workers` processes when configured;
+        DBSCAN, DB(p, D)-outliers and kNN lists use the config's mining
+        parameters.
+        """
+        mining = self._config.mining
+        chosen = measure if measure is not None else self.measure()
+        with wrap_errors("mine"):
+            if isinstance(context, LogContext):
+                log_context = context
+            else:
+                entries = _normalize_queries(context)
+                log_context = LogContext(log=QueryLog.from_queries(entries))
+            matrix = chosen.condensed_distance_matrix(
+                log_context, workers=mining.workers, chunk_size=mining.chunk_size
+            )
+            clusters = dbscan(
+                matrix, eps=mining.dbscan_eps, min_points=mining.dbscan_min_points
+            )
+            outliers = distance_based_outliers(
+                matrix, p=mining.outlier_p, d=mining.outlier_d
+            )
+            k = min(mining.knn_k, matrix.n - 1)
+            knn = tuple(
+                tuple(k_nearest_neighbors(matrix, index, k=k)) if k >= 1 else ()
+                for index in range(matrix.n)
+            )
+        return MiningResult(
+            measure=chosen.name,
+            matrix=matrix,
+            clusters=clusters,
+            outliers=outliers,
+            knn=knn,
+        )
+
+    def incremental_miner(
+        self,
+        stream: StreamingQueryLog | None = None,
+        *,
+        database: Database | None = None,
+        domains: DomainCatalog | None = None,
+    ) -> IncrementalDistanceMatrix:
+        """An incremental mining matrix wired to the config's parameters.
+
+        Subscribes to ``stream`` (or owns a fresh
+        :class:`~repro.mining.incremental.StreamingQueryLog`); the returned
+        matrix satisfies :class:`~repro.cryptdb.proxy.StreamSink`, so it can
+        be passed straight to :meth:`stream` /
+        :meth:`ServiceSession.stream` as the ``into`` sink.
+        """
+        mining = self._config.mining
+        with wrap_errors("incremental_miner"):
+            return IncrementalDistanceMatrix(
+                self.measure(),
+                stream,
+                database=database,
+                domains=domains,
+                knn_k=mining.knn_k,
+                outlier_p=mining.outlier_p,
+                outlier_d=mining.outlier_d,
+                dbscan_eps=mining.dbscan_eps,
+                dbscan_min_points=mining.dbscan_min_points,
+            )
+
+
+__all__ = ["EncryptedMiningService", "ServiceSession"]

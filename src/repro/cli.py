@@ -34,7 +34,7 @@ import repro
 from repro import quick_demo
 from repro.analysis.docs import write_all_docs, write_document
 from repro.analysis.experiments import experiment_parameters, list_experiments, run_experiment
-from repro.db.backend import available_backends
+from repro.api import available_backends
 from repro.analysis.report import generate_report
 from repro.analysis.table1 import format_table1, render_figure1
 from repro.core.schemes import StructureDpeScheme, TokenDpeScheme

@@ -65,12 +65,12 @@ class ResultDpeScheme(QueryLogDpeScheme):
     def encrypt_query(self, query: Query) -> Query:
         """Rewrite ``query`` for execution over the encrypted database."""
         self._check_supported(query)
-        return self.proxy.encrypt_query(query)
+        return self.proxy.rewrite_query(query)
 
     def encrypt_log(self, log: QueryLog) -> QueryLog:
         for entry in log:
             self._check_supported(entry.query)
-        return log.map_queries(self.proxy.encrypt_query)
+        return log.map_queries(self.proxy.rewrite_query)
 
     def encrypt_context(self, context: LogContext) -> LogContext:
         """Encrypt the log *and* the database content (Table I: Log + DB-Content)."""

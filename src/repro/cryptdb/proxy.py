@@ -27,8 +27,10 @@ compares this against the class assignment of the paper's KIT-DPE schemes.
 
 from __future__ import annotations
 
+import warnings
 from collections.abc import Callable, Iterable, Sequence
 from dataclasses import dataclass
+from typing import Protocol, runtime_checkable
 
 from repro.crypto.det import DeterministicScheme
 from repro.crypto.hom import PaillierCiphertext, PaillierKeyPair, PaillierScheme
@@ -59,6 +61,34 @@ from repro.sql.render import render_query
 _OPE_DOMAIN = (-(2**40), 2**40 - 1)
 #: Fixed-point scale for REAL columns (two decimal digits).
 _REAL_SCALE = 100
+
+
+@runtime_checkable
+class StreamSink(Protocol):
+    """Anything that accepts appended batches of (encrypted) queries.
+
+    The structural contract of :meth:`ProxySession.stream`'s ``into``
+    parameter: an append-only receiver of query batches.  Both
+    :class:`~repro.mining.incremental.StreamingQueryLog` and
+    :class:`~repro.mining.incremental.IncrementalDistanceMatrix` satisfy it,
+    so a session can stream rewritten queries either into a raw log or
+    directly into an incrementally maintained mining matrix.  Keeping the
+    protocol structural (rather than importing a mining class) preserves the
+    layering: the proxy has no mining dependency.
+    """
+
+    def append(self, items: Iterable[Query]) -> object:
+        """Accept one appended batch of queries."""
+        ...
+
+
+def _warn_deprecated(old: str, replacement: str) -> None:
+    """Emit the shim :class:`DeprecationWarning` pointing at ``repro.api``."""
+    warnings.warn(
+        f"{old} is deprecated; use {replacement} (see repro.api)",
+        DeprecationWarning,
+        stacklevel=3,
+    )
 
 
 @dataclass(frozen=True)
@@ -191,18 +221,18 @@ class ProxySession:
                 results.append(result)
         return results
 
-    def stream(self, queries: Iterable[Query], *, into) -> list[Query]:
-        """Rewrite a batch and append the encrypted queries to a streaming log.
+    def stream(self, queries: Iterable[Query], *, into: StreamSink) -> list[Query]:
+        """Rewrite a batch and append the encrypted queries to a stream sink.
 
-        ``into`` is an append-only log — typically a
+        ``into`` is any :class:`StreamSink` — typically a
         :class:`~repro.mining.incremental.StreamingQueryLog` feeding an
-        :class:`~repro.mining.incremental.IncrementalDistanceMatrix`, so each
+        :class:`~repro.mining.incremental.IncrementalDistanceMatrix` (or the
+        incremental matrix itself, which forwards to its stream), so each
         streamed batch immediately extends the provider-side mining artefacts
-        by the new pairs only (duck-typed here: anything whose ``append``
-        accepts an iterable of queries works, keeping the proxy layer free of
-        a mining dependency).  Queries the rewriter rejects follow the
-        session's ``on_unsupported`` policy; the appended batch contains only
-        the rewritten queries, which are also returned.
+        by the new pairs only.  The protocol is structural, keeping the proxy
+        layer free of a mining dependency.  Queries the rewriter rejects
+        follow the session's ``on_unsupported`` policy; the appended batch
+        contains only the rewritten queries, which are also returned.
         """
         encrypted: list[Query] = []
         for query in queries:
@@ -470,17 +500,59 @@ class CryptDBProxy:
         return self._default_session
 
     def encrypt_query(self, query: Query) -> Query:
-        """Rewrite a plaintext query for execution over the encrypted database."""
+        """Rewrite a plaintext query (deprecated single-query entry point).
+
+        .. deprecated::
+            Use :meth:`session` /
+            :class:`repro.api.EncryptedMiningService` instead; the batched
+            paths amortize the rewriter across a workload.  This shim is
+            bit-for-bit equivalent (one fresh rewriter per call).
+        """
+        _warn_deprecated(
+            "CryptDBProxy.encrypt_query()",
+            "CryptDBProxy.session() or EncryptedMiningService.run_workload()",
+        )
+        return self.rewrite_query(query)
+
+    def rewrite_query(self, query: Query) -> Query:
+        """Rewrite one query with a fresh rewriter (the single-rewrite primitive).
+
+        The warning-free building block the deprecated :meth:`encrypt_query`
+        shim and internal callers (e.g. the result-distance DPE scheme)
+        share; workloads should prefer a :meth:`session`, which amortizes
+        one rewriter across every query.
+        """
         return self.make_rewriter().rewrite(query)
 
     def execute_encrypted(self, encrypted_query: Query) -> ResultSet:
-        """Execute an (already rewritten) query over the encrypted database."""
+        """Execute an already-rewritten query (deprecated single-query entry point).
+
+        .. deprecated::
+            Use :meth:`session` /
+            :class:`repro.api.EncryptedMiningService` instead.  This shim
+            delegates to the proxy's cached default session.
+        """
+        _warn_deprecated(
+            "CryptDBProxy.execute_encrypted()",
+            "ProxySession.execute_encrypted() or EncryptedMiningService.open_session()",
+        )
         return self._session().execute_encrypted(encrypted_query)
 
     def execute(self, query: Query) -> EncryptedResult:
-        """Rewrite and execute ``query``; returns the encrypted result."""
-        encrypted_query = self.encrypt_query(query)
-        result = self.execute_encrypted(encrypted_query)
+        """Rewrite and execute one query (deprecated single-query entry point).
+
+        .. deprecated::
+            Use :meth:`session` /
+            :class:`repro.api.EncryptedMiningService` instead.  This shim
+            delegates to the proxy's cached default session and returns the
+            same :class:`EncryptedResult` the batched path produces.
+        """
+        _warn_deprecated(
+            "CryptDBProxy.execute()",
+            "ProxySession.execute() or EncryptedMiningService.run_workload()",
+        )
+        encrypted_query = self.rewrite_query(query)
+        result = self._session().execute_encrypted(encrypted_query)
         return EncryptedResult(query, encrypted_query, result)
 
     def execute_plain(self, query: Query) -> ResultSet:

@@ -117,14 +117,47 @@ def available_backends() -> tuple[str, ...]:
 
 
 def create_backend(name: str, database: Database, **options: object) -> ExecutionBackend:
-    """Instantiate the backend registered under ``name`` for ``database``."""
+    """Instantiate the backend registered under ``name`` for ``database``.
+
+    Failures are actionable: an unknown ``name`` raises an
+    :class:`~repro.exceptions.ExecutionError` listing
+    :func:`available_backends`, and an option the factory does not accept
+    raises one naming the offending option instead of surfacing a bare
+    :class:`TypeError` from deep inside the factory.
+    """
     try:
         factory = _BACKENDS[name]
     except KeyError:
         raise ExecutionError(
-            f"unknown execution backend {name!r}; available: {sorted(_BACKENDS)}"
+            f"unknown execution backend {name!r}; "
+            f"available backends: {sorted(available_backends())}"
         ) from None
-    return factory(database, **options)
+    try:
+        return factory(database, **options)
+    except TypeError as error:
+        offending = _offending_option(error, options)
+        if offending is None:
+            raise
+        raise ExecutionError(
+            f"execution backend {name!r} does not accept option {offending!r} "
+            f"(passed options: {sorted(options)}); "
+            f"available backends: {sorted(available_backends())}"
+        ) from error
+
+
+def _offending_option(error: TypeError, options: dict[str, object]) -> str | None:
+    """The option name a factory ``TypeError`` complains about, if any.
+
+    CPython phrases unexpected-keyword errors as ``... got an unexpected
+    keyword argument 'name'``; anything else (a genuine ``TypeError`` from
+    backend internals) returns ``None`` so the original error propagates.
+    """
+    import re
+
+    match = re.search(r"unexpected keyword argument '([^']+)'", str(error))
+    if match and match.group(1) in options:
+        return match.group(1)
+    return None
 
 
 def _sqlite_factory(database: Database, **options: object) -> ExecutionBackend:

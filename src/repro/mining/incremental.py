@@ -57,6 +57,8 @@ from repro.sql.parser import parse_query
 
 if TYPE_CHECKING:  # pragma: no cover - cycle guard (dpe imports mining.matrix)
     from repro.core.dpe import DistanceMeasure, LogContext
+    from repro.core.domains import DomainCatalog
+    from repro.db.database import Database
 
 
 class StreamingQueryLog(QueryLog):
@@ -115,7 +117,11 @@ class IncrementalDistanceMatrix:
     """Mining artefacts over a streaming log, updated per append.
 
     Construction subscribes to ``stream`` (and ingests anything already in
-    it).  Each appended batch of ``k`` queries triggers exactly
+    it); when no stream is given, the matrix owns a fresh
+    :class:`StreamingQueryLog`, reachable via :attr:`stream`, and batches can
+    be pushed through :meth:`append` directly — the matrix satisfies the
+    :class:`~repro.cryptdb.proxy.StreamSink` protocol.
+    Each appended batch of ``k`` queries triggers exactly
     ``n·k + k(k-1)/2`` distance evaluations (``n`` = items before the
     append); :attr:`pairs_computed` exposes the running total so tests can
     prove no full recompute happened.  All artefact accessors return values
@@ -136,10 +142,10 @@ class IncrementalDistanceMatrix:
     def __init__(
         self,
         measure: "DistanceMeasure",
-        stream: StreamingQueryLog,
+        stream: StreamingQueryLog | None = None,
         *,
-        database: object | None = None,
-        domains: object | None = None,
+        database: "Database | None" = None,
+        domains: "DomainCatalog | None" = None,
         knn_k: int = 3,
         outlier_p: float = 0.95,
         outlier_d: float = 0.9,
@@ -158,10 +164,12 @@ class IncrementalDistanceMatrix:
             raise MiningError("dbscan_min_points must be at least 1")
         from repro.core.dpe import LogContext
 
+        if stream is None:
+            stream = StreamingQueryLog()
         self._measure = measure
         self._stream = stream
         self._context: "LogContext" = LogContext(
-            log=stream, database=database, domains=domains  # type: ignore[arg-type]
+            log=stream, database=database, domains=domains
         )
         self._knn_k = knn_k
         self._outlier_p = outlier_p
@@ -197,6 +205,24 @@ class IncrementalDistanceMatrix:
     def measure(self) -> "DistanceMeasure":
         """The distance measure the matrix is maintained under."""
         return self._measure
+
+    @property
+    def stream(self) -> StreamingQueryLog:
+        """The streaming log feeding this matrix."""
+        return self._stream
+
+    def append(self, items: Iterable[LogEntry | Query | str]) -> tuple[LogEntry, ...]:
+        """Append a batch to the underlying stream (and thus to the matrix).
+
+        This makes the matrix itself a
+        :class:`~repro.cryptdb.proxy.StreamSink`, so a
+        :meth:`~repro.cryptdb.proxy.ProxySession.stream` call can feed
+        encrypted queries straight into the mining artefacts without the
+        caller holding a separate :class:`StreamingQueryLog` reference.  The
+        batch still goes *through* the stream, so every other subscriber
+        sees it too.
+        """
+        return self._stream.append(items)
 
     def _on_append(self, batch: tuple[LogEntry, ...]) -> None:
         self._extend(batch)

@@ -1,0 +1,194 @@
+"""Config dataclasses: property-based round-trips and loud rejection.
+
+The contract of :mod:`repro.api.config`: ``from_dict(to_dict(cfg)) == cfg``
+for every config (including through a JSON serialisation), and every
+invalid value — negative pool sizes, unknown backend names, zero workers,
+unknown keys — raises :class:`~repro.api.errors.ConfigError` naming the
+problem instead of travelling into the pipeline.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.api import (
+    ApiError,
+    BackendConfig,
+    ConfigError,
+    CryptoConfig,
+    MiningConfig,
+    ServiceConfig,
+    WorkloadConfig,
+    available_backends,
+)
+from repro.api.config import MEASURE_NAMES, MIX_NAMES, PROFILE_NAMES
+
+crypto_configs = st.builds(
+    CryptoConfig,
+    passphrase=st.one_of(st.none(), st.text(max_size=20)),
+    paillier_bits=st.integers(min_value=64, max_value=4096),
+    paillier_pool_size=st.integers(min_value=0, max_value=1000),
+    shared_det_key=st.booleans(),
+)
+
+backend_configs = st.builds(
+    BackendConfig,
+    name=st.sampled_from(sorted(available_backends())),
+    on_unsupported=st.sampled_from(["raise", "skip"]),
+)
+
+mining_configs = st.builds(
+    MiningConfig,
+    measure=st.sampled_from(MEASURE_NAMES),
+    workers=st.integers(min_value=1, max_value=16),
+    chunk_size=st.one_of(st.none(), st.integers(min_value=1, max_value=100_000)),
+    knn_k=st.integers(min_value=1, max_value=50),
+    outlier_p=st.floats(min_value=0.001, max_value=1.0, allow_nan=False),
+    outlier_d=st.floats(min_value=0.0, max_value=100.0, allow_nan=False),
+    dbscan_eps=st.floats(min_value=0.0, max_value=100.0, allow_nan=False),
+    dbscan_min_points=st.integers(min_value=1, max_value=50),
+)
+
+workload_configs = st.builds(
+    WorkloadConfig,
+    profile=st.sampled_from(PROFILE_NAMES),
+    mix=st.sampled_from(MIX_NAMES),
+    size=st.integers(min_value=1, max_value=100_000),
+    seed=st.integers(min_value=-(2**31), max_value=2**31),
+)
+
+service_configs = st.builds(
+    ServiceConfig,
+    crypto=crypto_configs,
+    backend=backend_configs,
+    mining=mining_configs,
+    workload=workload_configs,
+)
+
+
+class TestRoundTrips:
+    """``from_dict(to_dict(cfg)) == cfg`` for every config dataclass."""
+
+    @given(config=crypto_configs)
+    def test_crypto(self, config: CryptoConfig) -> None:
+        assert CryptoConfig.from_dict(config.to_dict()) == config
+
+    @given(config=backend_configs)
+    def test_backend(self, config: BackendConfig) -> None:
+        assert BackendConfig.from_dict(config.to_dict()) == config
+
+    @given(config=mining_configs)
+    def test_mining(self, config: MiningConfig) -> None:
+        assert MiningConfig.from_dict(config.to_dict()) == config
+
+    @given(config=workload_configs)
+    def test_workload(self, config: WorkloadConfig) -> None:
+        assert WorkloadConfig.from_dict(config.to_dict()) == config
+
+    @given(config=service_configs)
+    def test_service_nested(self, config: ServiceConfig) -> None:
+        assert ServiceConfig.from_dict(config.to_dict()) == config
+
+    @given(config=service_configs)
+    def test_service_survives_json(self, config: ServiceConfig) -> None:
+        """to_dict() is plain JSON data; a JSON round-trip loses nothing."""
+        assert ServiceConfig.from_dict(json.loads(json.dumps(config.to_dict()))) == config
+
+    def test_defaults_round_trip(self) -> None:
+        assert ServiceConfig.from_dict(ServiceConfig().to_dict()) == ServiceConfig()
+
+    def test_from_dict_accepts_built_subconfigs(self) -> None:
+        config = ServiceConfig.from_dict({"crypto": CryptoConfig(paillier_bits=256)})
+        assert config.crypto.paillier_bits == 256
+        assert config.backend == BackendConfig()
+
+
+class TestRejection:
+    """Invalid values raise ConfigError naming the offending field."""
+
+    @pytest.mark.parametrize(
+        ("kwargs", "needle"),
+        [
+            ({"paillier_pool_size": -1}, "paillier_pool_size"),
+            ({"paillier_pool_size": 1.5}, "paillier_pool_size"),
+            ({"paillier_bits": 32}, "paillier_bits"),
+            ({"paillier_bits": True}, "paillier_bits"),
+            ({"passphrase": 42}, "passphrase"),
+            ({"shared_det_key": "yes"}, "shared_det_key"),
+        ],
+    )
+    def test_crypto_rejections(self, kwargs: dict, needle: str) -> None:
+        with pytest.raises(ConfigError, match=needle):
+            CryptoConfig(**kwargs)
+
+    def test_unknown_backend_name_lists_available(self) -> None:
+        with pytest.raises(ConfigError) as excinfo:
+            BackendConfig(name="postgres")
+        message = str(excinfo.value)
+        assert "postgres" in message
+        for name in available_backends():
+            assert name in message
+
+    def test_bad_unsupported_policy(self) -> None:
+        with pytest.raises(ConfigError, match="on_unsupported"):
+            BackendConfig(on_unsupported="ignore")
+
+    @pytest.mark.parametrize(
+        ("kwargs", "needle"),
+        [
+            ({"workers": 0}, "workers"),
+            ({"workers": -2}, "workers"),
+            ({"chunk_size": 0}, "chunk_size"),
+            ({"knn_k": 0}, "knn_k"),
+            ({"outlier_p": 0.0}, "outlier_p"),
+            ({"outlier_p": 1.5}, "outlier_p"),
+            ({"outlier_d": -0.1}, "outlier_d"),
+            ({"dbscan_eps": -1.0}, "dbscan_eps"),
+            ({"dbscan_min_points": 0}, "dbscan_min_points"),
+            ({"measure": "euclidean"}, "measure"),
+            ({"outlier_p": True}, "outlier_p"),
+            ({"dbscan_eps": False}, "dbscan_eps"),
+            ({"outlier_d": "far"}, "outlier_d"),
+        ],
+    )
+    def test_mining_rejections(self, kwargs: dict, needle: str) -> None:
+        with pytest.raises(ConfigError, match=needle):
+            MiningConfig(**kwargs)
+
+    @pytest.mark.parametrize(
+        ("kwargs", "needle"),
+        [
+            ({"size": 0}, "size"),
+            ({"profile": "tpch"}, "profile"),
+            ({"mix": "oltp"}, "mix"),
+            ({"seed": "three"}, "seed"),
+        ],
+    )
+    def test_workload_rejections(self, kwargs: dict, needle: str) -> None:
+        with pytest.raises(ConfigError, match=needle):
+            WorkloadConfig(**kwargs)
+
+    def test_unknown_keys_rejected_by_name(self) -> None:
+        with pytest.raises(ConfigError, match="pool_size"):
+            CryptoConfig.from_dict({"pool_size": 10})
+        with pytest.raises(ConfigError, match="cripto"):
+            ServiceConfig.from_dict({"cripto": {}})
+
+    def test_from_dict_requires_mapping(self) -> None:
+        with pytest.raises(ConfigError, match="mapping"):
+            MiningConfig.from_dict([("workers", 2)])  # type: ignore[arg-type]
+        with pytest.raises(ConfigError, match="mapping"):
+            ServiceConfig.from_dict("{}")  # type: ignore[arg-type]
+
+    def test_service_config_field_types_checked(self) -> None:
+        with pytest.raises(ConfigError, match="crypto"):
+            ServiceConfig(crypto={"paillier_bits": 256})  # type: ignore[arg-type]
+
+    def test_config_error_is_value_error_and_api_error(self) -> None:
+        """One except clause catches config problems whichever way you spell it."""
+        assert issubclass(ConfigError, ValueError)
+        assert issubclass(ConfigError, ApiError)

@@ -1,0 +1,165 @@
+"""The public surface of ``repro.api`` is a deliberate, snapshot-tested set.
+
+Two contracts:
+
+* the exact exported symbol set of ``repro.api`` matches the frozen
+  snapshot below, so any addition or removal is an explicit decision made
+  in this file — never an accident of an import shuffle;
+* the CLI, the experiment drivers under ``repro.analysis`` and every script
+  in ``examples/`` import none of the internal layers the façade wraps
+  (``repro.cryptdb``, ``repro.db``, ``repro.mining``) — they run through
+  ``repro.api`` exclusively.
+"""
+
+from __future__ import annotations
+
+import ast
+from pathlib import Path
+
+import pytest
+
+import repro.api
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+
+#: The frozen public surface (PR 5).  Changing this set is an API decision:
+#: update the snapshot *and* the README "Public API" section together.
+EXPECTED_SURFACE = frozenset(
+    {
+        "API_VERSION",
+        "AccessAreaDistance",
+        "AccessAreaDpeScheme",
+        "ApiError",
+        "BackendConfig",
+        "ColumnExposure",
+        "CondensedDistanceMatrix",
+        "ConfigError",
+        "CryptoConfig",
+        "DEFAULT_BACKEND",
+        "DbscanResult",
+        "Dendrogram",
+        "EncryptedMiningService",
+        "EncryptedResult",
+        "ExposureReport",
+        "IncrementalDistanceMatrix",
+        "JoinGroupSpec",
+        "KMedoidsResult",
+        "KeyChain",
+        "LogContext",
+        "MasterKey",
+        "MiningConfig",
+        "MiningResult",
+        "OutlierResult",
+        "QueryLog",
+        "QueryLogGenerator",
+        "QueryRejected",
+        "ResultDistance",
+        "ResultDpeScheme",
+        "ServiceConfig",
+        "ServiceError",
+        "ServiceSession",
+        "SessionError",
+        "StreamSink",
+        "StreamingQueryLog",
+        "StructureDistance",
+        "StructureDpeScheme",
+        "TokenDistance",
+        "TokenDpeScheme",
+        "WorkloadConfig",
+        "WorkloadMix",
+        "WorkloadProfile",
+        "WorkloadResult",
+        "adjusted_rand_index",
+        "available_backends",
+        "clusterings_equivalent",
+        "complete_link",
+        "condensed_length",
+        "cut_dendrogram",
+        "dbscan",
+        "distance_based_outliers",
+        "format_table",
+        "k_medoids",
+        "k_nearest_neighbors",
+        "mine_query_log",
+        "pairwise_view",
+        "parse_query",
+        "populate_database",
+        "render_query",
+        "skyserver_profile",
+        "top_n_outliers",
+        "verify_distance_preservation",
+        "webshop_profile",
+    }
+)
+
+
+class TestSurfaceSnapshot:
+    def test_exact_symbol_set(self) -> None:
+        """Additions/removals to repro.api.__all__ must be made here, deliberately."""
+        exported = set(repro.api.__all__)
+        unexpected = sorted(exported - EXPECTED_SURFACE)
+        missing = sorted(EXPECTED_SURFACE - exported)
+        assert not unexpected, f"new public symbols need a snapshot decision: {unexpected}"
+        assert not missing, f"symbols removed from the public surface: {missing}"
+
+    def test_all_is_sorted_without_duplicates(self) -> None:
+        assert repro.api.__all__ == sorted(set(repro.api.__all__))
+
+    def test_every_exported_symbol_resolves(self) -> None:
+        for name in repro.api.__all__:
+            assert hasattr(repro.api, name), f"repro.api.{name} does not resolve"
+
+    def test_api_version_is_a_string(self) -> None:
+        assert isinstance(repro.api.API_VERSION, str) and repro.api.API_VERSION
+
+
+# --------------------------------------------------------------------------- #
+# façade-only imports in the migrated entry points
+
+#: Internal layers the migrated entry points must not import directly.
+BANNED_PREFIXES = ("repro.cryptdb", "repro.db", "repro.mining")
+
+
+def _imported_modules(path: Path) -> set[str]:
+    tree = ast.parse(path.read_text(), filename=str(path))
+    modules: set[str] = set()
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            modules.update(alias.name for alias in node.names)
+        elif isinstance(node, ast.ImportFrom) and node.module:
+            modules.add(node.module)
+    return modules
+
+
+def _banned_imports(path: Path) -> list[str]:
+    return sorted(
+        module
+        for module in _imported_modules(path)
+        if module in BANNED_PREFIXES
+        or any(module.startswith(prefix + ".") for prefix in BANNED_PREFIXES)
+    )
+
+
+def _facade_only_files() -> list[Path]:
+    files = sorted((REPO_ROOT / "examples").glob("*.py"))
+    files.append(REPO_ROOT / "src" / "repro" / "cli.py")
+    files.extend(sorted((REPO_ROOT / "src" / "repro" / "analysis").glob("*.py")))
+    return files
+
+
+@pytest.mark.parametrize("path", _facade_only_files(), ids=lambda p: str(p.relative_to(REPO_ROOT)))
+def test_entry_points_import_only_the_facade(path: Path) -> None:
+    """cli.py, repro.analysis and examples/ never import the wrapped layers."""
+    banned = _banned_imports(path)
+    assert not banned, (
+        f"{path.relative_to(REPO_ROOT)} imports internal layers {banned}; "
+        "route through repro.api instead"
+    )
+
+
+def test_scan_actually_sees_the_entry_points() -> None:
+    """Guard the guard: the scan covers the CLI, analysis and all examples."""
+    files = _facade_only_files()
+    names = {path.name for path in files}
+    assert "cli.py" in names and "experiments.py" in names and "quickstart.py" in names
+    assert sum(1 for path in files if path.parent.name == "examples") >= 7

@@ -1,0 +1,295 @@
+"""Behavior of the ``EncryptedMiningService`` façade and its sessions.
+
+The façade must compose the proxy, backend, distance and mining layers
+without changing a single byte of their outputs: workloads served through
+:meth:`~repro.api.EncryptedMiningService.run_workload` equal a direct
+proxy-session run, :meth:`~repro.api.EncryptedMiningService.mine` equals
+the hand-wired pipeline, streaming into an incremental matrix equals batch
+recompute — and every failure surfaces as a typed
+:class:`~repro.api.ApiError` with an actionable message.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.api import (
+    ApiError,
+    BackendConfig,
+    ConfigError,
+    CryptoConfig,
+    EncryptedMiningService,
+    LogContext,
+    MiningConfig,
+    QueryLog,
+    QueryLogGenerator,
+    QueryRejected,
+    ServiceConfig,
+    ServiceError,
+    StreamingQueryLog,
+    StreamSink,
+    TokenDistance,
+    WorkloadMix,
+    WorkloadResult,
+    available_backends,
+    dbscan,
+    distance_based_outliers,
+    k_nearest_neighbors,
+    parse_query,
+    populate_database,
+    webshop_profile,
+)
+from repro.db.backend import create_backend
+from repro.exceptions import ExecutionError, RewriteError
+
+MINING = MiningConfig(
+    measure="token", knn_k=3, outlier_p=0.9, outlier_d=0.9, dbscan_eps=0.55,
+    dbscan_min_points=3,
+)
+
+
+@pytest.fixture(scope="module")
+def profile():
+    return webshop_profile(customer_rows=20, order_rows=40, product_rows=10)
+
+
+@pytest.fixture(scope="module")
+def service(profile) -> EncryptedMiningService:
+    config = ServiceConfig(
+        crypto=CryptoConfig(
+            passphrase="api-service-tests", paillier_bits=256, shared_det_key=True
+        ),
+        backend=BackendConfig(name="memory", on_unsupported="skip"),
+        mining=MINING,
+    )
+    built = EncryptedMiningService(config, join_groups=profile.join_groups())
+    built.encrypt(populate_database(profile, seed=21))
+    return built
+
+
+@pytest.fixture(scope="module")
+def spj_log(profile) -> QueryLog:
+    return QueryLogGenerator(profile, WorkloadMix.spj_only(), seed=21).generate(16)
+
+
+class TestWorkloads:
+    def test_run_workload_returns_typed_result(self, service, spj_log) -> None:
+        result = service.run_workload(spj_log)
+        assert isinstance(result, WorkloadResult)
+        assert result.queries_served + result.queries_skipped == len(spj_log)
+        assert result.backend == "memory"
+        assert result.throughput > 0
+        assert len(result.encrypted_log()) == result.queries_served
+
+    def test_results_identical_across_backends(self, service, spj_log) -> None:
+        """The façade preserves the PR 2 claim: rows are backend-independent."""
+        memory = service.run_workload(spj_log, backend="memory")
+        sqlite = service.run_workload(spj_log, backend="sqlite")
+        assert memory.queries_served == sqlite.queries_served
+        for lhs, rhs in zip(memory.results, sqlite.results):
+            assert lhs.encrypted_sql == rhs.encrypted_sql
+            assert sorted(map(repr, lhs.result.rows)) == sorted(map(repr, rhs.result.rows))
+
+    def test_run_workload_accepts_sql_strings(self, service) -> None:
+        result = service.run_workload(["SELECT customer_name FROM customers"])
+        assert result.queries_served == 1
+
+    def test_decrypt_round_trip(self, service, profile) -> None:
+        result = service.run_workload(["SELECT customer_city FROM customers"])
+        decrypted = service.decrypt(result.results[0])
+        plain_cities = set(
+            populate_database(profile, seed=21).table("customers").column_values("customer_city")
+        )
+        assert {row[0] for row in decrypted.rows} <= plain_cities
+
+    def test_generated_workload_is_deterministic(self, service) -> None:
+        assert (
+            service.generate_workload(size=5).statements
+            == service.generate_workload(size=5).statements
+        )
+
+
+class TestErrorTranslation:
+    def test_unknown_backend_raises_config_error_listing_backends(self, service) -> None:
+        with pytest.raises(ConfigError) as excinfo:
+            service.open_session(backend="oracle9i")
+        message = str(excinfo.value)
+        assert "oracle9i" in message
+        for name in available_backends():
+            assert name in message
+
+    def test_rejected_query_raises_query_rejected_with_cause(self, service) -> None:
+        with service.open_session(on_unsupported="raise") as session:
+            with pytest.raises(QueryRejected) as excinfo:
+                session.execute("SELECT ghost FROM phantom_table WHERE ghost = 1")
+        assert isinstance(excinfo.value, ApiError)
+        assert isinstance(excinfo.value.__cause__, RewriteError)
+
+    def test_skip_policy_records_rejections_instead(self, service) -> None:
+        result = service.run_workload(
+            ["SELECT ghost FROM phantom_table WHERE ghost = 1"], on_unsupported="skip"
+        )
+        assert result.queries_served == 0
+        assert result.queries_skipped == 1
+        assert "phantom_table" in result.skipped[0][1]
+
+    def test_reused_session_reports_per_run_skips(self, service) -> None:
+        """A second run on the same session must not inherit the first run's skips."""
+        with service.open_session(on_unsupported="skip") as session:
+            first = session.run(["SELECT ghost FROM phantom_table WHERE ghost = 1"])
+            second = session.run(["SELECT customer_name FROM customers"])
+        assert first.queries_skipped == 1
+        assert second.queries_skipped == 0
+        assert second.queries_served == 1
+        # The session-level view stays cumulative.
+        assert len(session.skipped) == 1
+
+    def test_unparseable_sql_raises_query_rejected(self, service) -> None:
+        """Parse failures surface as ApiError, not raw SqlSyntaxError."""
+        with pytest.raises(QueryRejected):
+            service.run_workload(["SELEC broken FROM"])
+        with pytest.raises(QueryRejected):
+            service.mine(["SELEC broken FROM"])
+
+    def test_keychain_and_passphrase_together_fail_loudly(self) -> None:
+        from repro.crypto.keys import KeyChain, MasterKey
+
+        with pytest.raises(ConfigError, match="not both"):
+            EncryptedMiningService(
+                ServiceConfig(crypto=CryptoConfig(passphrase="prod", paillier_bits=128)),
+                keychain=KeyChain(MasterKey.generate()),
+            )
+
+    def test_session_before_encrypt_is_a_service_error(self) -> None:
+        fresh = EncryptedMiningService(
+            ServiceConfig(crypto=CryptoConfig(paillier_bits=128))
+        )
+        with pytest.raises(ServiceError, match="encrypt_database"):
+            fresh.open_session()
+
+    def test_create_backend_unknown_name_lists_available(self, small_database) -> None:
+        with pytest.raises(ExecutionError) as excinfo:
+            create_backend("duckdb", small_database)
+        message = str(excinfo.value)
+        assert "duckdb" in message
+        for name in available_backends():
+            assert name in message
+
+    def test_create_backend_bad_option_names_the_option(self, small_database) -> None:
+        with pytest.raises(ExecutionError, match="turbo_mode"):
+            create_backend("memory", small_database, turbo_mode=True)
+
+
+class TestMining:
+    def test_mine_equals_hand_wired_pipeline(self, service, spj_log) -> None:
+        encrypted = service.run_workload(spj_log).encrypted_log()
+        mined = service.mine(encrypted)
+
+        measure = TokenDistance()
+        matrix = measure.condensed_distance_matrix(LogContext(log=encrypted))
+        assert np.array_equal(mined.matrix.values, matrix.values)
+        assert mined.labels == dbscan(matrix, eps=0.55, min_points=3).labels
+        assert mined.outliers == distance_based_outliers(matrix, p=0.9, d=0.9)
+        for index in range(matrix.n):
+            assert mined.knn[index] == k_nearest_neighbors(matrix, index, k=3)
+        assert mined.measure == "token"
+        assert mined.n_items == len(encrypted)
+
+    def test_mine_accepts_sql_strings_and_contexts(self, service) -> None:
+        statements = [
+            "SELECT customer_name FROM customers WHERE customer_age > 30",
+            "SELECT customer_name FROM customers WHERE customer_age > 50",
+            "SELECT product_name FROM products WHERE product_price > 10",
+        ]
+        from_strings = service.mine(statements)
+        from_context = service.mine(LogContext(log=QueryLog.from_sql(statements)))
+        assert from_strings.labels == from_context.labels
+
+    def test_mine_caps_knn_for_tiny_logs(self, service) -> None:
+        mined = service.mine(["SELECT customer_name FROM customers"])
+        assert mined.knn == ((),)
+
+    def test_internal_mining_errors_surface_as_api_errors(self, service) -> None:
+        """MiningError/DpeError from the wrapped layers never escape raw."""
+        with pytest.raises(ServiceError):
+            service.mine([])
+        result_service = EncryptedMiningService(
+            ServiceConfig(
+                crypto=CryptoConfig(paillier_bits=128),
+                mining=MiningConfig(measure="result"),
+            )
+        )
+        with pytest.raises(ServiceError):
+            # The result measure needs database content; LogContext has none.
+            result_service.mine(LogContext(log=QueryLog.from_sql(["SELECT a FROM t"])))
+
+
+class TestStreaming:
+    def test_stream_sink_protocol_is_satisfied(self, service) -> None:
+        assert isinstance(StreamingQueryLog(), StreamSink)
+        assert isinstance(service.incremental_miner(), StreamSink)
+
+    def test_streaming_into_matrix_equals_batch_recompute(self, service, spj_log) -> None:
+        miner = service.incremental_miner()
+        batches = [spj_log.queries[start : start + 4] for start in range(0, 16, 4)]
+        encrypted = service.stream(batches, into=miner)
+
+        assert len(encrypted) == miner.n_items
+        reference = TokenDistance().condensed_distance_matrix(
+            LogContext(log=QueryLog(list(miner.stream)))
+        )
+        assert np.array_equal(miner.condensed().values, reference.values)
+        assert miner.dbscan().labels == dbscan(reference, eps=0.55, min_points=3).labels
+
+    def test_streaming_into_log_matches_streaming_into_matrix(self, service, spj_log) -> None:
+        plain_sink = StreamingQueryLog()
+        encrypted = service.stream([spj_log.queries], into=plain_sink)
+        assert tuple(entry.query for entry in plain_sink) == encrypted
+
+    def test_stream_accepts_a_query_log_and_flat_sequences_as_one_batch(
+        self, service, spj_log
+    ) -> None:
+        """The shapes run_workload accepts stream too, as a single batch."""
+        from_log = service.stream(spj_log, into=StreamingQueryLog())
+        flat_sink = StreamingQueryLog()
+        from_flat = service.stream(spj_log.queries, into=flat_sink)
+        assert from_log == from_flat
+        assert flat_sink.appends == 1
+
+    def test_mixed_batch_shapes_never_escape_as_raw_type_errors(
+        self, service, spj_log
+    ) -> None:
+        """Malformed workload shapes are ApiErrors, per the façade contract."""
+        query = spj_log.queries[0]
+        mixed_sink = StreamingQueryLog()
+        # A lone query element is a batch of one, not a TypeError.
+        encrypted = service.stream([[query], query], into=mixed_sink)
+        assert len(encrypted) == 2
+        assert mixed_sink.appends == 2
+        with pytest.raises(ServiceError):
+            service.run_workload(42)  # type: ignore[arg-type]
+
+    def test_stream_accepts_a_lone_sql_string_as_one_batch(self, service) -> None:
+        sink = StreamingQueryLog()
+        encrypted = service.stream("SELECT customer_name FROM customers", into=sink)
+        assert len(encrypted) == 1
+        assert sink.appends == 1
+
+
+class TestExposure:
+    def test_exposure_report_is_typed_and_sorted(self, service, spj_log) -> None:
+        service.run_workload(spj_log)
+        report = service.exposure_report()
+        assert report.columns == tuple(
+            sorted(report.columns, key=lambda e: (e.table, e.column))
+        )
+        entry = report.for_column("customers", "customer_city")
+        assert entry.security_level >= 1
+        assert entry.onion_layers  # at least the EQ onion is reported
+        assert report.weakest_level() == min(e.security_level for e in report.columns)
+
+    def test_unknown_column_fails_loudly(self, service) -> None:
+        report = service.exposure_report()
+        with pytest.raises(ServiceError, match="customers.nope"):
+            report.for_column("customers", "nope")

@@ -1,0 +1,123 @@
+"""Legacy entry points: deprecation shims with bit-for-bit equivalent output.
+
+The old hand-wired path — construct a :class:`CryptDBProxy`, call its
+single-query conveniences — still works but emits ``DeprecationWarning``;
+the new path runs through :class:`repro.api.EncryptedMiningService`.  On
+the P1 workload (the experiment the façade migration is proven against),
+both paths must produce the same :class:`EncryptedResult` rows and the same
+mining labels.
+"""
+
+from __future__ import annotations
+
+import warnings
+
+import pytest
+
+from repro.api import (
+    CryptoConfig,
+    EncryptedMiningService,
+    LogContext,
+    QueryLogGenerator,
+    ServiceConfig,
+    TokenDistance,
+    WorkloadMix,
+    dbscan,
+    populate_database,
+    webshop_profile,
+)
+from repro.crypto.keys import KeyChain, MasterKey
+from repro.cryptdb.proxy import CryptDBProxy
+from repro.sql.log import QueryLog
+
+#: P1's proxy parameters (see repro.analysis.experiments.run_p1).
+P1_PASSPHRASE = "experiments/p1-proxy"
+P1_SEED = 8
+
+
+@pytest.fixture(scope="module")
+def p1_profile():
+    return webshop_profile(customer_rows=40, order_rows=80, product_rows=20)
+
+
+@pytest.fixture(scope="module")
+def p1_workload(p1_profile) -> QueryLog:
+    return QueryLogGenerator(p1_profile, WorkloadMix.spj_only(), seed=P1_SEED + 1).generate(20)
+
+
+@pytest.fixture(scope="module")
+def old_proxy(p1_profile) -> CryptDBProxy:
+    proxy = CryptDBProxy(
+        KeyChain(MasterKey.from_passphrase(P1_PASSPHRASE)),
+        join_groups=p1_profile.join_groups(),
+        paillier_bits=256,
+        shared_det_key=True,
+    )
+    proxy.encrypt_database(populate_database(p1_profile, seed=P1_SEED))
+    return proxy
+
+
+@pytest.fixture(scope="module")
+def new_service(p1_profile) -> EncryptedMiningService:
+    service = EncryptedMiningService(
+        ServiceConfig(
+            crypto=CryptoConfig(
+                passphrase=P1_PASSPHRASE, paillier_bits=256, shared_det_key=True
+            )
+        ),
+        join_groups=p1_profile.join_groups(),
+    )
+    service.encrypt(populate_database(p1_profile, seed=P1_SEED))
+    return service
+
+
+def _old_path_results(proxy: CryptDBProxy, workload: QueryLog):
+    """The legacy path: the deprecated per-query conveniences, under warning capture."""
+    with warnings.catch_warnings(record=True) as caught:
+        warnings.simplefilter("always")
+        results = [proxy.execute(query) for query in workload.queries]
+    deprecations = [w for w in caught if issubclass(w.category, DeprecationWarning)]
+    return results, deprecations
+
+
+class TestDeprecationShims:
+    def test_single_query_entry_points_warn(self, old_proxy, p1_workload) -> None:
+        query = p1_workload.queries[0]
+        with pytest.warns(DeprecationWarning, match="encrypt_query"):
+            old_proxy.encrypt_query(query)
+        with pytest.warns(DeprecationWarning, match="execute"):
+            old_proxy.execute(query)
+        with pytest.warns(DeprecationWarning, match="execute_encrypted"):
+            old_proxy.execute_encrypted(old_proxy.rewrite_query(query))
+
+    def test_old_and_new_paths_agree_on_the_p1_workload(
+        self, old_proxy, new_service, p1_workload
+    ) -> None:
+        """Same EncryptedResult rows, query for query — the shim is equivalent."""
+        old_results, deprecations = _old_path_results(old_proxy, p1_workload)
+        assert deprecations, "the legacy path must emit DeprecationWarning"
+
+        new_result = new_service.run_workload(p1_workload, on_unsupported="raise")
+        assert new_result.queries_served == len(old_results)
+        for old, new in zip(old_results, new_result.results):
+            assert old.plain_query == new.plain_query
+            assert old.encrypted_sql == new.encrypted_sql
+            assert old.result.rows == new.result.rows
+            assert old.result.columns == new.result.columns
+
+    def test_old_and_new_paths_agree_on_mining_labels(
+        self, old_proxy, new_service, p1_workload
+    ) -> None:
+        """Token-distance DBSCAN over the encrypted workload: identical labels."""
+        old_results, _ = _old_path_results(old_proxy, p1_workload)
+        old_log = QueryLog.from_queries(result.encrypted_query for result in old_results)
+        mining = new_service.config.mining
+        old_labels = dbscan(
+            TokenDistance().condensed_distance_matrix(LogContext(log=old_log)),
+            eps=mining.dbscan_eps,
+            min_points=mining.dbscan_min_points,
+        ).labels
+
+        new_encrypted = new_service.run_workload(p1_workload).encrypted_log()
+        new_labels = new_service.mine(new_encrypted).labels
+        assert old_labels == new_labels
