@@ -8,7 +8,10 @@ composes the proxy, execution, distance and mining layers behind typed
 result objects (:class:`WorkloadResult`, :class:`MiningResult`,
 :class:`ExposureReport`), the unified :class:`ApiError` hierarchy, and the
 stable re-exports of the paper's building blocks (measures, DPE schemes,
-mining algorithms, workload generators).
+mining algorithms, workload generators).  The multi-tenant serving layer
+(:class:`MiningServer`, :class:`TenantHandle`, :class:`ServerConfig`, the
+typed :class:`ServerStats` family) is exported here too — ``repro serve``
+and embedding applications reach it through this surface only.
 
 The exported symbol set is a deliberate contract: it is snapshot-tested
 (``tests/api/test_public_surface.py``), so additions and removals are
@@ -33,6 +36,7 @@ from repro.api.config import (
     BackendConfig,
     CryptoConfig,
     MiningConfig,
+    ServerConfig,
     ServiceConfig,
     WorkloadConfig,
 )
@@ -40,6 +44,8 @@ from repro.api.errors import (
     ApiError,
     ConfigError,
     QueryRejected,
+    ServerError,
+    ServerOverloaded,
     ServiceError,
     SessionError,
 )
@@ -96,8 +102,16 @@ from repro.workloads import (
     webshop_profile,
 )
 
+# The serving layer lives in repro.server, which imports from the api
+# submodules above; importing it last keeps the cycle one-directional (the
+# submodules are fully initialised by now, whichever package was imported
+# first — repro/server/__init__.py anchors the other direction).
+from repro.server.server import MiningServer
+from repro.server.stats import QueueStats, ServerStats, TenantStats
+from repro.server.tenant import TenantHandle
+
 #: Revision of the public surface; bumped when ``__all__`` changes shape.
-API_VERSION = "1.0"
+API_VERSION = "1.1"
 
 __all__ = [
     "API_VERSION",
@@ -123,12 +137,18 @@ __all__ = [
     "MasterKey",
     "MiningConfig",
     "MiningResult",
+    "MiningServer",
     "OutlierResult",
     "QueryLog",
     "QueryLogGenerator",
     "QueryRejected",
+    "QueueStats",
     "ResultDistance",
     "ResultDpeScheme",
+    "ServerConfig",
+    "ServerError",
+    "ServerOverloaded",
+    "ServerStats",
     "ServiceConfig",
     "ServiceError",
     "ServiceSession",
@@ -137,6 +157,8 @@ __all__ = [
     "StreamingQueryLog",
     "StructureDistance",
     "StructureDpeScheme",
+    "TenantHandle",
+    "TenantStats",
     "TokenDistance",
     "TokenDpeScheme",
     "WorkloadConfig",

@@ -5,9 +5,11 @@ Each layer of the pipeline gets one frozen dataclass —
 :class:`BackendConfig` (execution engine), :class:`MiningConfig` (measure and
 mining parameters) and :class:`WorkloadConfig` (synthetic workload shape) —
 composed into one :class:`ServiceConfig` consumed by
-:class:`~repro.api.EncryptedMiningService`.  They replace the ad-hoc kwargs
-(``workers``, ``pool_size``, ``backend``, ...) that every caller used to
-re-learn per layer.
+:class:`~repro.api.EncryptedMiningService`.  The multi-tenant serving layer
+adds :class:`ServerConfig` (worker count, admission-queue bound, default
+submit timeout) consumed by :class:`~repro.api.MiningServer`.  They replace
+the ad-hoc kwargs (``workers``, ``pool_size``, ``backend``, ...) that every
+caller used to re-learn per layer.
 
 Three properties are guaranteed:
 
@@ -222,6 +224,32 @@ class WorkloadConfig(_Config):
 
 
 @dataclass(frozen=True)
+class ServerConfig(_Config):
+    """Concurrency shape of a multi-tenant :class:`~repro.api.MiningServer`.
+
+    ``workers`` sizes the thread pool draining the admission queue;
+    ``max_pending`` bounds the queue (admission control — a full queue
+    pushes back instead of buffering without limit); ``submit_timeout`` is
+    the default number of seconds a blocking submit waits for a queue slot
+    before raising :class:`~repro.api.errors.ServerOverloaded` (``None``
+    waits indefinitely).
+    """
+
+    workers: int = 4
+    max_pending: int = 64
+    submit_timeout: float | None = None
+
+    def __post_init__(self) -> None:
+        _require_int("ServerConfig", "workers", self.workers, minimum=1)
+        _require_int("ServerConfig", "max_pending", self.max_pending, minimum=1)
+        if self.submit_timeout is not None:
+            _require_float(
+                "ServerConfig", "submit_timeout", self.submit_timeout,
+                minimum=0.0, exclusive_minimum=True,
+            )
+
+
+@dataclass(frozen=True)
 class ServiceConfig(_Config):
     """The full configuration of an :class:`~repro.api.EncryptedMiningService`.
 
@@ -279,6 +307,7 @@ __all__ = [
     "MIX_NAMES",
     "MiningConfig",
     "PROFILE_NAMES",
+    "ServerConfig",
     "ServiceConfig",
     "UNSUPPORTED_POLICIES",
     "WorkloadConfig",

@@ -22,7 +22,11 @@ The mapping is by failure kind, not by subsystem:
   (wraps :class:`~repro.exceptions.ExecutionError` and session-level
   :class:`~repro.exceptions.CryptDbError`);
 * :class:`ServiceError` — the façade itself was misused (e.g. running a
-  workload before :meth:`~repro.api.EncryptedMiningService.encrypt`).
+  workload before :meth:`~repro.api.EncryptedMiningService.encrypt`);
+* :class:`ServerError` — the multi-tenant :class:`~repro.api.MiningServer`
+  was misused (unknown tenant, duplicate tenant, submit after close);
+* :class:`ServerOverloaded` — the server's bounded admission queue was full
+  and the caller asked not to wait (backpressure made visible).
 """
 
 from __future__ import annotations
@@ -59,6 +63,23 @@ class QueryRejected(SessionError):
     """A query was rejected: unparseable SQL or outside the executable fragment."""
 
 
+class ServerError(ApiError):
+    """The multi-tenant :class:`~repro.api.MiningServer` was misused.
+
+    Raised for unknown or duplicate tenant names, submitting to a closed
+    server, and other server-lifecycle violations.
+    """
+
+
+class ServerOverloaded(ServerError):
+    """The server's bounded admission queue rejected a non-blocking submit.
+
+    The backpressure signal of admission control: the queue is at capacity
+    and the caller passed ``wait=False`` (or its wait timed out).  Callers
+    retry, shed load, or switch to blocking submits.
+    """
+
+
 @contextmanager
 def wrap_errors(context: str) -> Iterator[None]:
     """Translate internal exceptions into :class:`ApiError` subclasses.
@@ -91,6 +112,8 @@ __all__ = [
     "ApiError",
     "ConfigError",
     "QueryRejected",
+    "ServerError",
+    "ServerOverloaded",
     "ServiceError",
     "SessionError",
     "wrap_errors",

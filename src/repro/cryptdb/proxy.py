@@ -27,13 +27,19 @@ compares this against the class assignment of the paper's KIT-DPE schemes.
 
 from __future__ import annotations
 
+import threading
 import warnings
 from collections.abc import Callable, Iterable, Sequence
 from dataclasses import dataclass
 from typing import Protocol, runtime_checkable
 
 from repro.crypto.det import DeterministicScheme
-from repro.crypto.hom import PaillierCiphertext, PaillierKeyPair, PaillierScheme
+from repro.crypto.hom import (
+    NoiseRefillHandle,
+    PaillierCiphertext,
+    PaillierKeyPair,
+    PaillierScheme,
+)
 from repro.crypto.keys import KeyChain
 from repro.crypto.ope import OrderPreservingScheme
 from repro.crypto.prob import ProbabilisticScheme
@@ -124,6 +130,13 @@ class ProxySession:
     one pass; :attr:`adjustments` and :meth:`exposure_report` expose what the
     provider learned from serving it.
 
+    Sessions are thread-safe: an internal re-entrant lock serializes the
+    rewrite/execute/stream paths, so concurrent server threads sharing one
+    tenant session observe the same rewriter adjustments, skip bookkeeping
+    and backend state a single-threaded caller would.  (Cross-session
+    parallelism is where multi-tenant throughput comes from; the lock only
+    keeps a *shared* session from corrupting its per-workload state.)
+
     Sessions are context managers; closing releases the backend's engine
     resources.
     """
@@ -154,6 +167,10 @@ class ProxySession:
             proxy.encrypted_database,
         )
         self._skipped: list[tuple[Query, str]] = []
+        # Re-entrant so execute() -> rewrite() nests; serializes the
+        # rewriter, skip list and backend against concurrent callers.
+        self._lock = threading.RLock()
+        self._pending_refill: NoiseRefillHandle | None = None
 
     # -- introspection -------------------------------------------------- #
 
@@ -187,39 +204,58 @@ class ProxySession:
 
     # -- execution ------------------------------------------------------ #
 
+    @property
+    def last_refill(self) -> NoiseRefillHandle | None:
+        """Handle of the most recent background noise-pool refill, if any.
+
+        Tests join it for determinism; :meth:`stream` checks it at the start
+        of the next batch so a refill failure surfaces on the caller's thread.
+        """
+        with self._lock:
+            return self._pending_refill
+
     def rewrite(self, query: Query) -> Query | None:
         """Rewrite one query; returns None for skipped unsupported queries."""
-        try:
-            return self._rewriter.rewrite(query)
-        except RewriteError as error:
-            if self._on_unsupported == "skip":
-                self._skipped.append((query, str(error)))
-                return None
-            raise
+        with self._lock:
+            try:
+                return self._rewriter.rewrite(query)
+            except RewriteError as error:
+                if self._on_unsupported == "skip":
+                    self._skipped.append((query, str(error)))
+                    return None
+                raise
 
     def execute(self, query: Query) -> EncryptedResult | None:
         """Rewrite and execute one plaintext query on the session backend."""
-        encrypted_query = self.rewrite(query)
-        if encrypted_query is None:
-            return None
-        return EncryptedResult(query, encrypted_query, self._backend.execute(encrypted_query))
+        with self._lock:
+            encrypted_query = self.rewrite(query)
+            if encrypted_query is None:
+                return None
+            return EncryptedResult(
+                query, encrypted_query, self._backend.execute(encrypted_query)
+            )
 
     def execute_encrypted(self, encrypted_query: Query) -> ResultSet:
         """Execute an already-rewritten query on the session backend."""
-        return self._backend.execute(encrypted_query)
+        with self._lock:
+            return self._backend.execute(encrypted_query)
 
     def run(self, queries: Iterable[Query]) -> list[EncryptedResult]:
         """Serve a whole workload: rewrite and execute every query in order.
 
         Skipped queries (with ``on_unsupported="skip"``) are recorded under
-        :attr:`skipped` and omitted from the returned results.
+        :attr:`skipped` and omitted from the returned results.  The whole
+        workload runs under the session lock, so two threads running
+        workloads on one session serve them in some serial order rather
+        than interleaved per query.
         """
-        results: list[EncryptedResult] = []
-        for query in queries:
-            result = self.execute(query)
-            if result is not None:
-                results.append(result)
-        return results
+        with self._lock:
+            results: list[EncryptedResult] = []
+            for query in queries:
+                result = self.execute(query)
+                if result is not None:
+                    results.append(result)
+            return results
 
     def stream(self, queries: Iterable[Query], *, into: StreamSink) -> list[Query]:
         """Rewrite a batch and append the encrypted queries to a stream sink.
@@ -233,22 +269,35 @@ class ProxySession:
         layer free of a mining dependency.  Queries the rewriter rejects
         follow the session's ``on_unsupported`` policy; the appended batch
         contains only the rewritten queries, which are also returned.
+
+        Between batches the session refills the Paillier noise pool in a
+        background thread (:meth:`~repro.crypto.hom.PaillierNoisePool.refill_async`).
+        If the *previous* batch's refill died with an exception, this call
+        re-raises it before doing any work — background failures surface on
+        the streaming thread instead of being swallowed by the daemon
+        thread.  The running handle is available as :attr:`last_refill` for
+        deterministic ``join(timeout=...)`` in tests.
         """
-        encrypted: list[Query] = []
-        for query in queries:
-            rewritten = self.rewrite(query)
-            if rewritten is not None:
-                encrypted.append(rewritten)
-        into.append(encrypted)
-        # Regenerate Paillier blinding factors while the provider side mines
-        # the appended batch, so the next batch's HOM constants encrypt from
-        # a warm pool (one multiplication each).
-        self._proxy.paillier_scheme.noise_pool.refill_async()
-        return encrypted
+        with self._lock:
+            if self._pending_refill is not None and not self._pending_refill.is_alive():
+                finished, self._pending_refill = self._pending_refill, None
+                finished.raise_if_failed()
+            encrypted: list[Query] = []
+            for query in queries:
+                rewritten = self.rewrite(query)
+                if rewritten is not None:
+                    encrypted.append(rewritten)
+            into.append(encrypted)
+            # Regenerate Paillier blinding factors while the provider side
+            # mines the appended batch, so the next batch's HOM constants
+            # encrypt from a warm pool (one multiplication each).
+            self._pending_refill = self._proxy.paillier_scheme.noise_pool.refill_async()
+            return encrypted
 
     def close(self) -> None:
         """Release the backend's engine resources."""
-        self._backend.close()
+        with self._lock:
+            self._backend.close()
 
     def __enter__(self) -> "ProxySession":
         return self
@@ -308,6 +357,8 @@ class CryptDBProxy:
         self._encrypted_db: Database | None = None
         self._plain_db: Database | None = None
         self._default_session: ProxySession | None = None
+        # Guards the lazily created default session (check-then-create).
+        self._session_lock = threading.Lock()
         register_custom_aggregate("HOMSUM", self._homsum)
 
     # ------------------------------------------------------------------ #
@@ -489,15 +540,17 @@ class CryptDBProxy:
         return ProxySession(self, backend=backend, on_unsupported=on_unsupported)
 
     def _invalidate_default_session(self) -> None:
-        if self._default_session is not None:
-            self._default_session.close()
-            self._default_session = None
+        with self._session_lock:
+            if self._default_session is not None:
+                self._default_session.close()
+                self._default_session = None
 
     def _session(self) -> ProxySession:
         """The cached default session backing the single-query methods."""
-        if self._default_session is None:
-            self._default_session = self.session()
-        return self._default_session
+        with self._session_lock:
+            if self._default_session is None:
+                self._default_session = self.session()
+            return self._default_session
 
     def encrypt_query(self, query: Query) -> Query:
         """Rewrite a plaintext query (deprecated single-query entry point).

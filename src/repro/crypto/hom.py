@@ -37,6 +37,7 @@ and result-decryption paths on top of these shortcuts.
 from __future__ import annotations
 
 import threading
+from collections.abc import Callable
 from dataclasses import dataclass
 
 from repro.crypto.base import CiphertextKind, EncryptionClass, EncryptionScheme
@@ -151,6 +152,64 @@ class PaillierCiphertext:
     __rmul__ = __mul__
 
 
+class NoiseRefillHandle:
+    """A joinable handle to one background noise-pool refill.
+
+    :meth:`PaillierNoisePool.refill_async` used to hand back the raw daemon
+    ``threading.Thread``, which made failures invisible: an exception inside
+    the refill died with the thread, and tests had no deterministic way to
+    tell "finished" from "still running" (``Thread.join`` returns ``None``
+    either way).  The handle fixes both — it records the refill's exception,
+    and :meth:`join` returns whether the refill actually completed within the
+    timeout — while keeping the ``join``/``is_alive`` names existing callers
+    use on the thread object.
+    """
+
+    def __init__(self, target: Callable[[], None]) -> None:
+        self._error: BaseException | None = None
+
+        def run() -> None:
+            try:
+                target()
+            except BaseException as exc:  # noqa: BLE001 - recorded, re-raised via raise_if_failed
+                self._error = exc
+
+        self._thread = threading.Thread(target=run, name="paillier-noise-refill", daemon=True)
+
+    def start(self) -> None:
+        """Start the underlying daemon thread (called once by the pool)."""
+        self._thread.start()
+
+    def join(self, timeout: float | None = None) -> bool:
+        """Wait for the refill; ``True`` iff it finished within ``timeout``.
+
+        Unlike ``Thread.join`` (which returns ``None``), the boolean makes
+        timeout-based tests deterministic: ``assert handle.join(timeout=30)``
+        fails loudly instead of silently proceeding against a live refill.
+        """
+        self._thread.join(timeout)
+        return not self._thread.is_alive()
+
+    def is_alive(self) -> bool:
+        """Whether the refill thread is still running."""
+        return self._thread.is_alive()
+
+    @property
+    def error(self) -> BaseException | None:
+        """The exception the refill died with, or ``None``."""
+        return self._error
+
+    def raise_if_failed(self) -> None:
+        """Re-raise the refill's exception, if it recorded one.
+
+        Callers that scheduled a refill fire-and-forget (streaming sessions)
+        call this at their next synchronization point so background failures
+        surface on the foreground thread instead of being swallowed.
+        """
+        if self._error is not None:
+            raise self._error
+
+
 class PaillierNoisePool:
     """A pool of precomputed Paillier blinding factors ``r^n mod n²``.
 
@@ -163,9 +222,10 @@ class PaillierNoisePool:
     (:meth:`take` pops), preserving the probabilistic-encryption guarantee;
     an empty pool falls back to computing a fresh factor on demand.
 
-    The pool is thread-safe (one lock around the free list) and keeps
-    counters — ``precomputed``, ``served_from_pool``, ``served_on_demand`` —
-    exposed through :meth:`stats`.
+    The pool is thread-safe (one lock around the free list *and* the
+    counters — ``precomputed``, ``served_from_pool``, ``served_on_demand``
+    are all updated under it, so concurrent tenant threads never lose
+    increments) and exposes the counters through :meth:`stats`.
     """
 
     def __init__(self, public_key: PaillierPublicKey, *, size: int = 64, eager: bool = True) -> None:
@@ -175,7 +235,7 @@ class PaillierNoisePool:
         self._target_size = size
         self._factors: list[int] = []
         self._lock = threading.Lock()
-        self._refill_thread: threading.Thread | None = None
+        self._refill_handle: NoiseRefillHandle | None = None
         self.precomputed = 0
         self.served_from_pool = 0
         self.served_on_demand = 0
@@ -204,7 +264,9 @@ class PaillierNoisePool:
             if self._factors:
                 self.served_from_pool += 1
                 return self._factors.pop()
-        self.served_on_demand += 1
+            # Count the fallback under the same lock; the (slow) modular
+            # exponentiation itself runs outside it.
+            self.served_on_demand += 1
         return self._fresh_factor()
 
     def ensure(self, count: int) -> None:
@@ -223,37 +285,42 @@ class PaillierNoisePool:
         """Fill the pool back up to its target size (synchronously)."""
         self.ensure(self._target_size)
 
-    def refill_async(self) -> threading.Thread:
+    def refill_async(self) -> NoiseRefillHandle:
         """Refill up to the target size in a daemon thread.
 
         Streaming sessions call this between batches so blinding factors are
         regenerated while the proxy is rewriting/mining; repeated calls while
-        a refill is already running return the running thread.
+        a refill is already running return the running handle.  The returned
+        :class:`NoiseRefillHandle` supports ``join(timeout=...) -> bool`` for
+        deterministic tests and records the refill's exception so callers can
+        surface it (:meth:`NoiseRefillHandle.raise_if_failed`) instead of it
+        dying silently in the daemon thread.
         """
         with self._lock:
-            if self._refill_thread is not None and self._refill_thread.is_alive():
-                return self._refill_thread
-            thread = threading.Thread(
-                target=self.refill, name="paillier-noise-refill", daemon=True
-            )
-            self._refill_thread = thread
+            if self._refill_handle is not None and self._refill_handle.is_alive():
+                return self._refill_handle
+            handle = NoiseRefillHandle(self.refill)
+            self._refill_handle = handle
             # Start under the lock: a created-but-unstarted thread reports
             # is_alive() == False, so a concurrent caller would spawn a
             # duplicate refill if we released first.
-            thread.start()
-        return thread
+            handle.start()
+        return handle
 
     def stats(self) -> dict[str, int]:
-        """Pool counters (pooled now, precomputed/served totals)."""
+        """Pool counters (pooled now, precomputed/served totals).
+
+        Read under the lock so a snapshot taken while other threads encrypt
+        is internally consistent.
+        """
         with self._lock:
-            pooled = len(self._factors)
-        return {
-            "pooled": pooled,
-            "target_size": self._target_size,
-            "precomputed": self.precomputed,
-            "served_from_pool": self.served_from_pool,
-            "served_on_demand": self.served_on_demand,
-        }
+            return {
+                "pooled": len(self._factors),
+                "target_size": self._target_size,
+                "precomputed": self.precomputed,
+                "served_from_pool": self.served_from_pool,
+                "served_on_demand": self.served_on_demand,
+            }
 
 
 class PaillierScheme(EncryptionScheme):

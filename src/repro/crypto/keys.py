@@ -10,6 +10,7 @@ different purposes never share key material by accident.
 
 from __future__ import annotations
 
+import threading
 from collections.abc import Iterable, Sequence
 from dataclasses import dataclass
 
@@ -53,18 +54,38 @@ class KeyChain:
     def __init__(self, master: MasterKey) -> None:
         self._master = master
         self._cache: dict[tuple[str, ...], bytes] = {}
+        # Concurrent tenant sessions derive keys through one shared chain;
+        # the lock keeps the check-then-insert on the cache atomic (the
+        # derivation itself is deterministic, so a duplicate derivation
+        # would be wasteful, not wrong — but a dict mutated mid-resize by
+        # another thread is neither).
+        self._lock = threading.Lock()
 
     def key_for(self, *path: str, length: int = 32) -> bytes:
         """Return the sub-key for ``path`` (derived on first use, then cached)."""
         if not path:
             raise KeyError_("key path must not be empty")
         cache_key = tuple(path) + (str(length),)
-        if cache_key not in self._cache:
-            # Length-prefix every component so that distinct paths can never
-            # collapse to the same derivation label (("a", "b") vs ("a/b")).
-            label = "|".join(f"{len(component)}:{component}" for component in path)
-            self._cache[cache_key] = derive_key(self._master.material, label, length)
-        return self._cache[cache_key]
+        with self._lock:
+            cached = self._cache.get(cache_key)
+        if cached is not None:
+            return cached
+        # Length-prefix every component so that distinct paths can never
+        # collapse to the same derivation label (("a", "b") vs ("a/b")).
+        label = "|".join(f"{len(component)}:{component}" for component in path)
+        key = derive_key(self._master.material, label, length)
+        with self._lock:
+            return self._cache.setdefault(cache_key, key)
+
+    def fingerprint(self) -> str:
+        """A short public identifier for this chain's master key.
+
+        Derived through the same labelled PRF as every sub-key, so it reveals
+        nothing about the master material but is stable per key chain —
+        tenant-isolation tests and the server's per-tenant metrics use it to
+        assert that two tenants never end up sharing key material.
+        """
+        return derive_key(self._master.material, "keychain-fingerprint", 16).hex()
 
     def keys_for(self, paths: Iterable[Sequence[str]], *, length: int = 32) -> list[bytes]:
         """Derive (and cache) the sub-keys for many paths in one call.

@@ -21,6 +21,14 @@ so neighbouring descents are walked back to back, and
 uncached scalar descent is kept as :meth:`OrderPreservingScheme.encrypt_reference`,
 the bit-for-bit equality oracle of the fast path.
 
+The node cache is shared mutable state, so it is guarded by a lock: concurrent
+``encrypt``/``decrypt``/``clear_cache`` calls from multi-tenant serving
+threads interleave safely, and the hit/miss/eviction counters stay exact (an
+unguarded ``+=`` loses updates under the interpreter's thread switching).
+The lock protects *bookkeeping*, not correctness of ciphertexts — every node
+value is a pure function of the key, so even a racy cache could only ever
+have re-derived the same number.
+
 Compared to the original construction we use a uniform range-split instead of
 hypergeometric sampling at the inner nodes.  This changes the ciphertext
 *distribution* slightly (security is still "reveals order and nothing else
@@ -33,6 +41,8 @@ scaling (the access-area and CryptDB layers do this explicitly).
 """
 
 from __future__ import annotations
+
+import threading
 
 from repro.crypto.base import CiphertextKind, EncryptionClass, EncryptionScheme
 from repro.crypto.primitives import DeterministicStream, SqlValue, derive_key
@@ -93,8 +103,11 @@ class OrderPreservingScheme(EncryptionScheme):
         self.range_size = domain_size << expansion_bits
         # Memoized descent tree: node -> left-range-width.  The split at a
         # node is a pure function of (key, node), so the cache is shared by
-        # every encrypt *and* decrypt under this instance's key.
+        # every encrypt *and* decrypt under this instance's key.  The lock
+        # serializes cache and counter updates against concurrent
+        # encrypt/decrypt/clear_cache callers (multi-tenant serving threads).
         self._node_cache: dict[tuple[int, int, int, int], int] = {}
+        self._cache_lock = threading.Lock()
         self._cache_max_nodes = cache_max_nodes
         self._cache_hits = 0
         self._cache_misses = 0
@@ -169,14 +182,22 @@ class OrderPreservingScheme(EncryptionScheme):
         return self._decrypt_many_deduplicated(ciphertexts)
 
     def cache_stats(self) -> dict[str, int | float]:
-        """Descent-node cache counters (size, hits, misses, hit rate, evictions)."""
-        lookups = self._cache_hits + self._cache_misses
+        """Descent-node cache counters (size, hits, misses, hit rate, evictions).
+
+        Taken under the cache lock, so the snapshot is internally consistent
+        even while other threads encrypt: ``hits + misses`` always equals the
+        number of node lookups performed so far.
+        """
+        with self._cache_lock:
+            hits, misses = self._cache_hits, self._cache_misses
+            nodes, evictions = len(self._node_cache), self._cache_evictions
+        lookups = hits + misses
         return {
-            "nodes": len(self._node_cache),
-            "hits": self._cache_hits,
-            "misses": self._cache_misses,
-            "hit_rate": self._cache_hits / lookups if lookups else 0.0,
-            "evictions": self._cache_evictions,
+            "nodes": nodes,
+            "hits": hits,
+            "misses": misses,
+            "hit_rate": hits / lookups if lookups else 0.0,
+            "evictions": evictions,
         }
 
     def fast_path_stats(self) -> dict[str, object]:
@@ -184,11 +205,18 @@ class OrderPreservingScheme(EncryptionScheme):
         return {"node_cache": self.cache_stats()}
 
     def clear_cache(self) -> None:
-        """Drop the memoized descent tree (counters included)."""
-        self._node_cache.clear()
-        self._cache_hits = 0
-        self._cache_misses = 0
-        self._cache_evictions = 0
+        """Drop the memoized descent tree (counters included).
+
+        Safe to call while other threads are mid-descent: the lock means a
+        concurrent encrypt either sees the cache before or after the flush,
+        never a half-reset counter set, and its ciphertext is unaffected
+        either way (node values are pure functions of the key).
+        """
+        with self._cache_lock:
+            self._node_cache.clear()
+            self._cache_hits = 0
+            self._cache_misses = 0
+            self._cache_evictions = 0
 
     # -- recursion ----------------------------------------------------------- #
 
@@ -224,20 +252,28 @@ class OrderPreservingScheme(EncryptionScheme):
         return left_domain + extra
 
     def _left_range_width(self, dlo: int, dhi: int, rlo: int, rhi: int) -> int:
-        """Memoized :meth:`_derive_left_range_width` (the node cache)."""
+        """Memoized :meth:`_derive_left_range_width` (the node cache).
+
+        The PRF derivation runs *outside* the lock — it is a pure function of
+        (key, node), so two racing threads at worst derive the same width
+        twice; the lock only guards the dict and the counters.
+        """
         node = (dlo, dhi, rlo, rhi)
-        width = self._node_cache.get(node)
-        if width is None:
+        with self._cache_lock:
+            width = self._node_cache.get(node)
+            if width is not None:
+                self._cache_hits += 1
+                return width
             self._cache_misses += 1
-            width = self._derive_left_range_width(dlo, dhi, rlo, rhi)
-            if len(self._node_cache) >= self._cache_max_nodes:
-                # Bound the memory of long-lived (streaming) instances; the
-                # descent is deterministic, so a flush only re-derives nodes.
-                self._node_cache.clear()
-                self._cache_evictions += 1
-            self._node_cache[node] = width
-        else:
-            self._cache_hits += 1
+        width = self._derive_left_range_width(dlo, dhi, rlo, rhi)
+        with self._cache_lock:
+            if node not in self._node_cache:
+                if len(self._node_cache) >= self._cache_max_nodes:
+                    # Bound the memory of long-lived (streaming) instances; the
+                    # descent is deterministic, so a flush only re-derives nodes.
+                    self._node_cache.clear()
+                    self._cache_evictions += 1
+                self._node_cache[node] = width
         return width
 
     def _descend(

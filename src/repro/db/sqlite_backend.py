@@ -26,6 +26,7 @@ interpreter:
 from __future__ import annotations
 
 import sqlite3
+import threading
 from collections.abc import Callable, Iterable
 
 from repro.db.database import Database
@@ -85,11 +86,19 @@ class SQLiteBackend:
 
     def __init__(self, database: Database) -> None:
         self._database = database
-        self._connection = sqlite3.connect(":memory:")
+        # check_same_thread=False: server worker threads execute queries on
+        # sessions opened by the main thread.  All connection use is
+        # serialized by _execute_lock below, which is the pattern the sqlite3
+        # docs require when sharing a connection across threads.
+        self._connection = sqlite3.connect(":memory:", check_same_thread=False)
         # The interpreter's LIKE is case-sensitive (regex translation);
         # SQLite's is ASCII-case-insensitive by default.
         self._connection.execute("PRAGMA case_sensitive_like = ON")
         self._udf_error: str | None = None
+        # Serializes execute()/close(): the shared connection, the UDF
+        # registry sync and the _udf_error side-channel are all
+        # per-connection state that must not interleave across threads.
+        self._execute_lock = threading.Lock()
         self._registered_aggregates: dict[str, Callable[[list[object]], object]] = {}
         self._register_scalar_functions()
         self._load(database)
@@ -162,7 +171,15 @@ class SQLiteBackend:
     # execution
 
     def execute(self, query: Query) -> ResultSet:
-        """Execute ``query`` via compiled parameterized SQL."""
+        """Execute ``query`` via compiled parameterized SQL.
+
+        Thread-safe: the whole call runs under the backend's execute lock
+        (one shared connection, one ``_udf_error`` side-channel).
+        """
+        with self._execute_lock:
+            return self._execute_locked(query)
+
+    def _execute_locked(self, query: Query) -> ResultSet:
         self._sync_custom_aggregates()
         # SQLite is laxer than the interpreter in two places: it tolerates
         # duplicate table aliases as long as no reference is ambiguous, and
@@ -199,7 +216,8 @@ class SQLiteBackend:
 
     def close(self) -> None:
         """Close the SQLite connection (idempotent)."""
-        self._connection.close()
+        with self._execute_lock:
+            self._connection.close()
 
     def __enter__(self) -> "SQLiteBackend":
         return self

@@ -42,6 +42,7 @@ cache after every append so mixed batch/incremental use stays correct.
 
 from __future__ import annotations
 
+import threading
 from collections.abc import Callable, Iterable
 from typing import TYPE_CHECKING
 
@@ -70,21 +71,39 @@ class StreamingQueryLog(QueryLog):
     :class:`IncrementalDistanceMatrix`, which extends its artefacts by the
     new pairs only.  Batches accept parsed queries, SQL strings or full
     :class:`~repro.sql.log.LogEntry` objects interchangeably.
+
+    Appends from concurrent streaming sessions are serialized by a
+    re-entrant :attr:`lock` — each batch (entry extension *and* subscriber
+    notification) is atomic, so two racing appends land as two complete
+    batches in some order, never interleaved.  Subscribers maintaining
+    derived state (the incremental matrix) take the same lock in their
+    accessors, making "log grew + artefacts extended" one atomic step from
+    any reader's point of view.
     """
 
     def __init__(self, entries: Iterable[LogEntry] = ()) -> None:
         super().__init__(entries)
         self._subscribers: list[Callable[[tuple[LogEntry, ...]], None]] = []
         self._appends = 0
+        # Re-entrant: subscribers run under the append lock and may read the
+        # log (or re-enter accessors that take the lock) while notified.
+        self._lock = threading.RLock()
+
+    @property
+    def lock(self) -> threading.RLock:
+        """The lock serializing appends (shared with derived-state readers)."""
+        return self._lock
 
     @property
     def appends(self) -> int:
         """Number of append batches accepted so far."""
-        return self._appends
+        with self._lock:
+            return self._appends
 
     def subscribe(self, callback: Callable[[tuple[LogEntry, ...]], None]) -> None:
         """Register ``callback`` to receive every future appended batch."""
-        self._subscribers.append(callback)
+        with self._lock:
+            self._subscribers.append(callback)
 
     def append(self, items: Iterable[LogEntry | Query | str]) -> tuple[LogEntry, ...]:
         """Append a batch of queries and notify subscribers.
@@ -92,14 +111,17 @@ class StreamingQueryLog(QueryLog):
         Returns the normalized entries that were appended.  Subscribers run
         synchronously, in subscription order, after the entries are visible
         in the log — a subscriber reading ``len(log)`` sees the grown log.
+        The whole step runs under :attr:`lock`, so concurrent appends are
+        serialized batch-at-a-time.
         """
         batch = tuple(self._normalize(item) for item in items)
         if not batch:
             return batch
-        self._entries.extend(batch)
-        self._appends += 1
-        for callback in self._subscribers:
-            callback(batch)
+        with self._lock:
+            self._entries.extend(batch)
+            self._appends += 1
+            for callback in self._subscribers:
+                callback(batch)
         return batch
 
     @staticmethod
@@ -126,6 +148,12 @@ class IncrementalDistanceMatrix:
     append); :attr:`pairs_computed` exposes the running total so tests can
     prove no full recompute happened.  All artefact accessors return values
     equal — bit for bit — to a batch recompute over the grown log.
+
+    The matrix is safe to read while other threads append: appends arrive
+    through the stream's re-entrant lock (see
+    :attr:`StreamingQueryLog.lock`), and every artefact accessor takes the
+    same lock, so a reader always observes a matrix consistent with some
+    complete prefix of batches — never a half-ingested append.
 
     Mining parameters are fixed at construction because the incremental
     state (far-counts, ε-lists, kNN lists) depends on them:
@@ -190,16 +218,21 @@ class IncrementalDistanceMatrix:
         self._neighborhoods: list[list[int]] = []
         self.pairs_computed = 0
 
-        stream.subscribe(self._on_append)
-        if len(stream):
-            self._extend(tuple(stream))
+        # Atomic subscribe-and-catch-up: a batch appended between the
+        # subscription and the initial ingest would otherwise be counted
+        # twice (once via the callback, once via tuple(stream)).
+        with stream.lock:
+            stream.subscribe(self._on_append)
+            if len(stream):
+                self._extend(tuple(stream))
 
     # -- growth ---------------------------------------------------------- #
 
     @property
     def n_items(self) -> int:
         """Number of log entries currently covered by the matrix."""
-        return self._n
+        with self._stream.lock:
+            return self._n
 
     @property
     def measure(self) -> "DistanceMeasure":
@@ -313,46 +346,53 @@ class IncrementalDistanceMatrix:
 
     def square(self) -> np.ndarray:
         """The current full symmetric distance matrix (a fresh copy)."""
-        self._require_items()
-        return self._square[: self._n, : self._n].copy()
+        with self._stream.lock:
+            self._require_items()
+            return self._square[: self._n, : self._n].copy()
 
     def condensed(self) -> CondensedDistanceMatrix:
         """The current distances in condensed form (no distance recomputation)."""
-        self._require_items()
-        n = self._n
-        return CondensedDistanceMatrix(
-            values=self._square[:n, :n][np.triu_indices(n, k=1)], n=n
-        )
+        with self._stream.lock:
+            self._require_items()
+            n = self._n
+            return CondensedDistanceMatrix(
+                values=self._square[:n, :n][np.triu_indices(n, k=1)], n=n
+            )
 
     def knn(self, index: int) -> tuple[int, ...]:
         """The ``knn_k`` nearest neighbours of ``index``, ties by smaller index."""
-        self._require_items(2)
-        if not 0 <= index < self._n:
-            raise MiningError(f"index {index} out of range for {self._n} items")
-        if self._knn_k > self._n - 1:
-            raise MiningError(f"k must be between 1 and {self._n - 1}")
-        return tuple(j for _, j in self._knn[index])
+        with self._stream.lock:
+            self._require_items(2)
+            if not 0 <= index < self._n:
+                raise MiningError(f"index {index} out of range for {self._n} items")
+            if self._knn_k > self._n - 1:
+                raise MiningError(f"k must be between 1 and {self._n - 1}")
+            return tuple(j for _, j in self._knn[index])
 
     def knn_all(self) -> tuple[tuple[int, ...], ...]:
         """The maintained kNN lists of every item."""
-        return tuple(self.knn(i) for i in range(self._n))
+        with self._stream.lock:
+            return tuple(self.knn(i) for i in range(self._n))
 
     def outliers(self) -> OutlierResult:
         """The DB(p, D)-outliers of the current log (equal to a batch scan)."""
-        self._require_items()
-        n = self._n
-        if n == 1:
-            return OutlierResult(
-                outliers=(), fraction_far=(0.0,), p=self._outlier_p, d=self._outlier_d
+        with self._stream.lock:
+            self._require_items()
+            n = self._n
+            if n == 1:
+                return OutlierResult(
+                    outliers=(), fraction_far=(0.0,), p=self._outlier_p, d=self._outlier_d
+                )
+            fractions = [count / (n - 1) for count in self._far_counts]
+            flagged = tuple(
+                i for i, fraction in enumerate(fractions) if fraction >= self._outlier_p
             )
-        fractions = [count / (n - 1) for count in self._far_counts]
-        flagged = tuple(i for i, fraction in enumerate(fractions) if fraction >= self._outlier_p)
-        return OutlierResult(
-            outliers=flagged,
-            fraction_far=tuple(fractions),
-            p=self._outlier_p,
-            d=self._outlier_d,
-        )
+            return OutlierResult(
+                outliers=flagged,
+                fraction_far=tuple(fractions),
+                p=self._outlier_p,
+                d=self._outlier_d,
+            )
 
     def top_outliers(self, n_outliers: int, *, k: int | None = None) -> tuple[int, ...]:
         """Top ``n_outliers`` by k-th-nearest-neighbour distance, from the kNN lists.
@@ -361,17 +401,20 @@ class IncrementalDistanceMatrix:
         the k-th nearest distance of anything beyond the maintained horizon
         is unknown without recomputation.
         """
-        self._require_items(2)
-        k = self._knn_k if k is None else k
-        if not 1 <= k <= self._knn_k:
-            raise MiningError(f"k must be between 1 and the maintained knn_k={self._knn_k}")
-        if k >= self._n:
-            raise MiningError(f"k must be between 1 and {self._n - 1}")
-        if not 1 <= n_outliers <= self._n:
-            raise MiningError(f"n_outliers must be between 1 and {self._n}")
-        scores = [self._knn[i][k - 1][0] for i in range(self._n)]
-        order = sorted(range(self._n), key=lambda i: (-scores[i], i))
-        return tuple(order[:n_outliers])
+        with self._stream.lock:
+            self._require_items(2)
+            k = self._knn_k if k is None else k
+            if not 1 <= k <= self._knn_k:
+                raise MiningError(
+                    f"k must be between 1 and the maintained knn_k={self._knn_k}"
+                )
+            if k >= self._n:
+                raise MiningError(f"k must be between 1 and {self._n - 1}")
+            if not 1 <= n_outliers <= self._n:
+                raise MiningError(f"n_outliers must be between 1 and {self._n}")
+            scores = [self._knn[i][k - 1][0] for i in range(self._n)]
+            order = sorted(range(self._n), key=lambda i: (-scores[i], i))
+            return tuple(order[:n_outliers])
 
     def dbscan(self) -> DbscanResult:
         """DBSCAN labels over the maintained ε-graph (equal to a batch run).
@@ -384,9 +427,13 @@ class IncrementalDistanceMatrix:
         """
         from collections import deque
 
-        self._require_items()
-        n = self._n
-        neighborhoods = self._neighborhoods
+        with self._stream.lock:
+            self._require_items()
+            n = self._n
+            # Snapshot under the lock; the label pass below runs lock-free on
+            # the copies (appends never mutate existing prefixes in place,
+            # but a half-extended list must not be observed).
+            neighborhoods = [list(self._neighborhoods[i]) for i in range(n)]
         # Sort once per call: each list is "ascending old neighbours, then
         # ascending new neighbours, then self" — sorted() restores the exact
         # flatnonzero order cheaply (Timsort exploits the runs).

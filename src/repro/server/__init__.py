@@ -1,0 +1,42 @@
+"""Multi-tenant serving layer: N tenants, one shared worker pool.
+
+The package behind :class:`~repro.api.MiningServer`: a threaded server
+multiplexing many tenants — each with its own
+:class:`~repro.api.ServiceConfig`, keychain and Paillier noise pool — over a
+bounded admission queue and a shared pool of worker threads.  Four modules:
+
+* :mod:`repro.server.server` — the :class:`MiningServer` itself (tenant
+  registry, worker pool, submit/stream, lifecycle);
+* :mod:`repro.server.tenant` — :class:`TenantHandle`, one tenant's service,
+  shared session and counters;
+* :mod:`repro.server.admission` — :class:`AdmissionQueue`, the bounded
+  queue with backpressure and :class:`~repro.api.errors.ServerOverloaded`
+  rejection;
+* :mod:`repro.server.stats` — the typed :class:`ServerStats` /
+  :class:`TenantStats` / :class:`QueueStats` snapshots feeding the metrics
+  endpoint.
+
+Everything here is re-exported through :mod:`repro.api`; embedding code
+should import from there.
+"""
+
+# Load the api package first: repro.api re-exports this package's classes
+# at the *end* of its __init__, so initialising it up front means the
+# submodule imports below always see fully-initialised api submodules
+# regardless of whether "import repro.api" or "import repro.server" runs
+# first.
+import repro.api  # noqa: F401  (import-order anchor, see above)
+
+from repro.server.admission import AdmissionQueue
+from repro.server.server import MiningServer
+from repro.server.stats import QueueStats, ServerStats, TenantStats
+from repro.server.tenant import TenantHandle
+
+__all__ = [
+    "AdmissionQueue",
+    "MiningServer",
+    "QueueStats",
+    "ServerStats",
+    "TenantHandle",
+    "TenantStats",
+]

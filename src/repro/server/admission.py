@@ -1,0 +1,125 @@
+"""Bounded admission control for the multi-tenant server.
+
+The server must not buffer work without limit: an unbounded queue hides
+overload until memory runs out, and gives callers no signal to shed load.
+:class:`AdmissionQueue` wraps a ``queue.Queue(maxsize=...)`` with the two
+behaviours the serving layer needs:
+
+* **backpressure** — a blocking :meth:`submit` waits for a slot (optionally
+  up to a timeout), which is what :meth:`~repro.api.MiningServer.stream`
+  uses so a fast producer is throttled to the workers' pace;
+* **rejection** — a non-blocking submit on a full queue raises
+  :class:`~repro.api.errors.ServerOverloaded` immediately, making overload
+  an explicit, catchable signal instead of silent latency.
+
+The queue also keeps the admission counters (submitted, rejected,
+completed, failed, high-water depth) surfaced through
+:class:`~repro.server.stats.QueueStats`; counter updates take an internal
+lock so concurrent producers and workers never lose increments.
+"""
+
+from __future__ import annotations
+
+import queue
+import threading
+from typing import Generic, TypeVar
+
+from repro.api.errors import ServerOverloaded
+from repro.server.stats import QueueStats
+
+_T = TypeVar("_T")
+
+
+class AdmissionQueue(Generic[_T]):
+    """A bounded task queue with explicit backpressure and rejection.
+
+    ``max_pending`` bounds the number of admitted-but-undrained items.
+    Producers call :meth:`submit`; worker threads call :meth:`take` and then
+    exactly one of :meth:`mark_completed`/:meth:`mark_failed` per taken
+    item, which keeps the outcome counters in :meth:`stats` exact.
+    """
+
+    def __init__(self, max_pending: int) -> None:
+        if max_pending < 1:
+            raise ServerOverloaded(
+                f"admission queue bound must be at least 1, got {max_pending}"
+            )
+        self._max_pending = max_pending
+        self._queue: queue.Queue[_T] = queue.Queue(maxsize=max_pending)
+        self._lock = threading.Lock()
+        self._submitted = 0
+        self._rejected = 0
+        self._completed = 0
+        self._failed = 0
+        self._high_water = 0
+
+    @property
+    def max_pending(self) -> int:
+        """The queue bound (admitted-but-undrained items)."""
+        return self._max_pending
+
+    def submit(self, item: _T, *, wait: bool = True, timeout: float | None = None) -> None:
+        """Admit ``item``, or raise :class:`~repro.api.errors.ServerOverloaded`.
+
+        With ``wait=True`` (the default) a full queue blocks the caller —
+        the backpressure path — for at most ``timeout`` seconds (``None``
+        waits indefinitely).  With ``wait=False`` a full queue rejects
+        immediately.  Either failure counts as a rejection in :meth:`stats`.
+        """
+        try:
+            if wait:
+                self._queue.put(item, timeout=timeout)
+            else:
+                self._queue.put_nowait(item)
+        except queue.Full:
+            with self._lock:
+                self._rejected += 1
+            detail = (
+                f"admission queue is full ({self._max_pending} pending)"
+                if not wait
+                else f"admission queue stayed full for {timeout}s ({self._max_pending} pending)"
+            )
+            raise ServerOverloaded(detail) from None
+        with self._lock:
+            self._submitted += 1
+            depth = self._queue.qsize()
+            if depth > self._high_water:
+                self._high_water = depth
+
+    def take(self, timeout: float | None = None) -> _T | None:
+        """Pop the next admitted item, or ``None`` after ``timeout`` seconds.
+
+        The ``None`` return lets worker loops poll with a short timeout and
+        re-check their stop event instead of blocking forever on an idle
+        queue.
+        """
+        try:
+            return self._queue.get(timeout=timeout)
+        except queue.Empty:
+            return None
+
+    def mark_completed(self) -> None:
+        """Record that one taken item finished successfully."""
+        with self._lock:
+            self._completed += 1
+
+    def mark_failed(self) -> None:
+        """Record that one taken item raised."""
+        with self._lock:
+            self._failed += 1
+
+    def stats(self) -> QueueStats:
+        """A consistent snapshot of the admission counters."""
+        with self._lock:
+            return QueueStats(
+                max_pending=self._max_pending,
+                pending=self._queue.qsize(),
+                submitted=self._submitted,
+                rejected=self._rejected,
+                completed=self._completed,
+                failed=self._failed,
+                high_water=self._high_water,
+            )
+
+
+__all__ = ["AdmissionQueue"]

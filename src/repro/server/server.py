@@ -1,0 +1,309 @@
+"""The threaded multi-tenant :class:`MiningServer`.
+
+The deployment the paper's threat model assumes — many data owners, one
+honest-but-curious provider — needs a long-running serving layer, not a
+single-caller façade.  :class:`MiningServer` provides it:
+
+* **N tenants, isolated key material** — each
+  :meth:`~MiningServer.add_tenant` builds a full
+  :class:`~repro.api.EncryptedMiningService` (own
+  :class:`~repro.api.ServiceConfig`, own keychain, own Paillier noise pool)
+  and encrypts the tenant's database up front, wrapped in a
+  :class:`~repro.server.tenant.TenantHandle`;
+* **shared execution** — a fixed pool of worker threads drains one bounded
+  :class:`~repro.server.admission.AdmissionQueue`; workloads from different
+  tenants run concurrently, workloads of one tenant serialize on the
+  tenant's session lock;
+* **admission control** — :meth:`submit` admits a workload and returns a
+  ``concurrent.futures.Future``; a full queue blocks (backpressure) or, with
+  ``wait=False``, raises :class:`~repro.api.errors.ServerOverloaded`;
+  :meth:`stream` always takes the blocking path, throttling producers to
+  the workers' pace;
+* **metrics** — :meth:`stats` returns a typed
+  :class:`~repro.server.stats.ServerStats` (queue counters plus per-tenant
+  serving/crypto/exposure snapshots) and :meth:`metrics` the same as a
+  JSON-serialisable payload.
+
+The ``P5`` benchmark (``benchmarks/bench_p5_concurrent.py``) gates the
+point of the thread pool: N concurrent tenants must sustain at least twice
+the throughput of the same N served sequentially, with every tenant's
+results bit-for-bit equal to a sequential reference run.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections.abc import Callable, Iterable
+from concurrent.futures import Future
+
+from repro.api.config import ServerConfig, ServiceConfig
+from repro.api.errors import ConfigError, ServerError
+from repro.api.results import WorkloadResult
+from repro.api.service import EncryptedMiningService
+from repro.crypto.keys import KeyChain
+from repro.cryptdb.proxy import JoinGroupSpec, StreamSink
+from repro.db.database import Database
+from repro.server.admission import AdmissionQueue
+from repro.server.stats import ServerStats
+from repro.server.tenant import TenantHandle
+from repro.sql.ast import Query
+from repro.sql.log import QueryLog
+
+#: Poll interval of idle worker threads (seconds between stop-event checks).
+_WORKER_POLL_SECONDS = 0.05
+
+#: One admitted unit of work: the future to resolve and the thunk to run.
+_Task = tuple["Future[object]", Callable[[], object]]
+
+
+class MiningServer:
+    """A threaded server multiplexing N tenants over shared workers.
+
+    Construction is cheap (no threads yet); workers start lazily on the
+    first :meth:`submit`/:meth:`stream` or explicitly via :meth:`start`.
+    The server is a context manager — leaving the ``with`` block closes it:
+    workers are joined, undrained tasks are cancelled, and every tenant's
+    session is released.
+    """
+
+    def __init__(self, config: ServerConfig | None = None) -> None:
+        """Build the server from ``config`` (defaults to ``ServerConfig()``)."""
+        if config is None:
+            config = ServerConfig()
+        if not isinstance(config, ServerConfig):
+            raise ConfigError(f"MiningServer expects a ServerConfig, got {config!r}")
+        self._config = config
+        self._queue: AdmissionQueue[_Task] = AdmissionQueue(config.max_pending)
+        self._tenants: dict[str, TenantHandle] = {}
+        self._lock = threading.RLock()
+        self._workers: list[threading.Thread] = []
+        self._stop = threading.Event()
+        self._started = False
+        self._closed = False
+
+    # -- introspection --------------------------------------------------- #
+
+    @property
+    def config(self) -> ServerConfig:
+        """The concurrency configuration this server was built from."""
+        return self._config
+
+    @property
+    def is_running(self) -> bool:
+        """Whether the worker pool has been started and not yet closed."""
+        with self._lock:
+            return self._started and not self._closed
+
+    def tenants(self) -> tuple[str, ...]:
+        """Registered tenant names, in registration order."""
+        with self._lock:
+            return tuple(self._tenants)
+
+    def tenant(self, name: str) -> TenantHandle:
+        """The handle of tenant ``name``; unknown names fail loudly."""
+        with self._lock:
+            handle = self._tenants.get(name)
+            if handle is None:
+                raise ServerError(
+                    f"unknown tenant {name!r}; registered tenants: {sorted(self._tenants)}"
+                )
+            return handle
+
+    # -- tenant lifecycle -------------------------------------------------- #
+
+    def add_tenant(
+        self,
+        name: str,
+        config: ServiceConfig | None = None,
+        *,
+        keychain: KeyChain | None = None,
+        database: Database | None = None,
+        join_groups: Iterable[JoinGroupSpec] = (),
+    ) -> TenantHandle:
+        """Register tenant ``name``: build its service and encrypt its database.
+
+        ``config`` is the tenant's own :class:`~repro.api.ServiceConfig`
+        (defaults apply per tenant — two tenants never share one service);
+        ``keychain`` overrides key derivation exactly as for
+        :class:`~repro.api.EncryptedMiningService`; ``database`` is the
+        tenant's plaintext database (defaults to the config's generated
+        workload-profile database).  Registration encrypts up front, so a
+        registered tenant is immediately servable.
+        """
+        with self._lock:
+            if self._closed:
+                raise ServerError("cannot add a tenant to a closed server")
+            if name in self._tenants:
+                raise ServerError(
+                    f"tenant {name!r} is already registered; "
+                    f"registered tenants: {sorted(self._tenants)}"
+                )
+        service = EncryptedMiningService(config, keychain=keychain, join_groups=join_groups)
+        plain = database if database is not None else service.build_database()
+        service.encrypt(plain)
+        handle = TenantHandle(name, service)
+        with self._lock:
+            if self._closed:
+                raise ServerError("cannot add a tenant to a closed server")
+            if name in self._tenants:
+                raise ServerError(f"tenant {name!r} was registered concurrently")
+            self._tenants[name] = handle
+        return handle
+
+    # -- worker pool ------------------------------------------------------- #
+
+    def start(self) -> None:
+        """Start the worker pool (idempotent; :meth:`submit` auto-starts)."""
+        with self._lock:
+            if self._closed:
+                raise ServerError("cannot start a closed server")
+            if self._started:
+                return
+            self._started = True
+            for index in range(self._config.workers):
+                worker = threading.Thread(
+                    target=self._worker_loop, name=f"mining-server-worker-{index}", daemon=True
+                )
+                self._workers.append(worker)
+                worker.start()
+
+    def _worker_loop(self) -> None:
+        while not self._stop.is_set():
+            task = self._queue.take(timeout=_WORKER_POLL_SECONDS)
+            if task is None:
+                continue
+            self._run_task(task)
+
+    def _run_task(self, task: _Task) -> None:
+        future, thunk = task
+        if not future.set_running_or_notify_cancel():
+            # Cancelled while queued; it consumed a slot, so account for it.
+            self._queue.mark_completed()
+            return
+        try:
+            result = thunk()
+        except BaseException as error:  # noqa: BLE001 - stored on the future
+            self._queue.mark_failed()
+            future.set_exception(error)
+        else:
+            self._queue.mark_completed()
+            future.set_result(result)
+
+    # -- submission -------------------------------------------------------- #
+
+    def _admit(
+        self, thunk: Callable[[], object], *, wait: bool, timeout: float | None
+    ) -> "Future[object]":
+        with self._lock:
+            if self._closed:
+                raise ServerError("cannot submit to a closed server")
+        self.start()
+        future: "Future[object]" = Future()
+        effective = timeout if timeout is not None else self._config.submit_timeout
+        self._queue.submit((future, thunk), wait=wait, timeout=effective)
+        return future
+
+    def submit(
+        self,
+        tenant: str,
+        queries: QueryLog | Iterable[Query | str],
+        *,
+        wait: bool = True,
+        timeout: float | None = None,
+    ) -> "Future[object]":
+        """Admit one workload for ``tenant`` and return its future.
+
+        The future resolves to the tenant's
+        :class:`~repro.api.WorkloadResult` (or carries the serving
+        exception).  A full queue blocks for ``timeout`` seconds (default:
+        the config's ``submit_timeout``); ``wait=False`` turns a full queue
+        into an immediate :class:`~repro.api.errors.ServerOverloaded`.
+        """
+        handle = self.tenant(tenant)
+        return self._admit(
+            lambda: handle.run_workload(queries), wait=wait, timeout=timeout
+        )
+
+    def run_workload(
+        self,
+        tenant: str,
+        queries: QueryLog | Iterable[Query | str],
+        *,
+        timeout: float | None = None,
+    ) -> WorkloadResult:
+        """Submit one workload and block for its result (convenience path)."""
+        result = self.submit(tenant, queries, wait=True, timeout=timeout).result()
+        assert isinstance(result, WorkloadResult)
+        return result
+
+    def stream(
+        self,
+        tenant: str,
+        queries: QueryLog | Iterable[Query | str],
+        *,
+        into: StreamSink,
+        timeout: float | None = None,
+    ) -> "Future[object]":
+        """Admit one streamed batch for ``tenant`` (always with backpressure).
+
+        The batch is rewritten on a worker thread and appended to ``into``
+        (a streaming log or incremental mining matrix); the future resolves
+        to the tuple of encrypted queries that entered the sink.  Streaming
+        always takes the blocking admission path — a full queue throttles
+        the producer to the workers' pace rather than rejecting, which is
+        the backpressure contract of admission control.
+        """
+        handle = self.tenant(tenant)
+        return self._admit(
+            lambda: handle.stream(queries, into=into), wait=True, timeout=timeout
+        )
+
+    # -- metrics ----------------------------------------------------------- #
+
+    def stats(self) -> ServerStats:
+        """A typed snapshot: workers, queue counters, one entry per tenant."""
+        with self._lock:
+            handles = tuple(self._tenants.values())
+        return ServerStats(
+            workers=self._config.workers,
+            queue=self._queue.stats(),
+            tenants=tuple(handle.stats() for handle in handles),
+        )
+
+    def metrics(self) -> dict[str, object]:
+        """The metrics endpoint: :meth:`stats` as a JSON-serialisable payload."""
+        return self.stats().to_dict()
+
+    # -- lifecycle --------------------------------------------------------- #
+
+    def close(self) -> None:
+        """Stop workers, cancel undrained tasks, close tenants (idempotent)."""
+        with self._lock:
+            if self._closed:
+                return
+            self._closed = True
+            workers, self._workers = self._workers, []
+            handles = tuple(self._tenants.values())
+        self._stop.set()
+        for worker in workers:
+            worker.join()
+        # Drain what the workers left behind so no submitter blocks forever
+        # on a future that will never run.
+        while True:
+            task = self._queue.take(timeout=0)
+            if task is None:
+                break
+            future, _ = task
+            future.cancel()
+            self._queue.mark_completed()
+        for handle in handles:
+            handle.close()
+
+    def __enter__(self) -> "MiningServer":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+
+__all__ = ["MiningServer"]

@@ -1,0 +1,126 @@
+"""Typed statistics of the multi-tenant serving layer.
+
+Three frozen dataclasses mirror the three levels of the server:
+
+* :class:`QueueStats` — counters of the bounded admission queue (pending
+  depth, submit/reject/complete totals, high-water mark);
+* :class:`TenantStats` — one tenant's serving counters plus the snapshots
+  of its crypto layer (:meth:`~repro.api.EncryptedMiningService.crypto_stats`)
+  and per-column exposure
+  (:meth:`~repro.api.EncryptedMiningService.exposure_report`);
+* :class:`ServerStats` — the whole server: worker count, queue, and one
+  :class:`TenantStats` per tenant.
+
+Every type has a ``to_dict()`` returning plain JSON-serialisable data —
+:meth:`ServerStats.to_dict` is the payload of the server's metrics endpoint
+(:meth:`~repro.api.MiningServer.metrics`), following the same
+"plain data out" convention as the config objects' ``to_dict``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.api.errors import ServerError
+
+
+@dataclass(frozen=True)
+class QueueStats:
+    """Counters of the server's bounded admission queue.
+
+    ``pending`` is the queue depth at snapshot time and ``high_water`` the
+    largest depth observed; ``submitted``/``rejected`` count admission
+    decisions (a rejection is the :class:`~repro.api.errors.ServerOverloaded`
+    backpressure signal) and ``completed``/``failed`` count drained tasks by
+    outcome.
+    """
+
+    max_pending: int
+    pending: int
+    submitted: int
+    rejected: int
+    completed: int
+    failed: int
+    high_water: int
+
+    def to_dict(self) -> dict[str, int]:
+        """The counters as a plain JSON-serialisable dict."""
+        return {
+            "max_pending": self.max_pending,
+            "pending": self.pending,
+            "submitted": self.submitted,
+            "rejected": self.rejected,
+            "completed": self.completed,
+            "failed": self.failed,
+            "high_water": self.high_water,
+        }
+
+
+@dataclass(frozen=True)
+class TenantStats:
+    """One tenant's serving counters and crypto/exposure snapshots.
+
+    ``key_fingerprint`` is the tenant keychain's public identifier
+    (:meth:`~repro.crypto.keys.KeyChain.fingerprint`) — two tenants sharing
+    one would be sharing key material, which the isolation tests forbid.
+    ``crypto`` is the tenant's
+    :meth:`~repro.api.EncryptedMiningService.crypto_stats` snapshot and
+    ``exposure`` its per-column exposure, both already JSON-shaped.
+    """
+
+    tenant: str
+    key_fingerprint: str
+    queries_served: int
+    queries_skipped: int
+    batches_streamed: int
+    workloads_completed: int
+    failures: int
+    crypto: dict[str, object]
+    exposure: dict[str, object]
+
+    def to_dict(self) -> dict[str, object]:
+        """The tenant snapshot as a plain JSON-serialisable dict."""
+        return {
+            "tenant": self.tenant,
+            "key_fingerprint": self.key_fingerprint,
+            "queries_served": self.queries_served,
+            "queries_skipped": self.queries_skipped,
+            "batches_streamed": self.batches_streamed,
+            "workloads_completed": self.workloads_completed,
+            "failures": self.failures,
+            "crypto": self.crypto,
+            "exposure": self.exposure,
+        }
+
+
+@dataclass(frozen=True)
+class ServerStats:
+    """A consistent snapshot of the whole server.
+
+    ``workers`` is the configured worker-thread count, ``queue`` the
+    admission-queue counters and ``tenants`` one :class:`TenantStats` per
+    registered tenant, in registration order.
+    """
+
+    workers: int
+    queue: QueueStats
+    tenants: tuple[TenantStats, ...]
+
+    def for_tenant(self, name: str) -> TenantStats:
+        """The stats of one tenant; unknown names fail loudly."""
+        for tenant in self.tenants:
+            if tenant.tenant == name:
+                return tenant
+        known = [tenant.tenant for tenant in self.tenants]
+        raise ServerError(f"no stats for tenant {name!r}; known tenants: {known}")
+
+    def to_dict(self) -> dict[str, object]:
+        """The metrics payload: everything as plain JSON-serialisable data."""
+        return {
+            "workers": self.workers,
+            "queue": self.queue.to_dict(),
+            "tenants": {tenant.tenant: tenant.to_dict() for tenant in self.tenants},
+        }
+
+
+__all__ = ["QueueStats", "ServerStats", "TenantStats"]

@@ -1,0 +1,178 @@
+"""Per-tenant handles of the multi-tenant server.
+
+A :class:`TenantHandle` is one tenant's slice of a
+:class:`~repro.api.MiningServer`: it owns the tenant's
+:class:`~repro.api.EncryptedMiningService` (and therefore the tenant's
+keychain, Paillier noise pool and encrypted database snapshot), a lazily
+opened shared default session, and the serving counters surfaced through
+:class:`~repro.server.stats.TenantStats`.
+
+Isolation is structural: every tenant gets its *own* service, so key
+material, ciphertexts and noise-pool factors cannot cross tenant boundaries
+by construction — the property tests in ``tests/server`` assert this on
+:meth:`~repro.crypto.keys.KeyChain.fingerprint` and the per-tenant
+``crypto_stats()`` accounting.  What tenants share is only the execution
+machinery (worker threads and, per backend choice, the engine family).
+"""
+
+from __future__ import annotations
+
+import threading
+from collections.abc import Iterable
+
+from repro.api.errors import ServerError
+from repro.api.results import ExposureReport, WorkloadResult
+from repro.api.service import EncryptedMiningService, ServiceSession
+from repro.cryptdb.proxy import StreamSink
+from repro.server.stats import TenantStats
+from repro.sql.ast import Query
+from repro.sql.log import QueryLog
+
+
+def _exposure_to_dict(report: ExposureReport) -> dict[str, object]:
+    """Flatten a typed exposure report to JSON-shaped per-column entries."""
+    return {
+        f"{entry.table}.{entry.column}": {
+            "onions": entry.onion_layers,
+            "weakest_class": entry.weakest_class.value,
+            "security_level": entry.security_level,
+        }
+        for entry in report.columns
+    }
+
+
+class TenantHandle:
+    """One tenant: its service, its shared default session, its counters.
+
+    Workloads submitted through the server run on the tenant's shared
+    default session (opened lazily on first use), so one tenant's
+    adjustments and skip bookkeeping accumulate in one place exactly as a
+    single-caller service would; the handle's re-entrant lock plus the
+    session's own lock make concurrent worker threads safe.  Callers that
+    want genuinely concurrent sessions *within* one tenant open extra ones
+    via :meth:`open_session`.
+    """
+
+    def __init__(self, name: str, service: EncryptedMiningService) -> None:
+        """Wrap ``service`` as tenant ``name`` (built by the server)."""
+        self._name = name
+        self._service = service
+        self._lock = threading.RLock()
+        self._session: ServiceSession | None = None
+        self._queries_served = 0
+        self._queries_skipped = 0
+        self._batches_streamed = 0
+        self._workloads_completed = 0
+        self._failures = 0
+        self._closed = False
+
+    # -- introspection --------------------------------------------------- #
+
+    @property
+    def name(self) -> str:
+        """The tenant's registration name."""
+        return self._name
+
+    @property
+    def service(self) -> EncryptedMiningService:
+        """The tenant's own service façade (keychain, proxy, noise pool)."""
+        return self._service
+
+    @property
+    def key_fingerprint(self) -> str:
+        """Public identifier of the tenant's key material (isolation probe)."""
+        return self._service.keychain.fingerprint()
+
+    def crypto_stats(self) -> dict[str, object]:
+        """The tenant's crypto fast-path counters (noise pool, OPE caches)."""
+        return self._service.crypto_stats()
+
+    def exposure_report(self) -> ExposureReport:
+        """The tenant's typed per-column exposure after workloads served."""
+        return self._service.exposure_report()
+
+    # -- serving ---------------------------------------------------------- #
+
+    def session(self) -> ServiceSession:
+        """The tenant's shared default session (opened lazily, then cached)."""
+        with self._lock:
+            if self._closed:
+                raise ServerError(f"tenant {self._name!r} has been closed")
+            if self._session is None:
+                self._session = self._service.open_session()
+            return self._session
+
+    def open_session(
+        self, *, backend: str | None = None, on_unsupported: str | None = None
+    ) -> ServiceSession:
+        """Open a fresh, independent session over the tenant's database."""
+        return self._service.open_session(backend=backend, on_unsupported=on_unsupported)
+
+    def run_workload(self, queries: QueryLog | Iterable[Query | str]) -> WorkloadResult:
+        """Serve one workload on the shared default session, updating counters.
+
+        This is what the server's worker threads execute per submitted
+        task; failures are counted and re-raised (the server stores them on
+        the task's future).
+        """
+        session = self.session()
+        try:
+            result = session.run(queries)
+        except BaseException:
+            with self._lock:
+                self._failures += 1
+            raise
+        with self._lock:
+            self._queries_served += result.queries_served
+            self._queries_skipped += result.queries_skipped
+            self._workloads_completed += 1
+        return result
+
+    def stream(
+        self, queries: QueryLog | Iterable[Query | str], *, into: StreamSink
+    ) -> tuple[Query, ...]:
+        """Stream one batch into ``into`` via the shared default session."""
+        session = self.session()
+        try:
+            encrypted = session.stream(queries, into=into)
+        except BaseException:
+            with self._lock:
+                self._failures += 1
+            raise
+        with self._lock:
+            self._batches_streamed += 1
+            self._queries_served += len(encrypted)
+        return encrypted
+
+    def stats(self) -> TenantStats:
+        """A snapshot of this tenant's counters, crypto stats and exposure."""
+        with self._lock:
+            served = self._queries_served
+            skipped = self._queries_skipped
+            streamed = self._batches_streamed
+            completed = self._workloads_completed
+            failures = self._failures
+        return TenantStats(
+            tenant=self._name,
+            key_fingerprint=self.key_fingerprint,
+            queries_served=served,
+            queries_skipped=skipped,
+            batches_streamed=streamed,
+            workloads_completed=completed,
+            failures=failures,
+            crypto=self.crypto_stats(),
+            exposure=_exposure_to_dict(self.exposure_report()),
+        )
+
+    def close(self) -> None:
+        """Close the shared default session (idempotent)."""
+        with self._lock:
+            if self._closed:
+                return
+            self._closed = True
+            if self._session is not None:
+                self._session.close()
+                self._session = None
+
+
+__all__ = ["TenantHandle"]

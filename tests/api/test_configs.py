@@ -21,6 +21,7 @@ from repro.api import (
     ConfigError,
     CryptoConfig,
     MiningConfig,
+    ServerConfig,
     ServiceConfig,
     WorkloadConfig,
     available_backends,
@@ -69,6 +70,16 @@ service_configs = st.builds(
     workload=workload_configs,
 )
 
+server_configs = st.builds(
+    ServerConfig,
+    workers=st.integers(min_value=1, max_value=64),
+    max_pending=st.integers(min_value=1, max_value=10_000),
+    submit_timeout=st.one_of(
+        st.none(),
+        st.floats(min_value=0.001, max_value=3600.0, allow_nan=False),
+    ),
+)
+
 
 class TestRoundTrips:
     """``from_dict(to_dict(cfg)) == cfg`` for every config dataclass."""
@@ -97,6 +108,14 @@ class TestRoundTrips:
     def test_service_survives_json(self, config: ServiceConfig) -> None:
         """to_dict() is plain JSON data; a JSON round-trip loses nothing."""
         assert ServiceConfig.from_dict(json.loads(json.dumps(config.to_dict()))) == config
+
+    @given(config=server_configs)
+    def test_server(self, config: ServerConfig) -> None:
+        assert ServerConfig.from_dict(config.to_dict()) == config
+
+    @given(config=server_configs)
+    def test_server_survives_json(self, config: ServerConfig) -> None:
+        assert ServerConfig.from_dict(json.loads(json.dumps(config.to_dict()))) == config
 
     def test_defaults_round_trip(self) -> None:
         assert ServiceConfig.from_dict(ServiceConfig().to_dict()) == ServiceConfig()
@@ -171,6 +190,22 @@ class TestRejection:
     def test_workload_rejections(self, kwargs: dict, needle: str) -> None:
         with pytest.raises(ConfigError, match=needle):
             WorkloadConfig(**kwargs)
+
+    @pytest.mark.parametrize(
+        ("kwargs", "needle"),
+        [
+            ({"workers": 0}, "workers"),
+            ({"workers": True}, "workers"),
+            ({"max_pending": 0}, "max_pending"),
+            ({"max_pending": -5}, "max_pending"),
+            ({"submit_timeout": 0.0}, "submit_timeout"),
+            ({"submit_timeout": -1.0}, "submit_timeout"),
+            ({"submit_timeout": "soon"}, "submit_timeout"),
+        ],
+    )
+    def test_server_rejections(self, kwargs: dict, needle: str) -> None:
+        with pytest.raises(ConfigError, match=needle):
+            ServerConfig(**kwargs)
 
     def test_unknown_keys_rejected_by_name(self) -> None:
         with pytest.raises(ConfigError, match="pool_size"):

@@ -22,8 +22,9 @@ import repro.api
 
 REPO_ROOT = Path(__file__).resolve().parents[2]
 
-#: The frozen public surface (PR 5).  Changing this set is an API decision:
-#: update the snapshot *and* the README "Public API" section together.
+#: The frozen public surface (PR 6 added the serving layer).  Changing this
+#: set is an API decision: update the snapshot *and* the README "Public API"
+#: section together.
 EXPECTED_SURFACE = frozenset(
     {
         "API_VERSION",
@@ -49,12 +50,18 @@ EXPECTED_SURFACE = frozenset(
         "MasterKey",
         "MiningConfig",
         "MiningResult",
+        "MiningServer",
         "OutlierResult",
         "QueryLog",
         "QueryLogGenerator",
         "QueryRejected",
+        "QueueStats",
         "ResultDistance",
         "ResultDpeScheme",
+        "ServerConfig",
+        "ServerError",
+        "ServerOverloaded",
+        "ServerStats",
         "ServiceConfig",
         "ServiceError",
         "ServiceSession",
@@ -63,6 +70,8 @@ EXPECTED_SURFACE = frozenset(
         "StreamingQueryLog",
         "StructureDistance",
         "StructureDpeScheme",
+        "TenantHandle",
+        "TenantStats",
         "TokenDistance",
         "TokenDpeScheme",
         "WorkloadConfig",
@@ -117,7 +126,7 @@ class TestSurfaceSnapshot:
 # façade-only imports in the migrated entry points
 
 #: Internal layers the migrated entry points must not import directly.
-BANNED_PREFIXES = ("repro.cryptdb", "repro.db", "repro.mining")
+BANNED_PREFIXES = ("repro.cryptdb", "repro.db", "repro.mining", "repro.server")
 
 
 def _imported_modules(path: Path) -> set[str]:

@@ -1,0 +1,123 @@
+"""Deterministic tests of the asynchronous Paillier noise-pool refill.
+
+``refill_async`` used to return a bare ``threading.Thread``: tests could not
+wait for it deterministically, and an exception inside the refill died with
+the daemon thread.  The :class:`~repro.crypto.hom.NoiseRefillHandle` fixes
+both — ``join(timeout=...)`` reports completion, the error is recorded, and
+:meth:`~repro.cryptdb.proxy.ProxySession.stream` re-raises a failed refill
+on the *caller's* thread at the start of the next batch.
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro.crypto.hom import NoiseRefillHandle, PaillierNoisePool
+from repro.crypto.keys import KeyChain, MasterKey
+from repro.cryptdb.proxy import CryptDBProxy
+from repro.mining.incremental import StreamingQueryLog
+from repro.sql.parser import parse_query
+
+
+@pytest.fixture
+def cold_pool(paillier_keypair) -> PaillierNoisePool:
+    """An empty pool over the shared session key (nothing precomputed)."""
+    return PaillierNoisePool(paillier_keypair.public, size=8, eager=False)
+
+
+class TestNoiseRefillHandle:
+    def test_join_is_deterministic(self, cold_pool):
+        assert len(cold_pool) == 0
+        handle = cold_pool.refill_async()
+        assert isinstance(handle, NoiseRefillHandle)
+        assert handle.join(timeout=30.0) is True
+        assert not handle.is_alive()
+        assert handle.error is None
+        handle.raise_if_failed()  # no-op on success
+        assert len(cold_pool) == cold_pool.target_size
+
+    def test_running_refill_is_deduplicated(self, cold_pool, monkeypatch):
+        original = PaillierNoisePool._fresh_factor
+
+        def slow_factor(self):
+            time.sleep(0.01)
+            return original(self)
+
+        monkeypatch.setattr(PaillierNoisePool, "_fresh_factor", slow_factor)
+        first = cold_pool.refill_async()
+        second = cold_pool.refill_async()
+        assert second is first
+        assert first.join(timeout=30.0) is True
+        assert len(cold_pool) == cold_pool.target_size
+
+    def test_failure_is_recorded_not_swallowed(self, cold_pool, monkeypatch):
+        def broken_factor(self):
+            raise RuntimeError("entropy source unplugged")
+
+        monkeypatch.setattr(PaillierNoisePool, "_fresh_factor", broken_factor)
+        handle = cold_pool.refill_async()
+        assert handle.join(timeout=30.0) is True
+        assert isinstance(handle.error, RuntimeError)
+        with pytest.raises(RuntimeError, match="entropy source unplugged"):
+            handle.raise_if_failed()
+
+    def test_failed_refill_does_not_block_the_next_one(self, cold_pool, monkeypatch):
+        def broken_factor(self):
+            raise RuntimeError("transient")
+
+        monkeypatch.setattr(PaillierNoisePool, "_fresh_factor", broken_factor)
+        failed = cold_pool.refill_async()
+        assert failed.join(timeout=30.0) is True
+        monkeypatch.undo()
+        retry = cold_pool.refill_async()
+        assert retry is not failed
+        assert retry.join(timeout=30.0) is True
+        assert len(cold_pool) == cold_pool.target_size
+
+
+class TestStreamSurfacesRefillFailure:
+    @pytest.fixture
+    def session(self, small_database):
+        proxy = CryptDBProxy(
+            KeyChain(MasterKey.from_passphrase("refill-tests")), paillier_bits=256
+        )
+        proxy.encrypt_database(small_database)
+        with proxy.session(backend="sqlite", on_unsupported="skip") as session:
+            yield session
+
+    def test_stream_reraises_previous_refill_failure(self, session, monkeypatch):
+        sink = StreamingQueryLog()
+        batch = [parse_query("SELECT name FROM users WHERE age > 30")]
+
+        def broken_factor(self):
+            raise RuntimeError("refill died in the background")
+
+        monkeypatch.setattr(PaillierNoisePool, "_fresh_factor", broken_factor)
+        encrypted = session.stream(batch, into=sink)  # schedules the doomed refill
+        assert len(encrypted) == 1
+        handle = session.last_refill
+        assert handle is not None
+        assert handle.join(timeout=30.0) is True
+        with pytest.raises(RuntimeError, match="refill died in the background"):
+            session.stream(batch, into=sink)
+
+    def test_stream_clears_a_surfaced_failure(self, session, monkeypatch):
+        sink = StreamingQueryLog()
+        batch = [parse_query("SELECT name FROM users WHERE age > 30")]
+
+        def broken_factor(self):
+            raise RuntimeError("one-off failure")
+
+        monkeypatch.setattr(PaillierNoisePool, "_fresh_factor", broken_factor)
+        session.stream(batch, into=sink)
+        assert session.last_refill.join(timeout=30.0) is True
+        monkeypatch.undo()
+        with pytest.raises(RuntimeError, match="one-off failure"):
+            session.stream(batch, into=sink)
+        # The failure was surfaced exactly once; streaming then resumes.
+        encrypted = session.stream(batch, into=sink)
+        assert len(encrypted) == 1
+        assert session.last_refill.join(timeout=30.0) is True
+        assert session.last_refill is None or session.last_refill.error is None

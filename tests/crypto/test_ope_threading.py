@@ -1,0 +1,119 @@
+"""Race regression tests for the memoized OPE descent cache.
+
+The node cache used to be updated without a lock: two threads racing on the
+same descent node could interleave the eviction check, the size test and
+the counter increments, losing cache-accounting updates (``hits + misses``
+drifting from the number of lookups) and — worse — interleaving
+``clear_cache`` with a half-done insertion.  These tests hammer one scheme
+instance from barrier-synchronized threads with a shrunken switch interval
+and assert the two properties the lock now guarantees: every ciphertext is
+bit-for-bit the reference descent, and the accounting is *exact*, not
+approximate.
+"""
+
+from __future__ import annotations
+
+import random
+import sys
+import threading
+
+import pytest
+
+from repro.crypto.ope import OrderPreservingScheme
+
+THREADS = 8
+KEY = b"ope-threading-regression-key!!!!"
+
+
+@pytest.fixture
+def fast_switching():
+    """Amplify races by forcing frequent thread switches."""
+    previous = sys.getswitchinterval()
+    sys.setswitchinterval(1e-5)
+    yield
+    sys.setswitchinterval(previous)
+
+
+def _scheme(**overrides) -> OrderPreservingScheme:
+    parameters = {"domain_min": 0, "domain_max": 1023, "expansion_bits": 8}
+    parameters.update(overrides)
+    return OrderPreservingScheme(KEY, **parameters)
+
+
+def _hammer(scheme, per_thread_work):
+    """Run ``per_thread_work(thread_index)`` in THREADS barrier-started threads."""
+    barrier = threading.Barrier(THREADS)
+    failures = []
+
+    def body(index):
+        barrier.wait()
+        try:
+            per_thread_work(index)
+        except BaseException as error:  # noqa: BLE001 - surfaced to the test
+            failures.append(error)
+
+    threads = [threading.Thread(target=body, args=(index,)) for index in range(THREADS)]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    if failures:
+        raise failures[0]
+
+
+class TestOpeCacheRaces:
+    def test_concurrent_encrypt_is_bit_for_bit_and_accounting_exact(self, fast_switching):
+        values = list(range(0, 1024, 7))
+        scheme = _scheme()
+        reference = {value: scheme.encrypt_reference(value) for value in values}
+
+        # Calibrate: the descent performs a fixed number of node lookups per
+        # value, independent of cache state, so T threads over the same
+        # values must account exactly T times the single-threaded count.
+        calibration = _scheme()
+        for value in values:
+            calibration.encrypt(value)
+        calibration_stats = calibration.cache_stats()
+        lookups_single = calibration_stats["hits"] + calibration_stats["misses"]
+        assert lookups_single > 0
+
+        def work(index):
+            ordered = list(values)
+            random.Random(index).shuffle(ordered)
+            for value in ordered:
+                assert scheme.encrypt(value) == reference[value]
+
+        _hammer(scheme, work)
+        stats = scheme.cache_stats()
+        assert stats["hits"] + stats["misses"] == THREADS * lookups_single
+        assert stats["evictions"] == 0
+
+    def test_concurrent_clear_cache_never_corrupts_ciphertexts(self, fast_switching):
+        values = list(range(0, 1024, 13))
+        # A cache far smaller than the descent tree forces evictions too.
+        scheme = _scheme(cache_max_nodes=32)
+        reference = {value: scheme.encrypt_reference(value) for value in values}
+
+        def work(index):
+            ordered = list(values)
+            random.Random(index).shuffle(ordered)
+            for position, value in enumerate(ordered):
+                if index == 0 and position % 5 == 0:
+                    scheme.clear_cache()
+                assert scheme.encrypt(value) == reference[value]
+                assert scheme.decrypt(reference[value]) == value
+
+        _hammer(scheme, work)
+        stats = scheme.cache_stats()
+        assert stats["hits"] >= 0 and stats["misses"] >= 0
+        assert stats["nodes"] <= 32
+
+    def test_concurrent_encrypt_many_matches_scalar_reference(self, fast_switching):
+        values = [value for value in range(0, 1024, 11) for _ in range(2)]
+        scheme = _scheme()
+        reference = [scheme.encrypt_reference(value) for value in values]
+
+        def work(index):
+            assert scheme.encrypt_many(list(values)) == reference
+
+        _hammer(scheme, work)

@@ -1,0 +1,44 @@
+"""Fixtures for the serving-layer test suite.
+
+Everything here goes through the public surface (:mod:`repro.api`): the
+suite exists to prove that the concurrent server produces bit-for-bit the
+results of a single-threaded caller, so the fixtures build real tenants —
+own passphrase-derived keychain, own 256-bit Paillier pool, own encrypted
+webshop database — just small enough that the whole suite can run five
+times back to back in CI's thread-stress job.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.api import (
+    BackendConfig,
+    CryptoConfig,
+    MiningServer,
+    ServerConfig,
+    ServiceConfig,
+    WorkloadConfig,
+)
+
+
+def tenant_config(name: str, *, size: int = 8, seed: int = 1) -> ServiceConfig:
+    """A small per-tenant config: passphrase-derived keys, sqlite backend."""
+    return ServiceConfig(
+        crypto=CryptoConfig(passphrase=name, paillier_bits=256),
+        backend=BackendConfig(name="sqlite"),
+        workload=WorkloadConfig(size=size, seed=seed),
+    )
+
+
+@pytest.fixture
+def make_tenant_config():
+    """The tenant-config factory, as a fixture."""
+    return tenant_config
+
+
+@pytest.fixture
+def server():
+    """A fresh 4-worker server, closed after the test."""
+    with MiningServer(ServerConfig(workers=4, max_pending=16)) as fresh:
+        yield fresh

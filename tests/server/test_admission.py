@@ -1,0 +1,196 @@
+"""Admission control, backpressure and server lifecycle.
+
+The bounded queue is the server's overload story: a full queue either
+blocks the producer (backpressure) or raises
+:class:`~repro.api.ServerOverloaded` (explicit rejection), and its counters
+must stay exact under concurrent producers and workers.  The lifecycle half
+covers what :meth:`~repro.api.MiningServer.close` promises: workers joined,
+undrained futures cancelled, tenants closed, everything idempotent.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+
+import pytest
+
+from repro.api import (
+    ConfigError,
+    MiningServer,
+    ServerConfig,
+    ServerError,
+    ServerOverloaded,
+    WorkloadResult,
+)
+from repro.server import AdmissionQueue
+
+
+class BlockingSink:
+    """A stream sink that parks the worker until the test releases it."""
+
+    def __init__(self) -> None:
+        self.release = threading.Event()
+        self.batches: list[list[object]] = []
+
+    def append(self, batch) -> None:
+        """Record the batch once the test allows the worker to proceed."""
+        assert self.release.wait(timeout=30.0), "test never released the sink"
+        self.batches.append(list(batch))
+
+
+class TestAdmissionQueue:
+    def test_bound_must_be_positive(self):
+        with pytest.raises(ServerOverloaded):
+            AdmissionQueue(0)
+
+    def test_submit_take_and_outcome_counters(self):
+        queue: AdmissionQueue[str] = AdmissionQueue(4)
+        queue.submit("a")
+        queue.submit("b")
+        assert queue.take() == "a"
+        queue.mark_completed()
+        assert queue.take() == "b"
+        queue.mark_failed()
+        stats = queue.stats()
+        assert stats.submitted == 2
+        assert stats.completed == 1
+        assert stats.failed == 1
+        assert stats.rejected == 0
+        assert stats.pending == 0
+        assert stats.high_water == 2
+
+    def test_full_queue_rejects_without_wait(self):
+        queue: AdmissionQueue[int] = AdmissionQueue(1)
+        queue.submit(1, wait=False)
+        with pytest.raises(ServerOverloaded, match="full"):
+            queue.submit(2, wait=False)
+        assert queue.stats().rejected == 1
+
+    def test_full_queue_blocks_then_times_out(self):
+        queue: AdmissionQueue[int] = AdmissionQueue(1)
+        queue.submit(1)
+        start = time.perf_counter()
+        with pytest.raises(ServerOverloaded, match="stayed full"):
+            queue.submit(2, wait=True, timeout=0.05)
+        assert time.perf_counter() - start >= 0.05
+        assert queue.stats().rejected == 1
+
+    def test_backpressure_unblocks_when_a_slot_frees(self):
+        queue: AdmissionQueue[int] = AdmissionQueue(1)
+        queue.submit(1)
+
+        def drain_later():
+            time.sleep(0.05)
+            queue.take()
+            queue.mark_completed()
+
+        drainer = threading.Thread(target=drain_later)
+        drainer.start()
+        queue.submit(2, wait=True, timeout=5.0)  # blocks until the drain
+        drainer.join()
+        assert queue.stats().submitted == 2
+        assert queue.stats().rejected == 0
+
+    def test_take_times_out_with_none(self):
+        queue: AdmissionQueue[int] = AdmissionQueue(1)
+        assert queue.take(timeout=0.01) is None
+
+
+class TestServerAdmission:
+    def test_rejects_non_config(self):
+        with pytest.raises(ConfigError):
+            MiningServer({"workers": 4})  # type: ignore[arg-type]
+
+    def test_duplicate_and_unknown_tenants_fail_loudly(self, server, make_tenant_config):
+        server.add_tenant("alpha", make_tenant_config("alpha"))
+        with pytest.raises(ServerError, match="already registered"):
+            server.add_tenant("alpha", make_tenant_config("alpha"))
+        with pytest.raises(ServerError, match="unknown tenant"):
+            server.tenant("beta")
+        assert server.tenants() == ("alpha",)
+
+    def test_full_server_queue_rejects_and_recovers(self, make_tenant_config):
+        with MiningServer(ServerConfig(workers=1, max_pending=1)) as server:
+            handle = server.add_tenant("solo", make_tenant_config("solo", size=4))
+            workload = handle.service.generate_workload()
+            sink = BlockingSink()
+            # Park the single worker on a stream, then fill the queue.
+            parked = server.stream("solo", workload, into=sink)
+            deadline = time.perf_counter() + 30.0
+            while not parked.running() and time.perf_counter() < deadline:
+                time.sleep(0.005)
+            assert parked.running(), "worker never picked up the parked stream"
+            queued = server.submit("solo", workload, wait=False)
+            with pytest.raises(ServerOverloaded):
+                server.submit("solo", workload, wait=False)
+            with pytest.raises(ServerOverloaded):
+                server.submit("solo", workload, timeout=0.05)
+            sink.release.set()
+            assert len(parked.result(timeout=30.0)) > 0
+            assert isinstance(queued.result(timeout=30.0), WorkloadResult)
+            stats = server.stats().queue
+            assert stats.rejected == 2
+            assert stats.completed == 2
+            assert stats.high_water == 1
+
+    def test_close_cancels_undrained_tasks(self, make_tenant_config):
+        server = MiningServer(ServerConfig(workers=1, max_pending=4))
+        handle = server.add_tenant("solo", make_tenant_config("solo", size=4))
+        workload = handle.service.generate_workload()
+        sink = BlockingSink()
+        parked = server.stream("solo", workload, into=sink)
+        deadline = time.perf_counter() + 30.0
+        while not parked.running() and time.perf_counter() < deadline:
+            time.sleep(0.005)
+        queued = server.submit("solo", workload)
+
+        closer = threading.Thread(target=server.close)
+        closer.start()
+        deadline = time.perf_counter() + 30.0
+        while server.is_running and time.perf_counter() < deadline:
+            time.sleep(0.005)
+        sink.release.set()
+        closer.join(timeout=30.0)
+        assert not closer.is_alive()
+        assert isinstance(parked.result(timeout=30.0), tuple)  # ran to completion
+        assert queued.cancelled()
+        with pytest.raises(ServerError, match="closed"):
+            server.submit("solo", workload)
+        with pytest.raises(ServerError, match="closed"):
+            server.add_tenant("late", make_tenant_config("late"))
+        with pytest.raises(ServerError, match="closed"):
+            handle.session()
+        server.close()  # idempotent
+
+    def test_lifecycle_flags_and_metrics_shape(self, server, make_tenant_config):
+        assert not server.is_running
+        server.start()
+        assert server.is_running
+        server.start()  # idempotent
+        handle = server.add_tenant("alpha", make_tenant_config("alpha", size=4))
+        result = server.run_workload("alpha", handle.service.generate_workload())
+        assert isinstance(result, WorkloadResult)
+
+        metrics = server.metrics()
+        assert metrics["workers"] == 4
+        assert metrics["queue"]["submitted"] == 1
+        tenant_metrics = metrics["tenants"]["alpha"]
+        assert tenant_metrics["queries_served"] == result.queries_served
+        assert tenant_metrics["workloads_completed"] == 1
+        assert tenant_metrics["key_fingerprint"] == handle.key_fingerprint
+        assert "noise_pool" in str(tenant_metrics["crypto"]) or tenant_metrics["crypto"]
+
+        stats = server.stats()
+        assert stats.for_tenant("alpha").tenant == "alpha"
+        with pytest.raises(ServerError, match="no stats"):
+            stats.for_tenant("ghost")
+
+    def test_failed_workload_counts_and_surfaces(self, server, make_tenant_config):
+        server.add_tenant("alpha", make_tenant_config("alpha", size=4))
+        future = server.submit("alpha", ["THIS IS NOT SQL ;;;"])
+        with pytest.raises(Exception):
+            future.result(timeout=30.0)
+        stats = server.stats()
+        assert stats.queue.failed == 1
+        assert stats.for_tenant("alpha").failures == 1

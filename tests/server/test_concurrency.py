@@ -1,0 +1,172 @@
+"""Barrier-synchronized race tests: concurrent == single-threaded, bit for bit.
+
+Every test runs a single-threaded reference first, then hammers the same
+tenants from barrier-started threads with a shrunken switch interval, and
+asserts the concurrent results are *identical* — every
+:class:`~repro.api.EncryptedResult` row (plain query, encrypted query,
+result set), every skip, and the DBSCAN labels mined from the encrypted
+logs.  A data race in the session, the OPE cache, the noise pool or the
+sqlite backend shows up here as a changed ciphertext or a lost counter
+update, not as a flake.
+"""
+
+from __future__ import annotations
+
+import sys
+import threading
+
+import numpy as np
+import pytest
+
+from repro.api import (
+    IncrementalDistanceMatrix,
+    LogContext,
+    QueryLog,
+    StreamingQueryLog,
+    TokenDistance,
+    WorkloadResult,
+    dbscan,
+    render_query,
+)
+
+#: Concurrent callers per hammering test.
+THREADS = 4
+#: Mining parameters shared by the incremental matrix and the batch oracle.
+PARAMETERS = dict(knn_k=3, outlier_p=0.85, outlier_d=0.88, dbscan_eps=0.6, dbscan_min_points=3)
+
+
+@pytest.fixture(autouse=True)
+def fast_switching():
+    """Amplify races by forcing frequent thread switches."""
+    previous = sys.getswitchinterval()
+    sys.setswitchinterval(1e-5)
+    yield
+    sys.setswitchinterval(previous)
+
+
+def _assert_same_result(reference: WorkloadResult, observed: WorkloadResult, label: str):
+    """Bit-for-bit equality of two served workloads."""
+    assert len(reference.results) == len(observed.results), label
+    for expected, actual in zip(reference.results, observed.results):
+        assert render_query(expected.plain_query) == render_query(actual.plain_query), label
+        assert render_query(expected.encrypted_query) == render_query(
+            actual.encrypted_query
+        ), label
+        assert expected.result == actual.result, label
+    assert [
+        (render_query(query), reason) for query, reason in reference.skipped
+    ] == [(render_query(query), reason) for query, reason in observed.skipped], label
+
+
+def _in_threads(count: int, work):
+    """Run ``work(index)`` in ``count`` barrier-started threads, re-raising."""
+    barrier = threading.Barrier(count)
+    failures = []
+
+    def body(index):
+        barrier.wait()
+        try:
+            work(index)
+        except BaseException as error:  # noqa: BLE001 - surfaced to the test
+            failures.append(error)
+
+    threads = [threading.Thread(target=body, args=(index,)) for index in range(count)]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    if failures:
+        raise failures[0]
+
+
+class TestOneTenantManyThreads:
+    def test_threads_hammering_one_session_match_reference(self, server, make_tenant_config):
+        handle = server.add_tenant("solo", make_tenant_config("solo", size=10))
+        workload = handle.service.generate_workload()
+        handle.run_workload(workload)  # warm-up: onion adjustments settle
+        reference = handle.run_workload(workload)
+        reference_labels = handle.service.mine(reference.encrypted_log()).labels
+
+        observed: list[WorkloadResult] = [None] * THREADS  # type: ignore[list-item]
+
+        def work(index):
+            observed[index] = server.run_workload("solo", workload)
+
+        _in_threads(THREADS, work)
+        for index, result in enumerate(observed):
+            _assert_same_result(reference, result, f"thread {index}")
+            assert handle.service.mine(result.encrypted_log()).labels == reference_labels
+
+        stats = server.stats().for_tenant("solo")
+        expected_runs = 2 + THREADS
+        assert stats.workloads_completed == expected_runs
+        assert stats.queries_served == expected_runs * reference.queries_served
+        assert stats.queries_skipped == expected_runs * reference.queries_skipped
+        assert stats.failures == 0
+
+
+class TestManyTenantsSharedServer:
+    def test_tenants_hammering_shared_server_match_references(
+        self, server, make_tenant_config
+    ):
+        names = [f"tenant-{index}" for index in range(THREADS)]
+        workloads, references, labels = {}, {}, {}
+        for seed, name in enumerate(names, start=1):
+            handle = server.add_tenant(name, make_tenant_config(name, size=8, seed=seed))
+            workloads[name] = handle.service.generate_workload()
+            handle.run_workload(workloads[name])  # warm-up
+            references[name] = handle.run_workload(workloads[name])
+            labels[name] = handle.service.mine(references[name].encrypted_log()).labels
+
+        rounds = 2
+        results: dict[str, list[WorkloadResult]] = {name: [] for name in names}
+
+        def work(index):
+            name = names[index]
+            for _ in range(rounds):
+                results[name].append(server.run_workload(name, workloads[name]))
+
+        _in_threads(THREADS, work)
+        for name in names:
+            handle = server.tenant(name)
+            for round_index, result in enumerate(results[name]):
+                _assert_same_result(references[name], result, f"{name} round {round_index}")
+                assert handle.service.mine(result.encrypted_log()).labels == labels[name]
+        queue = server.stats().queue
+        assert queue.submitted == len(names) * rounds
+        assert queue.completed == len(names) * rounds
+        assert queue.failed == 0
+
+
+class TestConcurrentStreaming:
+    def test_concurrent_stream_equals_batch_recompute(self, server, make_tenant_config):
+        handle = server.add_tenant("streamer", make_tenant_config("streamer", size=12))
+        workload = [entry.query for entry in handle.service.generate_workload()]
+        handle.run_workload(workload)  # warm-up so streamed rewrites are stable
+        batches = [workload[index::THREADS] for index in range(THREADS)]
+
+        stream = StreamingQueryLog()
+        incremental = IncrementalDistanceMatrix(TokenDistance(), stream, **PARAMETERS)
+
+        def work(index):
+            server.stream("streamer", batches[index], into=incremental).result(timeout=60.0)
+
+        _in_threads(THREADS, work)
+        assert incremental.n_items == sum(len(batch) for batch in batches)
+
+        # Batch oracle over the stream as it ended up ordered.
+        oracle = TokenDistance().condensed_distance_matrix(
+            LogContext(log=QueryLog(list(stream)))
+        )
+        assert np.array_equal(incremental.condensed().values, oracle.values)
+        assert (
+            incremental.dbscan().labels
+            == dbscan(
+                oracle,
+                eps=PARAMETERS["dbscan_eps"],
+                min_points=PARAMETERS["dbscan_min_points"],
+            ).labels
+        )
+
+        stats = server.stats().for_tenant("streamer")
+        assert stats.batches_streamed == THREADS

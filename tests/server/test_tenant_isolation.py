@@ -1,0 +1,114 @@
+"""Property tests: tenants of one server never share cryptographic state.
+
+Isolation in the serving layer is structural — every tenant owns a full
+:class:`~repro.api.EncryptedMiningService` — but structure can rot silently
+(a cached scheme here, a module-level pool there).  These hypothesis tests
+pin the property for any ≥3-tenant population: derived keys (fingerprints),
+Paillier moduli, noise-pool blinding factors and produced ciphertexts are
+pairwise disjoint, and serving one tenant never moves another tenant's
+``crypto_stats()`` accounting.
+"""
+
+from __future__ import annotations
+
+import string
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.api import MiningServer, ServerConfig, render_query
+from tests.server.conftest import tenant_config
+
+#: Distinct lowercase tenant names, three to four per drawn population.
+tenant_names = st.lists(
+    st.text(alphabet=string.ascii_lowercase, min_size=1, max_size=8),
+    min_size=3,
+    max_size=4,
+    unique=True,
+)
+
+
+def _noise_pool(handle):
+    """White-box probe: the tenant's Paillier noise pool."""
+    return handle.service._proxy.paillier_scheme.noise_pool
+
+
+def _paillier_modulus(handle) -> int:
+    """White-box probe: the tenant's Paillier modulus n."""
+    return handle.service._proxy.paillier_scheme.public_key.n
+
+
+@given(names=tenant_names)
+@settings(max_examples=3, deadline=None)
+def test_tenants_never_share_keys_factors_or_ciphertexts(names):
+    with MiningServer(ServerConfig(workers=4)) as server:
+        handles = {}
+        for name in names:
+            # Same workload seed for everyone: identical *plaintext* queries
+            # make shared ciphertexts impossible to miss.
+            handles[name] = server.add_tenant(name, tenant_config(f"pw-{name}", size=4, seed=1))
+
+        fingerprints = {name: handle.key_fingerprint for name, handle in handles.items()}
+        assert len(set(fingerprints.values())) == len(names)
+
+        moduli = {name: _paillier_modulus(handle) for name, handle in handles.items()}
+        assert len(set(moduli.values())) == len(names)
+
+        factor_sets = {}
+        for name, handle in handles.items():
+            pool = _noise_pool(handle)
+            pool.ensure(4)
+            factor_sets[name] = set(pool._factors)
+            assert factor_sets[name]
+        ordered = list(names)
+        for left_index, left in enumerate(ordered):
+            for right in ordered[left_index + 1 :]:
+                assert factor_sets[left].isdisjoint(factor_sets[right]), (left, right)
+
+        encrypted_queries = {}
+        plain_queries = {}
+        for name, handle in handles.items():
+            result = server.run_workload(name, handle.service.generate_workload())
+            plain_queries[name] = [render_query(row.plain_query) for row in result.results]
+            encrypted_queries[name] = {
+                render_query(row.encrypted_query) for row in result.results
+            }
+            assert encrypted_queries[name]
+        # Identical plaintext workloads...
+        reference_plain = plain_queries[ordered[0]]
+        for name in ordered[1:]:
+            assert plain_queries[name] == reference_plain
+        # ...but pairwise-disjoint ciphertext queries.
+        for left_index, left in enumerate(ordered):
+            for right in ordered[left_index + 1 :]:
+                assert encrypted_queries[left].isdisjoint(encrypted_queries[right]), (
+                    left,
+                    right,
+                )
+
+        # The fingerprint surfaced in the metrics is the handle's.
+        stats = server.stats()
+        for name in names:
+            assert stats.for_tenant(name).key_fingerprint == fingerprints[name]
+
+
+@given(names=tenant_names)
+@settings(max_examples=3, deadline=None)
+def test_serving_one_tenant_leaves_other_accounting_untouched(names):
+    with MiningServer(ServerConfig(workers=4)) as server:
+        handles = {
+            name: server.add_tenant(name, tenant_config(f"pw-{name}", size=4, seed=1))
+            for name in names
+        }
+        active, *idle = list(names)
+        before = {name: handles[name].crypto_stats() for name in idle}
+        served = server.run_workload(active, handles[active].service.generate_workload())
+        assert served.queries_served > 0
+        for name in idle:
+            assert handles[name].crypto_stats() == before[name], name
+            tenant_stats = server.stats().for_tenant(name)
+            assert tenant_stats.queries_served == 0
+            assert tenant_stats.workloads_completed == 0
+        active_stats = server.stats().for_tenant(active)
+        assert active_stats.queries_served == served.queries_served
+        assert active_stats.workloads_completed == 1
