@@ -1,0 +1,216 @@
+"""Benchmark P6: sublinear mining vs the exact O(n²) pipeline.
+
+Gates the point of ``repro.mining.approx``: on a duplicate-heavy query log
+(real logs repeat templates — here ``P6_N`` entries cycled from a small
+pool of distinct webshop queries) the pivot-indexed miner must deliver the
+*same* DBSCAN labels, DB(p, D)-outliers and kNN lists as the exact
+condensed-matrix pipeline while doing asymptotically less work: duplicate
+characteristics collapse into groups, and the LAESA triangle-inequality
+bounds prune or certify most group pairs without an exact evaluation.
+
+Three layers of checks:
+
+* **Certified exactness (always runs)** — at a small log size the approx
+  artefacts are asserted bit-for-bit equal to the exact pipeline's, with
+  kNN recall and DBSCAN adjusted Rand index computed and asserted to be
+  exactly 1.0 whenever the completeness certificate holds.  This is the
+  safety net that runs on every machine regardless of the speedup gate.
+* **Wall-clock gate** — approx mining at ``P6_N`` (default 50 000) must be
+  ≥ ``P6_MIN_SPEEDUP``× (default 10×) faster than the exact pipeline at
+  the same size, with recall ≥ ``P6_MIN_RECALL`` and ARI ≥ ``P6_MIN_ARI``
+  (both 0.95 by default, and asserted exactly 1.0 because the uncapped
+  run is certified).  The exact side is quadratic, so the gate first
+  calibrates it at 1 000 entries and skips itself — like the core-count
+  skips in P3/P5 — when the extrapolated exact cost exceeds
+  ``P6_MAX_EXACT_SECONDS`` (default 60 s) on the current machine; CI runs
+  the gate at a smaller ``P6_N`` where the exact side fits.
+* **Timing row** — one pytest-benchmark measurement of the approx miner
+  at a fixed moderate size, recorded into the ``BENCH_P6.json`` artifact.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+
+import pytest
+
+from benchmarks.conftest import print_report
+from repro._utils import format_table
+from repro.core.dpe import LogContext
+from repro.core.measures import TokenDistance
+from repro.mining import (
+    ApproxStreamMiner,
+    CandidateStats,
+    adjusted_rand_index,
+    dbscan,
+    distance_based_outliers,
+    k_nearest_neighbors,
+)
+from repro.sql.log import QueryLog
+from repro.workloads.generator import QueryLogGenerator, WorkloadMix
+from repro.workloads.schemas import webshop_profile
+
+#: Log size of the gated run.  CI sets a smaller size via the environment so
+#: the quadratic exact side fits a shared runner.
+N_ITEMS = int(os.environ.get("P6_N", "50000"))
+#: Required approx-over-exact wall-clock ratio at ``P6_N``.  Locally the
+#: duplicate-heavy workload gives far more (the exact side is quadratic in
+#: the log size, the approx side near-linear); CI gates lower for noise.
+MIN_SPEEDUP = float(os.environ.get("P6_MIN_SPEEDUP", "10.0"))
+#: Required mean kNN recall and DBSCAN adjusted Rand index vs exact.  The
+#: uncapped run is certified complete, so both are asserted exactly 1.0 on
+#: top of these floors.
+MIN_RECALL = float(os.environ.get("P6_MIN_RECALL", "0.95"))
+MIN_ARI = float(os.environ.get("P6_MIN_ARI", "0.95"))
+#: Skip the speedup gate (never the exactness checks) when the exact side,
+#: extrapolated quadratically from a 1 000-entry calibration run, would
+#: exceed this budget on the current machine.
+MAX_EXACT_SECONDS = float(os.environ.get("P6_MAX_EXACT_SECONDS", "60.0"))
+#: Distinct queries in the pool the log cycles through.
+DISTINCT_QUERIES = 64
+#: Calibration size for the exact-cost extrapolation.
+CALIBRATE_N = 1000
+#: Mining parameters shared by both sides.
+PARAMS = dict(knn_k=5, outlier_p=0.9, outlier_d=0.6, dbscan_eps=0.5, dbscan_min_points=3)
+
+
+@pytest.fixture(scope="module")
+def query_pool():
+    """The pool of distinct webshop queries the benchmark logs cycle."""
+    profile = webshop_profile(customer_rows=40, order_rows=80, product_rows=20)
+    return list(QueryLogGenerator(profile, WorkloadMix(), seed=21).generate(DISTINCT_QUERIES))
+
+
+def _entries(query_pool, n):
+    return [query_pool[i % len(query_pool)] for i in range(n)]
+
+
+def _mine_exact(entries):
+    """The exact pipeline's artefacts over ``entries`` plus wall-clock."""
+    start = time.perf_counter()
+    matrix = TokenDistance().condensed_distance_matrix(LogContext(log=QueryLog(entries)))
+    clusters = dbscan(matrix, eps=PARAMS["dbscan_eps"], min_points=PARAMS["dbscan_min_points"])
+    outliers = distance_based_outliers(matrix, p=PARAMS["outlier_p"], d=PARAMS["outlier_d"])
+    knn = [k_nearest_neighbors(matrix, i, k=PARAMS["knn_k"]) for i in range(matrix.n)]
+    return clusters, outliers, knn, time.perf_counter() - start
+
+
+def _mine_approx(entries):
+    """The pivot-indexed miner's artefacts over ``entries`` plus wall-clock."""
+    start = time.perf_counter()
+    miner = ApproxStreamMiner(
+        TokenDistance(), window=len(entries), n_pivots=8, seed=0, **PARAMS
+    )
+    miner.append(entries)
+    clusters, s1 = miner.dbscan()
+    outliers, s2 = miner.outliers()
+    knn, s3 = miner.knn_all()
+    elapsed = time.perf_counter() - start
+    return clusters, outliers, knn, CandidateStats.merge(s1, s2, s3), elapsed
+
+
+def _knn_recall(approx_knn, exact_knn):
+    """Mean per-item recall of the approx kNN lists against the exact ones.
+
+    With no eviction, window ids equal positions, so the dict keys line up
+    with the exact pipeline's row indices directly.
+    """
+    total = 0.0
+    for item_id, expected in enumerate(exact_knn):
+        got = set(approx_knn[item_id])
+        total += len(got & set(expected)) / len(expected) if expected else 1.0
+    return total / len(exact_knn)
+
+
+def _quality(approx, exact):
+    """(recall, ari, bit_for_bit) of an approx run against the exact one."""
+    approx_clusters, approx_outliers, approx_knn, stats, _ = approx
+    clusters, outliers, knn, _ = exact
+    recall = _knn_recall(approx_knn, knn)
+    ari = adjusted_rand_index(approx_clusters.labels, clusters.labels)
+    bit_for_bit = (
+        approx_clusters == clusters
+        and approx_outliers == outliers
+        and all(approx_knn[i] == expected for i, expected in enumerate(knn))
+    )
+    return recall, ari, bit_for_bit, stats
+
+
+class TestCertifiedExactness:
+    """Always-on bit-for-bit safety net at a small log size."""
+
+    def test_small_log_bit_for_bit(self, query_pool):
+        entries = _entries(query_pool, 400)
+        exact = _mine_exact(entries)
+        approx = _mine_approx(entries)
+        recall, ari, bit_for_bit, stats = _quality(approx, exact)
+        assert stats.certified_complete
+        assert bit_for_bit
+        assert recall == 1.0
+        assert ari == 1.0
+        # The sublinear story: the duplicate-heavy log collapses to the
+        # distinct pool, and the pivot table resolves most group pairs.
+        assert stats.n_groups <= DISTINCT_QUERIES
+        assert stats.exact_distances < len(entries) * (len(entries) - 1) // 2
+
+
+class TestSublinearGate:
+    def test_speedup_recall_and_ari_at_scale(self, query_pool):
+        # Approx side first: near-linear, feasible on every machine.
+        entries = _entries(query_pool, N_ITEMS)
+        approx = _mine_approx(entries)
+        stats = approx[3]
+        assert stats.certified_complete
+
+        # Calibrate the quadratic exact side and skip the gate — not the
+        # exactness checks above — where it cannot finish in the budget.
+        _, _, _, calibrate_seconds = _mine_exact(_entries(query_pool, CALIBRATE_N))
+        estimate = calibrate_seconds * (N_ITEMS / CALIBRATE_N) ** 2
+        if estimate > MAX_EXACT_SECONDS:
+            pytest.skip(
+                f"exact pipeline at n={N_ITEMS} estimated at {estimate:.0f}s "
+                f"(> {MAX_EXACT_SECONDS:.0f}s budget); set P6_N/P6_MAX_EXACT_SECONDS "
+                f"to run the gate on this machine"
+            )
+
+        exact = _mine_exact(entries)
+        recall, ari, bit_for_bit, stats = _quality(approx, exact)
+        exact_seconds, approx_seconds = exact[3], approx[4]
+        speedup = exact_seconds / approx_seconds if approx_seconds > 0 else float("inf")
+
+        all_pairs = N_ITEMS * (N_ITEMS - 1) // 2
+        print_report(
+            "Benchmark P6: sublinear mining vs the exact pipeline",
+            format_table(
+                ["quantity", "value"],
+                [
+                    ("log size", f"{N_ITEMS:,}"),
+                    ("distinct groups", f"{stats.n_groups:,}"),
+                    ("exact pipeline", f"{exact_seconds:.2f} s ({all_pairs:,} pairs)"),
+                    ("pivot-indexed miner", f"{approx_seconds:.2f} s"),
+                    ("speedup", f"{speedup:.1f}x"),
+                    ("kNN recall", f"{recall:.4f}"),
+                    ("DBSCAN ARI", f"{ari:.4f}"),
+                    ("pruned group pairs", f"{stats.pruned_pairs:,}"),
+                    ("certified group pairs", f"{stats.certified_pairs:,}"),
+                    ("exact distance evaluations", f"{stats.exact_distances:,}"),
+                    ("certified complete", "yes" if stats.certified_complete else "NO"),
+                ],
+            ),
+        )
+
+        # Quality gates first: certified => exactly 1.0 and bit-for-bit.
+        assert recall >= MIN_RECALL and ari >= MIN_ARI
+        assert stats.certified_complete
+        assert recall == 1.0 and ari == 1.0
+        assert bit_for_bit
+        assert speedup >= MIN_SPEEDUP
+
+
+class TestApproxMiningTiming:
+    def test_approx_mining_timing(self, query_pool, benchmark):
+        """One recorded timing row: the approx miner at a fixed 5 000 entries."""
+        entries = _entries(query_pool, 5000)
+        result = benchmark(lambda: _mine_approx(entries))
+        assert result[3].certified_complete

@@ -18,6 +18,7 @@ P1        encryption throughput per class/scheme + encrypted execution
 P2        distance-matrix / mining cost, plaintext vs encrypted
 P3        parallel sharding + incremental streaming of the pipeline
 P4        crypto fast paths (batched Paillier, cached OPE) vs reference
+P6        sublinear mining: pivot-indexed kNN/DBSCAN vs exact pipeline
 A1        ablation: non-appropriate class choices
 ========  ===========================================================
 """
@@ -721,6 +722,134 @@ def run_p4(
     )
 
 
+def run_p6(
+    *,
+    log_size: int = 800,
+    distinct: int = 48,
+    n_pivots: int = 8,
+    shards: int = 4,
+    seed: int = 17,
+) -> ExperimentOutcome:
+    """P6: sublinear mining — pivot-indexed kNN/DBSCAN/outliers vs exact.
+
+    A duplicate-heavy token log (``log_size`` entries cycled from a pool of
+    ``distinct`` generated webshop queries — real logs repeat templates) is
+    mined twice: by the exact condensed-matrix pipeline and by an
+    :class:`~repro.api.ApproxStreamMiner` over a pivot index with
+    ``n_pivots`` maxmin landmarks.  Duplicates collapse into
+    characteristic groups and the LAESA triangle-inequality bounds prune
+    or certify most group pairs, so the approx side touches far fewer
+    exact distances than the :math:`n(n-1)/2` the matrix computes.
+    Success requires the completeness certificate *and* bit-for-bit
+    equality of DBSCAN labels, DB(p, D)-outliers and every kNN list (so
+    kNN recall and adjusted Rand index are exactly 1.0), plus the same
+    equality after ingesting the log through a
+    :class:`~repro.api.ShardedIncrementalMatrix` with ``shards`` shards.
+    The wall-clock speedup is recorded without being gated (the ≥ 10×
+    gate at 50 000 entries lives in ``benchmarks/bench_p6_sublinear.py``).
+    """
+    from repro.api import (
+        ApproxStreamMiner,
+        CandidateStats,
+        ShardedIncrementalMatrix,
+        adjusted_rand_index,
+        dbscan,
+        distance_based_outliers,
+        k_nearest_neighbors,
+    )
+    from repro.sql.log import QueryLog
+
+    profile = webshop_profile(customer_rows=40, order_rows=80, product_rows=20)
+    pool = list(QueryLogGenerator(profile, WorkloadMix(), seed=seed).generate(distinct))
+    entries = [pool[i % len(pool)] for i in range(log_size)]
+    parameters = dict(
+        knn_k=5, outlier_p=0.9, outlier_d=0.6, dbscan_eps=0.5, dbscan_min_points=3
+    )
+
+    start = time.perf_counter()
+    matrix = TokenDistance().condensed_distance_matrix(LogContext(log=QueryLog(entries)))
+    exact_clusters = dbscan(
+        matrix, eps=parameters["dbscan_eps"], min_points=parameters["dbscan_min_points"]
+    )
+    exact_outliers = distance_based_outliers(
+        matrix, p=parameters["outlier_p"], d=parameters["outlier_d"]
+    )
+    exact_knn = [
+        k_nearest_neighbors(matrix, i, k=parameters["knn_k"]) for i in range(matrix.n)
+    ]
+    exact_seconds = time.perf_counter() - start
+
+    start = time.perf_counter()
+    miner = ApproxStreamMiner(
+        TokenDistance(), window=log_size, n_pivots=n_pivots, seed=seed, **parameters
+    )
+    miner.append(entries)
+    approx_clusters, s1 = miner.dbscan()
+    approx_outliers, s2 = miner.outliers()
+    approx_knn, s3 = miner.knn_all()
+    approx_seconds = time.perf_counter() - start
+    stats = CandidateStats.merge(s1, s2, s3)
+
+    # No eviction at window == log_size, so ids equal matrix positions.
+    recall = sum(
+        len(set(approx_knn[i]) & set(expected)) / len(expected)
+        for i, expected in enumerate(exact_knn)
+    ) / len(exact_knn)
+    ari = adjusted_rand_index(approx_clusters.labels, exact_clusters.labels)
+    bit_for_bit = (
+        approx_clusters == exact_clusters
+        and approx_outliers == exact_outliers
+        and all(approx_knn[i] == expected for i, expected in enumerate(exact_knn))
+    )
+
+    sharded = ShardedIncrementalMatrix(
+        TokenDistance(), n_shards=shards, n_pivots=n_pivots, seed=seed, **parameters
+    )
+    for offset in range(0, len(entries), 97):  # ragged batches
+        sharded.append(entries[offset : offset + 97])
+    sharded_clusters, sharded_stats = sharded.dbscan()
+    sharded_equal = (
+        sharded_clusters == exact_clusters and sharded_stats.certified_complete
+    )
+
+    speedup = exact_seconds / approx_seconds if approx_seconds > 0 else float("inf")
+    all_pairs = log_size * (log_size - 1) // 2
+    report = format_table(
+        ["quantity", "value"],
+        [
+            ("log size / distinct groups", f"{log_size} / {stats.n_groups}"),
+            ("exact pipeline", f"{exact_seconds * 1000:.1f} ms ({all_pairs:,} pairs)"),
+            ("pivot-indexed miner", f"{approx_seconds * 1000:.1f} ms"),
+            ("speedup", f"{speedup:.1f}x"),
+            ("exact distance evaluations", f"{stats.exact_distances:,}"),
+            ("pruned / certified group pairs", f"{stats.pruned_pairs:,} / {stats.certified_pairs:,}"),
+            ("certified complete", "yes" if stats.certified_complete else "NO"),
+            ("kNN recall / DBSCAN ARI", f"{recall:.4f} / {ari:.4f}"),
+            ("artefacts vs exact", "bit-for-bit" if bit_for_bit else "DEVIATE"),
+            (f"sharded ingest ({shards} shards)", "bit-for-bit" if sharded_equal else "DEVIATES"),
+        ],
+    )
+    success = bool(
+        stats.certified_complete and bit_for_bit and sharded_equal
+        and recall == 1.0 and ari == 1.0
+    )
+    return ExperimentOutcome(
+        experiment_id="P6",
+        title="Sublinear mining: pivot-pruned kNN/DBSCAN/outliers vs exact",
+        success=success,
+        report=report,
+        data={
+            "timings": {"exact": exact_seconds, "approx": approx_seconds},
+            "speedup": speedup,
+            "recall": recall,
+            "ari": ari,
+            "bit_for_bit": bit_for_bit,
+            "sharded_equal": sharded_equal,
+            "stats": stats.to_dict(),
+        },
+    )
+
+
 def run_a1(*, log_size: int = 50, seed: int = 11) -> ExperimentOutcome:
     """A1: ablation of non-appropriate encryption-class choices."""
     result = run_ablation(log_size=log_size, seed=seed)
@@ -787,6 +916,7 @@ _REGISTRY: dict[str, tuple[str, Callable[..., ExperimentOutcome]]] = {
     "P2": ("Distance-matrix cost plaintext vs encrypted", run_p2),
     "P3": ("Parallel & incremental mining pipeline", run_p3),
     "P4": ("Crypto fast paths vs scalar reference", run_p4),
+    "P6": ("Sublinear pivot-pruned mining vs exact pipeline", run_p6),
     "A1": ("Ablation: non-appropriate classes", run_a1),
 }
 

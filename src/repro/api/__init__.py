@@ -8,7 +8,12 @@ composes the proxy, execution, distance and mining layers behind typed
 result objects (:class:`WorkloadResult`, :class:`MiningResult`,
 :class:`ExposureReport`), the unified :class:`ApiError` hierarchy, and the
 stable re-exports of the paper's building blocks (measures, DPE schemes,
-mining algorithms, workload generators).  The multi-tenant serving layer
+mining algorithms, workload generators) — including the sublinear mining
+layer (:class:`PivotIndex`, :class:`SlidingWindowQueryLog`,
+:class:`ApproxStreamMiner`, :class:`ShardedIncrementalMatrix`,
+:class:`CandidateStats`) selected via :attr:`MiningConfig.approx` and the
+service's ``approx_miner()`` / ``sharded_miner()`` builders.  The
+multi-tenant serving layer
 (:class:`MiningServer`, :class:`TenantHandle`, :class:`ServerConfig`, the
 typed :class:`ServerStats` family) is exported here too — ``repro serve``
 and embedding applications reach it through this surface only.
@@ -72,12 +77,17 @@ from repro.crypto import KeyChain, MasterKey
 from repro.cryptdb.proxy import EncryptedResult, JoinGroupSpec, StreamSink
 from repro.db.backend import DEFAULT_BACKEND, available_backends
 from repro.mining import (
+    ApproxStreamMiner,
+    CandidateStats,
     CondensedDistanceMatrix,
     DbscanResult,
     Dendrogram,
     IncrementalDistanceMatrix,
     KMedoidsResult,
     OutlierResult,
+    PivotIndex,
+    ShardedIncrementalMatrix,
+    SlidingWindowQueryLog,
     StreamingQueryLog,
     adjusted_rand_index,
     clusterings_equivalent,
@@ -111,14 +121,16 @@ from repro.server.stats import QueueStats, ServerStats, TenantStats
 from repro.server.tenant import TenantHandle
 
 #: Revision of the public surface; bumped when ``__all__`` changes shape.
-API_VERSION = "1.1"
+API_VERSION = "1.2"
 
 __all__ = [
     "API_VERSION",
     "AccessAreaDistance",
     "AccessAreaDpeScheme",
     "ApiError",
+    "ApproxStreamMiner",
     "BackendConfig",
+    "CandidateStats",
     "ColumnExposure",
     "CondensedDistanceMatrix",
     "ConfigError",
@@ -139,6 +151,7 @@ __all__ = [
     "MiningResult",
     "MiningServer",
     "OutlierResult",
+    "PivotIndex",
     "QueryLog",
     "QueryLogGenerator",
     "QueryRejected",
@@ -153,6 +166,8 @@ __all__ = [
     "ServiceError",
     "ServiceSession",
     "SessionError",
+    "ShardedIncrementalMatrix",
+    "SlidingWindowQueryLog",
     "StreamSink",
     "StreamingQueryLog",
     "StructureDistance",

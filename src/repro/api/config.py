@@ -171,10 +171,23 @@ class MiningConfig(_Config):
 
     ``measure`` names one of the paper's four distances; ``workers`` /
     ``chunk_size`` shard the condensed-matrix computation over processes;
-    the remaining fields are the mining-algorithm parameters served by
-    :meth:`~repro.api.EncryptedMiningService.mine` and the incremental
-    miner (same meaning as in
+    ``knn_k`` through ``dbscan_min_points`` are the mining-algorithm
+    parameters served by :meth:`~repro.api.EncryptedMiningService.mine` and
+    the incremental miner (same meaning as in
     :class:`~repro.mining.incremental.IncrementalDistanceMatrix`).
+
+    The sublinear knobs select the pivot-indexed path
+    (:mod:`repro.mining.approx`): ``approx`` switches
+    :meth:`~repro.api.EncryptedMiningService.mine` to it (results then carry
+    :attr:`~repro.api.MiningResult.candidate_stats` and no matrix);
+    ``pivots`` is the landmark count, ``seed`` drives pivot selection and
+    window eviction deterministically, ``window`` / ``window_decay`` shape
+    the sliding-window miner
+    (:meth:`~repro.api.EncryptedMiningService.approx_miner`), ``shards``
+    the sharded ingest matrix
+    (:meth:`~repro.api.EncryptedMiningService.sharded_miner`), and
+    ``max_candidates`` optionally caps exact evaluations per query —
+    ``None`` keeps results bit-for-bit exact (certified by the stats).
     """
 
     measure: str = "token"
@@ -185,6 +198,13 @@ class MiningConfig(_Config):
     outlier_d: float = 0.9
     dbscan_eps: float = 0.5
     dbscan_min_points: int = 3
+    approx: bool = False
+    pivots: int = 8
+    window: int | None = None
+    window_decay: float = 0.0
+    shards: int = 4
+    max_candidates: int | None = None
+    seed: int = 0
 
     def __post_init__(self) -> None:
         _require_choice("MiningConfig", "measure", self.measure, MEASURE_NAMES)
@@ -198,6 +218,25 @@ class MiningConfig(_Config):
         _require_float("MiningConfig", "outlier_d", self.outlier_d, minimum=0.0)
         _require_float("MiningConfig", "dbscan_eps", self.dbscan_eps, minimum=0.0)
         _require_int("MiningConfig", "dbscan_min_points", self.dbscan_min_points, minimum=1)
+        if not isinstance(self.approx, bool):
+            raise ConfigError(
+                f"MiningConfig.approx must be a bool, got {self.approx!r}"
+            )
+        _require_int("MiningConfig", "pivots", self.pivots, minimum=1)
+        _require_optional_int("MiningConfig", "window", self.window, minimum=1)
+        _require_float(
+            "MiningConfig", "window_decay", self.window_decay, minimum=0.0
+        )
+        if not self.window_decay < 1.0:
+            raise ConfigError(
+                f"MiningConfig.window_decay must be < 1, got {self.window_decay!r}"
+            )
+        _require_int("MiningConfig", "shards", self.shards, minimum=1)
+        _require_optional_int(
+            "MiningConfig", "max_candidates", self.max_candidates, minimum=1
+        )
+        if isinstance(self.seed, bool) or not isinstance(self.seed, int):
+            raise ConfigError(f"MiningConfig.seed must be an integer, got {self.seed!r}")
 
 
 @dataclass(frozen=True)

@@ -25,6 +25,7 @@ from repro.api.errors import ServiceError
 from repro.crypto.base import EncryptionClass
 from repro.cryptdb.onion import Onion
 from repro.cryptdb.proxy import EncryptedResult
+from repro.mining.approx import CandidateStats
 from repro.mining.dbscan import DbscanResult
 from repro.mining.matrix import CondensedDistanceMatrix
 from repro.mining.outliers import OutlierResult
@@ -81,18 +82,28 @@ class MiningResult:
     per-item nearest-neighbour lists, all computed with the parameters of
     the service's :class:`~repro.api.MiningConfig`.  ``knn`` lists are
     capped at ``n - 1`` neighbours for tiny logs.
+
+    When mined through the sublinear path (``MiningConfig.approx``) no
+    all-pairs matrix exists: ``matrix`` is ``None`` and
+    ``candidate_stats`` carries the pivot index's
+    :class:`~repro.mining.approx.CandidateStats` — its
+    ``certified_complete`` flag asserts the results are bit-for-bit equal
+    to the exact pipeline's.
     """
 
     measure: str
-    matrix: CondensedDistanceMatrix
+    matrix: CondensedDistanceMatrix | None
     clusters: DbscanResult
     outliers: OutlierResult
     knn: tuple[tuple[int, ...], ...]
+    candidate_stats: CandidateStats | None = None
 
     @property
     def n_items(self) -> int:
         """Number of log entries mined."""
-        return self.matrix.n
+        if self.matrix is not None:
+            return self.matrix.n
+        return len(self.clusters.labels)
 
     @property
     def labels(self) -> tuple[int, ...]:

@@ -60,6 +60,16 @@ from repro.cryptdb.proxy import (
 )
 from repro.db.database import Database
 from repro.db.executor import ResultSet
+from repro.mining.approx import (
+    ApproxStreamMiner,
+    CandidateStats,
+    PivotIndex,
+    ShardedIncrementalMatrix,
+    SlidingWindowQueryLog,
+    approx_dbscan,
+    approx_knn_all,
+    approx_outliers,
+)
 from repro.mining.dbscan import dbscan
 from repro.mining.incremental import IncrementalDistanceMatrix, StreamingQueryLog
 from repro.mining.knn import k_nearest_neighbors
@@ -428,6 +438,13 @@ class EncryptedMiningService:
         :attr:`~repro.api.MiningConfig.workers` processes when configured;
         DBSCAN, DB(p, D)-outliers and kNN lists use the config's mining
         parameters.
+
+        With :attr:`~repro.api.MiningConfig.approx` set, the same artefacts
+        come from the pivot-indexed sublinear path instead: no all-pairs
+        matrix is materialised (``result.matrix is None``) and
+        ``result.candidate_stats`` reports the certify/prune/evaluate
+        split — ``certified_complete`` guarantees the labels, outliers and
+        kNN lists are bit-for-bit equal to the exact path's.
         """
         mining = self._config.mining
         chosen = measure if measure is not None else self.measure()
@@ -437,6 +454,8 @@ class EncryptedMiningService:
             else:
                 entries = _normalize_queries(context)
                 log_context = LogContext(log=QueryLog.from_queries(entries))
+            if mining.approx:
+                return self._mine_approx(chosen, log_context)
             matrix = chosen.condensed_distance_matrix(
                 log_context, workers=mining.workers, chunk_size=mining.chunk_size
             )
@@ -459,6 +478,51 @@ class EncryptedMiningService:
             knn=knn,
         )
 
+    def _mine_approx(
+        self, chosen: DistanceMeasure, log_context: LogContext
+    ) -> MiningResult:
+        """The sublinear branch of :meth:`mine` (pivot index, no matrix)."""
+        mining = self._config.mining
+        index = PivotIndex.from_context(
+            chosen, log_context, n_pivots=mining.pivots, seed=mining.seed
+        )
+        cache: dict = {}
+        clusters, dbscan_stats = approx_dbscan(
+            index,
+            eps=mining.dbscan_eps,
+            min_points=mining.dbscan_min_points,
+            max_candidates=mining.max_candidates,
+            cache=cache,
+        )
+        outliers, outlier_stats = approx_outliers(
+            index,
+            p=mining.outlier_p,
+            d=mining.outlier_d,
+            max_candidates=mining.max_candidates,
+            cache=cache,
+        )
+        n = index.n_items
+        k = min(mining.knn_k, n - 1)
+        if k >= 1:
+            knn_by_id, knn_stats = approx_knn_all(
+                index, k=k, max_candidates=mining.max_candidates, cache=cache
+            )
+            # Batch-built indexes assign ids by log position, so iterating
+            # the live ids in order yields the exact path's positional rows.
+            knn = tuple(knn_by_id[item_id] for item_id in index.item_ids())
+            stats = CandidateStats.merge(dbscan_stats, outlier_stats, knn_stats)
+        else:
+            knn = ((),) * n
+            stats = CandidateStats.merge(dbscan_stats, outlier_stats)
+        return MiningResult(
+            measure=chosen.name,
+            matrix=None,
+            clusters=clusters,
+            outliers=outliers,
+            knn=knn,
+            candidate_stats=stats,
+        )
+
     def incremental_miner(
         self,
         stream: StreamingQueryLog | None = None,
@@ -479,6 +543,73 @@ class EncryptedMiningService:
             return IncrementalDistanceMatrix(
                 self.measure(),
                 stream,
+                database=database,
+                domains=domains,
+                knn_k=mining.knn_k,
+                outlier_p=mining.outlier_p,
+                outlier_d=mining.outlier_d,
+                dbscan_eps=mining.dbscan_eps,
+                dbscan_min_points=mining.dbscan_min_points,
+            )
+
+    def approx_miner(
+        self,
+        window_log: SlidingWindowQueryLog | None = None,
+        *,
+        database: Database | None = None,
+        domains: DomainCatalog | None = None,
+    ) -> ApproxStreamMiner:
+        """A sliding-window sublinear miner wired to the config's parameters.
+
+        Maintains a :class:`~repro.mining.approx.PivotIndex` over the most
+        recent :attr:`~repro.api.MiningConfig.window` queries (default 1024
+        when the config leaves it ``None``), evicting by the config's
+        ``window_decay`` / ``seed``.  The miner satisfies
+        :class:`~repro.cryptdb.proxy.StreamSink`, so it can be passed
+        straight to :meth:`stream` as the ``into`` sink; mine through its
+        ``dbscan()`` / ``outliers()`` / ``knn_all()`` accessors.
+        """
+        mining = self._config.mining
+        with wrap_errors("approx_miner"):
+            return ApproxStreamMiner(
+                self.measure(),
+                window_log,
+                window=mining.window if mining.window is not None else 1024,
+                decay=mining.window_decay,
+                seed=mining.seed,
+                n_pivots=mining.pivots,
+                max_candidates=mining.max_candidates,
+                database=database,
+                domains=domains,
+                knn_k=mining.knn_k,
+                outlier_p=mining.outlier_p,
+                outlier_d=mining.outlier_d,
+                dbscan_eps=mining.dbscan_eps,
+                dbscan_min_points=mining.dbscan_min_points,
+            )
+
+    def sharded_miner(
+        self,
+        *,
+        database: Database | None = None,
+        domains: DomainCatalog | None = None,
+    ) -> ShardedIncrementalMatrix:
+        """A sharded-ingest sublinear miner wired to the config's parameters.
+
+        Appends are O(1) distributions over
+        :attr:`~repro.api.MiningConfig.shards` buffers (no distance work on
+        the ingest path); draining merges them into the pivot index in id
+        order at mine time.  Satisfies
+        :class:`~repro.cryptdb.proxy.StreamSink` like the other miners.
+        """
+        mining = self._config.mining
+        with wrap_errors("sharded_miner"):
+            return ShardedIncrementalMatrix(
+                self.measure(),
+                n_shards=mining.shards,
+                n_pivots=mining.pivots,
+                seed=mining.seed,
+                max_candidates=mining.max_candidates,
                 database=database,
                 domains=domains,
                 knn_k=mining.knn_k,

@@ -148,6 +148,11 @@ class DistanceMeasure(abc.ABC):
     equivalence_notion: str = "abstract equivalence"
     #: What must be shared with the provider to evaluate the measure.
     shared_information: SharedInformation = SharedInformation()
+    #: Whether ``distance_between`` satisfies the triangle inequality.
+    #: Metric-space indexing (:mod:`repro.mining.approx`) may prune pairs by
+    #: pivot bounds only when this is ``True``; the conservative default is
+    #: ``False`` — pruning degrades to a full (still exact) candidate scan.
+    is_metric: bool = False
 
     @abc.abstractmethod
     def characteristic(self, query: Query, context: LogContext) -> object:
@@ -156,6 +161,20 @@ class DistanceMeasure(abc.ABC):
     @abc.abstractmethod
     def distance_between(self, characteristic_a: object, characteristic_b: object) -> float:
         """Distance between two characteristics; must be symmetric and in [0, 1]."""
+
+    def characteristic_key(self, characteristic: object) -> object:
+        """A hashable key identifying ``characteristic`` up to zero distance.
+
+        Two characteristics with equal keys must be interchangeable for this
+        measure: ``distance_between`` yields ``0.0`` between them and the
+        *same* value against any third characteristic.  The pivot index
+        (:mod:`repro.mining.approx`) groups duplicate log entries by this key
+        so all-pairs work collapses to distinct-characteristic work.  The
+        default returns the characteristic itself (sound for the frozenset
+        characteristics of the Jaccard measures); measures with unhashable
+        or non-canonical characteristics override it.
+        """
+        return characteristic
 
     # -- batch hook ----------------------------------------------------------- #
 
@@ -354,6 +373,10 @@ class JaccardSetMeasure(DistanceMeasure):
 
     #: Upper bound on the cells of one membership block (~256 MB of float64).
     _MEMBERSHIP_BLOCK_CELLS = 32_000_000
+
+    #: Jaccard distance is a metric (the Steinhaus/Marczewski–Steinhaus
+    #: theorem), so triangle-inequality pruning over pivot tables is sound.
+    is_metric = True
 
     def distance_between(self, characteristic_a: object, characteristic_b: object) -> float:
         """Jaccard distance between two characteristic sets."""

@@ -28,9 +28,29 @@ Two subsystems scale the distance computation itself:
   (:class:`~repro.mining.incremental.StreamingQueryLog`) whose distance
   matrix, kNN, outlier and DBSCAN artefacts update per append
   (:class:`~repro.mining.incremental.IncrementalDistanceMatrix`) instead of
-  via full recompute.
+  via full recompute;
+* :mod:`~repro.mining.approx` — sublinear mining that replaces the all-pairs
+  matrix with a pivot (landmark) index
+  (:class:`~repro.mining.approx.PivotIndex`): triangle-inequality bounds
+  prune or certify most pairs, duplicate groups collapse the rest, sliding
+  windows (:class:`~repro.mining.approx.SlidingWindowQueryLog`) bound
+  memory, and sharded appends
+  (:class:`~repro.mining.approx.ShardedIncrementalMatrix`) amortise ingest;
+* :mod:`~repro.mining.selection` — deterministic ``argpartition``-based
+  partial selection shared by the incremental and approximate layers.
 """
 
+from repro.mining.approx import (
+    ApproxStreamMiner,
+    CandidateStats,
+    PivotIndex,
+    ShardedIncrementalMatrix,
+    SlidingWindowQueryLog,
+    approx_dbscan,
+    approx_knn,
+    approx_knn_all,
+    approx_outliers,
+)
 from repro.mining.association import (
     AssociationRule,
     FrequentItemset,
@@ -66,12 +86,21 @@ from repro.mining.parallel import (
 )
 
 __all__ = [
+    "ApproxStreamMiner",
     "AssociationRule",
+    "CandidateStats",
     "CondensedDistanceMatrix",
     "DbscanResult",
     "FrequentItemset",
     "IncrementalDistanceMatrix",
+    "PivotIndex",
+    "ShardedIncrementalMatrix",
+    "SlidingWindowQueryLog",
     "StreamingQueryLog",
+    "approx_dbscan",
+    "approx_knn",
+    "approx_knn_all",
+    "approx_outliers",
     "compute_distance_matrix",
     "parallel_condensed_distances",
     "plan_row_blocks",

@@ -1,0 +1,49 @@
+"""Sublinear mining over encrypted query logs via pivot indexing.
+
+The exact pipeline's all-pairs distance matrix is Θ(n²) space and time — a
+dead end past ~10⁵ logged queries.  Because the paper's DPE schemes
+preserve distances *exactly*, metric-space indexing is sound on the
+ciphertext side without decrypting anything; this package exploits that:
+
+* :class:`~repro.mining.approx.pivots.PivotIndex` — duplicate-group
+  collapsing plus an m-landmark (LAESA-style) distance table answering
+  range and kNN candidate queries through triangle-inequality bounds, with
+  exact evaluation only inside the bound gap;
+* :mod:`~repro.mining.approx.algorithms` — ``approx_dbscan``,
+  ``approx_outliers``, ``approx_knn`` / ``approx_knn_all`` built on those
+  queries, bit-for-bit equal to the exact algorithms whenever the returned
+  :class:`~repro.mining.approx.pivots.CandidateStats` certify completeness;
+* :class:`~repro.mining.approx.window.SlidingWindowQueryLog` and
+  :class:`~repro.mining.approx.window.ApproxStreamMiner` — bounded-memory
+  streaming with seeded, decayed eviction;
+* :class:`~repro.mining.approx.sharded.ShardedIncrementalMatrix` — O(1)
+  sharded appends merged into the index at mine time.
+
+The non-metric access-area measure (Definition 5 averages over a
+pair-dependent attribute union, which breaks the triangle inequality) is
+handled safely: it declares ``is_metric = False`` and gets no pivots, so
+its queries fall back to a full — still exact — distinct-group scan.
+"""
+
+from repro.mining.approx.algorithms import (
+    approx_dbscan,
+    approx_knn,
+    approx_knn_all,
+    approx_outliers,
+)
+from repro.mining.approx.pivots import BOUND_TOLERANCE, CandidateStats, PivotIndex
+from repro.mining.approx.sharded import ShardedIncrementalMatrix
+from repro.mining.approx.window import ApproxStreamMiner, SlidingWindowQueryLog
+
+__all__ = [
+    "ApproxStreamMiner",
+    "BOUND_TOLERANCE",
+    "CandidateStats",
+    "PivotIndex",
+    "ShardedIncrementalMatrix",
+    "SlidingWindowQueryLog",
+    "approx_dbscan",
+    "approx_knn",
+    "approx_knn_all",
+    "approx_outliers",
+]

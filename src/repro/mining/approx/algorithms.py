@@ -1,0 +1,269 @@
+"""Mining algorithms over a :class:`~repro.mining.approx.pivots.PivotIndex`.
+
+Each function mirrors an exact entry point — :func:`~repro.mining.dbscan.dbscan`,
+:func:`~repro.mining.outliers.distance_based_outliers`,
+:func:`~repro.mining.knn.k_nearest_neighbors` — but resolves distances through
+the pivot index's certify/prune/evaluate split instead of a materialised
+matrix, and additionally returns :class:`~repro.mining.approx.pivots.CandidateStats`.
+
+**Exactness.**  Whenever the returned stats report ``certified_complete``
+(always, unless a ``max_candidates`` budget truncated a query), the results
+are bit-for-bit equal to running the exact pipeline over the same items in
+id order.  The arguments, per algorithm:
+
+* *DBSCAN* — items of one duplicate group share a distance row, so
+  core-ness is a group property (the neighbourhood count is the summed size
+  of in-range groups) and clusters are connected components of the
+  core-group graph.  The exact algorithm numbers clusters by their
+  smallest-index unlabelled core start and fully expands one cluster before
+  the next starts, so component numbering by minimum core item id and
+  border assignment to the minimum-numbered adjacent core component
+  reproduce its labels exactly.
+* *outliers* — the far count of an item in group ``g`` is
+  ``n − Σ size(h)`` over in-range groups ``h`` (its own group is in range at
+  distance zero, and ``D ≥ 0`` means same-group pairs are never far), an
+  integer; dividing by ``n − 1`` yields the identical float the exact scan
+  divides.
+* *kNN* — the candidate set provably covers every true k-nearest member
+  (see :meth:`PivotIndex._group_knn_candidates`) and carries the same
+  ``distance_between`` floats, so sorting candidates under the exact
+  ``(distance, id)`` tie-break and truncating at ``k`` is the exact answer.
+
+Item ids are the caller-assigned insertion ids; result vectors (labels,
+fractions) are positional over ``index.item_ids()`` — for a batch-built
+index that is log order, making the equality literal.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+from repro.exceptions import MiningError
+from repro.mining.approx.pivots import CandidateStats, PivotIndex, _Scan
+from repro.mining.dbscan import NOISE, DbscanResult
+from repro.mining.outliers import OutlierResult
+
+
+def approx_dbscan(
+    index: PivotIndex,
+    *,
+    eps: float,
+    min_points: int,
+    max_candidates: int | None = None,
+    cache: dict | None = None,
+) -> tuple[DbscanResult, CandidateStats]:
+    """DBSCAN through pruned eps-range queries (exact when uncapped).
+
+    ``cache`` may be shared across calls against the same (unmutated) index
+    so repeated group pairs are evaluated once.
+    """
+    if eps < 0:
+        raise MiningError("eps must be non-negative")
+    if min_points < 1:
+        raise MiningError("min_points must be at least 1")
+    ids = index.item_ids()
+    if not ids:
+        raise MiningError("pivot index holds no items")
+    index._ensure_pivots()
+    scan = _Scan(cache)
+    groups = index._groups
+    n_groups = len(groups)
+    sizes = [len(group.members) for group in groups]
+    neighbor_rows = [
+        index._range_rows(row, eps, scan, max_candidates) for row in range(n_groups)
+    ]
+    is_core = [
+        sum(sizes[other] for other in neighbor_rows[row]) >= min_points
+        for row in range(n_groups)
+    ]
+
+    # Connected components over core groups (edges symmetrised so a capped,
+    # one-sided range result still yields well-defined clusters).
+    adjacency: list[set[int]] = [set() for _ in range(n_groups)]
+    for row in range(n_groups):
+        if not is_core[row]:
+            continue
+        for other in neighbor_rows[row]:
+            if other != row and is_core[other]:
+                adjacency[row].add(other)
+                adjacency[other].add(row)
+    component = [-1] * n_groups
+    components: list[list[int]] = []
+    for row in range(n_groups):
+        if not is_core[row] or component[row] >= 0:
+            continue
+        label = len(components)
+        members = [row]
+        component[row] = label
+        queue = deque([row])
+        while queue:
+            current = queue.popleft()
+            for other in sorted(adjacency[current]):
+                if component[other] < 0:
+                    component[other] = label
+                    members.append(other)
+                    queue.append(other)
+        components.append(members)
+
+    # The exact algorithm numbers clusters by their smallest-index core
+    # start point; with positional order = id order that is the rank of the
+    # component's minimum core item id.
+    reps = [
+        min(min(groups[row].members) for row in members) for members in components
+    ]
+    numbering = [0] * len(components)
+    for rank, label in enumerate(sorted(range(len(components)), key=lambda c: reps[c])):
+        numbering[label] = rank
+
+    row_labels = [NOISE] * n_groups
+    for row in range(n_groups):
+        if is_core[row]:
+            row_labels[row] = numbering[component[row]]
+            continue
+        adjacent = [
+            numbering[component[other]]
+            for other in neighbor_rows[row]
+            if is_core[other]
+        ]
+        if adjacent:
+            # Lower-numbered clusters expand earlier, so the first cluster
+            # to reach a border point is the minimum-numbered adjacent one.
+            row_labels[row] = min(adjacent)
+
+    # Results are positional over the ascending live ids (for a batch-built
+    # index ids are positions, so this is the identity) — including
+    # ``core_points``, matching the exact pipeline's positional contract.
+    position = {item_id: pos for pos, item_id in enumerate(ids)}
+    labels = [NOISE] * len(ids)
+    core_points: set[int] = set()
+    for row in range(n_groups):
+        for member in groups[row].members:
+            labels[position[member]] = row_labels[row]
+        if is_core[row]:
+            core_points.update(position[member] for member in groups[row].members)
+    result = DbscanResult(
+        labels=tuple(labels),
+        core_points=frozenset(core_points),
+        n_clusters=len(components),
+    )
+    return result, index._snapshot(scan)
+
+
+def approx_outliers(
+    index: PivotIndex,
+    *,
+    p: float,
+    d: float,
+    max_candidates: int | None = None,
+    cache: dict | None = None,
+) -> tuple[OutlierResult, CandidateStats]:
+    """DB(p, D)-outliers through pruned range queries (exact when uncapped).
+
+    The far counts are integers derived from group sizes, so the reported
+    fractions are bitwise identical to the exact scan's.
+    """
+    if not 0.0 < p <= 1.0:
+        raise MiningError("p must lie in (0, 1]")
+    if d < 0:
+        raise MiningError("d must be non-negative")
+    ids = index.item_ids()
+    n = len(ids)
+    if n == 0:
+        raise MiningError("pivot index holds no items")
+    if n == 1:
+        empty = index._snapshot(_Scan(cache))
+        return OutlierResult(outliers=(), fraction_far=(0.0,), p=p, d=d), empty
+    index._ensure_pivots()
+    scan = _Scan(cache)
+    groups = index._groups
+    sizes = [len(group.members) for group in groups]
+    position = {item_id: pos for pos, item_id in enumerate(ids)}
+    fractions = [0.0] * n
+    for row in range(len(groups)):
+        near = sum(
+            sizes[other] for other in index._range_rows(row, d, scan, max_candidates)
+        )
+        fraction = float(n - near) / (n - 1)
+        for member in groups[row].members:
+            fractions[position[member]] = fraction
+    flagged = tuple(pos for pos in range(n) if fractions[pos] >= p)
+    result = OutlierResult(outliers=flagged, fraction_far=tuple(fractions), p=p, d=d)
+    return result, index._snapshot(scan)
+
+
+def approx_knn(
+    index: PivotIndex,
+    item_id: int,
+    *,
+    k: int,
+    max_candidates: int | None = None,
+    cache: dict | None = None,
+) -> tuple[tuple[int, ...], CandidateStats]:
+    """The k nearest live items of ``item_id`` (exact when uncapped).
+
+    Ties break by smaller item id, matching
+    :func:`~repro.mining.knn.k_nearest_neighbors`.
+    """
+    group = index._require_item(item_id)
+    if not 1 <= k <= index.n_items - 1:
+        raise MiningError(f"k must be between 1 and {index.n_items - 1}")
+    index._ensure_pivots()
+    scan = _Scan(cache)
+    candidates = index._group_knn_candidates(group, k, scan, max_candidates)
+    merged = index._assemble_knn(group, item_id, candidates)
+    return tuple(j for _, j in merged[:k]), index._snapshot(scan)
+
+
+def approx_knn_all(
+    index: PivotIndex,
+    *,
+    k: int,
+    max_candidates: int | None = None,
+    cache: dict | None = None,
+) -> tuple[dict[int, tuple[int, ...]], CandidateStats]:
+    """The k nearest neighbours of every live item, keyed by item id.
+
+    One candidate search per *group* serves all of its members: the
+    covering radius already accounts for the same-group companions, and the
+    per-member answer only swaps which zero-distance companion is excluded.
+    """
+    n = index.n_items
+    if not 1 <= k <= n - 1:
+        raise MiningError(f"k must be between 1 and {n - 1}")
+    index._ensure_pivots()
+    scan = _Scan(cache)
+    groups = index._groups
+    result: dict[int, tuple[int, ...]] = {}
+    for group in groups:
+        candidates = index._group_knn_candidates(group, k, scan, max_candidates)
+        cross = sorted(
+            (distance, member)
+            for distance, other in candidates
+            for member in groups[other].members
+        )
+        own = group.members
+        for item_id in own:
+            own_pairs = [(0.0, member) for member in own if member != item_id]
+            result[item_id] = _merge_first_k(own_pairs, cross, k)
+    return result, index._snapshot(scan)
+
+
+def _merge_first_k(
+    left: list[tuple[float, int]], right: list[tuple[float, int]], k: int
+) -> tuple[int, ...]:
+    """First ``k`` ids of the merged ``(distance, id)``-sorted sequences."""
+    out: list[int] = []
+    i = j = 0
+    while len(out) < k:
+        if i < len(left) and (j >= len(right) or left[i] <= right[j]):
+            out.append(left[i][1])
+            i += 1
+        elif j < len(right):
+            out.append(right[j][1])
+            j += 1
+        else:  # pragma: no cover - caller guarantees k <= available items
+            break
+    return tuple(out)
+
+
+__all__ = ["approx_dbscan", "approx_knn", "approx_knn_all", "approx_outliers"]

@@ -1,0 +1,533 @@
+"""Pivot (landmark) index over query-log characteristics.
+
+The exact pipeline materialises all ``n(n-1)/2`` pairwise distances.  A
+:class:`PivotIndex` stores two far smaller things instead:
+
+* a **duplicate grouping** — items are grouped by
+  :meth:`~repro.core.dpe.DistanceMeasure.characteristic_key`, so the ``g``
+  distinct characteristics (``g ≪ n`` for real logs, which repeat query
+  templates heavily) are the unit of all distance work; and
+* a **g×m pivot table** — the distances from every group to ``m ≪ g``
+  landmark groups picked by maxmin (farthest-first) selection.
+
+For a metric measure (``measure.is_metric``) the table yields, for any two
+groups ``a``/``b``, the triangle-inequality sandwich
+
+``LB(a, b) = max_p |D[a, p] − D[b, p]|  ≤  d(a, b)  ≤  min_p (D[a, p] + D[b, p]) = UB(a, b)``
+
+so a range query resolves most groups from the table alone: ``UB ≤ t`` is
+certified in-range, ``LB > t`` is pruned, and only the narrow gap between
+the bounds pays an exact ``distance_between`` call.  Non-metric measures
+(the access-area distance — see
+:data:`~repro.core.dpe.DistanceMeasure.is_metric`) get **no pivots**: the
+bounds degenerate to ``[0, ∞)`` and every distinct-group pair is evaluated
+exactly, which still collapses ``n²`` item pairs to ``g²`` group pairs.
+
+Results stay *bit-for-bit exact* as long as no candidate budget truncates a
+query (see ``max_candidates`` in :mod:`repro.mining.approx.algorithms`):
+bound comparisons carry a float tolerance so rounding can never wrongly
+prune or certify, and everything inside the gap is decided by the same
+``distance_between`` floats the exact pipeline sorts.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import TYPE_CHECKING
+
+import numpy as np
+
+from repro.exceptions import MiningError
+
+if TYPE_CHECKING:  # pragma: no cover - cycle guard (dpe imports mining.matrix)
+    from repro.core.dpe import DistanceMeasure, LogContext
+
+#: Absolute slack applied to every bound comparison.  Distances here live in
+#: [0, 1] and ``distance_between`` agrees with the real-valued distance to
+#: ~1e-15, so 1e-9 dominates any accumulated rounding while never moving a
+#: decision that matters: pairs inside the slack fall into the exact gap.
+BOUND_TOLERANCE = 1e-9
+
+
+@dataclass(frozen=True)
+class CandidateStats:
+    """Work accounting for a pivot-pruned mining call.
+
+    The exact pipeline evaluates every item pair; these counters show where
+    the pivot index avoided that.  ``table_distances`` is the index-lifetime
+    cost of building the group-to-pivot table (including pivot selection);
+    the per-call counters split the group comparisons the call made into
+    ``pruned_pairs`` (lower bound above the threshold — no evaluation),
+    ``certified_pairs`` (upper bound below it — in-range without
+    evaluation) and ``exact_distances`` (the gap, plus kNN survivors).
+
+    ``certified_complete`` is the exactness certificate: ``True`` means no
+    candidate budget truncated any query, so every returned artefact is
+    bit-for-bit equal to the exact pipeline's.  ``False`` means a
+    ``max_candidates`` cap dropped low-priority candidates somewhere and the
+    results are approximate.
+    """
+
+    n_items: int
+    n_groups: int
+    n_pivots: int
+    table_distances: int
+    exact_distances: int
+    pruned_pairs: int
+    certified_pairs: int
+    certified_complete: bool
+
+    @property
+    def group_pairs_examined(self) -> int:
+        """Total group comparisons the call resolved (by any means)."""
+        return self.exact_distances + self.pruned_pairs + self.certified_pairs
+
+    @classmethod
+    def merge(cls, first: "CandidateStats", *rest: "CandidateStats") -> "CandidateStats":
+        """Combine the accounting of several calls against one index.
+
+        Counters add, the completeness certificate survives only if every
+        constituent call kept it, and the index-shape fields (items, groups,
+        pivots, table cost) take the maximum — the calls may have been made
+        while the index grew.
+        """
+        stats = (first, *rest)
+        return cls(
+            n_items=max(s.n_items for s in stats),
+            n_groups=max(s.n_groups for s in stats),
+            n_pivots=max(s.n_pivots for s in stats),
+            table_distances=max(s.table_distances for s in stats),
+            exact_distances=sum(s.exact_distances for s in stats),
+            pruned_pairs=sum(s.pruned_pairs for s in stats),
+            certified_pairs=sum(s.certified_pairs for s in stats),
+            certified_complete=all(s.certified_complete for s in stats),
+        )
+
+    def to_dict(self) -> dict:
+        """Plain-dict form for reports and JSON artifacts."""
+        return {
+            "n_items": self.n_items,
+            "n_groups": self.n_groups,
+            "n_pivots": self.n_pivots,
+            "table_distances": self.table_distances,
+            "exact_distances": self.exact_distances,
+            "pruned_pairs": self.pruned_pairs,
+            "certified_pairs": self.certified_pairs,
+            "certified_complete": self.certified_complete,
+        }
+
+
+class _Group:
+    """A distinct-characteristic group: one table row, many item ids."""
+
+    __slots__ = ("characteristic", "created", "members", "row")
+
+    def __init__(self, characteristic: object, created: int, row: int) -> None:
+        self.characteristic = characteristic
+        self.created = created
+        #: Member item ids, ascending (ids are assigned monotonically on add;
+        #: removals keep the order).
+        self.members: list[int] = []
+        #: Current row in the pivot table (mutated by swap-deletes).
+        self.row = row
+
+
+class _Scan:
+    """Mutable per-call accounting plus the shared exact-distance cache.
+
+    The cache is keyed by unordered group-key pairs, so several algorithm
+    calls in one mining pass (DBSCAN + outliers + kNN) share evaluations;
+    ``exact_distances`` counts only cache misses — genuinely new
+    ``distance_between`` work.
+    """
+
+    __slots__ = ("cache", "certified", "complete", "exact", "pruned")
+
+    def __init__(self, cache: dict | None = None) -> None:
+        self.cache: dict = {} if cache is None else cache
+        self.exact = 0
+        self.pruned = 0
+        self.certified = 0
+        self.complete = True
+
+
+class PivotIndex:
+    """Incremental pivot index over one distance measure's characteristics.
+
+    Items enter through :meth:`add` (or :meth:`from_context` for a whole
+    log) under caller-chosen integer ids that must be assigned in increasing
+    order — they are the tie-break identity that keeps results equal to the
+    exact pipeline.  :meth:`remove` supports sliding windows: the table row
+    of a drained group is swap-deleted, and pivot characteristics are held
+    independently of their source groups so evicting a pivot's group keeps
+    its table column valid.
+
+    Pivot selection is lazy and deterministic: the first landmark is drawn
+    by a ``random.Random(seed)`` over the groups in creation order, the rest
+    by maxmin (each new landmark maximises its distance to the chosen ones,
+    ties to the earliest-created group).  Selection tops itself up as the
+    index grows, never exceeding ``n_pivots``; a non-metric measure keeps
+    zero pivots and relies purely on duplicate grouping.
+    """
+
+    def __init__(
+        self,
+        measure: "DistanceMeasure",
+        *,
+        n_pivots: int = 8,
+        seed: int = 0,
+    ) -> None:
+        if n_pivots < 1:
+            raise MiningError("n_pivots must be at least 1")
+        self._measure = measure
+        self._metric = bool(measure.is_metric)
+        self._target_pivots = n_pivots if self._metric else 0
+        self._seed = seed
+        self._rng = random.Random(seed)
+        self._groups: list[_Group] = []
+        self._key_to_group: dict[object, _Group] = {}
+        self._item_to_group: dict[int, _Group] = {}
+        self._pivots: list[object] = []
+        self._row_capacity = 16
+        self._table = np.zeros((self._row_capacity, max(self._target_pivots, 1)))
+        self._created = 0
+        self._n_items = 0
+        self._last_id: int | None = None
+        #: Lifetime count of distance evaluations spent on the pivot table
+        #: (row fills for new groups + column fills during selection).
+        self.table_distances = 0
+
+    # -- introspection ---------------------------------------------------- #
+
+    @property
+    def measure(self) -> "DistanceMeasure":
+        """The distance measure the index is built over."""
+        return self._measure
+
+    @property
+    def seed(self) -> int:
+        """The RNG seed pivot selection was constructed with."""
+        return self._seed
+
+    @property
+    def n_items(self) -> int:
+        """Number of live items."""
+        return self._n_items
+
+    @property
+    def n_groups(self) -> int:
+        """Number of live distinct-characteristic groups."""
+        return len(self._groups)
+
+    @property
+    def n_pivots(self) -> int:
+        """Number of landmarks selected so far (0 for non-metric measures)."""
+        return len(self._pivots)
+
+    def item_ids(self) -> tuple[int, ...]:
+        """The live item ids, ascending — the positional order of results."""
+        return tuple(sorted(self._item_to_group))
+
+    # -- construction ------------------------------------------------------ #
+
+    @classmethod
+    def from_context(
+        cls,
+        measure: "DistanceMeasure",
+        context: "LogContext",
+        *,
+        n_pivots: int = 8,
+        seed: int = 0,
+    ) -> "PivotIndex":
+        """Index a whole log at once (ids = log positions).
+
+        Characteristics come from the measure's batch hook, so the
+        vectorised extraction paths (and the per-context cache) are reused.
+        """
+        index = cls(measure, n_pivots=n_pivots, seed=seed)
+        characteristics = measure.characteristics(
+            [entry.query for entry in context.log], context
+        )
+        for item_id, characteristic in enumerate(characteristics):
+            index.add(item_id, characteristic)
+        return index
+
+    def add(self, item_id: int, characteristic: object) -> None:
+        """Register ``characteristic`` under ``item_id`` (ids must ascend)."""
+        if self._last_id is not None and item_id <= self._last_id:
+            raise MiningError(
+                f"item ids must be added in increasing order "
+                f"({item_id} after {self._last_id})"
+            )
+        if item_id in self._item_to_group:
+            raise MiningError(f"item id {item_id} is already indexed")
+        key = self._measure.characteristic_key(characteristic)
+        group = self._key_to_group.get(key)
+        if group is None:
+            group = self._new_group(characteristic)
+            self._key_to_group[key] = group
+        group.members.append(item_id)
+        self._item_to_group[item_id] = group
+        self._n_items += 1
+        self._last_id = item_id
+
+    def remove(self, item_id: int) -> None:
+        """Drop ``item_id``; an emptied group's table row is swap-deleted."""
+        group = self._item_to_group.pop(item_id, None)
+        if group is None:
+            raise MiningError(f"item id {item_id} is not indexed")
+        # Ids are unique, so list.remove drops exactly this member.
+        group.members.remove(item_id)
+        self._n_items -= 1
+        if group.members:
+            return
+        key = self._measure.characteristic_key(group.characteristic)
+        del self._key_to_group[key]
+        last = self._groups.pop()
+        if last is not group:
+            self._table[group.row, :] = self._table[last.row, :]
+            last.row = group.row
+            self._groups[group.row] = last
+
+    def _new_group(self, characteristic: object) -> _Group:
+        row = len(self._groups)
+        if row >= self._row_capacity:
+            capacity = self._row_capacity
+            while capacity <= row:
+                capacity *= 2
+            grown = np.zeros((capacity, self._table.shape[1]))
+            grown[: self._row_capacity] = self._table
+            self._table = grown
+            self._row_capacity = capacity
+        group = _Group(characteristic, self._created, row)
+        self._created += 1
+        self._groups.append(group)
+        for column, pivot in enumerate(self._pivots):
+            self._table[row, column] = self._measure.distance_between(
+                pivot, characteristic
+            )
+            self.table_distances += 1
+        return group
+
+    # -- pivot selection --------------------------------------------------- #
+
+    def _ensure_pivots(self) -> None:
+        """Top up maxmin landmark selection to the target (lazy, on query)."""
+        while len(self._pivots) < self._target_pivots and (
+            len(self._groups) > len(self._pivots)
+        ):
+            if not self._pivots:
+                in_creation_order = sorted(self._groups, key=lambda g: g.created)
+                chosen = in_creation_order[self._rng.randrange(len(in_creation_order))]
+            else:
+                m = len(self._pivots)
+                mins = self._table[: len(self._groups), :m].min(axis=1)
+                best = None
+                for group in self._groups:
+                    score = (mins[group.row], -group.created)
+                    if best is None or score > best[0]:
+                        best = (score, group)
+                chosen = best[1]
+                # A zero maxmin radius means every group coincides with a
+                # pivot already — more landmarks cannot tighten any bound.
+                if mins[chosen.row] <= 0.0:
+                    return
+            column = len(self._pivots)
+            self._pivots.append(chosen.characteristic)
+            for group in self._groups:
+                self._table[group.row, column] = self._measure.distance_between(
+                    chosen.characteristic, group.characteristic
+                )
+                self.table_distances += 1
+
+    # -- bounds and queries ------------------------------------------------ #
+
+    def _bounds(self, row: int) -> tuple[np.ndarray, np.ndarray]:
+        """(LB, UB) arrays from ``row``'s group to every live group."""
+        n_groups = len(self._groups)
+        m = len(self._pivots)
+        if m == 0:
+            return np.zeros(n_groups), np.full(n_groups, np.inf)
+        table = self._table[:n_groups, :m]
+        source = table[row]
+        lower = np.abs(table - source).max(axis=1)
+        upper = (table + source).min(axis=1)
+        return lower, upper
+
+    def _pair_key(self, a: _Group, b: _Group) -> tuple[int, int]:
+        if a.created <= b.created:
+            return (a.created, b.created)
+        return (b.created, a.created)
+
+    def _exact(self, a: _Group, b: _Group, scan: _Scan) -> float:
+        key = self._pair_key(a, b)
+        value = scan.cache.get(key)
+        if value is None:
+            value = self._measure.distance_between(a.characteristic, b.characteristic)
+            scan.cache[key] = value
+            scan.exact += 1
+        return value
+
+    def _cap_gap(
+        self, gap: list[int], lower: np.ndarray, max_candidates: int | None, scan: _Scan
+    ) -> list[int]:
+        if max_candidates is None or len(gap) <= max_candidates:
+            return gap
+        scan.complete = False
+        groups = self._groups
+        gap.sort(key=lambda r: (lower[r], groups[r].created))
+        return gap[:max_candidates]
+
+    def _range_rows(
+        self,
+        row: int,
+        threshold: float,
+        scan: _Scan,
+        max_candidates: int | None = None,
+    ) -> list[int]:
+        """Rows of all groups within ``threshold`` of ``row`` (inclusive).
+
+        The decision for every returned row is the exact pipeline's
+        ``d <= threshold`` — certified rows have ``UB`` below the threshold
+        by more than the float tolerance, and gap rows are evaluated with
+        ``distance_between`` itself.  ``max_candidates`` bounds the exact
+        evaluations; overflow rows are treated as out of range and the
+        scan's completeness certificate is dropped.
+        """
+        lower, upper = self._bounds(row)
+        n_groups = len(self._groups)
+        rows_in = [row]
+        gap: list[int] = []
+        certified = upper <= threshold - BOUND_TOLERANCE
+        pruned = lower > threshold + BOUND_TOLERANCE
+        for other in range(n_groups):
+            if other == row:
+                continue
+            if certified[other]:
+                rows_in.append(other)
+                scan.certified += 1
+            elif pruned[other]:
+                scan.pruned += 1
+            else:
+                gap.append(other)
+        source = self._groups[row]
+        for other in self._cap_gap(gap, lower, max_candidates, scan):
+            if self._exact(source, self._groups[other], scan) <= threshold:
+                rows_in.append(other)
+        rows_in.sort()
+        return rows_in
+
+    def range_query(
+        self, item_id: int, threshold: float, *, max_candidates: int | None = None
+    ) -> tuple[tuple[int, ...], CandidateStats]:
+        """Live item ids within ``threshold`` of ``item_id`` (inclusive, with self).
+
+        Equal to filtering the exact distance row — the group-level
+        certify/prune/evaluate split never changes a ``d <= threshold``
+        decision (see :meth:`_range_rows`).
+        """
+        group = self._require_item(item_id)
+        self._ensure_pivots()
+        scan = _Scan()
+        rows = self._range_rows(group.row, threshold, scan, max_candidates)
+        neighbors = sorted(
+            member for row in rows for member in self._groups[row].members
+        )
+        return tuple(neighbors), self._snapshot(scan)
+
+    def knn_candidates(
+        self, item_id: int, k: int, *, max_candidates: int | None = None
+    ) -> tuple[tuple[tuple[float, int], ...], CandidateStats]:
+        """The ``(distance, id)``-sorted candidates covering the true kNN.
+
+        The first ``k`` entries are exactly the exact pipeline's k nearest
+        neighbours of ``item_id`` under the ``(distance, index)`` tie-break
+        whenever the returned stats certify completeness; see
+        :func:`repro.mining.approx.algorithms.approx_knn` for the argument.
+        """
+        group = self._require_item(item_id)
+        if not 1 <= k <= self._n_items - 1:
+            raise MiningError(f"k must be between 1 and {self._n_items - 1}")
+        self._ensure_pivots()
+        scan = _Scan()
+        candidates = self._group_knn_candidates(group, k, scan, max_candidates)
+        merged = self._assemble_knn(group, item_id, candidates)
+        return tuple(merged), self._snapshot(scan)
+
+    def _group_knn_candidates(
+        self,
+        group: _Group,
+        k: int,
+        scan: _Scan,
+        max_candidates: int | None = None,
+    ) -> list[tuple[float, int]]:
+        """Cross-group ``(distance, row)`` pairs covering any member's kNN.
+
+        The covering radius ``r`` is the smallest upper bound at which the
+        cumulative size of covered groups (plus the ``len(members) - 1``
+        same-group companions at distance zero) reaches ``k`` — so at least
+        ``k`` items other than the query certainly lie within ``r``, and any
+        true kNN member (distance ≤ the k-th smallest ≤ ``r``) lives in a
+        group with ``LB ≤ r``, which is exactly the set evaluated here.
+        """
+        lower, upper = self._bounds(group.row)
+        groups = self._groups
+        coverage: list[tuple[float, int]] = [(0.0, len(group.members) - 1)]
+        for other in groups:
+            if other is not group:
+                coverage.append((float(upper[other.row]), len(other.members)))
+        coverage.sort(key=lambda pair: pair[0])
+        covered = 0
+        radius = np.inf
+        for bound, size in coverage:
+            covered += size
+            if covered >= k:
+                radius = bound
+                break
+        candidates: list[int] = []
+        for other in range(len(groups)):
+            if other == group.row:
+                continue
+            if lower[other] <= radius + BOUND_TOLERANCE:
+                candidates.append(other)
+            else:
+                scan.pruned += 1
+        candidates = self._cap_gap(candidates, lower, max_candidates, scan)
+        return [
+            (self._exact(group, groups[other], scan), other) for other in candidates
+        ]
+
+    def _assemble_knn(
+        self, group: _Group, item_id: int, candidates: list[tuple[float, int]]
+    ) -> list[tuple[float, int]]:
+        """Expand group candidates to ``(distance, id)`` pairs, sorted."""
+        groups = self._groups
+        merged = [(0.0, member) for member in group.members if member != item_id]
+        for distance, other in candidates:
+            merged.extend((distance, member) for member in groups[other].members)
+        merged.sort()
+        return merged
+
+    def _require_item(self, item_id: int) -> _Group:
+        group = self._item_to_group.get(item_id)
+        if group is None:
+            raise MiningError(f"item id {item_id} is not indexed")
+        if self._n_items < 2:
+            raise MiningError("pivot index holds fewer than 2 items")
+        return group
+
+    def _snapshot(self, scan: _Scan) -> CandidateStats:
+        return CandidateStats(
+            n_items=self._n_items,
+            n_groups=len(self._groups),
+            n_pivots=len(self._pivots),
+            table_distances=self.table_distances,
+            exact_distances=scan.exact,
+            pruned_pairs=scan.pruned,
+            certified_pairs=scan.certified,
+            certified_complete=scan.complete,
+        )
+
+
+__all__ = ["BOUND_TOLERANCE", "CandidateStats", "PivotIndex"]

@@ -1,0 +1,240 @@
+"""Sharded ingestion for the pivot index: cheap appends, merge at mine time.
+
+:class:`~repro.mining.incremental.IncrementalDistanceMatrix` pays Θ(n) per
+appended query *inside the append*, serialised on one lock — at serving-layer
+concurrency the appending sessions queue up behind the distance work.  A
+:class:`ShardedIncrementalMatrix` decouples the two: :meth:`append` only
+assigns global ids and buffers entries into one of ``n_shards`` shards
+(per-shard locks, O(1) per entry), and the pivot-table work — O(m) per
+*distinct* new characteristic — happens in :meth:`drain`, which merges all
+shard buffers in global id order the first time an artefact is requested.
+
+Because mining happens over the merged, id-ordered sequence, the artefacts
+are independent of which thread appended which batch given the id
+assignment order, and carry the same exactness certificate as every
+pivot-index consumer (see :mod:`repro.mining.approx.algorithms`).  The
+class satisfies the :class:`~repro.cryptdb.proxy.StreamSink` protocol, so
+:meth:`~repro.cryptdb.proxy.ProxySession.stream` can feed it directly.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections.abc import Iterable
+from typing import TYPE_CHECKING
+
+from repro.exceptions import MiningError
+from repro.mining.approx.algorithms import (
+    approx_dbscan,
+    approx_knn,
+    approx_knn_all,
+    approx_outliers,
+)
+from repro.mining.approx.pivots import CandidateStats, PivotIndex
+from repro.mining.dbscan import DbscanResult
+from repro.mining.incremental import StreamingQueryLog
+from repro.mining.outliers import OutlierResult
+from repro.sql.ast import Query
+from repro.sql.log import LogEntry
+
+if TYPE_CHECKING:  # pragma: no cover - cycle guard
+    from repro.core.dpe import DistanceMeasure
+    from repro.core.domains import DomainCatalog
+    from repro.db.database import Database
+
+
+class _Shard:
+    """One append buffer with its own lock."""
+
+    __slots__ = ("buffer", "lock")
+
+    def __init__(self) -> None:
+        self.lock = threading.Lock()
+        self.buffer: list[tuple[int, LogEntry]] = []
+
+
+class ShardedIncrementalMatrix:
+    """Pivot-indexed mining artefacts with sharded, O(1)-per-entry appends.
+
+    ``append`` distributes entries across shards by ``id % n_shards``
+    (deterministic given the id assignment order) without touching the
+    index; ``drain`` — called implicitly by every artefact accessor —
+    merges the buffered entries in global id order, characterises them in
+    batch and adds them to the shared
+    :class:`~repro.mining.approx.pivots.PivotIndex`.  Entries also land in
+    an internal append-only log so the measure's batch characterisation
+    sees a real :class:`~repro.core.dpe.LogContext`.
+
+    Mining parameters mirror
+    :class:`~repro.mining.incremental.IncrementalDistanceMatrix`; accessors
+    return ``(result, stats)`` pairs whose stats certify exactness unless a
+    ``max_candidates`` budget capped a query.
+    """
+
+    def __init__(
+        self,
+        measure: "DistanceMeasure",
+        *,
+        n_shards: int = 4,
+        n_pivots: int = 8,
+        seed: int = 0,
+        max_candidates: int | None = None,
+        database: "Database | None" = None,
+        domains: "DomainCatalog | None" = None,
+        knn_k: int = 3,
+        outlier_p: float = 0.95,
+        outlier_d: float = 0.9,
+        dbscan_eps: float = 0.5,
+        dbscan_min_points: int = 3,
+    ) -> None:
+        from repro.core.dpe import LogContext
+
+        if n_shards < 1:
+            raise MiningError("n_shards must be at least 1")
+        self._measure = measure
+        self._shards = [_Shard() for _ in range(n_shards)]
+        self._id_lock = threading.Lock()
+        self._next_id = 0
+        self._log = StreamingQueryLog()
+        self._context = LogContext(log=self._log, database=database, domains=domains)
+        self._index = PivotIndex(measure, n_pivots=n_pivots, seed=seed)
+        self._merge_lock = threading.RLock()
+        self._max_candidates = max_candidates
+        self._knn_k = knn_k
+        self._outlier_p = outlier_p
+        self._outlier_d = outlier_d
+        self._dbscan_eps = dbscan_eps
+        self._dbscan_min_points = dbscan_min_points
+
+    @property
+    def n_shards(self) -> int:
+        """Number of append shards."""
+        return len(self._shards)
+
+    @property
+    def n_items(self) -> int:
+        """Number of entries merged into the index so far."""
+        with self._merge_lock:
+            return self._index.n_items
+
+    @property
+    def pending(self) -> int:
+        """Entries buffered in shards, not yet merged."""
+        total = 0
+        for shard in self._shards:
+            with shard.lock:
+                total += len(shard.buffer)
+        return total
+
+    @property
+    def index(self) -> PivotIndex:
+        """The merged pivot index (drained state only)."""
+        return self._index
+
+    def append(self, items: Iterable[LogEntry | Query | str]) -> tuple[LogEntry, ...]:
+        """Buffer a batch across the shards (no distance work).
+
+        Ids are assigned atomically for the whole batch, so a batch is
+        contiguous in the merged order even under concurrent appends.
+        Returns the normalized entries, making the matrix a
+        :class:`~repro.cryptdb.proxy.StreamSink`.
+        """
+        batch = tuple(StreamingQueryLog._normalize(item) for item in items)
+        if not batch:
+            return batch
+        with self._id_lock:
+            start = self._next_id
+            self._next_id += len(batch)
+        per_shard: dict[int, list[tuple[int, LogEntry]]] = {}
+        for offset, entry in enumerate(batch):
+            item_id = start + offset
+            per_shard.setdefault(item_id % len(self._shards), []).append(
+                (item_id, entry)
+            )
+        for shard_id, chunk in per_shard.items():
+            shard = self._shards[shard_id]
+            with shard.lock:
+                shard.buffer.extend(chunk)
+        return batch
+
+    def drain(self) -> int:
+        """Merge all buffered entries into the index, in global id order.
+
+        Returns the number of entries merged.  Idempotent and cheap when
+        nothing is pending; every artefact accessor calls it first.
+        """
+        with self._merge_lock:
+            pending: list[tuple[int, LogEntry]] = []
+            for shard in self._shards:
+                with shard.lock:
+                    if shard.buffer:
+                        pending.extend(shard.buffer)
+                        shard.buffer = []
+            if not pending:
+                return 0
+            pending.sort(key=lambda pair: pair[0])
+            entries = tuple(entry for _, entry in pending)
+            self._log.append(entries)
+            characteristics = self._measure.characteristics(
+                [entry.query for entry in entries], self._context
+            )
+            # The per-context memo snapshots the log by identity; drop it so
+            # the next drain (over the grown log) recharacterises correctly.
+            self._measure.invalidate_cache(self._context)
+            for (item_id, _), characteristic in zip(pending, characteristics):
+                self._index.add(item_id, characteristic)
+            return len(pending)
+
+    # -- artefact accessors ------------------------------------------------ #
+
+    def item_ids(self) -> tuple[int, ...]:
+        """All merged item ids, ascending (drains first)."""
+        with self._merge_lock:
+            self.drain()
+            return self._index.item_ids()
+
+    def dbscan(self) -> tuple[DbscanResult, CandidateStats]:
+        """DBSCAN over every appended entry (drains first)."""
+        with self._merge_lock:
+            self.drain()
+            return approx_dbscan(
+                self._index,
+                eps=self._dbscan_eps,
+                min_points=self._dbscan_min_points,
+                max_candidates=self._max_candidates,
+            )
+
+    def outliers(self) -> tuple[OutlierResult, CandidateStats]:
+        """DB(p, D)-outliers over every appended entry (drains first)."""
+        with self._merge_lock:
+            self.drain()
+            return approx_outliers(
+                self._index,
+                p=self._outlier_p,
+                d=self._outlier_d,
+                max_candidates=self._max_candidates,
+            )
+
+    def knn(self, item_id: int) -> tuple[tuple[int, ...], CandidateStats]:
+        """The ``knn_k`` nearest entries of ``item_id`` (drains first)."""
+        with self._merge_lock:
+            self.drain()
+            return approx_knn(
+                self._index,
+                item_id,
+                k=min(self._knn_k, max(self._index.n_items - 1, 1)),
+                max_candidates=self._max_candidates,
+            )
+
+    def knn_all(self) -> tuple[dict[int, tuple[int, ...]], CandidateStats]:
+        """The nearest neighbours of every entry, keyed by id (drains first)."""
+        with self._merge_lock:
+            self.drain()
+            return approx_knn_all(
+                self._index,
+                k=min(self._knn_k, max(self._index.n_items - 1, 1)),
+                max_candidates=self._max_candidates,
+            )
+
+
+__all__ = ["ShardedIncrementalMatrix"]

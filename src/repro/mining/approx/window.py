@@ -1,0 +1,330 @@
+"""Sliding-window streaming logs with pivot-indexed mining.
+
+An unbounded :class:`~repro.mining.incremental.StreamingQueryLog` grows its
+artefacts forever; a :class:`SlidingWindowQueryLog` caps the live set at
+``window`` entries, evicting one entry per overflow.  Eviction is governed
+by a *decay* parameter: ``decay = 0`` is plain FIFO (always evict the
+oldest), while ``0 < decay < 1`` evicts a geometrically age-biased victim —
+the entry ``a`` positions from the oldest is chosen with probability
+proportional to ``decay^a`` — so recent entries survive longer in
+expectation but old entries are not immortal.  The draw comes from a
+``random.Random(seed)`` owned by the log, never module-level state, so a
+fixed seed and append sequence replays the identical eviction (and
+therefore mining) history.
+
+:class:`ApproxStreamMiner` subscribes to such a window and maintains a
+:class:`~repro.mining.approx.pivots.PivotIndex` over exactly the live
+entries — evictions remove items, so the pivot table stays O(window · m)
+no matter how long the stream runs.  The miner satisfies the
+:class:`~repro.cryptdb.proxy.StreamSink` protocol, so
+:meth:`~repro.cryptdb.proxy.ProxySession.stream` can feed encrypted queries
+straight into windowed sublinear mining.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from collections.abc import Callable, Iterable
+from typing import TYPE_CHECKING
+
+from repro.exceptions import MiningError
+from repro.mining.approx.algorithms import (
+    approx_dbscan,
+    approx_knn,
+    approx_knn_all,
+    approx_outliers,
+)
+from repro.mining.approx.pivots import CandidateStats, PivotIndex
+from repro.mining.dbscan import DbscanResult
+from repro.mining.incremental import StreamingQueryLog
+from repro.mining.outliers import OutlierResult
+from repro.sql.ast import Query
+from repro.sql.log import LogEntry
+
+if TYPE_CHECKING:  # pragma: no cover - cycle guard
+    from repro.core.dpe import DistanceMeasure
+    from repro.core.domains import DomainCatalog
+    from repro.db.database import Database
+
+
+class SlidingWindowQueryLog(StreamingQueryLog):
+    """A streaming log holding at most ``window`` live entries.
+
+    Each entry receives a monotonically increasing *id* at append time; ids
+    are stable for the entry's lifetime and are how window-aware consumers
+    (the :class:`ApproxStreamMiner`) track evictions.  Plain positional
+    indexing still works — positions shift as entries leave, so consumers
+    that assume append-only growth (the unbounded
+    :class:`~repro.mining.incremental.IncrementalDistanceMatrix`) must not
+    subscribe to a window; use the id-aware subscriptions instead.
+
+    Appends, eviction draws and all subscriber notifications run atomically
+    under the inherited :attr:`~repro.mining.incremental.StreamingQueryLog.lock`.
+    """
+
+    def __init__(
+        self,
+        entries: Iterable[LogEntry] = (),
+        *,
+        window: int,
+        decay: float = 0.0,
+        seed: int = 0,
+    ) -> None:
+        if window < 1:
+            raise MiningError("window must be at least 1")
+        if not 0.0 <= decay < 1.0:
+            raise MiningError("decay must lie in [0, 1)")
+        super().__init__(())
+        self._window = window
+        self._decay = decay
+        self._eviction_rng = random.Random(seed)
+        self._ids: list[int] = []
+        self._next_id = 0
+        self._evicted = 0
+        self._id_subscribers: list[
+            Callable[[tuple[int, ...], tuple[LogEntry, ...]], None]
+        ] = []
+        self._eviction_subscribers: list[
+            Callable[[tuple[tuple[int, LogEntry], ...]], None]
+        ] = []
+        if entries:
+            self.append(entries)
+
+    @property
+    def window(self) -> int:
+        """Maximum number of live entries."""
+        return self._window
+
+    @property
+    def decay(self) -> float:
+        """Eviction age bias (0 = FIFO, towards 1 = nearly uniform)."""
+        return self._decay
+
+    @property
+    def evictions(self) -> int:
+        """Total entries evicted so far."""
+        with self._lock:
+            return self._evicted
+
+    @property
+    def total_appended(self) -> int:
+        """Total entries ever appended (live + evicted)."""
+        with self._lock:
+            return self._next_id
+
+    def live_ids(self) -> tuple[int, ...]:
+        """The ids of the live entries, oldest first (ascending)."""
+        with self._lock:
+            return tuple(self._ids)
+
+    def subscribe_with_ids(
+        self, callback: Callable[[tuple[int, ...], tuple[LogEntry, ...]], None]
+    ) -> None:
+        """Register ``callback(ids, batch)`` for every future appended batch."""
+        with self._lock:
+            self._id_subscribers.append(callback)
+
+    def subscribe_evictions(
+        self, callback: Callable[[tuple[tuple[int, LogEntry], ...]], None]
+    ) -> None:
+        """Register ``callback(((id, entry), ...))`` for every eviction round."""
+        with self._lock:
+            self._eviction_subscribers.append(callback)
+
+    def append(self, items: Iterable[LogEntry | Query | str]) -> tuple[LogEntry, ...]:
+        """Append a batch, then evict down to the window capacity.
+
+        Append subscribers (positional and id-aware) observe the grown log
+        *before* eviction; eviction subscribers run after, still inside the
+        same atomic step, so derived state never sees a half-applied batch.
+        """
+        batch = tuple(self._normalize(item) for item in items)
+        if not batch:
+            return batch
+        with self._lock:
+            start = self._next_id
+            ids = tuple(range(start, start + len(batch)))
+            self._next_id += len(batch)
+            self._entries.extend(batch)
+            self._ids.extend(ids)
+            self._appends += 1
+            for callback in self._subscribers:
+                callback(batch)
+            for id_callback in self._id_subscribers:
+                id_callback(ids, batch)
+            evicted = self._evict_overflow()
+            if evicted:
+                for eviction_callback in self._eviction_subscribers:
+                    eviction_callback(evicted)
+        return batch
+
+    def _evict_overflow(self) -> tuple[tuple[int, LogEntry], ...]:
+        evicted: list[tuple[int, LogEntry]] = []
+        while len(self._entries) > self._window:
+            live = len(self._entries)
+            if self._decay <= 0.0:
+                position = 0
+            else:
+                draw = self._eviction_rng.random()
+                # Inverse-CDF of the geometric distribution with success
+                # probability (1 - decay): age rank a (0 = oldest) is evicted
+                # with weight decay^a, clamped to the live set — old entries
+                # go preferentially, recent ones survive in expectation.
+                position = min(
+                    int(math.log(max(draw, 1e-300)) / math.log(self._decay)),
+                    live - 1,
+                )
+            evicted.append((self._ids.pop(position), self._entries.pop(position)))
+            self._evicted += 1
+        return tuple(evicted)
+
+
+class ApproxStreamMiner:
+    """Pivot-indexed mining artefacts over a sliding window's live entries.
+
+    Subscribes to a :class:`SlidingWindowQueryLog` (creating one when none
+    is given) and keeps a :class:`~repro.mining.approx.pivots.PivotIndex`
+    in lock-step with it: appended entries are characterised in batch and
+    added under their window ids, evicted entries are removed.  The miner
+    is a :class:`~repro.cryptdb.proxy.StreamSink` — :meth:`append` forwards
+    to the window — and every accessor runs under the window's lock, so
+    results always reflect a complete prefix of appends.
+
+    Mining parameters mirror
+    :class:`~repro.mining.incremental.IncrementalDistanceMatrix`; each
+    accessor returns ``(result, stats)`` where the stats certify bit-for-bit
+    equality with the exact pipeline over the live entries (in id order)
+    unless ``max_candidates`` capped a query.
+    """
+
+    def __init__(
+        self,
+        measure: "DistanceMeasure",
+        window_log: SlidingWindowQueryLog | None = None,
+        *,
+        window: int = 1024,
+        decay: float = 0.0,
+        seed: int = 0,
+        n_pivots: int = 8,
+        max_candidates: int | None = None,
+        database: "Database | None" = None,
+        domains: "DomainCatalog | None" = None,
+        knn_k: int = 3,
+        outlier_p: float = 0.95,
+        outlier_d: float = 0.9,
+        dbscan_eps: float = 0.5,
+        dbscan_min_points: int = 3,
+    ) -> None:
+        from repro.core.dpe import LogContext
+
+        if window_log is None:
+            window_log = SlidingWindowQueryLog(window=window, decay=decay, seed=seed)
+        self._measure = measure
+        self._window_log = window_log
+        self._context = LogContext(log=window_log, database=database, domains=domains)
+        self._index = PivotIndex(measure, n_pivots=n_pivots, seed=seed)
+        self._max_candidates = max_candidates
+        self._knn_k = knn_k
+        self._outlier_p = outlier_p
+        self._outlier_d = outlier_d
+        self._dbscan_eps = dbscan_eps
+        self._dbscan_min_points = dbscan_min_points
+        with window_log.lock:
+            window_log.subscribe_with_ids(self._on_append)
+            window_log.subscribe_evictions(self._on_evict)
+            live = window_log.live_ids()
+            if live:
+                self._ingest(live, tuple(window_log))
+
+    @property
+    def window_log(self) -> SlidingWindowQueryLog:
+        """The sliding window feeding this miner."""
+        return self._window_log
+
+    @property
+    def index(self) -> PivotIndex:
+        """The maintained pivot index (live entries only)."""
+        return self._index
+
+    @property
+    def n_items(self) -> int:
+        """Number of live (indexed) entries."""
+        with self._window_log.lock:
+            return self._index.n_items
+
+    def item_ids(self) -> tuple[int, ...]:
+        """Live window ids, ascending — the positional order of results."""
+        with self._window_log.lock:
+            return self._index.item_ids()
+
+    def append(self, items: Iterable[LogEntry | Query | str]) -> tuple[LogEntry, ...]:
+        """Append a batch to the window (and thus to the index).
+
+        Makes the miner a :class:`~repro.cryptdb.proxy.StreamSink`, so a
+        proxy session can stream rewritten queries directly into windowed
+        mining.
+        """
+        return self._window_log.append(items)
+
+    def _on_append(self, ids: tuple[int, ...], batch: tuple[LogEntry, ...]) -> None:
+        self._ingest(ids, batch)
+
+    def _ingest(self, ids: tuple[int, ...], batch: tuple[LogEntry, ...]) -> None:
+        characteristics = self._measure.characteristics(
+            [entry.query for entry in batch], self._context
+        )
+        # The measure's per-context memo snapshots the log by identity and
+        # cannot see growth or eviction; drop it so batch calls stay correct.
+        self._measure.invalidate_cache(self._context)
+        for item_id, characteristic in zip(ids, characteristics):
+            self._index.add(item_id, characteristic)
+
+    def _on_evict(self, evicted: tuple[tuple[int, LogEntry], ...]) -> None:
+        for item_id, _entry in evicted:
+            self._index.remove(item_id)
+        self._measure.invalidate_cache(self._context)
+
+    # -- artefact accessors ------------------------------------------------ #
+
+    def dbscan(self) -> tuple[DbscanResult, CandidateStats]:
+        """DBSCAN over the live window (positional over ascending ids)."""
+        with self._window_log.lock:
+            return approx_dbscan(
+                self._index,
+                eps=self._dbscan_eps,
+                min_points=self._dbscan_min_points,
+                max_candidates=self._max_candidates,
+            )
+
+    def outliers(self) -> tuple[OutlierResult, CandidateStats]:
+        """DB(p, D)-outliers over the live window."""
+        with self._window_log.lock:
+            return approx_outliers(
+                self._index,
+                p=self._outlier_p,
+                d=self._outlier_d,
+                max_candidates=self._max_candidates,
+            )
+
+    def knn(self, item_id: int) -> tuple[tuple[int, ...], CandidateStats]:
+        """The ``knn_k`` nearest live items of window id ``item_id``."""
+        with self._window_log.lock:
+            return approx_knn(
+                self._index,
+                item_id,
+                k=min(self._knn_k, max(self._index.n_items - 1, 1)),
+                max_candidates=self._max_candidates,
+            )
+
+    def knn_all(self) -> tuple[dict[int, tuple[int, ...]], CandidateStats]:
+        """The nearest neighbours of every live item, keyed by window id."""
+        with self._window_log.lock:
+            return approx_knn_all(
+                self._index,
+                k=min(self._knn_k, max(self._index.n_items - 1, 1)),
+                max_candidates=self._max_candidates,
+            )
+
+
+__all__ = ["ApproxStreamMiner", "SlidingWindowQueryLog"]

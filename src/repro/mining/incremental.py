@@ -52,6 +52,7 @@ from repro.exceptions import MiningError
 from repro.mining.dbscan import NOISE, DbscanResult
 from repro.mining.matrix import CondensedDistanceMatrix
 from repro.mining.outliers import OutlierResult
+from repro.mining.selection import largest_indices, smallest_indices
 from repro.sql.ast import Query
 from repro.sql.log import LogEntry, QueryLog
 from repro.sql.parser import parse_query
@@ -216,6 +217,9 @@ class IncrementalDistanceMatrix:
         self._far_counts: list[int] = []
         #: Per item: sorted indices with d <= dbscan_eps (including itself).
         self._neighborhoods: list[list[int]] = []
+        #: Per-k memo of the top_outliers score vector, valid for the current
+        #: item count only — cleared on every append.
+        self._scores_cache: dict[int, np.ndarray] = {}
         self.pairs_computed = 0
 
         # Atomic subscribe-and-catch-up: a batch appended between the
@@ -279,6 +283,7 @@ class IncrementalDistanceMatrix:
         n_old = self._n
         n_new = n_old + k
         self._grow_storage(n_new)
+        self._scores_cache.clear()
         new_characteristics = self._measure.characteristics(
             [entry.query for entry in batch], self._context
         )
@@ -317,7 +322,10 @@ class IncrementalDistanceMatrix:
 
         For an existing item the true k nearest of the grown set are a
         subset of its old k nearest plus the new items (anything else was
-        already beaten by the old k-th).  New items consider everyone.
+        already beaten by the old k-th).  New items consider everyone, via
+        :func:`~repro.mining.selection.smallest_indices` — O(n) partial
+        selection with the same ``(distance, index)`` tie-break a full sort
+        would apply.
         """
         n_new = n_old + k
         square = self._square
@@ -330,11 +338,12 @@ class IncrementalDistanceMatrix:
             candidates.sort()
             self._knn[i] = candidates[: min(limit, n_new - 1)]
         for j in new_indices:
-            candidates = [
-                (float(square[j, other]), other) for other in range(n_new) if other != j
-            ]
-            candidates.sort()
-            self._knn[j] = candidates[: min(limit, n_new - 1)]
+            row = square[j, :n_new].copy()
+            # Distances live in [0, 1], so +inf excludes the item itself
+            # from selection without shifting any tie-break.
+            row[j] = np.inf
+            chosen = smallest_indices(row, min(limit, n_new - 1))
+            self._knn[j] = [(float(row[other]), int(other)) for other in chosen]
 
     # -- artefact accessors ----------------------------------------------- #
 
@@ -399,7 +408,11 @@ class IncrementalDistanceMatrix:
 
         ``k`` defaults to the maintained ``knn_k`` and must not exceed it —
         the k-th nearest distance of anything beyond the maintained horizon
-        is unknown without recomputation.
+        is unknown without recomputation.  The score vector is memoized per
+        append (repeated calls between appends gather no scores) and ranked
+        by :func:`~repro.mining.selection.largest_indices` — partial
+        selection under the same ``(-score, index)`` order the previous
+        full-sort implementation applied.
         """
         with self._stream.lock:
             self._require_items(2)
@@ -412,9 +425,11 @@ class IncrementalDistanceMatrix:
                 raise MiningError(f"k must be between 1 and {self._n - 1}")
             if not 1 <= n_outliers <= self._n:
                 raise MiningError(f"n_outliers must be between 1 and {self._n}")
-            scores = [self._knn[i][k - 1][0] for i in range(self._n)]
-            order = sorted(range(self._n), key=lambda i: (-scores[i], i))
-            return tuple(order[:n_outliers])
+            scores = self._scores_cache.get(k)
+            if scores is None:
+                scores = np.array([self._knn[i][k - 1][0] for i in range(self._n)])
+                self._scores_cache[k] = scores
+            return tuple(int(i) for i in largest_indices(scores, n_outliers))
 
     def dbscan(self) -> DbscanResult:
         """DBSCAN labels over the maintained ε-graph (equal to a batch run).

@@ -40,6 +40,7 @@ from repro.api.config import ServerConfig, ServiceConfig
 from repro.api.errors import ConfigError, ServerError
 from repro.api.results import WorkloadResult
 from repro.api.service import EncryptedMiningService
+from repro.core.dpe import LogContext
 from repro.crypto.keys import KeyChain
 from repro.cryptdb.proxy import JoinGroupSpec, StreamSink
 from repro.db.database import Database
@@ -257,6 +258,26 @@ class MiningServer:
         return self._admit(
             lambda: handle.stream(queries, into=into), wait=True, timeout=timeout
         )
+
+    def mine(
+        self,
+        tenant: str,
+        context: LogContext | QueryLog | Iterable[Query | str],
+        *,
+        wait: bool = True,
+        timeout: float | None = None,
+    ) -> "Future[object]":
+        """Admit one mining run for ``tenant`` and return its future.
+
+        The future resolves to the tenant's
+        :class:`~repro.api.MiningResult`; the tenant's own
+        :class:`~repro.api.MiningConfig` decides between the exact matrix
+        pipeline and the pivot-indexed sublinear path (``approx=True``).
+        Admission follows :meth:`submit`'s contract: a full queue blocks
+        for ``timeout`` seconds, or rejects immediately with ``wait=False``.
+        """
+        handle = self.tenant(tenant)
+        return self._admit(lambda: handle.mine(context), wait=wait, timeout=timeout)
 
     # -- metrics ----------------------------------------------------------- #
 

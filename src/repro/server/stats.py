@@ -74,6 +74,7 @@ class TenantStats:
     queries_skipped: int
     batches_streamed: int
     workloads_completed: int
+    mining_runs: int
     failures: int
     crypto: dict[str, object]
     exposure: dict[str, object]
@@ -87,6 +88,7 @@ class TenantStats:
             "queries_skipped": self.queries_skipped,
             "batches_streamed": self.batches_streamed,
             "workloads_completed": self.workloads_completed,
+            "mining_runs": self.mining_runs,
             "failures": self.failures,
             "crypto": self.crypto,
             "exposure": self.exposure,

@@ -21,8 +21,9 @@ import threading
 from collections.abc import Iterable
 
 from repro.api.errors import ServerError
-from repro.api.results import ExposureReport, WorkloadResult
+from repro.api.results import ExposureReport, MiningResult, WorkloadResult
 from repro.api.service import EncryptedMiningService, ServiceSession
+from repro.core.dpe import DistanceMeasure, LogContext
 from repro.cryptdb.proxy import StreamSink
 from repro.server.stats import TenantStats
 from repro.sql.ast import Query
@@ -63,6 +64,7 @@ class TenantHandle:
         self._queries_skipped = 0
         self._batches_streamed = 0
         self._workloads_completed = 0
+        self._mining_runs = 0
         self._failures = 0
         self._closed = False
 
@@ -144,6 +146,32 @@ class TenantHandle:
             self._queries_served += len(encrypted)
         return encrypted
 
+    def mine(
+        self,
+        context: LogContext | QueryLog | Iterable[Query | str],
+        *,
+        measure: DistanceMeasure | None = None,
+    ) -> MiningResult:
+        """Mine a log through the tenant's service, updating counters.
+
+        Delegates to :meth:`~repro.api.EncryptedMiningService.mine`, so the
+        tenant's :class:`~repro.api.MiningConfig` decides between the exact
+        matrix pipeline and the pivot-indexed sublinear path
+        (``approx=True`` — the result then carries ``candidate_stats``).
+        """
+        with self._lock:
+            if self._closed:
+                raise ServerError(f"tenant {self._name!r} has been closed")
+        try:
+            result = self._service.mine(context, measure=measure)
+        except BaseException:
+            with self._lock:
+                self._failures += 1
+            raise
+        with self._lock:
+            self._mining_runs += 1
+        return result
+
     def stats(self) -> TenantStats:
         """A snapshot of this tenant's counters, crypto stats and exposure."""
         with self._lock:
@@ -151,6 +179,7 @@ class TenantHandle:
             skipped = self._queries_skipped
             streamed = self._batches_streamed
             completed = self._workloads_completed
+            mined = self._mining_runs
             failures = self._failures
         return TenantStats(
             tenant=self._name,
@@ -159,6 +188,7 @@ class TenantHandle:
             queries_skipped=skipped,
             batches_streamed=streamed,
             workloads_completed=completed,
+            mining_runs=mined,
             failures=failures,
             crypto=self.crypto_stats(),
             exposure=_exposure_to_dict(self.exposure_report()),

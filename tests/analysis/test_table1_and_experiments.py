@@ -51,7 +51,7 @@ class TestTable1:
 class TestExperimentRegistry:
     def test_all_experiments_registered(self):
         ids = {experiment_id for experiment_id, _ in list_experiments()}
-        assert ids == {"T1", "F1", "E1", "E2", "E3", "E4", "S1", "P1", "P2", "P3", "P4", "A1"}
+        assert ids == {"T1", "F1", "E1", "E2", "E3", "E4", "S1", "P1", "P2", "P3", "P4", "P6", "A1"}
 
     def test_unknown_experiment_rejected(self):
         with pytest.raises(AnalysisError):
@@ -94,6 +94,13 @@ class TestExperimentRegistry:
         outcome = run_experiment("P2", sizes=(6, 10))
         assert outcome.success
         assert set(outcome.data["series"]) == {6, 10}
+
+    def test_small_p6_run(self):
+        outcome = run_experiment("P6", log_size=90, distinct=18, shards=3)
+        assert outcome.success
+        assert outcome.data["bit_for_bit"] and outcome.data["sharded_equal"]
+        assert outcome.data["recall"] == 1.0 and outcome.data["ari"] == 1.0
+        assert outcome.data["stats"]["certified_complete"] is True
 
     def test_small_p4_run(self):
         outcome = run_experiment("P4", values=20, key_bits=128, pool_size=20, ope_values=150)

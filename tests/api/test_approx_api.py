@@ -1,0 +1,164 @@
+"""The sublinear mining path through the public facade and the server.
+
+The approx layer must be reachable end to end *through* ``repro.api``: the
+``MiningConfig`` knobs select it, ``mine(approx=True)`` returns the same
+typed :class:`MiningResult` (matrix-less, stats-carrying) bit-for-bit equal
+to the exact path, the ``approx_miner()`` / ``sharded_miner()`` builders
+are real :class:`StreamSink` targets for ``service.stream``, and
+``MiningServer.mine`` serves it per tenant with its own counter.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.api import (
+    ApiError,
+    BackendConfig,
+    CandidateStats,
+    ConfigError,
+    CryptoConfig,
+    EncryptedMiningService,
+    MiningConfig,
+    MiningServer,
+    ServerConfig,
+    ServiceConfig,
+    WorkloadConfig,
+)
+
+APPROX_MINING = dict(
+    measure="token", knn_k=3, outlier_p=0.9, outlier_d=0.6, dbscan_eps=0.5,
+    dbscan_min_points=3,
+)
+
+
+def _config(**mining_overrides) -> ServiceConfig:
+    return ServiceConfig(
+        crypto=CryptoConfig(passphrase="approx-api-tests", paillier_bits=256),
+        backend=BackendConfig(name="memory", on_unsupported="skip"),
+        workload=WorkloadConfig(size=24, seed=5),
+        mining=MiningConfig(**{**APPROX_MINING, **mining_overrides}),
+    )
+
+
+@pytest.fixture(scope="module")
+def encrypted_log():
+    """One served workload's encrypted log, shared by the module."""
+    service = EncryptedMiningService(_config())
+    service.encrypt(service.build_database())
+    result = service.run_workload(service.generate_workload())
+    return result.encrypted_log()
+
+
+class TestMiningConfigKnobs:
+    def test_defaults_keep_the_exact_path(self):
+        mining = MiningConfig()
+        assert mining.approx is False
+        assert mining.pivots == 8
+        assert mining.window is None
+        assert mining.window_decay == 0.0
+        assert mining.shards == 4
+        assert mining.max_candidates is None
+        assert mining.seed == 0
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            dict(approx="yes"),
+            dict(pivots=0),
+            dict(window=0),
+            dict(window_decay=1.0),
+            dict(window_decay=-0.2),
+            dict(shards=0),
+            dict(max_candidates=0),
+            dict(seed="zero"),
+            dict(seed=True),
+        ],
+    )
+    def test_invalid_knobs_rejected(self, kwargs):
+        with pytest.raises(ConfigError):
+            MiningConfig(**kwargs)
+
+
+class TestApproxMine:
+    def test_approx_equals_exact_bit_for_bit(self, encrypted_log):
+        exact = EncryptedMiningService(_config()).mine(encrypted_log)
+        approx = EncryptedMiningService(
+            _config(approx=True, pivots=5, seed=3)
+        ).mine(encrypted_log)
+        assert approx.matrix is None
+        assert exact.matrix is not None
+        stats = approx.candidate_stats
+        assert isinstance(stats, CandidateStats) and stats.certified_complete
+        assert approx.clusters == exact.clusters
+        assert approx.outliers == exact.outliers
+        assert approx.knn == exact.knn
+        assert approx.n_items == exact.n_items
+        assert approx.labels == exact.labels
+        assert exact.candidate_stats is None
+
+    def test_capped_mine_loses_the_certificate(self, encrypted_log):
+        capped = EncryptedMiningService(
+            _config(approx=True, pivots=1, max_candidates=1)
+        ).mine(encrypted_log)
+        assert capped.candidate_stats is not None
+        assert not capped.candidate_stats.certified_complete
+
+    def test_mining_failures_stay_api_errors(self):
+        service = EncryptedMiningService(_config(approx=True))
+        with pytest.raises(ApiError):
+            service.mine([])
+
+
+class TestStreamingMiners:
+    def test_approx_miner_is_a_stream_sink(self, encrypted_log):
+        service = EncryptedMiningService(
+            _config(approx=True, window=16, pivots=4, seed=2)
+        )
+        service.encrypt(service.build_database())
+        miner = service.approx_miner()
+        assert miner.window_log.window == 16
+        service.stream([service.generate_workload()], into=miner)
+        assert 0 < miner.n_items <= 16
+        clusters, stats = miner.dbscan()
+        assert stats.certified_complete
+        assert len(clusters.labels) == miner.n_items
+
+    def test_sharded_miner_defers_distance_work_until_mining(self, encrypted_log):
+        service = EncryptedMiningService(_config(approx=True, shards=3, pivots=4))
+        service.encrypt(service.build_database())
+        sharded = service.sharded_miner()
+        assert sharded.n_shards == 3
+        service.stream([service.generate_workload()], into=sharded)
+        assert sharded.pending > 0
+        assert sharded.n_items == 0
+        outliers, stats = sharded.outliers()
+        assert sharded.pending == 0
+        assert stats.certified_complete
+        assert len(outliers.fraction_far) == sharded.n_items
+
+
+class TestServerMine:
+    def test_server_mines_per_tenant_and_counts_runs(self, encrypted_log):
+        with MiningServer(ServerConfig(workers=2)) as server:
+            server.add_tenant("alpha", _config(approx=True, pivots=5, seed=3))
+            server.add_tenant("beta", _config())
+            approx = server.mine("alpha", encrypted_log).result()
+            exact = server.mine("beta", encrypted_log).result()
+            assert approx.candidate_stats is not None
+            assert exact.candidate_stats is None
+            assert approx.clusters == exact.clusters
+            assert approx.knn == exact.knn
+            stats = server.stats()
+            assert stats.for_tenant("alpha").mining_runs == 1
+            assert stats.for_tenant("beta").mining_runs == 1
+            assert server.metrics()["tenants"]["alpha"]["mining_runs"] == 1
+
+    def test_failed_mine_counts_as_failure(self, encrypted_log):
+        with MiningServer(ServerConfig(workers=1)) as server:
+            server.add_tenant("alpha", _config(approx=True))
+            with pytest.raises(ApiError):
+                server.mine("alpha", []).result()
+            tenant = server.stats().for_tenant("alpha")
+            assert tenant.failures == 1
+            assert tenant.mining_runs == 0

@@ -22,16 +22,18 @@ import repro.api
 
 REPO_ROOT = Path(__file__).resolve().parents[2]
 
-#: The frozen public surface (PR 6 added the serving layer).  Changing this
-#: set is an API decision: update the snapshot *and* the README "Public API"
-#: section together.
+#: The frozen public surface (PR 6 added the serving layer, PR 7 the
+#: sublinear mining layer).  Changing this set is an API decision: update
+#: the snapshot *and* the README "Public API" section together.
 EXPECTED_SURFACE = frozenset(
     {
         "API_VERSION",
         "AccessAreaDistance",
         "AccessAreaDpeScheme",
         "ApiError",
+        "ApproxStreamMiner",
         "BackendConfig",
+        "CandidateStats",
         "ColumnExposure",
         "CondensedDistanceMatrix",
         "ConfigError",
@@ -52,6 +54,7 @@ EXPECTED_SURFACE = frozenset(
         "MiningResult",
         "MiningServer",
         "OutlierResult",
+        "PivotIndex",
         "QueryLog",
         "QueryLogGenerator",
         "QueryRejected",
@@ -66,6 +69,8 @@ EXPECTED_SURFACE = frozenset(
         "ServiceError",
         "ServiceSession",
         "SessionError",
+        "ShardedIncrementalMatrix",
+        "SlidingWindowQueryLog",
         "StreamSink",
         "StreamingQueryLog",
         "StructureDistance",

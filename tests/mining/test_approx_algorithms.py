@@ -1,0 +1,177 @@
+"""Pivot-pruned mining vs the exact pipeline: bit-for-bit, all four measures.
+
+The exactness claim of :mod:`repro.mining.approx` — certified results equal
+the exact pipeline's — is checked literally here: DBSCAN labels, core
+points and cluster count, outlier indices *and* fractions, and every kNN
+row must be ``==`` to what the matrix-based algorithms produce on the same
+(duplicate-heavy) log, for the token, structure, result and access-area
+measures, across several parameter settings.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.dpe import LogContext
+from repro.core.measures import (
+    AccessAreaDistance,
+    ResultDistance,
+    StructureDistance,
+    TokenDistance,
+)
+from repro.exceptions import MiningError
+from repro.mining import (
+    PivotIndex,
+    approx_dbscan,
+    approx_knn,
+    approx_knn_all,
+    approx_outliers,
+    dbscan,
+    distance_based_outliers,
+    k_nearest_neighbors,
+)
+from repro.sql.log import QueryLog
+from repro.workloads.generator import QueryLogGenerator, WorkloadMix
+
+
+def _duplicate_heavy(log, extra=15):
+    """A log whose tail repeats earlier entries (real logs repeat templates)."""
+    entries = list(log)
+    return QueryLog(entries + entries[:extra])
+
+
+@pytest.fixture(scope="module")
+def measure_cases(request):
+    """(measure factory, context) per measure, built once for the module."""
+    webshop = request.getfixturevalue("webshop")
+    webshop_database = request.getfixturevalue("webshop_database")
+    skyserver = request.getfixturevalue("skyserver")
+    token_log = _duplicate_heavy(
+        QueryLogGenerator(webshop, WorkloadMix(), seed=31).generate(35)
+    )
+    result_log = _duplicate_heavy(
+        QueryLogGenerator(webshop, WorkloadMix.spj_only(), seed=31).generate(20), 8
+    )
+    access_log = _duplicate_heavy(
+        QueryLogGenerator(skyserver, WorkloadMix.analytical(), seed=31).generate(25), 10
+    )
+    return {
+        "token": (TokenDistance, LogContext(log=token_log)),
+        "structure": (StructureDistance, LogContext(log=token_log)),
+        "result": (
+            ResultDistance,
+            LogContext(log=result_log, database=webshop_database),
+        ),
+        "access-area": (
+            AccessAreaDistance,
+            LogContext(log=access_log, domains=skyserver.domain_catalog()),
+        ),
+    }
+
+
+MEASURES = ["token", "structure", "result", "access-area"]
+
+
+def _exact_artefacts(measure, context, *, eps, min_points, p, d, k):
+    matrix = measure.condensed_distance_matrix(context)
+    clusters = dbscan(matrix, eps=eps, min_points=min_points)
+    outliers = distance_based_outliers(matrix, p=p, d=d)
+    knn = {i: k_nearest_neighbors(matrix, i, k=k) for i in range(matrix.n)}
+    return clusters, outliers, knn
+
+
+@pytest.mark.parametrize("name", MEASURES)
+class TestBitForBitEquality:
+    @pytest.mark.parametrize("eps,min_points", [(0.25, 2), (0.5, 3), (0.75, 5)])
+    def test_dbscan(self, measure_cases, name, eps, min_points):
+        factory, context = measure_cases[name]
+        exact = dbscan(
+            factory().condensed_distance_matrix(context), eps=eps, min_points=min_points
+        )
+        index = PivotIndex.from_context(factory(), context, n_pivots=5, seed=4)
+        approx, stats = approx_dbscan(index, eps=eps, min_points=min_points)
+        assert stats.certified_complete
+        assert approx.labels == exact.labels
+        assert approx.core_points == exact.core_points
+        assert approx.n_clusters == exact.n_clusters
+
+    @pytest.mark.parametrize("p,d", [(0.7, 0.45), (0.9, 0.8), (0.99, 0.1)])
+    def test_outliers_including_fractions(self, measure_cases, name, p, d):
+        factory, context = measure_cases[name]
+        exact = distance_based_outliers(
+            factory().condensed_distance_matrix(context), p=p, d=d
+        )
+        index = PivotIndex.from_context(factory(), context, n_pivots=5, seed=4)
+        approx, stats = approx_outliers(index, p=p, d=d)
+        assert stats.certified_complete
+        assert approx.outliers == exact.outliers
+        assert approx.fraction_far == exact.fraction_far  # bitwise float equality
+
+    @pytest.mark.parametrize("k", [1, 4])
+    def test_knn_every_item(self, measure_cases, name, k):
+        factory, context = measure_cases[name]
+        matrix = factory().condensed_distance_matrix(context)
+        index = PivotIndex.from_context(factory(), context, n_pivots=5, seed=4)
+        cache: dict = {}
+        all_knn, stats = approx_knn_all(index, k=k, cache=cache)
+        assert stats.certified_complete
+        for item_id in range(matrix.n):
+            assert all_knn[item_id] == k_nearest_neighbors(matrix, item_id, k=k)
+        # The single-item entry point agrees with the all-items one.
+        single, _ = approx_knn(index, 7, k=k, cache=cache)
+        assert single == all_knn[7]
+
+    def test_pruning_actually_happened_for_metric_measures(self, measure_cases, name):
+        factory, context = measure_cases[name]
+        index = PivotIndex.from_context(factory(), context, n_pivots=5, seed=4)
+        _, stats = approx_dbscan(index, eps=0.4, min_points=3)
+        n = stats.n_items
+        all_pairs = n * (n - 1) // 2
+        # Grouping alone collapses the duplicate tail; metric measures must
+        # additionally resolve pairs from the table without evaluation.
+        assert stats.exact_distances < all_pairs
+        if factory().is_metric:
+            assert stats.pruned_pairs + stats.certified_pairs > 0
+
+
+class TestSharedCacheAndValidation:
+    def test_shared_cache_avoids_re_evaluation(self, measure_cases):
+        factory, context = measure_cases["token"]
+        index = PivotIndex.from_context(factory(), context, n_pivots=5, seed=4)
+        cache: dict = {}
+        _, first = approx_dbscan(index, eps=0.5, min_points=3, cache=cache)
+        _, second = approx_outliers(index, p=0.9, d=0.5, cache=cache)
+        # The outlier pass reuses the DBSCAN pass's evaluations at d=0.5.
+        assert second.exact_distances == 0
+
+    def test_parameter_validation_matches_exact_pipeline(self, measure_cases):
+        factory, context = measure_cases["token"]
+        index = PivotIndex.from_context(factory(), context, n_pivots=2, seed=0)
+        with pytest.raises(MiningError):
+            approx_dbscan(index, eps=-0.1, min_points=2)
+        with pytest.raises(MiningError):
+            approx_dbscan(index, eps=0.5, min_points=0)
+        with pytest.raises(MiningError):
+            approx_outliers(index, p=0.0, d=0.5)
+        with pytest.raises(MiningError):
+            approx_outliers(index, p=0.5, d=-1.0)
+        with pytest.raises(MiningError):
+            approx_knn_all(index, k=0)
+        with pytest.raises(MiningError):
+            approx_knn(index, 0, k=index.n_items)
+
+    def test_empty_index_rejected(self):
+        index = PivotIndex(TokenDistance(), n_pivots=2)
+        with pytest.raises(MiningError):
+            approx_dbscan(index, eps=0.5, min_points=2)
+        with pytest.raises(MiningError):
+            approx_outliers(index, p=0.9, d=0.5)
+
+    def test_single_item_outliers(self, sample_context):
+        measure = TokenDistance()
+        chars = measure.prepare(sample_context)
+        index = PivotIndex(measure, n_pivots=2)
+        index.add(0, chars[0])
+        result, stats = approx_outliers(index, p=0.9, d=0.5)
+        assert result.outliers == ()
+        assert result.fraction_far == (0.0,)

@@ -1,0 +1,214 @@
+"""The pivot (landmark) index: bounds, grouping, eviction, determinism.
+
+The index's contract is that every query decision — in-range or not, kNN
+member or not — matches the exact pipeline's ``distance_between`` floats:
+certification and pruning only ever resolve pairs whose bounds put them
+safely on one side of the threshold, and everything else is evaluated
+exactly.  These tests check the query results against brute force over the
+exact distance matrix, plus the structural behaviour (id discipline,
+swap-delete on eviction, non-metric fallback, seeded determinism).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.dpe import LogContext
+from repro.core.measures import AccessAreaDistance, TokenDistance
+from repro.exceptions import MiningError
+from repro.mining.approx import BOUND_TOLERANCE, CandidateStats, PivotIndex
+from repro.workloads.generator import QueryLogGenerator, WorkloadMix
+
+
+def _token_context(webshop, size=40, seed=21):
+    log = QueryLogGenerator(webshop, WorkloadMix(), seed=seed).generate(size)
+    return LogContext(log=log)
+
+
+def _square(measure, context):
+    return measure.condensed_distance_matrix(context).to_square()
+
+
+class TestConstruction:
+    def test_ids_must_strictly_ascend(self, sample_context):
+        measure = TokenDistance()
+        chars = measure.prepare(sample_context)
+        index = PivotIndex(measure, n_pivots=2)
+        index.add(5, chars[0])
+        with pytest.raises(MiningError):
+            index.add(5, chars[1])
+        with pytest.raises(MiningError):
+            index.add(3, chars[1])
+        index.add(9, chars[1])
+        assert index.item_ids() == (5, 9)
+
+    def test_n_pivots_must_be_positive(self):
+        with pytest.raises(MiningError):
+            PivotIndex(TokenDistance(), n_pivots=0)
+
+    def test_duplicates_collapse_into_groups(self, sample_context):
+        measure = TokenDistance()
+        chars = measure.prepare(sample_context)
+        index = PivotIndex(measure, n_pivots=2)
+        for item_id in range(6):
+            index.add(item_id, chars[item_id % 2])  # two characteristics, 6 items
+        assert index.n_items == 6
+        assert index.n_groups == 2
+
+    def test_non_metric_measure_gets_no_pivots(self, sample_context, users_domains):
+        context = LogContext(log=sample_context.log, domains=users_domains)
+        measure = AccessAreaDistance()
+        assert not measure.is_metric
+        index = PivotIndex.from_context(measure, context, n_pivots=8)
+        neighbors, stats = index.range_query(0, 0.5)
+        assert index.n_pivots == 0
+        assert stats.n_pivots == 0
+        assert stats.certified_pairs == 0  # bounds are [0, inf): nothing certified
+
+    def test_pivot_selection_stops_at_distinct_group_count(self, sample_context):
+        measure = TokenDistance()
+        chars = measure.prepare(sample_context)
+        index = PivotIndex(measure, n_pivots=32)
+        for item_id, characteristic in enumerate(chars[:3]):
+            index.add(item_id, characteristic)
+        index.range_query(0, 0.5)
+        assert index.n_pivots <= 3
+
+
+class TestQueriesAgainstBruteForce:
+    @pytest.mark.parametrize("threshold", [0.0, 0.2, 0.45, 0.8, 1.0])
+    def test_range_query_equals_matrix_filter(self, webshop, threshold):
+        context = _token_context(webshop)
+        measure = TokenDistance()
+        index = PivotIndex.from_context(measure, context, n_pivots=6, seed=2)
+        square = _square(measure, context)
+        for item_id in range(0, square.shape[0], 7):
+            expected = tuple(np.flatnonzero(square[item_id] <= threshold))
+            got, stats = index.range_query(item_id, threshold)
+            assert got == tuple(int(i) for i in expected), (item_id, threshold)
+            assert stats.certified_complete
+
+    @pytest.mark.parametrize("k", [1, 3, 7])
+    def test_knn_candidates_cover_the_true_knn(self, webshop, k):
+        from repro.mining import k_nearest_neighbors
+
+        context = _token_context(webshop)
+        measure = TokenDistance()
+        index = PivotIndex.from_context(measure, context, n_pivots=6, seed=2)
+        matrix = measure.condensed_distance_matrix(context)
+        for item_id in range(0, matrix.n, 5):
+            candidates, stats = index.knn_candidates(item_id, k)
+            got = tuple(j for _, j in candidates[:k])
+            assert got == k_nearest_neighbors(matrix, item_id, k=k)
+            assert stats.certified_complete
+
+    def test_max_candidates_cap_drops_the_certificate(self, webshop):
+        context = _token_context(webshop)
+        measure = TokenDistance()
+        index = PivotIndex.from_context(measure, context, n_pivots=1, seed=0)
+        _, uncapped = index.range_query(0, 0.5)
+        if uncapped.exact_distances == 0:
+            pytest.skip("no gap to cap on this log")
+        _, capped = index.range_query(0, 0.5, max_candidates=0)
+        assert not capped.certified_complete
+
+    def test_bound_sandwich_holds_on_live_table(self, webshop):
+        context = _token_context(webshop, size=25)
+        measure = TokenDistance()
+        index = PivotIndex.from_context(measure, context, n_pivots=4, seed=1)
+        index._ensure_pivots()
+        square = _square(measure, context)
+        groups = index._groups
+        for a in range(len(groups)):
+            lower, upper = index._bounds(a)
+            for b in range(len(groups)):
+                d = square[groups[a].members[0], groups[b].members[0]]
+                assert lower[b] <= d + BOUND_TOLERANCE
+                assert upper[b] >= d - BOUND_TOLERANCE
+
+
+class TestEviction:
+    def test_removal_keeps_queries_exact(self, webshop):
+        context = _token_context(webshop, size=30)
+        measure = TokenDistance()
+        index = PivotIndex.from_context(measure, context, n_pivots=4, seed=3)
+        square = _square(measure, context)
+        index.range_query(0, 0.4)  # force pivot selection before evicting
+        removed = [1, 4, 5, 17, 28]
+        for item_id in removed:
+            index.remove(item_id)
+        live = [i for i in range(30) if i not in removed]
+        assert index.item_ids() == tuple(live)
+        for item_id in live[::4]:
+            expected = tuple(j for j in live if square[item_id, j] <= 0.4)
+            got, _ = index.range_query(item_id, 0.4)
+            assert got == expected, item_id
+
+    def test_evicting_a_pivots_group_keeps_its_column_valid(self, sample_context):
+        measure = TokenDistance()
+        chars = measure.prepare(sample_context)
+        index = PivotIndex(measure, n_pivots=3, seed=0)
+        for item_id, characteristic in enumerate(chars):
+            index.add(item_id, characteristic)
+        index.range_query(0, 0.5)  # select pivots
+        pivots_before = index.n_pivots
+        # Remove a whole prefix; some removed group almost surely was a pivot.
+        for item_id in range(4):
+            index.remove(item_id)
+        assert index.n_pivots == pivots_before  # columns survive their groups
+        # Queries stay exact against brute force over the survivors.
+        square = measure.condensed_distance_matrix(sample_context).to_square()
+        live = index.item_ids()
+        for item_id in live:
+            expected = tuple(j for j in live if square[item_id, j] <= 0.6)
+            got, _ = index.range_query(item_id, 0.6)
+            assert got == expected
+
+    def test_unknown_id_removal_rejected(self, sample_context):
+        measure = TokenDistance()
+        chars = measure.prepare(sample_context)
+        index = PivotIndex(measure, n_pivots=2)
+        index.add(0, chars[0])
+        with pytest.raises(MiningError):
+            index.remove(99)
+
+
+class TestDeterminism:
+    def test_same_seed_same_pivots_and_answers(self, webshop):
+        context = _token_context(webshop)
+        measure = TokenDistance()
+        first = PivotIndex.from_context(measure, context, n_pivots=5, seed=11)
+        second = PivotIndex.from_context(measure, context, n_pivots=5, seed=11)
+        a1, s1 = first.range_query(3, 0.5)
+        a2, s2 = second.range_query(3, 0.5)
+        assert a1 == a2
+        assert s1 == s2
+        first._ensure_pivots()
+        second._ensure_pivots()
+        assert np.array_equal(
+            first._table[: first.n_groups, : first.n_pivots],
+            second._table[: second.n_groups, : second.n_pivots],
+        )
+
+
+class TestCandidateStats:
+    def test_merge_sums_counters_and_ands_the_certificate(self):
+        a = CandidateStats(
+            n_items=10, n_groups=5, n_pivots=2, table_distances=10,
+            exact_distances=3, pruned_pairs=4, certified_pairs=5,
+            certified_complete=True,
+        )
+        b = CandidateStats(
+            n_items=12, n_groups=6, n_pivots=2, table_distances=12,
+            exact_distances=1, pruned_pairs=2, certified_pairs=3,
+            certified_complete=False,
+        )
+        merged = CandidateStats.merge(a, b)
+        assert merged.n_items == 12 and merged.n_groups == 6
+        assert merged.exact_distances == 4
+        assert merged.pruned_pairs == 6
+        assert merged.certified_pairs == 8
+        assert not merged.certified_complete
+        assert merged.group_pairs_examined == 18
+        assert merged.to_dict()["table_distances"] == 12

@@ -1,0 +1,132 @@
+"""Property tests: pivot pruning never drops a true neighbour.
+
+Hypothesis drives adversarial index compositions — duplicate-heavy samples
+(items drawn *with replacement* from a small pool), an all-equidistant
+domain (pairwise-disjoint token sets, every distance exactly 1), the
+degenerate single-pivot index — over all four measures, and asserts the
+two safety properties behind the exactness claim:
+
+* a range query returns *exactly* ``{j : d(i, j) <= t}`` — pruning never
+  drops a true eps-neighbour and certification never admits a false one;
+* the first ``k`` kNN candidates are *exactly* the brute-force k nearest
+  under the ``(distance, id)`` tie-break — the covering radius never
+  excludes a true kNN member.
+"""
+
+from __future__ import annotations
+
+import functools
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.dpe import LogContext
+from repro.core.measures import (
+    AccessAreaDistance,
+    ResultDistance,
+    StructureDistance,
+    TokenDistance,
+)
+from repro.mining.approx import PivotIndex
+from repro.sql.log import QueryLog
+from repro.workloads.generator import QueryLogGenerator, WorkloadMix
+from repro.workloads.schemas import (
+    populate_database,
+    skyserver_profile,
+    webshop_profile,
+)
+
+#: Queries with pairwise-disjoint token sets: every token distance is 1.0,
+#: the worst case for pivot bounds (all bounds collapse to the same value).
+EQUIDISTANT_SQL = [
+    "SELECT alpha FROM reds WHERE crimson > 1",
+    "SELECT beta FROM greens WHERE olive > 2",
+    "SELECT gamma FROM blues WHERE navy > 3",
+    "SELECT delta FROM browns WHERE umber > 4",
+    "SELECT epsilon FROM blacks WHERE onyx > 5",
+]
+
+
+@functools.lru_cache(maxsize=None)
+def _pool(name: str) -> tuple:
+    """A pool of prepared characteristics (and its measure) per domain."""
+    if name == "equidistant":
+        measure = TokenDistance()
+        context = LogContext(log=QueryLog.from_sql(EQUIDISTANT_SQL))
+    elif name in ("token", "structure"):
+        measure = TokenDistance() if name == "token" else StructureDistance()
+        profile = webshop_profile(customer_rows=10, order_rows=20, product_rows=5)
+        log = QueryLogGenerator(profile, WorkloadMix(), seed=51).generate(12)
+        context = LogContext(log=log)
+    elif name == "result":
+        measure = ResultDistance()
+        profile = webshop_profile(customer_rows=10, order_rows=20, product_rows=5)
+        log = QueryLogGenerator(profile, WorkloadMix.spj_only(), seed=51).generate(10)
+        context = LogContext(log=log, database=populate_database(profile, seed=2))
+    elif name == "access-area":
+        measure = AccessAreaDistance()
+        profile = skyserver_profile(photo_rows=30, spec_rows=12)
+        log = QueryLogGenerator(profile, WorkloadMix.analytical(), seed=51).generate(10)
+        context = LogContext(log=log, domains=profile.domain_catalog())
+    else:  # pragma: no cover - guards against typos in parametrize lists
+        raise ValueError(name)
+    return measure, tuple(measure.prepare(context))
+
+
+DOMAINS = ["token", "structure", "result", "access-area", "equidistant"]
+
+#: Duplicate-heavy by construction: sampled WITH replacement from tiny pools.
+composition = st.tuples(
+    st.lists(st.integers(min_value=0, max_value=9), min_size=2, max_size=14),
+    st.integers(min_value=1, max_value=4),  # n_pivots (1 = degenerate index)
+    st.integers(min_value=0, max_value=5),  # seed
+)
+
+
+def _build(name, picks, n_pivots, seed):
+    measure, pool = _pool(name)
+    characteristics = [pool[i % len(pool)] for i in picks]
+    index = PivotIndex(measure, n_pivots=n_pivots, seed=seed)
+    for item_id, characteristic in enumerate(characteristics):
+        index.add(item_id, characteristic)
+    distance = {}
+    for i in range(len(characteristics)):
+        for j in range(i + 1, len(characteristics)):
+            distance[(i, j)] = measure.distance_between(
+                characteristics[i], characteristics[j]
+            )
+
+    def d(i, j):
+        if i == j:
+            return 0.0
+        return distance[(min(i, j), max(i, j))]
+
+    return index, d, len(characteristics)
+
+
+@pytest.mark.parametrize("name", DOMAINS)
+class TestPruningSafety:
+    @settings(max_examples=20)
+    @given(composition=composition, threshold=st.floats(min_value=0.0, max_value=1.0))
+    def test_range_query_never_drops_a_true_neighbor(self, name, composition, threshold):
+        picks, n_pivots, seed = composition
+        index, d, n = _build(name, picks, n_pivots, seed)
+        for item_id in range(n):
+            expected = tuple(j for j in range(n) if d(item_id, j) <= threshold)
+            got, stats = index.range_query(item_id, threshold)
+            assert got == expected, (item_id, threshold)
+            assert stats.certified_complete
+
+    @settings(max_examples=20)
+    @given(composition=composition, k=st.integers(min_value=1, max_value=13))
+    def test_knn_candidates_never_drop_a_true_member(self, name, composition, k):
+        picks, n_pivots, seed = composition
+        index, d, n = _build(name, picks, n_pivots, seed)
+        k = min(k, n - 1)
+        for item_id in range(n):
+            expected = sorted(
+                (d(item_id, j), j) for j in range(n) if j != item_id
+            )[:k]
+            candidates, stats = index.knn_candidates(item_id, k)
+            assert list(candidates[:k]) == expected, (item_id, k)
+            assert stats.certified_complete

@@ -1,0 +1,222 @@
+"""Sliding windows and sharded ingest: exactness over the live set.
+
+Two contracts:
+
+* an :class:`ApproxStreamMiner` over a :class:`SlidingWindowQueryLog` must
+  produce, at any point, exactly what the exact pipeline produces over the
+  *live* entries in id order — eviction included;
+* a :class:`ShardedIncrementalMatrix` must produce, after draining, exactly
+  what the exact pipeline produces over every appended entry in append
+  order — regardless of shard count or batch raggedness.
+
+Plus the seeded-determinism regression: the same seed replays the same
+pivot choices *and* the same eviction history, so labels are identical
+run-to-run (no module-level randomness anywhere in the approx layer).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.dpe import LogContext
+from repro.core.measures import TokenDistance
+from repro.exceptions import MiningError
+from repro.mining import (
+    ApproxStreamMiner,
+    ShardedIncrementalMatrix,
+    SlidingWindowQueryLog,
+    dbscan,
+    distance_based_outliers,
+    k_nearest_neighbors,
+)
+from repro.sql.log import QueryLog
+from repro.workloads.generator import QueryLogGenerator, WorkloadMix
+
+PARAMS = dict(knn_k=3, outlier_p=0.85, outlier_d=0.6, dbscan_eps=0.5, dbscan_min_points=3)
+
+
+def _entries(webshop, size=60, seed=41):
+    log = QueryLogGenerator(webshop, WorkloadMix(), seed=seed).generate(size)
+    entries = list(log)
+    return entries + entries[:20]  # duplicate-heavy tail
+
+
+def _exact_over(entries):
+    """Exact artefacts over ``entries`` in order, with PARAMS."""
+    matrix = TokenDistance().condensed_distance_matrix(
+        LogContext(log=QueryLog(entries))
+    )
+    clusters = dbscan(matrix, eps=PARAMS["dbscan_eps"], min_points=PARAMS["dbscan_min_points"])
+    outliers = distance_based_outliers(matrix, p=PARAMS["outlier_p"], d=PARAMS["outlier_d"])
+    k = min(PARAMS["knn_k"], matrix.n - 1)
+    knn = [k_nearest_neighbors(matrix, i, k=k) for i in range(matrix.n)]
+    return clusters, outliers, knn
+
+
+def _assert_window_matches_exact(miner):
+    """The miner's artefacts equal the exact pipeline over the live entries."""
+    window = miner.window_log
+    with window.lock:
+        live_ids = window.live_ids()
+        live_entries = list(window)
+    clusters, outliers, knn = _exact_over(live_entries)
+    approx_clusters, s1 = miner.dbscan()
+    approx_outliers_result, s2 = miner.outliers()
+    approx_knn, s3 = miner.knn_all()
+    assert s1.certified_complete and s2.certified_complete and s3.certified_complete
+    assert approx_clusters == clusters
+    assert approx_outliers_result == outliers
+    # Window results are keyed/valued by ids; map to positions for comparison.
+    position = {item_id: pos for pos, item_id in enumerate(sorted(live_ids))}
+    for item_id, neighbors in approx_knn.items():
+        expected = knn[position[item_id]]
+        assert tuple(position[j] for j in neighbors) == expected, item_id
+
+
+class TestSlidingWindowQueryLog:
+    def test_parameter_validation(self):
+        with pytest.raises(MiningError):
+            SlidingWindowQueryLog(window=0)
+        with pytest.raises(MiningError):
+            SlidingWindowQueryLog(window=4, decay=1.0)
+        with pytest.raises(MiningError):
+            SlidingWindowQueryLog(window=4, decay=-0.1)
+
+    def test_fifo_eviction_keeps_newest(self, webshop):
+        entries = _entries(webshop, size=20)
+        window = SlidingWindowQueryLog(window=8)
+        window.append(entries)
+        assert len(window) == 8
+        assert window.live_ids() == tuple(range(len(entries) - 8, len(entries)))
+        assert window.evictions == len(entries) - 8
+        assert window.total_appended == len(entries)
+
+    def test_decayed_eviction_is_age_biased(self, webshop):
+        entries = _entries(webshop, size=60)
+        window = SlidingWindowQueryLog(window=20, decay=0.5, seed=9)
+        window.append(entries)
+        live = window.live_ids()
+        assert len(live) == 20
+        # Geometric bias: the surviving set must be dominated by recent ids.
+        newest_half = sum(1 for item_id in live if item_id >= len(entries) // 2)
+        assert newest_half > 10
+
+    def test_eviction_subscribers_see_id_entry_pairs(self, webshop):
+        entries = _entries(webshop)[:12]
+        window = SlidingWindowQueryLog(window=10)
+        observed: list[tuple[int, object]] = []
+        window.subscribe_evictions(lambda evicted: observed.extend(evicted))
+        window.append(entries)
+        assert [item_id for item_id, _ in observed] == [0, 1]
+        assert all(entry is entries[item_id] for item_id, entry in observed)
+
+
+class TestApproxStreamMiner:
+    @pytest.mark.parametrize("decay", [0.0, 0.6])
+    def test_windowed_mining_equals_exact_over_live_entries(self, webshop, decay):
+        entries = _entries(webshop)
+        miner = ApproxStreamMiner(
+            TokenDistance(), window=48, decay=decay, seed=5, n_pivots=4, **PARAMS
+        )
+        consumed = 0
+        for size in (10, 30, 3, 25, 12):  # ragged batches crossing the window
+            miner.append(entries[consumed : consumed + size])
+            consumed += size
+            _assert_window_matches_exact(miner)
+        assert miner.n_items == min(consumed, 48)
+        assert miner.window_log.evictions == max(consumed - 48, 0)
+
+    def test_preexisting_window_entries_are_ingested(self, webshop):
+        entries = _entries(webshop, size=30)
+        window = SlidingWindowQueryLog(entries, window=25, seed=2)
+        miner = ApproxStreamMiner(TokenDistance(), window, n_pivots=4, **PARAMS)
+        assert miner.n_items == 25
+        assert miner.item_ids() == window.live_ids()
+        _assert_window_matches_exact(miner)
+
+    def test_single_item_knn_matches_knn_all(self, webshop):
+        entries = _entries(webshop, size=20)
+        miner = ApproxStreamMiner(TokenDistance(), window=20, n_pivots=4, **PARAMS)
+        miner.append(entries)
+        all_knn, _ = miner.knn_all()
+        for item_id in miner.item_ids()[:5]:
+            single, _ = miner.knn(item_id)
+            assert single == all_knn[item_id]
+
+
+class TestSeededDeterminism:
+    """Same seed => same eviction history, same pivots, same labels."""
+
+    def test_same_seed_same_labels(self, webshop):
+        entries = _entries(webshop)
+
+        def run(seed):
+            miner = ApproxStreamMiner(
+                TokenDistance(), window=40, decay=0.5, seed=seed, n_pivots=4, **PARAMS
+            )
+            for start in range(0, len(entries), 16):
+                miner.append(entries[start : start + 16])
+            clusters, _ = miner.dbscan()
+            return miner.item_ids(), clusters
+
+        ids_a, clusters_a = run(123)
+        ids_b, clusters_b = run(123)
+        assert ids_a == ids_b
+        assert clusters_a == clusters_b
+
+    def test_different_seed_may_evict_differently(self, webshop):
+        entries = _entries(webshop)
+
+        def live(seed):
+            window = SlidingWindowQueryLog(window=30, decay=0.5, seed=seed)
+            window.append(entries)
+            return window.live_ids()
+
+        assert live(1) == live(1)
+        # Not a hard guarantee for arbitrary seeds, but these two differ.
+        assert live(1) != live(4)
+
+
+class TestShardedIncrementalMatrix:
+    def test_append_buffers_without_distance_work(self, webshop):
+        entries = _entries(webshop, size=30)
+        sharded = ShardedIncrementalMatrix(TokenDistance(), n_shards=4, **PARAMS)
+        sharded.append(entries)
+        assert sharded.pending == len(entries)
+        assert sharded.n_items == 0
+        assert sharded.index.table_distances == 0
+        assert sharded.drain() == len(entries)
+        assert sharded.pending == 0
+        assert sharded.n_items == len(entries)
+
+    @pytest.mark.parametrize("n_shards", [1, 3, 8])
+    def test_sharded_mining_equals_exact(self, webshop, n_shards):
+        entries = _entries(webshop)
+        sharded = ShardedIncrementalMatrix(
+            TokenDistance(), n_shards=n_shards, n_pivots=4, seed=7, **PARAMS
+        )
+        for start in range(0, len(entries), 17):
+            sharded.append(entries[start : start + 17])
+        clusters, outliers, knn = _exact_over(entries)
+        approx_clusters, s1 = sharded.dbscan()
+        approx_outlier_result, s2 = sharded.outliers()
+        approx_knn, s3 = sharded.knn_all()
+        assert s1.certified_complete and s2.certified_complete and s3.certified_complete
+        assert approx_clusters == clusters
+        assert approx_outlier_result == outliers
+        assert [approx_knn[i] for i in range(len(entries))] == knn
+
+    def test_redrain_after_second_batch_stays_exact(self, webshop):
+        entries = _entries(webshop, size=40)
+        sharded = ShardedIncrementalMatrix(TokenDistance(), n_shards=3, **PARAMS)
+        sharded.append(entries[:25])
+        first, _ = sharded.dbscan()
+        assert first == _exact_over(entries[:25])[0]
+        sharded.append(entries[25:])
+        assert sharded.pending == len(entries) - 25
+        second, _ = sharded.dbscan()
+        assert second == _exact_over(entries)[0]
+
+    def test_shard_count_validated(self):
+        with pytest.raises(MiningError):
+            ShardedIncrementalMatrix(TokenDistance(), n_shards=0)

@@ -198,3 +198,32 @@ class TestProxySessionStreaming:
         assert incremental.dbscan().labels == dbscan(
             batch, eps=PARAMETERS["dbscan_eps"], min_points=PARAMETERS["dbscan_min_points"]
         ).labels
+
+
+class TestOutlierScoreMemoization:
+    """top_outliers memoizes its per-k score vector between appends."""
+
+    def test_repeated_rankings_reuse_the_cached_scores(self, webshop):
+        log = QueryLogGenerator(webshop, WorkloadMix(), seed=15).generate(20)
+        stream = StreamingQueryLog()
+        incremental = IncrementalDistanceMatrix(TokenDistance(), stream, **PARAMETERS)
+        stream.append(list(log))
+        first = incremental.top_outliers(5)
+        cached = incremental._scores_cache[PARAMETERS["knn_k"]]
+        assert incremental.top_outliers(5) == first
+        assert incremental._scores_cache[PARAMETERS["knn_k"]] is cached
+
+    def test_appends_invalidate_the_cache_and_rankings_stay_exact(self, webshop):
+        log = QueryLogGenerator(webshop, WorkloadMix(), seed=15).generate(24)
+        entries = list(log)
+        stream = StreamingQueryLog()
+        incremental = IncrementalDistanceMatrix(TokenDistance(), stream, **PARAMETERS)
+        stream.append(entries[:16])
+        incremental.top_outliers(4)
+        assert incremental._scores_cache
+        stream.append(entries[16:])
+        assert not incremental._scores_cache  # append dropped the memo
+        matrix = _batch_matrix(entries)
+        assert incremental.top_outliers(4) == top_n_outliers(
+            matrix, n_outliers=4, k=PARAMETERS["knn_k"]
+        )

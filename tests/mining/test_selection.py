@@ -1,0 +1,78 @@
+"""Deterministic partial selection vs the stable full-sort reference.
+
+``smallest_indices``/``largest_indices`` replaced full sorts on the hot
+paths of :class:`~repro.mining.incremental.IncrementalDistanceMatrix`; the
+contract is *bit-for-bit* equality with the old sorted-path selection under
+the exact pipeline's ``(value, index)`` tie-break, for every k and under
+heavy ties.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.exceptions import MiningError
+from repro.mining.selection import largest_indices, smallest_indices
+
+
+def _smallest_reference(values: np.ndarray, k: int) -> list[int]:
+    """The old path: stable full sort under the (value, index) tie-break."""
+    order = sorted(range(len(values)), key=lambda i: (values[i], i))
+    return order[:k]
+
+
+def _largest_reference(values: np.ndarray, k: int) -> list[int]:
+    order = sorted(range(len(values)), key=lambda i: (-values[i], i))
+    return order[:k]
+
+
+def _tie_heavy_arrays() -> list[np.ndarray]:
+    rng = np.random.default_rng(7)
+    return [
+        rng.random(37),
+        rng.integers(0, 4, size=50).astype(float),  # heavy ties
+        np.zeros(12),  # all equal
+        np.array([0.5]),
+        np.concatenate([np.full(10, 0.25), rng.random(10), np.full(10, 0.25)]),
+        rng.random(101).round(1),  # quantised => tied boundary values
+    ]
+
+
+class TestAgainstFullSort:
+    @pytest.mark.parametrize("values", _tie_heavy_arrays(), ids=lambda a: f"n={len(a)}")
+    def test_smallest_equals_stable_sort_for_every_k(self, values):
+        for k in range(len(values) + 1):
+            got = list(smallest_indices(values, k))
+            assert got == _smallest_reference(values, k), k
+
+    @pytest.mark.parametrize("values", _tie_heavy_arrays(), ids=lambda a: f"n={len(a)}")
+    def test_largest_equals_stable_sort_for_every_k(self, values):
+        for k in range(len(values) + 1):
+            got = list(largest_indices(values, k))
+            assert got == _largest_reference(values, k), k
+
+    def test_returned_indices_are_python_ints_compatible(self):
+        values = np.array([0.3, 0.1, 0.2])
+        assert [int(i) for i in smallest_indices(values, 2)] == [1, 2]
+        assert [int(i) for i in largest_indices(values, 2)] == [0, 2]
+
+
+class TestValidation:
+    def test_k_out_of_range_rejected(self):
+        values = np.array([0.1, 0.2])
+        with pytest.raises(MiningError):
+            smallest_indices(values, -1)
+        with pytest.raises(MiningError):
+            smallest_indices(values, 3)
+        with pytest.raises(MiningError):
+            largest_indices(values, -1)
+        with pytest.raises(MiningError):
+            largest_indices(values, 3)
+
+    def test_k_zero_and_k_n_edges(self):
+        values = np.array([0.2, 0.2, 0.1])
+        assert list(smallest_indices(values, 0)) == []
+        assert list(smallest_indices(values, 3)) == [2, 0, 1]
+        assert list(largest_indices(values, 0)) == []
+        assert list(largest_indices(values, 3)) == [0, 1, 2]

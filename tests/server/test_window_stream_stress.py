@@ -1,0 +1,109 @@
+"""Concurrent window eviction under server streaming: no tearing, exact end state.
+
+The race surface this hammers: ``MiningServer.stream`` feeds encrypted
+batches into an :class:`ApproxStreamMiner` from several worker threads
+while reader threads mine the same window concurrently — so appends,
+geometric evictions, pivot-table swap-deletes and range queries all
+interleave.  The window's lock discipline must keep every intermediate
+mining result well-formed (labels positional over the live set at *some*
+consistent point) and the final state bit-for-bit equal to the exact
+pipeline over the surviving entries.
+
+CI's thread-stress job runs this file (with the rest of ``tests/server``)
+five times back to back.
+"""
+
+from __future__ import annotations
+
+import threading
+
+from repro.api import (
+    BackendConfig,
+    CryptoConfig,
+    LogContext,
+    MiningConfig,
+    QueryLog,
+    TokenDistance,
+    WorkloadConfig,
+    ServiceConfig,
+    dbscan,
+    distance_based_outliers,
+)
+
+WINDOW = 16
+BATCHES = 10
+BATCH_SIZE = 4
+
+
+def test_concurrent_streaming_and_eviction_stay_consistent(server):
+    config = ServiceConfig(
+        crypto=CryptoConfig(passphrase="stress", paillier_bits=256),
+        backend=BackendConfig(name="sqlite"),
+        workload=WorkloadConfig(size=BATCHES * BATCH_SIZE, seed=3),
+        mining=MiningConfig(
+            measure="token", approx=True, window=WINDOW, window_decay=0.4,
+            pivots=4, seed=7,
+        ),
+    )
+    handle = server.add_tenant("stress", config)
+    miner = handle.service.approx_miner()
+    window = miner.window_log
+    workload = handle.service.generate_workload()
+    queries = workload.queries
+    batches = [
+        queries[start : start + BATCH_SIZE]
+        for start in range(0, len(queries), BATCH_SIZE)
+    ]
+
+    # Seed the window synchronously so readers never see an empty index.
+    first = server.stream("stress", batches[0], into=miner).result()
+    assert len(first) > 0
+
+    errors: list[BaseException] = []
+    done = threading.Event()
+
+    def read_loop() -> None:
+        while not done.is_set():
+            try:
+                clusters, _ = miner.dbscan()
+                outliers, _ = miner.outliers()
+                # A consistent snapshot: both artefacts are positional over
+                # some live set of at most WINDOW items.
+                assert 0 < len(clusters.labels) <= WINDOW
+                assert 0 < len(outliers.fraction_far) <= WINDOW
+            except BaseException as error:  # noqa: BLE001 - re-raised below
+                errors.append(error)
+                return
+
+    readers = [threading.Thread(target=read_loop) for _ in range(2)]
+    for reader in readers:
+        reader.start()
+    try:
+        futures = [
+            server.stream("stress", batch, into=miner) for batch in batches[1:]
+        ]
+        streamed = len(first) + sum(len(future.result()) for future in futures)
+    finally:
+        done.set()
+        for reader in readers:
+            reader.join()
+    assert not errors, errors[:1]
+
+    # Accounting: every encrypted query entered the window exactly once.
+    assert window.total_appended == streamed
+    assert miner.n_items == min(streamed, WINDOW)
+    assert window.evictions == max(streamed - WINDOW, 0)
+
+    # The final artefacts equal the exact pipeline over the live entries.
+    with window.lock:
+        live_entries = list(window)
+    matrix = TokenDistance().condensed_distance_matrix(
+        LogContext(log=QueryLog(live_entries))
+    )
+    exact_clusters = dbscan(matrix, eps=0.5, min_points=3)
+    exact_outliers = distance_based_outliers(matrix, p=0.95, d=0.9)
+    approx_clusters, stats = miner.dbscan()
+    approx_outliers, _ = miner.outliers()
+    assert stats.certified_complete
+    assert approx_clusters == exact_clusters
+    assert approx_outliers == exact_outliers
