@@ -14,6 +14,7 @@ T1        Table I — derived scheme table vs. the published one
 F1        Figure 1 — encryption-class taxonomy
 E1–E4     Definition 1 + mining equality, one per distance measure
 S1        security comparison KIT-DPE vs CryptDB-as-is (+ attacks)
+S2        integrity: tamper/rollback detection + clean-run equality
 P1        encryption throughput per class/scheme + encrypted execution
 P2        distance-matrix / mining cost, plaintext vs encrypted
 P3        parallel sharding + incremental streaming of the pipeline
@@ -41,7 +42,10 @@ from repro.api import (
     CryptoConfig,
     EncryptedMiningService,
     ServiceConfig,
+    StreamingQueryLog,
+    TamperDetected,
 )
+from repro.attacks import tamper
 from repro.core.dpe import LogContext
 from repro.core.measures import (
     AccessAreaDistance,
@@ -266,6 +270,136 @@ def run_s1(*, log_size: int = 100, seed: int = 7, backend: str = DEFAULT_BACKEND
             "worse": comparison.attributes_worse,
             "attack_rates": {a.scheme: a.constant_recovery_rate for a in comparison.attacks},
             "ope_sorting_recovery": comparison.ope_sorting_recovery,
+        },
+    )
+
+
+def run_s2(
+    *, log_size: int = 10, seed: int = 12, backend: str = DEFAULT_BACKEND
+) -> ExperimentOutcome:
+    """S2: integrity — authenticated onions and rollback detection.
+
+    Two claims, both required for success:
+
+    1. *Zero-cost honesty*: with an honest provider, an authenticated
+       service decrypts the exact same results as an unauthenticated one
+       built from the same passphrase, and no false tamper alarms fire
+       (every ``tamper_detected`` counter stays zero).
+    2. *Full detection*: each of the four tamper classes of
+       :mod:`repro.attacks.tamper` — ciphertext bit flip, row swap, stale
+       snapshot replay, log rollback — raises
+       :class:`~repro.api.TamperDetected` on the chosen backend.
+    """
+    profile = webshop_profile(customer_rows=8, order_rows=12, product_rows=5)
+    spj_log = QueryLogGenerator(profile, WorkloadMix.spj_only(), seed=seed).generate(log_size)
+
+    def service(authenticate: bool) -> EncryptedMiningService:
+        built = EncryptedMiningService(
+            ServiceConfig(
+                crypto=CryptoConfig(
+                    passphrase="experiments/s2",
+                    paillier_bits=256,
+                    shared_det_key=True,
+                    authenticate=authenticate,
+                )
+            ),
+            join_groups=profile.join_groups(),
+        )
+        built.encrypt(populate_database(profile, seed=seed))
+        return built
+
+    # Claim 1: clean-run equality and zero false positives.  The services
+    # share a passphrase (hence key material); raw HOM ciphertexts still
+    # differ between the two encryptions (probabilistic blinding), so the
+    # comparison is on *decrypted* results — the user-visible contract.
+    plain_service = service(authenticate=False)
+    auth_service = service(authenticate=True)
+    plain_run = plain_service.run_workload(spj_log, backend=backend, on_unsupported="skip")
+    auth_run = auth_service.run_workload(spj_log, backend=backend, on_unsupported="skip")
+    plain_rows = [plain_service.decrypt(result) for result in plain_run.results]
+    auth_rows = [auth_service.decrypt(result) for result in auth_run.results]
+    clean_equal = plain_rows == auth_rows
+    report_columns = auth_service.exposure_report().columns
+    false_positives = sum(entry.tamper_detected for entry in report_columns)
+    cells_verified = sum(entry.cells_verified for entry in report_columns)
+
+    # Claim 2: every tamper class is detected.  Each probe gets a fresh
+    # authenticated service so the tampers cannot mask each other.
+    encrypted = auth_service.encrypt(populate_database(profile, seed=seed))
+    target_table = sorted(encrypted.table_names)[0]
+    target_column = next(
+        name
+        for name in encrypted.table(target_table).schema.column_names
+        if name.endswith("_ord")
+    )
+
+    def probe(tamper_and_verify) -> bool:
+        fresh = service(authenticate=True)
+        with fresh.open_session(backend=backend, on_unsupported="skip") as session:
+            provider = tamper.storage_backend(session)
+            try:
+                tamper_and_verify(fresh, session, provider)
+            except TamperDetected:
+                return True
+            return False
+
+    def probe_flip(fresh, session, provider):
+        tamper.flip_ciphertext(provider, target_table, target_column, row=0)
+        session.verify_storage()
+
+    def probe_swap(fresh, session, provider):
+        tamper.swap_rows(provider, target_table, row_a=0, row_b=1)
+        session.verify_storage()
+
+    def probe_replay(fresh, session, provider):
+        stale = tamper.capture_rows(provider, target_table)
+        fresh.encrypt(populate_database(profile, seed=seed))  # version bump
+        tamper.replay_rows(provider, target_table, stale)
+        session.verify_storage()
+
+    def probe_rollback(fresh, session, provider):
+        sink = StreamingQueryLog()
+        session.stream(spj_log.queries, into=sink)
+        tamper.rollback_log(sink, max(0, sink.chain_length - 3))
+        session.verify_stream(sink)
+
+    detection = {
+        "flip": probe(probe_flip),
+        "swap": probe(probe_swap),
+        "replay": probe(probe_replay),
+        "rollback": probe(probe_rollback),
+    }
+    detection_rate = sum(detection.values()) / len(detection)
+
+    rows = [
+        (name, "detected" if caught else "MISSED") for name, caught in detection.items()
+    ]
+    lines = [
+        format_table(["tamper class", "outcome"], rows),
+        "",
+        f"detection rate: {detection_rate:.0%}",
+        f"clean authenticated run equals unauthenticated run: {clean_equal}",
+        f"false tamper alarms on the honest run: {false_positives}",
+        f"storage cells verified on the honest run: {cells_verified}",
+    ]
+    success = (
+        all(detection.values())
+        and clean_equal
+        and false_positives == 0
+        and cells_verified > 0
+    )
+    return ExperimentOutcome(
+        experiment_id="S2",
+        title="Integrity: authenticated onions and rollback detection",
+        success=success,
+        report="\n".join(lines),
+        data={
+            "detection": detection,
+            "detection_rate": detection_rate,
+            "clean_equal": clean_equal,
+            "false_positives": false_positives,
+            "cells_verified": cells_verified,
+            "backend": backend,
         },
     )
 
@@ -912,6 +1046,7 @@ _REGISTRY: dict[str, tuple[str, Callable[..., ExperimentOutcome]]] = {
     "E3": ("Preservation & mining equality: result distance", run_e3),
     "E4": ("Preservation & mining equality: access-area distance", run_e4),
     "S1": ("Security comparison vs CryptDB", run_s1),
+    "S2": ("Integrity: tamper & rollback detection", run_s2),
     "P1": ("Encryption & encrypted-execution throughput", run_p1),
     "P2": ("Distance-matrix cost plaintext vs encrypted", run_p2),
     "P3": ("Parallel & incremental mining pipeline", run_p3),

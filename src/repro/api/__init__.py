@@ -16,7 +16,12 @@ service's ``approx_miner()`` / ``sharded_miner()`` builders.  The
 multi-tenant serving layer
 (:class:`MiningServer`, :class:`TenantHandle`, :class:`ServerConfig`, the
 typed :class:`ServerStats` family) is exported here too — ``repro serve``
-and embedding applications reach it through this surface only.
+and embedding applications reach it through this surface only.  The
+integrity layer (:attr:`CryptoConfig.authenticate` /
+:attr:`CryptoConfig.auto_verify`) authenticates every stored ciphertext
+with detached MACs and commits streamed query logs to signed hash chains
+(:class:`ChainCheckpoint`); a tampering or rolling-back provider surfaces
+as :class:`TamperDetected`.
 
 The exported symbol set is a deliberate contract: it is snapshot-tested
 (``tests/api/test_public_surface.py``), so additions and removals are
@@ -53,6 +58,7 @@ from repro.api.errors import (
     ServerOverloaded,
     ServiceError,
     SessionError,
+    TamperDetected,
 )
 from repro.api.results import (
     ColumnExposure,
@@ -73,7 +79,7 @@ from repro.core import (
     TokenDpeScheme,
     verify_distance_preservation,
 )
-from repro.crypto import KeyChain, MasterKey
+from repro.crypto import ChainCheckpoint, KeyChain, MasterKey
 from repro.cryptdb.proxy import EncryptedResult, JoinGroupSpec, StreamSink
 from repro.db.backend import DEFAULT_BACKEND, available_backends
 from repro.mining import (
@@ -121,7 +127,7 @@ from repro.server.stats import QueueStats, ServerStats, TenantStats
 from repro.server.tenant import TenantHandle
 
 #: Revision of the public surface; bumped when ``__all__`` changes shape.
-API_VERSION = "1.2"
+API_VERSION = "1.3"
 
 __all__ = [
     "API_VERSION",
@@ -131,6 +137,7 @@ __all__ = [
     "ApproxStreamMiner",
     "BackendConfig",
     "CandidateStats",
+    "ChainCheckpoint",
     "ColumnExposure",
     "CondensedDistanceMatrix",
     "ConfigError",
@@ -172,6 +179,7 @@ __all__ = [
     "StreamingQueryLog",
     "StructureDistance",
     "StructureDpeScheme",
+    "TamperDetected",
     "TenantHandle",
     "TenantStats",
     "TokenDistance",

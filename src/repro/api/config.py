@@ -118,12 +118,24 @@ class CryptoConfig(_Config):
     sizes the HOM modulus; ``paillier_pool_size`` sizes the precomputed
     blinding-factor pool; ``shared_det_key`` switches every EQ onion to one
     shared DET key (required by the result-distance scheme, see DESIGN.md).
+
+    ``authenticate`` turns on the integrity layer (detached per-column MACs
+    over the stored ciphertexts, hash-chain checkpoints over streamed logs):
+    tampered storage or a rolled-back log then raises
+    :class:`~repro.api.errors.TamperDetected` instead of returning wrong
+    data.  Stored ciphertexts are unchanged, so honest-provider results stay
+    bit-for-bit identical.  ``auto_verify`` (default on) makes each session
+    audit its backend's storage lazily once before the first query;
+    turn it off to audit only on explicit
+    :meth:`~repro.api.ServiceSession.verify_storage` calls.
     """
 
     passphrase: str | None = None
     paillier_bits: int = 512
     paillier_pool_size: int = PaillierScheme.DEFAULT_POOL_SIZE
     shared_det_key: bool = False
+    authenticate: bool = False
+    auto_verify: bool = True
 
     def __post_init__(self) -> None:
         if self.passphrase is not None and not isinstance(self.passphrase, str):
@@ -134,10 +146,11 @@ class CryptoConfig(_Config):
         _require_int(
             "CryptoConfig", "paillier_pool_size", self.paillier_pool_size, minimum=0
         )
-        if not isinstance(self.shared_det_key, bool):
-            raise ConfigError(
-                f"CryptoConfig.shared_det_key must be a bool, got {self.shared_det_key!r}"
-            )
+        for flag in ("shared_det_key", "authenticate", "auto_verify"):
+            if not isinstance(getattr(self, flag), bool):
+                raise ConfigError(
+                    f"CryptoConfig.{flag} must be a bool, got {getattr(self, flag)!r}"
+                )
 
 
 @dataclass(frozen=True)

@@ -21,6 +21,10 @@ The mapping is by failure kind, not by subsystem:
 * :class:`SessionError` — a session or its execution backend failed
   (wraps :class:`~repro.exceptions.ExecutionError` and session-level
   :class:`~repro.exceptions.CryptDbError`);
+* :class:`TamperDetected` — the integrity layer caught a tampering provider
+  (wraps :class:`~repro.exceptions.IntegrityError`): a stored ciphertext
+  failed authentication, rows were swapped or replayed, or a streamed log
+  was rolled back past a signed checkpoint;
 * :class:`ServiceError` — the façade itself was misused (e.g. running a
   workload before :meth:`~repro.api.EncryptedMiningService.encrypt`);
 * :class:`ServerError` — the multi-tenant :class:`~repro.api.MiningServer`
@@ -37,6 +41,7 @@ from contextlib import contextmanager
 from repro.exceptions import (
     CryptDbError,
     ExecutionError,
+    IntegrityError,
     ReproError,
     RewriteError,
     SqlError,
@@ -61,6 +66,18 @@ class SessionError(ServiceError):
 
 class QueryRejected(SessionError):
     """A query was rejected: unparseable SQL or outside the executable fragment."""
+
+
+class TamperDetected(SessionError):
+    """The integrity layer caught the provider tampering with data or logs.
+
+    Raised (wrapping :class:`~repro.exceptions.IntegrityError`) when a
+    stored ciphertext fails its detached MAC, rows were swapped, a stale
+    snapshot was replayed, or a streamed query log is not an exact
+    prefix-extension of its signed hash-chain checkpoint.  Requires
+    :attr:`~repro.api.CryptoConfig.authenticate`; without it, tampering with
+    the malleable OPE/HOM onions can silently corrupt results.
+    """
 
 
 class ServerError(ApiError):
@@ -93,6 +110,8 @@ def wrap_errors(context: str) -> Iterator[None]:
         yield
     except ApiError:
         raise
+    except IntegrityError as error:
+        raise TamperDetected(f"{context}: {error}") from error
     except RewriteError as error:
         raise QueryRejected(f"{context}: {error}") from error
     except SqlError as error:
@@ -116,5 +135,6 @@ __all__ = [
     "ServerOverloaded",
     "ServiceError",
     "SessionError",
+    "TamperDetected",
     "wrap_errors",
 ]

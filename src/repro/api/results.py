@@ -129,7 +129,9 @@ class ColumnExposure:
     sits at (stored sorted as a tuple of pairs so the object stays
     hashable); ``weakest_class`` is the most-revealing encryption class any
     representation of the column exposes, ``security_level`` its Figure 1
-    level.
+    level.  ``cells_verified`` and ``tamper_detected`` are the integrity
+    layer's per-column counters (both zero when
+    :attr:`~repro.api.CryptoConfig.authenticate` is off).
     """
 
     table: str
@@ -137,11 +139,47 @@ class ColumnExposure:
     onions: tuple[tuple[str, str], ...]
     weakest_class: EncryptionClass
     security_level: int
+    cells_verified: int = 0
+    tamper_detected: int = 0
 
     @property
     def onion_layers(self) -> dict[str, str]:
         """The ``onions`` pairs as a plain dict (onion name -> layer name)."""
         return dict(self.onions)
+
+    def to_dict(self) -> dict[str, object]:
+        """This entry as plain JSON-serialisable data (see ``from_dict``)."""
+        return {
+            "table": self.table,
+            "column": self.column,
+            "onions": dict(self.onions),
+            "weakest_class": self.weakest_class.value,
+            "security_level": self.security_level,
+            "cells_verified": self.cells_verified,
+            "tamper_detected": self.tamper_detected,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, object]) -> "ColumnExposure":
+        """Rebuild an entry from :meth:`to_dict` output.
+
+        Integrity counters default to zero so dicts saved before the
+        integrity layer existed still round-trip.
+        """
+        onions = data["onions"]
+        if not isinstance(onions, Mapping):
+            raise ServiceError(
+                f"ColumnExposure.from_dict: 'onions' must be a mapping, got {onions!r}"
+            )
+        return cls(
+            table=str(data["table"]),
+            column=str(data["column"]),
+            onions=tuple(sorted((str(k), str(v)) for k, v in onions.items())),
+            weakest_class=EncryptionClass(data["weakest_class"]),
+            security_level=int(data["security_level"]),  # type: ignore[call-overload]
+            cells_verified=int(data.get("cells_verified", 0)),  # type: ignore[call-overload]
+            tamper_detected=int(data.get("tamper_detected", 0)),  # type: ignore[call-overload]
+        )
 
 
 @dataclass(frozen=True)
@@ -159,7 +197,12 @@ class ExposureReport:
     def from_proxy_report(
         cls, report: Mapping[tuple[str, str], Mapping[str, object]]
     ) -> "ExposureReport":
-        """Build the typed report from the proxy's legacy dict shape."""
+        """Build the typed report from the proxy's legacy dict shape.
+
+        The integrity counters are read with defaults so pre-integrity
+        report dicts (no ``cells_verified``/``tamper_detected`` keys) still
+        convert.
+        """
         entries = []
         for (table, column), info in sorted(report.items()):
             onions = info["onions"]
@@ -170,9 +213,35 @@ class ExposureReport:
                     onions=tuple(sorted(onions.items())),  # type: ignore[union-attr]
                     weakest_class=info["weakest_class"],  # type: ignore[arg-type]
                     security_level=int(info["security_level"]),  # type: ignore[call-overload]
+                    cells_verified=int(info.get("cells_verified", 0)),  # type: ignore[call-overload]
+                    tamper_detected=int(info.get("tamper_detected", 0)),  # type: ignore[call-overload]
                 )
             )
         return cls(columns=tuple(entries))
+
+    def to_dict(self) -> dict[str, object]:
+        """The report as plain JSON-serialisable data (see ``from_dict``)."""
+        return {"columns": [entry.to_dict() for entry in self.columns]}
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, object]) -> "ExposureReport":
+        """Rebuild a report from :meth:`to_dict` output (exact round-trip).
+
+        ``from_dict(to_dict(report)) == report`` holds for every report,
+        including the integrity counters.
+        """
+        if not isinstance(data, Mapping) or "columns" not in data:
+            raise ServiceError(
+                "ExposureReport.from_dict expects a mapping with a 'columns' key"
+            )
+        columns = data["columns"]
+        if not isinstance(columns, (list, tuple)):
+            raise ServiceError(
+                f"ExposureReport.from_dict: 'columns' must be a list, got {columns!r}"
+            )
+        return cls(
+            columns=tuple(ColumnExposure.from_dict(entry) for entry in columns)
+        )
 
     def for_column(self, table: str, column: str) -> ColumnExposure:
         """The exposure entry of one column; unknown columns fail loudly."""

@@ -222,6 +222,38 @@ class ServiceSession:
         with wrap_errors("exposure_report"):
             return ExposureReport.from_proxy_report(self._session.exposure_report())
 
+    @property
+    def last_checkpoint(self):
+        """The most recent signed log checkpoint this session issued.
+
+        ``None`` until the first authenticated :meth:`stream` append; see
+        :class:`~repro.crypto.integrity.ChainCheckpoint`.
+        """
+        return self._session.last_checkpoint
+
+    def verify_storage(self) -> int:
+        """Audit every stored ciphertext against the owner's MAC manifest.
+
+        Re-reads the session backend's encrypted tables and recomputes the
+        per-cell row tags; any flipped, swapped or replayed cell raises
+        :class:`~repro.api.errors.TamperDetected`.  Returns the number of
+        cells checked.  Requires
+        :attr:`~repro.api.CryptoConfig.authenticate`.
+        """
+        with wrap_errors("verify_storage"):
+            return self._session.verify_storage()
+
+    def verify_stream(self, into: StreamSink):
+        """Verify a streamed sink's log against the last signed checkpoint.
+
+        The sink's current log must be an exact prefix-extension of the
+        hash chain this session checkpointed; a truncated (rolled-back) or
+        mutated log raises :class:`~repro.api.errors.TamperDetected`.
+        Returns the verified :class:`~repro.crypto.integrity.ChainCheckpoint`.
+        """
+        with wrap_errors("verify_stream"):
+            return self._session.verify_stream(into)
+
     def close(self) -> None:
         """Release the backend's engine resources."""
         self._session.close()
@@ -282,6 +314,8 @@ class EncryptedMiningService:
                 paillier_pool_size=crypto.paillier_pool_size,
                 shared_det_key=crypto.shared_det_key,
                 backend=config.backend.name,
+                authenticate=crypto.authenticate,
+                auto_verify=crypto.auto_verify,
             )
 
     # -- introspection --------------------------------------------------- #

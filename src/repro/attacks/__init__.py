@@ -13,20 +13,43 @@ run:
   ciphertexts,
 * :mod:`~repro.attacks.query_only` — the query-only attack of Sanamrad &
   Kossmann [9] against an encrypted query log: recover constants from the
-  log using auxiliary knowledge of the value distribution.
+  log using auxiliary knowledge of the value distribution,
+* :mod:`~repro.attacks.tamper` — an *actively malicious* provider that
+  edits what it stores: flipping ciphertext bits, swapping rows, replaying
+  stale snapshots and rolling back streamed query logs.
 
-The attack success rates back the security comparison of experiment S1.
+The attack success rates back the security comparison of experiment S1;
+the tamper primitives drive the integrity experiment S2 and the
+fault-injection test harness in ``tests/integrity``.
 """
 
 from repro.attacks.frequency import FrequencyAttackResult, frequency_analysis_attack
 from repro.attacks.order import SortingAttackResult, sorting_attack
 from repro.attacks.query_only import QueryOnlyAttackResult, query_only_attack
+from repro.attacks.tamper import (
+    TamperResult,
+    capture_rows,
+    flip_ciphertext,
+    read_stored_rows,
+    replay_rows,
+    rollback_log,
+    storage_backend,
+    swap_rows,
+)
 
 __all__ = [
     "FrequencyAttackResult",
     "QueryOnlyAttackResult",
     "SortingAttackResult",
+    "TamperResult",
+    "capture_rows",
+    "flip_ciphertext",
     "frequency_analysis_attack",
     "query_only_attack",
+    "read_stored_rows",
+    "replay_rows",
+    "rollback_log",
     "sorting_attack",
+    "storage_backend",
+    "swap_rows",
 ]

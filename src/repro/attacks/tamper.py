@@ -1,0 +1,309 @@
+"""An actively malicious provider: tampering with storage and logs.
+
+The passive attacks in this package model an honest-but-curious provider;
+this module models one that *modifies* what it stores.  The malleable
+onions make this dangerous: OPE and HOM ciphertexts are bare integers, so a
+provider can flip bits, swap rows between customers, replay last month's
+prices or silently truncate the query log — and, without the integrity
+layer, every such edit decrypts to a plausible wrong answer.
+
+Four tamper primitives cover the threat classes the integrity layer
+(:mod:`repro.crypto.integrity`) must catch:
+
+* :func:`flip_ciphertext` — flip a bit of one stored ciphertext cell
+  (the classic malleability attack on OPE/HOM integers);
+* :func:`swap_rows` — exchange two whole stored rows (reordering attack);
+* :func:`capture_rows` / :func:`replay_rows` — snapshot a table and later
+  restore the stale state (replay / rollback of storage);
+* :func:`rollback_log` — truncate a streamed query log's suffix and
+  *recompute the unkeyed hash chain* to match, modelling a capable
+  adversary who can rebuild everything that is not protected by a key.
+
+All primitives work uniformly against both execution backends: the
+in-memory interpreter (rows edited in place) and the SQLite backend
+(``UPDATE ... WHERE rowid``).  They deliberately reach into backend
+internals — that is the point: the adversary *is* the provider and owns
+the storage.  Each returns a :class:`TamperResult` describing the edit so
+experiment S2 can report detection per tamper class.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+from dataclasses import dataclass
+
+from repro.crypto.integrity import GENESIS_HEAD, LogHashChain
+from repro.db.backend import ExecutionBackend
+from repro.db.sqlite_backend import decode_sql_value, encode_sql_value
+from repro.db.table import Row
+from repro.exceptions import AttackError
+from repro.mining.incremental import StreamingQueryLog
+from repro.sql.render import quote_identifier
+
+
+@dataclass(frozen=True)
+class TamperResult:
+    """What one tamper primitive did to the provider's storage or log.
+
+    ``operation`` names the tamper class (``"flip"``, ``"swap"``,
+    ``"replay"``, ``"rollback"``), ``target`` the encrypted table (or
+    ``"log"``), ``detail`` a human-readable description of the edit and
+    ``cells_changed`` how many stored cells (or log entries) the edit
+    touched — zero means the tamper was a no-op (e.g. replaying an
+    unchanged snapshot) and detection is *not* expected.
+    """
+
+    operation: str
+    target: str
+    detail: str
+    cells_changed: int
+
+
+def storage_backend(session: object) -> ExecutionBackend:
+    """Unwrap a session object to the execution backend it runs against.
+
+    Accepts a :class:`~repro.api.ServiceSession`, a
+    :class:`~repro.cryptdb.proxy.ProxySession`, or a bare
+    :class:`~repro.db.backend.ExecutionBackend`; this is where the
+    adversary "becomes" the provider.  Anything else raises
+    :class:`~repro.exceptions.AttackError`.
+    """
+    candidate = session
+    inner = getattr(candidate, "_session", None)
+    if inner is not None:  # ServiceSession wraps a ProxySession
+        candidate = inner
+    backend = getattr(candidate, "backend", None)
+    if backend is not None:  # ProxySession exposes its backend
+        candidate = backend
+    if hasattr(candidate, "execute") and hasattr(candidate, "database"):
+        return candidate  # type: ignore[return-value]
+    raise AttackError(
+        f"cannot find an execution backend inside {type(session).__name__}"
+    )
+
+
+def _is_sqlite(backend: ExecutionBackend) -> bool:
+    return getattr(backend, "name", "") == "sqlite" and hasattr(backend, "_connection")
+
+
+def read_stored_rows(
+    backend: ExecutionBackend, table: str
+) -> list[dict[str, object]]:
+    """The provider's view of one stored (encrypted) table, in row order.
+
+    Reads the backend's *actual* storage — the interpreter's row list or
+    the SQLite pages — not the Python-side snapshot, so edits made by the
+    other primitives are visible here.
+    """
+    if _is_sqlite(backend):
+        connection = backend._connection  # noqa: SLF001 - the adversary owns storage
+        cursor = connection.execute(
+            f"SELECT * FROM {quote_identifier(table)} ORDER BY rowid"
+        )
+        names = [entry[0] for entry in cursor.description]
+        return [
+            {name: decode_sql_value(value) for name, value in zip(names, row)}
+            for row in cursor.fetchall()
+        ]
+    stored = backend.database.table(table)
+    return [dict(row.as_dict()) for row in stored.rows]
+
+
+def _write_cell(
+    backend: ExecutionBackend, table: str, row_index: int, column: str, value: object
+) -> None:
+    """Overwrite one stored cell in either backend's storage."""
+    if _is_sqlite(backend):
+        connection = backend._connection  # noqa: SLF001 - the adversary owns storage
+        connection.execute(
+            f"UPDATE {quote_identifier(table)} SET {quote_identifier(column)} = ? "
+            "WHERE rowid = ?",
+            (encode_sql_value(value), row_index + 1),
+        )
+        connection.commit()
+        return
+    stored = backend.database.table(table)
+    rows = stored._rows  # noqa: SLF001 - the adversary owns storage
+    edited = dict(rows[row_index].as_dict())
+    edited[column] = value
+    rows[row_index] = Row(edited)
+    # The interpreter memoizes FROM/JOIN row scopes per snapshot; a real
+    # provider serves the tampered bytes, so the edit must reach future
+    # reads rather than hide behind the cache.
+    executor = getattr(backend, "_executor", None)
+    cache = getattr(executor, "_from_cache", None)
+    if cache:
+        cache.clear()
+
+
+def _flipped(value: object) -> object:
+    """A value one bit away from ``value`` (the malleability edit)."""
+    if isinstance(value, bool):
+        raise AttackError("stored ciphertexts are never booleans")
+    if isinstance(value, int):
+        return value ^ 1
+    if isinstance(value, str):
+        if not value:
+            raise AttackError("cannot flip a bit of an empty ciphertext")
+        return value[:-1] + chr(ord(value[-1]) ^ 1)
+    raise AttackError(
+        f"cannot flip a bit of a {type(value).__name__} ciphertext"
+    )
+
+
+def flip_ciphertext(
+    backend: ExecutionBackend, table: str, column: str, *, row: int = 0
+) -> TamperResult:
+    """Flip one bit of the ciphertext stored at (``row``, ``column``).
+
+    ``table`` and ``column`` name the *encrypted* (physical) table and
+    column as the provider sees them — e.g. the ``_ord`` or ``_hom``
+    companion columns, whose bare-integer ciphertexts are the malleable
+    targets.  Out-of-range rows and unknown columns raise
+    :class:`~repro.exceptions.AttackError`.
+    """
+    rows = read_stored_rows(backend, table)
+    if not 0 <= row < len(rows):
+        raise AttackError(f"table {table!r} has {len(rows)} rows, no row {row}")
+    if column not in rows[row]:
+        raise AttackError(f"table {table!r} has no column {column!r}")
+    original = rows[row][column]
+    _write_cell(backend, table, row, column, _flipped(original))
+    return TamperResult(
+        operation="flip",
+        target=table,
+        detail=f"flipped one bit of {table}.{column} in row {row}",
+        cells_changed=1,
+    )
+
+
+def swap_rows(
+    backend: ExecutionBackend, table: str, *, row_a: int = 0, row_b: int = 1
+) -> TamperResult:
+    """Exchange two whole stored rows of an encrypted table.
+
+    Every cell stays a valid ciphertext of *some* row, so per-value
+    authentication alone cannot catch this — only tags bound to the row
+    index (the storage audit's row tags) can.
+    """
+    rows = read_stored_rows(backend, table)
+    for index in (row_a, row_b):
+        if not 0 <= index < len(rows):
+            raise AttackError(f"table {table!r} has {len(rows)} rows, no row {index}")
+    if row_a == row_b:
+        raise AttackError("swapping a row with itself changes nothing")
+    changed = 0
+    for column in rows[row_a]:
+        if rows[row_a][column] == rows[row_b][column]:
+            continue
+        _write_cell(backend, table, row_a, column, rows[row_b][column])
+        _write_cell(backend, table, row_b, column, rows[row_a][column])
+        changed += 2
+    return TamperResult(
+        operation="swap",
+        target=table,
+        detail=f"swapped rows {row_a} and {row_b} of {table}",
+        cells_changed=changed,
+    )
+
+
+def capture_rows(
+    backend: ExecutionBackend, table: str
+) -> tuple[dict[str, object], ...]:
+    """Snapshot a stored table for a later :func:`replay_rows`.
+
+    The returned snapshot is position-preserving plain data, independent of
+    the backend's storage, so it survives the owner re-encrypting the
+    database in between.
+    """
+    return tuple(read_stored_rows(backend, table))
+
+
+def replay_rows(
+    backend: ExecutionBackend, table: str, snapshot: Sequence[dict[str, object]]
+) -> TamperResult:
+    """Overwrite a stored table with a previously captured stale snapshot.
+
+    Models the replay / storage-rollback attack: every restored cell is a
+    *genuine* ciphertext the owner once produced, just from an outdated
+    snapshot — which is exactly why the row tags bind the snapshot version.
+    The table must still have the snapshot's row count (the provider cannot
+    resize the owner's tables without being caught by the audit's row
+    count check anyway).
+    """
+    rows = read_stored_rows(backend, table)
+    if len(rows) != len(snapshot):
+        raise AttackError(
+            f"snapshot holds {len(snapshot)} rows but {table!r} now has {len(rows)}"
+        )
+    changed = 0
+    for index, (current, stale) in enumerate(zip(rows, snapshot)):
+        for column, value in stale.items():
+            if column not in current:
+                raise AttackError(
+                    f"snapshot column {column!r} does not exist in {table!r}"
+                )
+            if current[column] == value:
+                continue
+            _write_cell(backend, table, index, column, value)
+            changed += 1
+    return TamperResult(
+        operation="replay",
+        target=table,
+        detail=f"replayed a stale {len(snapshot)}-row snapshot of {table}",
+        cells_changed=changed,
+    )
+
+
+def rollback_log(log: StreamingQueryLog, keep: int) -> TamperResult:
+    """Truncate a streamed query log to its first ``keep`` entries.
+
+    Models a provider rolling the log back to an earlier state — and doing
+    it *competently*: the unkeyed hash chain is recomputed (or rewound, for
+    the sliding-window log's recorded heads) so the log looks internally
+    consistent.  What the adversary cannot rebuild is the owner's signed
+    :class:`~repro.crypto.integrity.ChainCheckpoint`, which is why
+    ``verify_chain`` still catches the rollback.
+    """
+    entries = log._entries  # noqa: SLF001 - the adversary owns the log
+    if not 0 <= keep <= len(entries):
+        raise AttackError(
+            f"cannot keep {keep} of {len(entries)} log entries"
+        )
+    dropped = len(entries) - keep
+    del entries[keep:]
+    chain_heads = getattr(log, "_chain_heads", None)
+    if chain_heads is not None:
+        # Sliding-window log: rewind the recorded per-ingest heads and the
+        # chain state; eviction bookkeeping (ids) must shrink in step.
+        del chain_heads[len(chain_heads) - dropped :]
+        ids = getattr(log, "_ids", None)
+        if ids is not None:
+            del ids[keep:]
+        log._chain._length -= dropped  # noqa: SLF001
+        log._chain._head = chain_heads[-1] if chain_heads else GENESIS_HEAD  # noqa: SLF001
+    else:
+        # Base streaming log: recompute the unkeyed chain from scratch over
+        # the surviving entries.
+        rebuilt = LogHashChain()
+        for entry in entries:
+            rebuilt.extend(entry.sql)
+        log._chain = rebuilt  # noqa: SLF001
+    return TamperResult(
+        operation="rollback",
+        target="log",
+        detail=f"rolled the log back from {keep + dropped} to {keep} entries",
+        cells_changed=dropped,
+    )
+
+
+__all__ = [
+    "TamperResult",
+    "capture_rows",
+    "flip_ciphertext",
+    "read_stored_rows",
+    "replay_rows",
+    "rollback_log",
+    "storage_backend",
+    "swap_rows",
+]

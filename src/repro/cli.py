@@ -5,6 +5,7 @@ Everything the repository reproduces can be driven from the shell::
     python -m repro list                    # registered experiments
     python -m repro run T1 E1               # run selected experiments
     python -m repro run E3 --backend sqlite # choose the execution backend
+    python -m repro run S2                  # integrity: tamper & rollback detection
     python -m repro run --all               # run every experiment
     python -m repro docs                    # regenerate EXPERIMENTS.md + ARCHITECTURE.md
     python -m repro run P3 --workers 4      # parallel/incremental pipeline experiment
@@ -77,7 +78,7 @@ def build_parser() -> argparse.ArgumentParser:
         "--backend",
         choices=sorted(available_backends()),
         default=None,
-        help="execution backend for experiments with a backend axis (E3, S1, P1); "
+        help="execution backend for experiments with a backend axis (E3, S1, P1, S2); "
         "others ignore the flag",
     )
     run_parser.add_argument(

@@ -40,6 +40,7 @@ from repro.crypto.hom import (
     PaillierKeyPair,
     PaillierScheme,
 )
+from repro.crypto.integrity import ChainCheckpoint, ColumnAuthenticator, ColumnManifest
 from repro.crypto.keys import KeyChain
 from repro.crypto.ope import OrderPreservingScheme
 from repro.crypto.prob import ProbabilisticScheme
@@ -59,8 +60,8 @@ from repro.db.database import Database
 from repro.db.executor import QueryExecutor, ResultSet
 from repro.db.schema import Column, ColumnType, TableSchema
 from repro.db.table import Table
-from repro.exceptions import CryptDbError, RewriteError
-from repro.sql.ast import AggregateCall, ColumnRef, Literal, Query
+from repro.exceptions import CryptDbError, IntegrityError, RewriteError
+from repro.sql.ast import AggregateCall, ColumnRef, Literal, Query, SelectItem, Star, TableRef
 from repro.sql.render import render_query
 
 #: OPE domain used for (scaled) numeric columns.
@@ -103,6 +104,38 @@ class JoinGroupSpec:
 
     name: str
     members: frozenset[tuple[str, str]]
+
+
+@dataclass(frozen=True)
+class _ColumnIntegrity:
+    """Owner-side integrity record for one physical (encrypted) column."""
+
+    plain_table: str
+    plain_column: str
+    onion: Onion
+    authenticator: ColumnAuthenticator
+    manifest: ColumnManifest
+
+
+def _resolve_chain_sink(sink: object) -> object | None:
+    """Find the hash-chained log behind a stream sink, if there is one.
+
+    A :class:`~repro.mining.incremental.StreamingQueryLog` carries the chain
+    itself; an :class:`~repro.mining.incremental.IncrementalDistanceMatrix`
+    forwards appends to its ``stream``, an
+    :class:`~repro.mining.approx.window.ApproxStreamMiner` to its
+    ``window_log``.  The lookup stays structural
+    (``checkpoint``/``verify_chain`` attributes) so the proxy keeps its
+    no-mining-dependency layering.
+    """
+    for candidate in (sink, getattr(sink, "stream", None), getattr(sink, "window_log", None)):
+        if (
+            candidate is not None
+            and hasattr(candidate, "checkpoint")
+            and hasattr(candidate, "verify_chain")
+        ):
+            return candidate
+    return None
 
 
 @dataclass(frozen=True)
@@ -171,6 +204,8 @@ class ProxySession:
         # rewriter, skip list and backend against concurrent callers.
         self._lock = threading.RLock()
         self._pending_refill: NoiseRefillHandle | None = None
+        self._storage_verified = False
+        self._last_checkpoint: ChainCheckpoint | None = None
 
     # -- introspection -------------------------------------------------- #
 
@@ -228,6 +263,7 @@ class ProxySession:
     def execute(self, query: Query) -> EncryptedResult | None:
         """Rewrite and execute one plaintext query on the session backend."""
         with self._lock:
+            self._ensure_storage_verified()
             encrypted_query = self.rewrite(query)
             if encrypted_query is None:
                 return None
@@ -238,6 +274,7 @@ class ProxySession:
     def execute_encrypted(self, encrypted_query: Query) -> ResultSet:
         """Execute an already-rewritten query on the session backend."""
         with self._lock:
+            self._ensure_storage_verified()
             return self._backend.execute(encrypted_query)
 
     def run(self, queries: Iterable[Query]) -> list[EncryptedResult]:
@@ -288,11 +325,75 @@ class ProxySession:
                 if rewritten is not None:
                     encrypted.append(rewritten)
             into.append(encrypted)
+            if self._proxy.authenticate:
+                # Commit to the sink's chain state after every appended
+                # batch: a later verify_stream() detects a provider that
+                # rolled the log back past this point.
+                chained = _resolve_chain_sink(into)
+                if chained is not None:
+                    self._last_checkpoint = chained.checkpoint(self._proxy.checkpoint_key)
             # Regenerate Paillier blinding factors while the provider side
             # mines the appended batch, so the next batch's HOM constants
             # encrypt from a warm pool (one multiplication each).
             self._pending_refill = self._proxy.paillier_scheme.noise_pool.refill_async()
             return encrypted
+
+    # -- integrity ------------------------------------------------------ #
+
+    @property
+    def last_checkpoint(self) -> ChainCheckpoint | None:
+        """Signed chain checkpoint of the most recent streamed batch, if any."""
+        with self._lock:
+            return self._last_checkpoint
+
+    def _ensure_storage_verified(self) -> None:
+        """Run the one-time lazy storage audit when authentication is on."""
+        if (
+            self._proxy.authenticate
+            and self._proxy.auto_verify
+            and not self._storage_verified
+        ):
+            self.verify_storage()
+
+    def verify_storage(self) -> int:
+        """Audit every encrypted table as stored by this session's backend.
+
+        Reads each table back through the backend itself (``SELECT *`` over
+        the encrypted store) and checks every cell against the owner-side
+        manifest's row-bound tags, so flipped bytes, swapped rows, replayed
+        stale snapshots, and inserted/deleted rows are all detected
+        regardless of which engine holds the data.  Returns the number of
+        cells checked; raises :class:`~repro.exceptions.IntegrityError` on
+        the first mismatch.  With ``auto_verify`` the audit runs lazily once
+        per session before the first query; call this directly to re-audit
+        at any later point.
+        """
+        with self._lock:
+            checked = self._proxy.verify_backend_storage(self._backend)
+            self._storage_verified = True
+            return checked
+
+    def verify_stream(self, into: StreamSink) -> ChainCheckpoint:
+        """Verify a stream sink's log against the last signed checkpoint.
+
+        Raises :class:`~repro.exceptions.IntegrityError` when the sink's log
+        is not an exact prefix-extension of the state committed by the most
+        recent streamed batch (a rolled-back or mutated provider log), and
+        :class:`CryptDbError` when there is nothing to verify against.
+        Returns the checkpoint that was verified.
+        """
+        with self._lock:
+            if not self._proxy.authenticate:
+                raise CryptDbError("stream verification requires authenticate=True")
+            if self._last_checkpoint is None:
+                raise CryptDbError("no streamed batch to verify: stream() first")
+            chained = _resolve_chain_sink(into)
+            if chained is None:
+                raise CryptDbError(
+                    f"stream sink {type(into).__name__} carries no hash chain"
+                )
+            chained.verify_chain(self._last_checkpoint, self._proxy.checkpoint_key)
+            return self._last_checkpoint
 
     def close(self) -> None:
         """Release the backend's engine resources."""
@@ -321,6 +422,8 @@ class CryptDBProxy:
         taxonomy: EncryptionTaxonomy | None = None,
         shared_det_key: bool = False,
         backend: str = DEFAULT_BACKEND,
+        authenticate: bool = False,
+        auto_verify: bool = True,
     ) -> None:
         """Create a proxy.
 
@@ -340,6 +443,18 @@ class CryptDBProxy:
         blinding-factor pool (see
         :class:`~repro.crypto.hom.PaillierNoisePool`); streaming sessions
         refill it in the background between batches.
+
+        ``authenticate`` turns on the integrity layer: every
+        :meth:`encrypt_database` builds an owner-side manifest of detached
+        MACs (see :mod:`repro.crypto.integrity`) over all stored
+        ciphertexts, result cells are checked on the decrypt path, sessions
+        audit their backend's storage, and streamed batches are committed by
+        signed hash-chain checkpoints.  The stored ciphertexts themselves
+        are unchanged, so authenticated runs on honest providers are
+        bit-for-bit identical to unauthenticated ones.  ``auto_verify``
+        (default on) makes each session run its storage audit lazily once
+        before its first query; turn it off to audit only on explicit
+        :meth:`ProxySession.verify_storage` calls.
         """
         self._keychain = keychain
         self._join_groups = {group.name: group for group in join_groups}
@@ -359,6 +474,13 @@ class CryptDBProxy:
         self._default_session: ProxySession | None = None
         # Guards the lazily created default session (check-then-create).
         self._session_lock = threading.Lock()
+        self._authenticate = authenticate
+        self._auto_verify = auto_verify
+        # plain table name -> physical column name -> integrity record.
+        self._integrity: dict[str, dict[str, _ColumnIntegrity]] = {}
+        self._snapshot_version = 0
+        self._integrity_counters: dict[tuple[str, str], dict[str, int]] = {}
+        self._integrity_lock = threading.Lock()
         register_custom_aggregate("HOMSUM", self._homsum)
 
     # ------------------------------------------------------------------ #
@@ -391,6 +513,8 @@ class CryptDBProxy:
         """
         schema_map = EncryptedSchemaMap()
         encrypted_db = Database(f"{database.name}_encrypted")
+        self._snapshot_version += 1
+        integrity: dict[str, dict[str, _ColumnIntegrity]] = {}
 
         for table in database:
             encrypted_table = self._encrypt_table_schema(table.schema)
@@ -402,12 +526,49 @@ class CryptDBProxy:
             physical.insert_many(
                 {name: columns[name][index] for name in names} for index in range(len(table))
             )
+            if self._authenticate:
+                integrity[table.name] = self._build_table_manifest(
+                    encrypted_table, columns
+                )
 
         self._schema_map = schema_map
         self._encrypted_db = encrypted_db
         self._plain_db = database
+        self._integrity = integrity
+        with self._integrity_lock:
+            self._integrity_counters = {}
         self._invalidate_default_session()
         return encrypted_db
+
+    def _build_table_manifest(
+        self, mapping: EncryptedTable, columns: dict[str, list[object]]
+    ) -> dict[str, _ColumnIntegrity]:
+        """Build owner-side detached MACs for every physical column of a table.
+
+        Tags bind each stored cell to its row index and the current snapshot
+        version, so a provider replaying an earlier snapshot (whose HOM
+        blinding differs) or swapping rows fails the audit.  MAC keys are
+        derived per (table, column, onion) through the keychain.
+        """
+        records: dict[str, _ColumnIntegrity] = {}
+        for column in mapping.columns.values():
+            for onion in column.onions:
+                physical_name = column.physical_name(onion)
+                authenticator = ColumnAuthenticator(
+                    self._keychain.key_for(
+                        "integrity", column.plain_table, column.plain_name, onion.value
+                    )
+                )
+                records[physical_name] = _ColumnIntegrity(
+                    plain_table=column.plain_table,
+                    plain_column=column.plain_name,
+                    onion=onion,
+                    authenticator=authenticator,
+                    manifest=authenticator.manifest(
+                        columns[physical_name], self._snapshot_version
+                    ),
+                )
+        return records
 
     def _join_group_for(self, table: str, column: str) -> JoinGroupSpec | None:
         for group in self._join_groups.values():
@@ -640,6 +801,7 @@ class CryptDBProxy:
             return None
         if isinstance(expression, ColumnRef):
             column = self._resolve_plain_column(expression, bindings)
+            self._verify_result_cell(column, Onion.EQ, value)
             return column.encryption.det.decrypt(value)
         if isinstance(expression, AggregateCall):
             if isinstance(expression.argument, ColumnRef):
@@ -651,6 +813,7 @@ class CryptDBProxy:
             if expression.function in ("MIN", "MAX"):
                 if column is None or column.encryption.ope is None:
                     raise CryptDbError("cannot decrypt MIN/MAX result without an ORD onion")
+                self._verify_result_cell(column, Onion.ORD, value)
                 plain = column.encryption.ope.decrypt(value)  # type: ignore[arg-type]
                 return _unscale(plain, column.encryption.numeric_scale)
             if expression.function in ("SUM", "AVG"):
@@ -687,6 +850,123 @@ class CryptDBProxy:
         """The proxy's shared HOM (Paillier) scheme instance."""
         return self._paillier
 
+    # ------------------------------------------------------------------ #
+    # integrity: detached-MAC verification and log checkpoints
+
+    @property
+    def authenticate(self) -> bool:
+        """Whether the integrity layer (detached MACs + log chain) is on."""
+        return self._authenticate
+
+    @property
+    def auto_verify(self) -> bool:
+        """Whether sessions lazily audit their backend before the first query."""
+        return self._auto_verify
+
+    @property
+    def snapshot_version(self) -> int:
+        """Monotonic counter of :meth:`encrypt_database` snapshots."""
+        return self._snapshot_version
+
+    @property
+    def checkpoint_key(self) -> bytes:
+        """The owner's HMAC key for signing log-chain checkpoints."""
+        return self._keychain.key_for("integrity", "checkpoint")
+
+    def _count_integrity(
+        self, table: str, column: str, *, verified: int = 0, tampered: int = 0
+    ) -> None:
+        with self._integrity_lock:
+            entry = self._integrity_counters.setdefault(
+                (table, column), {"cells_verified": 0, "tamper_detected": 0}
+            )
+            entry["cells_verified"] += verified
+            entry["tamper_detected"] += tampered
+
+    def integrity_counters(self) -> dict[tuple[str, str], dict[str, int]]:
+        """Per-column integrity counters: cells verified and tampers detected."""
+        with self._integrity_lock:
+            return {key: dict(entry) for key, entry in self._integrity_counters.items()}
+
+    def _verify_result_cell(self, column: EncryptedColumn, onion: Onion, value: object) -> None:
+        """Check one decrypted result cell against the column's tag set.
+
+        Result cells carry no row identity, so membership in the column's
+        position-independent value-tag set is the strongest available check:
+        it catches flipped bytes and values replayed from a different
+        snapshot in O(1) per cell.  Row swaps (legitimate values in wrong
+        positions) are the storage audit's job.
+        """
+        if not self._authenticate:
+            return
+        record = self._integrity.get(column.plain_table, {}).get(
+            column.physical_name(onion)
+        )
+        if record is None:
+            return
+        tag = record.authenticator.value_tag(value)  # type: ignore[arg-type]
+        if tag in record.manifest.value_tags:
+            self._count_integrity(column.plain_table, column.plain_name, verified=1)
+            return
+        self._count_integrity(column.plain_table, column.plain_name, tampered=1)
+        raise IntegrityError(
+            f"result cell failed authentication for {column.plain_table}."
+            f"{column.plain_name} ({onion.value} onion): "
+            "ciphertext is not among the values the owner stored"
+        )
+
+    def verify_backend_storage(self, backend: ExecutionBackend) -> int:
+        """Audit every encrypted table as served by ``backend``.
+
+        Reads each table back through ``backend.execute`` (a ``SELECT *``
+        built directly on the AST, so the audit path is identical for the
+        interpreter and SQLite engines) and recomputes every cell's
+        row-bound tag against the owner-side manifest.  Detects flipped
+        ciphertext bytes, swapped rows, replayed stale snapshots and
+        inserted/deleted rows; raises
+        :class:`~repro.exceptions.IntegrityError` on the first mismatch and
+        returns the number of cells checked otherwise.
+        """
+        if not self._authenticate:
+            raise CryptDbError("storage verification requires authenticate=True")
+        checked = 0
+        for plain_table, records in self._integrity.items():
+            encrypted_name = self.schema_map.table(plain_table).encrypted_name
+            audit_query = Query(
+                select_items=(SelectItem(Star()),),
+                from_table=TableRef(encrypted_name),
+            )
+            result = backend.execute(audit_query)
+            expected_rows = len(next(iter(records.values())).manifest.row_tags) if records else 0
+            if len(result.rows) != expected_rows:
+                raise IntegrityError(
+                    f"table {plain_table!r} failed authentication: backend holds "
+                    f"{len(result.rows)} rows, the owner stored {expected_rows}"
+                )
+            for physical_name, record in records.items():
+                column_index = result.columns.index(physical_name)
+                manifest = record.manifest
+                authenticator = record.authenticator
+                for row_index, row in enumerate(result.rows):
+                    tag = authenticator.row_tag(
+                        row_index, manifest.version, row[column_index]  # type: ignore[arg-type]
+                    )
+                    if tag != manifest.row_tags[row_index]:
+                        self._count_integrity(
+                            record.plain_table, record.plain_column, tampered=1
+                        )
+                        raise IntegrityError(
+                            f"stored cell failed authentication: "
+                            f"{record.plain_table}.{record.plain_column} "
+                            f"({record.onion.value} onion), row {row_index} — "
+                            "flipped, swapped or replayed by the provider"
+                        )
+                checked += len(result.rows)
+                self._count_integrity(
+                    record.plain_table, record.plain_column, verified=len(result.rows)
+                )
+        return checked
+
     def crypto_stats(self) -> dict[str, object]:
         """Aggregate fast-path statistics of the crypto layer.
 
@@ -719,11 +999,14 @@ class CryptDBProxy:
         """Per-column exposure after serving the workload rewritten so far.
 
         Returns a mapping ``(table, column) -> {"onions": {onion: layer},
-        "weakest_class": EncryptionClass, "security_level": int}`` describing
-        what the service provider can see for each column.
+        "weakest_class": EncryptionClass, "security_level": int,
+        "cells_verified": int, "tamper_detected": int}`` describing what the
+        service provider can see for each column, plus the integrity layer's
+        per-column counters (both zero when ``authenticate`` is off).
         """
         from repro.crypto.taxonomy import REVEALED_CAPABILITIES
 
+        counters = self.integrity_counters()
         report: dict[tuple[str, str], dict[str, object]] = {}
         for column in self.schema_map.all_columns():
             exposed = column.state.exposed_classes()
@@ -734,12 +1017,18 @@ class CryptDBProxy:
                 exposed,
                 key=lambda c: (-SECURITY_LEVELS[c], len(REVEALED_CAPABILITIES[c]), c.value),
             )
+            counter = counters.get(
+                (column.plain_table, column.plain_name),
+                {"cells_verified": 0, "tamper_detected": 0},
+            )
             report[(column.plain_table, column.plain_name)] = {
                 "onions": {
                     onion.value: layer.value for onion, layer in column.state.onions.items()
                 },
                 "weakest_class": weakest,
                 "security_level": SECURITY_LEVELS[weakest],
+                "cells_verified": counter["cells_verified"],
+                "tamper_detected": counter["tamper_detected"],
             }
         return report
 

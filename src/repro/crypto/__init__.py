@@ -24,6 +24,14 @@ a registry mapping classes to default scheme factories
 from repro.crypto.base import CiphertextKind, EncryptionClass, EncryptionScheme, IdentityScheme
 from repro.crypto.det import DeterministicScheme
 from repro.crypto.hom import PaillierCiphertext, PaillierKeyPair, PaillierScheme
+from repro.crypto.integrity import (
+    ChainCheckpoint,
+    ColumnAuthenticator,
+    LogHashChain,
+    sign_checkpoint,
+    verify_checkpoint,
+    verify_log_entries,
+)
 from repro.crypto.join import JoinGroup, JoinScheme
 from repro.crypto.keys import KeyChain, MasterKey
 from repro.crypto.ope import OrderPreservingScheme
@@ -36,7 +44,9 @@ from repro.crypto.taxonomy import (
 )
 
 __all__ = [
+    "ChainCheckpoint",
     "CiphertextKind",
+    "ColumnAuthenticator",
     "DeterministicScheme",
     "EncryptionClass",
     "EncryptionScheme",
@@ -45,6 +55,7 @@ __all__ = [
     "JoinGroup",
     "JoinScheme",
     "KeyChain",
+    "LogHashChain",
     "MasterKey",
     "OrderPreservingScheme",
     "PaillierCiphertext",
@@ -55,4 +66,7 @@ __all__ = [
     "SECURITY_LEVELS",
     "default_registry",
     "default_taxonomy",
+    "sign_checkpoint",
+    "verify_checkpoint",
+    "verify_log_entries",
 ]

@@ -1,0 +1,225 @@
+"""Authenticated onions and log commitments (the integrity layer).
+
+The paper's threat model is honest-but-curious, but a deployed proxy must
+also survive a provider that *tampers* with what it stores: flipping
+ciphertext bytes, swapping rows, replaying stale snapshots, or rolling the
+query log back to an earlier state.  The PROB layer is already
+encrypt-then-MAC and DET is SIV-authenticated, but the OPE and HOM onions
+are bare malleable integers and nothing binds a ciphertext to its row or
+snapshot.  This module closes those gaps without changing a single stored
+ciphertext byte, so authenticated runs stay bit-for-bit identical to
+unauthenticated runs on honest providers:
+
+* :class:`ColumnAuthenticator` — a per-physical-column MAC (HMAC-SHA256
+  through :func:`repro.crypto.primitives.prf`) whose key is derived through
+  the owner's :class:`~repro.crypto.keys.KeyChain`.  The proxy keeps the
+  resulting tags in an owner-side *manifest* (detached MACs): a per-row tag
+  list that binds each ciphertext to its row index and snapshot version,
+  plus a per-column tag set for O(1) membership checks on decrypted result
+  cells.
+* :class:`LogHashChain` — an incremental SHA-256 hash chain over query-log
+  appends, committed by HMAC-signed :class:`ChainCheckpoint` values.  A
+  provider can recompute the unkeyed chain after truncating the log, but it
+  cannot forge the owner's checkpoint signature, so
+  :func:`verify_log_entries` detects any rollback past a checkpoint.
+
+All verification failures raise :class:`~repro.exceptions.IntegrityError`.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import hmac
+from collections.abc import Iterable, Sequence
+from dataclasses import dataclass
+
+from repro.crypto.primitives import SqlValue, encode_value, prf
+from repro.exceptions import IntegrityError
+
+__all__ = [
+    "ChainCheckpoint",
+    "ColumnAuthenticator",
+    "GENESIS_HEAD",
+    "LogHashChain",
+    "sign_checkpoint",
+    "verify_checkpoint",
+    "verify_log_entries",
+]
+
+#: Head of the empty hash chain (a domain-separated constant, hex encoded).
+GENESIS_HEAD = hashlib.sha256(b"repro.integrity/genesis").hexdigest()
+
+
+class ColumnAuthenticator:
+    """Detached MAC for one physical (encrypted) column.
+
+    Two tag flavours cover the two verification paths:
+
+    * :meth:`row_tag` binds a stored value to its row index and the proxy's
+      snapshot version — checked by the storage audit, where it detects
+      byte flips, swapped rows and replayed stale snapshots;
+    * :meth:`value_tag` binds only the value — collected into a per-column
+      set so individual result cells can be checked in O(1) on the decrypt
+      path, where row identity is no longer available.
+    """
+
+    __slots__ = ("_key",)
+
+    def __init__(self, key: bytes) -> None:
+        self._key = key
+
+    def value_tag(self, value: SqlValue) -> bytes:
+        """Tag a stored value independent of its position."""
+        return prf(self._key, b"value", encode_value(value))
+
+    def row_tag(self, row_index: int, version: int, value: SqlValue) -> bytes:
+        """Tag a stored value bound to its row index and snapshot version."""
+        return prf(
+            self._key,
+            b"row",
+            str(row_index),
+            str(version),
+            encode_value(value),
+        )
+
+    def manifest(
+        self, values: Iterable[SqlValue], version: int
+    ) -> "ColumnManifest":
+        """Build the owner-side manifest for a full column of stored values."""
+        stored = list(values)
+        row_tags = tuple(
+            self.row_tag(index, version, value) for index, value in enumerate(stored)
+        )
+        value_tags = frozenset(
+            prf(self._key, b"value", encoded)
+            for encoded in {encode_value(value) for value in stored}
+        )
+        return ColumnManifest(row_tags=row_tags, value_tags=value_tags, version=version)
+
+
+@dataclass(frozen=True)
+class ColumnManifest:
+    """Owner-side detached tags for one physical column of one snapshot."""
+
+    #: One tag per row, bound to (row index, snapshot version, value).
+    row_tags: tuple[bytes, ...]
+    #: Position-independent tags of every distinct stored value.
+    value_tags: frozenset[bytes]
+    #: Snapshot version the row tags were computed under.
+    version: int
+
+
+class LogHashChain:
+    """Incremental SHA-256 hash chain over query-log appends.
+
+    Each appended entry's SQL text is folded into the running head as
+    ``sha256(previous_head_bytes || len(sql) || sql)``, so the head after
+    ``n`` appends commits to the exact ordered sequence of the first ``n``
+    entries.  Heads are exposed hex encoded.
+    """
+
+    __slots__ = ("_head", "_length")
+
+    def __init__(self) -> None:
+        self._head = GENESIS_HEAD
+        self._length = 0
+
+    @property
+    def head(self) -> str:
+        """Current chain head (hex)."""
+        return self._head
+
+    @property
+    def length(self) -> int:
+        """Number of entries folded into the chain."""
+        return self._length
+
+    def extend(self, sql: str) -> str:
+        """Fold one entry's SQL text into the chain; returns the new head."""
+        payload = sql.encode("utf-8")
+        digest = hashlib.sha256()
+        digest.update(bytes.fromhex(self._head))
+        digest.update(len(payload).to_bytes(8, "big"))
+        digest.update(payload)
+        self._head = digest.hexdigest()
+        self._length += 1
+        return self._head
+
+    def copy(self) -> "LogHashChain":
+        """Return an independent chain with the same head and length."""
+        clone = LogHashChain()
+        clone._head = self._head
+        clone._length = self._length
+        return clone
+
+
+@dataclass(frozen=True)
+class ChainCheckpoint:
+    """A signed commitment to a hash-chain prefix.
+
+    ``length`` and ``head`` pin the chain state at signing time; the
+    ``signature`` is an HMAC over both under the owner's checkpoint key, so
+    a provider can neither forge a checkpoint nor move one to a different
+    chain position.
+    """
+
+    #: Number of log entries the checkpoint commits to.
+    length: int
+    #: Chain head (hex) after ``length`` entries.
+    head: str
+    #: HMAC-SHA256 signature (hex) over ``(length, head)``.
+    signature: str
+
+
+def _checkpoint_mac(key: bytes, length: int, head: str) -> str:
+    return prf(key, b"checkpoint", str(length), head).hex()
+
+
+def sign_checkpoint(key: bytes, length: int, head: str) -> ChainCheckpoint:
+    """Sign a chain state, producing a :class:`ChainCheckpoint`."""
+    return ChainCheckpoint(length=length, head=head, signature=_checkpoint_mac(key, length, head))
+
+
+def verify_checkpoint(key: bytes, checkpoint: ChainCheckpoint) -> None:
+    """Check a checkpoint's signature; raises :class:`IntegrityError` if forged."""
+    expected = _checkpoint_mac(key, checkpoint.length, checkpoint.head)
+    if not hmac.compare_digest(expected, checkpoint.signature):
+        raise IntegrityError(
+            f"log checkpoint signature invalid (length={checkpoint.length})"
+        )
+    if checkpoint.length == 0 and checkpoint.head != GENESIS_HEAD:
+        raise IntegrityError("length-0 checkpoint does not commit to the genesis head")
+
+
+def verify_log_entries(
+    sql_entries: Sequence[str], checkpoint: ChainCheckpoint, key: bytes
+) -> str:
+    """Verify that a log is an exact prefix-extension of a signed checkpoint.
+
+    Recomputes the hash chain over ``sql_entries`` from the genesis head and
+    accepts iff the checkpoint signature is valid, the log is at least
+    ``checkpoint.length`` entries long, and the recomputed head after
+    exactly ``checkpoint.length`` entries equals ``checkpoint.head``.  Any
+    truncation (rollback) past the checkpoint, or any mutation of an entry
+    at or before it, is rejected with :class:`IntegrityError`.
+
+    Returns the recomputed head over the full log on success.
+    """
+    verify_checkpoint(key, checkpoint)
+    if len(sql_entries) < checkpoint.length:
+        raise IntegrityError(
+            f"log rollback detected: checkpoint commits to {checkpoint.length} "
+            f"entries but the log holds only {len(sql_entries)}"
+        )
+    chain = LogHashChain()
+    head_at_checkpoint = GENESIS_HEAD
+    for index, sql in enumerate(sql_entries):
+        head = chain.extend(sql)
+        if index + 1 == checkpoint.length:
+            head_at_checkpoint = head
+    if head_at_checkpoint != checkpoint.head:
+        raise IntegrityError(
+            f"log history mutated: head after {checkpoint.length} entries "
+            "does not match the signed checkpoint"
+        )
+    return chain.head

@@ -73,6 +73,15 @@ class DecryptionError(CryptoError):
     """Raised when a ciphertext cannot be decrypted (corruption, wrong key)."""
 
 
+class IntegrityError(CryptoError):
+    """Raised when stored ciphertexts or a query log fail authentication.
+
+    Covers every tamper class the integrity layer detects: flipped
+    ciphertext bytes, swapped rows, replayed stale snapshots, and
+    rolled-back (truncated) provider logs.
+    """
+
+
 class TaxonomyError(CryptoError):
     """Raised for inconsistent encryption-class taxonomy definitions."""
 

@@ -28,7 +28,8 @@ import random
 from collections.abc import Callable, Iterable
 from typing import TYPE_CHECKING
 
-from repro.exceptions import MiningError
+from repro.crypto.integrity import GENESIS_HEAD, ChainCheckpoint, verify_checkpoint
+from repro.exceptions import IntegrityError, MiningError
 from repro.mining.approx.algorithms import (
     approx_dbscan,
     approx_knn,
@@ -88,6 +89,12 @@ class SlidingWindowQueryLog(StreamingQueryLog):
         self._eviction_subscribers: list[
             Callable[[tuple[tuple[int, LogEntry], ...]], None]
         ] = []
+        # Head after each ingested entry: eviction removes live entries but
+        # never touches the ingest chain, so verify_chain() needs recorded
+        # heads to check prefixes that recomputation can no longer reach.
+        # (The base __init__ above only folds an empty batch, so this is
+        # safe to initialize afterwards.)
+        self._chain_heads: list[str] = []
         if entries:
             self.append(entries)
 
@@ -147,6 +154,7 @@ class SlidingWindowQueryLog(StreamingQueryLog):
             ids = tuple(range(start, start + len(batch)))
             self._next_id += len(batch)
             self._entries.extend(batch)
+            self._extend_chain(batch)
             self._ids.extend(ids)
             self._appends += 1
             for callback in self._subscribers:
@@ -158,6 +166,43 @@ class SlidingWindowQueryLog(StreamingQueryLog):
                 for eviction_callback in self._eviction_subscribers:
                     eviction_callback(evicted)
         return batch
+
+    def _extend_chain(self, batch: tuple[LogEntry, ...]) -> None:
+        """Fold a batch into the ingest chain, recording per-entry heads."""
+        for entry in batch:
+            self._chain_heads.append(self._chain.extend(entry.sql))
+
+    def verify_chain(self, checkpoint: ChainCheckpoint, key: bytes) -> str:
+        """Verify the window's *ingest history* extends ``checkpoint``.
+
+        A window legitimately discards live entries (eviction), so the
+        chain commits to the sequence of *appends*, not the live set:
+        recomputing from the surviving entries is impossible once eviction
+        ran.  Verification instead checks the recorded head at the
+        checkpoint's length — a provider that rolls the window back
+        (pretending later appends never happened) shortens the ingest chain
+        below the signed length, or presents a mismatching head, and is
+        rejected with :class:`~repro.exceptions.IntegrityError`.  Returns
+        the current ingest head on success.
+        """
+        verify_checkpoint(key, checkpoint)
+        with self._lock:
+            if checkpoint.length > self._chain.length:
+                raise IntegrityError(
+                    f"window log rollback detected: checkpoint commits to "
+                    f"{checkpoint.length} ingested entries but the window has "
+                    f"seen only {self._chain.length}"
+                )
+            if checkpoint.length == 0:
+                head = GENESIS_HEAD
+            else:
+                head = self._chain_heads[checkpoint.length - 1]
+            if head != checkpoint.head:
+                raise IntegrityError(
+                    f"window log history mutated: ingest head after "
+                    f"{checkpoint.length} entries does not match the signed checkpoint"
+                )
+            return self._chain.head
 
     def _evict_overflow(self) -> tuple[tuple[int, LogEntry], ...]:
         evicted: list[tuple[int, LogEntry]] = []

@@ -48,6 +48,12 @@ from typing import TYPE_CHECKING
 
 import numpy as np
 
+from repro.crypto.integrity import (
+    ChainCheckpoint,
+    LogHashChain,
+    sign_checkpoint,
+    verify_log_entries,
+)
 from repro.exceptions import MiningError
 from repro.mining.dbscan import NOISE, DbscanResult
 from repro.mining.matrix import CondensedDistanceMatrix
@@ -89,6 +95,10 @@ class StreamingQueryLog(QueryLog):
         # Re-entrant: subscribers run under the append lock and may read the
         # log (or re-enter accessors that take the lock) while notified.
         self._lock = threading.RLock()
+        # Hash chain over every *ingested* entry (see chain_head); the
+        # initial entries count as the first ingested prefix.
+        self._chain = LogHashChain()
+        self._extend_chain(tuple(self._entries))
 
     @property
     def lock(self) -> threading.RLock:
@@ -100,6 +110,50 @@ class StreamingQueryLog(QueryLog):
         """Number of append batches accepted so far."""
         with self._lock:
             return self._appends
+
+    # -- integrity: hash-chain commitments over appends ----------------- #
+
+    def _extend_chain(self, batch: tuple[LogEntry, ...]) -> None:
+        """Fold a batch into the ingest hash chain (call under :attr:`lock`)."""
+        for entry in batch:
+            self._chain.extend(entry.sql)
+
+    @property
+    def chain_head(self) -> str:
+        """Hash-chain head (hex) over every entry ingested so far."""
+        with self._lock:
+            return self._chain.head
+
+    @property
+    def chain_length(self) -> int:
+        """Number of entries folded into the ingest hash chain."""
+        with self._lock:
+            return self._chain.length
+
+    def checkpoint(self, key: bytes) -> ChainCheckpoint:
+        """Sign the current chain state as a :class:`ChainCheckpoint`.
+
+        The owner keeps the checkpoint (or its key); a later
+        :meth:`verify_chain` against it detects any rollback of the log past
+        this point, because the provider cannot forge the HMAC signature.
+        """
+        with self._lock:
+            return sign_checkpoint(key, self._chain.length, self._chain.head)
+
+    def verify_chain(self, checkpoint: ChainCheckpoint, key: bytes) -> str:
+        """Verify the log is an exact prefix-extension of ``checkpoint``.
+
+        Recomputes the hash chain from the entries currently in the log (not
+        from the internal chain state, which a tampering provider could have
+        recomputed after truncating) and accepts iff the signed checkpoint
+        commits to a prefix of exactly those entries.  Raises
+        :class:`~repro.exceptions.IntegrityError` on rollback or mutation;
+        returns the recomputed head on success.
+        """
+        with self._lock:
+            return verify_log_entries(
+                [entry.sql for entry in self._entries], checkpoint, key
+            )
 
     def subscribe(self, callback: Callable[[tuple[LogEntry, ...]], None]) -> None:
         """Register ``callback`` to receive every future appended batch."""
@@ -120,6 +174,7 @@ class StreamingQueryLog(QueryLog):
             return batch
         with self._lock:
             self._entries.extend(batch)
+            self._extend_chain(batch)
             self._appends += 1
             for callback in self._subscribers:
                 callback(batch)

@@ -66,6 +66,10 @@ class TenantStats:
     ``crypto`` is the tenant's
     :meth:`~repro.api.EncryptedMiningService.crypto_stats` snapshot and
     ``exposure`` its per-column exposure, both already JSON-shaped.
+    ``integrity`` summarises the tenant's integrity layer: whether
+    authentication is on, the summed ``cells_verified``/``tamper_detected``
+    counters, and the length/head of the last signed log checkpoint (both
+    ``None`` before any authenticated stream).
     """
 
     tenant: str
@@ -78,6 +82,7 @@ class TenantStats:
     failures: int
     crypto: dict[str, object]
     exposure: dict[str, object]
+    integrity: dict[str, object]
 
     def to_dict(self) -> dict[str, object]:
         """The tenant snapshot as a plain JSON-serialisable dict."""
@@ -92,6 +97,7 @@ class TenantStats:
             "failures": self.failures,
             "crypto": self.crypto,
             "exposure": self.exposure,
+            "integrity": self.integrity,
         }
 
 

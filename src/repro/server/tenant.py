@@ -37,6 +37,8 @@ def _exposure_to_dict(report: ExposureReport) -> dict[str, object]:
             "onions": entry.onion_layers,
             "weakest_class": entry.weakest_class.value,
             "security_level": entry.security_level,
+            "cells_verified": entry.cells_verified,
+            "tamper_detected": entry.tamper_detected,
         }
         for entry in report.columns
     }
@@ -172,6 +174,26 @@ class TenantHandle:
             self._mining_runs += 1
         return result
 
+    def integrity_stats(self) -> dict[str, object]:
+        """The tenant's integrity snapshot: auth flag, counters, checkpoint.
+
+        ``cells_verified``/``tamper_detected`` sum the per-column counters of
+        the exposure report; ``checkpoint_length``/``checkpoint_head`` echo
+        the shared session's last signed log checkpoint (``None`` when no
+        authenticated stream has run yet, or authentication is off).
+        """
+        report = self.exposure_report()
+        with self._lock:
+            session = self._session
+        checkpoint = session.last_checkpoint if session is not None else None
+        return {
+            "authenticated": self._service.config.crypto.authenticate,
+            "cells_verified": sum(entry.cells_verified for entry in report.columns),
+            "tamper_detected": sum(entry.tamper_detected for entry in report.columns),
+            "checkpoint_length": checkpoint.length if checkpoint is not None else None,
+            "checkpoint_head": checkpoint.head if checkpoint is not None else None,
+        }
+
     def stats(self) -> TenantStats:
         """A snapshot of this tenant's counters, crypto stats and exposure."""
         with self._lock:
@@ -192,6 +214,7 @@ class TenantHandle:
             failures=failures,
             crypto=self.crypto_stats(),
             exposure=_exposure_to_dict(self.exposure_report()),
+            integrity=self.integrity_stats(),
         )
 
     def close(self) -> None:

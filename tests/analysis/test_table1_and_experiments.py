@@ -51,7 +51,10 @@ class TestTable1:
 class TestExperimentRegistry:
     def test_all_experiments_registered(self):
         ids = {experiment_id for experiment_id, _ in list_experiments()}
-        assert ids == {"T1", "F1", "E1", "E2", "E3", "E4", "S1", "P1", "P2", "P3", "P4", "P6", "A1"}
+        assert ids == {
+            "T1", "F1", "E1", "E2", "E3", "E4", "S1", "S2",
+            "P1", "P2", "P3", "P4", "P6", "A1",
+        }
 
     def test_unknown_experiment_rejected(self):
         with pytest.raises(AnalysisError):

@@ -1,0 +1,106 @@
+"""The exposure report round-trips through plain data, counters included.
+
+``ExposureReport.to_dict`` / ``from_dict`` are the serialisation boundary
+for dashboards and the server's metrics endpoint; the regression this file
+pins down is that the integrity counters (``cells_verified``,
+``tamper_detected``) survive the round trip, that dicts saved before the
+integrity layer existed still load (counters default to zero), and that
+malformed payloads fail loudly.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.api import ColumnExposure, ExposureReport, ServiceError
+from repro.crypto.base import EncryptionClass
+
+
+def sample_report() -> ExposureReport:
+    return ExposureReport(
+        columns=(
+            ColumnExposure(
+                table="customers",
+                column="city",
+                onions=(("eq", "DET"), ("ord", "OPE")),
+                weakest_class=EncryptionClass.OPE,
+                security_level=2,
+                cells_verified=152,
+                tamper_detected=3,
+            ),
+            ColumnExposure(
+                table="orders",
+                column="total",
+                onions=(("eq", "DET"), ("hom", "HOM"), ("ord", "OPE")),
+                weakest_class=EncryptionClass.OPE,
+                security_level=2,
+            ),
+        )
+    )
+
+
+class TestRoundTrip:
+    def test_exact_round_trip_preserves_counters(self) -> None:
+        report = sample_report()
+        assert ExposureReport.from_dict(report.to_dict()) == report
+
+    def test_round_trip_survives_json(self) -> None:
+        report = sample_report()
+        rebuilt = ExposureReport.from_dict(json.loads(json.dumps(report.to_dict())))
+        assert rebuilt == report
+        assert rebuilt.for_column("customers", "city").cells_verified == 152
+        assert rebuilt.for_column("customers", "city").tamper_detected == 3
+
+    def test_pre_integrity_dicts_still_load(self) -> None:
+        data = sample_report().to_dict()
+        for entry in data["columns"]:
+            del entry["cells_verified"]
+            del entry["tamper_detected"]
+        rebuilt = ExposureReport.from_dict(data)
+        assert all(entry.cells_verified == 0 for entry in rebuilt.columns)
+        assert all(entry.tamper_detected == 0 for entry in rebuilt.columns)
+
+    def test_counters_default_to_zero(self) -> None:
+        entry = sample_report().columns[1]
+        assert entry.cells_verified == 0 and entry.tamper_detected == 0
+
+    def test_malformed_payloads_fail_loudly(self) -> None:
+        with pytest.raises(ServiceError):
+            ExposureReport.from_dict({"not-columns": []})
+        with pytest.raises(ServiceError):
+            ExposureReport.from_dict({"columns": "nope"})
+        with pytest.raises(ServiceError):
+            ColumnExposure.from_dict(
+                {
+                    "table": "t",
+                    "column": "c",
+                    "onions": "not-a-mapping",
+                    "weakest_class": "DET",
+                    "security_level": 3,
+                }
+            )
+
+
+def test_from_proxy_report_reads_counters() -> None:
+    """The proxy's legacy dict shape carries the counters into the report."""
+    legacy = {
+        ("t", "c"): {
+            "onions": {"eq": "DET"},
+            "weakest_class": EncryptionClass.DET,
+            "security_level": 3,
+            "cells_verified": 7,
+            "tamper_detected": 1,
+        },
+        ("t", "d"): {
+            # A pre-integrity entry: no counter keys at all.
+            "onions": {"eq": "DET"},
+            "weakest_class": EncryptionClass.DET,
+            "security_level": 3,
+        },
+    }
+    report = ExposureReport.from_proxy_report(legacy)
+    assert report.for_column("t", "c").cells_verified == 7
+    assert report.for_column("t", "c").tamper_detected == 1
+    assert report.for_column("t", "d").cells_verified == 0

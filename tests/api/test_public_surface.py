@@ -23,8 +23,9 @@ import repro.api
 REPO_ROOT = Path(__file__).resolve().parents[2]
 
 #: The frozen public surface (PR 6 added the serving layer, PR 7 the
-#: sublinear mining layer).  Changing this set is an API decision: update
-#: the snapshot *and* the README "Public API" section together.
+#: sublinear mining layer, PR 8 the integrity layer).  Changing this set is
+#: an API decision: update the snapshot *and* the README "Public API"
+#: section together.
 EXPECTED_SURFACE = frozenset(
     {
         "API_VERSION",
@@ -34,6 +35,7 @@ EXPECTED_SURFACE = frozenset(
         "ApproxStreamMiner",
         "BackendConfig",
         "CandidateStats",
+        "ChainCheckpoint",
         "ColumnExposure",
         "CondensedDistanceMatrix",
         "ConfigError",
@@ -75,6 +77,7 @@ EXPECTED_SURFACE = frozenset(
         "StreamingQueryLog",
         "StructureDistance",
         "StructureDpeScheme",
+        "TamperDetected",
         "TenantHandle",
         "TenantStats",
         "TokenDistance",

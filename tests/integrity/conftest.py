@@ -1,0 +1,163 @@
+"""Fault-injection fixtures for the integrity suite.
+
+The suite proves the two contracts of the integrity layer on *both*
+execution backends:
+
+1. an honest provider pays nothing — authenticated runs are bit-for-bit
+   equal to unauthenticated ones and never raise;
+2. a tampering provider is always caught — every tamper class of
+   :mod:`repro.attacks.tamper` (ciphertext bit flip, row swap, stale
+   snapshot replay, log rollback) surfaces as
+   :class:`~repro.api.TamperDetected`.
+
+The central fixture is :func:`make_injector`: it builds a small
+authenticated service over the webshop profile, opens a session on the
+requested backend, and returns a :class:`FaultInjector` that can corrupt
+the backend's stored tuples (any table/column/row, with sensible defaults)
+or truncate a streamed log's suffix at a chosen point — uniformly for the
+in-memory interpreter and the SQLite engine.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import pytest
+
+from repro.api import (
+    CryptoConfig,
+    EncryptedMiningService,
+    ServiceConfig,
+    ServiceSession,
+    StreamingQueryLog,
+)
+from repro.attacks import tamper
+from repro.db.database import Database
+from repro.sql.log import QueryLog
+from repro.workloads.generator import QueryLogGenerator, WorkloadMix
+from repro.workloads.schemas import populate_database, webshop_profile
+
+#: Both execution backends; every detection test runs on each.
+BACKENDS = ("memory", "sqlite")
+
+PROFILE = webshop_profile(customer_rows=8, order_rows=12, product_rows=5)
+
+
+@pytest.fixture(scope="session")
+def spj_queries() -> QueryLog:
+    """A small deterministic SPJ workload over the webshop profile."""
+    return QueryLogGenerator(PROFILE, WorkloadMix.spj_only(), seed=21).generate(10)
+
+
+def build_service(
+    *, authenticate: bool = True, auto_verify: bool = True, passphrase: str = "integrity"
+) -> tuple[EncryptedMiningService, Database]:
+    """A small service over the webshop profile, already encrypted."""
+    service = EncryptedMiningService(
+        ServiceConfig(
+            crypto=CryptoConfig(
+                passphrase=passphrase,
+                paillier_bits=256,
+                shared_det_key=True,
+                authenticate=authenticate,
+                auto_verify=auto_verify,
+            )
+        ),
+        join_groups=PROFILE.join_groups(),
+    )
+    encrypted = service.encrypt(populate_database(PROFILE, seed=2))
+    return service, encrypted
+
+
+@dataclass
+class FaultInjector:
+    """Corrupt one session's stored tuples or streamed log at a chosen point.
+
+    Wraps an open authenticated session plus the encrypted database it
+    serves, and applies the tamper primitives of :mod:`repro.attacks.tamper`
+    against whatever engine actually holds the data.
+    """
+
+    service: EncryptedMiningService
+    session: ServiceSession
+    encrypted: Database
+    backend: str
+    register: object  # callable collecting extra sessions for teardown
+
+    @property
+    def provider(self):
+        """The session's execution backend — the adversary's viewpoint."""
+        return tamper.storage_backend(self.session)
+
+    def target(self, suffix: str = "_ord") -> tuple[str, str]:
+        """A default (encrypted table, physical column) tamper target."""
+        table = sorted(self.encrypted.table_names)[0]
+        column = next(
+            name
+            for name in self.encrypted.table(table).schema.column_names
+            if name.endswith(suffix)
+        )
+        return table, column
+
+    def flip(self, *, suffix: str = "_ord", row: int = 0) -> tamper.TamperResult:
+        """Flip one ciphertext bit in the chosen onion column."""
+        table, column = self.target(suffix)
+        return tamper.flip_ciphertext(self.provider, table, column, row=row)
+
+    def swap(self, *, row_a: int = 0, row_b: int = 1) -> tamper.TamperResult:
+        """Swap two stored rows of the default target table."""
+        table, _ = self.target()
+        return tamper.swap_rows(self.provider, table, row_a=row_a, row_b=row_b)
+
+    def replay(self) -> tuple[tamper.TamperResult, ServiceSession]:
+        """Replay a stale snapshot after the owner re-encrypted the database.
+
+        Captures the current stored table, lets the owner re-encrypt (the
+        snapshot-version bump), opens a fresh session serving the new
+        snapshot, and writes the stale rows back into *its* storage.
+        Returns the tamper result and the fresh session the audit should
+        now catch.
+        """
+        table, _ = self.target()
+        stale = tamper.capture_rows(self.provider, table)
+        self.service.encrypt(populate_database(PROFILE, seed=2))
+        fresh = self.service.open_session(backend=self.backend, on_unsupported="skip")
+        self.register(fresh)
+        result = tamper.replay_rows(tamper.storage_backend(fresh), table, stale)
+        return result, fresh
+
+    def rollback(self, sink: StreamingQueryLog, *, drop: int = 3) -> tamper.TamperResult:
+        """Truncate the streamed log's most recent ``drop`` entries."""
+        return tamper.rollback_log(sink, max(0, sink.chain_length - drop))
+
+
+@pytest.fixture
+def service_builder():
+    """The :func:`build_service` factory, as a fixture."""
+    return build_service
+
+
+@pytest.fixture
+def make_injector():
+    """Factory: an open :class:`FaultInjector` on the chosen backend."""
+    open_sessions = []
+
+    def build(
+        backend: str, *, authenticate: bool = True, auto_verify: bool = True
+    ) -> FaultInjector:
+        service, encrypted = build_service(
+            authenticate=authenticate, auto_verify=auto_verify
+        )
+        session = service.open_session(backend=backend, on_unsupported="skip")
+        open_sessions.append(session)
+        return FaultInjector(
+            service=service,
+            session=session,
+            encrypted=encrypted,
+            backend=backend,
+            register=open_sessions.append,
+        )
+
+    yield build
+    for session in open_sessions:
+        session.close()

@@ -1,0 +1,68 @@
+"""Authentication is free for honest providers.
+
+The integrity layer keeps every tag *detached* (owner-side manifests,
+signed checkpoints) and never touches a stored ciphertext byte, so an
+authenticated service must be observably identical to an unauthenticated
+one built from the same passphrase: same deterministic ciphertexts on
+disk, same decrypted results, zero alarms.  Raw HOM columns are the one
+legitimate difference between two encryption runs (probabilistic Paillier
+blinding), so the stored-bytes comparison excludes them and the result
+comparison happens after decryption — the user-visible contract.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.api import StreamingQueryLog
+
+BACKENDS = ("memory", "sqlite")
+
+
+def stored_non_hom_cells(encrypted):
+    """Every stored cell outside the probabilistically blinded HOM columns."""
+    cells = {}
+    for name in encrypted.table_names:
+        table = encrypted.table(name)
+        for column in table.schema.column_names:
+            if column.endswith("_hom"):
+                continue
+            cells[(name, column)] = tuple(table.column_values(column))
+    return cells
+
+
+def test_stored_ciphertexts_identical(service_builder):
+    plain_service, plain_db = service_builder(authenticate=False)
+    auth_service, auth_db = service_builder(authenticate=True)
+    assert stored_non_hom_cells(plain_db) == stored_non_hom_cells(auth_db)
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+def test_decrypted_results_identical(service_builder, backend, spj_queries):
+    plain_service, _ = service_builder(authenticate=False)
+    auth_service, _ = service_builder(authenticate=True)
+    plain_run = plain_service.run_workload(
+        spj_queries, backend=backend, on_unsupported="skip"
+    )
+    auth_run = auth_service.run_workload(
+        spj_queries, backend=backend, on_unsupported="skip"
+    )
+    assert len(plain_run.results) == len(auth_run.results) > 0
+    plain_rows = [plain_service.decrypt(result) for result in plain_run.results]
+    auth_rows = [auth_service.decrypt(result) for result in auth_run.results]
+    assert plain_rows == auth_rows
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+def test_honest_run_raises_no_alarms(service_builder, backend, spj_queries):
+    service, _ = service_builder(authenticate=True, auto_verify=True)
+    with service.open_session(backend=backend, on_unsupported="skip") as session:
+        session.run(spj_queries)  # lazy audit + decrypt-path checks, no raise
+        assert session.verify_storage() > 0
+        sink = StreamingQueryLog()
+        session.stream(spj_queries.queries, into=sink)
+        verified = session.verify_stream(sink)
+        assert verified.length == sink.chain_length
+    report = service.exposure_report()
+    assert sum(entry.cells_verified for entry in report.columns) > 0
+    assert all(entry.tamper_detected == 0 for entry in report.columns)

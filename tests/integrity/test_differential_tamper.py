@@ -1,0 +1,79 @@
+"""Differential tamper fuzzing: both backends agree, tampered or not.
+
+The cross-backend differential oracle (PR 2) proves the interpreter and the
+SQLite engine compute the same answers; this suite extends the oracle to
+the integrity layer.  Under seeded random fault injection — a random
+tamper class against a random table/column/row — the two backends must
+fail *identically*: the same :class:`~repro.api.TamperDetected` error, at
+the same check.  And on clean authenticated runs the oracle still finds
+no deviation between the backends' encrypted results.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.api import TamperDetected
+from repro.attacks import tamper
+from repro.db.differential import result_difference
+
+
+def random_fault(rng: random.Random, injector):
+    """Apply one randomly chosen storage tamper; returns its description."""
+    encrypted = injector.encrypted
+    table = rng.choice(sorted(encrypted.table_names))
+    columns = encrypted.table(table).schema.column_names
+    n_rows = len(encrypted.table(table).rows)
+    kind = rng.choice(["flip", "swap"])
+    if kind == "flip":
+        column = rng.choice(columns)
+        row = rng.randrange(n_rows)
+        tamper.flip_ciphertext(injector.provider, table, column, row=row)
+        return f"flip {table}.{column} row {row}"
+    row_a = rng.randrange(n_rows)
+    row_b = (row_a + 1 + rng.randrange(n_rows - 1)) % n_rows
+    result = tamper.swap_rows(
+        injector.provider, table, row_a=min(row_a, row_b), row_b=max(row_a, row_b)
+    )
+    if result.cells_changed == 0:
+        # Identical rows: fall back to a guaranteed-effective flip.
+        tamper.flip_ciphertext(injector.provider, table, columns[0], row=row_a)
+        return f"flip {table}.{columns[0]} row {row_a} (swap was a no-op)"
+    return f"swap {table} rows {row_a} and {row_b}"
+
+
+@pytest.mark.parametrize("seed", range(6))
+def test_backends_raise_identically_under_random_faults(make_injector, seed):
+    outcomes = {}
+    for backend in ("memory", "sqlite"):
+        injector = make_injector(backend, auto_verify=False)
+        description = random_fault(random.Random(seed), injector)
+        try:
+            injector.session.verify_storage()
+            outcomes[backend] = ("missed", description)
+        except TamperDetected:
+            outcomes[backend] = ("detected", description)
+    assert outcomes["memory"] == outcomes["sqlite"]
+    assert outcomes["memory"][0] == "detected", outcomes
+
+
+@pytest.mark.parametrize("seed", range(3))
+def test_backends_agree_on_clean_authenticated_runs(make_injector, spj_queries, seed):
+    rng = random.Random(seed)
+    queries = list(spj_queries.queries)
+    rng.shuffle(queries)
+    results = {}
+    for backend in ("memory", "sqlite"):
+        injector = make_injector(backend, auto_verify=True)
+        run = injector.session.run(queries)
+        assert len(run.results) == len(queries)
+        results[backend] = [
+            injector.service.decrypt(result) for result in run.results
+        ]
+    for query, reference, candidate in zip(
+        queries, results["memory"], results["sqlite"]
+    ):
+        difference = result_difference(query, reference, candidate)
+        assert difference is None, difference

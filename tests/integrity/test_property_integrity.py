@@ -1,0 +1,181 @@
+"""Property tests of the integrity primitives.
+
+Hypothesis drives the core claims with adversarially chosen inputs:
+
+* *manifest tags* — for ciphertext shapes from every onion layer (DET/SIV
+  text on EQ, OPE integers on ORD, Paillier big integers on HOM), flipping
+  a single bit of any stored value or swapping any unequal pair of rows
+  changes the recomputed row tag away from the manifest's;
+* *hash chains* — over encrypted query logs produced by all four distance
+  measures' DPE schemes, ``verify_log_entries`` accepts a log if and only
+  if it is an exact prefix-extension of the signed checkpoint: any
+  truncated suffix or mutated committed entry is rejected, every honest
+  extension is accepted.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core.schemes import (
+    AccessAreaDpeScheme,
+    ResultDpeScheme,
+    StructureDpeScheme,
+    TokenDpeScheme,
+)
+from repro.crypto.integrity import (
+    ColumnAuthenticator,
+    sign_checkpoint,
+    verify_log_entries,
+)
+from repro.crypto.keys import KeyChain, MasterKey
+from repro.exceptions import IntegrityError
+from repro.workloads.generator import QueryLogGenerator, WorkloadMix
+from repro.workloads.schemas import populate_database, webshop_profile
+
+KEY = KeyChain(MasterKey.from_passphrase("integrity-tests")).key_for("integrity", "t")
+CHECKPOINT_KEY = KeyChain(MasterKey.from_passphrase("integrity-tests")).key_for(
+    "integrity", "checkpoint"
+)
+
+# Ciphertext shapes as each onion layer stores them: EQ holds SIV text,
+# ORD holds OPE integers, HOM holds Paillier residues (huge integers).
+ONION_VALUES = {
+    "eq": st.text(min_size=1, max_size=24),
+    "ord": st.integers(min_value=0, max_value=2**63 - 1),
+    "hom": st.integers(min_value=2**200, max_value=2**256),
+}
+
+
+def flip_bit(value):
+    if isinstance(value, int):
+        return value ^ 1
+    return value[:-1] + chr(ord(value[-1]) ^ 1)
+
+
+@pytest.mark.parametrize("onion", sorted(ONION_VALUES))
+@given(data=st.data())
+def test_single_flipped_bit_breaks_the_row_tag(onion, data):
+    values = data.draw(st.lists(ONION_VALUES[onion], min_size=1, max_size=8))
+    index = data.draw(st.integers(min_value=0, max_value=len(values) - 1))
+    authenticator = ColumnAuthenticator(KEY)
+    manifest = authenticator.manifest(values, version=1)
+    tampered = flip_bit(values[index])
+    assert (
+        authenticator.row_tag(index, 1, tampered) != manifest.row_tags[index]
+    ), "a one-bit edit must break the row tag"
+    assert authenticator.value_tag(tampered) not in manifest.value_tags or tampered in values
+
+
+@pytest.mark.parametrize("onion", sorted(ONION_VALUES))
+@given(data=st.data())
+def test_swapped_pair_breaks_the_row_tags(onion, data):
+    values = data.draw(
+        st.lists(ONION_VALUES[onion], min_size=2, max_size=8, unique=True)
+    )
+    row_a = data.draw(st.integers(min_value=0, max_value=len(values) - 2))
+    row_b = data.draw(st.integers(min_value=row_a + 1, max_value=len(values) - 1))
+    authenticator = ColumnAuthenticator(KEY)
+    manifest = authenticator.manifest(values, version=1)
+    assert authenticator.row_tag(row_a, 1, values[row_b]) != manifest.row_tags[row_a]
+    assert authenticator.row_tag(row_b, 1, values[row_a]) != manifest.row_tags[row_b]
+
+
+@given(data=st.data())
+def test_replayed_version_breaks_the_row_tag(data):
+    value = data.draw(ONION_VALUES["ord"])
+    version = data.draw(st.integers(min_value=1, max_value=100))
+    stale_version = data.draw(st.integers(min_value=0, max_value=version - 1))
+    authenticator = ColumnAuthenticator(KEY)
+    assert authenticator.row_tag(0, version, value) != authenticator.row_tag(
+        0, stale_version, value
+    ), "tags must bind the snapshot version, or replays go unnoticed"
+
+
+# --------------------------------------------------------------------------- #
+# hash chains over the four measures' encrypted logs
+
+
+def _encrypted_corpora() -> dict[str, list[str]]:
+    """SQL texts of one small workload encrypted by each measure's scheme."""
+    profile = webshop_profile(customer_rows=6, order_rows=8, product_rows=4)
+    # SPJ only: the result-distance scheme rejects aggregate queries.
+    log = QueryLogGenerator(profile, WorkloadMix.spj_only(), seed=17).generate(8)
+    keychain = KeyChain(MasterKey.from_passphrase("integrity-chains"))
+    corpora: dict[str, list[str]] = {}
+    result_scheme = ResultDpeScheme(
+        keychain, paillier_bits=256, join_groups=profile.join_groups()
+    )
+    # The result scheme rewrites against the encrypted schema, so the
+    # database must be encrypted before its log can be.
+    result_scheme.proxy.encrypt_database(populate_database(profile, seed=17))
+    for name, scheme in (
+        ("token", TokenDpeScheme(keychain)),
+        ("structure", StructureDpeScheme(keychain)),
+        ("result", result_scheme),
+        ("access-area", AccessAreaDpeScheme(keychain)),
+    ):
+        if isinstance(scheme, AccessAreaDpeScheme):
+            scheme.fit(log, profile.domain_catalog())
+        encrypted = scheme.encrypt_log(log)
+        corpora[name] = [entry.sql for entry in encrypted]
+    return corpora
+
+
+CORPORA = _encrypted_corpora()
+
+
+def checkpoint_at(entries: list[str], length: int):
+    """The owner's signed checkpoint after ``length`` entries."""
+    from repro.crypto.integrity import LogHashChain
+
+    chain = LogHashChain()
+    for sql in entries[:length]:
+        chain.extend(sql)
+    return sign_checkpoint(CHECKPOINT_KEY, chain.length, chain.head)
+
+
+@pytest.mark.parametrize("measure", sorted(CORPORA))
+@given(data=st.data())
+def test_verify_chain_accepts_exactly_prefix_extensions(measure, data):
+    entries = CORPORA[measure]
+    committed = data.draw(st.integers(min_value=0, max_value=len(entries)))
+    checkpoint = checkpoint_at(entries, committed)
+
+    # Every honest extension of the committed prefix is accepted.
+    extension = data.draw(st.integers(min_value=committed, max_value=len(entries)))
+    verify_log_entries(entries[:extension], checkpoint, CHECKPOINT_KEY)
+
+    # Any truncation below the checkpoint is a rollback.
+    if committed > 0:
+        truncated = data.draw(st.integers(min_value=0, max_value=committed - 1))
+        with pytest.raises(IntegrityError):
+            verify_log_entries(entries[:truncated], checkpoint, CHECKPOINT_KEY)
+
+
+@pytest.mark.parametrize("measure", sorted(CORPORA))
+@given(data=st.data())
+def test_verify_chain_rejects_mutated_history(measure, data):
+    entries = CORPORA[measure]
+    committed = data.draw(st.integers(min_value=1, max_value=len(entries)))
+    checkpoint = checkpoint_at(entries, committed)
+    mutated_index = data.draw(st.integers(min_value=0, max_value=committed - 1))
+    mutated = list(entries)
+    mutated[mutated_index] = flip_bit(mutated[mutated_index])
+    with pytest.raises(IntegrityError):
+        verify_log_entries(mutated, checkpoint, CHECKPOINT_KEY)
+
+
+@given(st.integers(min_value=0, max_value=8), st.integers(min_value=0, max_value=8))
+def test_forged_checkpoint_is_rejected(length, other_length):
+    entries = CORPORA["token"]
+    honest = checkpoint_at(entries, length)
+    forged_key = KeyChain(MasterKey.from_passphrase("not-the-owner")).key_for(
+        "integrity", "checkpoint"
+    )
+    with pytest.raises(IntegrityError):
+        verify_log_entries(entries, honest, forged_key)
+    forged = sign_checkpoint(forged_key, honest.length, honest.head)
+    with pytest.raises(IntegrityError):
+        verify_log_entries(entries, forged, CHECKPOINT_KEY)

@@ -1,0 +1,103 @@
+"""Hash-chain commitments stay consistent under multi-tenant stream hammering.
+
+The race surface: every tenant's streamed batches append to its sink's
+hash chain and re-sign a checkpoint on the shared default session, while
+the server's worker pool interleaves batches of *all* tenants.  The chain
+must record exactly the entries that entered each tenant's sink, in order;
+the last signed checkpoint must be whole (never a torn length/head pair)
+and must verify against the final chain state.
+
+CI's thread-stress job runs this file (with the rest of ``tests/server``)
+five times back to back.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.api import (
+    BackendConfig,
+    CryptoConfig,
+    ServiceConfig,
+    StreamingQueryLog,
+    TamperDetected,
+    WorkloadConfig,
+)
+from repro.attacks import tamper
+
+TENANTS = 3
+BATCHES = 8
+BATCH_SIZE = 3
+
+
+def authenticated_config(name: str) -> ServiceConfig:
+    return ServiceConfig(
+        crypto=CryptoConfig(passphrase=name, paillier_bits=256, authenticate=True),
+        backend=BackendConfig(name="sqlite"),
+        workload=WorkloadConfig(size=BATCHES * BATCH_SIZE, seed=5),
+    )
+
+
+def test_per_tenant_chains_survive_concurrent_streaming(server):
+    sinks = {}
+    for index in range(TENANTS):
+        name = f"chained-{index}"
+        server.add_tenant(name, authenticated_config(name))
+        sinks[name] = StreamingQueryLog()
+
+    # Interleave every tenant's batches through the shared worker pool.
+    futures = []
+    for name in sinks:
+        queries = server.tenant(name).service.generate_workload().queries
+        for start in range(0, len(queries), BATCH_SIZE):
+            batch = queries[start : start + BATCH_SIZE]
+            futures.append((name, len(batch), server.stream(name, batch, into=sinks[name])))
+    streamed = {name: 0 for name in sinks}
+    for name, size, future in futures:
+        assert len(future.result()) == size
+        streamed[name] += size
+
+    for name, sink in sinks.items():
+        handle = server.tenant(name)
+        session = handle.session()
+        # The chain covers exactly this tenant's entries, in full.
+        assert sink.chain_length == streamed[name] == BATCHES * BATCH_SIZE
+        # The last checkpoint is whole and verifies against the chain:
+        # a torn length/head pair would fail its own signature, a
+        # checkpoint from another tenant's key would too.
+        checkpoint = session.last_checkpoint
+        assert checkpoint is not None
+        assert checkpoint.length == sink.chain_length
+        assert checkpoint.head == sink.chain_head
+        verified = session.verify_stream(sinks[name])
+        assert verified == checkpoint
+
+        # The tenant's metrics surface the same checkpoint.
+        integrity = handle.stats().integrity
+        assert integrity["authenticated"] is True
+        assert integrity["checkpoint_length"] == checkpoint.length
+        assert integrity["checkpoint_head"] == checkpoint.head
+
+    # Chains are per-tenant: one tenant's checkpoint never verifies a
+    # different tenant's sink (different checkpoint keys).
+    first, second = "chained-0", "chained-1"
+    with pytest.raises(TamperDetected):
+        server.tenant(first).session().verify_stream(sinks[second])
+
+
+def test_rollback_detected_after_concurrent_streaming(server):
+    name = "chained-rollback"
+    server.add_tenant(name, authenticated_config(name))
+    sink = StreamingQueryLog()
+    queries = server.tenant(name).service.generate_workload().queries
+    futures = [
+        server.stream(name, queries[start : start + BATCH_SIZE], into=sink)
+        for start in range(0, len(queries), BATCH_SIZE)
+    ]
+    for future in futures:
+        future.result()
+    session = server.tenant(name).session()
+    session.verify_stream(sink)  # clean chain verifies
+    tamper.rollback_log(sink, sink.chain_length - 2)
+    with pytest.raises(TamperDetected):
+        session.verify_stream(sink)
