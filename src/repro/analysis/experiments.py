@@ -20,15 +20,18 @@ P2        distance-matrix / mining cost, plaintext vs encrypted
 P3        parallel sharding + incremental streaming of the pipeline
 P4        crypto fast paths (batched Paillier, cached OPE) vs reference
 P6        sublinear mining: pivot-indexed kNN/DBSCAN vs exact pipeline
+R1        resilience: seeded faults, retries, crash-safe recovery
 A1        ablation: non-appropriate class choices
 ========  ===========================================================
 """
 
 from __future__ import annotations
 
+import tempfile
 import time
 from collections.abc import Callable
 from dataclasses import dataclass, field
+from pathlib import Path
 
 import numpy as np
 
@@ -39,9 +42,16 @@ from repro.analysis.security import run_security_comparison
 from repro.analysis.table1 import format_table1, render_figure1, table1_matches_paper
 from repro.api import (
     DEFAULT_BACKEND,
+    BackendConfig,
     CryptoConfig,
     EncryptedMiningService,
+    FaultInjector,
+    MiningServer,
+    ReliabilityConfig,
+    ServerConfig,
     ServiceConfig,
+    ServiceError,
+    StreamJournal,
     StreamingQueryLog,
     TamperDetected,
 )
@@ -984,6 +994,192 @@ def run_p6(
     )
 
 
+def run_r1(
+    *,
+    log_size: int = 24,
+    seed: int = 13,
+    transient_rate: float = 0.05,
+    backend: str = DEFAULT_BACKEND,
+    batch_size: int = 4,
+) -> ExperimentOutcome:
+    """R1: resilience — fault-injected serving completes bit-for-bit.
+
+    Two phases share one seeded :class:`~repro.api.FaultInjector` (so the
+    whole fault schedule reproduces from ``seed``):
+
+    1. *Transient faults, workload path.*  A multi-tenant server routes one
+       tenant through a registered chaos backend that fails a seeded ~5% of
+       executions with retryable :class:`~repro.exceptions.InjectedFault`
+       errors (plus one scripted fault, so at least one retry always
+       happens).  With the reliability config's retries enabled, **every**
+       admitted workload must complete, and the decrypted results must
+       equal a fault-free reference service built from the same passphrase.
+    2. *Worker crash, streaming path.*  The tenant streams the same log in
+       batches into a journaled incremental miner; a scripted
+       :class:`~repro.exceptions.WorkerCrashed` kills one mid-stream batch
+       (the batch never reaches the sink or the journal — exactly a dead
+       worker).  Recovery replays the hash-chain-verified journal, the
+       crashed batch is resubmitted, and the final mining artefacts
+       (distance matrix, kNN, DBSCAN labels, chain head) must be
+       bit-for-bit equal to an uninterrupted fault-free run.
+
+    Success requires 100% completion of admitted work, all equality checks,
+    at least one injected transient and exactly one forced crash.
+    """
+    profile = webshop_profile(customer_rows=20, order_rows=40, product_rows=10)
+    spj_log = QueryLogGenerator(profile, WorkloadMix.spj_only(), seed=seed).generate(log_size)
+    queries = list(spj_log.queries)
+    batches = [queries[i : i + batch_size] for i in range(0, len(queries), batch_size)]
+
+    injector = FaultInjector(seed=seed, transient_rate=transient_rate)
+    chaos_name = injector.register_chaos_backend(f"chaos-r1-{backend}", inner=backend)
+    backend_site = f"chaos-r1-{backend}.backend"
+    # One scripted transient guarantees the retry path is exercised even if
+    # the random draws happen to spare this seed's call sequence.
+    injector.script(f"{backend_site}.execute", at_call=2)
+
+    def build_config(backend_name: str) -> ServiceConfig:
+        return ServiceConfig(
+            crypto=CryptoConfig(
+                passphrase="experiments/r1", paillier_bits=256, shared_det_key=True
+            ),
+            backend=BackendConfig(name=backend_name, on_unsupported="skip"),
+            reliability=ReliabilityConfig(
+                max_retries=4, backoff_base=0.001, backoff_max=0.01
+            ),
+        )
+
+    # Fault-free reference: same passphrase (hence key material), plain
+    # backend, no injector anywhere.
+    reference = EncryptedMiningService(build_config(backend), join_groups=profile.join_groups())
+    reference.encrypt(populate_database(profile, seed=seed))
+    reference_rows = [
+        [reference.decrypt(result) for result in reference.run_workload(batch).results]
+        for batch in batches
+    ]
+    reference_matrix = reference.incremental_miner()
+    with reference.open_session() as session:
+        for batch in batches:
+            session.stream(batch, into=reference_matrix.stream)
+
+    crash_batch = len(batches) // 2 + 1
+    with tempfile.TemporaryDirectory(prefix="repro-r1-") as tmp:
+        journal_path = str(Path(tmp) / "r1.journal")
+        server_config = ServerConfig(
+            workers=2,
+            reliability={"deadline_ms": 120_000, "breaker_enabled": True},
+        )
+        with MiningServer(server_config) as server:
+            handle = server.add_tenant(
+                "r1",
+                build_config(chaos_name),
+                database=populate_database(profile, seed=seed),
+                join_groups=profile.join_groups(),
+            )
+
+            # Phase 1: every admitted workload completes under transients.
+            futures = [server.submit("r1", batch) for batch in batches]
+            workload_rows = []
+            completed = 0
+            for future in futures:
+                result = future.result()
+                completed += 1
+                workload_rows.append(
+                    [handle.service.decrypt(encrypted) for encrypted in result.results]
+                )
+            workloads_equal = workload_rows == reference_rows
+
+            # Phase 2: journaled streaming with a forced mid-stream crash.
+            matrix, journal = handle.service.journaled_miner(path=journal_path)
+            sink = injector.wrap_sink(matrix.stream, site="r1.worker", scripted_only=True)
+            injector.script_crash("r1.worker.append", at_call=crash_batch)
+            crashes = 0
+            recovery_report = None
+            index = 0
+            while index < len(batches):
+                try:
+                    server.stream("r1", batches[index], into=sink).result()
+                except ServiceError as error:
+                    if crashes or recovery_report is not None:  # pragma: no cover
+                        raise
+                    crashes += 1
+                    # The worker died: its journal handle goes down with it.
+                    journal.close()
+                    matrix, recovery_report = handle.service.recover_miner(
+                        path=journal_path
+                    )
+                    journal = StreamJournal(journal_path)
+                    journal.attach(matrix.stream)
+                    sink = injector.wrap_sink(
+                        matrix.stream, site="r1.worker", scripted_only=True
+                    )
+                    del error  # resubmit the crashed batch below
+                    continue
+                index += 1
+            journal.close()
+
+            tenant_stats = server.stats().for_tenant("r1")
+
+    streams_equal = bool(
+        np.array_equal(matrix.square(), reference_matrix.square())
+        and matrix.stream.chain_head == reference_matrix.stream.chain_head
+        and matrix.dbscan().labels == reference_matrix.dbscan().labels
+        and matrix.knn_all() == reference_matrix.knn_all()
+    )
+    fault_stats = injector.stats()
+    injected = sum(entry["injected"] for entry in fault_stats.values())
+    admitted = len(batches)
+    success = (
+        completed == admitted
+        and workloads_equal
+        and streams_equal
+        and crashes == 1
+        and recovery_report is not None
+        and injected > crashes
+    )
+
+    rows = [
+        (site, str(entry["calls"]), str(entry["injected"]), str(entry["delayed"]))
+        for site, entry in fault_stats.items()
+    ]
+    lines = [
+        format_table(["fault site", "calls", "injected", "delayed"], rows),
+        "",
+        f"workloads admitted/completed: {admitted}/{completed}",
+        f"decrypted workload results equal fault-free run: {workloads_equal}",
+        f"forced worker crashes: {crashes} (batch {crash_batch})",
+        "journal recovery: "
+        + (
+            f"{recovery_report.batches_replayed} batches / "
+            f"{recovery_report.entries_replayed} entries replayed"
+            if recovery_report is not None
+            else "never ran"
+        ),
+        f"recovered mining artefacts bit-for-bit equal: {streams_equal}",
+        f"tenant reliability counters: {tenant_stats.reliability}",
+    ]
+    return ExperimentOutcome(
+        experiment_id="R1",
+        title="Resilience: seeded faults, retries, crash-safe recovery",
+        success=success,
+        report="\n".join(lines),
+        data={
+            "admitted": admitted,
+            "completed": completed,
+            "workloads_equal": workloads_equal,
+            "streams_equal": streams_equal,
+            "crashes": crashes,
+            "injected": injected,
+            "fault_sites": fault_stats,
+            "recovery": recovery_report.to_dict() if recovery_report else None,
+            "reliability": tenant_stats.reliability,
+            "backend": backend,
+            "seed": seed,
+            "transient_rate": transient_rate,
+        },
+    )
+
+
 def run_a1(*, log_size: int = 50, seed: int = 11) -> ExperimentOutcome:
     """A1: ablation of non-appropriate encryption-class choices."""
     result = run_ablation(log_size=log_size, seed=seed)
@@ -1052,6 +1248,7 @@ _REGISTRY: dict[str, tuple[str, Callable[..., ExperimentOutcome]]] = {
     "P3": ("Parallel & incremental mining pipeline", run_p3),
     "P4": ("Crypto fast paths vs scalar reference", run_p4),
     "P6": ("Sublinear pivot-pruned mining vs exact pipeline", run_p6),
+    "R1": ("Resilience: seeded faults, retries, crash-safe recovery", run_r1),
     "A1": ("Ablation: non-appropriate classes", run_a1),
 }
 

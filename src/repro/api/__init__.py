@@ -21,7 +21,14 @@ integrity layer (:attr:`CryptoConfig.authenticate` /
 :attr:`CryptoConfig.auto_verify`) authenticates every stored ciphertext
 with detached MACs and commits streamed query logs to signed hash chains
 (:class:`ChainCheckpoint`); a tampering or rolling-back provider surfaces
-as :class:`TamperDetected`.
+as :class:`TamperDetected`.  The fault-tolerance layer
+(:class:`ReliabilityConfig` on both service and server configs) adds
+retries with decorrelated-jitter backoff (:class:`RetryPolicy`),
+cooperative :class:`Deadline` budgets (:class:`DeadlineExceeded`),
+per-tenant circuit breakers (:class:`CircuitBreaker`, :class:`CircuitOpen`)
+and crash-safe streaming recovery (:class:`StreamJournal`,
+:func:`recover_matrix`), all exercised deterministically by the seeded
+:class:`FaultInjector`.
 
 The exported symbol set is a deliberate contract: it is snapshot-tested
 (``tests/api/test_public_surface.py``), so additions and removals are
@@ -46,13 +53,16 @@ from repro.api.config import (
     BackendConfig,
     CryptoConfig,
     MiningConfig,
+    ReliabilityConfig,
     ServerConfig,
     ServiceConfig,
     WorkloadConfig,
 )
 from repro.api.errors import (
     ApiError,
+    CircuitOpen,
     ConfigError,
+    DeadlineExceeded,
     QueryRejected,
     ServerError,
     ServerOverloaded,
@@ -118,16 +128,26 @@ from repro.workloads import (
     webshop_profile,
 )
 
-# The serving layer lives in repro.server, which imports from the api
-# submodules above; importing it last keeps the cycle one-directional (the
-# submodules are fully initialised by now, whichever package was imported
-# first — repro/server/__init__.py anchors the other direction).
+# The serving and reliability layers live in repro.server/repro.reliability,
+# which import from the api submodules above; importing them last keeps the
+# cycle one-directional (the submodules are fully initialised by now,
+# whichever package was imported first — the packages' own __init__ modules
+# anchor the other direction).
+from repro.reliability.faults import FaultInjector
+from repro.reliability.journal import RecoveryReport, StreamJournal, recover_matrix
+from repro.reliability.policy import (
+    CircuitBreaker,
+    Deadline,
+    ReliabilityStats,
+    RetryPolicy,
+    classify_transient,
+)
 from repro.server.server import MiningServer
 from repro.server.stats import QueueStats, ServerStats, TenantStats
 from repro.server.tenant import TenantHandle
 
 #: Revision of the public surface; bumped when ``__all__`` changes shape.
-API_VERSION = "1.3"
+API_VERSION = "1.4"
 
 __all__ = [
     "API_VERSION",
@@ -138,16 +158,21 @@ __all__ = [
     "BackendConfig",
     "CandidateStats",
     "ChainCheckpoint",
+    "CircuitBreaker",
+    "CircuitOpen",
     "ColumnExposure",
     "CondensedDistanceMatrix",
     "ConfigError",
     "CryptoConfig",
     "DEFAULT_BACKEND",
     "DbscanResult",
+    "Deadline",
+    "DeadlineExceeded",
     "Dendrogram",
     "EncryptedMiningService",
     "EncryptedResult",
     "ExposureReport",
+    "FaultInjector",
     "IncrementalDistanceMatrix",
     "JoinGroupSpec",
     "KMedoidsResult",
@@ -163,8 +188,12 @@ __all__ = [
     "QueryLogGenerator",
     "QueryRejected",
     "QueueStats",
+    "RecoveryReport",
+    "ReliabilityConfig",
+    "ReliabilityStats",
     "ResultDistance",
     "ResultDpeScheme",
+    "RetryPolicy",
     "ServerConfig",
     "ServerError",
     "ServerOverloaded",
@@ -175,6 +204,7 @@ __all__ = [
     "SessionError",
     "ShardedIncrementalMatrix",
     "SlidingWindowQueryLog",
+    "StreamJournal",
     "StreamSink",
     "StreamingQueryLog",
     "StructureDistance",
@@ -190,6 +220,7 @@ __all__ = [
     "WorkloadResult",
     "adjusted_rand_index",
     "available_backends",
+    "classify_transient",
     "clusterings_equivalent",
     "complete_link",
     "condensed_length",
@@ -203,6 +234,7 @@ __all__ = [
     "pairwise_view",
     "parse_query",
     "populate_database",
+    "recover_matrix",
     "render_query",
     "skyserver_profile",
     "top_n_outliers",

@@ -7,7 +7,9 @@ mining parameters) and :class:`WorkloadConfig` (synthetic workload shape) —
 composed into one :class:`ServiceConfig` consumed by
 :class:`~repro.api.EncryptedMiningService`.  The multi-tenant serving layer
 adds :class:`ServerConfig` (worker count, admission-queue bound, default
-submit timeout) consumed by :class:`~repro.api.MiningServer`.  They replace
+submit timeout) consumed by :class:`~repro.api.MiningServer`; both embed a
+:class:`ReliabilityConfig` carrying the fault-tolerance policies (retries,
+backoff, deadlines, breaker thresholds, journal path).  They replace
 the ad-hoc kwargs (``workers``, ``pool_size``, ``backend``, ...) that every
 caller used to re-learn per layer.
 
@@ -276,6 +278,93 @@ class WorkloadConfig(_Config):
 
 
 @dataclass(frozen=True)
+class ReliabilityConfig(_Config):
+    """Fault-tolerance policies of sessions and the serving layer.
+
+    ``max_retries`` bounds the transient-fault retries per backend call
+    (``0`` disables the retry wrapper entirely); ``backoff_base`` /
+    ``backoff_max`` shape the decorrelated-jitter backoff between attempts
+    (see :class:`~repro.api.RetryPolicy`).  ``deadline_ms`` attaches a
+    default cooperative :class:`~repro.api.Deadline` to every session run
+    and server submission (``None`` = no deadline).
+
+    The breaker knobs configure the per-tenant
+    :class:`~repro.api.CircuitBreaker` the server maintains when
+    ``breaker_enabled`` is on: with at least ``breaker_min_calls`` recent
+    outcomes in a window of ``breaker_window``, a failure rate at or above
+    ``breaker_failure_rate`` opens the breaker for
+    ``breaker_cooldown_seconds`` before a half-open probe is admitted.
+
+    ``journal_path`` enables crash-safe streaming: the service's
+    journaled miner records every streamed batch there
+    (:class:`~repro.api.StreamJournal`), snapshotting every
+    ``snapshot_every`` batches (``0`` = journal only, no snapshots).
+    """
+
+    max_retries: int = 0
+    backoff_base: float = 0.05
+    backoff_max: float = 2.0
+    deadline_ms: int | None = None
+    breaker_enabled: bool = False
+    breaker_failure_rate: float = 0.5
+    breaker_min_calls: int = 5
+    breaker_window: int = 16
+    breaker_cooldown_seconds: float = 30.0
+    journal_path: str | None = None
+    snapshot_every: int = 0
+
+    def __post_init__(self) -> None:
+        _require_int("ReliabilityConfig", "max_retries", self.max_retries, minimum=0)
+        _require_float(
+            "ReliabilityConfig", "backoff_base", self.backoff_base, minimum=0.0
+        )
+        _require_float(
+            "ReliabilityConfig", "backoff_max", self.backoff_max,
+            minimum=0.0,
+        )
+        if self.backoff_max < self.backoff_base:
+            raise ConfigError(
+                f"ReliabilityConfig.backoff_max ({self.backoff_max!r}) must be "
+                f">= backoff_base ({self.backoff_base!r})"
+            )
+        _require_optional_int(
+            "ReliabilityConfig", "deadline_ms", self.deadline_ms, minimum=1
+        )
+        if not isinstance(self.breaker_enabled, bool):
+            raise ConfigError(
+                f"ReliabilityConfig.breaker_enabled must be a bool, "
+                f"got {self.breaker_enabled!r}"
+            )
+        _require_float(
+            "ReliabilityConfig", "breaker_failure_rate", self.breaker_failure_rate,
+            minimum=0.0, maximum=1.0, exclusive_minimum=True,
+        )
+        _require_int(
+            "ReliabilityConfig", "breaker_min_calls", self.breaker_min_calls, minimum=1
+        )
+        _require_int(
+            "ReliabilityConfig", "breaker_window", self.breaker_window, minimum=1
+        )
+        if self.breaker_window < self.breaker_min_calls:
+            raise ConfigError(
+                f"ReliabilityConfig.breaker_window ({self.breaker_window!r}) must "
+                f"be >= breaker_min_calls ({self.breaker_min_calls!r})"
+            )
+        _require_float(
+            "ReliabilityConfig", "breaker_cooldown_seconds",
+            self.breaker_cooldown_seconds, minimum=0.0,
+        )
+        if self.journal_path is not None and not isinstance(self.journal_path, str):
+            raise ConfigError(
+                f"ReliabilityConfig.journal_path must be a string or None, "
+                f"got {self.journal_path!r}"
+            )
+        _require_int(
+            "ReliabilityConfig", "snapshot_every", self.snapshot_every, minimum=0
+        )
+
+
+@dataclass(frozen=True)
 class ServerConfig(_Config):
     """Concurrency shape of a multi-tenant :class:`~repro.api.MiningServer`.
 
@@ -284,12 +373,16 @@ class ServerConfig(_Config):
     pushes back instead of buffering without limit); ``submit_timeout`` is
     the default number of seconds a blocking submit waits for a queue slot
     before raising :class:`~repro.api.errors.ServerOverloaded` (``None``
-    waits indefinitely).
+    waits indefinitely).  ``reliability`` carries the server-wide
+    fault-tolerance policies (per-tenant breaker thresholds, the default
+    submission deadline) and accepts either a built
+    :class:`ReliabilityConfig` or its dict form.
     """
 
     workers: int = 4
     max_pending: int = 64
     submit_timeout: float | None = None
+    reliability: ReliabilityConfig = field(default_factory=ReliabilityConfig)
 
     def __post_init__(self) -> None:
         _require_int("ServerConfig", "workers", self.workers, minimum=1)
@@ -298,6 +391,18 @@ class ServerConfig(_Config):
             _require_float(
                 "ServerConfig", "submit_timeout", self.submit_timeout,
                 minimum=0.0, exclusive_minimum=True,
+            )
+        # ServerConfig is flat apart from this one nested config, so the
+        # generic from_dict hands the nested dict through unchanged; coerce
+        # it here (the dataclass is frozen, hence object.__setattr__).
+        if isinstance(self.reliability, Mapping):
+            object.__setattr__(
+                self, "reliability", ReliabilityConfig.from_dict(self.reliability)
+            )
+        elif not isinstance(self.reliability, ReliabilityConfig):
+            raise ConfigError(
+                f"ServerConfig.reliability must be a ReliabilityConfig, "
+                f"got {self.reliability!r}"
             )
 
 
@@ -315,12 +420,14 @@ class ServiceConfig(_Config):
     backend: BackendConfig = field(default_factory=BackendConfig)
     mining: MiningConfig = field(default_factory=MiningConfig)
     workload: WorkloadConfig = field(default_factory=WorkloadConfig)
+    reliability: ReliabilityConfig = field(default_factory=ReliabilityConfig)
 
     _NESTED = {
         "crypto": CryptoConfig,
         "backend": BackendConfig,
         "mining": MiningConfig,
         "workload": WorkloadConfig,
+        "reliability": ReliabilityConfig,
     }
 
     def __post_init__(self) -> None:
@@ -359,6 +466,7 @@ __all__ = [
     "MIX_NAMES",
     "MiningConfig",
     "PROFILE_NAMES",
+    "ReliabilityConfig",
     "ServerConfig",
     "ServiceConfig",
     "UNSUPPORTED_POLICIES",

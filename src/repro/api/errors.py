@@ -30,7 +30,13 @@ The mapping is by failure kind, not by subsystem:
 * :class:`ServerError` — the multi-tenant :class:`~repro.api.MiningServer`
   was misused (unknown tenant, duplicate tenant, submit after close);
 * :class:`ServerOverloaded` — the server's bounded admission queue was full
-  and the caller asked not to wait (backpressure made visible).
+  and the caller asked not to wait (backpressure made visible);
+* :class:`DeadlineExceeded` — a deadline attached to a session call or
+  server submission expired before the work completed (cooperative
+  cancellation between queries, not preemption);
+* :class:`CircuitOpen` — a tenant's circuit breaker is open after repeated
+  failures, so new work for that tenant is rejected without touching the
+  shared worker pool.
 """
 
 from __future__ import annotations
@@ -94,7 +100,86 @@ class ServerOverloaded(ServerError):
     The backpressure signal of admission control: the queue is at capacity
     and the caller passed ``wait=False`` (or its wait timed out).  Callers
     retry, shed load, or switch to blocking submits.
+
+    Attributes
+    ----------
+    queue_depth:
+        The number of tasks waiting in the admission queue at rejection
+        time, or ``None`` when the queue could not report it.
+    tenant:
+        The tenant whose submission was rejected, or ``None`` when the
+        rejection happened below the tenant layer.
     """
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        queue_depth: int | None = None,
+        tenant: str | None = None,
+    ) -> None:
+        super().__init__(message)
+        self.queue_depth = queue_depth
+        self.tenant = tenant
+
+
+class DeadlineExceeded(SessionError):
+    """A deadline expired before the attached work completed.
+
+    Deadlines are cooperative: :class:`~repro.api.Deadline` is checked
+    between queries in :meth:`ProxySession.run`/``stream`` and before a
+    queued server task starts, so an in-flight query is never preempted —
+    the call stops at the next checkpoint and reports how far over budget
+    it ran.
+
+    Attributes
+    ----------
+    elapsed:
+        Seconds elapsed since the deadline's clock started, or ``None``.
+    budget:
+        The deadline's total budget in seconds, or ``None``.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        elapsed: float | None = None,
+        budget: float | None = None,
+    ) -> None:
+        super().__init__(message)
+        self.elapsed = elapsed
+        self.budget = budget
+
+
+class CircuitOpen(ServerError):
+    """A tenant's circuit breaker is open: new work is rejected at admission.
+
+    After a tenant's recent failure rate crosses the configured threshold
+    the breaker opens and submissions fail fast with this error instead of
+    occupying shared workers.  After the cooldown the breaker admits a
+    half-open probe; a successful probe closes it again.
+
+    Attributes
+    ----------
+    tenant:
+        The tenant whose breaker rejected the submission, or ``None`` for
+        a breaker used outside the server.
+    retry_after:
+        Seconds until the breaker will admit a half-open probe, or ``None``
+        when unknown.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        tenant: str | None = None,
+        retry_after: float | None = None,
+    ) -> None:
+        super().__init__(message)
+        self.tenant = tenant
+        self.retry_after = retry_after
 
 
 @contextmanager
@@ -129,7 +214,9 @@ def wrap_errors(context: str) -> Iterator[None]:
 
 __all__ = [
     "ApiError",
+    "CircuitOpen",
     "ConfigError",
+    "DeadlineExceeded",
     "QueryRejected",
     "ServerError",
     "ServerOverloaded",

@@ -40,7 +40,7 @@ from repro.api.config import (
     MiningConfig,
     ServiceConfig,
 )
-from repro.api.errors import ConfigError, ServiceError, wrap_errors
+from repro.api.errors import ConfigError, DeadlineExceeded, ServiceError, wrap_errors
 from repro.api.results import ExposureReport, MiningResult, WorkloadResult
 from repro.core.domains import DomainCatalog
 from repro.core.dpe import DistanceMeasure, LogContext
@@ -74,6 +74,13 @@ from repro.mining.dbscan import dbscan
 from repro.mining.incremental import IncrementalDistanceMatrix, StreamingQueryLog
 from repro.mining.knn import k_nearest_neighbors
 from repro.mining.outliers import distance_based_outliers
+from repro.reliability.journal import RecoveryReport, StreamJournal, recover_matrix
+from repro.reliability.policy import (
+    Deadline,
+    ReliabilityStats,
+    RetryPolicy,
+    RetryingBackend,
+)
 from repro.sql.ast import Query
 from repro.sql.log import QueryLog
 from repro.sql.parser import parse_query
@@ -153,9 +160,36 @@ class ServiceSession:
     managers; closing releases the backend's engine resources.
     """
 
-    def __init__(self, session: ProxySession) -> None:
-        """Wrap an open proxy session (built by the service, not callers)."""
+    def __init__(
+        self,
+        session: ProxySession,
+        *,
+        reliability_stats: ReliabilityStats | None = None,
+        default_deadline_ms: int | None = None,
+    ) -> None:
+        """Wrap an open proxy session (built by the service, not callers).
+
+        ``default_deadline_ms`` (from the service's
+        :class:`~repro.api.ReliabilityConfig`) attaches a fresh cooperative
+        :class:`~repro.api.Deadline` to every :meth:`run`/:meth:`stream`
+        call that does not pass its own; ``reliability_stats`` receives the
+        session's deadline-expiry counts.
+        """
         self._session = session
+        self._reliability_stats = reliability_stats
+        self._default_deadline_ms = default_deadline_ms
+
+    def _effective_deadline(self, deadline: Deadline | None) -> Deadline | None:
+        """The caller's deadline, or a fresh one from the config default."""
+        if deadline is not None:
+            return deadline
+        if self._default_deadline_ms is not None:
+            return Deadline.after_ms(self._default_deadline_ms)
+        return None
+
+    def _count_deadline(self) -> None:
+        if self._reliability_stats is not None:
+            self._reliability_stats.count_deadline_exceeded()
 
     @property
     def backend_name(self) -> str:
@@ -178,22 +212,34 @@ class ServiceSession:
             (parsed,) = _normalize_queries([query])
             return self._session.execute(parsed)
 
-    def run(self, queries: QueryLog | Iterable[Query | str]) -> WorkloadResult:
+    def run(
+        self,
+        queries: QueryLog | Iterable[Query | str],
+        *,
+        deadline: Deadline | None = None,
+    ) -> WorkloadResult:
         """Serve a whole workload and return the typed result.
 
         Rewrites and executes every query in order on the session backend;
         skipped queries (under the ``"skip"`` policy) are recorded on the
         result.  ``elapsed_seconds`` covers exactly the rewrite-and-execute
-        pass.
+        pass.  ``deadline`` (or the config's ``deadline_ms`` default) is
+        checked cooperatively between queries; expiry raises
+        :class:`~repro.api.errors.DeadlineExceeded`.
         """
         # Snapshot the session counters so the result reports *this* run's
         # skips and adjustments, not the session's cumulative totals.
         skipped_before = len(self._session.skipped)
         adjustments_before = len(self._session.adjustments)
+        effective = self._effective_deadline(deadline)
         with wrap_errors("run_workload"):
             parsed = _normalize_queries(queries)
             start = time.perf_counter()
-            results = self._session.run(parsed)
+            try:
+                results = self._session.run(parsed, deadline=effective)
+            except DeadlineExceeded:
+                self._count_deadline()
+                raise
             elapsed = time.perf_counter() - start
         return WorkloadResult(
             results=tuple(results),
@@ -204,7 +250,11 @@ class ServiceSession:
         )
 
     def stream(
-        self, queries: QueryLog | Iterable[Query | str], *, into: StreamSink
+        self,
+        queries: QueryLog | Iterable[Query | str],
+        *,
+        into: StreamSink,
+        deadline: Deadline | None = None,
     ) -> tuple[Query, ...]:
         """Rewrite a batch and append the encrypted queries to ``into``.
 
@@ -212,10 +262,19 @@ class ServiceSession:
         :class:`~repro.mining.incremental.StreamingQueryLog` or an
         :class:`~repro.mining.incremental.IncrementalDistanceMatrix`
         directly.  Returns the rewritten queries that entered the sink.
+        ``deadline`` (or the config default) expires *before* the batch is
+        appended, never after a partial publish.
         """
+        effective = self._effective_deadline(deadline)
         with wrap_errors("stream"):
             parsed = _normalize_queries(queries)
-            return tuple(self._session.stream(parsed, into=into))
+            try:
+                return tuple(
+                    self._session.stream(parsed, into=into, deadline=effective)
+                )
+            except DeadlineExceeded:
+                self._count_deadline()
+                raise
 
     def exposure_report(self) -> ExposureReport:
         """The typed per-column exposure after the workload served so far."""
@@ -306,6 +365,19 @@ class EncryptedMiningService:
             )
             keychain = KeyChain(master)
         self._keychain = keychain
+        # One stats object per service: every session's retry wrapper and
+        # deadline checks feed it, so TenantStats can surface the totals.
+        self._reliability_stats = ReliabilityStats()
+        reliability = config.reliability
+        self._retry_policy = (
+            RetryPolicy(
+                max_attempts=reliability.max_retries + 1,
+                base_delay=reliability.backoff_base,
+                max_delay=reliability.backoff_max,
+            )
+            if reliability.max_retries > 0
+            else None
+        )
         with wrap_errors("service construction"):
             self._proxy = CryptDBProxy(
                 keychain,
@@ -333,6 +405,18 @@ class EncryptedMiningService:
     def crypto_stats(self) -> dict[str, object]:
         """Fast-path statistics of the crypto layer (noise pool, OPE caches)."""
         return self._proxy.crypto_stats()
+
+    @property
+    def reliability_stats(self) -> ReliabilityStats:
+        """The fault-tolerance counters of this service (shared by sessions).
+
+        ``retries``/``gave_up`` count backend-call retries by the sessions'
+        :class:`~repro.api.RetryPolicy` wrapper, ``deadline_exceeded`` the
+        cooperative deadline expiries, ``recoveries`` the successful
+        :meth:`recover_miner` calls.  Snapshot with
+        :meth:`~repro.api.ReliabilityStats.snapshot`.
+        """
+        return self._reliability_stats
 
     # -- owner side: encryption and workloads ----------------------------- #
 
@@ -391,11 +475,19 @@ class EncryptedMiningService:
                 else self._config.backend.on_unsupported
             ),
         )
+        wrapper = None
+        if self._retry_policy is not None:
+            policy, stats = self._retry_policy, self._reliability_stats
+            wrapper = lambda inner: RetryingBackend(inner, policy, stats=stats)  # noqa: E731
         with wrap_errors("open_session"):
             return ServiceSession(
                 self._proxy.session(
-                    backend=effective.name, on_unsupported=effective.on_unsupported
-                )
+                    backend=effective.name,
+                    on_unsupported=effective.on_unsupported,
+                    backend_wrapper=wrapper,
+                ),
+                reliability_stats=self._reliability_stats,
+                default_deadline_ms=self._config.reliability.deadline_ms,
             )
 
     def run_workload(
@@ -579,6 +671,86 @@ class EncryptedMiningService:
                 stream,
                 database=database,
                 domains=domains,
+                knn_k=mining.knn_k,
+                outlier_p=mining.outlier_p,
+                outlier_d=mining.outlier_d,
+                dbscan_eps=mining.dbscan_eps,
+                dbscan_min_points=mining.dbscan_min_points,
+            )
+
+    def journaled_miner(
+        self,
+        stream: StreamingQueryLog | None = None,
+        *,
+        path: str | None = None,
+        database: Database | None = None,
+        domains: DomainCatalog | None = None,
+    ) -> tuple[IncrementalDistanceMatrix, StreamJournal]:
+        """An incremental miner whose stream is durably journaled.
+
+        Builds :meth:`incremental_miner` and attaches a
+        :class:`~repro.api.StreamJournal` at ``path`` (default: the
+        config's :attr:`~repro.api.ReliabilityConfig.journal_path`) to its
+        stream, so every streamed batch is crash-safe the moment it lands.
+        Returns ``(matrix, journal)``; close the journal when done.  After
+        a crash, :meth:`recover_miner` at the same path rebuilds the matrix
+        bit-for-bit.
+        """
+        reliability = self._config.reliability
+        journal_path = path if path is not None else reliability.journal_path
+        if journal_path is None:
+            raise ConfigError(
+                "journaled_miner needs a journal path: pass path=... or set "
+                "ReliabilityConfig.journal_path"
+            )
+        with wrap_errors("journaled_miner"):
+            matrix = self.incremental_miner(
+                stream, database=database, domains=domains
+            )
+            journal = StreamJournal(
+                journal_path, snapshot_every=reliability.snapshot_every
+            )
+            journal.attach(matrix.stream)
+        return matrix, journal
+
+    def recover_miner(
+        self,
+        *,
+        path: str | None = None,
+        database: Database | None = None,
+        domains: DomainCatalog | None = None,
+        checkpoint=None,
+        key: bytes | None = None,
+    ) -> tuple[IncrementalDistanceMatrix, RecoveryReport]:
+        """Rebuild a journaled miner's state after a crash.
+
+        Replays the verified journal at ``path`` (default: the config's
+        :attr:`~repro.api.ReliabilityConfig.journal_path`) into a fresh
+        incremental matrix under the config's measure and mining
+        parameters; the recovered artefacts are bit-for-bit what an
+        uninterrupted run over the journaled prefix would hold.  Pass the
+        session's :attr:`~repro.api.ServiceSession.last_checkpoint` (and
+        the proxy's checkpoint key) to additionally pin the journal to an
+        owner-signed prefix.  Returns ``(matrix, report)`` and counts one
+        recovery in :attr:`reliability_stats`.
+        """
+        reliability = self._config.reliability
+        journal_path = path if path is not None else reliability.journal_path
+        if journal_path is None:
+            raise ConfigError(
+                "recover_miner needs a journal path: pass path=... or set "
+                "ReliabilityConfig.journal_path"
+            )
+        mining = self._config.mining
+        with wrap_errors("recover_miner"):
+            return recover_matrix(
+                journal_path,
+                self.measure(),
+                database=database,
+                domains=domains,
+                checkpoint=checkpoint,
+                key=key,
+                stats=self._reliability_stats,
                 knn_k=mining.knn_k,
                 outlier_p=mining.outlier_p,
                 outlier_d=mining.outlier_d,

@@ -89,6 +89,22 @@ class StreamSink(Protocol):
         ...
 
 
+@runtime_checkable
+class SessionDeadline(Protocol):
+    """The structural deadline contract of the session execution paths.
+
+    Anything with a ``check()`` that raises past its budget —
+    :class:`repro.reliability.Deadline` in practice.  Sessions call it
+    *between* queries (cooperative cancellation: an in-flight query is
+    never preempted).  Structural for the same layering reason as
+    :class:`StreamSink`: the proxy has no reliability dependency.
+    """
+
+    def check(self, context: str = "") -> None:
+        """Raise when the deadline's budget is exhausted."""
+        ...
+
+
 def _warn_deprecated(old: str, replacement: str) -> None:
     """Emit the shim :class:`DeprecationWarning` pointing at ``repro.api``."""
     warnings.warn(
@@ -180,6 +196,7 @@ class ProxySession:
         *,
         backend: str | None = None,
         on_unsupported: str = "raise",
+        backend_wrapper: Callable[[ExecutionBackend], ExecutionBackend] | None = None,
     ) -> None:
         """Open a session over ``proxy``'s encrypted database.
 
@@ -187,6 +204,10 @@ class ProxySession:
         rejects: ``"raise"`` propagates the :class:`RewriteError`, ``"skip"``
         records the query under :attr:`skipped` and carries on — the CryptDB
         behaviour of falling back to client-side evaluation.
+
+        ``backend_wrapper`` (when given) wraps the freshly created backend
+        before first use — the hook the reliability layer uses to apply a
+        retrying wrapper without this module depending on it.
         """
         if on_unsupported not in ("raise", "skip"):
             raise CryptDbError(
@@ -199,6 +220,8 @@ class ProxySession:
             backend if backend is not None else proxy.backend_name,
             proxy.encrypted_database,
         )
+        if backend_wrapper is not None:
+            self._backend = backend_wrapper(self._backend)
         self._skipped: list[tuple[Query, str]] = []
         # Re-entrant so execute() -> rewrite() nests; serializes the
         # rewriter, skip list and backend against concurrent callers.
@@ -277,7 +300,9 @@ class ProxySession:
             self._ensure_storage_verified()
             return self._backend.execute(encrypted_query)
 
-    def run(self, queries: Iterable[Query]) -> list[EncryptedResult]:
+    def run(
+        self, queries: Iterable[Query], *, deadline: SessionDeadline | None = None
+    ) -> list[EncryptedResult]:
         """Serve a whole workload: rewrite and execute every query in order.
 
         Skipped queries (with ``on_unsupported="skip"``) are recorded under
@@ -285,16 +310,28 @@ class ProxySession:
         workload runs under the session lock, so two threads running
         workloads on one session serve them in some serial order rather
         than interleaved per query.
+
+        ``deadline`` (any :class:`SessionDeadline`) is checked before each
+        query: cooperative cancellation between queries, never preemption of
+        one in flight.
         """
         with self._lock:
             results: list[EncryptedResult] = []
             for query in queries:
+                if deadline is not None:
+                    deadline.check("run")
                 result = self.execute(query)
                 if result is not None:
                     results.append(result)
             return results
 
-    def stream(self, queries: Iterable[Query], *, into: StreamSink) -> list[Query]:
+    def stream(
+        self,
+        queries: Iterable[Query],
+        *,
+        into: StreamSink,
+        deadline: SessionDeadline | None = None,
+    ) -> list[Query]:
         """Rewrite a batch and append the encrypted queries to a stream sink.
 
         ``into`` is any :class:`StreamSink` — typically a
@@ -314,6 +351,11 @@ class ProxySession:
         the streaming thread instead of being swallowed by the daemon
         thread.  The running handle is available as :attr:`last_refill` for
         deterministic ``join(timeout=...)`` in tests.
+
+        ``deadline`` is checked before each query's rewrite and once more
+        before the batch enters the sink, so an expired budget never
+        half-publishes a batch: either the whole batch is appended or none
+        of it is.
         """
         with self._lock:
             if self._pending_refill is not None and not self._pending_refill.is_alive():
@@ -321,9 +363,13 @@ class ProxySession:
                 finished.raise_if_failed()
             encrypted: list[Query] = []
             for query in queries:
+                if deadline is not None:
+                    deadline.check("stream")
                 rewritten = self.rewrite(query)
                 if rewritten is not None:
                     encrypted.append(rewritten)
+            if deadline is not None:
+                deadline.check("stream")
             into.append(encrypted)
             if self._proxy.authenticate:
                 # Commit to the sink's chain state after every appended
@@ -695,10 +741,19 @@ class CryptDBProxy:
         )
 
     def session(
-        self, *, backend: str | None = None, on_unsupported: str = "raise"
+        self,
+        *,
+        backend: str | None = None,
+        on_unsupported: str = "raise",
+        backend_wrapper: Callable[[ExecutionBackend], ExecutionBackend] | None = None,
     ) -> ProxySession:
         """Open a batched :class:`ProxySession` over the encrypted database."""
-        return ProxySession(self, backend=backend, on_unsupported=on_unsupported)
+        return ProxySession(
+            self,
+            backend=backend,
+            on_unsupported=on_unsupported,
+            backend_wrapper=backend_wrapper,
+        )
 
     def _invalidate_default_session(self) -> None:
         with self._session_lock:

@@ -37,6 +37,7 @@ and result-decryption paths on top of these shortcuts.
 from __future__ import annotations
 
 import threading
+import time
 from collections.abc import Callable
 from dataclasses import dataclass
 
@@ -163,18 +164,47 @@ class NoiseRefillHandle:
     and :meth:`join` returns whether the refill actually completed within the
     timeout — while keeping the ``join``/``is_alive`` names existing callers
     use on the thread object.
+
+    The worker auto-retries failed refills up to ``retries`` times (with a
+    small linear backoff through the injectable ``sleep``) before recording
+    the error, so a single transient fault — a blip in the entropy source,
+    an injected I/O error — no longer poisons the *next* ``stream`` call
+    that joins the handle.  Only exhausted budgets surface.
     """
 
-    def __init__(self, target: Callable[[], None]) -> None:
+    def __init__(
+        self,
+        target: Callable[[], None],
+        *,
+        retries: int = 2,
+        backoff: float = 0.01,
+        sleep: Callable[[float], None] = time.sleep,
+    ) -> None:
+        if retries < 0:
+            raise EncryptionError("refill retries must not be negative")
         self._error: BaseException | None = None
+        self._attempts = 0
 
         def run() -> None:
-            try:
-                target()
-            except BaseException as exc:  # noqa: BLE001 - recorded, re-raised via raise_if_failed
-                self._error = exc
+            for attempt in range(retries + 1):
+                self._attempts = attempt + 1
+                try:
+                    target()
+                except BaseException as exc:  # noqa: BLE001 - recorded, re-raised via raise_if_failed
+                    if attempt >= retries:
+                        self._error = exc
+                        return
+                    if backoff > 0:
+                        sleep(backoff * (attempt + 1))
+                else:
+                    return
 
         self._thread = threading.Thread(target=run, name="paillier-noise-refill", daemon=True)
+
+    @property
+    def attempts(self) -> int:
+        """How many refill attempts the worker has made so far."""
+        return self._attempts
 
     def start(self) -> None:
         """Start the underlying daemon thread (called once by the pool)."""
@@ -285,7 +315,7 @@ class PaillierNoisePool:
         """Fill the pool back up to its target size (synchronously)."""
         self.ensure(self._target_size)
 
-    def refill_async(self) -> NoiseRefillHandle:
+    def refill_async(self, *, retries: int = 2) -> NoiseRefillHandle:
         """Refill up to the target size in a daemon thread.
 
         Streaming sessions call this between batches so blinding factors are
@@ -294,12 +324,14 @@ class PaillierNoisePool:
         :class:`NoiseRefillHandle` supports ``join(timeout=...) -> bool`` for
         deterministic tests and records the refill's exception so callers can
         surface it (:meth:`NoiseRefillHandle.raise_if_failed`) instead of it
-        dying silently in the daemon thread.
+        dying silently in the daemon thread.  The worker retries a failed
+        refill up to ``retries`` times before recording the error, so one
+        transient fault does not poison the next stream batch.
         """
         with self._lock:
             if self._refill_handle is not None and self._refill_handle.is_alive():
                 return self._refill_handle
-            handle = NoiseRefillHandle(self.refill)
+            handle = NoiseRefillHandle(self.refill, retries=retries)
             self._refill_handle = handle
             # Start under the lock: a created-but-unstarted thread reports
             # is_alive() == False, so a concurrent caller would spawn a

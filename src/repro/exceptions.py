@@ -126,5 +126,61 @@ class AttackError(ReproError):
     """Base class for errors raised by the attack simulations (``repro.attacks``)."""
 
 
+class ReliabilityError(ReproError):
+    """Base class for errors raised by the fault-tolerance layer (``repro.reliability``)."""
+
+
+class TransientError(ReliabilityError):
+    """A failure that is safe to retry: the operation may succeed if repeated.
+
+    The retry layer (:class:`repro.reliability.RetryPolicy`) retries only
+    errors classified as transient — instances of this class plus the
+    standard-library transients (:class:`TimeoutError`,
+    :class:`ConnectionError`, :class:`InterruptedError`).  Everything else
+    is treated as permanent and propagates on the first attempt.
+    """
+
+
+class InjectedFault(TransientError):
+    """A transient fault raised by the deterministic :class:`FaultInjector`.
+
+    Attributes
+    ----------
+    site:
+        The fault site (for instance ``"backend.execute"``) the injector
+        fired at.
+    call:
+        The 1-based call number at that site when the fault fired.
+    """
+
+    def __init__(self, message: str, *, site: str = "", call: int = 0) -> None:
+        super().__init__(message)
+        self.site = site
+        self.call = call
+
+
+class WorkerCrashed(ReliabilityError):
+    """A worker thread was killed mid-task by the fault injector.
+
+    Deliberately *not* transient: a crash models the process dying, so the
+    retry layer must not paper over it — recovery goes through the
+    streaming journal (:func:`repro.reliability.recover_matrix`) instead.
+    """
+
+    def __init__(self, message: str, *, site: str = "", call: int = 0) -> None:
+        super().__init__(message)
+        self.site = site
+        self.call = call
+
+
+class JournalError(ReliabilityError):
+    """Raised when a streaming journal is unreadable or fails verification.
+
+    Covers structurally corrupt journal files (beyond the tolerated torn
+    final line) and hash-chain mismatches between the journaled entries and
+    the per-batch heads recorded alongside them.
+    """
+
+
 class AnalysisError(ReproError):
     """Base class for errors raised by the analysis harness (``repro.analysis``)."""

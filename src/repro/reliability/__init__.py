@@ -1,0 +1,61 @@
+"""Fault tolerance: deterministic chaos, retry/deadline/breaker policies, recovery.
+
+The serving stack survives a *Byzantine* provider via the integrity layer
+(PR 8); this package makes it survive a merely *unreliable* one — transient
+I/O errors, latency spikes, worker crashes — and proves it deterministically:
+
+* :mod:`repro.reliability.faults` — the seeded :class:`FaultInjector`, the
+  chaos analogue of :mod:`repro.attacks.tamper`, wrapping execution
+  backends, the Paillier noise pool, and streaming sinks;
+* :mod:`repro.reliability.policy` — :class:`RetryPolicy` (exponential
+  backoff + decorrelated jitter over a typed transient classification),
+  :class:`Deadline` (cooperative budgets through sessions and the server),
+  and the per-tenant :class:`CircuitBreaker`;
+* :mod:`repro.reliability.journal` — the crash-safe
+  :class:`StreamJournal` + :func:`recover_matrix`, rebuilding incremental
+  mining state bit-for-bit from an append-only journal verified by the
+  PR 8 hash chain.
+
+Experiment R1 (``repro run R1``) and ``benchmarks/bench_r1_resilience.py``
+drive all three together: under seeded faults the server completes 100% of
+admitted work with results bit-for-bit equal to a fault-free run.
+"""
+
+# Import-order anchor: repro.api imports this package's submodules *after*
+# its own errors/config modules exist, and our submodules import from
+# repro.api.errors.  Importing repro.api first makes `import
+# repro.reliability.policy` safe from anywhere (test files, the CLI)
+# without tripping the half-initialized-module failure mode.
+import repro.api  # noqa: F401  (import-order anchor, see comment above)
+
+from repro.reliability.faults import (
+    FaultInjector,
+    FaultyBackend,
+    FaultyNoisePool,
+    FaultySink,
+)
+from repro.reliability.journal import RecoveryReport, StreamJournal, recover_matrix
+from repro.reliability.policy import (
+    CircuitBreaker,
+    Deadline,
+    ReliabilityStats,
+    RetryPolicy,
+    RetryingBackend,
+    classify_transient,
+)
+
+__all__ = [
+    "CircuitBreaker",
+    "Deadline",
+    "FaultInjector",
+    "FaultyBackend",
+    "FaultyNoisePool",
+    "FaultySink",
+    "RecoveryReport",
+    "ReliabilityStats",
+    "RetryPolicy",
+    "RetryingBackend",
+    "StreamJournal",
+    "classify_transient",
+    "recover_matrix",
+]

@@ -1,0 +1,376 @@
+"""Deterministic, seeded fault injection — the chaos analogue of ``tamper.py``.
+
+Where :mod:`repro.attacks.tamper` models a *Byzantine* provider (flipped
+ciphertexts, replayed snapshots), this module models an *unreliable* one:
+transient I/O errors, latency spikes, exception-on-Nth-call scripts, and
+mid-stream worker crashes.  One :class:`FaultInjector` is shared by every
+wrapper it hands out, so a single seed reproduces the exact fault schedule
+across tests, benchmarks, and the R1 experiment.
+
+Determinism: every fault *site* (``"backend.execute"``, ``"pool.refill"``,
+...) draws from its own :class:`random.Random` seeded with
+``(seed, site)``, so a site's fault sequence is a pure function of its own
+call order — independent of how concurrent sites interleave.
+
+Wrappers:
+
+* :meth:`FaultInjector.wrap_backend` /
+  :meth:`FaultInjector.register_chaos_backend` — fault any
+  :class:`~repro.db.backend.ExecutionBackend`, either directly or by
+  registering a named chaos backend so ``BackendConfig(name=...)`` and the
+  whole ``repro.api`` stack use it without code changes;
+* :meth:`FaultInjector.wrap_pool` / :meth:`FaultInjector.install_pool_faults`
+  — fault the Paillier noise pool's refill path (the async-refill retry in
+  :class:`~repro.crypto.hom.NoiseRefillHandle` is what absorbs these);
+* :meth:`FaultInjector.wrap_sink` — crash a streaming sink mid-workload,
+  modelling a worker thread dying between batches (recovery goes through
+  :mod:`repro.reliability.journal`).
+
+Transient faults raise :class:`~repro.exceptions.InjectedFault` (a
+:class:`~repro.exceptions.TransientError`, so the retry layer absorbs
+them); scripted faults raise whatever exception the script specifies —
+:class:`~repro.exceptions.WorkerCrashed` for crashes,
+:class:`~repro.exceptions.ExecutionError` for permanent I/O errors.
+"""
+
+from __future__ import annotations
+
+import random
+import threading
+import time
+from collections.abc import Callable, Iterable
+from typing import Any
+
+from repro.db.backend import create_backend, register_backend
+from repro.exceptions import InjectedFault, WorkerCrashed
+
+__all__ = [
+    "FaultInjector",
+    "FaultyBackend",
+    "FaultyNoisePool",
+    "FaultySink",
+]
+
+#: A scripted fault: an exception instance or a zero-arg factory for one.
+FaultSpec = BaseException | Callable[[], BaseException]
+
+
+class FaultInjector:
+    """Deterministic, seeded fault injection shared across wrappers.
+
+    Parameters
+    ----------
+    seed:
+        Master seed; each site derives its own RNG from ``(seed, site)``.
+    transient_rate:
+        Probability in ``[0, 1]`` that a call at a wrapped site raises an
+        :class:`~repro.exceptions.InjectedFault` (retryable).
+    latency_rate:
+        Probability that a call is delayed by ``latency_seconds`` first.
+    latency_seconds:
+        The injected delay; ``sleep`` is injectable so tests pass a fake.
+    """
+
+    def __init__(
+        self,
+        seed: int = 0,
+        *,
+        transient_rate: float = 0.0,
+        latency_rate: float = 0.0,
+        latency_seconds: float = 0.001,
+        sleep: Callable[[float], None] = time.sleep,
+    ) -> None:
+        if not 0.0 <= transient_rate <= 1.0:
+            raise ValueError(f"transient_rate must be in [0, 1], got {transient_rate!r}")
+        if not 0.0 <= latency_rate <= 1.0:
+            raise ValueError(f"latency_rate must be in [0, 1], got {latency_rate!r}")
+        if latency_seconds < 0:
+            raise ValueError(f"latency_seconds must be >= 0, got {latency_seconds!r}")
+        self.seed = seed
+        self.transient_rate = transient_rate
+        self.latency_rate = latency_rate
+        self.latency_seconds = latency_seconds
+        self._sleep = sleep
+        self._lock = threading.Lock()
+        self._rngs: dict[str, random.Random] = {}
+        self._calls: dict[str, int] = {}
+        self._injected: dict[str, int] = {}
+        self._delayed: dict[str, int] = {}
+        self._scripts: dict[str, dict[int, FaultSpec]] = {}
+
+    # -- scripting ---------------------------------------------------------- #
+
+    def script(
+        self, site: str, *, at_call: int, error: FaultSpec | None = None
+    ) -> None:
+        """Schedule a fault at the ``at_call``-th (1-based) call to ``site``.
+
+        ``error`` may be an exception instance or a factory; by default an
+        :class:`~repro.exceptions.InjectedFault` (transient) is raised.
+        Scripted faults fire exactly once and take precedence over the
+        random transient/latency draws at that call.
+        """
+        if at_call < 1:
+            raise ValueError(f"at_call is 1-based, got {at_call!r}")
+        with self._lock:
+            self._scripts.setdefault(site, {})[at_call] = (
+                error
+                if error is not None
+                else InjectedFault(
+                    f"scripted transient fault at {site!r} call {at_call}",
+                    site=site,
+                    call=at_call,
+                )
+            )
+
+    def script_crash(self, site: str, *, at_call: int) -> None:
+        """Schedule a :class:`~repro.exceptions.WorkerCrashed` at ``site``.
+
+        Convenience for the mid-stream worker-crash scenario: the crash is
+        *not* transient, so the retry layer propagates it and recovery must
+        go through the streaming journal.
+        """
+        self.script(
+            site,
+            at_call=at_call,
+            error=WorkerCrashed(
+                f"worker killed at {site!r} call {at_call}", site=site, call=at_call
+            ),
+        )
+
+    # -- the firing point --------------------------------------------------- #
+
+    def fire(self, site: str, *, scripted_only: bool = False) -> None:
+        """Count one call at ``site``; inject latency or raise per schedule.
+
+        The order of precedence at each call: a scripted fault for this
+        call number fires first; otherwise the site RNG draws latency, then
+        a transient fault.  Draws happen under the injector lock so the
+        schedule is a deterministic function of the per-site call order.
+        ``scripted_only`` skips the random draws — for sites whose failure
+        mode is a deliberate script (e.g. a worker crash at batch N), not a
+        rate (a non-retryable site under a random rate would make the run
+        unrecoverable by construction).
+        """
+        with self._lock:
+            call = self._calls.get(site, 0) + 1
+            self._calls[site] = call
+            scripted = self._scripts.get(site, {}).pop(call, None)
+            delay = 0.0
+            error: BaseException | None = None
+            if scripted is not None:
+                self._injected[site] = self._injected.get(site, 0) + 1
+                error = scripted() if callable(scripted) else scripted
+            elif not scripted_only:
+                rng = self._rngs.get(site)
+                if rng is None:
+                    rng = self._rngs[site] = random.Random(f"{self.seed}/{site}")
+                if self.latency_rate and rng.random() < self.latency_rate:
+                    self._delayed[site] = self._delayed.get(site, 0) + 1
+                    delay = self.latency_seconds
+                if self.transient_rate and rng.random() < self.transient_rate:
+                    self._injected[site] = self._injected.get(site, 0) + 1
+                    error = InjectedFault(
+                        f"injected transient fault at {site!r} call {call}",
+                        site=site,
+                        call=call,
+                    )
+        # Sleep and raise outside the lock: a latency spike must not stall
+        # every other site, and exception unwinding never holds the lock.
+        if delay > 0:
+            self._sleep(delay)
+        if error is not None:
+            raise error
+
+    def calls(self, site: str) -> int:
+        """How many calls ``site`` has seen."""
+        with self._lock:
+            return self._calls.get(site, 0)
+
+    def stats(self) -> dict[str, dict[str, int]]:
+        """Per-site ``calls`` / ``injected`` / ``delayed`` counters."""
+        with self._lock:
+            sites = set(self._calls) | set(self._injected) | set(self._delayed)
+            return {
+                site: {
+                    "calls": self._calls.get(site, 0),
+                    "injected": self._injected.get(site, 0),
+                    "delayed": self._delayed.get(site, 0),
+                }
+                for site in sorted(sites)
+            }
+
+    # -- wrappers ----------------------------------------------------------- #
+
+    def wrap_backend(self, backend: Any, *, site: str = "backend") -> FaultyBackend:
+        """Wrap an :class:`ExecutionBackend` so its calls pass through faults."""
+        return FaultyBackend(backend, self, site=site)
+
+    def register_chaos_backend(
+        self,
+        name: str,
+        *,
+        inner: str = "sqlite",
+        site: str | None = None,
+        **inner_options: object,
+    ) -> str:
+        """Register a named backend whose instances are fault-wrapped.
+
+        The whole ``repro.api`` stack selects backends by registry name, so
+        registering ``chaos-sqlite`` (say) lets a
+        :class:`~repro.api.BackendConfig` route every tenant through the
+        injector without any other code change.  Returns ``name``.
+        """
+        fault_site = site if site is not None else f"{name}.backend"
+
+        def factory(database: Any, **options: object) -> FaultyBackend:
+            merged = {**inner_options, **options}
+            return FaultyBackend(
+                create_backend(inner, database, **merged), self, site=fault_site
+            )
+
+        register_backend(name, factory, replace=True)
+        return name
+
+    def wrap_pool(self, pool: Any, *, site: str = "pool") -> FaultyNoisePool:
+        """Wrap a :class:`PaillierNoisePool`'s refill path with faults."""
+        return FaultyNoisePool(pool, self, site=site)
+
+    def install_pool_faults(self, scheme: Any, *, site: str = "pool") -> FaultyNoisePool:
+        """Replace ``scheme``'s noise pool with a fault-wrapped one in place.
+
+        Works on any object exposing a ``_pool`` attribute (the
+        :class:`~repro.crypto.hom.PaillierScheme` convention); returns the
+        wrapper so tests can assert against its counters.
+        """
+        wrapped = self.wrap_pool(scheme._pool, site=site)
+        scheme._pool = wrapped
+        return wrapped
+
+    def wrap_sink(
+        self, sink: Any, *, site: str = "sink", scripted_only: bool = False
+    ) -> FaultySink:
+        """Wrap a :class:`StreamSink` so appends pass through fault firing.
+
+        ``scripted_only`` restricts the site to scripted faults (crash
+        scripts), exempting it from the injector's random transient rate —
+        sink appends are not retried, so a random fault there would not
+        model a recoverable failure.
+        """
+        return FaultySink(sink, self, site=site, scripted_only=scripted_only)
+
+
+class FaultyBackend:
+    """An :class:`ExecutionBackend` whose calls pass through a fault injector.
+
+    Faults fire *before* the wrapped call, modelling a provider that fails
+    the request without doing the work — so a retried call re-executes
+    cleanly and results stay bit-for-bit equal to a fault-free run.  All
+    other attributes (the sqlite handle the tamper harness reaches for,
+    ``database``, ...) forward to the wrapped backend.
+    """
+
+    def __init__(self, inner: Any, injector: FaultInjector, *, site: str = "backend") -> None:
+        self._inner = inner
+        self._injector = injector
+        self._site = site
+        self.name = getattr(inner, "name", "unknown")
+
+    def execute(self, query: Any) -> Any:
+        """Execute one query after passing the fault point."""
+        self._injector.fire(f"{self._site}.execute")
+        return self._inner.execute(query)
+
+    def execute_many(self, queries: Iterable[Any]) -> Any:
+        """Execute a batch after passing the fault point once."""
+        self._injector.fire(f"{self._site}.execute_many")
+        return self._inner.execute_many(queries)
+
+    def close(self) -> None:
+        """Close the wrapped backend (never faulted: cleanup must succeed)."""
+        self._inner.close()
+
+    def __getattr__(self, item: str) -> Any:
+        return getattr(self._inner, item)
+
+
+class FaultyNoisePool:
+    """A noise-pool wrapper that faults the refill path only.
+
+    ``take`` is deliberately left alone: it has an infallible on-demand
+    fallback, so the interesting failure mode is the *refill* path — which
+    is exactly what :class:`~repro.crypto.hom.NoiseRefillHandle`'s bounded
+    auto-retry defends.  ``refill_async`` mirrors the real pool's dedup
+    (one running refill at a time) but routes the worker through the
+    faulted :meth:`refill`.
+    """
+
+    def __init__(self, inner: Any, injector: FaultInjector, *, site: str = "pool") -> None:
+        self._inner = inner
+        self._injector = injector
+        self._site = site
+        self._async_lock = threading.Lock()
+        self._refill_handle: Any = None
+
+    def take(self) -> int:
+        """Pop one blinding factor (never faulted; see class docstring)."""
+        return self._inner.take()
+
+    def ensure(self, count: int) -> None:
+        """Precompute factors after passing the fault point."""
+        self._injector.fire(f"{self._site}.ensure")
+        self._inner.ensure(count)
+
+    def refill(self) -> None:
+        """Refill to target size after passing the fault point."""
+        self._injector.fire(f"{self._site}.refill")
+        self._inner.refill()
+
+    def refill_async(self, *, retries: int = 2) -> Any:
+        """Async refill through the *faulted* refill path, with auto-retry."""
+        from repro.crypto.hom import NoiseRefillHandle
+
+        with self._async_lock:
+            if self._refill_handle is not None and self._refill_handle.is_alive():
+                return self._refill_handle
+            handle = NoiseRefillHandle(self.refill, retries=retries)
+            self._refill_handle = handle
+            handle.start()
+        return handle
+
+    def __len__(self) -> int:
+        return len(self._inner)
+
+    def __getattr__(self, item: str) -> Any:
+        return getattr(self._inner, item)
+
+
+class FaultySink:
+    """A :class:`StreamSink` wrapper that faults each batch append.
+
+    Scripting a :class:`~repro.exceptions.WorkerCrashed` at the N-th append
+    models a worker thread dying *between* batches: the failed batch never
+    reaches the sink (or its journal), exactly like a killed process, and
+    the R1 experiment recovers it from the journal + a resubmission.
+    """
+
+    def __init__(
+        self,
+        inner: Any,
+        injector: FaultInjector,
+        *,
+        site: str = "sink",
+        scripted_only: bool = False,
+    ) -> None:
+        self._inner = inner
+        self._injector = injector
+        self._site = site
+        self._scripted_only = scripted_only
+
+    def append(self, entries: Any) -> Any:
+        """Append a batch after passing the fault point."""
+        self._injector.fire(f"{self._site}.append", scripted_only=self._scripted_only)
+        return self._inner.append(entries)
+
+    def __getattr__(self, item: str) -> Any:
+        return getattr(self._inner, item)

@@ -1,0 +1,425 @@
+"""Crash-safe streaming: an append-only journal + snapshots for query streams.
+
+A :class:`StreamJournal` attaches to a :class:`StreamingQueryLog
+<repro.mining.incremental.StreamingQueryLog>` and durably records every
+appended batch as one JSON line — the batch's canonical SQL plus the
+stream's hash-chain head after the append — with an optional periodic
+snapshot to bound replay time.  After a worker or process dies mid-stream,
+:func:`recover_matrix` rebuilds a fresh
+:class:`~repro.mining.incremental.IncrementalDistanceMatrix` by replaying
+the journal; the incremental layer's core invariant (artefacts equal batch
+recompute, bit for bit, regardless of batch boundaries) makes the recovered
+state *exactly* the state an uninterrupted run would have reached over the
+journaled prefix.
+
+Crash semantics:
+
+* each batch record is written, flushed, and (optionally) fsynced before
+  :meth:`StreamJournal.record` returns, so a crash loses at most the batch
+  in flight;
+* a torn final line (the crash hit mid-write) is tolerated and dropped on
+  reload; a corrupt line *before* the tail raises
+  :class:`~repro.exceptions.JournalError` — that is disk corruption, not a
+  crash;
+* every reload refolds the PR 8 hash chain
+  (:class:`~repro.crypto.integrity.LogHashChain`) over the journaled
+  entries and verifies it against each recorded head, so a tampered or
+  mis-assembled journal cannot silently recover into wrong artefacts; an
+  owner-signed :class:`~repro.crypto.integrity.ChainCheckpoint` can
+  additionally pin the journal prefix to a key only the owner holds.
+
+Snapshots are written atomically (temp file + ``os.replace``) next to the
+journal; reload prefers the snapshot and replays only the batches recorded
+after it.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+from dataclasses import dataclass
+from pathlib import Path
+from typing import TYPE_CHECKING, Any
+
+from repro.crypto.integrity import ChainCheckpoint, LogHashChain, verify_log_entries
+from repro.exceptions import JournalError
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (typing only)
+    from repro.core.dpe import DistanceMeasure
+    from repro.core.domains import DomainCatalog
+    from repro.db.database import Database
+    from repro.mining.incremental import IncrementalDistanceMatrix, StreamingQueryLog
+
+__all__ = [
+    "RecoveryReport",
+    "StreamJournal",
+    "recover_matrix",
+]
+
+
+@dataclass(frozen=True)
+class JournalState:
+    """The durable state read back from a journal (+ optional snapshot)."""
+
+    #: Batches to replay, in order.  When a snapshot was used, the first
+    #: element is the snapshot's full entry list (one catch-up batch).
+    batches: tuple[tuple[str, ...], ...]
+    #: Hash-chain head after each batch in :attr:`batches`.
+    heads: tuple[str, ...]
+    #: Total batches recorded (snapshot batches + journal batches).
+    batches_recorded: int
+    #: Whether a torn final line was dropped on reload.
+    torn_tail_dropped: bool
+    #: Whether the snapshot seeded the state.
+    snapshot_used: bool
+
+    @property
+    def entries(self) -> tuple[str, ...]:
+        """All journaled SQL entries, flattened in order."""
+        return tuple(sql for batch in self.batches for sql in batch)
+
+
+@dataclass(frozen=True)
+class RecoveryReport:
+    """What :func:`recover_matrix` rebuilt, verified, and dropped."""
+
+    #: Batches replayed into the recovered matrix.
+    batches_replayed: int
+    #: Entries replayed (sum of batch sizes).
+    entries_replayed: int
+    #: Hash-chain head of the recovered stream (verified against the journal).
+    chain_head: str
+    #: Whether a torn final journal line was dropped.
+    torn_tail_dropped: bool
+    #: Whether a snapshot seeded the replay.
+    snapshot_used: bool
+    #: Whether an owner-signed checkpoint was verified against the prefix.
+    checkpoint_verified: bool
+
+    def to_dict(self) -> dict[str, object]:
+        """Plain-dict form for reports and JSON artifacts."""
+        return {
+            "batches_replayed": self.batches_replayed,
+            "entries_replayed": self.entries_replayed,
+            "chain_head": self.chain_head,
+            "torn_tail_dropped": self.torn_tail_dropped,
+            "snapshot_used": self.snapshot_used,
+            "checkpoint_verified": self.checkpoint_verified,
+        }
+
+
+class StreamJournal:
+    """Durable append-only journal for a streaming query log.
+
+    Construction reads any existing journal/snapshot at ``path`` (resuming
+    after a crash is the same code path as starting fresh);
+    :meth:`attach` then wires the journal to a live stream: already-present
+    stream entries the journal has not seen are written as one catch-up
+    batch, and every future append is recorded from inside the stream's
+    locked notification — so "batch visible in stream" implies "batch
+    journaled" the moment :meth:`append
+    <repro.mining.incremental.StreamingQueryLog.append>` returns.
+
+    ``snapshot_every=k`` writes a full snapshot after every ``k``-th batch,
+    bounding recovery replay cost at the price of rewriting the entry list;
+    ``fsync=True`` additionally fsyncs each record (crash-proof against
+    power loss, not just process death).
+    """
+
+    def __init__(
+        self,
+        path: str | os.PathLike[str],
+        *,
+        snapshot_every: int = 0,
+        fsync: bool = False,
+    ) -> None:
+        if snapshot_every < 0:
+            raise JournalError(
+                f"snapshot_every must be >= 0, got {snapshot_every!r}"
+            )
+        self.path = Path(path)
+        self.snapshot_every = snapshot_every
+        self._fsync = fsync
+        self._lock = threading.Lock()
+        state = read_journal(self.path)
+        self._entries: list[str] = list(state.entries)
+        self._batches = state.batches_recorded
+        self._chain = LogHashChain()
+        for sql in self._entries:
+            self._chain.extend(sql)
+        self._file = open(self.path, "a", encoding="utf-8")
+        self._closed = False
+
+    @property
+    def snapshot_path(self) -> Path:
+        """Where snapshots for this journal live."""
+        return snapshot_path_for(self.path)
+
+    @property
+    def batches_recorded(self) -> int:
+        """Batches durably recorded so far (including any resumed state)."""
+        with self._lock:
+            return self._batches
+
+    @property
+    def entries_recorded(self) -> int:
+        """Entries durably recorded so far."""
+        with self._lock:
+            return len(self._entries)
+
+    def attach(self, stream: "StreamingQueryLog") -> None:
+        """Journal ``stream``: catch up on its current content, then subscribe.
+
+        The journaled entries must be a prefix of the stream's (they are
+        equal right after :func:`recover_matrix`); anything else means this
+        journal belongs to a different stream and raises
+        :class:`~repro.exceptions.JournalError` instead of corrupting it.
+        """
+        with stream.lock:
+            stream_sqls = [entry.sql for entry in stream]
+            with self._lock:
+                if self._entries != stream_sqls[: len(self._entries)]:
+                    raise JournalError(
+                        f"journal {str(self.path)!r} is not a prefix of the "
+                        f"stream ({len(self._entries)} journaled entries, "
+                        f"{len(stream_sqls)} in the stream)"
+                    )
+                pending = stream_sqls[len(self._entries) :]
+            if pending:
+                self.record(pending, stream.chain_head)
+            stream.subscribe(
+                lambda batch: self.record(
+                    [entry.sql for entry in batch], stream.chain_head
+                )
+            )
+
+    def record(self, entries: list[str], head: str) -> None:
+        """Durably append one batch record (``entries`` + chain ``head``).
+
+        The record is flushed (and fsynced when configured) before this
+        returns; a snapshot follows when ``snapshot_every`` divides the new
+        batch count.
+        """
+        with self._lock:
+            if self._closed:
+                raise JournalError(f"journal {str(self.path)!r} is closed")
+            for sql in entries:
+                self._chain.extend(sql)
+            if self._chain.head != head:
+                raise JournalError(
+                    "journal chain diverged from the stream: the journal "
+                    "missed a batch or was attached to the wrong stream"
+                )
+            self._batches += 1
+            self._entries.extend(entries)
+            line = json.dumps(
+                {"batch": self._batches, "entries": list(entries), "head": head},
+                separators=(",", ":"),
+            )
+            self._file.write(line + "\n")
+            self._file.flush()
+            if self._fsync:
+                os.fsync(self._file.fileno())
+            if self.snapshot_every and self._batches % self.snapshot_every == 0:
+                self._write_snapshot()
+
+    def _write_snapshot(self) -> None:
+        # Lock held.  Atomic replace: readers either see the old snapshot
+        # or the new one, never a torn file.
+        payload = json.dumps(
+            {
+                "batches": self._batches,
+                "entries": self._entries,
+                "head": self._chain.head,
+            },
+            separators=(",", ":"),
+        )
+        target = self.snapshot_path
+        temp = target.with_name(target.name + ".tmp")
+        with open(temp, "w", encoding="utf-8") as handle:
+            handle.write(payload)
+            handle.flush()
+            if self._fsync:
+                os.fsync(handle.fileno())
+        os.replace(temp, target)
+
+    def close(self) -> None:
+        """Close the journal file (idempotent)."""
+        with self._lock:
+            if not self._closed:
+                self._closed = True
+                self._file.close()
+
+    def __enter__(self) -> "StreamJournal":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+
+def snapshot_path_for(path: str | os.PathLike[str]) -> Path:
+    """The snapshot file belonging to the journal at ``path``."""
+    path = Path(path)
+    return path.with_name(path.name + ".snapshot")
+
+
+def read_journal(path: str | os.PathLike[str]) -> JournalState:
+    """Read and verify the durable state at ``path``.
+
+    Missing files yield an empty state.  The snapshot (when present) seeds
+    the entry list; journal records up to and including the snapshot batch
+    are skipped, later ones replayed.  The hash chain is refolded from the
+    entries and checked against every recorded head — a mismatch raises
+    :class:`~repro.exceptions.JournalError` (tampered or mis-paired files),
+    as does a corrupt line anywhere but the torn tail.
+    """
+    path = Path(path)
+    batches: list[tuple[str, ...]] = []
+    heads: list[str] = []
+    chain = LogHashChain()
+    recorded = 0
+    snapshot_used = False
+
+    snapshot = snapshot_path_for(path)
+    if snapshot.exists():
+        try:
+            payload = json.loads(snapshot.read_text(encoding="utf-8"))
+            entries = [str(sql) for sql in payload["entries"]]
+            recorded = int(payload["batches"])
+            head = str(payload["head"])
+        except (json.JSONDecodeError, KeyError, TypeError, ValueError) as error:
+            raise JournalError(
+                f"snapshot {str(snapshot)!r} is corrupt: {error}"
+            ) from error
+        for sql in entries:
+            chain.extend(sql)
+        if chain.head != head:
+            raise JournalError(
+                f"snapshot {str(snapshot)!r} failed hash-chain verification"
+            )
+        batches.append(tuple(entries))
+        heads.append(head)
+        snapshot_used = True
+
+    torn_tail_dropped = False
+    if path.exists():
+        raw_lines = path.read_text(encoding="utf-8").split("\n")
+        # A cleanly written journal ends with "\n": the final split element
+        # is empty.  Anything else is the torn tail of a crashed write.
+        lines = raw_lines[:-1]
+        tail = raw_lines[-1]
+        records: list[dict[str, Any]] = []
+        for index, line in enumerate(lines):
+            try:
+                record = json.loads(line)
+                batch_no = int(record["batch"])
+                entries = [str(sql) for sql in record["entries"]]
+                head = str(record["head"])
+            except (json.JSONDecodeError, KeyError, TypeError, ValueError) as error:
+                if index == len(lines) - 1 and not tail:
+                    # The crash tore the final line before its newline ever
+                    # made it to disk is handled below; a final *complete*
+                    # line that still fails to parse means the newline
+                    # landed but the payload did not — same crash, same
+                    # tolerance.
+                    torn_tail_dropped = True
+                    break
+                raise JournalError(
+                    f"journal {str(path)!r} line {index + 1} is corrupt: {error}"
+                ) from error
+            records.append({"batch": batch_no, "entries": entries, "head": head})
+        if tail:
+            torn_tail_dropped = True
+        for record in records:
+            if record["batch"] <= recorded:
+                # Already covered by the snapshot.
+                continue
+            if record["batch"] != recorded + 1:
+                raise JournalError(
+                    f"journal {str(path)!r} skips from batch {recorded} "
+                    f"to {record['batch']}"
+                )
+            for sql in record["entries"]:
+                chain.extend(sql)
+            if chain.head != record["head"]:
+                raise JournalError(
+                    f"journal {str(path)!r} batch {record['batch']} failed "
+                    "hash-chain verification"
+                )
+            batches.append(tuple(record["entries"]))
+            heads.append(record["head"])
+            recorded = record["batch"]
+
+    return JournalState(
+        batches=tuple(batches),
+        heads=tuple(heads),
+        batches_recorded=recorded,
+        torn_tail_dropped=torn_tail_dropped,
+        snapshot_used=snapshot_used,
+    )
+
+
+def recover_matrix(
+    path: str | os.PathLike[str],
+    measure: "DistanceMeasure",
+    *,
+    database: "Database | None" = None,
+    domains: "DomainCatalog | None" = None,
+    checkpoint: ChainCheckpoint | None = None,
+    key: bytes | None = None,
+    stats: Any = None,
+    **mining_options: Any,
+) -> tuple["IncrementalDistanceMatrix", RecoveryReport]:
+    """Rebuild an incremental matrix from the journal at ``path``.
+
+    Replays every verified journaled batch into a fresh
+    :class:`~repro.mining.incremental.StreamingQueryLog` +
+    :class:`~repro.mining.incremental.IncrementalDistanceMatrix`
+    (constructed with ``mining_options``: ``knn_k``, ``dbscan_eps``, ...).
+    Because incremental artefacts are bit-for-bit equal to batch recompute
+    regardless of batch boundaries, the recovered matrix state is exactly
+    what an uninterrupted run over the journaled prefix would hold.
+
+    When ``checkpoint`` and ``key`` are given the journaled entries are
+    additionally verified as a prefix-extension of the owner-signed
+    checkpoint (:func:`~repro.crypto.integrity.verify_log_entries`), so a
+    provider cannot hand back a forged journal.  ``stats`` (a
+    :class:`~repro.reliability.policy.ReliabilityStats`) gets its
+    ``recoveries`` counter bumped on success.
+
+    Returns ``(matrix, report)``; re-attaching a :class:`StreamJournal` at
+    the same ``path`` to ``matrix.stream`` resumes journaling seamlessly.
+    """
+    from repro.mining.incremental import IncrementalDistanceMatrix, StreamingQueryLog
+
+    state = read_journal(path)
+    checkpoint_verified = False
+    if checkpoint is not None:
+        if key is None:
+            raise JournalError("checkpoint verification requires the signing key")
+        verify_log_entries(list(state.entries), checkpoint, key)
+        checkpoint_verified = True
+
+    stream = StreamingQueryLog()
+    matrix = IncrementalDistanceMatrix(
+        measure, stream, database=database, domains=domains, **mining_options
+    )
+    for batch in state.batches:
+        stream.append(batch)
+    if state.heads and stream.chain_head != state.heads[-1]:
+        raise JournalError(
+            "recovered stream head does not match the journal "
+            "(entry normalization drifted)"
+        )
+    if stats is not None:
+        stats.count_recovery()
+    report = RecoveryReport(
+        batches_replayed=len(state.batches),
+        entries_replayed=len(state.entries),
+        chain_head=stream.chain_head,
+        torn_tail_dropped=state.torn_tail_dropped,
+        snapshot_used=state.snapshot_used,
+        checkpoint_verified=checkpoint_verified,
+    )
+    return matrix, report

@@ -1,0 +1,458 @@
+"""Retry, deadline, and circuit-breaker policies for the fault-tolerance layer.
+
+Three cooperating pieces, each with injectable time sources so every test
+runs against a fake clock (no real sleeps):
+
+* :class:`RetryPolicy` — bounded retries with exponential backoff and
+  *decorrelated jitter* (Brooker's AWS variant: each delay is drawn
+  uniformly from ``[base, previous * 3]`` and capped at ``max_delay``),
+  retrying only errors a typed classifier deems transient;
+* :class:`Deadline` — a monotonic-clock budget propagated through
+  ``ProxySession.run/stream`` and ``MiningServer.submit/mine``; checked
+  cooperatively between queries, raising
+  :class:`~repro.api.errors.DeadlineExceeded` past the budget;
+* :class:`CircuitBreaker` — a thread-safe closed/open/half-open state
+  machine over a sliding window of outcomes with a failure-rate threshold,
+  used per tenant by the serving layer so one failing tenant cannot starve
+  the shared worker pool.
+
+:class:`ReliabilityStats` aggregates the counters
+(``retries/gave_up/deadline_exceeded/recoveries``) the serving layer
+surfaces in :class:`~repro.server.stats.TenantStats`, and
+:class:`RetryingBackend` applies a :class:`RetryPolicy` around any
+:class:`~repro.db.backend.ExecutionBackend` without the backend knowing.
+"""
+
+from __future__ import annotations
+
+import random
+import threading
+import time
+from collections import deque
+from collections.abc import Callable, Iterable
+from typing import Any
+
+from repro.api.errors import CircuitOpen, DeadlineExceeded
+from repro.exceptions import TransientError
+
+__all__ = [
+    "CircuitBreaker",
+    "Deadline",
+    "ReliabilityStats",
+    "RetryPolicy",
+    "RetryingBackend",
+    "classify_transient",
+]
+
+#: Standard-library exception types treated as transient alongside the
+#: internal :class:`~repro.exceptions.TransientError` family.
+_STDLIB_TRANSIENTS = (TimeoutError, ConnectionError, InterruptedError)
+
+
+def classify_transient(error: BaseException) -> bool:
+    """Return ``True`` when ``error`` is safe to retry.
+
+    The default classifier used by :class:`RetryPolicy`: the internal
+    :class:`~repro.exceptions.TransientError` family plus the
+    standard-library transients (:class:`TimeoutError`,
+    :class:`ConnectionError`, :class:`InterruptedError`).  Everything else
+    — including :class:`~repro.exceptions.WorkerCrashed` — is permanent.
+    """
+    return isinstance(error, (TransientError, *_STDLIB_TRANSIENTS))
+
+
+class ReliabilityStats:
+    """Thread-safe counters for the fault-tolerance layer.
+
+    One instance is shared between a tenant's retry wrappers, deadline
+    checks, and recovery calls; :meth:`snapshot` feeds the ``reliability``
+    block of :class:`~repro.server.stats.TenantStats`.
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._retries = 0
+        self._gave_up = 0
+        self._deadline_exceeded = 0
+        self._recoveries = 0
+
+    def count_retry(self) -> None:
+        """Record one retried attempt (a transient failure that was retried)."""
+        with self._lock:
+            self._retries += 1
+
+    def count_gave_up(self) -> None:
+        """Record one exhausted retry budget (the last attempt also failed)."""
+        with self._lock:
+            self._gave_up += 1
+
+    def count_deadline_exceeded(self) -> None:
+        """Record one deadline expiry observed by a policy or session."""
+        with self._lock:
+            self._deadline_exceeded += 1
+
+    def count_recovery(self) -> None:
+        """Record one successful journal recovery."""
+        with self._lock:
+            self._recoveries += 1
+
+    def snapshot(self) -> dict[str, int]:
+        """Return a point-in-time copy of all counters."""
+        with self._lock:
+            return {
+                "retries": self._retries,
+                "gave_up": self._gave_up,
+                "deadline_exceeded": self._deadline_exceeded,
+                "recoveries": self._recoveries,
+            }
+
+
+class Deadline:
+    """A cooperative time budget over an injectable monotonic clock.
+
+    Construct with :meth:`after` (seconds) or :meth:`after_ms`; pass the
+    instance down through session and server calls.  Work in progress calls
+    :meth:`check` at safe points (between queries, before a queued task
+    starts); past the budget it raises
+    :class:`~repro.api.errors.DeadlineExceeded` carrying elapsed/budget.
+
+    The clock is injectable for tests; production uses
+    :func:`time.monotonic`, so wall-clock adjustments never fire deadlines.
+    """
+
+    __slots__ = ("_budget", "_clock", "_started")
+
+    def __init__(
+        self, budget: float, *, clock: Callable[[], float] = time.monotonic
+    ) -> None:
+        if budget < 0:
+            raise ValueError(f"deadline budget must be >= 0, got {budget!r}")
+        self._budget = float(budget)
+        self._clock = clock
+        self._started = clock()
+
+    @classmethod
+    def after(
+        cls, seconds: float, *, clock: Callable[[], float] = time.monotonic
+    ) -> Deadline:
+        """Return a deadline expiring ``seconds`` from now."""
+        return cls(seconds, clock=clock)
+
+    @classmethod
+    def after_ms(
+        cls, milliseconds: float, *, clock: Callable[[], float] = time.monotonic
+    ) -> Deadline:
+        """Return a deadline expiring ``milliseconds`` from now."""
+        return cls(milliseconds / 1000.0, clock=clock)
+
+    @property
+    def budget(self) -> float:
+        """The total budget in seconds."""
+        return self._budget
+
+    def elapsed(self) -> float:
+        """Return the seconds elapsed since the deadline started."""
+        return self._clock() - self._started
+
+    def remaining(self) -> float:
+        """Return the seconds left before expiry (never negative)."""
+        return max(0.0, self._budget - self.elapsed())
+
+    @property
+    def expired(self) -> bool:
+        """Whether the budget has been used up."""
+        return self.elapsed() >= self._budget
+
+    def check(self, context: str = "") -> None:
+        """Raise :class:`DeadlineExceeded` when the budget is used up."""
+        elapsed = self.elapsed()
+        if elapsed >= self._budget:
+            prefix = f"{context}: " if context else ""
+            raise DeadlineExceeded(
+                f"{prefix}deadline of {self._budget:.3f}s exceeded "
+                f"after {elapsed:.3f}s",
+                elapsed=elapsed,
+                budget=self._budget,
+            )
+
+
+class RetryPolicy:
+    """Bounded retries with exponential backoff and decorrelated jitter.
+
+    ``max_attempts`` counts the first try: ``max_attempts=1`` disables
+    retrying.  Delays follow the decorrelated-jitter recipe — the first
+    delay is drawn from ``[base_delay, base_delay * 3]``, each subsequent
+    one from ``[base_delay, previous * 3]``, all capped at ``max_delay`` —
+    which keeps retry storms from synchronising without the unbounded
+    growth of plain exponential backoff.
+
+    Only errors the ``classify`` predicate accepts are retried (default:
+    :func:`classify_transient`).  ``sleep``, ``clock``, and the jitter
+    ``rng`` seed are injectable so tests drive the policy with a fake
+    clock and a fixed random stream — no real sleeps, fully deterministic.
+    """
+
+    def __init__(
+        self,
+        *,
+        max_attempts: int = 4,
+        base_delay: float = 0.05,
+        max_delay: float = 2.0,
+        classify: Callable[[BaseException], bool] = classify_transient,
+        sleep: Callable[[float], None] = time.sleep,
+        seed: int | None = None,
+    ) -> None:
+        if max_attempts < 1:
+            raise ValueError(f"max_attempts must be >= 1, got {max_attempts!r}")
+        if base_delay < 0:
+            raise ValueError(f"base_delay must be >= 0, got {base_delay!r}")
+        if max_delay < base_delay:
+            raise ValueError(
+                f"max_delay ({max_delay!r}) must be >= base_delay ({base_delay!r})"
+            )
+        self.max_attempts = max_attempts
+        self.base_delay = base_delay
+        self.max_delay = max_delay
+        self._classify = classify
+        self._sleep = sleep
+        self._rng = random.Random(seed)
+        self._rng_lock = threading.Lock()
+
+    def next_delay(self, previous: float | None) -> float:
+        """Return the next backoff delay given the previous one (or ``None``).
+
+        Implements one decorrelated-jitter step:
+        ``min(max_delay, uniform(base_delay, max(previous, base) * 3))``.
+        """
+        anchor = self.base_delay if previous is None else max(previous, self.base_delay)
+        with self._rng_lock:
+            drawn = self._rng.uniform(self.base_delay, anchor * 3)
+        return min(self.max_delay, drawn)
+
+    def delays(self) -> Iterable[float]:
+        """Yield the delay before each retry (``max_attempts - 1`` values)."""
+        previous: float | None = None
+        for _ in range(self.max_attempts - 1):
+            previous = self.next_delay(previous)
+            yield previous
+
+    def call(
+        self,
+        fn: Callable[[], Any],
+        *,
+        deadline: Deadline | None = None,
+        stats: ReliabilityStats | None = None,
+        context: str = "",
+    ) -> Any:
+        """Invoke ``fn`` with retries; return its result or raise.
+
+        Non-transient errors propagate immediately.  Transient errors are
+        retried after a jittered backoff until the attempt budget runs out
+        (the last error re-raises, ``stats.gave_up`` counted) or the
+        ``deadline`` cannot fund the next sleep (raises
+        :class:`DeadlineExceeded` chained from the transient error, so the
+        caller sees *why* the budget was burnt).
+        """
+        previous: float | None = None
+        for attempt in range(1, self.max_attempts + 1):
+            if deadline is not None:
+                try:
+                    deadline.check(context)
+                except DeadlineExceeded:
+                    if stats is not None:
+                        stats.count_deadline_exceeded()
+                    raise
+            try:
+                return fn()
+            except BaseException as error:
+                if not self._classify(error) or attempt >= self.max_attempts:
+                    if stats is not None and self._classify(error):
+                        stats.count_gave_up()
+                    raise
+                delay = self.next_delay(previous)
+                previous = delay
+                if deadline is not None and deadline.remaining() < delay:
+                    if stats is not None:
+                        stats.count_deadline_exceeded()
+                    prefix = f"{context}: " if context else ""
+                    raise DeadlineExceeded(
+                        f"{prefix}deadline cannot fund the next retry "
+                        f"({delay:.3f}s backoff, "
+                        f"{deadline.remaining():.3f}s remaining)",
+                        elapsed=deadline.elapsed(),
+                        budget=deadline.budget,
+                    ) from error
+                if stats is not None:
+                    stats.count_retry()
+                if delay > 0:
+                    self._sleep(delay)
+        raise AssertionError("unreachable: retry loop returns or raises")
+
+
+class RetryingBackend:
+    """An :class:`~repro.db.backend.ExecutionBackend` wrapper that retries.
+
+    Applies a :class:`RetryPolicy` around ``execute``/``execute_many`` so
+    transient provider faults (classified by the policy) are absorbed
+    before they reach the proxy session.  Everything else — attributes,
+    ``close``, the sqlite handle used by the tamper harness — forwards to
+    the wrapped backend untouched.
+    """
+
+    def __init__(
+        self,
+        inner: Any,
+        policy: RetryPolicy,
+        *,
+        stats: ReliabilityStats | None = None,
+    ) -> None:
+        self._inner = inner
+        self._policy = policy
+        self._stats = stats
+        self.name = getattr(inner, "name", "unknown")
+
+    def execute(self, query: Any, deadline: Deadline | None = None) -> Any:
+        """Execute one query through the wrapped backend, with retries."""
+        return self._policy.call(
+            lambda: self._inner.execute(query),
+            deadline=deadline,
+            stats=self._stats,
+            context=f"execute[{self.name}]",
+        )
+
+    def execute_many(self, queries: Any, deadline: Deadline | None = None) -> Any:
+        """Execute a query batch through the wrapped backend, with retries."""
+        return self._policy.call(
+            lambda: self._inner.execute_many(queries),
+            deadline=deadline,
+            stats=self._stats,
+            context=f"execute_many[{self.name}]",
+        )
+
+    def close(self) -> None:
+        """Close the wrapped backend."""
+        self._inner.close()
+
+    def __getattr__(self, item: str) -> Any:
+        return getattr(self._inner, item)
+
+
+class CircuitBreaker:
+    """A thread-safe closed/open/half-open breaker over a failure-rate window.
+
+    Outcomes are recorded into a sliding window of the last ``window``
+    calls.  With at least ``min_calls`` outcomes recorded, a failure rate
+    at or above ``failure_rate_threshold`` opens the breaker: :meth:`allow`
+    raises :class:`~repro.api.errors.CircuitOpen` until
+    ``cooldown_seconds`` have passed on the injectable monotonic clock.
+    The first :meth:`allow` after the cooldown admits a single *half-open*
+    probe; the probe's success closes the breaker (window reset), its
+    failure re-opens it for another cooldown.
+    """
+
+    CLOSED = "closed"
+    OPEN = "open"
+    HALF_OPEN = "half_open"
+
+    def __init__(
+        self,
+        *,
+        failure_rate_threshold: float = 0.5,
+        min_calls: int = 5,
+        window: int = 16,
+        cooldown_seconds: float = 30.0,
+        clock: Callable[[], float] = time.monotonic,
+        tenant: str | None = None,
+    ) -> None:
+        if not 0.0 < failure_rate_threshold <= 1.0:
+            raise ValueError(
+                "failure_rate_threshold must be in (0, 1], "
+                f"got {failure_rate_threshold!r}"
+            )
+        if min_calls < 1:
+            raise ValueError(f"min_calls must be >= 1, got {min_calls!r}")
+        if window < min_calls:
+            raise ValueError(
+                f"window ({window!r}) must be >= min_calls ({min_calls!r})"
+            )
+        if cooldown_seconds < 0:
+            raise ValueError(
+                f"cooldown_seconds must be >= 0, got {cooldown_seconds!r}"
+            )
+        self.failure_rate_threshold = failure_rate_threshold
+        self.min_calls = min_calls
+        self.cooldown_seconds = cooldown_seconds
+        self.tenant = tenant
+        self._clock = clock
+        self._lock = threading.Lock()
+        self._outcomes: deque[bool] = deque(maxlen=window)
+        self._state = self.CLOSED
+        self._opened_at = 0.0
+        self._probe_in_flight = False
+
+    @property
+    def state(self) -> str:
+        """The current state: ``"closed"``, ``"open"``, or ``"half_open"``."""
+        with self._lock:
+            return self._observe_state()
+
+    def _observe_state(self) -> str:
+        # Lock held.  An open breaker whose cooldown has elapsed presents
+        # as half-open: the next allow() admits the probe.
+        if self._state == self.OPEN:
+            if self._clock() - self._opened_at >= self.cooldown_seconds:
+                self._state = self.HALF_OPEN
+                self._probe_in_flight = False
+        return self._state
+
+    def allow(self) -> None:
+        """Admit one call or raise :class:`CircuitOpen`.
+
+        Closed: always admits.  Open: raises with ``retry_after`` set to
+        the cooldown remainder.  Half-open: admits exactly one probe at a
+        time; concurrent callers are rejected until the probe reports.
+        """
+        with self._lock:
+            state = self._observe_state()
+            if state == self.CLOSED:
+                return
+            if state == self.HALF_OPEN and not self._probe_in_flight:
+                self._probe_in_flight = True
+                return
+            remaining = max(
+                0.0, self.cooldown_seconds - (self._clock() - self._opened_at)
+            )
+            label = f"tenant {self.tenant!r}" if self.tenant else "circuit"
+            raise CircuitOpen(
+                f"{label} breaker is {state}: rejecting new work for "
+                f"{remaining:.3f}s",
+                tenant=self.tenant,
+                retry_after=remaining,
+            )
+
+    def record_success(self) -> None:
+        """Record a successful call; closes the breaker after a good probe."""
+        with self._lock:
+            state = self._observe_state()
+            if state == self.HALF_OPEN:
+                self._state = self.CLOSED
+                self._outcomes.clear()
+                self._probe_in_flight = False
+                return
+            self._outcomes.append(True)
+
+    def record_failure(self) -> None:
+        """Record a failed call; may open (or re-open) the breaker."""
+        with self._lock:
+            state = self._observe_state()
+            if state == self.HALF_OPEN:
+                self._state = self.OPEN
+                self._opened_at = self._clock()
+                self._probe_in_flight = False
+                return
+            self._outcomes.append(False)
+            if len(self._outcomes) >= self.min_calls:
+                failures = sum(1 for ok in self._outcomes if not ok)
+                if failures / len(self._outcomes) >= self.failure_rate_threshold:
+                    self._state = self.OPEN
+                    self._opened_at = self._clock()

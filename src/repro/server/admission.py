@@ -58,13 +58,33 @@ class AdmissionQueue(Generic[_T]):
         """The queue bound (admitted-but-undrained items)."""
         return self._max_pending
 
-    def submit(self, item: _T, *, wait: bool = True, timeout: float | None = None) -> None:
+    def submit(
+        self,
+        item: _T,
+        *,
+        wait: bool = True,
+        timeout: float | None = None,
+        tenant: str | None = None,
+    ) -> None:
         """Admit ``item``, or raise :class:`~repro.api.errors.ServerOverloaded`.
 
-        With ``wait=True`` (the default) a full queue blocks the caller —
-        the backpressure path — for at most ``timeout`` seconds (``None``
-        waits indefinitely).  With ``wait=False`` a full queue rejects
-        immediately.  Either failure counts as a rejection in :meth:`stats`.
+        Wait/timeout semantics:
+
+        * ``wait=True, timeout=None`` (the default) — a full queue blocks
+          the caller indefinitely; admission is guaranteed once a worker
+          frees a slot.  This is the backpressure contract streaming uses.
+        * ``wait=True, timeout=t`` — block at most ``t`` seconds, then
+          reject.  ``t <= 0`` degenerates to an immediate full-queue check.
+        * ``wait=False`` — never block; a full queue rejects immediately
+          (``timeout`` is ignored on this path).
+
+        Every rejection raises :class:`~repro.api.errors.ServerOverloaded`
+        carrying the queue depth at rejection time (``queue_depth``) and, if
+        given, the submitting ``tenant`` — callers shedding load can report
+        *who* was turned away and *how far behind* the workers were.  Each
+        rejection also counts once in :meth:`stats`.  A blocked submit holds
+        no internal lock, so concurrent :meth:`take`/``mark_*`` calls — and
+        therefore a concurrent server close — proceed while it waits.
         """
         try:
             if wait:
@@ -79,7 +99,11 @@ class AdmissionQueue(Generic[_T]):
                 if not wait
                 else f"admission queue stayed full for {timeout}s ({self._max_pending} pending)"
             )
-            raise ServerOverloaded(detail) from None
+            if tenant is not None:
+                detail = f"tenant {tenant!r}: {detail}"
+            raise ServerOverloaded(
+                detail, queue_depth=self._queue.qsize(), tenant=tenant
+            ) from None
         with self._lock:
             self._submitted += 1
             depth = self._queue.qsize()

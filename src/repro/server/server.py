@@ -19,6 +19,14 @@ single-caller façade.  :class:`MiningServer` provides it:
   ``wait=False``, raises :class:`~repro.api.errors.ServerOverloaded`;
   :meth:`stream` always takes the blocking path, throttling producers to
   the workers' pace;
+* **fault tolerance** — per the config's
+  :class:`~repro.api.ReliabilityConfig`: retries with backoff inside each
+  tenant's sessions, a per-tenant :class:`~repro.api.CircuitBreaker`
+  checked at admission (an open circuit raises
+  :class:`~repro.api.errors.CircuitOpen` before a queue slot is consumed),
+  and a :class:`~repro.api.Deadline` stamped on every task at admission so
+  queued-out-of-budget work cancels cooperatively with
+  :class:`~repro.api.errors.DeadlineExceeded`;
 * **metrics** — :meth:`stats` returns a typed
   :class:`~repro.server.stats.ServerStats` (queue counters plus per-tenant
   serving/crypto/exposure snapshots) and :meth:`metrics` the same as a
@@ -44,6 +52,7 @@ from repro.core.dpe import LogContext
 from repro.crypto.keys import KeyChain
 from repro.cryptdb.proxy import JoinGroupSpec, StreamSink
 from repro.db.database import Database
+from repro.reliability.policy import CircuitBreaker, Deadline
 from repro.server.admission import AdmissionQueue
 from repro.server.stats import ServerStats
 from repro.server.tenant import TenantHandle
@@ -142,7 +151,7 @@ class MiningServer:
         service = EncryptedMiningService(config, keychain=keychain, join_groups=join_groups)
         plain = database if database is not None else service.build_database()
         service.encrypt(plain)
-        handle = TenantHandle(name, service)
+        handle = TenantHandle(name, service, breaker=self._build_breaker(name))
         with self._lock:
             if self._closed:
                 raise ServerError("cannot add a tenant to a closed server")
@@ -150,6 +159,34 @@ class MiningServer:
                 raise ServerError(f"tenant {name!r} was registered concurrently")
             self._tenants[name] = handle
         return handle
+
+    def _build_breaker(self, tenant: str) -> CircuitBreaker | None:
+        """The tenant's own circuit breaker per the reliability config."""
+        reliability = self._config.reliability
+        if not reliability.breaker_enabled:
+            return None
+        return CircuitBreaker(
+            failure_rate_threshold=reliability.breaker_failure_rate,
+            min_calls=reliability.breaker_min_calls,
+            window=reliability.breaker_window,
+            cooldown_seconds=reliability.breaker_cooldown_seconds,
+            tenant=tenant,
+        )
+
+    def _stamp_deadline(self, deadline: Deadline | None) -> Deadline | None:
+        """The task's deadline: the caller's, else one from ``deadline_ms``.
+
+        Stamped at admission, so time a task spends queued counts against
+        its budget — a task that waits out its budget is cancelled
+        cooperatively when a worker finally picks it up, instead of running
+        stale.
+        """
+        if deadline is not None:
+            return deadline
+        budget_ms = self._config.reliability.deadline_ms
+        if budget_ms is None:
+            return None
+        return Deadline.after_ms(budget_ms)
 
     # -- worker pool ------------------------------------------------------- #
 
@@ -193,7 +230,12 @@ class MiningServer:
     # -- submission -------------------------------------------------------- #
 
     def _admit(
-        self, thunk: Callable[[], object], *, wait: bool, timeout: float | None
+        self,
+        thunk: Callable[[], object],
+        *,
+        wait: bool,
+        timeout: float | None,
+        tenant: str | None = None,
     ) -> "Future[object]":
         with self._lock:
             if self._closed:
@@ -201,7 +243,7 @@ class MiningServer:
         self.start()
         future: "Future[object]" = Future()
         effective = timeout if timeout is not None else self._config.submit_timeout
-        self._queue.submit((future, thunk), wait=wait, timeout=effective)
+        self._queue.submit((future, thunk), wait=wait, timeout=effective, tenant=tenant)
         return future
 
     def submit(
@@ -211,6 +253,7 @@ class MiningServer:
         *,
         wait: bool = True,
         timeout: float | None = None,
+        deadline: Deadline | None = None,
     ) -> "Future[object]":
         """Admit one workload for ``tenant`` and return its future.
 
@@ -218,11 +261,23 @@ class MiningServer:
         :class:`~repro.api.WorkloadResult` (or carries the serving
         exception).  A full queue blocks for ``timeout`` seconds (default:
         the config's ``submit_timeout``); ``wait=False`` turns a full queue
-        into an immediate :class:`~repro.api.errors.ServerOverloaded`.
+        into an immediate :class:`~repro.api.errors.ServerOverloaded`
+        carrying the queue depth and tenant.  When the tenant's circuit
+        breaker is open, admission fails up front with
+        :class:`~repro.api.errors.CircuitOpen`.  ``deadline`` (default: one
+        built from the config's ``deadline_ms``, if set) is stamped at
+        admission and checked cooperatively while the workload runs;
+        exceeding it resolves the future with
+        :class:`~repro.api.errors.DeadlineExceeded`.
         """
         handle = self.tenant(tenant)
+        handle.check_admission()
+        effective = self._stamp_deadline(deadline)
         return self._admit(
-            lambda: handle.run_workload(queries), wait=wait, timeout=timeout
+            lambda: handle.run_workload(queries, deadline=effective),
+            wait=wait,
+            timeout=timeout,
+            tenant=tenant,
         )
 
     def run_workload(
@@ -244,6 +299,7 @@ class MiningServer:
         *,
         into: StreamSink,
         timeout: float | None = None,
+        deadline: Deadline | None = None,
     ) -> "Future[object]":
         """Admit one streamed batch for ``tenant`` (always with backpressure).
 
@@ -252,11 +308,17 @@ class MiningServer:
         to the tuple of encrypted queries that entered the sink.  Streaming
         always takes the blocking admission path — a full queue throttles
         the producer to the workers' pace rather than rejecting, which is
-        the backpressure contract of admission control.
+        the backpressure contract of admission control.  Breaker and
+        deadline semantics follow :meth:`submit`.
         """
         handle = self.tenant(tenant)
+        handle.check_admission()
+        effective = self._stamp_deadline(deadline)
         return self._admit(
-            lambda: handle.stream(queries, into=into), wait=True, timeout=timeout
+            lambda: handle.stream(queries, into=into, deadline=effective),
+            wait=True,
+            timeout=timeout,
+            tenant=tenant,
         )
 
     def mine(
@@ -266,6 +328,7 @@ class MiningServer:
         *,
         wait: bool = True,
         timeout: float | None = None,
+        deadline: Deadline | None = None,
     ) -> "Future[object]":
         """Admit one mining run for ``tenant`` and return its future.
 
@@ -273,11 +336,20 @@ class MiningServer:
         :class:`~repro.api.MiningResult`; the tenant's own
         :class:`~repro.api.MiningConfig` decides between the exact matrix
         pipeline and the pivot-indexed sublinear path (``approx=True``).
-        Admission follows :meth:`submit`'s contract: a full queue blocks
-        for ``timeout`` seconds, or rejects immediately with ``wait=False``.
+        Admission, breaker and deadline semantics follow :meth:`submit`'s
+        contract: a full queue blocks for ``timeout`` seconds, or rejects
+        immediately with ``wait=False``; the deadline is checked once
+        before the mining run starts.
         """
         handle = self.tenant(tenant)
-        return self._admit(lambda: handle.mine(context), wait=wait, timeout=timeout)
+        handle.check_admission()
+        effective = self._stamp_deadline(deadline)
+        return self._admit(
+            lambda: handle.mine(context, deadline=effective),
+            wait=wait,
+            timeout=timeout,
+            tenant=tenant,
+        )
 
     # -- metrics ----------------------------------------------------------- #
 

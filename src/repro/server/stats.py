@@ -70,6 +70,11 @@ class TenantStats:
     authentication is on, the summed ``cells_verified``/``tamper_detected``
     counters, and the length/head of the last signed log checkpoint (both
     ``None`` before any authenticated stream).
+    ``reliability`` summarises the tenant's fault-tolerance layer: the
+    ``retries``/``gave_up``/``deadline_exceeded``/``recoveries`` counters of
+    the tenant service's :class:`~repro.api.ReliabilityStats` plus the
+    tenant circuit's ``breaker_state`` (``"disabled"`` when no breaker is
+    configured).
     """
 
     tenant: str
@@ -83,6 +88,7 @@ class TenantStats:
     crypto: dict[str, object]
     exposure: dict[str, object]
     integrity: dict[str, object]
+    reliability: dict[str, object]
 
     def to_dict(self) -> dict[str, object]:
         """The tenant snapshot as a plain JSON-serialisable dict."""
@@ -98,6 +104,7 @@ class TenantStats:
             "crypto": self.crypto,
             "exposure": self.exposure,
             "integrity": self.integrity,
+            "reliability": self.reliability,
         }
 
 

@@ -20,11 +20,12 @@ from __future__ import annotations
 import threading
 from collections.abc import Iterable
 
-from repro.api.errors import ServerError
+from repro.api.errors import DeadlineExceeded, ServerError
 from repro.api.results import ExposureReport, MiningResult, WorkloadResult
 from repro.api.service import EncryptedMiningService, ServiceSession
 from repro.core.dpe import DistanceMeasure, LogContext
 from repro.cryptdb.proxy import StreamSink
+from repro.reliability.policy import CircuitBreaker, Deadline
 from repro.server.stats import TenantStats
 from repro.sql.ast import Query
 from repro.sql.log import QueryLog
@@ -56,10 +57,24 @@ class TenantHandle:
     via :meth:`open_session`.
     """
 
-    def __init__(self, name: str, service: EncryptedMiningService) -> None:
-        """Wrap ``service`` as tenant ``name`` (built by the server)."""
+    def __init__(
+        self,
+        name: str,
+        service: EncryptedMiningService,
+        *,
+        breaker: CircuitBreaker | None = None,
+    ) -> None:
+        """Wrap ``service`` as tenant ``name`` (built by the server).
+
+        ``breaker`` is the tenant's own :class:`~repro.api.CircuitBreaker`
+        (built by the server when the config enables one): the server asks
+        it for admission via :meth:`check_admission`, and every served task
+        reports its outcome back so a persistently failing tenant trips
+        *its* circuit without affecting neighbours.
+        """
         self._name = name
         self._service = service
+        self._breaker = breaker
         self._lock = threading.RLock()
         self._session: ServiceSession | None = None
         self._queries_served = 0
@@ -87,6 +102,16 @@ class TenantHandle:
         """Public identifier of the tenant's key material (isolation probe)."""
         return self._service.keychain.fingerprint()
 
+    @property
+    def breaker(self) -> CircuitBreaker | None:
+        """The tenant's circuit breaker (``None`` when breakers are off)."""
+        return self._breaker
+
+    @property
+    def breaker_state(self) -> str:
+        """``"closed"``/``"open"``/``"half_open"``, or ``"disabled"``."""
+        return self._breaker.state if self._breaker is not None else "disabled"
+
     def crypto_stats(self) -> dict[str, object]:
         """The tenant's crypto fast-path counters (noise pool, OPE caches)."""
         return self._service.crypto_stats()
@@ -96,6 +121,27 @@ class TenantHandle:
         return self._service.exposure_report()
 
     # -- serving ---------------------------------------------------------- #
+
+    def check_admission(self) -> None:
+        """Ask the tenant's breaker for admission (no-op when disabled).
+
+        An open circuit raises :class:`~repro.api.errors.CircuitOpen`
+        *before* the task consumes an admission-queue slot, so a tenant in
+        cooldown sheds load at the door instead of wasting worker time.
+        """
+        if self._breaker is not None:
+            self._breaker.allow()
+
+    def _record_outcome(self, *, failed: bool) -> None:
+        """Report one served task's outcome to the counters and the breaker."""
+        with self._lock:
+            if failed:
+                self._failures += 1
+        if self._breaker is not None:
+            if failed:
+                self._breaker.record_failure()
+            else:
+                self._breaker.record_success()
 
     def session(self) -> ServiceSession:
         """The tenant's shared default session (opened lazily, then cached)."""
@@ -112,20 +158,28 @@ class TenantHandle:
         """Open a fresh, independent session over the tenant's database."""
         return self._service.open_session(backend=backend, on_unsupported=on_unsupported)
 
-    def run_workload(self, queries: QueryLog | Iterable[Query | str]) -> WorkloadResult:
+    def run_workload(
+        self,
+        queries: QueryLog | Iterable[Query | str],
+        *,
+        deadline: Deadline | None = None,
+    ) -> WorkloadResult:
         """Serve one workload on the shared default session, updating counters.
 
         This is what the server's worker threads execute per submitted
-        task; failures are counted and re-raised (the server stores them on
-        the task's future).
+        task; failures are counted (and reported to the breaker) and
+        re-raised — the server stores them on the task's future.
+        ``deadline`` is the budget stamped at admission: the session checks
+        it before every query, so a task that waited out its budget in the
+        queue cancels cooperatively instead of running stale.
         """
         session = self.session()
         try:
-            result = session.run(queries)
+            result = session.run(queries, deadline=deadline)
         except BaseException:
-            with self._lock:
-                self._failures += 1
+            self._record_outcome(failed=True)
             raise
+        self._record_outcome(failed=False)
         with self._lock:
             self._queries_served += result.queries_served
             self._queries_skipped += result.queries_skipped
@@ -133,16 +187,25 @@ class TenantHandle:
         return result
 
     def stream(
-        self, queries: QueryLog | Iterable[Query | str], *, into: StreamSink
+        self,
+        queries: QueryLog | Iterable[Query | str],
+        *,
+        into: StreamSink,
+        deadline: Deadline | None = None,
     ) -> tuple[Query, ...]:
-        """Stream one batch into ``into`` via the shared default session."""
+        """Stream one batch into ``into`` via the shared default session.
+
+        ``deadline`` follows :meth:`run_workload`'s contract; the session
+        additionally re-checks it immediately before publishing to ``into``,
+        so an expired batch never half-lands in the sink.
+        """
         session = self.session()
         try:
-            encrypted = session.stream(queries, into=into)
+            encrypted = session.stream(queries, into=into, deadline=deadline)
         except BaseException:
-            with self._lock:
-                self._failures += 1
+            self._record_outcome(failed=True)
             raise
+        self._record_outcome(failed=False)
         with self._lock:
             self._batches_streamed += 1
             self._queries_served += len(encrypted)
@@ -153,6 +216,7 @@ class TenantHandle:
         context: LogContext | QueryLog | Iterable[Query | str],
         *,
         measure: DistanceMeasure | None = None,
+        deadline: Deadline | None = None,
     ) -> MiningResult:
         """Mine a log through the tenant's service, updating counters.
 
@@ -160,16 +224,25 @@ class TenantHandle:
         tenant's :class:`~repro.api.MiningConfig` decides between the exact
         matrix pipeline and the pivot-indexed sublinear path
         (``approx=True`` — the result then carries ``candidate_stats``).
+        ``deadline`` is checked once before the (monolithic) mining run
+        starts: a run whose budget expired while queued is cancelled rather
+        than started.
         """
         with self._lock:
             if self._closed:
                 raise ServerError(f"tenant {self._name!r} has been closed")
         try:
+            if deadline is not None:
+                try:
+                    deadline.check(f"mine for tenant {self._name!r}")
+                except DeadlineExceeded:
+                    self._service.reliability_stats.count_deadline_exceeded()
+                    raise
             result = self._service.mine(context, measure=measure)
         except BaseException:
-            with self._lock:
-                self._failures += 1
+            self._record_outcome(failed=True)
             raise
+        self._record_outcome(failed=False)
         with self._lock:
             self._mining_runs += 1
         return result
@@ -194,6 +267,19 @@ class TenantHandle:
             "checkpoint_head": checkpoint.head if checkpoint is not None else None,
         }
 
+    def reliability_stats(self) -> dict[str, object]:
+        """The tenant's fault-tolerance snapshot: retry counters + breaker.
+
+        ``retries``/``gave_up``/``deadline_exceeded``/``recoveries`` come
+        from the tenant service's shared
+        :class:`~repro.api.ReliabilityStats`; ``breaker_state`` is the
+        tenant circuit's current state (``"disabled"`` when the config has
+        no breaker).
+        """
+        snapshot: dict[str, object] = dict(self._service.reliability_stats.snapshot())
+        snapshot["breaker_state"] = self.breaker_state
+        return snapshot
+
     def stats(self) -> TenantStats:
         """A snapshot of this tenant's counters, crypto stats and exposure."""
         with self._lock:
@@ -215,6 +301,7 @@ class TenantHandle:
             crypto=self.crypto_stats(),
             exposure=_exposure_to_dict(self.exposure_report()),
             integrity=self.integrity_stats(),
+            reliability=self.reliability_stats(),
         )
 
     def close(self) -> None:

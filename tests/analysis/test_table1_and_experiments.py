@@ -53,7 +53,7 @@ class TestExperimentRegistry:
         ids = {experiment_id for experiment_id, _ in list_experiments()}
         assert ids == {
             "T1", "F1", "E1", "E2", "E3", "E4", "S1", "S2",
-            "P1", "P2", "P3", "P4", "P6", "A1",
+            "P1", "P2", "P3", "P4", "P6", "R1", "A1",
         }
 
     def test_unknown_experiment_rejected(self):

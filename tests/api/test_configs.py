@@ -21,6 +21,7 @@ from repro.api import (
     ConfigError,
     CryptoConfig,
     MiningConfig,
+    ReliabilityConfig,
     ServerConfig,
     ServiceConfig,
     WorkloadConfig,
@@ -62,12 +63,48 @@ workload_configs = st.builds(
     seed=st.integers(min_value=-(2**31), max_value=2**31),
 )
 
+@st.composite
+def reliability_configs(draw) -> ReliabilityConfig:
+    """Valid reliability configs; the coupled fields honour their ordering.
+
+    ``backoff_max`` is drawn as ``backoff_base`` times a factor >= 1 and
+    ``breaker_window`` as ``breaker_min_calls`` plus a slack >= 0, so the
+    strategy never trips the cross-field validation it is meant to exercise
+    only in :class:`TestRejection`.
+    """
+    backoff_base = draw(st.floats(min_value=0.0, max_value=1.0, allow_nan=False))
+    min_calls = draw(st.integers(min_value=1, max_value=16))
+    return ReliabilityConfig(
+        max_retries=draw(st.integers(min_value=0, max_value=10)),
+        backoff_base=backoff_base,
+        backoff_max=backoff_base
+        * draw(st.floats(min_value=1.0, max_value=50.0, allow_nan=False)),
+        deadline_ms=draw(
+            st.one_of(st.none(), st.integers(min_value=1, max_value=86_400_000))
+        ),
+        breaker_enabled=draw(st.booleans()),
+        breaker_failure_rate=draw(
+            st.floats(
+                min_value=0.0, max_value=1.0, allow_nan=False, exclude_min=True
+            )
+        ),
+        breaker_min_calls=min_calls,
+        breaker_window=min_calls + draw(st.integers(min_value=0, max_value=16)),
+        breaker_cooldown_seconds=draw(
+            st.floats(min_value=0.0, max_value=3600.0, allow_nan=False)
+        ),
+        journal_path=draw(st.one_of(st.none(), st.text(max_size=30))),
+        snapshot_every=draw(st.integers(min_value=0, max_value=100)),
+    )
+
+
 service_configs = st.builds(
     ServiceConfig,
     crypto=crypto_configs,
     backend=backend_configs,
     mining=mining_configs,
     workload=workload_configs,
+    reliability=reliability_configs(),
 )
 
 server_configs = st.builds(
@@ -78,6 +115,7 @@ server_configs = st.builds(
         st.none(),
         st.floats(min_value=0.001, max_value=3600.0, allow_nan=False),
     ),
+    reliability=reliability_configs(),
 )
 
 
@@ -99,6 +137,17 @@ class TestRoundTrips:
     @given(config=workload_configs)
     def test_workload(self, config: WorkloadConfig) -> None:
         assert WorkloadConfig.from_dict(config.to_dict()) == config
+
+    @given(config=reliability_configs())
+    def test_reliability(self, config: ReliabilityConfig) -> None:
+        assert ReliabilityConfig.from_dict(config.to_dict()) == config
+
+    @given(config=reliability_configs())
+    def test_reliability_survives_json(self, config: ReliabilityConfig) -> None:
+        assert (
+            ReliabilityConfig.from_dict(json.loads(json.dumps(config.to_dict())))
+            == config
+        )
 
     @given(config=service_configs)
     def test_service_nested(self, config: ServiceConfig) -> None:
@@ -124,6 +173,16 @@ class TestRoundTrips:
         config = ServiceConfig.from_dict({"crypto": CryptoConfig(paillier_bits=256)})
         assert config.crypto.paillier_bits == 256
         assert config.backend == BackendConfig()
+
+    def test_nested_reliability_dicts_are_coerced(self) -> None:
+        """Both container configs accept a plain mapping for ``reliability``."""
+        service = ServiceConfig.from_dict(
+            {"reliability": {"max_retries": 3, "deadline_ms": 500}}
+        )
+        assert service.reliability == ReliabilityConfig(max_retries=3, deadline_ms=500)
+        server = ServerConfig(reliability={"breaker_enabled": True})
+        assert server.reliability == ReliabilityConfig(breaker_enabled=True)
+        assert ServerConfig.from_dict(server.to_dict()) == server
 
 
 class TestRejection:
@@ -206,6 +265,29 @@ class TestRejection:
     def test_server_rejections(self, kwargs: dict, needle: str) -> None:
         with pytest.raises(ConfigError, match=needle):
             ServerConfig(**kwargs)
+
+    @pytest.mark.parametrize(
+        ("kwargs", "needle"),
+        [
+            ({"max_retries": -1}, "max_retries"),
+            ({"max_retries": 1.5}, "max_retries"),
+            ({"backoff_base": -0.1}, "backoff_base"),
+            ({"backoff_base": 1.0, "backoff_max": 0.5}, "backoff_max"),
+            ({"deadline_ms": 0}, "deadline_ms"),
+            ({"deadline_ms": "soon"}, "deadline_ms"),
+            ({"breaker_enabled": "yes"}, "breaker_enabled"),
+            ({"breaker_failure_rate": 0.0}, "breaker_failure_rate"),
+            ({"breaker_failure_rate": 1.5}, "breaker_failure_rate"),
+            ({"breaker_min_calls": 0}, "breaker_min_calls"),
+            ({"breaker_min_calls": 4, "breaker_window": 3}, "breaker_window"),
+            ({"breaker_cooldown_seconds": -1.0}, "breaker_cooldown_seconds"),
+            ({"journal_path": 42}, "journal_path"),
+            ({"snapshot_every": -1}, "snapshot_every"),
+        ],
+    )
+    def test_reliability_rejections(self, kwargs: dict, needle: str) -> None:
+        with pytest.raises(ConfigError, match=needle):
+            ReliabilityConfig(**kwargs)
 
     def test_unknown_keys_rejected_by_name(self) -> None:
         with pytest.raises(ConfigError, match="pool_size"):

@@ -23,9 +23,9 @@ import repro.api
 REPO_ROOT = Path(__file__).resolve().parents[2]
 
 #: The frozen public surface (PR 6 added the serving layer, PR 7 the
-#: sublinear mining layer, PR 8 the integrity layer).  Changing this set is
-#: an API decision: update the snapshot *and* the README "Public API"
-#: section together.
+#: sublinear mining layer, PR 8 the integrity layer, PR 9 the reliability
+#: layer).  Changing this set is an API decision: update the snapshot *and*
+#: the README "Public API" section together.
 EXPECTED_SURFACE = frozenset(
     {
         "API_VERSION",
@@ -36,14 +36,19 @@ EXPECTED_SURFACE = frozenset(
         "BackendConfig",
         "CandidateStats",
         "ChainCheckpoint",
+        "CircuitBreaker",
+        "CircuitOpen",
         "ColumnExposure",
         "CondensedDistanceMatrix",
         "ConfigError",
         "CryptoConfig",
         "DEFAULT_BACKEND",
         "DbscanResult",
+        "Deadline",
+        "DeadlineExceeded",
         "Dendrogram",
         "EncryptedMiningService",
+        "FaultInjector",
         "EncryptedResult",
         "ExposureReport",
         "IncrementalDistanceMatrix",
@@ -61,8 +66,12 @@ EXPECTED_SURFACE = frozenset(
         "QueryLogGenerator",
         "QueryRejected",
         "QueueStats",
+        "RecoveryReport",
+        "ReliabilityConfig",
+        "ReliabilityStats",
         "ResultDistance",
         "ResultDpeScheme",
+        "RetryPolicy",
         "ServerConfig",
         "ServerError",
         "ServerOverloaded",
@@ -73,6 +82,7 @@ EXPECTED_SURFACE = frozenset(
         "SessionError",
         "ShardedIncrementalMatrix",
         "SlidingWindowQueryLog",
+        "StreamJournal",
         "StreamSink",
         "StreamingQueryLog",
         "StructureDistance",
@@ -88,6 +98,7 @@ EXPECTED_SURFACE = frozenset(
         "WorkloadResult",
         "adjusted_rand_index",
         "available_backends",
+        "classify_transient",
         "clusterings_equivalent",
         "complete_link",
         "condensed_length",
@@ -101,6 +112,7 @@ EXPECTED_SURFACE = frozenset(
         "pairwise_view",
         "parse_query",
         "populate_database",
+        "recover_matrix",
         "render_query",
         "skyserver_profile",
         "top_n_outliers",

@@ -76,6 +76,49 @@ class TestNoiseRefillHandle:
         assert retry.join(timeout=30.0) is True
         assert len(cold_pool) == cold_pool.target_size
 
+    def test_single_transient_failure_is_absorbed_by_the_retry(
+        self, cold_pool, monkeypatch
+    ):
+        """Regression: one transient fault used to poison the whole refill.
+
+        The handle's bounded auto-retry now rides it out — the refill
+        succeeds on the second attempt and records no error, so the next
+        ``stream`` call that joins the handle never sees the blip.
+        """
+        original = PaillierNoisePool._fresh_factor
+        failures = iter([RuntimeError("entropy blip")])
+
+        def flaky_factor(self):
+            error = next(failures, None)
+            if error is not None:
+                raise error
+            return original(self)
+
+        monkeypatch.setattr(PaillierNoisePool, "_fresh_factor", flaky_factor)
+        handle = cold_pool.refill_async(retries=2)
+        assert handle.join(timeout=30.0) is True
+        assert handle.error is None
+        assert handle.attempts == 2  # first attempt faulted, second landed
+        handle.raise_if_failed()  # nothing surfaces
+        assert len(cold_pool) == cold_pool.target_size
+
+    def test_exhausted_retry_budget_still_surfaces(self, cold_pool, monkeypatch):
+        def broken_factor(self):
+            raise RuntimeError("entropy source unplugged")
+
+        monkeypatch.setattr(PaillierNoisePool, "_fresh_factor", broken_factor)
+        handle = cold_pool.refill_async(retries=1)
+        assert handle.join(timeout=30.0) is True
+        assert handle.attempts == 2  # the budget: 1 try + 1 retry
+        with pytest.raises(RuntimeError, match="entropy source unplugged"):
+            handle.raise_if_failed()
+
+    def test_negative_retry_budget_is_rejected(self, cold_pool):
+        from repro.exceptions import EncryptionError
+
+        with pytest.raises(EncryptionError, match="negative"):
+            cold_pool.refill_async(retries=-1)
+
 
 class TestStreamSurfacesRefillFailure:
     @pytest.fixture

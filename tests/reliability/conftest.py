@@ -1,0 +1,53 @@
+"""Fixtures for the fault-tolerance test suite.
+
+Everything time-related runs on a fake clock/sleep — the suite must be
+deterministic and sleep-free.  ``CHAOS_SEED`` (environment variable,
+default 13) seeds every :class:`~repro.api.FaultInjector` built here; the
+CI chaos job rotates it to replay the whole suite under different fault
+schedules without code changes.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+CHAOS_SEED = int(os.environ.get("CHAOS_SEED", "13"))
+
+
+class FakeClock:
+    """A manually advanced monotonic clock doubling as a fake ``sleep``.
+
+    Passing ``clock.sleep`` as a policy's sleep makes backoff advance the
+    same clock deadlines read, so retry/deadline interplay is testable
+    without a single real sleep.
+    """
+
+    def __init__(self, start: float = 0.0) -> None:
+        self.now = float(start)
+        self.sleeps: list[float] = []
+
+    def __call__(self) -> float:
+        return self.now
+
+    def advance(self, seconds: float) -> None:
+        """Move the clock forward."""
+        self.now += seconds
+
+    def sleep(self, seconds: float) -> None:
+        """Record the sleep and advance the clock by it."""
+        self.sleeps.append(seconds)
+        self.now += seconds
+
+
+@pytest.fixture
+def clock() -> FakeClock:
+    """A fresh fake clock starting at zero."""
+    return FakeClock()
+
+
+@pytest.fixture
+def chaos_seed() -> int:
+    """The suite-wide injector seed (rotated by the CI chaos job)."""
+    return CHAOS_SEED

@@ -1,0 +1,245 @@
+"""The seeded fault injector: determinism, scripting, wrappers.
+
+The injector's contract is that a single seed reproduces the whole fault
+schedule, per site, regardless of what other sites do — that is what lets
+tests, benchmarks and the R1 experiment share one chaos configuration.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.db.backend import available_backends, create_backend
+from repro.db.database import Database
+from repro.exceptions import InjectedFault, WorkerCrashed
+from repro.reliability.faults import FaultInjector, FaultyBackend
+from repro.reliability.policy import classify_transient
+
+
+def schedule(injector: FaultInjector, site: str, calls: int) -> list[bool]:
+    """Fire ``site`` ``calls`` times; True where a fault was injected."""
+    fired = []
+    for _ in range(calls):
+        try:
+            injector.fire(site)
+            fired.append(False)
+        except InjectedFault:
+            fired.append(True)
+    return fired
+
+
+class TestDeterminism:
+    def test_same_seed_same_schedule(self, chaos_seed):
+        first = FaultInjector(chaos_seed, transient_rate=0.3)
+        second = FaultInjector(chaos_seed, transient_rate=0.3)
+        assert schedule(first, "backend.execute", 50) == schedule(
+            second, "backend.execute", 50
+        )
+
+    def test_sites_are_independent(self, chaos_seed):
+        """A site's schedule is a pure function of its own call order.
+
+        Interleaving calls to another site must not perturb it — that is
+        what makes multi-threaded chaos runs reproducible per site.
+        """
+        alone = FaultInjector(chaos_seed, transient_rate=0.3)
+        interleaved = FaultInjector(chaos_seed, transient_rate=0.3)
+        reference = schedule(alone, "a", 30)
+        observed = []
+        for _ in range(30):
+            schedule(interleaved, "b", 3)  # noise on another site
+            observed.extend(schedule(interleaved, "a", 1))
+        assert observed == reference
+
+    def test_different_seeds_differ(self):
+        # Statistically certain over 200 draws at 30%.
+        a = schedule(FaultInjector(1, transient_rate=0.3), "s", 200)
+        b = schedule(FaultInjector(2, transient_rate=0.3), "s", 200)
+        assert a != b
+
+    def test_rate_validation(self):
+        with pytest.raises(ValueError, match="transient_rate"):
+            FaultInjector(transient_rate=1.5)
+        with pytest.raises(ValueError, match="latency_rate"):
+            FaultInjector(latency_rate=-0.1)
+        with pytest.raises(ValueError, match="latency_seconds"):
+            FaultInjector(latency_seconds=-1)
+
+
+class TestScripting:
+    def test_scripted_fault_fires_once_at_call(self):
+        injector = FaultInjector(0)  # no random faults
+        injector.script("site", at_call=3)
+        injector.fire("site")
+        injector.fire("site")
+        with pytest.raises(InjectedFault) as excinfo:
+            injector.fire("site")
+        assert excinfo.value.site == "site"
+        assert excinfo.value.call == 3
+        assert classify_transient(excinfo.value)
+        injector.fire("site")  # fired once, gone
+
+    def test_script_crash_is_permanent(self):
+        injector = FaultInjector(0)
+        injector.script_crash("worker", at_call=1)
+        with pytest.raises(WorkerCrashed) as excinfo:
+            injector.fire("worker")
+        assert not classify_transient(excinfo.value)
+        assert excinfo.value.call == 1
+
+    def test_script_accepts_custom_error_factory(self):
+        injector = FaultInjector(0)
+        injector.script("site", at_call=1, error=lambda: OSError("disk gone"))
+        with pytest.raises(OSError, match="disk gone"):
+            injector.fire("site")
+
+    def test_at_call_is_one_based(self):
+        with pytest.raises(ValueError, match="1-based"):
+            FaultInjector(0).script("site", at_call=0)
+
+    def test_scripted_only_suppresses_random_draws(self):
+        injector = FaultInjector(0, transient_rate=1.0)  # would always fault
+        injector.script("sink.append", at_call=2)
+        injector.fire("sink.append", scripted_only=True)  # rate ignored
+        with pytest.raises(InjectedFault):
+            injector.fire("sink.append", scripted_only=True)  # script still fires
+        injector.fire("sink.append", scripted_only=True)
+
+    def test_latency_injection_uses_injected_sleep(self):
+        sleeps = []
+        injector = FaultInjector(
+            0, latency_rate=1.0, latency_seconds=0.25, sleep=sleeps.append
+        )
+        injector.fire("slow")
+        assert sleeps == [0.25]
+        assert injector.stats()["slow"]["delayed"] == 1
+
+
+class TestCounters:
+    def test_stats_per_site(self):
+        injector = FaultInjector(0)
+        injector.script("a", at_call=1)
+        with pytest.raises(InjectedFault):
+            injector.fire("a")
+        injector.fire("a")
+        injector.fire("b")
+        stats = injector.stats()
+        assert stats["a"] == {"calls": 2, "injected": 1, "delayed": 0}
+        assert stats["b"] == {"calls": 1, "injected": 0, "delayed": 0}
+        assert injector.calls("a") == 2
+        assert injector.calls("unseen") == 0
+
+
+class RecordingBackend:
+    """A stub ExecutionBackend recording which calls reached it."""
+
+    name = "recording"
+
+    def __init__(self) -> None:
+        self.executed: list[object] = []
+        self.closed = False
+
+    def execute(self, query):
+        self.executed.append(query)
+        return "row"
+
+    def execute_many(self, queries):
+        self.executed.extend(queries)
+        return ["row"] * len(list(queries))
+
+    def close(self) -> None:
+        self.closed = True
+
+
+class TestBackendWrapper:
+    def test_fault_fires_before_the_work(self):
+        """A faulted call must do NO work — that is what makes retries safe."""
+        inner = RecordingBackend()
+        injector = FaultInjector(0)
+        injector.script("db.execute", at_call=1)
+        wrapped = injector.wrap_backend(inner, site="db")
+        with pytest.raises(InjectedFault):
+            wrapped.execute("q1")
+        assert inner.executed == []  # nothing reached the backend
+        assert wrapped.execute("q1") == "row"
+        assert inner.executed == ["q1"]
+
+    def test_close_is_never_faulted(self):
+        inner = RecordingBackend()
+        injector = FaultInjector(0, transient_rate=1.0)
+        wrapped = injector.wrap_backend(inner, site="db")
+        wrapped.close()
+        assert inner.closed
+
+    def test_attribute_passthrough(self):
+        inner = RecordingBackend()
+        wrapped = FaultInjector(0).wrap_backend(inner)
+        assert wrapped.name == "recording"
+        assert wrapped.executed is inner.executed
+
+    def test_register_chaos_backend_routes_the_registry(self, chaos_seed):
+        injector = FaultInjector(chaos_seed)
+        name = injector.register_chaos_backend("chaos-test-memory", inner="memory")
+        assert name in available_backends()
+        backend = create_backend(name, Database("testdb"))
+        assert isinstance(backend, FaultyBackend)
+        injector.script("chaos-test-memory.backend.execute_many", at_call=1)
+        with pytest.raises(InjectedFault):
+            backend.execute_many([])
+        backend.close()
+
+
+class RecordingPool:
+    """A stub noise pool recording refill/ensure/take calls."""
+
+    def __init__(self) -> None:
+        self.refills = 0
+        self.ensures = 0
+        self.takes = 0
+
+    def refill(self) -> None:
+        self.refills += 1
+
+    def ensure(self, count: int) -> None:
+        self.ensures += 1
+
+    def take(self) -> int:
+        self.takes += 1
+        return 42
+
+    def __len__(self) -> int:
+        return 0
+
+
+class TestNoisePoolWrapper:
+    def test_take_is_never_faulted(self):
+        pool = RecordingPool()
+        wrapped = FaultInjector(0, transient_rate=1.0).wrap_pool(pool)
+        assert wrapped.take() == 42  # infallible on-demand fallback
+
+    def test_refill_and_ensure_pass_the_fault_point(self):
+        pool = RecordingPool()
+        injector = FaultInjector(0)
+        injector.script("pool.refill", at_call=1)
+        injector.script("pool.ensure", at_call=1)
+        wrapped = injector.wrap_pool(pool)
+        with pytest.raises(InjectedFault):
+            wrapped.refill()
+        with pytest.raises(InjectedFault):
+            wrapped.ensure(4)
+        assert pool.refills == 0 and pool.ensures == 0
+        wrapped.refill()
+        wrapped.ensure(4)
+        assert pool.refills == 1 and pool.ensures == 1
+
+    def test_async_refill_retry_absorbs_one_transient(self):
+        """The refill worker's bounded retry rides out a single fault."""
+        pool = RecordingPool()
+        injector = FaultInjector(0)
+        injector.script("pool.refill", at_call=1)
+        wrapped = injector.wrap_pool(pool)
+        handle = wrapped.refill_async(retries=2)
+        assert handle.join(timeout=30.0) is True
+        assert handle.error is None
+        assert handle.attempts == 2  # first attempt faulted, second landed
+        assert pool.refills == 1

@@ -1,0 +1,315 @@
+"""Crash-safe streaming: journal durability, verification, and recovery.
+
+The core claim under test: :func:`recover_matrix` rebuilds incremental
+mining state *bit-for-bit* equal to what an uninterrupted run over the
+journaled prefix would hold — and every reload refolds the PR 8 hash chain,
+so a corrupted, truncated, or mis-paired journal is rejected instead of
+silently recovered into wrong artefacts.
+"""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.core.measures import TokenDistance
+from repro.exceptions import IntegrityError, JournalError
+from repro.mining.incremental import IncrementalDistanceMatrix, StreamingQueryLog
+from repro.reliability.journal import (
+    RecoveryReport,
+    StreamJournal,
+    read_journal,
+    recover_matrix,
+    snapshot_path_for,
+)
+from repro.reliability.policy import ReliabilityStats
+
+#: Mining parameters shared by the journaled run and the recovery.
+PARAMETERS = dict(knn_k=3, outlier_p=0.85, outlier_d=0.88, dbscan_eps=0.6, dbscan_min_points=3)
+
+#: Four batches of three distinct queries each.
+BATCHES = [
+    [f"SELECT name FROM users WHERE age > {10 * batch + item}" for item in range(3)]
+    for batch in range(4)
+]
+
+
+def journaled_run(path, batches, **journal_options):
+    """Stream ``batches`` through a journaled incremental matrix."""
+    stream = StreamingQueryLog()
+    matrix = IncrementalDistanceMatrix(TokenDistance(), stream, **PARAMETERS)
+    journal = StreamJournal(path, **journal_options)
+    journal.attach(stream)
+    for batch in batches:
+        stream.append(batch)
+    return stream, matrix, journal
+
+
+def uninterrupted_run(batches):
+    """The fault-free reference: same batches, no journal, no crash."""
+    stream = StreamingQueryLog()
+    matrix = IncrementalDistanceMatrix(TokenDistance(), stream, **PARAMETERS)
+    for batch in batches:
+        stream.append(batch)
+    return stream, matrix
+
+
+def assert_bit_for_bit(recovered, reference):
+    """Every mining artefact of ``recovered`` equals the reference's."""
+    assert recovered.n_items == reference.n_items
+    assert np.array_equal(recovered.square(), reference.square())
+    assert recovered.stream.chain_head == reference.stream.chain_head
+    assert recovered.dbscan().labels == reference.dbscan().labels
+    assert recovered.outliers() == reference.outliers()
+    for i in range(recovered.n_items):
+        assert recovered.knn(i) == reference.knn(i)
+
+
+class TestJournalRecording:
+    def test_counts_batches_and_entries(self, tmp_path):
+        _, _, journal = journaled_run(tmp_path / "stream.journal", BATCHES)
+        assert journal.batches_recorded == 4
+        assert journal.entries_recorded == 12
+        journal.close()
+
+    def test_attach_catches_up_on_existing_entries(self, tmp_path):
+        stream = StreamingQueryLog()
+        stream.append(BATCHES[0])
+        journal = StreamJournal(tmp_path / "stream.journal")
+        journal.attach(stream)  # the pre-existing batch becomes a catch-up record
+        assert journal.entries_recorded == 3
+        stream.append(BATCHES[1])
+        assert journal.entries_recorded == 6
+        journal.close()
+
+    def test_record_after_close_raises(self, tmp_path):
+        _, _, journal = journaled_run(tmp_path / "stream.journal", BATCHES[:1])
+        journal.close()
+        journal.close()  # idempotent
+        with pytest.raises(JournalError, match="closed"):
+            journal.record(["SELECT name FROM users WHERE age > 99"], "head")
+
+    def test_negative_snapshot_every_rejected(self, tmp_path):
+        with pytest.raises(JournalError, match="snapshot_every"):
+            StreamJournal(tmp_path / "stream.journal", snapshot_every=-1)
+
+    def test_attach_rejects_a_foreign_stream(self, tmp_path):
+        _, _, journal = journaled_run(tmp_path / "stream.journal", BATCHES[:2])
+        journal.close()
+        resumed = StreamJournal(tmp_path / "stream.journal")
+        other = StreamingQueryLog()
+        other.append(["SELECT city FROM users WHERE age < 18"])
+        with pytest.raises(JournalError, match="not a prefix"):
+            resumed.attach(other)
+        resumed.close()
+
+
+class TestRecovery:
+    def test_recovery_is_bit_for_bit(self, tmp_path):
+        path = tmp_path / "stream.journal"
+        _, _, journal = journaled_run(path, BATCHES)
+        journal.close()  # the "crash": the process is gone, the file remains
+
+        _, reference = uninterrupted_run(BATCHES)
+        recovered, report = recover_matrix(path, TokenDistance(), **PARAMETERS)
+
+        assert_bit_for_bit(recovered, reference)
+        assert report.batches_replayed == 4
+        assert report.entries_replayed == 12
+        assert report.chain_head == reference.stream.chain_head
+        assert report.torn_tail_dropped is False
+        assert report.snapshot_used is False
+        assert report.checkpoint_verified is False
+
+    def test_reattach_resumes_journaling(self, tmp_path):
+        """Recover, re-attach, stream more: the journal keeps the full tail."""
+        path = tmp_path / "stream.journal"
+        _, _, journal = journaled_run(path, BATCHES[:2])
+        journal.close()
+
+        recovered, _ = recover_matrix(path, TokenDistance(), **PARAMETERS)
+        resumed = StreamJournal(path)
+        resumed.attach(recovered.stream)
+        for batch in BATCHES[2:]:
+            recovered.stream.append(batch)
+        resumed.close()
+
+        _, reference = uninterrupted_run(BATCHES)
+        final, report = recover_matrix(path, TokenDistance(), **PARAMETERS)
+        assert_bit_for_bit(final, reference)
+        assert report.entries_replayed == 12
+
+    def test_recovery_counts_into_reliability_stats(self, tmp_path):
+        path = tmp_path / "stream.journal"
+        _, _, journal = journaled_run(path, BATCHES[:1])
+        journal.close()
+        stats = ReliabilityStats()
+        recover_matrix(path, TokenDistance(), stats=stats, **PARAMETERS)
+        assert stats.snapshot()["recoveries"] == 1
+
+    def test_empty_journal_recovers_to_empty_state(self, tmp_path):
+        matrix, report = recover_matrix(
+            tmp_path / "missing.journal", TokenDistance(), **PARAMETERS
+        )
+        assert matrix.n_items == 0
+        assert report.batches_replayed == 0
+
+    def test_report_to_dict_round_trips(self):
+        report = RecoveryReport(
+            batches_replayed=2,
+            entries_replayed=6,
+            chain_head="abc",
+            torn_tail_dropped=True,
+            snapshot_used=False,
+            checkpoint_verified=True,
+        )
+        assert report.to_dict() == {
+            "batches_replayed": 2,
+            "entries_replayed": 6,
+            "chain_head": "abc",
+            "torn_tail_dropped": True,
+            "snapshot_used": False,
+            "checkpoint_verified": True,
+        }
+
+
+class TestCrashSemantics:
+    def test_torn_final_line_is_dropped(self, tmp_path):
+        path = tmp_path / "stream.journal"
+        _, _, journal = journaled_run(path, BATCHES[:3])
+        journal.close()
+        with open(path, "a", encoding="utf-8") as handle:
+            handle.write('{"batch":4,"entries":["SELECT na')  # crash mid-write
+
+        state = read_journal(path)
+        assert state.torn_tail_dropped is True
+        assert state.batches_recorded == 3
+
+        _, reference = uninterrupted_run(BATCHES[:3])
+        recovered, report = recover_matrix(path, TokenDistance(), **PARAMETERS)
+        assert report.torn_tail_dropped is True
+        assert_bit_for_bit(recovered, reference)
+
+    def test_complete_but_unparsable_final_line_is_also_torn(self, tmp_path):
+        """The newline landed but the payload did not — same crash, same tolerance."""
+        path = tmp_path / "stream.journal"
+        _, _, journal = journaled_run(path, BATCHES[:2])
+        journal.close()
+        with open(path, "a", encoding="utf-8") as handle:
+            handle.write("not json at all\n")
+        state = read_journal(path)
+        assert state.torn_tail_dropped is True
+        assert state.batches_recorded == 2
+
+    def test_corrupt_middle_line_is_disk_corruption_not_a_crash(self, tmp_path):
+        path = tmp_path / "stream.journal"
+        _, _, journal = journaled_run(path, BATCHES[:3])
+        journal.close()
+        lines = path.read_text(encoding="utf-8").splitlines()
+        lines[1] = "garbage"
+        path.write_text("\n".join(lines) + "\n", encoding="utf-8")
+        with pytest.raises(JournalError, match="line 2 is corrupt"):
+            read_journal(path)
+
+    def test_batch_gap_is_rejected(self, tmp_path):
+        path = tmp_path / "stream.journal"
+        _, _, journal = journaled_run(path, BATCHES[:3])
+        journal.close()
+        lines = path.read_text(encoding="utf-8").splitlines()
+        del lines[1]  # drop batch 2: 1 -> 3 skips
+        path.write_text("\n".join(lines) + "\n", encoding="utf-8")
+        with pytest.raises(JournalError, match="skips from batch 1 to 3"):
+            read_journal(path)
+
+    def test_tampered_entry_fails_hash_chain_verification(self, tmp_path):
+        path = tmp_path / "stream.journal"
+        _, _, journal = journaled_run(path, BATCHES[:3])
+        journal.close()
+        lines = path.read_text(encoding="utf-8").splitlines()
+        record = json.loads(lines[0])
+        record["entries"][0] = "SELECT secret FROM vault WHERE id = 1"
+        lines[0] = json.dumps(record, separators=(",", ":"))
+        path.write_text("\n".join(lines) + "\n", encoding="utf-8")
+        with pytest.raises(JournalError, match="hash-chain verification"):
+            read_journal(path)
+
+
+class TestSnapshots:
+    def test_snapshot_bounds_replay_but_not_the_state(self, tmp_path):
+        path = tmp_path / "stream.journal"
+        _, _, journal = journaled_run(path, BATCHES, snapshot_every=2)
+        journal.close()
+        assert snapshot_path_for(path).exists()
+
+        _, reference = uninterrupted_run(BATCHES)
+        recovered, report = recover_matrix(path, TokenDistance(), **PARAMETERS)
+        assert report.snapshot_used is True
+        # The snapshot coalesces its prefix into one catch-up batch: fewer
+        # batches replayed, identical entries and artefacts.
+        assert report.batches_replayed < 4
+        assert report.entries_replayed == 12
+        assert_bit_for_bit(recovered, reference)
+
+    def test_corrupt_snapshot_is_rejected(self, tmp_path):
+        path = tmp_path / "stream.journal"
+        _, _, journal = journaled_run(path, BATCHES, snapshot_every=2)
+        journal.close()
+        snapshot_path_for(path).write_text("{broken", encoding="utf-8")
+        with pytest.raises(JournalError, match="snapshot .* is corrupt"):
+            read_journal(path)
+
+    def test_forged_snapshot_fails_hash_chain_verification(self, tmp_path):
+        path = tmp_path / "stream.journal"
+        _, _, journal = journaled_run(path, BATCHES, snapshot_every=2)
+        journal.close()
+        snapshot = snapshot_path_for(path)
+        payload = json.loads(snapshot.read_text(encoding="utf-8"))
+        payload["entries"][0] = "SELECT secret FROM vault WHERE id = 1"
+        snapshot.write_text(json.dumps(payload), encoding="utf-8")
+        with pytest.raises(JournalError, match="hash-chain verification"):
+            read_journal(path)
+
+
+class TestCheckpointPinning:
+    KEY = b"owner-checkpoint-key"
+
+    def test_owner_checkpoint_verifies_the_journal_prefix(self, tmp_path):
+        path = tmp_path / "stream.journal"
+        stream, _, journal = journaled_run(path, BATCHES)
+        checkpoint = stream.checkpoint(self.KEY)
+        journal.close()
+        _, report = recover_matrix(
+            path, TokenDistance(), checkpoint=checkpoint, key=self.KEY, **PARAMETERS
+        )
+        assert report.checkpoint_verified is True
+
+    def test_checkpoint_without_key_is_rejected(self, tmp_path):
+        path = tmp_path / "stream.journal"
+        stream, _, journal = journaled_run(path, BATCHES[:1])
+        checkpoint = stream.checkpoint(self.KEY)
+        journal.close()
+        with pytest.raises(JournalError, match="signing key"):
+            recover_matrix(path, TokenDistance(), checkpoint=checkpoint, **PARAMETERS)
+
+    def test_rolled_back_journal_is_caught_by_the_checkpoint(self, tmp_path):
+        """The hash chain alone cannot catch truncation; the checkpoint can.
+
+        A provider that hands back a *shorter* but internally consistent
+        journal passes the chain refold — rollback detection needs the
+        owner-signed checkpoint, exactly as in the PR 8 tamper model.
+        """
+        path = tmp_path / "stream.journal"
+        stream, _, journal = journaled_run(path, BATCHES)
+        checkpoint = stream.checkpoint(self.KEY)  # signed at 12 entries
+        journal.close()
+        lines = path.read_text(encoding="utf-8").splitlines()
+        path.write_text("\n".join(lines[:2]) + "\n", encoding="utf-8")  # roll back
+
+        recovered, _ = recover_matrix(path, TokenDistance(), **PARAMETERS)
+        assert recovered.n_items == 6  # the chain refold alone accepts it...
+        with pytest.raises(IntegrityError):  # ...the checkpoint does not
+            recover_matrix(
+                path, TokenDistance(), checkpoint=checkpoint, key=self.KEY, **PARAMETERS
+            )

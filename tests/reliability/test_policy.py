@@ -1,0 +1,309 @@
+"""Retry, deadline, and circuit-breaker policies on a fake clock.
+
+Every test here is sleep-free: policies get the fixture clock's ``sleep``
+and ``clock`` callables, so backoff, cooldowns and deadline expiry are
+driven by explicit ``advance`` calls.  The jitter distribution properties
+(bounded, decorrelated) are property-tested with hypothesis.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.api.errors import CircuitOpen, DeadlineExceeded
+from repro.exceptions import InjectedFault, WorkerCrashed
+from repro.reliability.policy import (
+    CircuitBreaker,
+    Deadline,
+    ReliabilityStats,
+    RetryPolicy,
+    classify_transient,
+)
+
+
+class TestClassifyTransient:
+    @pytest.mark.parametrize(
+        "error",
+        [
+            InjectedFault("flaky"),
+            TimeoutError("timed out"),
+            ConnectionError("reset"),
+            InterruptedError("signal"),
+        ],
+    )
+    def test_transients_are_retryable(self, error):
+        assert classify_transient(error) is True
+
+    @pytest.mark.parametrize(
+        "error",
+        [WorkerCrashed("killed"), ValueError("bad input"), RuntimeError("boom")],
+    )
+    def test_permanent_errors_are_not(self, error):
+        assert classify_transient(error) is False
+
+
+class TestDeadline:
+    def test_budget_elapsed_remaining(self, clock):
+        deadline = Deadline(2.0, clock=clock)
+        assert deadline.budget == 2.0
+        clock.advance(0.5)
+        assert deadline.elapsed() == pytest.approx(0.5)
+        assert deadline.remaining() == pytest.approx(1.5)
+        assert not deadline.expired
+        deadline.check("still fine")  # no raise
+
+    def test_check_raises_past_budget_with_context(self, clock):
+        deadline = Deadline.after(1.0, clock=clock)
+        clock.advance(1.0)
+        assert deadline.expired
+        with pytest.raises(DeadlineExceeded, match="mining phase") as excinfo:
+            deadline.check("mining phase")
+        assert excinfo.value.elapsed == pytest.approx(1.0)
+        assert excinfo.value.budget == pytest.approx(1.0)
+
+    def test_after_ms(self, clock):
+        deadline = Deadline.after_ms(250, clock=clock)
+        assert deadline.budget == pytest.approx(0.25)
+        clock.advance(0.2)
+        assert not deadline.expired
+        clock.advance(0.1)
+        assert deadline.expired
+
+    def test_remaining_never_negative(self, clock):
+        deadline = Deadline(0.1, clock=clock)
+        clock.advance(5.0)
+        assert deadline.remaining() == 0.0
+
+    def test_negative_budget_rejected(self, clock):
+        with pytest.raises(ValueError, match="budget"):
+            Deadline(-1.0, clock=clock)
+
+
+class TestRetryPolicy:
+    def test_retries_transients_then_succeeds(self, clock):
+        stats = ReliabilityStats()
+        policy = RetryPolicy(
+            max_attempts=4, base_delay=0.1, max_delay=0.5, sleep=clock.sleep, seed=7
+        )
+        attempts = []
+
+        def flaky():
+            attempts.append(len(attempts) + 1)
+            if len(attempts) < 3:
+                raise InjectedFault("transient")
+            return "done"
+
+        assert policy.call(flaky, stats=stats) == "done"
+        assert attempts == [1, 2, 3]
+        assert len(clock.sleeps) == 2
+        assert stats.snapshot()["retries"] == 2
+        assert stats.snapshot()["gave_up"] == 0
+
+    def test_permanent_error_is_not_retried(self, clock):
+        policy = RetryPolicy(max_attempts=5, sleep=clock.sleep, seed=7)
+        calls = []
+
+        def crash():
+            calls.append(1)
+            raise WorkerCrashed("killed")
+
+        with pytest.raises(WorkerCrashed):
+            policy.call(crash)
+        assert len(calls) == 1
+        assert clock.sleeps == []
+
+    def test_budget_exhaustion_raises_last_error_and_counts(self, clock):
+        stats = ReliabilityStats()
+        policy = RetryPolicy(
+            max_attempts=3, base_delay=0.01, max_delay=0.02, sleep=clock.sleep, seed=7
+        )
+        calls = []
+
+        def always_flaky():
+            calls.append(len(calls) + 1)
+            raise InjectedFault("flaky", site="s", call=len(calls))
+
+        with pytest.raises(InjectedFault) as excinfo:
+            policy.call(always_flaky, stats=stats)
+        assert len(calls) == 3
+        assert excinfo.value.call == 3  # the *last* attempt's error
+        snapshot = stats.snapshot()
+        assert snapshot["retries"] == 2
+        assert snapshot["gave_up"] == 1
+
+    def test_deadline_blocks_unfundable_backoff(self, clock):
+        stats = ReliabilityStats()
+        policy = RetryPolicy(
+            max_attempts=10, base_delay=1.0, max_delay=1.0, sleep=clock.sleep, seed=7
+        )
+        deadline = Deadline(0.5, clock=clock)  # can never fund a 1s backoff
+        with pytest.raises(DeadlineExceeded) as excinfo:
+            policy.call(lambda: (_ for _ in ()).throw(InjectedFault("x")), deadline=deadline, stats=stats)
+        assert isinstance(excinfo.value.__cause__, InjectedFault)
+        assert stats.snapshot()["deadline_exceeded"] == 1
+        assert clock.sleeps == []  # never slept past the budget
+
+    def test_expired_deadline_checked_before_each_attempt(self, clock):
+        policy = RetryPolicy(max_attempts=3, sleep=clock.sleep, seed=7)
+        deadline = Deadline(1.0, clock=clock)
+        clock.advance(2.0)
+        calls = []
+        with pytest.raises(DeadlineExceeded):
+            policy.call(lambda: calls.append(1), deadline=deadline)
+        assert calls == []  # the work never even started
+
+    def test_delays_are_bounded(self):
+        policy = RetryPolicy(
+            max_attempts=8, base_delay=0.05, max_delay=0.3, sleep=lambda _: None, seed=11
+        )
+        delays = list(policy.delays())
+        assert len(delays) == 7
+        for delay in delays:
+            assert 0.05 <= delay <= 0.3
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="max_attempts"):
+            RetryPolicy(max_attempts=0)
+        with pytest.raises(ValueError, match="base_delay"):
+            RetryPolicy(base_delay=-0.1)
+        with pytest.raises(ValueError, match="max_delay"):
+            RetryPolicy(base_delay=1.0, max_delay=0.5)
+
+    @given(
+        seed=st.integers(min_value=0, max_value=2**32 - 1),
+        base=st.floats(min_value=0.001, max_value=1.0),
+        factor=st.floats(min_value=1.0, max_value=50.0),
+        attempts=st.integers(min_value=2, max_value=12),
+    )
+    def test_decorrelated_jitter_properties(self, seed, base, factor, attempts):
+        """Every delay lies in [base, max]; each step honours the recipe.
+
+        The decorrelated-jitter invariant: the n-th delay is drawn from
+        ``[base, max(previous, base) * 3]`` then capped, so no delay may
+        exceed ``min(max_delay, max(previous, base) * 3)``.
+        """
+        maximum = base * factor
+        policy = RetryPolicy(
+            max_attempts=attempts,
+            base_delay=base,
+            max_delay=maximum,
+            sleep=lambda _: None,
+            seed=seed,
+        )
+        previous = None
+        for delay in policy.delays():
+            assert base <= delay <= maximum
+            anchor = base if previous is None else max(previous, base)
+            assert delay <= min(maximum, anchor * 3) + 1e-12
+            previous = delay
+
+    @given(seed=st.integers(min_value=0, max_value=2**32 - 1))
+    def test_jitter_is_seed_deterministic(self, seed):
+        def delays(s):
+            policy = RetryPolicy(
+                max_attempts=6, base_delay=0.01, max_delay=1.0,
+                sleep=lambda _: None, seed=s,
+            )
+            return list(policy.delays())
+
+        assert delays(seed) == delays(seed)
+
+
+class TestCircuitBreaker:
+    def build(self, clock, **overrides):
+        options = dict(
+            failure_rate_threshold=0.5,
+            min_calls=3,
+            window=6,
+            cooldown_seconds=10.0,
+            clock=clock,
+            tenant="acme",
+        )
+        options.update(overrides)
+        return CircuitBreaker(**options)
+
+    def test_stays_closed_below_min_calls(self, clock):
+        breaker = self.build(clock)
+        breaker.record_failure()
+        breaker.record_failure()
+        assert breaker.state == "closed"
+        breaker.allow()  # still admitting
+
+    def test_opens_at_failure_rate_and_rejects(self, clock):
+        breaker = self.build(clock)
+        breaker.record_success()
+        breaker.record_failure()
+        breaker.record_failure()  # 2/3 failures >= 0.5
+        assert breaker.state == "open"
+        with pytest.raises(CircuitOpen) as excinfo:
+            breaker.allow()
+        assert excinfo.value.tenant == "acme"
+        assert excinfo.value.retry_after == pytest.approx(10.0)
+
+    def test_cooldown_leads_to_single_half_open_probe(self, clock):
+        breaker = self.build(clock)
+        for _ in range(3):
+            breaker.record_failure()
+        clock.advance(10.0)
+        assert breaker.state == "half_open"
+        breaker.allow()  # the probe is admitted
+        with pytest.raises(CircuitOpen):
+            breaker.allow()  # concurrent caller rejected while probe runs
+
+    def test_probe_success_closes_and_clears_window(self, clock):
+        breaker = self.build(clock)
+        for _ in range(3):
+            breaker.record_failure()
+        clock.advance(10.0)
+        breaker.allow()
+        breaker.record_success()
+        assert breaker.state == "closed"
+        # The window was cleared: it takes min_calls fresh failures to
+        # re-open, not one (old outcomes must not linger).
+        breaker.record_failure()
+        breaker.record_failure()
+        assert breaker.state == "closed"
+        breaker.record_failure()
+        assert breaker.state == "open"
+
+    def test_probe_failure_reopens_for_a_fresh_cooldown(self, clock):
+        breaker = self.build(clock)
+        for _ in range(3):
+            breaker.record_failure()
+        clock.advance(10.0)
+        breaker.allow()
+        breaker.record_failure()
+        assert breaker.state == "open"
+        with pytest.raises(CircuitOpen) as excinfo:
+            breaker.allow()
+        assert excinfo.value.retry_after == pytest.approx(10.0)  # re-stamped
+        clock.advance(10.0)
+        assert breaker.state == "half_open"
+
+    def test_validation(self, clock):
+        with pytest.raises(ValueError, match="failure_rate_threshold"):
+            self.build(clock, failure_rate_threshold=0.0)
+        with pytest.raises(ValueError, match="min_calls"):
+            self.build(clock, min_calls=0)
+        with pytest.raises(ValueError, match="window"):
+            self.build(clock, window=2)
+        with pytest.raises(ValueError, match="cooldown_seconds"):
+            self.build(clock, cooldown_seconds=-1.0)
+
+
+class TestReliabilityStats:
+    def test_counters_and_snapshot(self):
+        stats = ReliabilityStats()
+        stats.count_retry()
+        stats.count_retry()
+        stats.count_gave_up()
+        stats.count_deadline_exceeded()
+        stats.count_recovery()
+        assert stats.snapshot() == {
+            "retries": 2,
+            "gave_up": 1,
+            "deadline_exceeded": 1,
+            "recoveries": 1,
+        }

@@ -1,0 +1,416 @@
+"""End-to-end fault tolerance through the public façade and the server.
+
+Chaos backends registered by a seeded :class:`~repro.api.FaultInjector`
+route real encrypted workloads through injected faults; the assertions are
+the layer's contracts: retried work completes bit-for-bit, expired
+deadlines surface as :class:`~repro.api.DeadlineExceeded` (and are
+counted), tripped breakers reject at admission with
+:class:`~repro.api.CircuitOpen`, overload carries the queue depth and
+tenant, and journaled streams recover exactly.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+
+import pytest
+
+from repro.api import (
+    BackendConfig,
+    CircuitOpen,
+    ConfigError,
+    CryptoConfig,
+    Deadline,
+    DeadlineExceeded,
+    EncryptedMiningService,
+    FaultInjector,
+    MiningServer,
+    ReliabilityConfig,
+    ServerConfig,
+    ServerOverloaded,
+    ServiceConfig,
+    ServiceError,
+    StreamJournal,
+    WorkloadConfig,
+)
+from repro.server import AdmissionQueue
+
+
+def chaos_service(
+    injector: FaultInjector,
+    name: str,
+    *,
+    reliability: ReliabilityConfig | None = None,
+    backend: str | None = None,
+) -> EncryptedMiningService:
+    """A small encrypted service routed through ``injector``'s chaos backend."""
+    backend_name = backend or injector.register_chaos_backend(name, inner="sqlite")
+    service = EncryptedMiningService(
+        ServiceConfig(
+            crypto=CryptoConfig(passphrase="reliability-e2e", paillier_bits=256),
+            backend=BackendConfig(name=backend_name, on_unsupported="skip"),
+            workload=WorkloadConfig(size=6, seed=3),
+            reliability=reliability or ReliabilityConfig(),
+        )
+    )
+    service.encrypt(service.build_database())
+    return service
+
+
+class TestSessionRetries:
+    def test_retries_absorb_faults_bit_for_bit(self):
+        """Two scripted transients; the served rows equal a fault-free run."""
+        injector = FaultInjector(0)
+        retrying = chaos_service(
+            injector,
+            "chaos-e2e-retry",
+            reliability=ReliabilityConfig(
+                max_retries=3, backoff_base=0.001, backoff_max=0.002
+            ),
+        )
+        injector.script("chaos-e2e-retry.backend.execute", at_call=2)
+        injector.script("chaos-e2e-retry.backend.execute", at_call=4)
+        workload = retrying.generate_workload()
+
+        reference = chaos_service(FaultInjector(0), "x", backend="sqlite")
+        expected = [
+            reference.decrypt(r).rows
+            for r in reference.run_workload(workload).results
+        ]
+        served = [
+            retrying.decrypt(r).rows
+            for r in retrying.run_workload(workload).results
+        ]
+        assert served == expected
+        snapshot = retrying.reliability_stats.snapshot()
+        assert snapshot["retries"] == 2
+        assert snapshot["gave_up"] == 0
+
+    def test_retry_budget_exhaustion_surfaces_and_counts(self):
+        injector = FaultInjector(0)
+        service = chaos_service(
+            injector,
+            "chaos-e2e-exhaust",
+            reliability=ReliabilityConfig(
+                max_retries=1, backoff_base=0.001, backoff_max=0.002
+            ),
+        )
+        for call in (1, 2, 3):  # outlasts the 2-attempt budget
+            injector.script("chaos-e2e-exhaust.backend.execute", at_call=call)
+        with pytest.raises(ServiceError, match="transient fault"):
+            service.run_workload(service.generate_workload())
+        snapshot = service.reliability_stats.snapshot()
+        assert snapshot["gave_up"] == 1
+        assert snapshot["retries"] == 1
+
+    def test_no_retry_wrapper_when_disabled(self):
+        injector = FaultInjector(0)
+        service = chaos_service(injector, "chaos-e2e-noretry")  # max_retries=0
+        injector.script("chaos-e2e-noretry.backend.execute", at_call=1)
+        with pytest.raises(ServiceError, match="transient fault"):
+            service.run_workload(service.generate_workload())
+        assert service.reliability_stats.snapshot()["retries"] == 0
+
+
+class TestSessionDeadline:
+    def test_expired_deadline_raises_and_counts(self, clock):
+        service = chaos_service(FaultInjector(0), "x", backend="sqlite")
+        deadline = Deadline(0.5, clock=clock)
+        clock.advance(1.0)
+        with service.open_session() as session:
+            with pytest.raises(DeadlineExceeded):
+                session.run(service.generate_workload(), deadline=deadline)
+        assert service.reliability_stats.snapshot()["deadline_exceeded"] == 1
+
+    def test_config_default_deadline_applies_to_every_run(self):
+        service = chaos_service(
+            FaultInjector(0),
+            "x",
+            backend="sqlite",
+            reliability=ReliabilityConfig(deadline_ms=1),
+        )
+        with service.open_session() as session:
+            with pytest.raises(DeadlineExceeded):
+                session.run(service.generate_workload(size=40))
+        assert service.reliability_stats.snapshot()["deadline_exceeded"] >= 1
+
+    def test_stream_deadline_never_half_publishes(self, clock):
+        """An expired stream call leaves the sink without a partial batch."""
+        from repro.mining.incremental import StreamingQueryLog
+
+        service = chaos_service(FaultInjector(0), "x", backend="sqlite")
+        deadline = Deadline(0.5, clock=clock)
+        clock.advance(1.0)
+        sink = StreamingQueryLog()
+        with service.open_session() as session:
+            with pytest.raises(DeadlineExceeded):
+                session.stream(
+                    service.generate_workload(), into=sink, deadline=deadline
+                )
+        assert len(sink) == 0
+
+
+def breaker_server(**reliability):
+    options = dict(
+        breaker_enabled=True,
+        breaker_failure_rate=0.5,
+        breaker_min_calls=2,
+        breaker_window=4,
+        breaker_cooldown_seconds=3600.0,
+    )
+    options.update(reliability)
+    return MiningServer(
+        ServerConfig(workers=2, max_pending=8, reliability=options)
+    )
+
+
+def tenant_config(name: str) -> ServiceConfig:
+    return ServiceConfig(
+        crypto=CryptoConfig(passphrase=name, paillier_bits=256),
+        backend=BackendConfig(name="sqlite"),
+        workload=WorkloadConfig(size=4, seed=1),
+    )
+
+
+class TestServerBreaker:
+    def test_breaker_trips_and_rejects_at_admission(self):
+        with breaker_server() as server:
+            handle = server.add_tenant("acme", tenant_config("acme"))
+            for _ in range(2):
+                future = server.submit("acme", ["THIS IS NOT SQL ;;;"])
+                with pytest.raises(Exception):
+                    future.result(timeout=30.0)
+            assert handle.breaker_state == "open"
+            with pytest.raises(CircuitOpen) as excinfo:
+                server.submit("acme", ["SELECT name FROM customer"])
+            assert excinfo.value.tenant == "acme"
+            assert excinfo.value.retry_after == pytest.approx(3600.0, abs=5.0)
+            stats = server.stats().for_tenant("acme")
+            assert stats.reliability["breaker_state"] == "open"
+
+    def test_breaker_is_per_tenant(self):
+        with breaker_server() as server:
+            server.add_tenant("noisy", tenant_config("noisy"))
+            healthy = server.add_tenant("healthy", tenant_config("healthy"))
+            for _ in range(2):
+                with pytest.raises(Exception):
+                    server.submit("noisy", ["NOT SQL ;;;"]).result(timeout=30.0)
+            with pytest.raises(CircuitOpen):
+                server.submit("noisy", ["SELECT name FROM customer"])
+            workload = healthy.service.generate_workload()
+            assert server.run_workload("healthy", workload) is not None
+
+    def test_half_open_probe_success_closes_the_breaker(self):
+        # cooldown 0: the breaker goes half-open immediately, so the next
+        # admission is the probe — no real sleeping in the test.
+        with breaker_server(breaker_cooldown_seconds=0.0) as server:
+            handle = server.add_tenant("acme", tenant_config("acme"))
+            for _ in range(2):
+                with pytest.raises(Exception):
+                    server.submit("acme", ["NOT SQL ;;;"]).result(timeout=30.0)
+            assert handle.breaker_state == "half_open"
+            workload = handle.service.generate_workload()
+            server.run_workload("acme", workload)  # the probe, successful
+            assert handle.breaker_state == "closed"
+            server.run_workload("acme", workload)  # normal service resumed
+
+    def test_breaker_disabled_reports_disabled_state(self):
+        with MiningServer(ServerConfig(workers=1)) as server:
+            handle = server.add_tenant("acme", tenant_config("acme"))
+            assert handle.breaker_state == "disabled"
+            stats = server.stats().for_tenant("acme")
+            assert stats.reliability["breaker_state"] == "disabled"
+
+
+class TestServerDeadline:
+    def test_config_deadline_cancels_admitted_work(self):
+        reliability = dict(deadline_ms=1)
+        with MiningServer(ServerConfig(workers=1, reliability=reliability)) as server:
+            handle = server.add_tenant("acme", tenant_config("acme"))
+            workload = handle.service.generate_workload(size=40)
+            with pytest.raises(DeadlineExceeded):
+                server.submit("acme", workload).result(timeout=30.0)
+            stats = server.stats().for_tenant("acme")
+            assert stats.reliability["deadline_exceeded"] >= 1
+
+    def test_explicit_deadline_beats_the_config_default(self, clock):
+        expired = Deadline(0.5, clock=clock)
+        clock.advance(1.0)
+        with MiningServer(ServerConfig(workers=1)) as server:
+            handle = server.add_tenant("acme", tenant_config("acme"))
+            workload = handle.service.generate_workload()
+            with pytest.raises(DeadlineExceeded):
+                server.submit("acme", workload, deadline=expired).result(timeout=30.0)
+
+    def test_mine_checks_the_deadline_up_front(self, clock):
+        expired = Deadline(0.5, clock=clock)
+        clock.advance(1.0)
+        with MiningServer(ServerConfig(workers=1)) as server:
+            handle = server.add_tenant("acme", tenant_config("acme"))
+            workload = handle.service.generate_workload()
+            with pytest.raises(DeadlineExceeded):
+                server.mine("acme", workload, deadline=expired).result(timeout=30.0)
+            stats = server.stats().for_tenant("acme")
+            assert stats.reliability["deadline_exceeded"] >= 1
+
+
+class BlockingSink:
+    """A stream sink that parks the worker until the test releases it."""
+
+    def __init__(self) -> None:
+        self.release = threading.Event()
+        self.batches: list[list[object]] = []
+
+    def append(self, batch) -> None:
+        """Record the batch once the test allows the worker to proceed."""
+        assert self.release.wait(timeout=30.0), "test never released the sink"
+        self.batches.append(list(batch))
+
+
+def park_worker(server, handle, workload):
+    """Occupy the single worker on a blocked stream; return (future, sink)."""
+    sink = BlockingSink()
+    parked = server.stream(handle.name if hasattr(handle, "name") else "solo", workload, into=sink)
+    deadline = time.perf_counter() + 30.0
+    while not parked.running() and time.perf_counter() < deadline:
+        time.sleep(0.005)
+    assert parked.running(), "worker never picked up the parked stream"
+    return parked, sink
+
+
+class TestOverloadPayload:
+    def test_rejection_carries_depth_and_tenant(self):
+        queue: AdmissionQueue[int] = AdmissionQueue(1)
+        queue.submit(1)
+        with pytest.raises(ServerOverloaded) as excinfo:
+            queue.submit(2, wait=False, tenant="acme")
+        assert excinfo.value.queue_depth == 1
+        assert excinfo.value.tenant == "acme"
+        assert "acme" in str(excinfo.value)
+
+    def test_timed_out_rejection_names_the_wait(self):
+        queue: AdmissionQueue[int] = AdmissionQueue(1)
+        queue.submit(1)
+        with pytest.raises(ServerOverloaded, match="stayed full for 0.01s") as excinfo:
+            queue.submit(2, wait=True, timeout=0.01, tenant="acme")
+        assert excinfo.value.queue_depth == 1
+        assert excinfo.value.tenant == "acme"
+
+    def test_anonymous_rejection_has_no_tenant(self):
+        queue: AdmissionQueue[int] = AdmissionQueue(1)
+        queue.submit(1, wait=False)
+        with pytest.raises(ServerOverloaded) as excinfo:
+            queue.submit(2, wait=False)
+        assert excinfo.value.tenant is None
+        assert excinfo.value.queue_depth == 1
+
+    def test_server_rejection_names_the_submitting_tenant(self):
+        with MiningServer(ServerConfig(workers=1, max_pending=1)) as server:
+            handle = server.add_tenant("solo", tenant_config("solo"))
+            workload = handle.service.generate_workload()
+            parked, sink = park_worker(server, handle, workload)
+            queued = server.submit("solo", workload, wait=False)
+            with pytest.raises(ServerOverloaded) as excinfo:
+                server.submit("solo", workload, wait=False)
+            assert excinfo.value.tenant == "solo"
+            assert excinfo.value.queue_depth == 1
+            sink.release.set()
+            assert parked.result(timeout=30.0) is not None
+            assert queued.result(timeout=30.0) is not None
+
+
+class TestTimeoutDuringClose:
+    def test_blocked_submit_times_out_while_the_server_closes(self):
+        """A submit waiting on a full queue must not deadlock a closing server.
+
+        The blocked submit holds no server lock, so close() proceeds; the
+        submitter gets its timeout rejection while the shutdown is still
+        joining the parked worker, and the close completes normally after.
+        """
+        server = MiningServer(ServerConfig(workers=1, max_pending=1))
+        handle = server.add_tenant("solo", tenant_config("solo"))
+        workload = handle.service.generate_workload()
+        parked, sink = park_worker(server, handle, workload)
+        queued = server.submit("solo", workload)  # fills the single slot
+
+        outcome: dict[str, object] = {}
+
+        def blocked_submit():
+            try:
+                server.submit("solo", workload, timeout=0.3, wait=True)
+                outcome["result"] = "admitted"
+            except ServerOverloaded as error:
+                outcome["result"] = "rejected"
+                outcome["tenant"] = error.tenant
+
+        submitter = threading.Thread(target=blocked_submit)
+        submitter.start()
+        closer = threading.Thread(target=server.close)
+        closer.start()
+
+        submitter.join(timeout=30.0)
+        assert not submitter.is_alive(), "blocked submit never returned"
+        assert outcome["result"] == "rejected"  # timed out during the close
+        assert outcome["tenant"] == "solo"
+
+        sink.release.set()
+        closer.join(timeout=30.0)
+        assert not closer.is_alive(), "close never finished"
+        assert queued.cancelled()
+        with pytest.raises(Exception, match="closed"):
+            server.submit("solo", workload)
+
+    def test_closed_server_rejects_before_touching_the_queue(self):
+        server = MiningServer(ServerConfig(workers=1, max_pending=1))
+        server.add_tenant("solo", tenant_config("solo"))
+        server.close()
+        with pytest.raises(Exception, match="closed"):
+            server.submit("solo", ["SELECT name FROM customer"])
+        assert server.stats().queue.rejected == 0
+
+
+class TestJournaledService:
+    def test_journaled_miner_recovers_bit_for_bit(self, tmp_path):
+        journal_path = str(tmp_path / "service.journal")
+        service = chaos_service(FaultInjector(0), "x", backend="sqlite")
+        workload = service.generate_workload(size=8)
+        batches = [workload.queries[i : i + 2] for i in range(0, 8, 2)]
+
+        matrix, journal = service.journaled_miner(path=journal_path)
+        with service.open_session() as session:
+            for batch in batches[:3]:  # the crash happens before batch 4
+                session.stream(batch, into=matrix)
+        journal.close()
+
+        recovered, report = service.recover_miner(path=journal_path)
+        assert report.batches_replayed >= 1
+        assert recovered.stream.chain_head == matrix.stream.chain_head
+        assert recovered.n_items == matrix.n_items
+        assert service.reliability_stats.snapshot()["recoveries"] == 1
+
+        # Resume: re-attach a journal and stream the final batch.
+        resumed = StreamJournal(journal_path)
+        resumed.attach(recovered.stream)
+        with service.open_session() as session:
+            session.stream(batches[3], into=recovered)
+        resumed.close()
+        assert recovered.n_items == 8
+
+    def test_journal_path_defaults_to_the_config(self, tmp_path):
+        journal_path = str(tmp_path / "configured.journal")
+        service = chaos_service(
+            FaultInjector(0),
+            "x",
+            backend="sqlite",
+            reliability=ReliabilityConfig(journal_path=journal_path, snapshot_every=2),
+        )
+        matrix, journal = service.journaled_miner()
+        assert journal.path == StreamJournal(journal_path).path
+        assert journal.snapshot_every == 2
+        journal.close()
+
+    def test_journaled_miner_without_any_path_is_a_config_error(self):
+        service = chaos_service(FaultInjector(0), "x", backend="sqlite")
+        with pytest.raises(ConfigError, match="journal"):
+            service.journaled_miner()
