@@ -1,0 +1,65 @@
+"""Project-invariant static analysis: the ``repro lint`` checker framework.
+
+PRs 5-9 built a stack whose correctness rests on conventions — entry points
+import only :mod:`repro.api`, batched crypto fast paths keep scalar
+``*_reference`` oracles, shared hot-path state is only touched under its
+lock, deterministic paths never reach for unseeded randomness or wall
+clocks.  This subpackage checks those invariants *statically* on every run
+instead of hoping a hand-written test or a 5x thread-stress rerun catches a
+regression:
+
+* :mod:`~repro.analysis.staticcheck.checker` — the :class:`Checker`
+  protocol and its name -> factory registry (the same pattern as
+  :mod:`repro.db.backend`), so rules are pluggable and the CLI can list
+  them;
+* :mod:`~repro.analysis.staticcheck.parsing` — a per-file parse cache
+  (AST + comments tokenized once, shared by every rule);
+* :mod:`~repro.analysis.staticcheck.findings` — structured
+  :class:`Finding` results with rule, path, line, message and severity;
+* :mod:`~repro.analysis.staticcheck.suppress` — inline
+  ``# repro: ignore[rule]`` suppressions that themselves error when unused;
+* :mod:`~repro.analysis.staticcheck.rules` — the five production rules:
+  ``layering``, ``lock-discipline``, ``determinism``, ``oracle-parity``
+  and ``exception-policy``;
+* :mod:`~repro.analysis.staticcheck.runner` — :func:`run_lint`, the
+  pytest-importable entry point behind ``repro lint``;
+* :mod:`~repro.analysis.staticcheck.witness` — the *runtime* complement:
+  a :class:`LockWitness` that records lock-acquisition orders per thread
+  and fails on cycles (potential deadlock) and on guarded-attribute access
+  without the declared lock held (enabled by ``LOCK_WITNESS=1`` under the
+  thread-stress CI job).
+"""
+
+from __future__ import annotations
+
+from repro.analysis.staticcheck.checker import (
+    Checker,
+    available_checkers,
+    create_checker,
+    register_checker,
+)
+from repro.analysis.staticcheck.config import LayerSpec, LintConfig, default_config
+from repro.analysis.staticcheck.findings import Finding, Severity
+from repro.analysis.staticcheck.parsing import SourceCache, SourceFile
+from repro.analysis.staticcheck.runner import LintReport, format_report, run_lint
+from repro.analysis.staticcheck.witness import LockWitness, LockWitnessError, WitnessedLock
+
+__all__ = [
+    "Checker",
+    "Finding",
+    "LayerSpec",
+    "LintConfig",
+    "LintReport",
+    "LockWitness",
+    "LockWitnessError",
+    "Severity",
+    "SourceCache",
+    "SourceFile",
+    "WitnessedLock",
+    "available_checkers",
+    "create_checker",
+    "default_config",
+    "format_report",
+    "register_checker",
+    "run_lint",
+]

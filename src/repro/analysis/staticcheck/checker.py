@@ -1,0 +1,83 @@
+"""The :class:`Checker` protocol and the rule registry.
+
+Rules plug into a name -> factory registry exactly like execution backends
+do in :mod:`repro.db.backend`: the runner, the CLI and the tests look rules
+up by name, never by class, so a new rule is one ``register_checker`` call
+away and an unknown rule name fails with the list of available ones.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+from typing import TYPE_CHECKING, Protocol, runtime_checkable
+
+from repro.exceptions import AnalysisError
+
+if TYPE_CHECKING:
+    from repro.analysis.staticcheck.config import LintConfig
+    from repro.analysis.staticcheck.findings import Finding
+    from repro.analysis.staticcheck.parsing import SourceFile
+
+
+@runtime_checkable
+class Checker(Protocol):
+    """One lint rule: a named check over one parsed source file.
+
+    A checker is stateless across files — the runner calls :meth:`check`
+    once per file and concatenates the findings, so rules cannot depend on
+    file visit order (lint output must be a pure function of the tree).
+    """
+
+    #: Registry name of the rule (``"layering"``, ``"lock-discipline"``, ...).
+    name: str
+
+    def check(self, source: "SourceFile", config: "LintConfig") -> "list[Finding]":
+        """Return every violation of this rule in ``source``."""
+
+
+CheckerFactory = Callable[[], Checker]
+
+_CHECKERS: dict[str, CheckerFactory] = {}
+
+
+def register_checker(name: str, factory: CheckerFactory, *, replace: bool = False) -> None:
+    """Register a checker factory under ``name``.
+
+    Existing names are protected unless ``replace=True``, so a typo cannot
+    silently shadow a production rule (the same contract as
+    :func:`repro.db.backend.register_backend`).
+    """
+    if name in _CHECKERS and not replace:
+        raise AnalysisError(f"lint rule {name!r} is already registered")
+    _CHECKERS[name] = factory
+
+
+def available_checkers() -> tuple[str, ...]:
+    """Names of all registered rules, in registration order."""
+    _ensure_rules_loaded()
+    return tuple(_CHECKERS)
+
+
+def create_checker(name: str) -> Checker:
+    """Instantiate the rule registered under ``name``.
+
+    An unknown name raises :class:`~repro.exceptions.AnalysisError` listing
+    the registered rules, mirroring
+    :func:`repro.db.backend.create_backend`'s actionable-failure contract.
+    """
+    _ensure_rules_loaded()
+    try:
+        factory = _CHECKERS[name]
+    except KeyError:
+        raise AnalysisError(
+            f"unknown lint rule {name!r}; available rules: {sorted(_CHECKERS)}"
+        ) from None
+    return factory()
+
+
+def _ensure_rules_loaded() -> None:
+    """Import the production rules so the registry is populated on first use."""
+    import repro.analysis.staticcheck.rules  # noqa: F401  (registers on import)
+
+
+__all__ = ["Checker", "CheckerFactory", "available_checkers", "create_checker", "register_checker"]

@@ -1,0 +1,152 @@
+"""Lint configuration: the project's invariant matrix as data.
+
+The rules are generic AST walkers; *what* they enforce — which modules form
+a layer, which imports a layer bans, where wall clocks are legitimate —
+lives here as frozen dataclasses, so the invariants are reviewable in one
+place and the tests can run the same rules under synthetic configurations.
+
+:func:`default_config` encodes the repository's actual contract:
+
+* **entry points** (``repro.cli``, ``repro.analysis``, ``examples/``) drive
+  the stack through :mod:`repro.api` only — the PR 5 import ban, generalized;
+* **crypto** is the bottom layer: it imports nothing from the rest of the
+  package (in particular never ``repro.mining`` or ``repro.server``);
+* **reliability** wraps backends through the
+  :mod:`repro.db.backend` registry seam and the public mining/crypto
+  surfaces, never through backend internals (executor, sqlite engine,
+  database storage);
+* wall clocks are confined to the clock-injection seams in
+  ``repro.reliability`` (plus ``time.perf_counter`` for measurement, which
+  is always allowed — it never feeds results);
+* set-iteration order must not leak into the mining merge paths.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True)
+class LayerSpec:
+    """One row of the import-layer matrix.
+
+    ``members`` are dotted module-identity prefixes (see
+    :func:`~repro.analysis.staticcheck.parsing.module_identity`); a file
+    belonging to the layer may not import any module matching a ``banned``
+    prefix.  ``why`` is echoed in findings so a violation explains the
+    architecture rule it broke, not just the import it used.
+    """
+
+    name: str
+    members: tuple[str, ...]
+    banned: tuple[str, ...]
+    why: str
+
+    def applies_to(self, module: str) -> bool:
+        """True if ``module`` belongs to this layer."""
+        return any(module == m or module.startswith(m + ".") for m in self.members)
+
+    def bans(self, imported: str) -> bool:
+        """True if importing ``imported`` violates this layer's contract."""
+        return any(imported == b or imported.startswith(b + ".") for b in self.banned)
+
+
+@dataclass(frozen=True)
+class LintConfig:
+    """Everything the production rules need, as one immutable value."""
+
+    #: The import-layer matrix (the ``layering`` rule).
+    layers: tuple[LayerSpec, ...] = ()
+    #: Module prefixes where wall clocks are the *implementation* of the
+    #: clock-injection seams and therefore legitimate (``determinism``).
+    clock_seam_modules: tuple[str, ...] = ()
+    #: Module prefixes whose merge paths must not iterate raw sets
+    #: (``determinism``).
+    ordered_merge_modules: tuple[str, ...] = ()
+    #: Module prefixes forming the crypto fast-path layer (``oracle-parity``).
+    crypto_modules: tuple[str, ...] = ()
+    #: Module prefixes forming the public-API boundary: everything raised
+    #: there must derive from ``ApiError`` (``exception-policy``).
+    boundary_modules: tuple[str, ...] = ()
+    #: Exception names that are known ``ApiError`` subclasses (the
+    #: ``exception-policy`` rule's allowlist for boundary raises).
+    api_error_names: frozenset[str] = field(default_factory=frozenset)
+
+    def in_scope(self, module: str, prefixes: tuple[str, ...]) -> bool:
+        """True if ``module`` matches any of the given dotted prefixes."""
+        return any(module == p or module.startswith(p + ".") for p in prefixes)
+
+
+#: Exception classes exported by ``repro.api.errors`` — the only names the
+#: boundary modules may raise (kept in sync by ``tests/staticcheck``).
+API_ERROR_NAMES = frozenset(
+    {
+        "ApiError",
+        "CircuitOpen",
+        "ConfigError",
+        "DeadlineExceeded",
+        "QueryRejected",
+        "ServerError",
+        "ServerOverloaded",
+        "ServiceError",
+        "SessionError",
+        "TamperDetected",
+    }
+)
+
+
+def default_config() -> LintConfig:
+    """The repository's invariant matrix (what ``repro lint`` enforces)."""
+    return LintConfig(
+        layers=(
+            LayerSpec(
+                name="entry-points",
+                members=("repro.cli", "repro.__main__", "repro.analysis", "examples"),
+                banned=("repro.cryptdb", "repro.db", "repro.mining", "repro.server"),
+                why="entry points drive the stack through the repro.api façade only",
+            ),
+            LayerSpec(
+                name="crypto",
+                members=("repro.crypto",),
+                banned=(
+                    "repro.analysis",
+                    "repro.api",
+                    "repro.attacks",
+                    "repro.core",
+                    "repro.cryptdb",
+                    "repro.db",
+                    "repro.mining",
+                    "repro.reliability",
+                    "repro.server",
+                    "repro.sql",
+                    "repro.workloads",
+                ),
+                why="crypto is the bottom layer; it never imports mining, serving "
+                "or any other subsystem",
+            ),
+            LayerSpec(
+                name="reliability",
+                members=("repro.reliability",),
+                banned=(
+                    "repro.cryptdb",
+                    "repro.db.aggregates",
+                    "repro.db.database",
+                    "repro.db.executor",
+                    "repro.db.expressions",
+                    "repro.db.schema",
+                    "repro.db.sqlite_backend",
+                    "repro.db.table",
+                ),
+                why="reliability wraps execution backends via the repro.db.backend "
+                "registry seam, never their internals",
+            ),
+        ),
+        clock_seam_modules=("repro.reliability",),
+        ordered_merge_modules=("repro.mining",),
+        crypto_modules=("repro.crypto",),
+        boundary_modules=("repro.api", "repro.server"),
+        api_error_names=API_ERROR_NAMES,
+    )
+
+
+__all__ = ["API_ERROR_NAMES", "LayerSpec", "LintConfig", "default_config"]

@@ -1,0 +1,65 @@
+"""Structured lint results: :class:`Finding` and :class:`Severity`.
+
+Rules never print — they return findings, and the runner decides how to
+render and whether to fail.  A finding is identified by ``(rule, path,
+line)`` plus a human message; ordering is deterministic (path, line, rule)
+so lint output is stable across runs and machines, the same property the
+docs generator relies on.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from pathlib import Path
+
+
+class Severity(enum.Enum):
+    """How serious a finding is.
+
+    ``ERROR`` findings fail ``repro lint`` unconditionally; ``WARNING``
+    findings fail only under ``--strict`` (the CI mode).
+    """
+
+    WARNING = "warning"
+    ERROR = "error"
+
+    def __str__(self) -> str:  # pragma: no cover - trivial
+        return self.value
+
+
+@dataclass(frozen=True, order=True)
+class Finding:
+    """One rule violation at one source location.
+
+    The dataclass orders by ``(path, line, rule, message)`` so reports are
+    deterministic; ``severity`` is excluded from the sort key (it is derived
+    from the rule, not part of the location).
+    """
+
+    path: str
+    line: int
+    rule: str
+    message: str
+    severity: Severity = field(default=Severity.ERROR, compare=False)
+
+    def format(self) -> str:
+        """Render as the canonical ``path:line: severity [rule] message`` line."""
+        return f"{self.path}:{self.line}: {self.severity.value} [{self.rule}] {self.message}"
+
+
+def finding_for(
+    rule: str,
+    path: str | Path,
+    line: int,
+    message: str,
+    *,
+    severity: Severity = Severity.ERROR,
+) -> Finding:
+    """Build a :class:`Finding`, normalizing the path to a POSIX string."""
+    return Finding(
+        path=Path(path).as_posix(), line=line, rule=rule, message=message, severity=severity
+    )
+
+
+__all__ = ["Finding", "Severity", "finding_for"]

@@ -1,0 +1,110 @@
+"""Per-file parse cache shared by every rule.
+
+Each checked file is read, parsed and comment-tokenized exactly once per
+lint run; the resulting :class:`SourceFile` carries the AST, the raw text
+and a line -> comment map, so five rules over one file cost one parse.  The
+cache also derives the file's *module identity* (``repro.crypto.ope``,
+``examples.quickstart``, ...), which is what the layer matrix and the
+path-scoped rules match against — rules never re-derive paths themselves.
+"""
+
+from __future__ import annotations
+
+import ast
+import io
+import tokenize
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.exceptions import AnalysisError
+
+
+def module_identity(path: Path) -> str:
+    """Derive the dotted module identity of a checked file.
+
+    Files under a ``repro`` package directory map to their import path
+    (``.../src/repro/crypto/ope.py`` -> ``repro.crypto.ope``); files under
+    an ``examples`` directory map to ``examples.<stem>``; anything else is
+    just its stem.  Package ``__init__.py`` files map to the package itself.
+    The identity is what layer specs and rule scopes match by prefix, so a
+    file's obligations follow it even when the repository checkout lives at
+    an arbitrary absolute path.
+    """
+    parts = path.resolve().parts
+    stem = path.stem
+    for anchor in ("repro", "examples"):
+        if anchor in parts[:-1]:
+            index = len(parts) - 2 - parts[-2::-1].index(anchor)
+            dotted = list(parts[index:-1])
+            if stem != "__init__":
+                dotted.append(stem)
+            return ".".join(dotted)
+    return stem
+
+
+@dataclass(frozen=True)
+class SourceFile:
+    """One parsed source file: text, AST, comments and module identity."""
+
+    path: Path
+    text: str
+    tree: ast.Module
+    #: Mapping of 1-based line number -> comment text (without the ``#``).
+    comments: dict[int, str] = field(repr=False)
+    #: Dotted module identity (see :func:`module_identity`).
+    module: str = ""
+
+    @property
+    def display_path(self) -> str:
+        """The POSIX path used in findings."""
+        return self.path.as_posix()
+
+
+def _extract_comments(text: str, path: Path) -> dict[int, str]:
+    """Tokenize ``text`` and return every comment keyed by line number."""
+    comments: dict[int, str] = {}
+    try:
+        tokens = tokenize.generate_tokens(io.StringIO(text).readline)
+        for token in tokens:
+            if token.type == tokenize.COMMENT:
+                comments[token.start[0]] = token.string.lstrip("#").strip()
+    except tokenize.TokenError as error:  # pragma: no cover - parse rejects first
+        raise AnalysisError(f"cannot tokenize {path}: {error}") from error
+    return comments
+
+
+class SourceCache:
+    """Parse each file once and hand the same :class:`SourceFile` to every rule."""
+
+    def __init__(self) -> None:
+        self._files: dict[Path, SourceFile] = {}
+
+    def __len__(self) -> int:
+        return len(self._files)
+
+    def get(self, path: str | Path) -> SourceFile:
+        """The parsed form of ``path`` (cached; a syntax error is a lint error)."""
+        resolved = Path(path).resolve()
+        cached = self._files.get(resolved)
+        if cached is not None:
+            return cached
+        try:
+            text = resolved.read_text(encoding="utf-8")
+        except OSError as error:
+            raise AnalysisError(f"cannot read {resolved}: {error}") from error
+        try:
+            tree = ast.parse(text, filename=str(resolved))
+        except SyntaxError as error:
+            raise AnalysisError(f"cannot parse {resolved}: {error}") from error
+        source = SourceFile(
+            path=resolved,
+            text=text,
+            tree=tree,
+            comments=_extract_comments(text, resolved),
+            module=module_identity(resolved),
+        )
+        self._files[resolved] = source
+        return source
+
+
+__all__ = ["SourceCache", "SourceFile", "module_identity"]

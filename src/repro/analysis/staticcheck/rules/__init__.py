@@ -1,0 +1,54 @@
+"""The five production lint rules, registered on import.
+
+Each rule module defines one :class:`~repro.analysis.staticcheck.checker.Checker`
+implementation and registers it under its public name:
+
+* ``layering`` — the config-driven import-layer matrix (entry points →
+  ``repro.api`` only; crypto imports nothing above it; reliability never
+  reaches into backend internals);
+* ``lock-discipline`` — attributes declared ``# guarded-by: <lock>`` may
+  only be touched inside ``with self.<lock>`` (or in methods declared
+  ``# holds: <lock>``, whose call sites are then checked instead);
+* ``determinism`` — no unseeded randomness, no wall clocks outside the
+  reliability clock seams, no raw-set iteration in mining merge paths;
+* ``oracle-parity`` — every batched crypto fast path keeps its scalar
+  ``*_reference`` equality oracle;
+* ``exception-policy`` — no bare ``except:``; the ``repro.api`` boundary
+  raises only ``ApiError`` subclasses.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.staticcheck.checker import register_checker
+from repro.analysis.staticcheck.rules.determinism import DeterminismRule
+from repro.analysis.staticcheck.rules.exception_policy import ExceptionPolicyRule
+from repro.analysis.staticcheck.rules.layering import LayeringRule
+from repro.analysis.staticcheck.rules.lock_discipline import LockDisciplineRule
+from repro.analysis.staticcheck.rules.oracle_parity import OracleParityRule
+
+_REGISTERED = False
+
+
+def register_production_rules() -> None:
+    """Register the five rules (idempotent; runs once on package import)."""
+    global _REGISTERED
+    if _REGISTERED:
+        return
+    register_checker(LayeringRule.name, LayeringRule)
+    register_checker(LockDisciplineRule.name, LockDisciplineRule)
+    register_checker(DeterminismRule.name, DeterminismRule)
+    register_checker(OracleParityRule.name, OracleParityRule)
+    register_checker(ExceptionPolicyRule.name, ExceptionPolicyRule)
+    _REGISTERED = True
+
+
+register_production_rules()
+
+__all__ = [
+    "DeterminismRule",
+    "ExceptionPolicyRule",
+    "LayeringRule",
+    "LockDisciplineRule",
+    "OracleParityRule",
+    "register_production_rules",
+]

@@ -1,0 +1,165 @@
+"""``determinism``: no ambient randomness, wall clocks or set-order leaks.
+
+Bit-for-bit reproducibility is the repository's core oracle — every fast
+path, backend and recovery path is tested *equal* to a reference, and that
+only works when nothing samples ambient state.  Three sub-checks:
+
+* **unseeded randomness** — calls to the module-level ``random.*``
+  functions (the shared, unseeded global RNG) and ``random.Random()``
+  without a seed argument are findings anywhere.  ``random.Random(seed)``
+  is the sanctioned pattern (pivot selection, window eviction, chaos
+  schedules all thread an explicit seed).
+* **wall clocks** — ``time.time()`` and ``datetime.now()`` /
+  ``utcnow()`` / ``today()`` are findings outside the configured clock-seam
+  modules (``repro.reliability``, where the injectable-clock seams are
+  *implemented*).  ``time.monotonic``/``time.perf_counter`` are always
+  allowed: they measure, they never feed results.
+* **set-order leaks** — inside the configured mining merge modules,
+  iterating a raw ``set`` (a ``set(...)`` call, a set literal or a set
+  comprehension as a ``for``/comprehension iterable) is a finding: CPython
+  set order varies with insertion history and hash seeds, so a merge path
+  iterating one cannot be bit-for-bit stable.  Sort it first.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from repro.analysis.staticcheck.config import LintConfig
+from repro.analysis.staticcheck.findings import Finding, finding_for
+from repro.analysis.staticcheck.parsing import SourceFile
+
+#: ``random`` module attributes that are fine to use (seeded constructors
+#: and OS-entropy sources; everything else is the shared global RNG).
+_ALLOWED_RANDOM_ATTRS = frozenset({"Random", "SystemRandom"})
+
+#: ``datetime``/``date`` constructors that read the wall clock.
+_WALL_CLOCK_METHODS = frozenset({"now", "utcnow", "today"})
+
+
+def _dotted(node: ast.expr) -> str | None:
+    """Render ``a.b.c`` attribute chains as a dotted string (else ``None``)."""
+    parts: list[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return ".".join(reversed(parts))
+    return None
+
+
+class DeterminismRule:
+    """Checker for unseeded randomness, wall clocks and set-order leaks."""
+
+    name = "determinism"
+
+    def check(self, source: SourceFile, config: LintConfig) -> list[Finding]:
+        """Flag ambient-state reads that break bit-for-bit reproducibility."""
+        findings: list[Finding] = []
+        clock_exempt = config.in_scope(source.module, config.clock_seam_modules)
+        check_sets = config.in_scope(source.module, config.ordered_merge_modules)
+        for node in ast.walk(source.tree):
+            if isinstance(node, ast.Call):
+                findings.extend(self._check_call(node, source, clock_exempt))
+            if check_sets:
+                findings.extend(self._check_set_iteration(node, source))
+        return findings
+
+    # -- randomness and clocks ------------------------------------------- #
+
+    def _check_call(
+        self, node: ast.Call, source: SourceFile, clock_exempt: bool
+    ) -> list[Finding]:
+        dotted = _dotted(node.func)
+        if dotted is None:
+            return []
+        if dotted.startswith("random."):
+            attr = dotted.split(".", 1)[1]
+            if attr == "Random" and not node.args and not node.keywords:
+                return [
+                    finding_for(
+                        self.name,
+                        source.path,
+                        node.lineno,
+                        "random.Random() without a seed is nondeterministic; "
+                        "thread an explicit seed through the call",
+                    )
+                ]
+            if "." not in attr and attr not in _ALLOWED_RANDOM_ATTRS:
+                return [
+                    finding_for(
+                        self.name,
+                        source.path,
+                        node.lineno,
+                        f"random.{attr}() uses the shared unseeded global RNG; "
+                        "use a seeded random.Random instance instead",
+                    )
+                ]
+        if clock_exempt:
+            return []
+        if dotted == "time.time":
+            return [
+                finding_for(
+                    self.name,
+                    source.path,
+                    node.lineno,
+                    "time.time() reads the wall clock; inject a clock through "
+                    "the repro.reliability seams (or use time.perf_counter "
+                    "for pure measurement)",
+                )
+            ]
+        tail = dotted.rsplit(".", 1)
+        if (
+            len(tail) == 2
+            and tail[1] in _WALL_CLOCK_METHODS
+            and (
+                tail[0] in ("datetime", "date")
+                or tail[0].endswith(".datetime")
+                or tail[0].endswith(".date")
+            )
+        ):
+            return [
+                finding_for(
+                    self.name,
+                    source.path,
+                    node.lineno,
+                    f"{dotted}() reads the wall clock; deterministic paths must "
+                    "take timestamps as inputs (see the repro.reliability "
+                    "clock-injection seams)",
+                )
+            ]
+        return []
+
+    # -- set-order leaks --------------------------------------------------- #
+
+    @staticmethod
+    def _is_raw_set(node: ast.expr) -> bool:
+        if isinstance(node, (ast.Set, ast.SetComp)):
+            return True
+        return (
+            isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Name)
+            and node.func.id in ("set", "frozenset")
+        )
+
+    def _check_set_iteration(self, node: ast.AST, source: SourceFile) -> list[Finding]:
+        iterables: list[ast.expr] = []
+        if isinstance(node, (ast.For, ast.AsyncFor)):
+            iterables.append(node.iter)
+        elif isinstance(node, (ast.ListComp, ast.SetComp, ast.GeneratorExp, ast.DictComp)):
+            iterables.extend(generator.iter for generator in node.generators)
+        return [
+            finding_for(
+                self.name,
+                source.path,
+                iterable.lineno,
+                "iterating a raw set has arbitrary order, which breaks "
+                "bit-for-bit merge equality; wrap it in sorted(...)",
+            )
+            for iterable in iterables
+            if self._is_raw_set(iterable)
+        ]
+
+
+__all__ = ["DeterminismRule"]

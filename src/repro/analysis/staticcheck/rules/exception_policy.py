@@ -1,0 +1,88 @@
+"""``exception-policy``: no bare excepts; the API boundary raises ApiError.
+
+Two sub-checks:
+
+* **bare except** — ``except:`` catches ``SystemExit``/``KeyboardInterrupt``
+  and hides programming errors; it is a finding everywhere.  Catching a
+  named exception (including the deliberate, commented
+  ``except BaseException`` outcome-recording pattern in the serving layer)
+  is untouched — the rule targets the silent catch-all, not broad handling.
+* **boundary raises** — inside the configured boundary modules
+  (``repro.api``, ``repro.server``), every ``raise Name(...)`` must name an
+  :class:`~repro.api.errors.ApiError` subclass from the configured
+  allowlist.  Raising a builtin (``ValueError``, ``RuntimeError``, ...)
+  there would leak an untyped failure across the façade — exactly what the
+  ``wrap_errors`` translation layer exists to prevent.  Bare re-raises
+  (``raise``) and raising caught/local variables pass: the rule checks what
+  the boundary *originates*, not what it propagates.
+"""
+
+from __future__ import annotations
+
+import ast
+import builtins
+
+from repro.analysis.staticcheck.config import LintConfig
+from repro.analysis.staticcheck.findings import Finding, finding_for
+from repro.analysis.staticcheck.parsing import SourceFile
+
+#: Builtin exception names (anything here raised at the boundary is a leak).
+_BUILTIN_EXCEPTIONS = frozenset(
+    name
+    for name in dir(builtins)
+    if isinstance(getattr(builtins, name), type)
+    and issubclass(getattr(builtins, name), BaseException)
+) - {"NotImplementedError"}  # abstract-seam raises are a documented idiom
+
+
+class ExceptionPolicyRule:
+    """Checker for bare excepts and non-ApiError raises at the API boundary."""
+
+    name = "exception-policy"
+
+    def check(self, source: SourceFile, config: LintConfig) -> list[Finding]:
+        """Flag bare excepts everywhere and builtin raises in boundary modules."""
+        findings: list[Finding] = []
+        boundary = config.in_scope(source.module, config.boundary_modules)
+        for node in ast.walk(source.tree):
+            if isinstance(node, ast.ExceptHandler) and node.type is None:
+                findings.append(
+                    finding_for(
+                        self.name,
+                        source.path,
+                        node.lineno,
+                        "bare `except:` swallows SystemExit/KeyboardInterrupt and "
+                        "programming errors; name the exception (or `Exception`) "
+                        "explicitly",
+                    )
+                )
+            elif boundary and isinstance(node, ast.Raise):
+                findings.extend(self._check_boundary_raise(node, source, config))
+        return findings
+
+    def _check_boundary_raise(
+        self, node: ast.Raise, source: SourceFile, config: LintConfig
+    ) -> list[Finding]:
+        raised = node.exc
+        if raised is None:  # bare re-raise propagates, it does not originate
+            return []
+        name: str | None = None
+        if isinstance(raised, ast.Call) and isinstance(raised.func, ast.Name):
+            name = raised.func.id
+        elif isinstance(raised, ast.Name):
+            name = raised.id
+        if name is None or name not in _BUILTIN_EXCEPTIONS:
+            return []
+        allowed = ", ".join(sorted(config.api_error_names)) or "ApiError subclasses"
+        return [
+            finding_for(
+                self.name,
+                source.path,
+                node.lineno,
+                f"the repro.api boundary must not raise builtin {name}; raise an "
+                f"ApiError subclass instead ({allowed})",
+            )
+        ]
+
+
+__all__ = ["ExceptionPolicyRule"]

@@ -1,0 +1,87 @@
+"""``layering``: the config-driven import-layer matrix.
+
+Generalizes PR 5's hand-written AST import-ban test: each
+:class:`~repro.analysis.staticcheck.config.LayerSpec` names the modules
+forming a layer and the import prefixes that layer bans.  A file is checked
+against every layer it belongs to, so one file can carry several contracts
+(``repro.analysis`` is both an entry point and, transitively, whatever
+future specs say about analysis code).
+
+Imports inside ``if TYPE_CHECKING:`` blocks are exempt: they never execute,
+so they cannot couple layers at runtime — banning them would only force
+string annotations without an architectural gain.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from repro.analysis.staticcheck.config import LintConfig
+from repro.analysis.staticcheck.findings import Finding, finding_for
+from repro.analysis.staticcheck.parsing import SourceFile
+
+
+def _is_type_checking_test(test: ast.expr) -> bool:
+    """True for ``TYPE_CHECKING`` / ``typing.TYPE_CHECKING`` conditions."""
+    if isinstance(test, ast.Name):
+        return test.id == "TYPE_CHECKING"
+    if isinstance(test, ast.Attribute):
+        return test.attr == "TYPE_CHECKING"
+    return False
+
+
+def imported_modules(tree: ast.Module) -> list[tuple[str, int]]:
+    """Every runtime-imported module in ``tree`` as ``(name, line)`` pairs.
+
+    Walks the full tree (imports inside functions count: a lazy import
+    still couples the layers at runtime) but skips ``if TYPE_CHECKING:``
+    bodies, which exist only for annotations.
+    """
+    type_checking_spans: list[tuple[int, int]] = []
+    for node in ast.walk(tree):
+        if isinstance(node, ast.If) and _is_type_checking_test(node.test):
+            last = node.body[-1]
+            end = getattr(last, "end_lineno", None) or last.lineno
+            type_checking_spans.append((node.lineno, end))
+
+    def _static(line: int) -> bool:
+        return any(start <= line <= end for start, end in type_checking_spans)
+
+    modules: list[tuple[str, int]] = []
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                if not _static(node.lineno):
+                    modules.append((alias.name, node.lineno))
+        elif isinstance(node, ast.ImportFrom) and node.module and node.level == 0:
+            if not _static(node.lineno):
+                modules.append((node.module, node.lineno))
+    return modules
+
+
+class LayeringRule:
+    """Checker enforcing the import-layer matrix from the lint config."""
+
+    name = "layering"
+
+    def check(self, source: SourceFile, config: LintConfig) -> list[Finding]:
+        """Flag every import of a banned prefix from a layered file."""
+        layers = [spec for spec in config.layers if spec.applies_to(source.module)]
+        if not layers:
+            return []
+        findings: list[Finding] = []
+        for module, line in imported_modules(source.tree):
+            for spec in layers:
+                if spec.bans(module):
+                    findings.append(
+                        finding_for(
+                            self.name,
+                            source.path,
+                            line,
+                            f"layer {spec.name!r} must not import {module!r}: {spec.why}",
+                        )
+                    )
+        return findings
+
+
+__all__ = ["LayeringRule", "imported_modules"]

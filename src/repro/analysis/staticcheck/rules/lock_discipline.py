@@ -1,0 +1,221 @@
+"""``lock-discipline``: guarded attributes are only touched under their lock.
+
+The thread-safety retrofit of PR 6 established a convention: every shared
+hot-path attribute has exactly one lock, and every read or write happens
+inside ``with self.<lock>:``.  This rule makes the convention checkable.
+State is *declared* guarded with a comment on its initializing assignment::
+
+    self._factors: list[int] = []  # guarded-by: _lock
+
+and from then on any ``self._factors`` access outside a ``with self._lock:``
+block is a finding.  Two escape hatches keep the rule precise rather than
+noisy:
+
+* ``__init__`` is exempt — construction happens-before publication, so the
+  initializing writes need no lock;
+* a helper that documents "call me with the lock held" declares it with
+  ``# holds: <lock>`` on its ``def`` line.  Accesses inside such a method
+  are allowed, and the obligation moves to its call sites: calling a
+  ``holds`` method outside the lock (and outside ``__init__``) is itself a
+  finding — the annotation shifts the proof, it does not drop it.
+
+The analysis is lexical: code inside nested functions and lambdas does not
+inherit the enclosing ``with`` (the closure may run on another thread), so
+guarded access there is flagged; suppress the line if the closure is
+provably same-thread.  The same annotations drive the *runtime*
+:class:`~repro.analysis.staticcheck.witness.LockWitness`, which catches
+what lexical analysis cannot (locks taken through aliases, cross-object
+protocols).
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from dataclasses import dataclass, field
+
+from repro.analysis.staticcheck.config import LintConfig
+from repro.analysis.staticcheck.findings import Finding, finding_for
+from repro.analysis.staticcheck.parsing import SourceFile
+
+#: Comment declaring an attribute guarded: ``# guarded-by: _lock``.
+GUARDED_BY_RE = re.compile(r"guarded-by:\s*([A-Za-z_][A-Za-z0-9_]*)")
+#: Comment declaring a method that requires its caller to hold a lock.
+HOLDS_RE = re.compile(r"holds:\s*([A-Za-z_][A-Za-z0-9_]*)")
+
+#: Methods whose bodies are lock-exempt (construction happens-before
+#: publication; finalization happens-after the last reference).
+_EXEMPT_METHODS = frozenset({"__init__", "__del__"})
+
+
+@dataclass(frozen=True)
+class ClassGuards:
+    """The lock annotations of one class: guarded attrs and holds-methods."""
+
+    #: attribute name -> lock attribute name (``_factors`` -> ``_lock``).
+    guarded: dict[str, str] = field(default_factory=dict)
+    #: method name -> lock its callers must hold.
+    holds: dict[str, str] = field(default_factory=dict)
+
+
+def _self_attribute(node: ast.expr) -> str | None:
+    """The attribute name of a ``self.<name>`` expression, else ``None``."""
+    if (
+        isinstance(node, ast.Attribute)
+        and isinstance(node.value, ast.Name)
+        and node.value.id == "self"
+    ):
+        return node.attr
+    return None
+
+
+def collect_guards(class_node: ast.ClassDef, comments: dict[int, str]) -> ClassGuards:
+    """Extract ``guarded-by``/``holds`` annotations from one class body."""
+    guards = ClassGuards()
+    for node in ast.walk(class_node):
+        if isinstance(node, (ast.Assign, ast.AnnAssign, ast.AugAssign)):
+            comment = comments.get(node.lineno, "")
+            match = GUARDED_BY_RE.search(comment)
+            if match is None:
+                continue
+            targets = node.targets if isinstance(node, ast.Assign) else [node.target]
+            for target in targets:
+                attr = _self_attribute(target)
+                if attr is not None:
+                    guards.guarded[attr] = match.group(1)
+        elif isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            match = HOLDS_RE.search(comments.get(node.lineno, ""))
+            if match is not None:
+                guards.holds[node.name] = match.group(1)
+    return guards
+
+
+class _MethodVisitor(ast.NodeVisitor):
+    """Walk one method body tracking which ``self.<lock>`` locks are held."""
+
+    def __init__(
+        self,
+        rule: "LockDisciplineRule",
+        source: SourceFile,
+        guards: ClassGuards,
+        method: ast.FunctionDef | ast.AsyncFunctionDef,
+    ) -> None:
+        self.rule = rule
+        self.source = source
+        self.guards = guards
+        self.method = method
+        #: Locks the method body lexically holds at the current node.
+        self.held: list[str] = []
+        held_on_entry = guards.holds.get(method.name)
+        if held_on_entry is not None:
+            self.held.append(held_on_entry)
+        self.findings: list[Finding] = []
+
+    # -- lock tracking --------------------------------------------------- #
+
+    def _with_locks(self, node: ast.With | ast.AsyncWith) -> list[str]:
+        locks = []
+        for item in node.items:
+            attr = _self_attribute(item.context_expr)
+            if attr is not None:
+                locks.append(attr)
+        return locks
+
+    def visit_With(self, node: ast.With) -> None:
+        self._visit_with(node)
+
+    def visit_AsyncWith(self, node: ast.AsyncWith) -> None:
+        self._visit_with(node)
+
+    def _visit_with(self, node: ast.With | ast.AsyncWith) -> None:
+        locks = self._with_locks(node)
+        self.held.extend(locks)
+        self.generic_visit(node)
+        del self.held[len(self.held) - len(locks) :]
+
+    # -- nested scopes do not inherit the held set ------------------------ #
+
+    def _visit_nested(self, node: ast.AST) -> None:
+        outer = self.held
+        self.held = []
+        self.generic_visit(node)
+        self.held = outer
+
+    def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
+        self._visit_nested(node)
+
+    def visit_AsyncFunctionDef(self, node: ast.AsyncFunctionDef) -> None:
+        self._visit_nested(node)
+
+    def visit_Lambda(self, node: ast.Lambda) -> None:
+        self._visit_nested(node)
+
+    # -- the checks ------------------------------------------------------- #
+
+    def visit_Attribute(self, node: ast.Attribute) -> None:
+        attr = _self_attribute(node)
+        if attr is not None:
+            lock = self.guards.guarded.get(attr)
+            if lock is not None and lock not in self.held:
+                self.findings.append(
+                    finding_for(
+                        self.rule.name,
+                        self.source.path,
+                        node.lineno,
+                        f"self.{attr} is guarded-by {lock!r} but accessed in "
+                        f"{self.method.name}() without holding it "
+                        f"(wrap the access in `with self.{lock}:`)",
+                    )
+                )
+        self.generic_visit(node)
+
+    def visit_Call(self, node: ast.Call) -> None:
+        callee = _self_attribute(node.func)
+        if callee is not None:
+            required = self.guards.holds.get(callee)
+            if required is not None and required not in self.held:
+                self.findings.append(
+                    finding_for(
+                        self.rule.name,
+                        self.source.path,
+                        node.lineno,
+                        f"self.{callee}() requires its caller to hold "
+                        f"{required!r} (declared `# holds: {required}`) but is "
+                        f"called in {self.method.name}() without it",
+                    )
+                )
+            # visit arguments but not the already-checked func attribute
+            for child in list(node.args) + [kw.value for kw in node.keywords]:
+                self.visit(child)
+            return
+        self.generic_visit(node)
+
+
+class LockDisciplineRule:
+    """Checker enforcing ``# guarded-by`` / ``# holds`` lock annotations."""
+
+    name = "lock-discipline"
+
+    def check(self, source: SourceFile, config: LintConfig) -> list[Finding]:
+        """Flag guarded-attribute access (and holds-method calls) outside the lock."""
+        del config  # the annotations are the configuration
+        findings: list[Finding] = []
+        for node in ast.walk(source.tree):
+            if not isinstance(node, ast.ClassDef):
+                continue
+            guards = collect_guards(node, source.comments)
+            if not guards.guarded and not guards.holds:
+                continue
+            for method in node.body:
+                if not isinstance(method, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                    continue
+                if method.name in _EXEMPT_METHODS:
+                    continue
+                visitor = _MethodVisitor(self, source, guards, method)
+                for statement in method.body:
+                    visitor.visit(statement)
+                findings.extend(visitor.findings)
+        return findings
+
+
+__all__ = ["ClassGuards", "GUARDED_BY_RE", "HOLDS_RE", "LockDisciplineRule", "collect_guards"]

@@ -1,0 +1,118 @@
+"""``oracle-parity``: every batched crypto fast path keeps its scalar oracle.
+
+Since PR 1 the repository's discipline for optimizations has been
+*differential*: a fast path ships together with a slow, obviously-correct
+reference (``distance_matrix_reference``, the ``"memory"`` backend,
+``encrypt_reference``), and tests assert bit-for-bit equality.  This rule
+pins the convention for :mod:`repro.crypto`, where the fast paths are
+hottest and the references easiest to delete by accident.  Two obligations
+on every class in the configured crypto modules:
+
+* a public ``*_many`` batch method that does **not** delegate to its scalar
+  sibling (``encrypt_many`` calling ``self.encrypt``, or one of the shared
+  ``_*_many_deduplicated`` helpers — those loop over the scalar path, so
+  the scalar *is* the oracle) re-derives results with different math and
+  must therefore have a matching ``*_reference`` sibling in the class
+  (``encrypt_many`` -> some ``encrypt*_reference``);
+* a class that advertises fast-path counters — it overrides
+  ``fast_path_stats`` with a non-empty report — is declaring a fast path
+  exists, and must expose at least one ``*_reference`` oracle method.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from repro.analysis.staticcheck.config import LintConfig
+from repro.analysis.staticcheck.findings import Finding, finding_for
+from repro.analysis.staticcheck.parsing import SourceFile
+
+#: Shared batch helpers that loop over the scalar path (delegation markers).
+_DEDUP_HELPERS = frozenset(
+    {"_encrypt_many_deduplicated", "_decrypt_many_deduplicated"}
+)
+
+
+def _self_calls(node: ast.AST) -> set[str]:
+    """Names of every ``self.<name>(...)`` call inside ``node``."""
+    calls: set[str] = set()
+    for child in ast.walk(node):
+        if (
+            isinstance(child, ast.Call)
+            and isinstance(child.func, ast.Attribute)
+            and isinstance(child.func.value, ast.Name)
+            and child.func.value.id == "self"
+        ):
+            calls.add(child.func.attr)
+    return calls
+
+
+def _returns_non_empty(function: ast.FunctionDef | ast.AsyncFunctionDef) -> bool:
+    """True if any ``return`` yields something other than an empty dict."""
+    for node in ast.walk(function):
+        if isinstance(node, ast.Return) and node.value is not None:
+            value = node.value
+            if isinstance(value, ast.Dict) and not value.keys:
+                continue
+            return True
+    return False
+
+
+class OracleParityRule:
+    """Checker pairing batched crypto fast paths with ``*_reference`` oracles."""
+
+    name = "oracle-parity"
+
+    def check(self, source: SourceFile, config: LintConfig) -> list[Finding]:
+        """Flag crypto classes whose fast paths lost their reference oracle."""
+        if not config.in_scope(source.module, config.crypto_modules):
+            return []
+        findings: list[Finding] = []
+        for node in ast.walk(source.tree):
+            if isinstance(node, ast.ClassDef):
+                findings.extend(self._check_class(node, source))
+        return findings
+
+    def _check_class(self, class_node: ast.ClassDef, source: SourceFile) -> list[Finding]:
+        methods = {
+            item.name: item
+            for item in class_node.body
+            if isinstance(item, (ast.FunctionDef, ast.AsyncFunctionDef))
+        }
+        references = [name for name in methods if name.endswith("_reference")]
+        findings: list[Finding] = []
+        for name, method in methods.items():
+            if name.startswith("_") or not name.endswith("_many"):
+                continue
+            scalar = name[: -len("_many")]
+            calls = _self_calls(method)
+            if scalar in calls or calls & _DEDUP_HELPERS:
+                continue  # delegates to the scalar path: the scalar is the oracle
+            if not any(ref.startswith(scalar) for ref in references):
+                findings.append(
+                    finding_for(
+                        self.name,
+                        source.path,
+                        method.lineno,
+                        f"{class_node.name}.{name} is a batched fast path that "
+                        f"re-derives results without calling self.{scalar}; keep "
+                        f"a scalar {scalar}*_reference equality oracle in the "
+                        "class (the differential-testing contract)",
+                    )
+                )
+        stats = methods.get("fast_path_stats")
+        if stats is not None and _returns_non_empty(stats) and not references:
+            findings.append(
+                finding_for(
+                    self.name,
+                    source.path,
+                    stats.lineno,
+                    f"{class_node.name} advertises fast-path counters via "
+                    "fast_path_stats but defines no *_reference oracle method; "
+                    "every crypto fast path keeps its scalar equality oracle",
+                )
+            )
+        return findings
+
+
+__all__ = ["OracleParityRule"]

@@ -1,0 +1,150 @@
+"""The lint runner behind ``repro lint`` (and the pytest-importable API).
+
+:func:`run_lint` walks the given paths, parses each Python file once, runs
+every registered rule over it, applies the inline suppressions and returns
+a :class:`LintReport`.  The report is a pure function of the source tree —
+findings are sorted, paths normalized — so two runs over the same tree are
+byte-identical, and a test can assert on findings exactly.
+"""
+
+from __future__ import annotations
+
+import sys
+from collections.abc import Sequence
+from dataclasses import dataclass
+from pathlib import Path
+
+from repro.analysis.staticcheck.checker import available_checkers, create_checker
+from repro.analysis.staticcheck.config import LintConfig, default_config
+from repro.analysis.staticcheck.findings import Finding, Severity
+from repro.analysis.staticcheck.parsing import SourceCache, SourceFile
+from repro.analysis.staticcheck.suppress import apply_suppressions
+from repro.exceptions import AnalysisError
+
+#: Directory names never descended into when expanding paths.
+_SKIPPED_DIRS = frozenset({"__pycache__", ".git", ".venv", "build", "dist"})
+
+
+def iter_python_files(paths: Sequence[str | Path]) -> list[Path]:
+    """Expand files and directories into a sorted list of ``.py`` files.
+
+    A path that does not exist raises :class:`~repro.exceptions.AnalysisError`
+    — a lint run that silently checks nothing is itself a bug.
+    """
+    files: set[Path] = set()
+    for raw in paths:
+        path = Path(raw)
+        if path.is_dir():
+            for candidate in path.rglob("*.py"):
+                if not _SKIPPED_DIRS.intersection(candidate.parts):
+                    files.add(candidate.resolve())
+        elif path.is_file():
+            files.add(path.resolve())
+        else:
+            raise AnalysisError(f"lint path {path} does not exist")
+    return sorted(files)
+
+
+@dataclass(frozen=True)
+class LintReport:
+    """The outcome of one lint run: findings plus what was checked."""
+
+    findings: tuple[Finding, ...]
+    files_checked: int
+    rules: tuple[str, ...]
+
+    @property
+    def errors(self) -> tuple[Finding, ...]:
+        """Findings that fail the run regardless of ``--strict``."""
+        return tuple(f for f in self.findings if f.severity is Severity.ERROR)
+
+    @property
+    def warnings(self) -> tuple[Finding, ...]:
+        """Findings that fail the run only under ``--strict``."""
+        return tuple(f for f in self.findings if f.severity is Severity.WARNING)
+
+    def exit_code(self, *, strict: bool = False) -> int:
+        """0 when clean, 1 when findings fail under the given strictness."""
+        failing = self.findings if strict else self.errors
+        return 1 if failing else 0
+
+
+def run_lint(
+    paths: Sequence[str | Path],
+    *,
+    config: LintConfig | None = None,
+    rules: Sequence[str] | None = None,
+    cache: SourceCache | None = None,
+) -> LintReport:
+    """Run the registered rules over ``paths`` and return the report.
+
+    ``rules`` selects a subset by registry name (default: all registered);
+    ``config`` defaults to the repository invariant matrix
+    (:func:`~repro.analysis.staticcheck.config.default_config`).  Tests
+    import this directly — the CLI adds nothing but argument parsing.
+    """
+    lint_config = config if config is not None else default_config()
+    rule_names = tuple(rules) if rules is not None else available_checkers()
+    checkers = [create_checker(name) for name in rule_names]
+    source_cache = cache if cache is not None else SourceCache()
+    sources: list[SourceFile] = []
+    findings: list[Finding] = []
+    for path in iter_python_files(paths):
+        source = source_cache.get(path)
+        sources.append(source)
+        for checker in checkers:
+            findings.extend(checker.check(source, lint_config))
+    findings = apply_suppressions(findings, sources)
+    return LintReport(
+        findings=tuple(sorted(findings)),
+        files_checked=len(sources),
+        rules=rule_names,
+    )
+
+
+def format_report(report: LintReport, *, strict: bool = False) -> str:
+    """Human-readable report: one line per finding plus a summary."""
+    lines = [finding.format() for finding in report.findings]
+    errors, warnings = len(report.errors), len(report.warnings)
+    mode = " (strict)" if strict else ""
+    if report.findings:
+        lines.append("")
+    lines.append(
+        f"repro lint{mode}: {report.files_checked} files checked, "
+        f"{errors} errors, {warnings} warnings"
+    )
+    return "\n".join(lines)
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """CLI entry point used by ``repro lint`` (returns the exit code)."""
+    import argparse
+
+    parser = argparse.ArgumentParser(
+        prog="repro lint",
+        description="Check the project invariants statically (layering, "
+        "lock discipline, determinism, oracle parity, exception policy).",
+    )
+    parser.add_argument(
+        "paths", nargs="*", default=["src", "examples"],
+        help="files or directories to check (default: src examples)",
+    )
+    parser.add_argument(
+        "--strict", action="store_true",
+        help="fail on warnings too (the CI mode)",
+    )
+    parser.add_argument(
+        "--rule", action="append", dest="rules", metavar="NAME",
+        help="run only the named rule (repeatable; default: every rule)",
+    )
+    arguments = parser.parse_args(argv)
+    report = run_lint(arguments.paths, rules=arguments.rules)
+    print(format_report(report, strict=arguments.strict))
+    return report.exit_code(strict=arguments.strict)
+
+
+__all__ = ["LintReport", "format_report", "iter_python_files", "main", "run_lint"]
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via `repro lint`
+    raise SystemExit(main(sys.argv[1:]))

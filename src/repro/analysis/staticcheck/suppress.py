@@ -1,0 +1,87 @@
+"""Inline suppressions: ``# repro: ignore[rule]``.
+
+A finding can be silenced *at its line* with a comment naming the rule::
+
+    frobnicate(self._cache)  # repro: ignore[lock-discipline]
+
+Several rules are silenced with one comma-separated comment
+(``# repro: ignore[determinism, lock-discipline]``).  Suppressions are
+themselves checked: one that silences nothing — the violation was fixed, or
+the rule name is misspelled — produces an ``unused-suppression`` error, so
+stale escapes cannot accumulate (the linter's own docs-drift contract).
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+
+from repro.analysis.staticcheck.findings import Finding, Severity, finding_for
+from repro.analysis.staticcheck.parsing import SourceFile
+
+#: The rule name emitted for suppressions that silence nothing.
+UNUSED_SUPPRESSION = "unused-suppression"
+
+_IGNORE_RE = re.compile(r"repro:\s*ignore\[([^\]]*)\]")
+
+
+@dataclass(frozen=True)
+class Suppression:
+    """One ``# repro: ignore[...]`` comment: its line and the rules it names."""
+
+    path: str
+    line: int
+    rules: tuple[str, ...]
+
+
+def suppressions_in(source: SourceFile) -> list[Suppression]:
+    """Every suppression comment in ``source``, in line order."""
+    found: list[Suppression] = []
+    for line, comment in sorted(source.comments.items()):
+        match = _IGNORE_RE.search(comment)
+        if match is None:
+            continue
+        rules = tuple(
+            part.strip() for part in match.group(1).split(",") if part.strip()
+        )
+        found.append(Suppression(path=source.display_path, line=line, rules=rules))
+    return found
+
+
+def apply_suppressions(
+    findings: list[Finding], sources: list[SourceFile]
+) -> list[Finding]:
+    """Drop suppressed findings; turn unused suppressions into findings.
+
+    A suppression is *used* when at least one finding of a named rule sits
+    on its exact line.  Every named rule must earn its keep individually: a
+    comment naming two rules where only one fires still errors for the
+    other, so a suppression never silently widens.
+    """
+    suppressions = [s for source in sources for s in suppressions_in(source)]
+    by_site = {(s.path, s.line): s for s in suppressions}
+    kept: list[Finding] = []
+    used: set[tuple[str, int, str]] = set()
+    for finding in findings:
+        suppression = by_site.get((finding.path, finding.line))
+        if suppression is not None and finding.rule in suppression.rules:
+            used.add((finding.path, finding.line, finding.rule))
+            continue
+        kept.append(finding)
+    for suppression in suppressions:
+        for rule in suppression.rules:
+            if (suppression.path, suppression.line, rule) not in used:
+                kept.append(
+                    finding_for(
+                        UNUSED_SUPPRESSION,
+                        suppression.path,
+                        suppression.line,
+                        f"suppression of {rule!r} silences nothing on this line; "
+                        "remove it (or fix the rule name)",
+                        severity=Severity.ERROR,
+                    )
+                )
+    return kept
+
+
+__all__ = ["UNUSED_SUPPRESSION", "Suppression", "apply_suppressions", "suppressions_in"]

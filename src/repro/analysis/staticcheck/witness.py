@@ -1,0 +1,367 @@
+"""Runtime lock witness: deterministic detection of races and deadlocks.
+
+The static ``lock-discipline`` rule proves what it can see lexically; this
+module catches the rest *at runtime* under the thread-stress suite.  A
+:class:`LockWitness` observes a program through two instruments:
+
+* :class:`WitnessedLock` — a transparent wrapper around a
+  ``threading.Lock``/``RLock`` that records, per thread, which witnessed
+  locks are held and in which order they nest.  Every time a thread
+  acquires lock ``B`` while holding lock ``A``, the witness records the
+  edge ``A -> B``; a cycle in the accumulated order graph means two
+  threads can nest the same locks in opposite orders — a potential
+  deadlock, reported deterministically even when the interleaving that
+  would actually deadlock never fired during the run.
+* **guarded-attribute watching** — :meth:`LockWitness.watch_instance`
+  reads a class's ``# guarded-by:`` annotations (the same ones the static
+  rule checks), wraps the named lock attributes and swaps the instance
+  onto an instrumented subclass whose ``__getattribute__``/``__setattr__``
+  verify the declared lock is held by the current thread on every guarded
+  access.  An unguarded touch is recorded as a violation instead of
+  raising mid-flight, so one bug cannot cascade into unrelated failures;
+  :meth:`LockWitness.check` raises :class:`LockWitnessError` with the full
+  list at the end of the run.
+
+Enabled in CI by ``LOCK_WITNESS=1`` under the existing 5x thread-stress
+job (see ``tests/conftest.py``), which turns the "run it five times and
+hope the race fires" strategy into a deterministic detector: a guarded
+access outside its lock is reported on *every* run it executes on, not
+only on the runs where the interleaving corrupts state.
+"""
+
+from __future__ import annotations
+
+import ast
+import inspect
+import textwrap
+import threading
+from collections.abc import Callable, Iterable
+from typing import Any
+
+from repro.analysis.staticcheck.parsing import _extract_comments
+from repro.analysis.staticcheck.rules.lock_discipline import ClassGuards, collect_guards
+from repro.exceptions import AnalysisError
+
+
+class LockWitnessError(AnalysisError):
+    """Raised by :meth:`LockWitness.check` when the run violated lock discipline."""
+
+
+class WitnessedLock:
+    """A lock wrapper that reports acquisitions to its :class:`LockWitness`.
+
+    Supports the context-manager protocol and ``acquire``/``release`` with
+    the underlying lock's signature, so it can replace a ``Lock`` or
+    ``RLock`` attribute in place.  Re-entrant acquisition is tracked by a
+    per-thread depth; only the outermost acquire/release updates the
+    witness's nesting state, so an ``RLock`` re-entry never fabricates an
+    order edge.
+    """
+
+    def __init__(self, inner: Any, name: str, witness: "LockWitness") -> None:
+        self._inner = inner
+        self.name = name
+        self._witness = witness
+        #: thread id -> re-entrant hold depth (mutated only by the holding
+        #: thread, read by the same thread's guard checks).
+        self._depth: dict[int, int] = {}
+
+    def held_by_current_thread(self) -> bool:
+        """True if the calling thread currently holds this lock."""
+        return self._depth.get(threading.get_ident(), 0) > 0
+
+    def acquire(self, *args: Any, **kwargs: Any) -> bool:
+        """Acquire the underlying lock, recording the nesting on success."""
+        acquired = self._inner.acquire(*args, **kwargs)
+        if acquired:
+            ident = threading.get_ident()
+            depth = self._depth.get(ident, 0)
+            self._depth[ident] = depth + 1
+            if depth == 0:
+                self._witness._note_acquired(self)
+        return acquired
+
+    def release(self) -> None:
+        """Release the underlying lock, popping the nesting state last."""
+        ident = threading.get_ident()
+        depth = self._depth.get(ident, 0)
+        if depth <= 1:
+            self._depth.pop(ident, None)
+            self._witness._note_released(self)
+        else:
+            self._depth[ident] = depth - 1
+        self._inner.release()
+
+    def __enter__(self) -> "WitnessedLock":
+        self.acquire()
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.release()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"WitnessedLock({self.name!r})"
+
+
+def class_guards(cls: type) -> ClassGuards:
+    """The ``# guarded-by``/``# holds`` annotations of ``cls``, from source.
+
+    Reuses the static rule's parser over ``inspect.getsource``, so runtime
+    witnessing and static checking can never disagree about what is
+    guarded.  A class without retrievable source raises
+    :class:`~repro.exceptions.AnalysisError` (watching it silently would
+    check nothing).
+    """
+    try:
+        source = textwrap.dedent(inspect.getsource(cls))
+    except (OSError, TypeError) as error:
+        raise AnalysisError(f"cannot read source of {cls.__name__}: {error}") from error
+    tree = ast.parse(source)
+    for node in tree.body:
+        if isinstance(node, ast.ClassDef) and node.name == cls.__name__:
+            return collect_guards(node, _extract_comments(source, None))  # type: ignore[arg-type]
+    raise AnalysisError(f"no class definition found in source of {cls.__name__}")
+
+
+class LockWitness:
+    """Records lock-nesting edges and guarded-access violations per run."""
+
+    def __init__(self) -> None:
+        self._state_lock = threading.Lock()
+        self._tls = threading.local()
+        # Nesting edges (outer lock name, inner lock name) -> observation
+        # count, accumulated across all threads.
+        self._edges: dict[tuple[str, str], int] = {}  # guarded-by: _state_lock
+        self._violations: list[str] = []  # guarded-by: _state_lock
+        self._watched_classes: dict[type, type] = {}  # guarded-by: _state_lock
+
+    # -- lock wrapping ----------------------------------------------------- #
+
+    def wrap(self, lock: Any, name: str) -> WitnessedLock:
+        """Wrap ``lock`` so its acquisitions are witnessed under ``name``."""
+        if isinstance(lock, WitnessedLock):
+            return lock
+        return WitnessedLock(lock, name, self)
+
+    def _held_stack(self) -> list[WitnessedLock]:
+        stack = getattr(self._tls, "stack", None)
+        if stack is None:
+            stack = self._tls.stack = []
+        return stack
+
+    def _note_acquired(self, lock: WitnessedLock) -> None:
+        stack = self._held_stack()
+        if stack:
+            with self._state_lock:
+                for outer in stack:
+                    if outer.name != lock.name:
+                        edge = (outer.name, lock.name)
+                        self._edges[edge] = self._edges.get(edge, 0) + 1
+        stack.append(lock)
+
+    def _note_released(self, lock: WitnessedLock) -> None:
+        stack = self._held_stack()
+        for index in range(len(stack) - 1, -1, -1):
+            if stack[index] is lock:
+                del stack[index]
+                break
+
+    # -- guarded-attribute watching ---------------------------------------- #
+
+    def watch_instance(self, obj: object, guards: ClassGuards | None = None) -> object:
+        """Instrument ``obj`` so guarded-attribute access is verified live.
+
+        Reads the ``# guarded-by`` annotations of ``type(obj)`` (or takes
+        them explicitly), replaces each named lock attribute with a
+        :class:`WitnessedLock`, and swaps the instance onto an instrumented
+        subclass.  Call *after* construction — the initializing writes are
+        exempt by the happens-before argument, exactly as in the static
+        rule.  Returns ``obj`` for chaining.
+        """
+        cls = type(obj)
+        spec = guards if guards is not None else class_guards(cls)
+        if not spec.guarded:
+            raise AnalysisError(
+                f"{cls.__name__} declares no `# guarded-by:` attributes; "
+                "nothing to watch"
+            )
+        for lock_name in sorted(set(spec.guarded.values())):
+            try:
+                lock = object.__getattribute__(obj, lock_name)
+            except AttributeError:
+                continue
+            if not isinstance(lock, WitnessedLock):
+                object.__setattr__(
+                    obj,
+                    lock_name,
+                    self.wrap(lock, f"{cls.__name__}.{lock_name}#{id(obj):x}"),
+                )
+        object.__setattr__(obj, "__class__", self._instrumented_class(cls, spec))
+        return obj
+
+    def watch_classes(self, classes: Iterable[type]) -> Callable[[], None]:
+        """Auto-watch every future exact-type instance of ``classes``.
+
+        Patches each class's ``__init__`` to call :meth:`watch_instance` on
+        completion (subclasses are skipped: their own ``__init__`` may
+        still be mutating state, and they can be watched separately).
+        Returns an uninstaller restoring the original constructors.
+        """
+        patched: list[tuple[type, Any]] = []
+        for cls in classes:
+            guards = class_guards(cls)  # fail at install time, not first use
+            if not guards.guarded:
+                raise AnalysisError(
+                    f"{cls.__name__} declares no `# guarded-by:` attributes; "
+                    "nothing to watch"
+                )
+            original_init = cls.__init__
+            cls.__init__ = _watching_init(self, cls, original_init, guards)  # type: ignore[method-assign]
+            patched.append((cls, original_init))
+
+        def uninstall() -> None:
+            for klass, original in patched:
+                klass.__init__ = original  # type: ignore[method-assign]
+
+        return uninstall
+
+    def _instrumented_class(self, cls: type, spec: ClassGuards) -> type:
+        with self._state_lock:
+            cached = self._watched_classes.get(cls)
+        if cached is not None:
+            return cached
+        witness = self
+        guarded = dict(spec.guarded)
+
+        def __getattribute__(obj: object, name: str) -> Any:
+            if name in guarded:
+                witness._check_guard(obj, name, guarded[name])
+            return object.__getattribute__(obj, name)
+
+        def __setattr__(obj: object, name: str, value: Any) -> None:
+            if name in guarded:
+                witness._check_guard(obj, name, guarded[name])
+            object.__setattr__(obj, name, value)
+
+        instrumented = type(
+            cls.__name__,
+            (cls,),
+            {
+                "__getattribute__": __getattribute__,
+                "__setattr__": __setattr__,
+                "__module__": cls.__module__,
+                "__qualname__": cls.__qualname__,
+            },
+        )
+        with self._state_lock:
+            existing = self._watched_classes.setdefault(cls, instrumented)
+        return existing
+
+    def _check_guard(self, obj: object, attr: str, lock_name: str) -> None:
+        try:
+            lock = object.__getattribute__(obj, lock_name)
+        except AttributeError:
+            return
+        if isinstance(lock, WitnessedLock) and not lock.held_by_current_thread():
+            cls_name = type(obj).__name__
+            self.record_violation(
+                f"{cls_name}.{attr} (guarded-by {lock_name}) accessed on thread "
+                f"{threading.current_thread().name!r} without holding the lock"
+            )
+
+    # -- reporting ---------------------------------------------------------- #
+
+    def record_violation(self, message: str) -> None:
+        """Append one violation (deduplicated at :meth:`check` time)."""
+        with self._state_lock:
+            self._violations.append(message)
+
+    @property
+    def violations(self) -> tuple[str, ...]:
+        """Every guarded-access violation recorded so far."""
+        with self._state_lock:
+            return tuple(self._violations)
+
+    def lock_order_edges(self) -> dict[tuple[str, str], int]:
+        """The accumulated nesting edges (outer name, inner name) -> count."""
+        with self._state_lock:
+            return dict(self._edges)
+
+    def find_cycle(self) -> list[str] | None:
+        """A lock-order cycle as a name list (``[A, B, A]``), or ``None``.
+
+        Edges are compared by *instance-independent* names (the ``#id``
+        suffix stripped), so two code paths nesting the same two lock
+        attributes in opposite orders form a cycle even when the stress run
+        touched different instances.
+        """
+        adjacency: dict[str, set[str]] = {}
+        for (outer, inner), _count in sorted(self.lock_order_edges().items()):
+            adjacency.setdefault(_strip_instance(outer), set()).add(_strip_instance(inner))
+        visiting: list[str] = []
+        visited: set[str] = set()
+
+        def visit(node: str) -> list[str] | None:
+            if node in visiting:
+                return visiting[visiting.index(node) :] + [node]
+            if node in visited:
+                return None
+            visiting.append(node)
+            for successor in sorted(adjacency.get(node, ())):
+                cycle = visit(successor)
+                if cycle is not None:
+                    return cycle
+            visiting.pop()
+            visited.add(node)
+            return None
+
+        for start in sorted(adjacency):
+            cycle = visit(start)
+            if cycle is not None:
+                return cycle
+        return None
+
+    def check(self) -> None:
+        """Raise :class:`LockWitnessError` on any violation or order cycle."""
+        problems: list[str] = []
+        unique = sorted(set(self.violations))
+        if unique:
+            problems.append(
+                f"{len(unique)} distinct guarded-access violations:\n  "
+                + "\n  ".join(unique)
+            )
+        cycle = self.find_cycle()
+        if cycle is not None:
+            problems.append(
+                "lock-order cycle (potential deadlock): " + " -> ".join(cycle)
+            )
+        if problems:
+            raise LockWitnessError("lock witness failed:\n" + "\n".join(problems))
+
+    def reset(self) -> None:
+        """Drop every recorded edge and violation (watched classes stay)."""
+        with self._state_lock:
+            self._edges.clear()
+            self._violations.clear()
+
+
+def _strip_instance(name: str) -> str:
+    """Remove the per-instance ``#<id>`` suffix from a witnessed-lock name."""
+    return name.split("#", 1)[0]
+
+
+def _watching_init(
+    witness: LockWitness, cls: type, original_init: Any, guards: ClassGuards
+) -> Any:
+    """Build an ``__init__`` wrapper that watches exact-type instances."""
+
+    def __init__(obj: Any, *args: Any, **kwargs: Any) -> None:
+        original_init(obj, *args, **kwargs)
+        if type(obj) is cls:
+            witness.watch_instance(obj, guards)
+
+    __init__.__wrapped__ = original_init  # type: ignore[attr-defined]
+    return __init__
+
+
+__all__ = ["LockWitness", "LockWitnessError", "WitnessedLock", "class_guards"]

@@ -265,30 +265,35 @@ def rollback_log(log: StreamingQueryLog, keep: int) -> TamperResult:
     :class:`~repro.crypto.integrity.ChainCheckpoint`, which is why
     ``verify_chain`` still catches the rollback.
     """
-    entries = log._entries  # noqa: SLF001 - the adversary owns the log
-    if not 0 <= keep <= len(entries):
-        raise AttackError(
-            f"cannot keep {keep} of {len(entries)} log entries"
-        )
-    dropped = len(entries) - keep
-    del entries[keep:]
-    chain_heads = getattr(log, "_chain_heads", None)
-    if chain_heads is not None:
-        # Sliding-window log: rewind the recorded per-ingest heads and the
-        # chain state; eviction bookkeeping (ids) must shrink in step.
-        del chain_heads[len(chain_heads) - dropped :]
-        ids = getattr(log, "_ids", None)
-        if ids is not None:
-            del ids[keep:]
-        log._chain._length -= dropped  # noqa: SLF001
-        log._chain._head = chain_heads[-1] if chain_heads else GENESIS_HEAD  # noqa: SLF001
-    else:
-        # Base streaming log: recompute the unkeyed chain from scratch over
-        # the surviving entries.
-        rebuilt = LogHashChain()
-        for entry in entries:
-            rebuilt.extend(entry.sql)
-        log._chain = rebuilt  # noqa: SLF001
+    # The rollback happens under the log's own lock: the scenario tampers a
+    # *live* log with streaming readers attached, and an unsynchronized
+    # rewrite could tear the chain state mid-extend — corrupting the very
+    # evidence the experiment measures detection of.
+    with log.lock:
+        entries = log._entries  # noqa: SLF001 - the adversary owns the log
+        if not 0 <= keep <= len(entries):
+            raise AttackError(
+                f"cannot keep {keep} of {len(entries)} log entries"
+            )
+        dropped = len(entries) - keep
+        del entries[keep:]
+        chain_heads = getattr(log, "_chain_heads", None)
+        if chain_heads is not None:
+            # Sliding-window log: rewind the recorded per-ingest heads and the
+            # chain state; eviction bookkeeping (ids) must shrink in step.
+            del chain_heads[len(chain_heads) - dropped :]
+            ids = getattr(log, "_ids", None)
+            if ids is not None:
+                del ids[keep:]
+            log._chain._length -= dropped  # noqa: SLF001
+            log._chain._head = chain_heads[-1] if chain_heads else GENESIS_HEAD  # noqa: SLF001
+        else:
+            # Base streaming log: recompute the unkeyed chain from scratch over
+            # the surviving entries.
+            rebuilt = LogHashChain()
+            for entry in entries:
+                rebuilt.extend(entry.sql)
+            log._chain = rebuilt  # noqa: SLF001
     return TamperResult(
         operation="rollback",
         target="log",

@@ -16,6 +16,7 @@ Everything the repository reproduces can be driven from the shell::
     python -m repro figure1                 # print the Figure 1 taxonomy
     python -m repro demo                    # 10-second installation check
     python -m repro serve --tenants 3       # multi-tenant server smoke run
+    python -m repro lint --strict           # project-invariant static analysis
     python -m repro --version               # package version
     python -m repro encrypt-log plain.json encrypted.json --scheme token
                                             # encrypt a query-log JSON file
@@ -173,6 +174,23 @@ def build_parser() -> argparse.ArgumentParser:
         dest="key_bits",
         help="Paillier modulus size per tenant (small default keeps the smoke run fast)",
     )
+
+    lint_parser = subparsers.add_parser(
+        "lint",
+        help="check the project invariants statically (layering, lock "
+        "discipline, determinism, oracle parity, exception policy)",
+    )
+    lint_parser.add_argument(
+        "paths", nargs="*", default=["src", "examples"],
+        help="files or directories to check (default: src examples)",
+    )
+    lint_parser.add_argument(
+        "--strict", action="store_true", help="fail on warnings too (the CI mode)"
+    )
+    lint_parser.add_argument(
+        "--rule", action="append", dest="rules", metavar="NAME",
+        help="run only the named rule (repeatable; default: every rule)",
+    )
     return parser
 
 
@@ -304,6 +322,20 @@ def _command_serve(
     return 0
 
 
+def _command_lint(paths: Sequence[str], strict: bool, rules: Sequence[str] | None) -> int:
+    """Run the project-invariant static checks and print the report."""
+    from repro.analysis.staticcheck import format_report, run_lint
+    from repro.exceptions import AnalysisError
+
+    try:
+        report = run_lint(paths, rules=rules)
+    except AnalysisError as error:
+        print(f"repro lint: {error}", file=sys.stderr)
+        return 2
+    print(format_report(report, strict=strict))
+    return report.exit_code(strict=strict)
+
+
 def main(argv: Sequence[str] | None = None) -> int:
     """CLI entry point (returns the process exit code)."""
     parser = build_parser()
@@ -338,6 +370,8 @@ def main(argv: Sequence[str] | None = None) -> int:
         return _command_encrypt_log(
             arguments.input, arguments.output, arguments.scheme, arguments.passphrase
         )
+    if arguments.command == "lint":
+        return _command_lint(arguments.paths, arguments.strict, arguments.rules)
     if arguments.command == "serve":
         return _command_serve(
             arguments.tenants,

@@ -263,12 +263,12 @@ class PaillierNoisePool:
             raise EncryptionError("noise pool size must not be negative")
         self._public = public_key
         self._target_size = size
-        self._factors: list[int] = []
+        self._factors: list[int] = []  # guarded-by: _lock
         self._lock = threading.Lock()
-        self._refill_handle: NoiseRefillHandle | None = None
-        self.precomputed = 0
-        self.served_from_pool = 0
-        self.served_on_demand = 0
+        self._refill_handle: NoiseRefillHandle | None = None  # guarded-by: _lock
+        self.precomputed = 0  # guarded-by: _lock
+        self.served_from_pool = 0  # guarded-by: _lock
+        self.served_on_demand = 0  # guarded-by: _lock
         if eager:
             self.refill()
 

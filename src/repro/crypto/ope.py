@@ -106,12 +106,12 @@ class OrderPreservingScheme(EncryptionScheme):
         # every encrypt *and* decrypt under this instance's key.  The lock
         # serializes cache and counter updates against concurrent
         # encrypt/decrypt/clear_cache callers (multi-tenant serving threads).
-        self._node_cache: dict[tuple[int, int, int, int], int] = {}
+        self._node_cache: dict[tuple[int, int, int, int], int] = {}  # guarded-by: _cache_lock
         self._cache_lock = threading.Lock()
         self._cache_max_nodes = cache_max_nodes
-        self._cache_hits = 0
-        self._cache_misses = 0
-        self._cache_evictions = 0
+        self._cache_hits = 0  # guarded-by: _cache_lock
+        self._cache_misses = 0  # guarded-by: _cache_lock
+        self._cache_evictions = 0  # guarded-by: _cache_lock
 
     # -- public API --------------------------------------------------------- #
 

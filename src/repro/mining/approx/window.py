@@ -94,7 +94,7 @@ class SlidingWindowQueryLog(StreamingQueryLog):
         # heads to check prefixes that recomputation can no longer reach.
         # (The base __init__ above only folds an empty batch, so this is
         # safe to initialize afterwards.)
-        self._chain_heads: list[str] = []
+        self._chain_heads: list[str] = []  # guarded-by: _lock
         if entries:
             self.append(entries)
 
@@ -167,7 +167,7 @@ class SlidingWindowQueryLog(StreamingQueryLog):
                     eviction_callback(evicted)
         return batch
 
-    def _extend_chain(self, batch: tuple[LogEntry, ...]) -> None:
+    def _extend_chain(self, batch: tuple[LogEntry, ...]) -> None:  # holds: _lock
         """Fold a batch into the ingest chain, recording per-entry heads."""
         for entry in batch:
             self._chain_heads.append(self._chain.extend(entry.sql))

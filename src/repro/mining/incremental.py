@@ -90,14 +90,14 @@ class StreamingQueryLog(QueryLog):
 
     def __init__(self, entries: Iterable[LogEntry] = ()) -> None:
         super().__init__(entries)
-        self._subscribers: list[Callable[[tuple[LogEntry, ...]], None]] = []
-        self._appends = 0
+        self._subscribers: list[Callable[[tuple[LogEntry, ...]], None]] = []  # guarded-by: _lock
+        self._appends = 0  # guarded-by: _lock
         # Re-entrant: subscribers run under the append lock and may read the
         # log (or re-enter accessors that take the lock) while notified.
         self._lock = threading.RLock()
         # Hash chain over every *ingested* entry (see chain_head); the
         # initial entries count as the first ingested prefix.
-        self._chain = LogHashChain()
+        self._chain = LogHashChain()  # guarded-by: _lock
         self._extend_chain(tuple(self._entries))
 
     @property
@@ -113,7 +113,7 @@ class StreamingQueryLog(QueryLog):
 
     # -- integrity: hash-chain commitments over appends ----------------- #
 
-    def _extend_chain(self, batch: tuple[LogEntry, ...]) -> None:
+    def _extend_chain(self, batch: tuple[LogEntry, ...]) -> None:  # holds: _lock
         """Fold a batch into the ingest hash chain (call under :attr:`lock`)."""
         for entry in batch:
             self._chain.extend(entry.sql)

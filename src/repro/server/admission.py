@@ -47,11 +47,11 @@ class AdmissionQueue(Generic[_T]):
         self._max_pending = max_pending
         self._queue: queue.Queue[_T] = queue.Queue(maxsize=max_pending)
         self._lock = threading.Lock()
-        self._submitted = 0
-        self._rejected = 0
-        self._completed = 0
-        self._failed = 0
-        self._high_water = 0
+        self._submitted = 0  # guarded-by: _lock
+        self._rejected = 0  # guarded-by: _lock
+        self._completed = 0  # guarded-by: _lock
+        self._failed = 0  # guarded-by: _lock
+        self._high_water = 0  # guarded-by: _lock
 
     @property
     def max_pending(self) -> int:

@@ -76,14 +76,14 @@ class TenantHandle:
         self._service = service
         self._breaker = breaker
         self._lock = threading.RLock()
-        self._session: ServiceSession | None = None
-        self._queries_served = 0
-        self._queries_skipped = 0
-        self._batches_streamed = 0
-        self._workloads_completed = 0
-        self._mining_runs = 0
-        self._failures = 0
-        self._closed = False
+        self._session: ServiceSession | None = None  # guarded-by: _lock
+        self._queries_served = 0  # guarded-by: _lock
+        self._queries_skipped = 0  # guarded-by: _lock
+        self._batches_streamed = 0  # guarded-by: _lock
+        self._workloads_completed = 0  # guarded-by: _lock
+        self._mining_runs = 0  # guarded-by: _lock
+        self._failures = 0  # guarded-by: _lock
+        self._closed = False  # guarded-by: _lock
 
     # -- introspection --------------------------------------------------- #
 

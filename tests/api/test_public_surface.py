@@ -16,8 +16,6 @@ from __future__ import annotations
 import ast
 from pathlib import Path
 
-import pytest
-
 import repro.api
 
 REPO_ROOT = Path(__file__).resolve().parents[2]
@@ -144,51 +142,69 @@ class TestSurfaceSnapshot:
 
 # --------------------------------------------------------------------------- #
 # façade-only imports in the migrated entry points
+#
+# The hand-rolled AST scan that used to live here became the `layering` rule
+# of `repro lint` (repro.analysis.staticcheck.rules.layering).  These tests
+# keep the contract pinned from the API side: the rule is registered, the
+# entry-points layer is configured with the historical bans, and the rule
+# actually holds over the real tree.
 
-#: Internal layers the migrated entry points must not import directly.
+#: Internal layers the migrated entry points must not import directly
+#: (the PR 5 contract, now enforced by the `layering` lint rule).
 BANNED_PREFIXES = ("repro.cryptdb", "repro.db", "repro.mining", "repro.server")
 
 
-def _imported_modules(path: Path) -> set[str]:
-    tree = ast.parse(path.read_text(), filename=str(path))
-    modules: set[str] = set()
-    for node in ast.walk(tree):
-        if isinstance(node, ast.Import):
-            modules.update(alias.name for alias in node.names)
-        elif isinstance(node, ast.ImportFrom) and node.module:
-            modules.add(node.module)
-    return modules
+def test_layering_rule_is_registered() -> None:
+    """`repro lint` ships the layering rule that replaced the scan here."""
+    from repro.analysis.staticcheck import available_checkers, create_checker
+
+    assert "layering" in available_checkers()
+    assert create_checker("layering").name == "layering"
 
 
-def _banned_imports(path: Path) -> list[str]:
-    return sorted(
-        module
-        for module in _imported_modules(path)
-        if module in BANNED_PREFIXES
-        or any(module.startswith(prefix + ".") for prefix in BANNED_PREFIXES)
-    )
+def test_entry_point_layer_keeps_the_historical_bans() -> None:
+    """The configured entry-points layer bans exactly the PR 5 prefixes."""
+    from repro.analysis.staticcheck.config import default_config
+
+    layers = {spec.name: spec for spec in default_config().layers}
+    entry = layers["entry-points"]
+    assert set(BANNED_PREFIXES) <= set(entry.banned)
+    # The migrated surface: the CLI, the experiment drivers, every example.
+    for member in ("repro.cli", "repro.analysis", "examples"):
+        assert entry.applies_to(member), member
+        assert entry.applies_to(member + ".anything"), member
 
 
-def _facade_only_files() -> list[Path]:
-    files = sorted((REPO_ROOT / "examples").glob("*.py"))
-    files.append(REPO_ROOT / "src" / "repro" / "cli.py")
-    files.extend(sorted((REPO_ROOT / "src" / "repro" / "analysis").glob("*.py")))
-    return files
-
-
-@pytest.mark.parametrize("path", _facade_only_files(), ids=lambda p: str(p.relative_to(REPO_ROOT)))
-def test_entry_points_import_only_the_facade(path: Path) -> None:
+def test_entry_points_import_only_the_facade() -> None:
     """cli.py, repro.analysis and examples/ never import the wrapped layers."""
-    banned = _banned_imports(path)
-    assert not banned, (
-        f"{path.relative_to(REPO_ROOT)} imports internal layers {banned}; "
-        "route through repro.api instead"
+    from repro.analysis.staticcheck import format_report, run_lint
+
+    report = run_lint(
+        [
+            REPO_ROOT / "examples",
+            REPO_ROOT / "src" / "repro" / "cli.py",
+            REPO_ROOT / "src" / "repro" / "analysis",
+        ],
+        rules=["layering"],
     )
+    assert report.findings == (), format_report(report)
+    assert report.files_checked >= 9  # guard the guard: examples + cli + drivers
 
 
-def test_scan_actually_sees_the_entry_points() -> None:
-    """Guard the guard: the scan covers the CLI, analysis and all examples."""
-    files = _facade_only_files()
-    names = {path.name for path in files}
-    assert "cli.py" in names and "experiments.py" in names and "quickstart.py" in names
-    assert sum(1 for path in files if path.parent.name == "examples") >= 7
+def test_layering_rule_still_detects_violations() -> None:
+    """Guard the guard: the rule flags a banned import when one exists."""
+    from repro.analysis.staticcheck.config import default_config
+    from repro.analysis.staticcheck.parsing import SourceFile, module_identity
+    from repro.analysis.staticcheck.rules.layering import LayeringRule
+
+    synthetic = "from repro.db.executor import QueryExecutor\n"
+    source = SourceFile(
+        path=Path("src/repro/cli.py"),
+        text=synthetic,
+        tree=ast.parse(synthetic),
+        comments={},
+        module="repro.cli",
+    )
+    findings = LayeringRule().check(source, default_config())
+    assert len(findings) == 1 and findings[0].rule == "layering"
+    assert module_identity(REPO_ROOT / "src" / "repro" / "cli.py") == "repro.cli"

@@ -22,6 +22,8 @@ hypothesis_settings.register_profile(
     deadline=None,
 )
 hypothesis_settings.load_profile("repro")
+import os
+
 from repro.core.dpe import LogContext
 from repro.crypto.hom import PaillierKeyPair, PaillierScheme
 from repro.crypto.keys import KeyChain, MasterKey
@@ -179,3 +181,41 @@ def webshop_log(webshop) -> QueryLog:
 def skyserver():
     """The SkyServer-like workload profile (session-scoped)."""
     return skyserver_profile(photo_rows=60, spec_rows=25)
+
+
+@pytest.fixture(autouse=True, scope="session")
+def lock_witness():
+    """Watch the annotated thread-shared classes when ``LOCK_WITNESS=1``.
+
+    Under the CI thread-stress job this turns the whole session into a
+    race/deadlock detector: every ``# guarded-by``-annotated attribute of
+    the five hot classes is checked live for lock-held access, every lock
+    nesting is recorded, and the session fails at teardown on any guarded
+    access outside its lock or any lock-order cycle.  Off by default —
+    instrumentation slows the hot paths, so the plain suite runs bare.
+    """
+    if not os.environ.get("LOCK_WITNESS"):
+        yield None
+        return
+    from repro.analysis.staticcheck.witness import LockWitness
+    from repro.crypto.hom import PaillierNoisePool
+    from repro.crypto.ope import OrderPreservingScheme
+    from repro.mining.incremental import StreamingQueryLog
+    from repro.server.admission import AdmissionQueue
+    from repro.server.tenant import TenantHandle
+
+    witness = LockWitness()
+    uninstall = witness.watch_classes(
+        [
+            OrderPreservingScheme,
+            PaillierNoisePool,
+            StreamingQueryLog,
+            AdmissionQueue,
+            TenantHandle,
+        ]
+    )
+    try:
+        yield witness
+    finally:
+        uninstall()
+        witness.check()

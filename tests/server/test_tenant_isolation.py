@@ -58,7 +58,8 @@ def test_tenants_never_share_keys_factors_or_ciphertexts(names):
         for name, handle in handles.items():
             pool = _noise_pool(handle)
             pool.ensure(4)
-            factor_sets[name] = set(pool._factors)
+            with pool._lock:  # white-box read of guarded pool state
+                factor_sets[name] = set(pool._factors)
             assert factor_sets[name]
         ordered = list(names)
         for left_index, left in enumerate(ordered):

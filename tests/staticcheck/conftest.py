@@ -1,0 +1,28 @@
+"""Fixtures for the static-analysis suite: synthetic source trees.
+
+The rules match files by *module identity* (``repro.crypto.x``,
+``examples.y``), derived from path anchors — so a fixture tree only needs a
+``repro``/``examples`` directory at any depth for a file to pick up the
+same obligations the real tree has.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+
+@pytest.fixture
+def lint_tree(tmp_path):
+    """Factory writing ``{relpath: source}`` trees and returning the root."""
+
+    def build(files: dict[str, str]) -> Path:
+        root = tmp_path / "proj"
+        for relpath, source in files.items():
+            target = root / relpath
+            target.parent.mkdir(parents=True, exist_ok=True)
+            target.write_text(source, encoding="utf-8")
+        return root
+
+    return build

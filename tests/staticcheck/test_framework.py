@@ -1,0 +1,214 @@
+"""Framework behaviour: registry, parse cache, findings, runner, CLI."""
+
+from __future__ import annotations
+
+import ast
+from pathlib import Path
+
+import pytest
+
+from repro.analysis.staticcheck import (
+    available_checkers,
+    create_checker,
+    register_checker,
+    run_lint,
+)
+from repro.analysis.staticcheck.findings import Finding, Severity, finding_for
+from repro.analysis.staticcheck.parsing import SourceCache, module_identity
+from repro.analysis.staticcheck.runner import LintReport, format_report, iter_python_files
+from repro.cli import main as cli_main
+from repro.exceptions import AnalysisError
+
+PRODUCTION_RULES = (
+    "layering",
+    "lock-discipline",
+    "determinism",
+    "oracle-parity",
+    "exception-policy",
+)
+
+
+class _NullRule:
+    """A do-nothing checker used to exercise the registry."""
+
+    name = "test-null"
+
+    def check(self, source, config):
+        return []
+
+
+class TestRegistry:
+    def test_production_rules_are_registered(self):
+        names = available_checkers()
+        for rule in PRODUCTION_RULES:
+            assert rule in names
+
+    def test_create_returns_a_named_checker(self):
+        checker = create_checker("layering")
+        assert checker.name == "layering"
+
+    def test_unknown_rule_lists_available(self):
+        with pytest.raises(AnalysisError, match="unknown lint rule.*available"):
+            create_checker("no-such-rule")
+
+    def test_duplicate_registration_is_rejected(self):
+        register_checker("test-null", _NullRule)
+        try:
+            with pytest.raises(AnalysisError, match="already registered"):
+                register_checker("test-null", _NullRule)
+            register_checker("test-null", _NullRule, replace=True)  # explicit wins
+        finally:
+            # The registry has no unregister; replacing with the same null
+            # rule keeps the shared registry harmless for other tests.
+            register_checker("test-null", _NullRule, replace=True)
+
+
+class TestModuleIdentity:
+    @pytest.mark.parametrize(
+        ("relpath", "expected"),
+        [
+            ("src/repro/crypto/ope.py", "repro.crypto.ope"),
+            ("src/repro/crypto/__init__.py", "repro.crypto"),
+            ("src/repro/cli.py", "repro.cli"),
+            ("examples/quickstart.py", "examples.quickstart"),
+            ("scripts/tool.py", "tool"),
+        ],
+    )
+    def test_paths_map_to_dotted_identities(self, tmp_path, relpath, expected):
+        target = tmp_path / relpath
+        target.parent.mkdir(parents=True, exist_ok=True)
+        target.write_text("x = 1\n", encoding="utf-8")
+        assert module_identity(target) == expected
+
+
+class TestSourceCache:
+    def test_same_file_is_parsed_once(self, tmp_path):
+        target = tmp_path / "mod.py"
+        target.write_text("value = 1  # a comment\n", encoding="utf-8")
+        cache = SourceCache()
+        first = cache.get(target)
+        assert cache.get(target) is first
+        assert isinstance(first.tree, ast.Module)
+        assert first.comments == {1: "a comment"}
+
+    def test_syntax_error_is_an_analysis_error(self, tmp_path):
+        target = tmp_path / "broken.py"
+        target.write_text("def broken(:\n", encoding="utf-8")
+        with pytest.raises(AnalysisError, match="cannot parse"):
+            SourceCache().get(target)
+
+    def test_missing_file_is_an_analysis_error(self, tmp_path):
+        with pytest.raises(AnalysisError, match="cannot read"):
+            SourceCache().get(tmp_path / "missing.py")
+
+
+class TestFindings:
+    def test_ordering_is_by_path_line_rule(self):
+        findings = [
+            finding_for("b-rule", "b.py", 1, "m"),
+            finding_for("a-rule", "a.py", 9, "m"),
+            finding_for("a-rule", "a.py", 2, "m"),
+        ]
+        ordered = sorted(findings)
+        assert [(f.path, f.line, f.rule) for f in ordered] == [
+            ("a.py", 2, "a-rule"),
+            ("a.py", 9, "a-rule"),
+            ("b.py", 1, "b-rule"),
+        ]
+
+    def test_format_is_the_canonical_line(self):
+        finding = finding_for("layering", "src/x.py", 3, "no")
+        assert finding.format() == "src/x.py:3: error [layering] no"
+
+    def test_severity_does_not_affect_equality(self):
+        error = Finding("p.py", 1, "r", "m", Severity.ERROR)
+        warning = Finding("p.py", 1, "r", "m", Severity.WARNING)
+        assert error == warning
+
+
+class TestReport:
+    def _report(self, severity: Severity) -> LintReport:
+        return LintReport(
+            findings=(Finding("p.py", 1, "r", "m", severity),),
+            files_checked=1,
+            rules=("r",),
+        )
+
+    def test_errors_fail_regardless_of_strict(self):
+        report = self._report(Severity.ERROR)
+        assert report.exit_code(strict=False) == 1
+        assert report.exit_code(strict=True) == 1
+
+    def test_warnings_fail_only_under_strict(self):
+        report = self._report(Severity.WARNING)
+        assert report.exit_code(strict=False) == 0
+        assert report.exit_code(strict=True) == 1
+
+    def test_clean_report_is_zero(self):
+        report = LintReport(findings=(), files_checked=3, rules=("r",))
+        assert report.exit_code(strict=True) == 0
+        assert "3 files checked, 0 errors, 0 warnings" in format_report(report)
+
+
+class TestRunner:
+    def test_missing_path_fails_loudly(self, tmp_path):
+        with pytest.raises(AnalysisError, match="does not exist"):
+            iter_python_files([tmp_path / "nowhere"])
+
+    def test_pycache_is_skipped(self, tmp_path):
+        (tmp_path / "__pycache__").mkdir()
+        (tmp_path / "__pycache__" / "junk.py").write_text("x=", encoding="utf-8")
+        (tmp_path / "ok.py").write_text("x = 1\n", encoding="utf-8")
+        files = iter_python_files([tmp_path])
+        assert [f.name for f in files] == ["ok.py"]
+
+    def test_run_lint_reports_are_deterministic(self, lint_tree):
+        root = lint_tree(
+            {
+                "repro/server/one.py": "def f():\n    raise ValueError('x')\n",
+                "repro/server/two.py": "try:\n    pass\nexcept:\n    pass\n",
+            }
+        )
+        first = run_lint([root], rules=PRODUCTION_RULES)
+        second = run_lint([root], rules=PRODUCTION_RULES)
+        assert first == second
+        assert [f.rule for f in first.findings] == [
+            "exception-policy",
+            "exception-policy",
+        ]
+
+
+class TestCli:
+    def test_lint_command_reports_and_fails(self, lint_tree, capsys):
+        root = lint_tree({"repro/api/bad.py": "try:\n    pass\nexcept:\n    pass\n"})
+        code = cli_main(["lint", str(root), "--strict"])
+        out = capsys.readouterr().out
+        assert code == 1
+        assert "[exception-policy]" in out
+        assert "1 errors" in out
+
+    def test_lint_command_clean_exit(self, lint_tree, capsys):
+        root = lint_tree({"repro/api/good.py": "VALUE = 1\n"})
+        assert cli_main(["lint", str(root), "--strict"]) == 0
+        assert "0 errors, 0 warnings" in capsys.readouterr().out
+
+    def test_lint_command_bad_path_is_a_usage_error(self, tmp_path, capsys):
+        assert cli_main(["lint", str(tmp_path / "missing")]) == 2
+        assert "does not exist" in capsys.readouterr().err
+
+    def test_rule_filter_runs_only_named_rules(self, lint_tree):
+        root = lint_tree({"repro/api/bad.py": "try:\n    pass\nexcept:\n    pass\n"})
+        report = run_lint([root], rules=["layering"])
+        assert report.findings == ()
+        assert report.rules == ("layering",)
+
+
+class TestRepoIsClean:
+    REPO = Path(__file__).resolve().parents[2]
+
+    def test_src_and_examples_pass_strict(self):
+        report = run_lint(
+            [self.REPO / "src", self.REPO / "examples"], rules=PRODUCTION_RULES
+        )
+        assert report.findings == (), format_report(report, strict=True)
+        assert report.files_checked > 100

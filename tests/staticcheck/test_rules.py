@@ -1,0 +1,350 @@
+"""Per-rule positive/negative fixtures for the five production rules.
+
+Every rule gets at least one *true positive* (a synthetic violation it must
+flag) and matching negatives proving the rule's escape hatches work —
+delegating batch paths, TYPE_CHECKING imports, seeded RNGs, holds-methods.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.staticcheck import run_lint
+
+
+def rules_fired(report):
+    """The distinct rule names among a report's findings."""
+    return {finding.rule for finding in report.findings}
+
+
+class TestLayering:
+    def test_entry_point_importing_internals_is_flagged(self, lint_tree):
+        root = lint_tree({"repro/cli.py": "import repro.mining.distance\n"})
+        report = run_lint([root], rules=["layering"])
+        assert [f.line for f in report.findings] == [1]
+        assert "entry points" in report.findings[0].message
+
+    def test_examples_belong_to_the_entry_point_layer(self, lint_tree):
+        root = lint_tree({"examples/demo.py": "from repro.server import core\n"})
+        report = run_lint([root], rules=["layering"])
+        assert rules_fired(report) == {"layering"}
+
+    def test_facade_imports_are_allowed(self, lint_tree):
+        root = lint_tree(
+            {"examples/demo.py": "from repro.api import MiningService\nimport repro\n"}
+        )
+        assert run_lint([root], rules=["layering"]).findings == ()
+
+    def test_crypto_may_not_import_mining(self, lint_tree):
+        root = lint_tree(
+            {"repro/crypto/fast.py": "from repro.mining import distance\n"}
+        )
+        report = run_lint([root], rules=["layering"])
+        assert rules_fired(report) == {"layering"}
+        assert "bottom layer" in report.findings[0].message
+
+    def test_type_checking_imports_are_exempt(self, lint_tree):
+        root = lint_tree(
+            {
+                "repro/crypto/fast.py": (
+                    "from typing import TYPE_CHECKING\n"
+                    "if TYPE_CHECKING:\n"
+                    "    from repro.mining import distance\n"
+                )
+            }
+        )
+        assert run_lint([root], rules=["layering"]).findings == ()
+
+    def test_reliability_may_not_reach_backend_internals(self, lint_tree):
+        root = lint_tree(
+            {
+                "repro/reliability/wrap.py": (
+                    "from repro.db.backend import create_backend\n"
+                    "from repro.db.executor import QueryExecutor\n"
+                )
+            }
+        )
+        report = run_lint([root], rules=["layering"])
+        # The registry seam (line 1) is allowed; the internal import is not.
+        assert [f.line for f in report.findings] == [2]
+
+
+class TestLockDiscipline:
+    GUARDED = (
+        "class Pool:\n"
+        "    def __init__(self):\n"
+        "        self._lock = object()\n"
+        "        self._items = []  # guarded-by: _lock\n"
+    )
+
+    def test_unlocked_access_is_flagged(self, lint_tree):
+        root = lint_tree(
+            {
+                "repro/server/pool.py": self.GUARDED
+                + "    def size(self):\n        return len(self._items)\n"
+            }
+        )
+        report = run_lint([root], rules=["lock-discipline"])
+        assert rules_fired(report) == {"lock-discipline"}
+        assert "_items" in report.findings[0].message
+
+    def test_locked_access_passes(self, lint_tree):
+        root = lint_tree(
+            {
+                "repro/server/pool.py": self.GUARDED
+                + "    def size(self):\n"
+                "        with self._lock:\n"
+                "            return len(self._items)\n"
+            }
+        )
+        assert run_lint([root], rules=["lock-discipline"]).findings == ()
+
+    def test_init_is_exempt(self, lint_tree):
+        root = lint_tree({"repro/server/pool.py": self.GUARDED})
+        assert run_lint([root], rules=["lock-discipline"]).findings == ()
+
+    def test_nested_closures_do_not_inherit_the_lock(self, lint_tree):
+        root = lint_tree(
+            {
+                "repro/server/pool.py": self.GUARDED
+                + "    def deferred(self):\n"
+                "        with self._lock:\n"
+                "            return lambda: len(self._items)\n"
+            }
+        )
+        report = run_lint([root], rules=["lock-discipline"])
+        assert rules_fired(report) == {"lock-discipline"}
+
+    def test_holds_method_shifts_the_obligation_to_callers(self, lint_tree):
+        root = lint_tree(
+            {
+                "repro/server/pool.py": self.GUARDED
+                + "    def _drain(self):  # holds: _lock\n"
+                "        self._items.clear()\n"
+                "    def good(self):\n"
+                "        with self._lock:\n"
+                "            self._drain()\n"
+                "    def bad(self):\n"
+                "        self._drain()\n"
+            }
+        )
+        report = run_lint([root], rules=["lock-discipline"])
+        assert len(report.findings) == 1
+        assert "bad()" in report.findings[0].message
+        assert "holds" in report.findings[0].message
+
+
+class TestDeterminism:
+    def test_global_rng_is_flagged(self, lint_tree):
+        root = lint_tree(
+            {"repro/mining/pick.py": "import random\nx = random.random()\n"}
+        )
+        report = run_lint([root], rules=["determinism"])
+        assert rules_fired(report) == {"determinism"}
+
+    def test_unseeded_random_instance_is_flagged(self, lint_tree):
+        root = lint_tree(
+            {"repro/mining/pick.py": "import random\nrng = random.Random()\n"}
+        )
+        assert rules_fired(run_lint([root], rules=["determinism"])) == {"determinism"}
+
+    def test_seeded_random_instance_passes(self, lint_tree):
+        root = lint_tree(
+            {"repro/mining/pick.py": "import random\nrng = random.Random(42)\n"}
+        )
+        assert run_lint([root], rules=["determinism"]).findings == ()
+
+    def test_wall_clock_outside_the_seams_is_flagged(self, lint_tree):
+        root = lint_tree({"repro/server/t.py": "import time\nnow = time.time()\n"})
+        assert rules_fired(run_lint([root], rules=["determinism"])) == {"determinism"}
+
+    def test_wall_clock_inside_reliability_is_the_seam(self, lint_tree):
+        root = lint_tree(
+            {"repro/reliability/clock.py": "import time\nnow = time.time()\n"}
+        )
+        assert run_lint([root], rules=["determinism"]).findings == ()
+
+    def test_monotonic_measurement_is_always_allowed(self, lint_tree):
+        root = lint_tree(
+            {"repro/server/t.py": "import time\nstart = time.perf_counter()\n"}
+        )
+        assert run_lint([root], rules=["determinism"]).findings == ()
+
+    def test_datetime_now_is_flagged(self, lint_tree):
+        root = lint_tree(
+            {
+                "repro/mining/t.py": (
+                    "import datetime\nstamp = datetime.datetime.now()\n"
+                )
+            }
+        )
+        assert rules_fired(run_lint([root], rules=["determinism"])) == {"determinism"}
+
+    def test_set_iteration_in_mining_is_flagged(self, lint_tree):
+        root = lint_tree(
+            {
+                "repro/mining/merge.py": (
+                    "def merge(items):\n"
+                    "    return [x for x in set(items)]\n"
+                )
+            }
+        )
+        report = run_lint([root], rules=["determinism"])
+        assert rules_fired(report) == {"determinism"}
+        assert "sorted" in report.findings[0].message
+
+    def test_sorted_set_iteration_passes(self, lint_tree):
+        root = lint_tree(
+            {
+                "repro/mining/merge.py": (
+                    "def merge(items):\n"
+                    "    return [x for x in sorted(set(items))]\n"
+                )
+            }
+        )
+        assert run_lint([root], rules=["determinism"]).findings == ()
+
+    def test_set_iteration_outside_mining_is_not_this_rules_business(self, lint_tree):
+        root = lint_tree(
+            {"repro/server/s.py": "def f(items):\n    return [x for x in set(items)]\n"}
+        )
+        assert run_lint([root], rules=["determinism"]).findings == ()
+
+
+class TestOracleParity:
+    def test_non_delegating_batch_without_reference_is_flagged(self, lint_tree):
+        root = lint_tree(
+            {
+                "repro/crypto/fast.py": (
+                    "class Scheme:\n"
+                    "    def encrypt_many(self, values):\n"
+                    "        return [v * 2 for v in values]\n"
+                )
+            }
+        )
+        report = run_lint([root], rules=["oracle-parity"])
+        assert rules_fired(report) == {"oracle-parity"}
+        assert "encrypt*_reference" in report.findings[0].message
+
+    def test_delegating_batch_needs_no_reference(self, lint_tree):
+        root = lint_tree(
+            {
+                "repro/crypto/fast.py": (
+                    "class Scheme:\n"
+                    "    def encrypt(self, v):\n"
+                    "        return v * 2\n"
+                    "    def encrypt_many(self, values):\n"
+                    "        return [self.encrypt(v) for v in values]\n"
+                )
+            }
+        )
+        assert run_lint([root], rules=["oracle-parity"]).findings == ()
+
+    def test_batch_with_reference_sibling_passes(self, lint_tree):
+        root = lint_tree(
+            {
+                "repro/crypto/fast.py": (
+                    "class Scheme:\n"
+                    "    def encrypt_many(self, values):\n"
+                    "        return [v * 2 for v in values]\n"
+                    "    def encrypt_reference(self, v):\n"
+                    "        return v * 2\n"
+                )
+            }
+        )
+        assert run_lint([root], rules=["oracle-parity"]).findings == ()
+
+    def test_fast_path_stats_without_oracle_is_flagged(self, lint_tree):
+        root = lint_tree(
+            {
+                "repro/crypto/fast.py": (
+                    "class Scheme:\n"
+                    "    def fast_path_stats(self):\n"
+                    "        return {'hits': 1}\n"
+                )
+            }
+        )
+        assert rules_fired(run_lint([root], rules=["oracle-parity"])) == {
+            "oracle-parity"
+        }
+
+    def test_empty_fast_path_stats_is_the_base_default(self, lint_tree):
+        root = lint_tree(
+            {
+                "repro/crypto/base.py": (
+                    "class Scheme:\n"
+                    "    def fast_path_stats(self):\n"
+                    "        return {}\n"
+                )
+            }
+        )
+        assert run_lint([root], rules=["oracle-parity"]).findings == ()
+
+    def test_rule_is_scoped_to_crypto(self, lint_tree):
+        root = lint_tree(
+            {
+                "repro/mining/fast.py": (
+                    "class Batch:\n"
+                    "    def merge_many(self, values):\n"
+                    "        return values\n"
+                )
+            }
+        )
+        assert run_lint([root], rules=["oracle-parity"]).findings == ()
+
+
+class TestExceptionPolicy:
+    def test_bare_except_is_flagged_everywhere(self, lint_tree):
+        root = lint_tree(
+            {"repro/mining/m.py": "try:\n    pass\nexcept:\n    pass\n"}
+        )
+        report = run_lint([root], rules=["exception-policy"])
+        assert rules_fired(report) == {"exception-policy"}
+
+    def test_named_broad_except_is_allowed(self, lint_tree):
+        root = lint_tree(
+            {
+                "repro/server/s.py": (
+                    "try:\n    pass\nexcept BaseException:\n    raise\n"
+                )
+            }
+        )
+        assert run_lint([root], rules=["exception-policy"]).findings == ()
+
+    def test_boundary_raising_builtin_is_flagged(self, lint_tree):
+        root = lint_tree(
+            {"repro/api/svc.py": "def f():\n    raise ValueError('nope')\n"}
+        )
+        report = run_lint([root], rules=["exception-policy"])
+        assert rules_fired(report) == {"exception-policy"}
+        assert "ApiError" in report.findings[0].message
+
+    def test_boundary_raising_api_error_passes(self, lint_tree):
+        root = lint_tree(
+            {
+                "repro/server/svc.py": (
+                    "from repro.api.errors import QueryRejected\n"
+                    "def f():\n"
+                    "    raise QueryRejected('full')\n"
+                )
+            }
+        )
+        assert run_lint([root], rules=["exception-policy"]).findings == ()
+
+    def test_non_boundary_builtin_raise_is_fine(self, lint_tree):
+        root = lint_tree(
+            {"repro/mining/m.py": "def f():\n    raise ValueError('internal')\n"}
+        )
+        assert run_lint([root], rules=["exception-policy"]).findings == ()
+
+    def test_bare_reraise_at_the_boundary_is_fine(self, lint_tree):
+        root = lint_tree(
+            {
+                "repro/api/svc.py": (
+                    "def f():\n"
+                    "    try:\n"
+                    "        pass\n"
+                    "    except Exception:\n"
+                    "        raise\n"
+                )
+            }
+        )
+        assert run_lint([root], rules=["exception-policy"]).findings == ()

@@ -1,0 +1,68 @@
+"""Suppression semantics: exact-line silencing and unused-suppression errors."""
+
+from __future__ import annotations
+
+from repro.analysis.staticcheck import run_lint
+from repro.analysis.staticcheck.suppress import UNUSED_SUPPRESSION
+
+BARE_EXCEPT = "try:\n    pass\nexcept:{comment}\n    pass\n"
+
+
+class TestSuppressions:
+    def test_matching_suppression_silences_the_finding(self, lint_tree):
+        root = lint_tree(
+            {
+                "repro/mining/m.py": BARE_EXCEPT.format(
+                    comment="  # repro: ignore[exception-policy]"
+                )
+            }
+        )
+        assert run_lint([root], rules=["exception-policy"]).findings == ()
+
+    def test_suppression_is_line_exact(self, lint_tree):
+        source = (
+            "# repro: ignore[exception-policy]\n"
+            "try:\n    pass\nexcept:\n    pass\n"
+        )
+        root = lint_tree({"repro/mining/m.py": source})
+        report = run_lint([root], rules=["exception-policy"])
+        # The finding survives (wrong line) AND the suppression is unused.
+        assert sorted(f.rule for f in report.findings) == [
+            "exception-policy",
+            UNUSED_SUPPRESSION,
+        ]
+
+    def test_wrong_rule_name_does_not_silence(self, lint_tree):
+        root = lint_tree(
+            {
+                "repro/mining/m.py": BARE_EXCEPT.format(
+                    comment="  # repro: ignore[layering]"
+                )
+            }
+        )
+        report = run_lint([root], rules=["exception-policy"])
+        assert sorted(f.rule for f in report.findings) == [
+            "exception-policy",
+            UNUSED_SUPPRESSION,
+        ]
+
+    def test_multi_rule_comment_errors_for_each_unused_rule(self, lint_tree):
+        root = lint_tree(
+            {
+                "repro/mining/m.py": BARE_EXCEPT.format(
+                    comment="  # repro: ignore[exception-policy, determinism]"
+                )
+            }
+        )
+        report = run_lint([root], rules=["exception-policy", "determinism"])
+        # exception-policy is earned; determinism silences nothing -> error.
+        assert [f.rule for f in report.findings] == [UNUSED_SUPPRESSION]
+        assert "'determinism'" in report.findings[0].message
+
+    def test_unused_suppression_in_clean_file_errors(self, lint_tree):
+        root = lint_tree(
+            {"repro/mining/m.py": "VALUE = 1  # repro: ignore[determinism]\n"}
+        )
+        report = run_lint([root], rules=["determinism"])
+        assert [f.rule for f in report.findings] == [UNUSED_SUPPRESSION]
+        assert report.exit_code(strict=False) == 1

@@ -1,0 +1,34 @@
+"""The checker framework type-checks under ``mypy --strict``.
+
+The strict island is configured in ``pyproject.toml`` (``[tool.mypy]`` with
+a ``repro.analysis.staticcheck.*`` strict override) and enforced by the CI
+lint job.  This test runs the same command when mypy is importable, so a
+local environment with mypy gets the signal from pytest too; environments
+without mypy (it is not a runtime dependency) skip.
+"""
+
+from __future__ import annotations
+
+import importlib.util
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+
+
+@pytest.mark.skipif(
+    importlib.util.find_spec("mypy") is None,
+    reason="mypy is not installed (CI's lint job installs and runs it)",
+)
+def test_staticcheck_package_is_strictly_typed() -> None:
+    result = subprocess.run(
+        [sys.executable, "-m", "mypy", "src/repro/analysis/staticcheck"],
+        cwd=REPO_ROOT,
+        capture_output=True,
+        text=True,
+        check=False,
+    )
+    assert result.returncode == 0, result.stdout + result.stderr

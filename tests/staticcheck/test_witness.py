@@ -1,0 +1,186 @@
+"""LockWitness runtime: order-cycle detection and guarded-access watching."""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro.analysis.staticcheck.witness import (
+    LockWitness,
+    LockWitnessError,
+    WitnessedLock,
+    class_guards,
+)
+from repro.exceptions import AnalysisError
+
+
+class Counter:
+    """A tiny annotated class used as a watch target."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._count = 0  # guarded-by: _lock
+
+    def bump(self) -> None:
+        with self._lock:
+            self._count += 1
+
+    def bump_unsafely(self) -> None:
+        self._count += 1
+
+    def value(self) -> int:
+        with self._lock:
+            return self._count
+
+
+class Unannotated:
+    """A class with no guard annotations (watching it must fail loudly)."""
+
+    def __init__(self) -> None:
+        self._value = 0
+
+
+class TestWitnessedLock:
+    def test_wrap_tracks_held_by_current_thread(self):
+        witness = LockWitness()
+        lock = witness.wrap(threading.Lock(), "L")
+        assert isinstance(lock, WitnessedLock)
+        assert not lock.held_by_current_thread()
+        with lock:
+            assert lock.held_by_current_thread()
+        assert not lock.held_by_current_thread()
+
+    def test_rlock_reentry_records_no_self_edge(self):
+        witness = LockWitness()
+        lock = witness.wrap(threading.RLock(), "R")
+        with lock:
+            with lock:
+                assert lock.held_by_current_thread()
+        assert witness.lock_order_edges() == {}
+        witness.check()  # no violations, no cycle
+
+    def test_wrapping_a_witnessed_lock_is_idempotent(self):
+        witness = LockWitness()
+        lock = witness.wrap(threading.Lock(), "L")
+        assert witness.wrap(lock, "other") is lock
+
+
+def _nest(outer: WitnessedLock, inner: WitnessedLock) -> None:
+    """Acquire ``outer`` then ``inner`` (and release both), on a fresh thread."""
+
+    def body() -> None:
+        with outer:
+            with inner:
+                pass
+
+    thread = threading.Thread(target=body)
+    thread.start()
+    thread.join()
+
+
+class TestLockOrderCycles:
+    def test_two_thread_order_inversion_is_a_cycle(self):
+        witness = LockWitness()
+        a = witness.wrap(threading.Lock(), "A")
+        b = witness.wrap(threading.Lock(), "B")
+        # Scripted inversion: thread 1 nests A -> B, thread 2 nests B -> A.
+        # The threads run to completion sequentially, so the run never
+        # actually deadlocks — the witness still reports the potential.
+        _nest(a, b)
+        _nest(b, a)
+        assert witness.lock_order_edges() == {("A", "B"): 1, ("B", "A"): 1}
+        assert witness.find_cycle() == ["A", "B", "A"]
+        with pytest.raises(LockWitnessError, match="lock-order cycle"):
+            witness.check()
+
+    def test_consistent_order_is_clean(self):
+        witness = LockWitness()
+        a = witness.wrap(threading.Lock(), "A")
+        b = witness.wrap(threading.Lock(), "B")
+        for _ in range(3):
+            _nest(a, b)
+        assert witness.lock_order_edges() == {("A", "B"): 3}
+        assert witness.find_cycle() is None
+        witness.check()
+
+    def test_reset_clears_recorded_state(self):
+        witness = LockWitness()
+        a = witness.wrap(threading.Lock(), "A")
+        b = witness.wrap(threading.Lock(), "B")
+        _nest(a, b)
+        _nest(b, a)
+        witness.reset()
+        witness.check()
+
+
+class TestGuardedAttributeWatching:
+    def test_class_guards_reads_the_annotations(self):
+        guards = class_guards(Counter)
+        assert guards.guarded == {"_count": "_lock"}
+
+    def test_unannotated_class_is_rejected(self):
+        witness = LockWitness()
+        with pytest.raises(AnalysisError, match="declares no"):
+            witness.watch_instance(Unannotated())
+
+    def test_locked_access_is_clean(self):
+        witness = LockWitness()
+        counter = witness.watch_instance(Counter())
+        counter.bump()
+        assert counter.value() == 1
+        assert witness.violations == ()
+        witness.check()
+
+    def test_unlocked_access_is_recorded_not_raised(self):
+        witness = LockWitness()
+        counter = witness.watch_instance(Counter())
+        counter.bump_unsafely()  # must not raise mid-flight
+        assert witness.violations  # ...but is recorded
+        assert "_count" in witness.violations[0]
+        assert "_lock" in witness.violations[0]
+        with pytest.raises(LockWitnessError, match="guarded-access"):
+            witness.check()
+
+    def test_violation_names_the_offending_thread(self):
+        witness = LockWitness()
+        counter = witness.watch_instance(Counter())
+        thread = threading.Thread(target=counter.bump_unsafely, name="rogue")
+        thread.start()
+        thread.join()
+        assert any("rogue" in violation for violation in witness.violations)
+
+
+class TestWatchClasses:
+    def test_future_instances_are_watched_until_uninstall(self):
+        witness = LockWitness()
+        uninstall = witness.watch_classes([Counter])
+        try:
+            watched = Counter()
+            watched.bump_unsafely()
+            assert witness.violations
+        finally:
+            uninstall()
+        witness.reset()
+        unwatched = Counter()
+        unwatched.bump_unsafely()
+        assert witness.violations == ()
+
+    def test_subclasses_are_not_auto_watched(self):
+        class Derived(Counter):
+            def __init__(self) -> None:
+                super().__init__()
+                self._count = 0  # still initializing: must not be flagged
+
+        witness = LockWitness()
+        uninstall = witness.watch_classes([Counter])
+        try:
+            Derived()
+            assert witness.violations == ()
+        finally:
+            uninstall()
+
+    def test_watching_an_unannotated_class_fails_at_install(self):
+        witness = LockWitness()
+        with pytest.raises(AnalysisError):
+            witness.watch_classes([Unannotated])
